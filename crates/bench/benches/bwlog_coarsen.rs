@@ -1,0 +1,51 @@
+//! Criterion: throughput of the bandwidth-log coarseners (E1's runtime
+//! side) — how fast the CLDS can coarsen telemetry on ingestion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smn_core::bwlogs::{AdaptiveCoarsener, NestedCoarsener, TimeCoarsener, TopologyCoarsener};
+use smn_core::coarsen::Coarsening;
+use smn_telemetry::series::Statistic;
+use smn_telemetry::time::{Ts, DAY, HOUR};
+
+fn bench_coarseners(c: &mut Criterion) {
+    let p = smn_bench::planetary_small();
+    let model = smn_bench::traffic(&p);
+    let log = smn_bench::bw_log(&model, 0, 2); // 2 days
+    let regions = p.wan.contract_by_region();
+
+    let mut group = c.benchmark_group("bwlog_coarsen");
+    group.throughput(Throughput::Elements(log.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("time", "1h-mean-p95"), &log, |b, log| {
+        let coarsener = TimeCoarsener::new(HOUR, vec![Statistic::Mean, Statistic::P95]);
+        b.iter(|| coarsener.coarsen(log));
+    });
+    group.bench_with_input(BenchmarkId::new("topology", "regions"), &log, |b, log| {
+        let coarsener = TopologyCoarsener::new(regions.node_map.clone());
+        b.iter(|| coarsener.coarsen(log));
+    });
+    group.bench_with_input(BenchmarkId::new("nested", "7d-6h-1d"), &log, |b, log| {
+        let coarsener = NestedCoarsener {
+            fine_horizon: HOUR * 6,
+            mid_horizon: DAY,
+            mid_window: HOUR,
+            old_window: DAY,
+            stats: vec![Statistic::Mean, Statistic::Max],
+            now: Ts::from_days(2),
+        };
+        b.iter(|| coarsener.coarsen(log));
+    });
+    group.bench_with_input(BenchmarkId::new("adaptive", "cv-0.35"), &log, |b, log| {
+        let coarsener = AdaptiveCoarsener {
+            cv_threshold: 0.35,
+            stable_window: DAY,
+            volatile_window: HOUR,
+            stats: vec![Statistic::Mean],
+        };
+        b.iter(|| coarsener.coarsen(log));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coarseners);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion: core graph algorithms on the planetary WAN — contraction
+//! (the coarsening primitive), k-shortest paths (the TE path oracle), and
+//! reachability closures (syndrome propagation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smn_topology::NodeId;
+
+fn bench_graph(c: &mut Criterion) {
+    let p = smn_bench::planetary();
+    let wan = &p.wan;
+    let src = NodeId(0);
+    let dst = NodeId((wan.dc_count() - 1) as u32);
+
+    c.bench_function("contract_by_region_300dc", |b| b.iter(|| wan.contract_by_region()));
+    c.bench_function("k_shortest_paths_k4", |b| {
+        b.iter(|| {
+            wan.graph.k_shortest_paths(src, dst, 4, |_, e| {
+                e.payload.up.then_some(e.payload.distance_km)
+            })
+        })
+    });
+    c.bench_function("reaching_closure", |b| b.iter(|| wan.graph.reaching(dst)));
+    c.bench_function("bfs_hops", |b| b.iter(|| wan.graph.bfs_hops(src)));
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: incident-routing pipeline latency — fault observation,
+//! syndrome explainability, and router training/inference (E4's runtime
+//! side; the CLTO's minutes-timescale loop must be far faster than
+//! minutes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smn_depgraph::syndrome::Explainability;
+use smn_incident::eval::{observe_campaign, split_observations, EvalConfig};
+use smn_incident::faults::CampaignConfig;
+use smn_incident::features::FeatureView;
+use smn_incident::routing::CltoRouter;
+use smn_incident::sim::{observe, SimConfig};
+use smn_incident::RedditDeployment;
+use smn_ml::forest::ForestConfig;
+
+fn bench_routing(c: &mut Criterion) {
+    let d = RedditDeployment::build();
+    let cfg = EvalConfig {
+        campaign: CampaignConfig { n_faults: 160, ..Default::default() },
+        forest: ForestConfig { n_trees: 60, ..EvalConfig::default().forest },
+        ..Default::default()
+    };
+    let obs = observe_campaign(&d, &cfg);
+    let (train, test) = split_observations(obs, cfg.test_frac, cfg.split_seed);
+    let ex = Explainability::new(&d.cdg);
+    let fault = &train[0].fault;
+
+    c.bench_function("observe_one_fault", |b| {
+        b.iter(|| observe(&d, fault, &SimConfig::default()))
+    });
+    c.bench_function("explainability_vector", |b| {
+        b.iter(|| ex.explainability_vector(&train[0].syndrome))
+    });
+    let mut group = c.benchmark_group("router");
+    group.sample_size(10);
+    group.bench_function("train_full_view", |b| {
+        b.iter(|| {
+            CltoRouter::train(&d, &ex, &train, FeatureView::WithExplainability, &cfg.forest)
+        })
+    });
+    let router = CltoRouter::train(&d, &ex, &train, FeatureView::WithExplainability, &cfg.forest);
+    group.bench_function("route_batch", |b| b.iter(|| router.route(&d, &ex, &test)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion: TE solver runtime across coarsening granularities — the
+//! measured basis for Table 2's "fast traffic engineering and planning"
+//! cell and E2's runtime axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smn_te::demand::DemandMatrix;
+use smn_te::mcf::{greedy_min_max_utilization, max_multicommodity_flow, TeConfig};
+use smn_telemetry::time::Ts;
+
+fn bench_te(c: &mut Criterion) {
+    let p = smn_bench::planetary_small();
+    let model = smn_bench::traffic(&p);
+    let ts = Ts::from_days(2) + 12 * 3600;
+    let demand = DemandMatrix::from_triples(
+        model.demand_matrix(ts).into_iter().map(|(s, d, g)| (s, d, g * 0.05)),
+    );
+    let regions = p.wan.contract_by_region();
+    let region_demand = demand.contract(&regions.node_map);
+    let cfg = TeConfig { k_paths: 3, epsilon: 0.2, ..Default::default() };
+
+    let cap_fine = |_: smn_topology::EdgeId,
+                    e: &smn_topology::graph::Edge<smn_topology::layer3::LinkAttrs>| {
+        if e.payload.up {
+            e.payload.capacity_gbps
+        } else {
+            0.0
+        }
+    };
+
+    let mut group = c.benchmark_group("te_solvers");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("gk", format!("fine-{}n", p.wan.dc_count())),
+        &demand,
+        |b, d| b.iter(|| max_multicommodity_flow(&p.wan.graph, cap_fine, d, &cfg)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("gk", format!("regions-{}n", regions.graph.node_count())),
+        &region_demand,
+        |b, d| {
+            b.iter(|| {
+                max_multicommodity_flow(
+                    &regions.graph,
+                    |_, e| e.payload.capacity_gbps,
+                    d,
+                    &cfg,
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("greedy", format!("fine-{}n", p.wan.dc_count())),
+        &demand,
+        |b, d| b.iter(|| greedy_min_max_utilization(&p.wan.graph, cap_fine, d, &cfg)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_te);
+criterion_main!(benches);

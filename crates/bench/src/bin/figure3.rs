@@ -1,0 +1,27 @@
+//! Regenerates **Figure 3** — the coarse dependency graph of the simulated
+//! Reddit deployment — as Graphviz DOT (stdout) plus a readable edge list.
+
+use smn_depgraph::dot::cdg_to_dot;
+use smn_incident::RedditDeployment;
+
+fn main() {
+    let d = RedditDeployment::build();
+    println!("{}", cdg_to_dot(&d.cdg, "Figure 3: Coarse dependency graph, simulated Reddit"));
+    eprintln!("teams and dependencies (x -> y means x depends on y):");
+    for (_, e) in d.cdg.graph.edges() {
+        eprintln!("  {} -> {}", d.cdg.team(e.src).name, d.cdg.team(e.dst).name);
+    }
+    eprintln!(
+        "\n{} teams, {} team-level dependencies; derived from {} components / {} fine edges",
+        d.cdg.len(),
+        d.cdg.graph.edge_count(),
+        d.fine.len(),
+        d.fine.graph.edge_count()
+    );
+    let loss = smn_core::cdg::cdg_loss(&d.fine);
+    eprintln!(
+        "coarsening: {:.1}x structural reduction, {:.0}% false dependencies (Table 2's loss)",
+        loss.reduction_factor,
+        loss.false_dependency_rate * 100.0
+    );
+}

@@ -1,0 +1,131 @@
+//! **E4** — §5 "Preliminary Results": the headline incident-routing
+//! comparison over the 560-fault campaign.
+//!
+//! Paper numbers: Scouts-style distributed ≈ 22 %, centralized CLTO with
+//! internal health metrics only = 45 %, + symptom explainability = 78 %.
+//! This binary regenerates the three-row comparison (shape target:
+//! ordering and rough magnitudes, not exact parity — the substrate is a
+//! synthetic Revelio-equivalent, see DESIGN.md).
+//!
+//! `--ablate` additionally runs the design-choice ablations from DESIGN.md:
+//! Jaccard instead of cosine similarity, direct-only syndrome propagation
+//! instead of the transitive closure, and forest-size sensitivity.
+
+use smn_incident::eval::{evaluate, observe_campaign, split_observations, EvalConfig};
+use smn_incident::features::{build_dataset, FeatureView};
+use smn_incident::RedditDeployment;
+use smn_incident::TEAMS;
+use smn_ml::forest::RandomForest;
+use smn_ml::importance::{permutation_importance, top_features};
+use smn_depgraph::syndrome::{Propagation, Similarity};
+use smn_ml::forest::ForestConfig;
+
+fn main() {
+    let ablate = std::env::args().any(|a| a == "--ablate");
+    let importance = std::env::args().any(|a| a == "--importance");
+    let cfg = EvalConfig::default();
+    let r = evaluate(&cfg);
+    println!("=== §5 incident routing, 560 faults, 8 teams, held-out root causes ===\n");
+    println!("{}", r.render());
+    println!("paper reference:  Scouts 22%   internal-only 45%   +explainability 78%\n");
+    println!("confusion matrix of the +explainability router (rows = truth):");
+    println!("{}", r.confusion.render(&TEAMS));
+    println!("macro-F1 (+explainability): {:.3}", r.confusion.macro_f1());
+
+    if importance {
+        print_importance(&cfg);
+    }
+    if !ablate {
+        println!(
+            "\n(--ablate: similarity/propagation/forest ablations; --importance: which \
+             features carry the signal)"
+        );
+        return;
+    }
+
+    println!("\n=== ablations ===");
+    let mut rows = Vec::new();
+    let run = |name: &str, cfg: EvalConfig, rows: &mut Vec<Vec<String>>| {
+        let r = evaluate(&cfg);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", r.scouts_accuracy * 100.0),
+            format!("{:.1}%", r.internal_accuracy * 100.0),
+            format!("{:.1}%", r.explainability_accuracy * 100.0),
+        ]);
+    };
+    run("baseline (cosine, closure, 250 trees)", EvalConfig::default(), &mut rows);
+    run(
+        "similarity: Jaccard",
+        EvalConfig { similarity: Similarity::Jaccard, ..Default::default() },
+        &mut rows,
+    );
+    run(
+        "propagation: direct-only (no fan-out closure)",
+        EvalConfig { propagation: Propagation::DirectOnly, ..Default::default() },
+        &mut rows,
+    );
+    run(
+        "forest: 50 trees",
+        EvalConfig {
+            forest: ForestConfig { n_trees: 50, ..EvalConfig::default().forest },
+            ..Default::default()
+        },
+        &mut rows,
+    );
+    run(
+        "forest: depth 5",
+        EvalConfig {
+            forest: ForestConfig {
+                tree: smn_ml::tree::TreeConfig {
+                    max_depth: 5,
+                    ..EvalConfig::default().forest.tree
+                },
+                ..EvalConfig::default().forest
+            },
+            ..Default::default()
+        },
+        &mut rows,
+    );
+    println!(
+        "{}",
+        smn_bench::render_table(
+            &["configuration", "scouts", "internal", "+explainability"],
+            &rows
+        )
+    );
+}
+
+/// Train the full-view forest and print its top-10 permutation importances:
+/// the paper's claim that the CDG provides "a strong extra signal" predicts
+/// the explainability columns dominate.
+fn print_importance(cfg: &EvalConfig) {
+    use smn_depgraph::syndrome::Explainability;
+    let d = RedditDeployment::build();
+    let obs = observe_campaign(&d, cfg);
+    let (train, test) = split_observations(obs, cfg.test_frac, cfg.split_seed);
+    let ex = Explainability::with_options(&d.cdg, cfg.propagation, cfg.similarity);
+    let train_ds = build_dataset(&d, &ex, &train, FeatureView::WithExplainability);
+    let test_ds = build_dataset(&d, &ex, &test, FeatureView::WithExplainability);
+    let forest = RandomForest::fit(&train_ds, &cfg.forest);
+    let imp = permutation_importance(&forest, &test_ds, 3, 0xF0);
+    println!("\ntop-10 features by permutation importance (accuracy drop when shuffled):");
+    for (_, name, v) in top_features(&imp, &test_ds.feature_names, 10) {
+        println!("  {name:<36} {v:+.3}");
+    }
+    let ex_total: f64 = imp
+        .iter()
+        .zip(&test_ds.feature_names)
+        .filter(|(_, n)| n.starts_with("explainability"))
+        .map(|(v, _)| v.max(0.0))
+        .sum();
+    let other_total: f64 = imp
+        .iter()
+        .zip(&test_ds.feature_names)
+        .filter(|(_, n)| !n.starts_with("explainability"))
+        .map(|(v, _)| v.max(0.0))
+        .sum();
+    println!(
+        "\naggregate importance: explainability features {ex_total:.2} vs all others {other_total:.2}"
+    );
+}

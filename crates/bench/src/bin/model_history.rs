@@ -1,0 +1,86 @@
+//! §6's speculative coarsening, measured: "keep ML models and not logs
+//! over very long periods … coarsenings in time."
+//!
+//! Fits one `SeasonalModel` per pair on 60 days of logs, then compares
+//! three history representations on (a) storage and (b) the error of
+//! answering "what was/will be the demand at time T?" — including a
+//! *held-out future week* no summary window can answer at all.
+
+use smn_core::bwlogs::TimeCoarsener;
+use smn_core::coarsen::Coarsening;
+use smn_core::modelhist::{reconstruction_error, ModelCoarsener};
+use smn_telemetry::series::Statistic;
+use smn_telemetry::sizing::BW_RECORD_BYTES;
+use smn_telemetry::time::DAY;
+
+fn main() {
+    let p = smn_bench::planetary_small();
+    let model = smn_bench::traffic(&p);
+    let train_days = 60u64;
+    let log = smn_bench::bw_log(&model, 0, train_days);
+    let future = smn_bench::bw_log(&model, train_days, 7);
+    let fine_bytes = log.len() * BW_RECORD_BYTES;
+    println!(
+        "{} pairs, {train_days} days of history ({} rows, {:.0} MB), +7 held-out future days\n",
+        model.pairs().len(),
+        log.len(),
+        fine_bytes as f64 / 1e6
+    );
+
+    let mut rows = Vec::new();
+
+    // Raw log: perfect recall in-sample, no future answer, full size.
+    rows.push(vec![
+        "raw log".to_string(),
+        "1.0x".to_string(),
+        "0.0%".to_string(),
+        "n/a (no model)".to_string(),
+    ]);
+
+    // Day-window mean summaries.
+    let daily = TimeCoarsener::new(DAY, vec![Statistic::Mean]);
+    let daily_report = daily.report(&log);
+    let daily_err = {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for r in log.iter().step_by(11) {
+            if let Some(est) =
+                TimeCoarsener::estimate(&daily_report.coarse, r.src, r.dst, r.ts)
+            {
+                total += (est - r.gbps).abs() / r.gbps.max(1e-9);
+                n += 1;
+            }
+        }
+        total / n.max(1) as f64
+    };
+    rows.push(vec![
+        "1d-window Mean summaries".to_string(),
+        format!("{:.0}x", daily_report.reduction_factor()),
+        format!("{:.1}%", daily_err * 100.0),
+        "n/a (windows end at 'now')".to_string(),
+    ]);
+
+    // Seasonal models.
+    let mc_report = ModelCoarsener.report(&log);
+    let insample = reconstruction_error(&mc_report.coarse, &log).expect("overlap");
+    let future_err = reconstruction_error(&mc_report.coarse, &future).expect("overlap");
+    rows.push(vec![
+        "seasonal models (per pair)".to_string(),
+        format!("{:.0}x", mc_report.reduction_factor()),
+        format!("{:.1}%", insample * 100.0),
+        format!("{:.1}%", future_err * 100.0),
+    ]);
+
+    println!(
+        "{}",
+        smn_bench::render_table(
+            &["history representation", "byte reduction", "in-sample error", "future-week error"],
+            &rows
+        )
+    );
+    println!(
+        "the model form is the only representation that both shrinks by orders of magnitude\n\
+         and answers forward-looking (planning) queries; its error is dominated by the\n\
+         volatile pairs' regime shifts, which no seasonal model can capture."
+    );
+}

@@ -1,0 +1,91 @@
+//! Shared fixtures and table formatting for the SMN benchmark binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index); Criterion benches under
+//! `benches/` measure the runtime claims. This library holds what they
+//! share: deterministic scenario fixtures and plain-text table rendering.
+
+#![warn(missing_docs)]
+
+use smn_telemetry::record::BandwidthRecord;
+use smn_telemetry::time::Ts;
+use smn_telemetry::traffic::{TrafficConfig, TrafficModel};
+use smn_topology::gen::{generate_planetary, Planetary, PlanetaryConfig};
+
+/// The standard planetary fixture: ~300 DCs over 24 regions (the paper's
+/// "roughly 300 datacenters … less than 30 high traffic regions").
+pub fn planetary() -> Planetary {
+    generate_planetary(&PlanetaryConfig::default())
+}
+
+/// A small planetary fixture for quick runs and Criterion benches.
+pub fn planetary_small() -> Planetary {
+    generate_planetary(&PlanetaryConfig::small(7))
+}
+
+/// Traffic model over a planetary WAN with default (published-shape)
+/// characteristics.
+pub fn traffic(p: &Planetary) -> TrafficModel {
+    TrafficModel::new(&p.wan, TrafficConfig::default())
+}
+
+/// Generate `days` of 5-minute bandwidth logs starting at `start_day`.
+pub fn bw_log(model: &TrafficModel, start_day: u64, days: u64) -> Vec<BandwidthRecord> {
+    model.generate(Ts::from_days(start_day), TrafficModel::epochs_per_days(days))
+}
+
+/// Render an aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = planetary_small();
+        let b = planetary_small();
+        assert_eq!(a.wan.dc_count(), b.wan.dc_count());
+        let m = traffic(&a);
+        let log = bw_log(&m, 0, 1);
+        assert_eq!(log.len(), 288 * m.pairs().len());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[vec!["x".into(), "1".into()], vec!["longer".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+}

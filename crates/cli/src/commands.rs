@@ -1,0 +1,283 @@
+//! Subcommand implementations for the `smn` CLI.
+
+use std::collections::HashMap;
+
+use smn_core::bwlogs::{TimeCoarsener, TopologyCoarsener};
+use smn_core::coarsen::Coarsening;
+use smn_core::controller::{ControllerConfig, Feedback, SmnController};
+use smn_core::simulation::{SimulationConfig, SmnSimulation};
+use smn_depgraph::dot::cdg_to_dot;
+use smn_depgraph::syndrome::Explainability;
+use smn_incident::faults::{FaultKind, FaultSpec};
+use smn_incident::sim::{observe, SimConfig};
+use smn_incident::RedditDeployment;
+use smn_te::demand::DemandMatrix;
+use smn_te::mcf::{greedy_min_max_utilization, TeConfig};
+use smn_telemetry::series::Statistic;
+use smn_telemetry::time::Ts;
+use smn_telemetry::traffic::{TrafficConfig, TrafficModel};
+use smn_topology::gen::{generate_planetary, PlanetaryConfig};
+use smn_topology::EdgeId;
+
+/// Parse `--flag N` style options; unknown flags are errors.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, u64>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "full" {
+                out.insert("full".to_string(), 1);
+                continue;
+            }
+            if !allowed.contains(&name) {
+                return Err(format!("unknown flag --{name}"));
+            }
+            let v = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|_| format!("--{name} needs a number"))?;
+            out.insert(name.to_string(), v);
+        } else {
+            return Err(format!("unexpected argument '{a}'"));
+        }
+    }
+    Ok(out)
+}
+
+/// `smn topology` — generate and describe a planetary WAN.
+pub fn topology(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["seed", "full"])?;
+    let seed = flags.get("seed").copied().unwrap_or(7);
+    let cfg = if flags.contains_key("full") {
+        PlanetaryConfig { seed, ..PlanetaryConfig::default() }
+    } else {
+        PlanetaryConfig::small(seed)
+    };
+    let p = generate_planetary(&cfg);
+    let regions = p.wan.contract_by_region();
+    let continents = p.wan.contract_by_continent();
+    println!("planetary WAN (seed {seed}):");
+    println!("  datacenters:  {}", p.wan.dc_count());
+    println!("  links:        {}", p.wan.link_count());
+    println!("  regions:      {}", regions.graph.node_count());
+    println!("  continents:   {}", continents.graph.node_count());
+    println!("  fiber spans:  {}", p.optical.spans().len());
+    println!("  wavelengths:  {}", p.optical.wavelengths().len());
+    let subsea = p.optical.spans().iter().filter(|s| s.submarine).count();
+    println!("  subsea spans: {subsea}");
+    Ok(())
+}
+
+/// `smn coarsen` — coarsening summary over generated logs.
+pub fn coarsen(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["days"])?;
+    let days = flags.get("days").copied().unwrap_or(3);
+    let p = generate_planetary(&PlanetaryConfig::small(7));
+    let model = TrafficModel::new(&p.wan, TrafficConfig::default());
+    let log = model.generate(Ts(0), TrafficModel::epochs_per_days(days));
+    println!("{days} days, {} pairs, {} raw rows", model.pairs().len(), log.len());
+    let regions = p.wan.contract_by_region();
+    let topo = TopologyCoarsener::new(regions.node_map.clone()).report(&log);
+    println!("  topology (regions):     {:>8} rows  {:>7.1}x", topo.coarse.len(), topo.reduction_factor());
+    for (label, secs) in [("1h", 3600u64), ("1d", 86_400)] {
+        let t = TimeCoarsener::new(secs, vec![Statistic::Mean, Statistic::P95]).report(&log);
+        println!(
+            "  time ({label}, mean+p95):   {:>8} rows  {:>7.1}x",
+            t.coarse.len(),
+            t.reduction_factor()
+        );
+    }
+    let combined = TimeCoarsener::new(86_400, vec![Statistic::Mean, Statistic::P95])
+        .report(&topo.coarse);
+    println!(
+        "  combined (regions+1d):  {:>8} rows  {:>7.1}x",
+        combined.coarse.len(),
+        (log.len() * 24) as f64 / (combined.coarse.len() * combined.coarse[0].encoded_bytes()) as f64
+    );
+    Ok(())
+}
+
+fn fault_kind(name: &str) -> Result<FaultKind, String> {
+    Ok(match name {
+        "hypervisor" => FaultKind::HypervisorFailure,
+        "crash" => FaultKind::ServerCrash,
+        "timeout" => FaultKind::BadTimeout,
+        "firewall" => FaultKind::FirewallRule,
+        "packetloss" => FaultKind::PacketLoss,
+        "disk" => FaultKind::DiskPressure,
+        "leak" => FaultKind::MemoryLeak,
+        "config" => FaultKind::ConfigError,
+        "cachestorm" => FaultKind::CacheEvictionStorm,
+        "backlog" => FaultKind::QueueBacklog,
+        "flap" => FaultKind::LinkFlap,
+        "cert" => FaultKind::CertExpiry,
+        other => return Err(format!("unknown fault kind '{other}'")),
+    })
+}
+
+/// `smn route <kind> <target>` — inject one fault and route it via the CDG.
+pub fn route(args: &[String]) -> Result<(), String> {
+    let [kind_name, target] = args else {
+        return Err("usage: smn route <fault-kind> <target-component>".into());
+    };
+    let kind = fault_kind(kind_name)?;
+    let d = RedditDeployment::build();
+    let node = d
+        .fine
+        .by_name(target)
+        .ok_or_else(|| {
+            let names: Vec<String> =
+                d.fine.graph.nodes().map(|(_, c)| c.name.clone()).collect();
+            format!("unknown component '{target}'; components: {}", names.join(", "))
+        })?;
+    let team = d.fine.component(node).team.clone();
+    let fault = FaultSpec {
+        id: 1,
+        kind,
+        target: target.clone(),
+        variant: 0,
+        severity: 0.9,
+        team: team.clone(),
+    };
+    let obs = observe(&d, &fault, &SimConfig::default());
+    println!("injected {kind_name} at {target} (owner team: {team})");
+    println!("symptomatic teams:");
+    for (i, &v) in obs.syndrome.0.iter().enumerate() {
+        if v > 0.0 {
+            println!("  {}", d.cdg.team(smn_topology::NodeId(i as u32)).name);
+        }
+    }
+    let ex = Explainability::new(&d.cdg);
+    match ex.best_team(&obs.syndrome) {
+        Some(t) => {
+            let routed = &d.cdg.team(t).name;
+            println!(
+                "routed to: {routed} (explainability {:.3}) — {}",
+                ex.explainability(&obs.syndrome, t),
+                if *routed == team { "correct" } else { "WRONG" }
+            );
+        }
+        None => println!("no symptoms observed; nothing to route"),
+    }
+    Ok(())
+}
+
+/// `smn plan` — capacity planning over simulated weekly windows.
+pub fn plan(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["weeks"])?;
+    let weeks = flags.get("weeks").copied().unwrap_or(8);
+    let p = generate_planetary(&PlanetaryConfig::small(7));
+    let model = TrafficModel::new(&p.wan, TrafficConfig::default());
+    let te_cfg = TeConfig { k_paths: 3, ..Default::default() };
+    let mut history: HashMap<EdgeId, Vec<f64>> = HashMap::new();
+    for week in 0..weeks {
+        let log = model
+            .generate(Ts::from_days(week * 7 + 2), TrafficModel::epochs_per_days(1));
+        let demand = DemandMatrix::from_records(&log, Statistic::P95);
+        let sol = greedy_min_max_utilization(
+            &p.wan.graph,
+            |_, e| if e.payload.up { e.payload.capacity_gbps } else { 0.0 },
+            &demand,
+            &te_cfg,
+        );
+        for eid in p.wan.graph.edge_ids() {
+            history
+                .entry(eid)
+                .or_default()
+                .push(sol.utilization.get(&eid).copied().unwrap_or(0.0));
+        }
+    }
+    let controller = SmnController::new(
+        smn_depgraph::coarse::CoarseDepGraph::new(),
+        ControllerConfig::default(),
+    );
+    let feedback = controller.planning_loop(
+        &history,
+        |e| p.wan.graph.edge(e).payload.distance_km,
+        &p.optical,
+    );
+    let mut upgrades = 0;
+    let mut blocked = 0;
+    let mut cost = 0.0;
+    for f in &feedback {
+        match f {
+            Feedback::ProvisionCapacity { cost: c, .. } => {
+                upgrades += 1;
+                cost += c;
+            }
+            Feedback::UpgradeBlockedByFiber { .. } => blocked += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "{weeks} weeks of history -> {upgrades} upgrades (total cost {cost:.0}), {blocked} blocked by fiber"
+    );
+    Ok(())
+}
+
+/// `smn run` — the continuous-operation simulation.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["days"])?;
+    let days = flags.get("days").copied().unwrap_or(28);
+    let p = generate_planetary(&PlanetaryConfig::small(7));
+    let traffic = TrafficModel::new(&p.wan, TrafficConfig::default());
+    let mut sim =
+        SmnSimulation::new(&p, &traffic, SimulationConfig { days, ..Default::default() });
+    let report = sim.run();
+    println!(
+        "{days} days: routing {:.0}% ({}/{}), {} upgrades, {} blocked, {} retunes, {} CLDS records",
+        report.routing_accuracy() * 100.0,
+        report.routing_correct,
+        report.routing_total,
+        report.upgrades,
+        report.blocked,
+        report.retunes,
+        report.clds_records
+    );
+    Ok(())
+}
+
+/// `smn cdg` — print the Reddit CDG as DOT.
+pub fn cdg() -> Result<(), String> {
+    let d = RedditDeployment::build();
+    print!("{}", cdg_to_dot(&d.cdg, "simulated Reddit CDG"));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_and_reject() {
+        let f = parse_flags(&s(&["--seed", "9"]), &["seed"]).unwrap();
+        assert_eq!(f["seed"], 9);
+        assert!(parse_flags(&s(&["--bogus", "1"]), &["seed"]).is_err());
+        assert!(parse_flags(&s(&["--seed"]), &["seed"]).is_err());
+        assert!(parse_flags(&s(&["--seed", "x"]), &["seed"]).is_err());
+        assert!(parse_flags(&s(&["loose"]), &["seed"]).is_err());
+    }
+
+    #[test]
+    fn fault_kinds_resolve() {
+        assert!(fault_kind("hypervisor").is_ok());
+        assert!(fault_kind("flap").is_ok());
+        assert!(fault_kind("nope").is_err());
+    }
+
+    #[test]
+    fn subcommands_run() {
+        topology(&s(&["--seed", "3"])).unwrap();
+        coarsen(&s(&["--days", "1"])).unwrap();
+        route(&s(&["firewall", "firewall-1"])).unwrap();
+        plan(&s(&["--weeks", "2"])).unwrap();
+        cdg().unwrap();
+        assert!(route(&s(&["firewall", "no-such-box"])).is_err());
+        assert!(route(&s(&["firewall"])).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! `smn` — the operator CLI for the Software Managed Networks reproduction.
+//!
+//! ```console
+//! smn topology [--seed N] [--full]     describe a generated planetary WAN
+//! smn coarsen  [--days N]              coarsening size/fidelity summary
+//! smn route    <fault-kind> <target>   inject one fault and route it
+//! smn plan     [--weeks N]             run the capacity-planning pipeline
+//! smn run      [--days N]              continuous operation (all loops)
+//! smn cdg                              print the Reddit CDG as DOT
+//! ```
+//!
+//! Argument parsing is intentionally dependency-free (two flags per
+//! subcommand); anything richer belongs in the example binaries.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "topology" => commands::topology(rest),
+        "coarsen" => commands::coarsen(rest),
+        "route" => commands::route(rest),
+        "plan" => commands::plan(rest),
+        "run" => commands::run(rest),
+        "cdg" => commands::cdg(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+smn — Software Managed Networks via coarsening
+
+USAGE:
+  smn topology [--seed N] [--full]    describe a generated planetary WAN
+  smn coarsen  [--days N]             coarsening size/fidelity summary
+  smn route    <fault-kind> <target>  inject one fault and route it
+                                      (kinds: hypervisor, crash, timeout,
+                                       firewall, packetloss, disk, leak,
+                                       config, cachestorm, backlog, flap,
+                                       cert)
+  smn plan     [--weeks N]            capacity planning from simulated logs
+  smn run      [--days N]             continuous operation (all loops)
+  smn cdg                             print the Reddit CDG as Graphviz DOT";

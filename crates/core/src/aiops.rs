@@ -1,0 +1,206 @@
+//! AIOps engine primitives for the CLTO (§6).
+//!
+//! The paper lists five AIOps capabilities a CLTO enables; the denoiser
+//! (1) lives in `smn-datalake::ingest`, routing rules (4) in
+//! `smn-incident::routing`. This module provides (2) incident enrichment
+//! with similar historical incidents, (5) automatic mitigation proposals,
+//! and the coarse-label alert aggregation that resolves war story 4.
+
+use serde::{Deserialize, Serialize};
+use smn_depgraph::syndrome::{cosine_similarity, Syndrome};
+use smn_telemetry::record::{Alert, Severity};
+
+/// A historical incident the enricher can match against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoricalIncident {
+    /// Incident id.
+    pub id: u64,
+    /// Team that turned out to be responsible.
+    pub resolved_team: String,
+    /// Its syndrome at the time.
+    pub syndrome: Syndrome,
+    /// The fix that resolved it.
+    pub fix: String,
+}
+
+/// Find the `k` most similar historical incidents to `current` by syndrome
+/// cosine similarity ("enrich incidents with metadata such as similar
+/// incidents, potential root causes, and fixes learned from retrospective
+/// analysis", §6). Returns `(incident, similarity)` pairs, best first.
+pub fn similar_incidents<'a>(
+    history: &'a [HistoricalIncident],
+    current: &Syndrome,
+    k: usize,
+) -> Vec<(&'a HistoricalIncident, f64)> {
+    let mut scored: Vec<(&HistoricalIncident, f64)> = history
+        .iter()
+        .filter(|h| h.syndrome.len() == current.len())
+        .map(|h| (h, cosine_similarity(&h.syndrome, current)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("similarities are finite"));
+    scored.truncate(k);
+    scored
+}
+
+/// Automatic mitigation actions the CLTO can take (§6 item 5: "take
+/// automatic mitigation steps such as rebooting an unhealthy micro-service,
+/// or lighting up a fiber"). Coarse fixes in the NetPilot sense: acting on
+/// the coarse structure has approximately the effect of repairing the fine
+/// one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mitigation {
+    /// Restart a service instance.
+    RestartComponent {
+        /// Component to restart.
+        component: String,
+    },
+    /// Shift traffic away from a team's components while they recover.
+    DrainTraffic {
+        /// Team whose components get drained.
+        team: String,
+    },
+    /// Light a spare wavelength to add capacity.
+    LightFiber {
+        /// Link index to augment.
+        link: usize,
+    },
+    /// Step a wavelength down to a more conservative modulation.
+    RetuneModulation {
+        /// Wavelength index.
+        wavelength: usize,
+    },
+    /// No automatic action; page the team.
+    Escalate {
+        /// Team to page.
+        team: String,
+    },
+}
+
+/// Aggregated incident produced by coarse-label alert aggregation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregatedIncident {
+    /// Teams whose alerts were merged.
+    pub alerting_teams: Vec<String>,
+    /// Number of raw alerts merged.
+    pub merged_alerts: usize,
+    /// Priority, 0 = highest. Derived from the *global* blast radius, not
+    /// any single team's local impact.
+    pub priority: u8,
+    /// Highest severity seen.
+    pub max_severity: Severity,
+}
+
+/// Aggregate a window of alerts by coarse (team) label — the SMN resolution
+/// of war story 4: "the SMN aggregates alerts by a coarse label (e.g., the
+/// service) and finds that the alerts … in aggregate … are over
+/// threshold".
+///
+/// Returns `None` when fewer than `min_teams` teams alerted (no cross-team
+/// event; teams handle their own noise). Otherwise one aggregated incident:
+/// priority 0 when at least `min_teams + 2` teams are involved (wide
+/// fan-out), 1 otherwise.
+pub fn aggregate_alerts(alerts: &[Alert], min_teams: usize) -> Option<AggregatedIncident> {
+    let mut teams: Vec<String> = Vec::new();
+    let mut max_severity = Severity::Info;
+    for a in alerts {
+        if !teams.contains(&a.team) {
+            teams.push(a.team.clone());
+        }
+        max_severity = max_severity.max(a.severity);
+    }
+    if teams.len() < min_teams {
+        return None;
+    }
+    let priority = if teams.len() >= min_teams + 2 { 0 } else { 1 };
+    Some(AggregatedIncident {
+        alerting_teams: teams,
+        merged_alerts: alerts.len(),
+        priority,
+        max_severity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_telemetry::time::Ts;
+
+    fn syndrome(bits: &[usize], n: usize) -> Syndrome {
+        let mut s = Syndrome::zeros(n);
+        for &b in bits {
+            s.0[b] = 1.0;
+        }
+        s
+    }
+
+    #[test]
+    fn similar_incidents_ranked_by_cosine() {
+        let history = vec![
+            HistoricalIncident {
+                id: 1,
+                resolved_team: "network".into(),
+                syndrome: syndrome(&[0, 1, 2, 3], 4),
+                fix: "replaced optic".into(),
+            },
+            HistoricalIncident {
+                id: 2,
+                resolved_team: "storage".into(),
+                syndrome: syndrome(&[3], 4),
+                fix: "disk swap".into(),
+            },
+        ];
+        let current = syndrome(&[0, 1, 2], 4);
+        let top = similar_incidents(&history, &current, 2);
+        assert_eq!(top[0].0.id, 1);
+        assert!(top[0].1 > top[1].1);
+        // Dimension-mismatched history is skipped.
+        let odd = vec![HistoricalIncident {
+            id: 3,
+            resolved_team: "x".into(),
+            syndrome: syndrome(&[0], 2),
+            fix: String::new(),
+        }];
+        assert!(similar_incidents(&odd, &current, 1).is_empty());
+    }
+
+    fn alert(team: &str, severity: Severity) -> Alert {
+        Alert {
+            ts: Ts(0),
+            component: format!("{team}-1"),
+            team: team.into(),
+            kind: "error-rate".into(),
+            severity,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn aggregation_requires_cross_team_evidence() {
+        let local = vec![alert("app", Severity::Warning), alert("app", Severity::Warning)];
+        assert!(aggregate_alerts(&local, 3).is_none());
+    }
+
+    #[test]
+    fn six_team_fanout_becomes_one_p0() {
+        // War story 4: six services alert; each alone is low priority, the
+        // aggregate is a single high-priority incident.
+        let alerts: Vec<Alert> = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(|t| alert(t, Severity::Warning))
+            .collect();
+        let agg = aggregate_alerts(&alerts, 3).expect("aggregates");
+        assert_eq!(agg.alerting_teams.len(), 6);
+        assert_eq!(agg.merged_alerts, 6);
+        assert_eq!(agg.priority, 0);
+        assert_eq!(agg.max_severity, Severity::Warning);
+    }
+
+    #[test]
+    fn moderate_fanout_is_p1() {
+        let alerts: Vec<Alert> =
+            ["a", "b", "c"].iter().map(|t| alert(t, Severity::Error)).collect();
+        let agg = aggregate_alerts(&alerts, 3).unwrap();
+        assert_eq!(agg.priority, 1);
+        assert_eq!(agg.max_severity, Severity::Error);
+    }
+}

@@ -1,0 +1,518 @@
+//! Coarse Bandwidth Logs (§4): time-based, topology-based, nested, and
+//! churn-adaptive coarsening of `BandwidthRecord` streams.
+//!
+//! Each coarsener implements [`crate::coarsen::Coarsening`]
+//! with byte-accurate size accounting, so the §4 claims ("a 10X reduction
+//! in log size", "combined with time-based coarsening, the reduction
+//! factor increases manifold") are measured, not assumed.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use smn_telemetry::record::BandwidthRecord;
+use smn_telemetry::series::{Statistic, SummaryStats};
+use smn_telemetry::sizing::BW_RECORD_BYTES;
+use smn_telemetry::time::Ts;
+use smn_topology::NodeId;
+
+use crate::coarsen::Coarsening;
+
+/// One row of a time-coarsened bandwidth log: a pair's summary statistics
+/// over a window, replacing `window_secs / EPOCH_SECS` raw rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoarseBwRecord {
+    /// Window start.
+    pub window_start: Ts,
+    /// Window length in seconds.
+    pub window_secs: u64,
+    /// Source node (fine or supernode id, by construction).
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// One value per statistic in the coarsener's `stats` list.
+    pub values: Vec<f64>,
+}
+
+impl CoarseBwRecord {
+    /// Encoded size in bytes: ts(8) + window(8) + src(4) + dst(4) + values.
+    pub fn encoded_bytes(&self) -> usize {
+        8 + 8 + 4 + 4 + 8 * self.values.len()
+    }
+}
+
+/// Byte size of a coarse log.
+pub fn coarse_log_bytes(records: &[CoarseBwRecord]) -> usize {
+    records.iter().map(|r| r.encoded_bytes()).sum()
+}
+
+/// Encode a coarse log into its wire form (the format
+/// [`CoarseBwRecord::encoded_bytes`] accounts, plus a 2-byte value count
+/// per record so heterogeneous statistic sets decode unambiguously).
+pub fn encode_coarse_log(records: &[CoarseBwRecord]) -> bytes::Bytes {
+    use bytes::BufMut;
+    let mut buf =
+        bytes::BytesMut::with_capacity(coarse_log_bytes(records) + 2 * records.len());
+    for r in records {
+        buf.put_u64(r.window_start.0);
+        buf.put_u64(r.window_secs);
+        buf.put_u32(r.src);
+        buf.put_u32(r.dst);
+        buf.put_u16(r.values.len() as u16);
+        for &v in &r.values {
+            buf.put_f64(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a log encoded by [`encode_coarse_log`].
+///
+/// # Panics
+/// Panics on a truncated buffer.
+pub fn decode_coarse_log(mut bytes: bytes::Bytes) -> Vec<CoarseBwRecord> {
+    use bytes::Buf;
+    let mut out = Vec::new();
+    while bytes.has_remaining() {
+        assert!(bytes.remaining() >= 26, "truncated coarse log");
+        let window_start = Ts(bytes.get_u64());
+        let window_secs = bytes.get_u64();
+        let src = bytes.get_u32();
+        let dst = bytes.get_u32();
+        let n = bytes.get_u16() as usize;
+        assert!(bytes.remaining() >= n * 8, "truncated coarse log values");
+        let values = (0..n).map(|_| bytes.get_f64()).collect();
+        out.push(CoarseBwRecord { window_start, window_secs, src, dst, values });
+    }
+    out
+}
+
+/// Time-based coarsening: replace per-epoch rows with per-window summary
+/// statistics ("replace per-epoch demand traces … with summary statistics
+/// (e.g., mean or 95th percentile bandwidth usage) over fixed smaller time
+/// windows", §4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeCoarsener {
+    /// Window length in seconds.
+    pub window_secs: u64,
+    /// Statistics retained per (pair, window).
+    pub stats: Vec<Statistic>,
+}
+
+impl TimeCoarsener {
+    /// Coarsener keeping `stats` over `window_secs` windows.
+    pub fn new(window_secs: u64, stats: Vec<Statistic>) -> Self {
+        assert!(window_secs > 0, "zero window");
+        assert!(!stats.is_empty(), "at least one statistic");
+        Self { window_secs, stats }
+    }
+
+    /// Group records into (pair, window) buckets and summarize each.
+    fn coarsen_records(&self, records: &[BandwidthRecord]) -> Vec<CoarseBwRecord> {
+        let mut buckets: HashMap<(u64, u32, u32), Vec<f64>> = HashMap::new();
+        for r in records {
+            let w = r.ts.0 / self.window_secs;
+            buckets.entry((w, r.src, r.dst)).or_default().push(r.gbps);
+        }
+        let mut out: Vec<CoarseBwRecord> = buckets
+            .into_iter()
+            .map(|((w, src, dst), vals)| {
+                let stats = SummaryStats::of(&vals).expect("bucket is non-empty");
+                CoarseBwRecord {
+                    window_start: Ts(w * self.window_secs),
+                    window_secs: self.window_secs,
+                    src,
+                    dst,
+                    values: self.stats.iter().map(|&s| stats.get(s)).collect(),
+                }
+            })
+            .collect();
+        out.sort_by_key(|r| (r.window_start, r.src, r.dst));
+        out
+    }
+
+    /// Estimated demand for a pair in the window containing `ts`, using the
+    /// first statistic (the acting-on-`s` side of Figure 2).
+    pub fn estimate(
+        records: &[CoarseBwRecord],
+        src: u32,
+        dst: u32,
+        ts: Ts,
+    ) -> Option<f64> {
+        records
+            .iter()
+            .find(|r| {
+                r.src == src
+                    && r.dst == dst
+                    && r.window_start.0 <= ts.0
+                    && ts.0 < r.window_start.0 + r.window_secs
+            })
+            .map(|r| r.values[0])
+    }
+}
+
+impl Coarsening for TimeCoarsener {
+    type Fine = Vec<BandwidthRecord>;
+    type Coarse = Vec<CoarseBwRecord>;
+
+    fn coarsen(&self, fine: &Self::Fine) -> Self::Coarse {
+        self.coarsen_records(fine)
+    }
+    fn fine_size(&self, fine: &Self::Fine) -> usize {
+        fine.len() * BW_RECORD_BYTES
+    }
+    fn coarse_size(&self, coarse: &Self::Coarse) -> usize {
+        coarse_log_bytes(coarse)
+    }
+}
+
+/// Topology-based coarsening: rewrite records onto supernodes via a node
+/// map (from [`smn_topology::graph::Contraction`]) and merge rows per
+/// coarse pair per epoch. Intra-supernode rows vanish — the §4 information
+/// loss ("the routing within the large super nodes is not specified").
+#[derive(Debug, Clone)]
+pub struct TopologyCoarsener {
+    /// For each fine node index, its supernode.
+    pub node_map: Vec<NodeId>,
+}
+
+impl TopologyCoarsener {
+    /// From a contraction's node map.
+    pub fn new(node_map: Vec<NodeId>) -> Self {
+        Self { node_map }
+    }
+
+    fn coarsen_records(&self, records: &[BandwidthRecord]) -> Vec<BandwidthRecord> {
+        let mut merged: HashMap<(u64, u32, u32), f64> = HashMap::new();
+        for r in records {
+            let cs = self.node_map[r.src as usize].0;
+            let cd = self.node_map[r.dst as usize].0;
+            if cs == cd {
+                continue;
+            }
+            *merged.entry((r.ts.0, cs, cd)).or_insert(0.0) += r.gbps;
+        }
+        let mut out: Vec<BandwidthRecord> = merged
+            .into_iter()
+            .map(|((ts, src, dst), gbps)| BandwidthRecord { ts: Ts(ts), src, dst, gbps })
+            .collect();
+        out.sort_by_key(|r| (r.ts, r.src, r.dst));
+        out
+    }
+}
+
+impl Coarsening for TopologyCoarsener {
+    type Fine = Vec<BandwidthRecord>;
+    type Coarse = Vec<BandwidthRecord>;
+
+    fn coarsen(&self, fine: &Self::Fine) -> Self::Coarse {
+        self.coarsen_records(fine)
+    }
+    fn fine_size(&self, fine: &Self::Fine) -> usize {
+        fine.len() * BW_RECORD_BYTES
+    }
+    fn coarse_size(&self, coarse: &Self::Coarse) -> usize {
+        coarse.len() * BW_RECORD_BYTES
+    }
+}
+
+/// Nested (multi-resolution) time coarsening: "more sophisticated variants
+/// … compute multiple summary statistics over nested time windows to
+/// preserve important trends while shrinking the dataset" (§4).
+///
+/// Records younger than `fine_horizon` stay raw; records between the two
+/// horizons summarize over `mid_window`; older records summarize over
+/// `old_window`. This is what lets last year's seasonal spike survive in a
+/// `Max` statistic while the bulk of history shrinks (the E5 experiment).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NestedCoarsener {
+    /// Age (seconds, relative to `now`) under which records stay raw.
+    pub fine_horizon: u64,
+    /// Age under which records use `mid_window`.
+    pub mid_horizon: u64,
+    /// Mid-tier window length.
+    pub mid_window: u64,
+    /// Old-tier window length.
+    pub old_window: u64,
+    /// Statistics kept in the summarized tiers.
+    pub stats: Vec<Statistic>,
+    /// Reference time for age computation.
+    pub now: Ts,
+}
+
+/// Output of nested coarsening: a raw recent tier plus summarized tiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestedLog {
+    /// Recent raw rows.
+    pub raw: Vec<BandwidthRecord>,
+    /// Mid + old tier summary rows.
+    pub summarized: Vec<CoarseBwRecord>,
+}
+
+impl NestedLog {
+    /// Total encoded bytes.
+    pub fn bytes(&self) -> usize {
+        self.raw.len() * BW_RECORD_BYTES + coarse_log_bytes(&self.summarized)
+    }
+
+    /// Row count across tiers.
+    pub fn rows(&self) -> usize {
+        self.raw.len() + self.summarized.len()
+    }
+}
+
+impl Coarsening for NestedCoarsener {
+    type Fine = Vec<BandwidthRecord>;
+    type Coarse = NestedLog;
+
+    fn coarsen(&self, fine: &Self::Fine) -> NestedLog {
+        assert!(self.fine_horizon <= self.mid_horizon, "horizons must nest");
+        let mut raw = Vec::new();
+        let mut mid = Vec::new();
+        let mut old = Vec::new();
+        for r in fine {
+            let age = self.now.0.saturating_sub(r.ts.0);
+            if age < self.fine_horizon {
+                raw.push(*r);
+            } else if age < self.mid_horizon {
+                mid.push(*r);
+            } else {
+                old.push(*r);
+            }
+        }
+        let mut summarized =
+            TimeCoarsener::new(self.mid_window, self.stats.clone()).coarsen_records(&mid);
+        summarized
+            .extend(TimeCoarsener::new(self.old_window, self.stats.clone()).coarsen_records(&old));
+        NestedLog { raw, summarized }
+    }
+    fn fine_size(&self, fine: &Self::Fine) -> usize {
+        fine.len() * BW_RECORD_BYTES
+    }
+    fn coarse_size(&self, coarse: &NestedLog) -> usize {
+        coarse.bytes()
+    }
+}
+
+/// Churn-adaptive coarsening (§4 research question 2): classify each pair
+/// by the coefficient of variation of its history, keep *volatile* pairs at
+/// fine windows and summarize *stable* pairs over long windows — "coarsen
+/// only the stable parts".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveCoarsener {
+    /// CV above which a pair counts as volatile.
+    pub cv_threshold: f64,
+    /// Window for stable pairs (long).
+    pub stable_window: u64,
+    /// Window for volatile pairs (short).
+    pub volatile_window: u64,
+    /// Statistics kept.
+    pub stats: Vec<Statistic>,
+}
+
+impl AdaptiveCoarsener {
+    /// Classify pairs by CV of their samples; returns the volatile set.
+    pub fn volatile_pairs(&self, records: &[BandwidthRecord]) -> Vec<(u32, u32)> {
+        let mut samples: HashMap<(u32, u32), Vec<f64>> = HashMap::new();
+        for r in records {
+            samples.entry((r.src, r.dst)).or_default().push(r.gbps);
+        }
+        let mut out: Vec<(u32, u32)> = samples
+            .into_iter()
+            .filter(|(_, v)| {
+                SummaryStats::of(v)
+                    .map(|s| s.mean > 0.0 && s.std / s.mean > self.cv_threshold)
+                    .unwrap_or(false)
+            })
+            .map(|(k, _)| k)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl Coarsening for AdaptiveCoarsener {
+    type Fine = Vec<BandwidthRecord>;
+    type Coarse = Vec<CoarseBwRecord>;
+
+    fn coarsen(&self, fine: &Self::Fine) -> Vec<CoarseBwRecord> {
+        let volatile: std::collections::HashSet<(u32, u32)> =
+            self.volatile_pairs(fine).into_iter().collect();
+        let (vol, stable): (Vec<BandwidthRecord>, Vec<BandwidthRecord>) =
+            fine.iter().partition(|r| volatile.contains(&(r.src, r.dst)));
+        let mut out = TimeCoarsener::new(self.volatile_window, self.stats.clone())
+            .coarsen_records(&vol);
+        out.extend(
+            TimeCoarsener::new(self.stable_window, self.stats.clone()).coarsen_records(&stable),
+        );
+        out.sort_by_key(|r| (r.window_start, r.src, r.dst));
+        out
+    }
+    fn fine_size(&self, fine: &Self::Fine) -> usize {
+        fine.len() * BW_RECORD_BYTES
+    }
+    fn coarse_size(&self, coarse: &Vec<CoarseBwRecord>) -> usize {
+        coarse_log_bytes(coarse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::Coarsening;
+    use smn_telemetry::time::{DAY, EPOCH_SECS, HOUR};
+
+    /// One pair, one record per epoch for `epochs`, gbps = epoch index.
+    fn ramp_log(epochs: u64) -> Vec<BandwidthRecord> {
+        (0..epochs)
+            .map(|e| BandwidthRecord { ts: Ts(e * EPOCH_SECS), src: 0, dst: 1, gbps: e as f64 })
+            .collect()
+    }
+
+    #[test]
+    fn time_coarsening_reduces_rows_by_window_ratio() {
+        let log = ramp_log(288); // one day of 5-min epochs
+        let c = TimeCoarsener::new(HOUR, vec![Statistic::Mean]);
+        let report = c.report(&log);
+        assert_eq!(report.coarse.len(), 24);
+        assert!(report.shrinks());
+        // 12 epochs/hour, coarse row wider than fine -> factor < 12 by bytes.
+        assert!(report.reduction_factor() > 8.0);
+    }
+
+    #[test]
+    fn time_coarsening_statistics_correct() {
+        let log = ramp_log(12); // one hour
+        let c = TimeCoarsener::new(HOUR, vec![Statistic::Mean, Statistic::Max]);
+        let coarse = c.coarsen(&log);
+        assert_eq!(coarse.len(), 1);
+        assert_eq!(coarse[0].values[0], 5.5); // mean of 0..12
+        assert_eq!(coarse[0].values[1], 11.0);
+        assert_eq!(coarse[0].encoded_bytes(), 8 + 8 + 4 + 4 + 16);
+    }
+
+    #[test]
+    fn estimate_reads_containing_window() {
+        let log = ramp_log(24);
+        let c = TimeCoarsener::new(HOUR, vec![Statistic::Mean]);
+        let coarse = c.coarsen(&log);
+        let e = TimeCoarsener::estimate(&coarse, 0, 1, Ts(HOUR + 100)).unwrap();
+        assert_eq!(e, 17.5); // mean of 12..24
+        assert!(TimeCoarsener::estimate(&coarse, 5, 6, Ts(0)).is_none());
+    }
+
+    #[test]
+    fn coarse_log_codec_roundtrips() {
+        let log = ramp_log(48);
+        let coarse =
+            TimeCoarsener::new(HOUR, vec![Statistic::Mean, Statistic::P95]).coarsen(&log);
+        let wire = encode_coarse_log(&coarse);
+        let back = decode_coarse_log(wire);
+        assert_eq!(coarse, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn coarse_log_decode_rejects_truncation() {
+        let log = ramp_log(12);
+        let coarse = TimeCoarsener::new(HOUR, vec![Statistic::Mean]).coarsen(&log);
+        let mut wire = encode_coarse_log(&coarse);
+        let cut = wire.split_to(wire.len() - 3);
+        decode_coarse_log(cut);
+    }
+
+    #[test]
+    fn topology_coarsening_merges_pairs_and_drops_internal() {
+        // 3 nodes; 0,1 -> super 0, 2 -> super 1.
+        let map = vec![NodeId(0), NodeId(0), NodeId(1)];
+        let log = vec![
+            BandwidthRecord { ts: Ts(0), src: 0, dst: 1, gbps: 100.0 }, // internal
+            BandwidthRecord { ts: Ts(0), src: 0, dst: 2, gbps: 10.0 },
+            BandwidthRecord { ts: Ts(0), src: 1, dst: 2, gbps: 20.0 },
+            BandwidthRecord { ts: Ts(300), src: 0, dst: 2, gbps: 5.0 },
+        ];
+        let c = TopologyCoarsener::new(map);
+        let coarse = c.coarsen(&log);
+        assert_eq!(coarse.len(), 2);
+        assert_eq!(coarse[0].gbps, 30.0);
+        assert_eq!(coarse[1].gbps, 5.0);
+        assert_eq!(c.report(&log).reduction_factor(), 2.0);
+    }
+
+    #[test]
+    fn nested_keeps_recent_raw_and_summarizes_old() {
+        // 10 days of data, now = day 10.
+        let log = ramp_log(10 * 288);
+        let c = NestedCoarsener {
+            fine_horizon: DAY,
+            mid_horizon: 5 * DAY,
+            mid_window: 6 * HOUR,
+            old_window: DAY,
+            stats: vec![Statistic::Mean, Statistic::Max],
+            now: Ts(10 * DAY),
+        };
+        let nested = c.coarsen(&log);
+        // Raw tier: strictly younger than 1 day (ts > 9d) = 287 rows.
+        assert_eq!(nested.raw.len(), 287);
+        // Mid tier: ts in (5d, 9d] = 16 full 6h-windows + the 9d boundary
+        // record's window; old tier: ts in [0, 5d] = 6 day-windows.
+        assert_eq!(nested.summarized.len(), 17 + 6);
+        assert!(c.report(&log).reduction_factor() > 5.0);
+    }
+
+    #[test]
+    fn nested_max_statistic_preserves_spike() {
+        // Flat traffic with one old spike at day 2.
+        let mut log = ramp_log(0);
+        for e in 0..(10 * 288) {
+            let ts = Ts(e * EPOCH_SECS);
+            let gbps = if ts.0 / DAY == 2 && (ts.0 % DAY) / EPOCH_SECS == 100 { 999.0 } else { 10.0 };
+            log.push(BandwidthRecord { ts, src: 0, dst: 1, gbps });
+        }
+        let c = NestedCoarsener {
+            fine_horizon: DAY,
+            mid_horizon: 5 * DAY,
+            mid_window: 6 * HOUR,
+            old_window: DAY,
+            stats: vec![Statistic::Mean, Statistic::Max],
+            now: Ts(10 * DAY),
+        };
+        let nested = c.coarsen(&log);
+        let spike_window = nested
+            .summarized
+            .iter()
+            .find(|r| r.window_start == Ts(2 * DAY))
+            .expect("day-2 window exists");
+        assert_eq!(spike_window.values[1], 999.0, "Max preserves the spike");
+        assert!(spike_window.values[0] < 20.0, "Mean flattens it");
+    }
+
+    #[test]
+    fn adaptive_separates_stable_and_volatile() {
+        // Pair (0,1): constant; pair (0,2): alternating wildly.
+        let mut log = Vec::new();
+        for e in 0..288u64 {
+            log.push(BandwidthRecord { ts: Ts(e * EPOCH_SECS), src: 0, dst: 1, gbps: 100.0 });
+            log.push(BandwidthRecord {
+                ts: Ts(e * EPOCH_SECS),
+                src: 0,
+                dst: 2,
+                gbps: if e % 2 == 0 { 10.0 } else { 500.0 },
+            });
+        }
+        let c = AdaptiveCoarsener {
+            cv_threshold: 0.3,
+            stable_window: DAY,
+            volatile_window: HOUR,
+            stats: vec![Statistic::Mean],
+        };
+        assert_eq!(c.volatile_pairs(&log), vec![(0, 2)]);
+        let coarse = c.coarsen(&log);
+        let stable_rows = coarse.iter().filter(|r| r.dst == 1).count();
+        let volatile_rows = coarse.iter().filter(|r| r.dst == 2).count();
+        assert_eq!(stable_rows, 1, "stable pair collapses to one day-window");
+        assert_eq!(volatile_rows, 24, "volatile pair keeps hourly resolution");
+        // Adaptive beats uniform-long on the volatile pair's detail while
+        // still shrinking hugely overall.
+        assert!(c.report(&log).reduction_factor() > 10.0);
+    }
+}

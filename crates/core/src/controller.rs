@@ -1,0 +1,441 @@
+//! The SMN controller (Figure 1): CLDS + Cloud Dependency Graph + CLTO.
+//!
+//! The controller owns the Cross-Layer Data Store, maintains the coarse
+//! dependency graph, and runs the Cross-Layer Cross-Team Optimizer's
+//! control loops at their two characteristic timescales:
+//!
+//! * [`SmnController::incident_loop`] — minutes: read the alert/probe
+//!   window, derive a syndrome, compute symptom explainability against the
+//!   CDG, and emit routing feedback to the implicated team;
+//! * [`SmnController::planning_loop`] — months: read utilization history
+//!   derived from (coarse) bandwidth logs, run the capacity planner with
+//!   L1 fiber awareness, and emit provisioning feedback;
+//! * [`SmnController::reliability_loop`] — trace recurring L3 link flaps to
+//!   aggressive L1 modulation via the cross-layer wavelength↔link map and
+//!   propose retunes (war story 2).
+//!
+//! Feedback is data, not side effects: "the output is a set of feedback
+//! either to teams or external agents" (§2).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use smn_datalake::store::Clds;
+use smn_depgraph::coarse::CoarseDepGraph;
+use smn_depgraph::syndrome::{Explainability, Syndrome};
+use smn_te::capacity::{CapacityPlanner, UpgradePolicy};
+use smn_telemetry::time::Ts;
+use smn_topology::layer1::{Modulation, OpticalLayer, WavelengthId};
+use smn_topology::EdgeId;
+
+use crate::aiops::{aggregate_alerts, AggregatedIncident};
+
+/// Feedback emitted by the CLTO to teams or external agents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Feedback {
+    /// Route an incident to the team that best explains the symptoms.
+    RouteIncident {
+        /// Target team.
+        team: String,
+        /// Symptom explainability of that team for the window's syndrome.
+        explainability: f64,
+        /// Aggregation metadata when multiple teams' alerts merged.
+        aggregated: Option<AggregatedIncident>,
+    },
+    /// Inform (not page) a team that observed symptoms of someone else's
+    /// failure — war story 3's "while informing the cluster team".
+    InformTeam {
+        /// Team being informed.
+        team: String,
+        /// Short reason.
+        reason: String,
+    },
+    /// Provision capacity on a link (to an external provider, §2).
+    ProvisionCapacity {
+        /// Link to augment.
+        link: EdgeId,
+        /// Gbps to add.
+        add_gbps: f64,
+        /// Estimated cost.
+        cost: f64,
+    },
+    /// A wanted upgrade is infeasible: spans have no spare wavelength slots.
+    UpgradeBlockedByFiber {
+        /// The constrained link.
+        link: EdgeId,
+    },
+    /// Step a wavelength to a more conservative modulation (war story 2).
+    RetuneModulation {
+        /// Wavelength to retune.
+        wavelength: WavelengthId,
+        /// Target modulation.
+        to: Modulation,
+    },
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Probe failure rate above which the network team is symptomatic.
+    pub probe_failure_threshold: f64,
+    /// Minimum alerting teams before alerts aggregate into one incident.
+    pub min_aggregation_teams: usize,
+    /// Capacity-planning policy (sustained-overload, fiber-aware).
+    pub upgrade_policy: UpgradePolicy,
+    /// Flaps per observation window above which a link is "recurring".
+    pub flap_threshold: u32,
+    /// Reach utilization above which a wavelength is considered stressed.
+    pub reach_stress_threshold: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            probe_failure_threshold: 0.25,
+            min_aggregation_teams: 3,
+            upgrade_policy: UpgradePolicy::default(),
+            flap_threshold: 5,
+            reach_stress_threshold: 0.75,
+        }
+    }
+}
+
+/// The SMN controller.
+#[derive(Debug)]
+pub struct SmnController {
+    /// The Cross-Layer Cross-Team Data Store.
+    pub clds: Clds,
+    /// The cloud's coarse dependency graph.
+    pub cdg: CoarseDepGraph,
+    /// Knobs.
+    pub config: ControllerConfig,
+    next_incident_id: std::sync::atomic::AtomicU64,
+}
+
+impl SmnController {
+    /// Controller over a fresh CLDS with the given CDG.
+    pub fn new(cdg: CoarseDepGraph, config: ControllerConfig) -> Self {
+        Self {
+            clds: Clds::new(),
+            cdg,
+            config,
+            next_incident_id: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Build the observed syndrome for a time window from the CLDS: a team
+    /// is symptomatic when any of its alerts fired in the window; the team
+    /// owning the probing infrastructure's *target* — the network — is
+    /// symptomatic when probe failure rates exceed the threshold.
+    pub fn window_syndrome(&self, start: Ts, end: Ts) -> Syndrome {
+        let mut syndrome = Syndrome::zeros(self.cdg.len());
+        {
+            let alerts = self.clds.alerts.read();
+            for a in alerts.range(start, end) {
+                if let Some(team) = self.cdg.by_name(&a.team) {
+                    syndrome.0[team.index()] = 1.0;
+                }
+            }
+        }
+        {
+            let probes = self.clds.probes.read();
+            let window = probes.range(start, end);
+            if !window.is_empty() {
+                let failures = window.iter().filter(|p| !p.success).count();
+                let rate = failures as f64 / window.len() as f64;
+                if rate > self.config.probe_failure_threshold {
+                    if let Some(net) = self.cdg.by_name("network") {
+                        syndrome.0[net.index()] = 1.0;
+                    }
+                }
+            }
+        }
+        syndrome
+    }
+
+    /// The minutes-timescale incident loop over `[start, end)`.
+    ///
+    /// Returns no feedback on a quiet window. Otherwise: one
+    /// [`Feedback::RouteIncident`] to the best-explaining team (with
+    /// aggregation metadata when several teams alerted — war story 4), and
+    /// one [`Feedback::InformTeam`] per other symptomatic team.
+    pub fn incident_loop(&self, start: Ts, end: Ts) -> Vec<Feedback> {
+        let syndrome = self.window_syndrome(start, end);
+        if syndrome.is_quiet() {
+            return Vec::new();
+        }
+        let ex = Explainability::new(&self.cdg);
+        let best = ex.best_team(&syndrome).expect("non-quiet syndrome has a best team");
+        let best_name = self.cdg.team(best).name.clone();
+        let aggregated = {
+            let alerts = self.clds.alerts.read();
+            aggregate_alerts(alerts.range(start, end), self.config.min_aggregation_teams)
+        };
+        // Record the incident in the CLDS (the lifecycle the history
+        // store's retention policy keys on).
+        let id = self
+            .next_incident_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let priority = aggregated.as_ref().map(|a| a.priority).unwrap_or(2);
+        self.clds.incidents.write().append(smn_telemetry::record::IncidentRecord {
+            id,
+            opened_at: end,
+            title: format!("symptoms across {} team(s)", syndrome.0.iter().filter(|&&v| v > 0.0).count()),
+            routed_to: Some(best_name.clone()),
+            ground_truth_team: None,
+            priority,
+        });
+        let mut feedback = vec![Feedback::RouteIncident {
+            team: best_name.clone(),
+            explainability: ex.explainability(&syndrome, best),
+            aggregated,
+        }];
+        for (i, &sym) in syndrome.0.iter().enumerate() {
+            let team = self.cdg.team(smn_topology::NodeId(i as u32)).name.clone();
+            if sym > 0.0 && team != best_name {
+                feedback.push(Feedback::InformTeam {
+                    team,
+                    reason: format!("symptoms explained by {best_name}"),
+                });
+            }
+        }
+        feedback
+    }
+
+    /// The months-timescale planning loop: plan upgrades from per-link
+    /// utilization history with L1 fiber awareness.
+    ///
+    /// `history` is per link a chronological series of window utilizations
+    /// (e.g. weekly p95 from coarse bandwidth logs); `distance_km` prices
+    /// upgrades; `optical` answers fiber feasibility.
+    pub fn planning_loop(
+        &self,
+        history: &HashMap<EdgeId, Vec<f64>>,
+        distance_km: impl Fn(EdgeId) -> f64,
+        optical: &OpticalLayer,
+    ) -> Vec<Feedback> {
+        let planner = CapacityPlanner::new(self.config.upgrade_policy.clone());
+        let plan = planner.plan(history, distance_km, |link| {
+            optical.link_upgradeable(link.index())
+        });
+        let mut feedback: Vec<Feedback> = plan
+            .upgrades
+            .iter()
+            .map(|u| Feedback::ProvisionCapacity {
+                link: u.link,
+                add_gbps: u.add_gbps,
+                cost: u.cost,
+            })
+            .collect();
+        feedback.extend(
+            plan.blocked_by_fiber
+                .iter()
+                .map(|&link| Feedback::UpgradeBlockedByFiber { link }),
+        );
+        feedback
+    }
+
+    /// The cross-layer reliability loop (war story 2): given per-link flap
+    /// counts over an observation window, trace recurring flaps through the
+    /// wavelength↔link map and propose stepping stressed, aggressively
+    /// modulated wavelengths down.
+    pub fn reliability_loop(
+        &self,
+        flap_counts: &HashMap<EdgeId, u32>,
+        optical: &OpticalLayer,
+    ) -> Vec<Feedback> {
+        let mut feedback = Vec::new();
+        let mut flagged: Vec<WavelengthId> = Vec::new();
+        let mut links: Vec<(&EdgeId, &u32)> = flap_counts.iter().collect();
+        links.sort_by_key(|(e, _)| **e);
+        for (&link, &count) in links {
+            if count < self.config.flap_threshold {
+                continue;
+            }
+            for w in optical.wavelengths_for_link(link.index()) {
+                if flagged.contains(&w) {
+                    continue;
+                }
+                let wl = optical.wavelength(w);
+                let stressed = wl.reach_utilization() > self.config.reach_stress_threshold;
+                if stressed {
+                    if let Some(safer) = wl.modulation.step_down() {
+                        flagged.push(w);
+                        feedback.push(Feedback::RetuneModulation { wavelength: w, to: safer });
+                    }
+                }
+            }
+        }
+        feedback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_telemetry::record::{Alert, ProbeResult, Severity};
+
+    /// CDG: app -> platform -> network (everything depends on network).
+    fn controller() -> SmnController {
+        let mut cdg = CoarseDepGraph::new();
+        let app = cdg.add_team("app");
+        let platform = cdg.add_team("platform");
+        let net = cdg.add_team("network");
+        cdg.add_dependency(app, platform);
+        cdg.add_dependency(platform, net);
+        SmnController::new(cdg, ControllerConfig::default())
+    }
+
+    fn alert(ts: u64, team: &str) -> Alert {
+        Alert {
+            ts: Ts(ts),
+            component: format!("{team}-1"),
+            team: team.into(),
+            kind: "health".into(),
+            severity: Severity::Error,
+            message: String::new(),
+        }
+    }
+
+    fn probe(ts: u64, success: bool) -> ProbeResult {
+        ProbeResult {
+            ts: Ts(ts),
+            src_cluster: "c1".into(),
+            dst_cluster: "c2".into(),
+            success,
+            latency_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn quiet_window_emits_nothing() {
+        let c = controller();
+        assert!(c.incident_loop(Ts(0), Ts(600)).is_empty());
+    }
+
+    #[test]
+    fn full_fanout_routes_to_network_and_informs_observers() {
+        let c = controller();
+        {
+            let mut alerts = c.clds.alerts.write();
+            alerts.append(alert(10, "app"));
+            alerts.append(alert(20, "platform"));
+            alerts.append(alert(30, "network"));
+        }
+        let feedback = c.incident_loop(Ts(0), Ts(600));
+        match &feedback[0] {
+            Feedback::RouteIncident { team, explainability, aggregated } => {
+                assert_eq!(team, "network");
+                assert!(*explainability > 0.9);
+                let agg = aggregated.as_ref().expect("3 teams aggregate");
+                assert_eq!(agg.alerting_teams.len(), 3);
+            }
+            other => panic!("expected RouteIncident, got {other:?}"),
+        }
+        let informed: Vec<&String> = feedback[1..]
+            .iter()
+            .map(|f| match f {
+                Feedback::InformTeam { team, .. } => team,
+                other => panic!("expected InformTeam, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(informed, vec!["app", "platform"]);
+    }
+
+    #[test]
+    fn probe_failures_make_network_symptomatic() {
+        // War story 3: only the app's probes fail; no network alerts at all.
+        let c = controller();
+        {
+            let mut alerts = c.clds.alerts.write();
+            alerts.append(alert(10, "app"));
+            alerts.append(alert(15, "platform"));
+        }
+        {
+            let mut probes = c.clds.probes.write();
+            for t in 0..10 {
+                probes.append(probe(t * 60, t % 2 == 0)); // 50% failure
+            }
+        }
+        let syndrome = c.window_syndrome(Ts(0), Ts(600));
+        assert_eq!(syndrome.0, vec![1.0, 1.0, 1.0]);
+        let feedback = c.incident_loop(Ts(0), Ts(600));
+        assert!(matches!(
+            &feedback[0],
+            Feedback::RouteIncident { team, .. } if team == "network"
+        ));
+    }
+
+    #[test]
+    fn local_failure_routes_locally() {
+        let c = controller();
+        c.clds.alerts.write().append(alert(10, "app"));
+        let feedback = c.incident_loop(Ts(0), Ts(600));
+        assert_eq!(feedback.len(), 1);
+        assert!(matches!(
+            &feedback[0],
+            Feedback::RouteIncident { team, aggregated: None, .. } if team == "app"
+        ));
+    }
+
+    #[test]
+    fn incident_loop_records_incident_in_clds() {
+        let c = controller();
+        c.clds.alerts.write().append(alert(10, "app"));
+        let _ = c.incident_loop(Ts(0), Ts(600));
+        c.clds.alerts.write().append(alert(700, "platform"));
+        let _ = c.incident_loop(Ts(600), Ts(1200));
+        let incidents = c.clds.incidents.read();
+        assert_eq!(incidents.len(), 2);
+        assert_eq!(incidents.all()[0].id, 1);
+        assert_eq!(incidents.all()[0].routed_to.as_deref(), Some("app"));
+        assert_eq!(incidents.all()[0].priority, 2, "single-team incident is low priority");
+        assert_eq!(incidents.all()[1].id, 2);
+    }
+
+    #[test]
+    fn planning_loop_emits_provision_and_blocked_feedback() {
+        let c = controller();
+        let mut optical = OpticalLayer::new();
+        let spare = optical.add_span("ok", 500.0, false, 3);
+        let full = optical.add_span("full", 500.0, false, 0);
+        optical.light_wavelength(vec![spare], Modulation::Qpsk, vec![0]);
+        optical.light_wavelength(vec![full], Modulation::Qpsk, vec![1]);
+        let history: HashMap<EdgeId, Vec<f64>> =
+            [(EdgeId(0), vec![0.9; 8]), (EdgeId(1), vec![0.9; 8])].into();
+        let feedback = c.planning_loop(&history, |_| 1000.0, &optical);
+        assert!(feedback
+            .iter()
+            .any(|f| matches!(f, Feedback::ProvisionCapacity { link, .. } if *link == EdgeId(0))));
+        assert!(feedback
+            .iter()
+            .any(|f| matches!(f, Feedback::UpgradeBlockedByFiber { link } if *link == EdgeId(1))));
+    }
+
+    #[test]
+    fn reliability_loop_retunes_stressed_wavelengths_only() {
+        let c = controller();
+        let mut optical = OpticalLayer::new();
+        // Stressed: 16QAM at 700/800 km of reach. Relaxed: QPSK well within.
+        let s1 = optical.add_span("hot", 700.0, false, 1);
+        let s2 = optical.add_span("cool", 700.0, false, 1);
+        let hot = optical.light_wavelength(vec![s1], Modulation::Qam16, vec![0]);
+        let _cool = optical.light_wavelength(vec![s2], Modulation::Qpsk, vec![1]);
+        let flaps: HashMap<EdgeId, u32> = [(EdgeId(0), 12), (EdgeId(1), 9)].into();
+        let feedback = c.reliability_loop(&flaps, &optical);
+        assert_eq!(
+            feedback,
+            vec![Feedback::RetuneModulation { wavelength: hot, to: Modulation::Qam8 }]
+        );
+    }
+
+    #[test]
+    fn reliability_loop_ignores_rare_flaps() {
+        let c = controller();
+        let mut optical = OpticalLayer::new();
+        let s = optical.add_span("hot", 700.0, false, 1);
+        optical.light_wavelength(vec![s], Modulation::Qam16, vec![0]);
+        let flaps: HashMap<EdgeId, u32> = [(EdgeId(0), 2)].into();
+        assert!(c.reliability_loop(&flaps, &optical).is_empty());
+    }
+}

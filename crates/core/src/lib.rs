@@ -1,0 +1,33 @@
+//! # smn-core
+//!
+//! Software Managed Networks via coarsening — the paper's contribution,
+//! implemented: the coarsening abstraction with measurable action fidelity
+//! ([`coarsen`], Figure 2), Coarse Bandwidth Logs in time-based,
+//! topology-based, nested, and churn-adaptive variants ([`bwlogs`], §4),
+//! Coarse Dependency Graphs framed as a coarsening ([`cdg`], §5), the SMN
+//! controller wiring the CLDS + CDG + CLTO with control loops at minutes
+//! and months timescales ([`controller`], Figure 1), AIOps primitives for
+//! the CLTO ([`aiops`], §6), and the four war stories as executable
+//! scenarios ([`warstories`], §1).
+//!
+//! ```
+//! use smn_core::warstories;
+//!
+//! for report in warstories::run_all() {
+//!     assert!(report.smn_correct, "{}", report.title);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aiops;
+pub mod bwlogs;
+pub mod cdg;
+pub mod coarsen;
+pub mod controller;
+pub mod modelhist;
+pub mod simulation;
+pub mod warstories;
+
+pub use coarsen::{action_fidelity, Coarsening, CoarseningReport};
+pub use controller::{ControllerConfig, Feedback, SmnController};

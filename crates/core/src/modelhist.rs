@@ -1,0 +1,244 @@
+//! Model-based history: "A more speculative idea is to keep ML models and
+//! not logs over very long periods to concisely capture how network
+//! patterns evolve with time. These can be viewed as coarsenings in time."
+//! (§6, Network History store.)
+//!
+//! [`SeasonalModel`] replaces a pair's entire log with a tiny additive
+//! seasonal decomposition — base level, 24 hour-of-day factors, 7
+//! day-of-week factors, and a linear trend — fitted by plain averaging.
+//! [`ModelCoarsener`] makes it a [`Coarsening`]: a year of five-minute
+//! rows per pair collapses to ~35 floats, and the model *answers demand
+//! queries for any timestamp*, which summary windows cannot.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use smn_telemetry::record::BandwidthRecord;
+use smn_telemetry::sizing::BW_RECORD_BYTES;
+use smn_telemetry::time::Ts;
+
+use crate::coarsen::Coarsening;
+
+/// A fitted per-pair seasonal demand model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalModel {
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Deseasonalized demand level at `anchor_day`, in Gbps.
+    pub base: f64,
+    /// Multiplicative hour-of-day factors (mean 1.0).
+    pub hourly: [f64; 24],
+    /// Multiplicative day-of-week factors (mean 1.0).
+    pub weekday: [f64; 7],
+    /// Linear trend in Gbps per day, fitted on deseasonalized daily means.
+    pub trend_per_day: f64,
+    /// Day (possibly fractional: the regression's mean day) the level is
+    /// anchored at.
+    pub anchor_day: f64,
+}
+
+impl SeasonalModel {
+    /// Encoded size: ids + base + 24 + 7 + trend + anchor.
+    pub const ENCODED_BYTES: usize = 4 + 4 + 8 + 24 * 8 + 7 * 8 + 8 + 8;
+
+    /// Fit a model to one pair's samples (`(ts, gbps)`, any order).
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn fit(src: u32, dst: u32, samples: &[(Ts, f64)]) -> SeasonalModel {
+        assert!(!samples.is_empty(), "cannot fit a model to no samples");
+        let mean = samples.iter().map(|(_, g)| g).sum::<f64>() / samples.len() as f64;
+        let safe_base = mean.max(1e-9);
+        // Hour-of-day factors.
+        let mut hour_sum = [0.0f64; 24];
+        let mut hour_n = [0usize; 24];
+        let mut dow_sum = [0.0f64; 7];
+        let mut dow_n = [0usize; 7];
+        for (ts, g) in samples {
+            let h = ts.hour_of_day() as usize % 24;
+            hour_sum[h] += g / safe_base;
+            hour_n[h] += 1;
+            let d = ts.day_of_week() as usize;
+            dow_sum[d] += g / safe_base;
+            dow_n[d] += 1;
+        }
+        let mut hourly = [1.0f64; 24];
+        for h in 0..24 {
+            if hour_n[h] > 0 {
+                hourly[h] = hour_sum[h] / hour_n[h] as f64;
+            }
+        }
+        let mut weekday = [1.0f64; 7];
+        for d in 0..7 {
+            if dow_n[d] > 0 {
+                weekday[d] = dow_sum[d] / dow_n[d] as f64;
+            }
+        }
+        // Linear trend over *deseasonalized* daily means (least squares on
+        // day index). Without dividing out the weekday factors, weekends
+        // falling asymmetrically in the window bias the slope.
+        let mut daily: HashMap<u64, (f64, usize)> = HashMap::new();
+        for (ts, g) in samples {
+            let e = daily.entry(ts.day()).or_insert((0.0, 0));
+            e.0 += g;
+            e.1 += 1;
+        }
+        let days: Vec<(f64, f64)> = daily
+            .iter()
+            .map(|(&d, &(s, n))| {
+                let season = weekday[(d % 7) as usize].max(1e-9);
+                (d as f64, s / n as f64 / season)
+            })
+            .collect();
+        let n = days.len() as f64;
+        let anchor_day = days.iter().map(|(x, _)| x).sum::<f64>() / n;
+        let level = days.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let trend_per_day = if days.len() < 2 {
+            0.0
+        } else {
+            let sxy: f64 =
+                days.iter().map(|(x, y)| (x - anchor_day) * (y - level)).sum();
+            let sxx: f64 = days.iter().map(|(x, _)| (x - anchor_day).powi(2)).sum();
+            if sxx > 0.0 {
+                sxy / sxx
+            } else {
+                0.0
+            }
+        };
+        SeasonalModel { src, dst, base: level, hourly, weekday, trend_per_day, anchor_day }
+    }
+
+    /// Predicted demand at `ts` in Gbps (never negative).
+    pub fn predict(&self, ts: Ts) -> f64 {
+        let level = self.base + self.trend_per_day * (ts.day() as f64 - self.anchor_day);
+        let h = ts.hour_of_day() as usize % 24;
+        let d = ts.day_of_week() as usize;
+        (level * self.hourly[h] * self.weekday[d]).max(0.0)
+    }
+}
+
+/// The model-history coarsening: a bandwidth log becomes one
+/// [`SeasonalModel`] per communicating pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelCoarsener;
+
+impl Coarsening for ModelCoarsener {
+    type Fine = Vec<BandwidthRecord>;
+    type Coarse = Vec<SeasonalModel>;
+
+    fn coarsen(&self, fine: &Self::Fine) -> Vec<SeasonalModel> {
+        let mut per_pair: HashMap<(u32, u32), Vec<(Ts, f64)>> = HashMap::new();
+        for r in fine {
+            per_pair.entry((r.src, r.dst)).or_default().push((r.ts, r.gbps));
+        }
+        let mut models: Vec<SeasonalModel> = per_pair
+            .into_iter()
+            .map(|((src, dst), samples)| SeasonalModel::fit(src, dst, &samples))
+            .collect();
+        models.sort_by_key(|m| (m.src, m.dst));
+        models
+    }
+    fn fine_size(&self, fine: &Self::Fine) -> usize {
+        fine.len() * BW_RECORD_BYTES
+    }
+    fn coarse_size(&self, coarse: &Vec<SeasonalModel>) -> usize {
+        coarse.len() * SeasonalModel::ENCODED_BYTES
+    }
+}
+
+/// Mean relative error of model predictions against a (usually held-out)
+/// log. Returns `None` when no record matches a model.
+pub fn reconstruction_error(
+    models: &[SeasonalModel],
+    log: &[BandwidthRecord],
+) -> Option<f64> {
+    let index: HashMap<(u32, u32), &SeasonalModel> =
+        models.iter().map(|m| ((m.src, m.dst), m)).collect();
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for r in log {
+        if let Some(m) = index.get(&(r.src, r.dst)) {
+            total += (m.predict(r.ts) - r.gbps).abs() / r.gbps.max(1e-9);
+            n += 1;
+        }
+    }
+    (n > 0).then(|| total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_telemetry::time::{DAY, HOUR};
+
+    /// Synthetic diurnal + weekend pattern with slight growth.
+    fn synthetic_samples(days: u64) -> Vec<(Ts, f64)> {
+        let mut out = Vec::new();
+        for d in 0..days {
+            for h in 0..24u64 {
+                let ts = Ts(d * DAY + h * HOUR);
+                let diurnal = 1.0 + 0.3 * ((h as f64 - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+                let weekend = if ts.is_weekend() { 0.7 } else { 1.0 };
+                let growth = 100.0 + 0.5 * d as f64;
+                out.push((ts, growth * diurnal * weekend));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn model_recovers_structure() {
+        let samples = synthetic_samples(28);
+        let m = SeasonalModel::fit(0, 1, &samples);
+        // Base near the mean level, afternoon factor above morning factor.
+        assert!((90.0..125.0).contains(&m.base), "base {}", m.base);
+        assert!(m.hourly[14] > m.hourly[2], "diurnal learned");
+        assert!(m.weekday[6] < m.weekday[2], "weekend dip learned");
+        assert!((0.2..0.8).contains(&m.trend_per_day), "trend {}", m.trend_per_day);
+    }
+
+    #[test]
+    fn model_extrapolates_heldout_days() {
+        let samples = synthetic_samples(28);
+        let m = SeasonalModel::fit(0, 1, &samples);
+        // Predict day 30, 14:00 on a weekday (day 30 % 7 = 2).
+        let ts = Ts(30 * DAY + 14 * HOUR);
+        let truth = (100.0 + 0.5 * 30.0) * 1.3;
+        let pred = m.predict(ts);
+        assert!(
+            (pred - truth).abs() / truth < 0.15,
+            "pred {pred} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn coarsening_is_tiny_and_accurate() {
+        let mut log = Vec::new();
+        for (ts, g) in synthetic_samples(28) {
+            log.push(BandwidthRecord { ts, src: 0, dst: 1, gbps: g });
+            log.push(BandwidthRecord { ts, src: 2, dst: 3, gbps: g * 2.0 });
+        }
+        let report = ModelCoarsener.report(&log);
+        assert_eq!(report.coarse.len(), 2);
+        assert!(report.reduction_factor() > 50.0, "{}", report.reduction_factor());
+        let err = reconstruction_error(&report.coarse, &log).unwrap();
+        assert!(err < 0.05, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn reconstruction_error_none_without_overlap() {
+        let log = vec![BandwidthRecord { ts: Ts(0), src: 9, dst: 9, gbps: 1.0 }];
+        assert!(reconstruction_error(&[], &log).is_none());
+    }
+
+    #[test]
+    fn constant_series_has_flat_model() {
+        let samples: Vec<(Ts, f64)> = (0..100).map(|i| (Ts(i * HOUR), 50.0)).collect();
+        let m = SeasonalModel::fit(1, 2, &samples);
+        assert!((m.base - 50.0).abs() < 1e-9);
+        assert!(m.trend_per_day.abs() < 1e-9);
+        assert!(m.hourly.iter().all(|&f| (f - 1.0).abs() < 1e-9));
+        assert_eq!(m.predict(Ts(5000 * HOUR)), 50.0);
+    }
+}

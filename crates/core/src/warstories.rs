@@ -1,0 +1,328 @@
+//! The paper's four war stories (§1), executable.
+//!
+//! Each scenario simulates the triggering failure, runs both the *siloed*
+//! resolution (what the paper says happens today) and the *SMN* resolution
+//! (what the generalized control plane does with cross-layer state), and
+//! reports the difference. These back the `war_stories` example and the E6
+//! integration tests.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use smn_depgraph::syndrome::Explainability;
+use smn_incident::faults::{FaultKind, FaultSpec};
+use smn_incident::sim::{observe, SimConfig};
+use smn_incident::{RedditDeployment, TEAMS};
+use smn_te::capacity::{CapacityPlanner, UpgradePolicy};
+use smn_topology::failures::{flap_counts, simulate_flaps};
+use smn_topology::layer1::{Modulation, OpticalLayer};
+use smn_topology::EdgeId;
+
+use crate::controller::{ControllerConfig, Feedback, SmnController};
+
+/// Outcome of one war story.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WarStoryReport {
+    /// Scenario title.
+    pub title: String,
+    /// What siloed management does.
+    pub siloed_outcome: String,
+    /// What the SMN does.
+    pub smn_outcome: String,
+    /// Whether the SMN resolution is the correct one.
+    pub smn_correct: bool,
+    /// Whether the siloed resolution is the correct one.
+    pub siloed_correct: bool,
+}
+
+/// War story 1 — "Capacity Planning and TE in the Dark".
+///
+/// A link sees one TE-induced overload spike in an otherwise calm history;
+/// another is genuinely hot but rides fiber with no spare slots. The siloed
+/// planner (any-overload rule, no fiber visibility) upgrades the transient
+/// link and proposes the impossible one; the SMN planner (sustained rule +
+/// L1 awareness) does neither.
+pub fn capacity_planning_in_the_dark() -> WarStoryReport {
+    let mut optical = OpticalLayer::new();
+    let ok_span = optical.add_span("land-seg", 800.0, false, 4);
+    let full_span = optical.add_span("subsea-seg", 3000.0, true, 0);
+    optical.light_wavelength(vec![ok_span], Modulation::Qam8, vec![0]);
+    optical.light_wavelength(vec![full_span], Modulation::Qpsk, vec![1]);
+    optical.light_wavelength(vec![ok_span], Modulation::Qam8, vec![2]);
+
+    // Link 0: transient TE spike. Link 1: sustained but fiber-blocked.
+    // Link 2: sustained and upgradeable (the only correct upgrade).
+    let history: HashMap<EdgeId, Vec<f64>> = [
+        (EdgeId(0), vec![0.3, 0.35, 0.3, 0.32, 0.3, 0.31, 0.3, 0.97]),
+        (EdgeId(1), vec![0.9, 0.92, 0.91, 0.95, 0.9, 0.93, 0.9, 0.94]),
+        (EdgeId(2), vec![0.85, 0.9, 0.88, 0.91, 0.9, 0.86, 0.9, 0.92]),
+    ]
+    .into();
+    let distance = |e: EdgeId| if e == EdgeId(1) { 3000.0 } else { 800.0 };
+
+    // Siloed: naive policy, no fiber oracle.
+    let naive = CapacityPlanner::new(UpgradePolicy::naive(0.8));
+    let naive_plan = naive.plan(&history, distance, |_| None);
+    let naive_links: Vec<EdgeId> = naive_plan.upgrades.iter().map(|u| u.link).collect();
+
+    // SMN: sustained policy with the optical layer's fiber answer.
+    let controller = SmnController::new(
+        smn_depgraph::coarse::CoarseDepGraph::new(),
+        ControllerConfig::default(),
+    );
+    let feedback = controller.planning_loop(&history, distance, &optical);
+    let smn_upgrades: Vec<EdgeId> = feedback
+        .iter()
+        .filter_map(|f| match f {
+            Feedback::ProvisionCapacity { link, .. } => Some(*link),
+            _ => None,
+        })
+        .collect();
+    let smn_blocked: Vec<EdgeId> = feedback
+        .iter()
+        .filter_map(|f| match f {
+            Feedback::UpgradeBlockedByFiber { link } => Some(*link),
+            _ => None,
+        })
+        .collect();
+
+    let siloed_correct = naive_links == vec![EdgeId(2)];
+    let smn_correct = smn_upgrades == vec![EdgeId(2)] && smn_blocked == vec![EdgeId(1)];
+    WarStoryReport {
+        title: "Capacity Planning and TE in the Dark".into(),
+        siloed_outcome: format!(
+            "naive planner upgrades {naive_links:?} — chases the TE spike on e0 and \
+             plans an impossible subsea upgrade on e1"
+        ),
+        smn_outcome: format!(
+            "SMN upgrades {smn_upgrades:?}, reports {smn_blocked:?} blocked by fiber, \
+             skips the transient e0"
+        ),
+        smn_correct,
+        siloed_correct,
+    }
+}
+
+/// War story 2 — "Wavelength Modulation and Resilience".
+///
+/// An aggressively modulated wavelength near its reach limit flaps
+/// recurringly, dropping its logical link. The siloed L3 team sees flaps
+/// with no cause ("it took weeks"); the SMN's wavelength↔link dependency
+/// traces the flaps to the optical configuration and retunes, after which
+/// the simulated flap rate collapses.
+pub fn wavelength_modulation_and_resilience() -> WarStoryReport {
+    let mut optical = OpticalLayer::new();
+    let span = optical.add_span("metro", 760.0, false, 2);
+    let hot = optical.light_wavelength(vec![span], Modulation::Qam16, vec![0]);
+
+    // Simulate 90 days of flaps before intervention.
+    let flap_days = |optical: &OpticalLayer, seed: u64| -> u32 {
+        simulate_flaps(optical, 90, seed).len() as u32
+    };
+    let before = flap_days(&optical, 1);
+    let stressed_reach = optical.wavelength(hot).reach_utilization();
+
+    let controller = SmnController::new(
+        smn_depgraph::coarse::CoarseDepGraph::new(),
+        ControllerConfig::default(),
+    );
+    // Per-link flap counts, as the L3 team's monitoring would report them.
+    let events = simulate_flaps(&optical, 90, 1);
+    let flaps: HashMap<EdgeId, u32> = flap_counts(&events)
+        .into_iter()
+        .map(|(l, c)| (EdgeId(l as u32), c))
+        .collect();
+    let feedback = controller.reliability_loop(&flaps, &optical);
+    let retuned = match feedback.as_slice() {
+        [Feedback::RetuneModulation { wavelength, to }] => {
+            optical.retune(*wavelength, *to);
+            true
+        }
+        _ => false,
+    };
+    let after = flap_days(&optical, 2);
+
+    WarStoryReport {
+        title: "Wavelength Modulation and Resilience".into(),
+        siloed_outcome: format!(
+            "routing team sees {before} flap days in 90 and reconverges each time; \
+             the optical cause is invisible across the team boundary"
+        ),
+        smn_outcome: format!(
+            "SMN traces flaps to a 16QAM wavelength at {:.0}% of reach, retunes to 8QAM; \
+             flap days drop {before} -> {after}",
+            stressed_reach * 100.0
+        ),
+        smn_correct: retuned && after < before / 2,
+        siloed_correct: false,
+    }
+}
+
+/// War story 3 — "WAN link flaps impacting cluster traffic".
+///
+/// A WAN uplink fault fails the cluster's reachability probes. Siloed
+/// (observer-first) triage routes the incident to the cluster's application
+/// team; the SMN computes that the failing probes depend on the WAN and
+/// routes to the network team while informing the cluster team.
+pub fn wan_flaps_impacting_cluster() -> WarStoryReport {
+    let d = RedditDeployment::build();
+    let fault = FaultSpec {
+        id: 9001,
+        kind: FaultKind::LinkFlap,
+        target: "wan-1".into(),
+        variant: 0,
+        severity: 0.9,
+        team: "network".into(),
+    };
+    let obs = observe(&d, &fault, &SimConfig::default());
+
+    // Siloed: the incident lands on the first team whose monitors alerted.
+    let health = smn_incident::features::team_health(&d, &obs);
+    let siloed_team = health
+        .iter()
+        .position(|h| h.alert_fraction > 0.0)
+        .map(|i| TEAMS[i])
+        .unwrap_or("application");
+
+    // SMN: symptom explainability over the CDG.
+    let ex = Explainability::new(&d.cdg);
+    let smn_team = ex
+        .best_team(&obs.syndrome)
+        .map(|t| d.cdg.team(t).name.clone())
+        .unwrap_or_default();
+
+    WarStoryReport {
+        title: "WAN link flaps impacting cluster traffic".into(),
+        siloed_outcome: format!(
+            "probe failures page the observing side first: incident routed to '{siloed_team}' \
+             (cross-probe failure rate {:.0}%)",
+            obs.cross_probe_failure * 100.0
+        ),
+        smn_outcome: format!(
+            "SMN: failing probes depend on the WAN through the CDG; routed to '{smn_team}', \
+             cluster team informed"
+        ),
+        smn_correct: smn_team == "network",
+        siloed_correct: siloed_team == "network",
+    }
+}
+
+/// War story 4 — "Database service failure impacting downstream services".
+///
+/// A partial database failure raises alerts in the services that depend on
+/// it. Siloed triage: each team opens its own low-priority incident (six
+/// "unique" incidents, redundant investigation). The SMN aggregates the
+/// alerts by coarse label into one high-priority incident routed to the
+/// database team.
+pub fn database_failure_fanout() -> WarStoryReport {
+    let d = RedditDeployment::build();
+    let fault = FaultSpec {
+        id: 9004,
+        kind: FaultKind::ServerCrash,
+        target: "postgres-1".into(),
+        variant: 1,
+        severity: 0.95,
+        team: "database".into(),
+    };
+    let obs = observe(&d, &fault, &SimConfig::default());
+    let telemetry = smn_incident::monitoring::materialize(
+        &d,
+        &obs,
+        &SimConfig::default(),
+        smn_telemetry::Ts(0),
+    );
+
+    // Siloed: one incident per alerting team, each locally low-priority.
+    let mut siloed_incidents: Vec<String> = Vec::new();
+    for a in &telemetry.alerts {
+        if !siloed_incidents.contains(&a.team) {
+            siloed_incidents.push(a.team.clone());
+        }
+    }
+
+    // SMN: feed the same alerts through the controller's incident loop.
+    let controller = SmnController::new(d.cdg.clone(), ControllerConfig::default());
+    {
+        let mut alerts = controller.clds.alerts.write();
+        let mut sorted = telemetry.alerts.clone();
+        sorted.sort_by_key(|a| a.ts);
+        alerts.extend(sorted);
+    }
+    let feedback = controller.incident_loop(smn_telemetry::Ts(0), smn_telemetry::Ts(3600));
+    let (smn_team, priority, merged) = feedback
+        .iter()
+        .find_map(|f| match f {
+            Feedback::RouteIncident { team, aggregated, .. } => Some((
+                team.clone(),
+                aggregated.as_ref().map(|a| a.priority),
+                aggregated.as_ref().map(|a| a.merged_alerts).unwrap_or(0),
+            )),
+            _ => None,
+        })
+        .unwrap_or_default();
+
+    WarStoryReport {
+        title: "Database service failure impacting downstream services".into(),
+        siloed_outcome: format!(
+            "{} teams each open their own low-priority incident: {:?}",
+            siloed_incidents.len(),
+            siloed_incidents
+        ),
+        smn_outcome: format!(
+            "SMN aggregates {merged} alerts into one priority-{} incident routed to '{smn_team}'",
+            priority.map(|p| p.to_string()).unwrap_or_else(|| "?".into())
+        ),
+        smn_correct: smn_team == "database" && priority == Some(0) && siloed_incidents.len() >= 3,
+        siloed_correct: siloed_incidents.len() == 1,
+    }
+}
+
+/// Run all four war stories.
+pub fn run_all() -> Vec<WarStoryReport> {
+    vec![
+        capacity_planning_in_the_dark(),
+        wavelength_modulation_and_resilience(),
+        wan_flaps_impacting_cluster(),
+        database_failure_fanout(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws1_smn_plans_correctly_siloed_does_not() {
+        let r = capacity_planning_in_the_dark();
+        assert!(r.smn_correct, "{}", r.smn_outcome);
+        assert!(!r.siloed_correct, "{}", r.siloed_outcome);
+    }
+
+    #[test]
+    fn ws2_retune_reduces_flaps() {
+        let r = wavelength_modulation_and_resilience();
+        assert!(r.smn_correct, "{}", r.smn_outcome);
+        assert!(!r.siloed_correct);
+    }
+
+    #[test]
+    fn ws3_smn_routes_to_network() {
+        let r = wan_flaps_impacting_cluster();
+        assert!(r.smn_correct, "{}", r.smn_outcome);
+        assert!(!r.siloed_correct, "{}", r.siloed_outcome);
+    }
+
+    #[test]
+    fn ws4_aggregation_beats_fragmentation() {
+        let r = database_failure_fanout();
+        assert!(r.smn_correct, "{}", r.smn_outcome);
+        assert!(!r.siloed_correct, "{}", r.siloed_outcome);
+    }
+
+    #[test]
+    fn run_all_returns_four_smn_wins() {
+        let reports = run_all();
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(|r| r.smn_correct && !r.siloed_correct));
+    }
+}

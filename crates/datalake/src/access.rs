@@ -1,0 +1,135 @@
+//! Access-control policies over catalog datasets (§6 requirement (3)).
+//!
+//! The SMN "cannot dismantle the existing successful organizational
+//! structure of clouds into teams, but must *augment* them" (§2) — so
+//! access control is team-scoped: owners always read/write their datasets,
+//! and grants open datasets to other teams or to everyone.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+
+/// Action a principal wants to perform on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Query records.
+    Read,
+    /// Append records.
+    Write,
+}
+
+/// One grant: `grantee` may perform `action` on `dataset`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grant {
+    /// Dataset name, or `"*"` for all datasets.
+    pub dataset: String,
+    /// Grantee team name, or `"*"` for all teams.
+    pub grantee: String,
+    /// Permitted action.
+    pub action: Action,
+}
+
+/// The access policy set of the CLDS.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccessPolicy {
+    grants: Vec<Grant>,
+}
+
+impl AccessPolicy {
+    /// Policy with no grants (owners only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sensible default for an SMN: every team can read every dataset
+    /// (global visibility is the whole point), writes stay owner-only.
+    pub fn global_read() -> Self {
+        let mut p = Self::new();
+        p.grant(Grant { dataset: "*".into(), grantee: "*".into(), action: Action::Read });
+        p
+    }
+
+    /// Add a grant.
+    pub fn grant(&mut self, g: Grant) {
+        if !self.grants.contains(&g) {
+            self.grants.push(g);
+        }
+    }
+
+    /// Remove all grants matching the triple exactly.
+    pub fn revoke(&mut self, g: &Grant) {
+        self.grants.retain(|x| x != g);
+    }
+
+    /// Whether `team` may perform `action` on `dataset`. Owners are always
+    /// allowed; unknown datasets are always denied.
+    pub fn allowed(&self, catalog: &Catalog, team: &str, dataset: &str, action: Action) -> bool {
+        let Some(d) = catalog.get(dataset) else {
+            return false;
+        };
+        if d.team == team {
+            return true;
+        }
+        self.grants.iter().any(|g| {
+            g.action == action
+                && (g.dataset == "*" || g.dataset == dataset)
+                && (g.grantee == "*" || g.grantee == team)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::builtin_descriptors;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for d in builtin_descriptors() {
+            c.register(d);
+        }
+        c
+    }
+
+    #[test]
+    fn owner_always_allowed() {
+        let c = catalog();
+        let p = AccessPolicy::new();
+        assert!(p.allowed(&c, "traffic-engineering", "wan/bandwidth-logs", Action::Write));
+        assert!(p.allowed(&c, "traffic-engineering", "wan/bandwidth-logs", Action::Read));
+        assert!(!p.allowed(&c, "app", "wan/bandwidth-logs", Action::Read));
+    }
+
+    #[test]
+    fn unknown_dataset_denied_even_with_wildcards() {
+        let c = catalog();
+        let p = AccessPolicy::global_read();
+        assert!(!p.allowed(&c, "app", "no/such/dataset", Action::Read));
+    }
+
+    #[test]
+    fn global_read_opens_reads_not_writes() {
+        let c = catalog();
+        let p = AccessPolicy::global_read();
+        assert!(p.allowed(&c, "app", "wan/bandwidth-logs", Action::Read));
+        assert!(!p.allowed(&c, "app", "wan/bandwidth-logs", Action::Write));
+    }
+
+    #[test]
+    fn specific_grant_and_revoke() {
+        let c = catalog();
+        let mut p = AccessPolicy::new();
+        let g = Grant {
+            dataset: "ops/alerts".into(),
+            grantee: "network".into(),
+            action: Action::Write,
+        };
+        p.grant(g.clone());
+        p.grant(g.clone()); // idempotent
+        assert!(p.allowed(&c, "network", "ops/alerts", Action::Write));
+        assert!(!p.allowed(&c, "network", "ops/health", Action::Write));
+        assert!(!p.allowed(&c, "app", "ops/alerts", Action::Write));
+        p.revoke(&g);
+        assert!(!p.allowed(&c, "network", "ops/alerts", Action::Write));
+    }
+}

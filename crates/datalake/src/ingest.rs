@@ -1,0 +1,154 @@
+//! Ingestion pipeline with denoising (§6 AIOps engine, step (1):
+//! "denoise telemetry and logs on injection into the data lake").
+
+use serde::{Deserialize, Serialize};
+use smn_telemetry::record::{Alert, Severity};
+use smn_telemetry::time::Ts;
+
+use crate::store::Clds;
+
+/// A stage that may drop or rewrite alerts before they reach the lake.
+pub trait Denoiser {
+    /// Return `Some(alert)` to keep (possibly rewritten), `None` to drop.
+    fn filter(&mut self, alert: Alert) -> Option<Alert>;
+}
+
+/// Passes everything through.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopDenoiser;
+
+impl Denoiser for NoopDenoiser {
+    fn filter(&mut self, alert: Alert) -> Option<Alert> {
+        Some(alert)
+    }
+}
+
+/// Drops duplicate alerts: an alert is suppressed when the same
+/// `(component, kind)` already alerted within the dedup window, unless its
+/// severity increased. This is the classic alert-fatigue reducer; the
+/// paper's war story 4 is about six *teams* each dedup-ing locally and
+/// missing the global picture — the SMN dedups here, globally.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DedupDenoiser {
+    /// Suppression window in seconds.
+    pub window_secs: u64,
+    /// Last time each (component, kind) alerted, with its severity.
+    seen: Vec<(String, String, Ts, Severity)>,
+}
+
+impl DedupDenoiser {
+    /// New denoiser with the given suppression window.
+    pub fn new(window_secs: u64) -> Self {
+        Self { window_secs, seen: Vec::new() }
+    }
+}
+
+impl Denoiser for DedupDenoiser {
+    fn filter(&mut self, alert: Alert) -> Option<Alert> {
+        let key = (&alert.component, &alert.kind);
+        if let Some(entry) =
+            self.seen.iter_mut().find(|(c, k, _, _)| (c, k) == (key.0, key.1))
+        {
+            let within = alert.ts.0.saturating_sub(entry.2 .0) < self.window_secs;
+            if within && alert.severity <= entry.3 {
+                return None; // duplicate, not escalating
+            }
+            entry.2 = alert.ts;
+            entry.3 = alert.severity;
+        } else {
+            self.seen.push((
+                alert.component.clone(),
+                alert.kind.clone(),
+                alert.ts,
+                alert.severity,
+            ));
+        }
+        Some(alert)
+    }
+}
+
+/// Statistics from one ingestion batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Records written to the lake.
+    pub ingested: usize,
+    /// Records suppressed by the denoiser.
+    pub suppressed: usize,
+}
+
+/// Ingest a batch of alerts through `denoiser` into the CLDS.
+pub fn ingest_alerts(
+    clds: &Clds,
+    denoiser: &mut dyn Denoiser,
+    alerts: impl IntoIterator<Item = Alert>,
+) -> IngestReport {
+    let mut report = IngestReport::default();
+    let mut store = clds.alerts.write();
+    for alert in alerts {
+        match denoiser.filter(alert) {
+            Some(a) => {
+                store.append(a);
+                report.ingested += 1;
+            }
+            None => report.suppressed += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(ts: u64, component: &str, severity: Severity) -> Alert {
+        Alert {
+            ts: Ts(ts),
+            component: component.into(),
+            team: "app".into(),
+            kind: "error-rate".into(),
+            severity,
+            message: "errors above threshold".into(),
+        }
+    }
+
+    #[test]
+    fn noop_keeps_everything() {
+        let clds = Clds::new();
+        let mut d = NoopDenoiser;
+        let r = ingest_alerts(&clds, &mut d, (0..5).map(|i| alert(i, "web-1", Severity::Warning)));
+        assert_eq!(r.ingested, 5);
+        assert_eq!(r.suppressed, 0);
+        assert_eq!(clds.alerts.read().len(), 5);
+    }
+
+    #[test]
+    fn dedup_suppresses_repeats_within_window() {
+        let clds = Clds::new();
+        let mut d = DedupDenoiser::new(600);
+        let alerts = vec![
+            alert(0, "web-1", Severity::Warning),
+            alert(60, "web-1", Severity::Warning),  // dup
+            alert(120, "web-2", Severity::Warning), // different component
+            alert(700, "web-1", Severity::Warning), // outside window
+        ];
+        let r = ingest_alerts(&clds, &mut d, alerts);
+        assert_eq!(r.ingested, 3);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn dedup_lets_escalations_through() {
+        let clds = Clds::new();
+        let mut d = DedupDenoiser::new(600);
+        let alerts = vec![
+            alert(0, "web-1", Severity::Warning),
+            alert(60, "web-1", Severity::Critical), // escalation
+            alert(120, "web-1", Severity::Warning), // de-escalation: suppressed
+        ];
+        let r = ingest_alerts(&clds, &mut d, alerts);
+        assert_eq!(r.ingested, 2);
+        assert_eq!(r.suppressed, 1);
+        let stored = clds.alerts.read();
+        assert_eq!(stored.all()[1].severity, Severity::Critical);
+    }
+}

@@ -1,0 +1,33 @@
+//! # smn-datalake
+//!
+//! The Cross-Layer Cross-Team Data Store (CLDS) of the SMN (Figure 1):
+//! a queryable global catalog with uniform schemas ([`catalog`]),
+//! time-ordered typed stores bundled behind locks ([`store`]),
+//! incident-aware retention for the Network History store ([`retention`]),
+//! team-scoped access control ([`access`]), and a denoising ingestion
+//! pipeline ([`ingest`]).
+//!
+//! ```
+//! use smn_datalake::store::Clds;
+//! use smn_datalake::access::{AccessPolicy, Action};
+//!
+//! let clds = Clds::new();
+//! let policy = AccessPolicy::global_read();
+//! let catalog = clds.catalog.read();
+//! // Any team can discover and read any dataset; writes stay owner-only.
+//! assert!(policy.allowed(&catalog, "network", "wan/bandwidth-logs", Action::Read));
+//! assert!(!policy.allowed(&catalog, "network", "wan/bandwidth-logs", Action::Write));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod catalog;
+pub mod ingest;
+pub mod query;
+pub mod retention;
+pub mod store;
+
+pub use catalog::{Catalog, DataType, DatasetDescriptor};
+pub use retention::{ProtectedWindow, RetentionPolicy};
+pub use store::{Clds, TimeStore};

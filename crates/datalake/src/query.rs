@@ -1,0 +1,261 @@
+//! A small query layer over the CLDS (§6: "an architecture and interfaces
+//! such as SDN's OpenFlow so that users across teams can query and
+//! correlate data").
+//!
+//! Queries are access-checked against the catalog's policies: the caller
+//! names itself and the dataset; reads denied by policy return
+//! [`QueryError::AccessDenied`] instead of data. Aggregations cover the
+//! cross-team correlation patterns the controller and the war stories use:
+//! counts grouped by team/component/severity and time-bucketed rates.
+
+use std::collections::HashMap;
+
+use smn_telemetry::record::Severity;
+use smn_telemetry::time::Ts;
+
+use crate::access::{AccessPolicy, Action};
+use crate::store::Clds;
+
+/// Query failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The caller's team may not read the dataset.
+    AccessDenied {
+        /// The requesting team.
+        team: String,
+        /// The dataset it asked for.
+        dataset: String,
+    },
+    /// The dataset name is not in the catalog.
+    UnknownDataset(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::AccessDenied { team, dataset } => {
+                write!(f, "team {team} may not read {dataset}")
+            }
+            QueryError::UnknownDataset(d) => write!(f, "unknown dataset {d}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A query handle bound to a CLDS, a policy, and a caller identity.
+#[derive(Debug)]
+pub struct QueryContext<'a> {
+    clds: &'a Clds,
+    policy: &'a AccessPolicy,
+    caller_team: String,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Create a context for `caller_team`.
+    pub fn new(clds: &'a Clds, policy: &'a AccessPolicy, caller_team: impl Into<String>) -> Self {
+        Self { clds, policy, caller_team: caller_team.into() }
+    }
+
+    fn check(&self, dataset: &str) -> Result<(), QueryError> {
+        let catalog = self.clds.catalog.read();
+        if catalog.get(dataset).is_none() {
+            return Err(QueryError::UnknownDataset(dataset.to_string()));
+        }
+        if !self.policy.allowed(&catalog, &self.caller_team, dataset, Action::Read) {
+            return Err(QueryError::AccessDenied {
+                team: self.caller_team.clone(),
+                dataset: dataset.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Alert counts per team in `[start, end)` — the cross-team view that
+    /// war story 4's aggregation needs.
+    pub fn alerts_by_team(
+        &self,
+        start: Ts,
+        end: Ts,
+    ) -> Result<HashMap<String, usize>, QueryError> {
+        self.check("ops/alerts")?;
+        let alerts = self.clds.alerts.read();
+        let mut out = HashMap::new();
+        for a in alerts.range(start, end) {
+            *out.entry(a.team.clone()).or_insert(0) += 1;
+        }
+        Ok(out)
+    }
+
+    /// Alert counts at or above `min_severity` per component.
+    pub fn severe_alerts_by_component(
+        &self,
+        start: Ts,
+        end: Ts,
+        min_severity: Severity,
+    ) -> Result<HashMap<String, usize>, QueryError> {
+        self.check("ops/alerts")?;
+        let alerts = self.clds.alerts.read();
+        let mut out = HashMap::new();
+        for a in alerts.range(start, end) {
+            if a.severity >= min_severity {
+                *out.entry(a.component.clone()).or_insert(0) += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Probe failure rate in `[start, end)`, `None` when no probes ran.
+    pub fn probe_failure_rate(&self, start: Ts, end: Ts) -> Result<Option<f64>, QueryError> {
+        self.check("ops/probes")?;
+        let probes = self.clds.probes.read();
+        let window = probes.range(start, end);
+        if window.is_empty() {
+            return Ok(None);
+        }
+        let failures = window.iter().filter(|p| !p.success).count();
+        Ok(Some(failures as f64 / window.len() as f64))
+    }
+
+    /// Mean of a health metric per component over the window.
+    pub fn mean_metric_by_component(
+        &self,
+        start: Ts,
+        end: Ts,
+        metric: &str,
+    ) -> Result<HashMap<String, f64>, QueryError> {
+        self.check("ops/health")?;
+        let health = self.clds.health.read();
+        let mut sums: HashMap<String, (f64, usize)> = HashMap::new();
+        for h in health.range(start, end) {
+            if h.metric == metric {
+                let e = sums.entry(h.component.clone()).or_insert((0.0, 0));
+                e.0 += h.value;
+                e.1 += 1;
+            }
+        }
+        Ok(sums.into_iter().map(|(k, (s, n))| (k, s / n as f64)).collect())
+    }
+
+    /// Total bandwidth (Gbps summed over rows) per time bucket of
+    /// `bucket_secs` — the capacity team's utilization-trend query.
+    pub fn bandwidth_per_bucket(
+        &self,
+        start: Ts,
+        end: Ts,
+        bucket_secs: u64,
+    ) -> Result<Vec<(Ts, f64)>, QueryError> {
+        assert!(bucket_secs > 0, "zero bucket");
+        self.check("wan/bandwidth-logs")?;
+        let bw = self.clds.bandwidth.read();
+        let mut buckets: HashMap<u64, f64> = HashMap::new();
+        for r in bw.range(start, end) {
+            *buckets.entry(r.ts.0 / bucket_secs).or_insert(0.0) += r.gbps;
+        }
+        let mut out: Vec<(Ts, f64)> =
+            buckets.into_iter().map(|(b, g)| (Ts(b * bucket_secs), g)).collect();
+        out.sort_by_key(|(ts, _)| *ts);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_telemetry::record::{Alert, BandwidthRecord, HealthSample, ProbeResult};
+
+    fn populated_clds() -> Clds {
+        let clds = Clds::new();
+        {
+            let mut alerts = clds.alerts.write();
+            for (ts, team, sev) in [
+                (10u64, "app", Severity::Warning),
+                (20, "app", Severity::Critical),
+                (30, "network", Severity::Error),
+            ] {
+                alerts.append(Alert {
+                    ts: Ts(ts),
+                    component: format!("{team}-1"),
+                    team: team.into(),
+                    kind: "k".into(),
+                    severity: sev,
+                    message: String::new(),
+                });
+            }
+        }
+        {
+            let mut probes = clds.probes.write();
+            for t in 0..10u64 {
+                probes.append(ProbeResult {
+                    ts: Ts(t * 60),
+                    src_cluster: "c1".into(),
+                    dst_cluster: "c2".into(),
+                    success: t % 5 != 0, // 2 of 10 fail
+                    latency_ms: 1.0,
+                });
+            }
+        }
+        {
+            let mut health = clds.health.write();
+            for t in 0..4u64 {
+                health.append(HealthSample {
+                    ts: Ts(t * 60),
+                    component: "web-1".into(),
+                    metric: "error_rate".into(),
+                    value: t as f64,
+                });
+            }
+        }
+        {
+            let mut bw = clds.bandwidth.write();
+            for t in 0..6u64 {
+                bw.append(BandwidthRecord { ts: Ts(t * 300), src: 0, dst: 1, gbps: 10.0 });
+            }
+        }
+        clds
+    }
+
+    #[test]
+    fn aggregations_work_under_global_read() {
+        let clds = populated_clds();
+        let policy = AccessPolicy::global_read();
+        let q = QueryContext::new(&clds, &policy, "capacity-team");
+        let by_team = q.alerts_by_team(Ts(0), Ts(100)).unwrap();
+        assert_eq!(by_team["app"], 2);
+        assert_eq!(by_team["network"], 1);
+        let severe =
+            q.severe_alerts_by_component(Ts(0), Ts(100), Severity::Error).unwrap();
+        assert_eq!(severe.len(), 2);
+        assert_eq!(q.probe_failure_rate(Ts(0), Ts(601)).unwrap(), Some(0.2));
+        let means = q.mean_metric_by_component(Ts(0), Ts(300), "error_rate").unwrap();
+        assert_eq!(means["web-1"], 1.5);
+        let buckets = q.bandwidth_per_bucket(Ts(0), Ts(1800), 600).unwrap();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].1, 20.0);
+    }
+
+    #[test]
+    fn access_denied_without_grant() {
+        let clds = populated_clds();
+        let policy = AccessPolicy::new(); // owners only
+        let q = QueryContext::new(&clds, &policy, "some-other-team");
+        match q.alerts_by_team(Ts(0), Ts(100)) {
+            Err(QueryError::AccessDenied { team, dataset }) => {
+                assert_eq!(team, "some-other-team");
+                assert_eq!(dataset, "ops/alerts");
+            }
+            other => panic!("expected denial, got {other:?}"),
+        }
+        // The owning team still reads.
+        let owner = QueryContext::new(&clds, &policy, "reliability");
+        assert!(owner.alerts_by_team(Ts(0), Ts(100)).is_ok());
+    }
+
+    #[test]
+    fn empty_probe_window_is_none() {
+        let clds = populated_clds();
+        let policy = AccessPolicy::global_read();
+        let q = QueryContext::new(&clds, &policy, "x");
+        assert_eq!(q.probe_failure_rate(Ts(5000), Ts(6000)).unwrap(), None);
+    }
+}

@@ -1,0 +1,237 @@
+//! Coarse Dependency Graphs (CDGs): team-level dependencies.
+//!
+//! "A coarse-grained dependency graph (CDG) shows dependencies of various
+//! services and teams … we propose the SMN only maintain a coarse dependency
+//! graph for the cloud" (§5). A CDG is cheap to sketch and maintain — at the
+//! cost of *false dependencies*: the CDG edge `A → B` exists if *any*
+//! component of team A depends on any component of team B, so a fault in B
+//! may appear to implicate components of A that are actually unaffected.
+//! [`CoarseDepGraph::false_dependency_rate`] quantifies exactly that loss.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use smn_topology::graph::{DiGraph, NodeId};
+
+use crate::fine::FineDepGraph;
+
+/// A team: the node granularity of a CDG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Team {
+    /// Team name, e.g. `"network"`.
+    pub name: String,
+    /// Number of fine-grained components the team owns (0 when the CDG was
+    /// sketched by hand rather than derived).
+    pub component_count: usize,
+}
+
+/// A coarse (team-level) dependency graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoarseDepGraph {
+    /// Underlying graph; edges read "src team depends on dst team".
+    pub graph: DiGraph<Team, ()>,
+    name_index: HashMap<String, NodeId>,
+}
+
+impl CoarseDepGraph {
+    /// Empty CDG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a team node (for hand-sketched CDGs — "engineers can directly
+    /// sketch the CDG and refine it over time", §5).
+    ///
+    /// # Panics
+    /// Panics on duplicate team names.
+    pub fn add_team(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        assert!(!self.name_index.contains_key(&name), "duplicate team {name}");
+        let id = self.graph.add_node(Team { name: name.clone(), component_count: 0 });
+        self.name_index.insert(name, id);
+        id
+    }
+
+    /// Declare that team `src` depends on team `dst`. Duplicate edges are
+    /// ignored (a CDG is a relation, not a multigraph).
+    pub fn add_dependency(&mut self, src: NodeId, dst: NodeId) {
+        if src != dst && self.graph.find_edge(src, dst).is_none() {
+            self.graph.add_edge(src, dst, ());
+        }
+    }
+
+    /// Team id by name.
+    pub fn by_name(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Team payload.
+    pub fn team(&self, id: NodeId) -> &Team {
+        self.graph.node(id)
+    }
+
+    /// Number of teams.
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// True when the CDG has no teams.
+    pub fn is_empty(&self) -> bool {
+        self.graph.node_count() == 0
+    }
+
+    /// Team names in node order.
+    pub fn team_names(&self) -> Vec<&str> {
+        self.graph.nodes().map(|(_, t)| t.name.as_str()).collect()
+    }
+
+    /// Derive the CDG from a fine-grained graph: this is *coarsening* —
+    /// mapping `Microservice → team dependency` (Table 2). Nodes merge by
+    /// team; any cross-team fine edge induces the coarse edge.
+    pub fn from_fine(fine: &FineDepGraph) -> Self {
+        let contraction = fine.graph.contract(
+            |_, c| c.team.clone(),
+            |team, members| Team { name: team, component_count: members.len() },
+            |_acc: Option<u32>, _| 1,
+        );
+        let mut cdg = CoarseDepGraph::new();
+        for (_, t) in contraction.graph.nodes() {
+            let id = cdg.graph.add_node(t.clone());
+            cdg.name_index.insert(t.name.clone(), id);
+        }
+        for (_, e) in contraction.graph.edges() {
+            cdg.add_dependency(e.src, e.dst);
+        }
+        cdg
+    }
+
+    /// Teams that transitively depend on `team` (including itself): the
+    /// expected set of symptom-bearing teams if only `team` failed.
+    pub fn dependents_of(&self, team: NodeId) -> HashSet<NodeId> {
+        self.graph.reaching(team)
+    }
+
+    /// Fraction of implied component-level dependencies that are *false*:
+    /// over all CDG edges `A → B` and component pairs `(a ∈ A, b ∈ B)`, the
+    /// fraction with no fine-grained path `a ⇝ b`. Zero means the CDG is a
+    /// lossless summary; higher values mean coarser routing (Table 2's
+    /// "What's Lost" for CDGs).
+    pub fn false_dependency_rate(&self, fine: &FineDepGraph) -> f64 {
+        let mut implied = 0usize;
+        let mut false_deps = 0usize;
+        // Precompute per-component reachability sets lazily per source team.
+        for (_, edge) in self.graph.edges() {
+            let team_a = &self.team(edge.src).name;
+            let team_b = &self.team(edge.dst).name;
+            let comps_a = fine.team_components(team_a);
+            let comps_b: HashSet<NodeId> = fine.team_components(team_b).into_iter().collect();
+            for &a in &comps_a {
+                let reach = fine.graph.reachable_from(a);
+                for &b in &comps_b {
+                    implied += 1;
+                    if !reach.contains(&b) {
+                        false_deps += 1;
+                    }
+                }
+            }
+        }
+        if implied == 0 {
+            0.0
+        } else {
+            false_deps as f64 / implied as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fine::{Component, DependencyKind, Layer};
+
+    fn comp(name: &str, team: &str) -> Component {
+        Component {
+            name: name.into(),
+            service: name.split('-').next().unwrap_or(name).into(),
+            team: team.into(),
+            layer: Layer::Application,
+        }
+    }
+
+    /// Two app components; only one depends on the single storage component.
+    fn fine_with_partial_dep() -> FineDepGraph {
+        let mut g = FineDepGraph::new();
+        let a1 = g.add_component(comp("app-1", "app"));
+        let _a2 = g.add_component(comp("app-2", "app"));
+        let s1 = g.add_component(comp("db-1", "storage"));
+        g.add_dependency(a1, s1, DependencyKind::Call);
+        g
+    }
+
+    #[test]
+    fn hand_sketched_cdg() {
+        let mut cdg = CoarseDepGraph::new();
+        let app = cdg.add_team("app");
+        let net = cdg.add_team("network");
+        cdg.add_dependency(app, net);
+        cdg.add_dependency(app, net); // duplicate ignored
+        cdg.add_dependency(app, app); // self-loop ignored
+        assert_eq!(cdg.len(), 2);
+        assert_eq!(cdg.graph.edge_count(), 1);
+        assert_eq!(cdg.by_name("network"), Some(net));
+        assert_eq!(cdg.team_names(), vec!["app", "network"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate team")]
+    fn duplicate_team_rejected() {
+        let mut cdg = CoarseDepGraph::new();
+        cdg.add_team("app");
+        cdg.add_team("app");
+    }
+
+    #[test]
+    fn derivation_from_fine_graph() {
+        let fine = fine_with_partial_dep();
+        let cdg = CoarseDepGraph::from_fine(&fine);
+        assert_eq!(cdg.len(), 2);
+        let app = cdg.by_name("app").unwrap();
+        let storage = cdg.by_name("storage").unwrap();
+        assert!(cdg.graph.find_edge(app, storage).is_some());
+        assert!(cdg.graph.find_edge(storage, app).is_none());
+        assert_eq!(cdg.team(app).component_count, 2);
+        assert_eq!(cdg.team(storage).component_count, 1);
+    }
+
+    #[test]
+    fn false_dependencies_measured() {
+        let fine = fine_with_partial_dep();
+        let cdg = CoarseDepGraph::from_fine(&fine);
+        // Implied pairs: (app-1, db-1) true, (app-2, db-1) false -> 0.5.
+        assert_eq!(cdg.false_dependency_rate(&fine), 0.5);
+    }
+
+    #[test]
+    fn lossless_cdg_has_zero_false_rate() {
+        let mut g = FineDepGraph::new();
+        let a = g.add_component(comp("app-1", "app"));
+        let s = g.add_component(comp("db-1", "storage"));
+        g.add_dependency(a, s, DependencyKind::Call);
+        let cdg = CoarseDepGraph::from_fine(&g);
+        assert_eq!(cdg.false_dependency_rate(&g), 0.0);
+    }
+
+    #[test]
+    fn dependents_closure() {
+        let mut cdg = CoarseDepGraph::new();
+        let app = cdg.add_team("app");
+        let platform = cdg.add_team("platform");
+        let net = cdg.add_team("network");
+        cdg.add_dependency(app, platform);
+        cdg.add_dependency(platform, net);
+        let deps = cdg.dependents_of(net);
+        assert_eq!(deps.len(), 3); // net, platform, app
+        assert!(deps.contains(&app));
+        let deps_app = cdg.dependents_of(app);
+        assert_eq!(deps_app.len(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Graphviz (DOT) export for dependency graphs — regenerates Figure 3.
+
+use std::fmt::Write as _;
+
+use crate::coarse::CoarseDepGraph;
+use crate::fine::FineDepGraph;
+
+/// Render a CDG as a Graphviz digraph (Figure 3's team-level view).
+pub fn cdg_to_dot(cdg: &CoarseDepGraph, title: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{}\" {{", escape(title)).expect("write to String");
+    writeln!(out, "  rankdir=BT;").unwrap();
+    writeln!(out, "  node [shape=box, style=rounded];").unwrap();
+    for (id, team) in cdg.graph.nodes() {
+        writeln!(
+            out,
+            "  n{} [label=\"{}\\n({} components)\"];",
+            id.index(),
+            escape(&team.name),
+            team.component_count
+        )
+        .unwrap();
+    }
+    for (_, e) in cdg.graph.edges() {
+        writeln!(out, "  n{} -> n{};", e.src.index(), e.dst.index()).unwrap();
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a fine-grained dependency graph as DOT, clustered by team.
+pub fn fine_to_dot(fine: &FineDepGraph, title: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{}\" {{", escape(title)).unwrap();
+    writeln!(out, "  rankdir=BT;").unwrap();
+    for (ti, team) in fine.teams().iter().enumerate() {
+        writeln!(out, "  subgraph cluster_{ti} {{").unwrap();
+        writeln!(out, "    label=\"{}\";", escape(team)).unwrap();
+        for id in fine.team_components(team) {
+            writeln!(out, "    n{} [label=\"{}\"];", id.index(), escape(&fine.component(id).name))
+                .unwrap();
+        }
+        writeln!(out, "  }}").unwrap();
+    }
+    for (_, e) in fine.graph.edges() {
+        writeln!(out, "  n{} -> n{};", e.src.index(), e.dst.index()).unwrap();
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fine::{Component, DependencyKind, Layer};
+
+    #[test]
+    fn cdg_dot_contains_nodes_and_edges() {
+        let mut cdg = CoarseDepGraph::new();
+        let a = cdg.add_team("app");
+        let n = cdg.add_team("network");
+        cdg.add_dependency(a, n);
+        let dot = cdg_to_dot(&cdg, "test");
+        assert!(dot.starts_with("digraph \"test\""));
+        assert!(dot.contains("label=\"app"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn fine_dot_clusters_by_team() {
+        let mut g = FineDepGraph::new();
+        let a = g.add_component(Component {
+            name: "web-1".into(),
+            service: "web".into(),
+            team: "app".into(),
+            layer: Layer::Application,
+        });
+        let b = g.add_component(Component {
+            name: "db-1".into(),
+            service: "db".into(),
+            team: "storage".into(),
+            layer: Layer::Platform,
+        });
+        g.add_dependency(a, b, DependencyKind::Call);
+        let dot = fine_to_dot(&g, "fine");
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("n0 -> n1;"));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut cdg = CoarseDepGraph::new();
+        cdg.add_team("we\"ird");
+        let dot = cdg_to_dot(&cdg, "t\"itle");
+        assert!(dot.contains("we\\\"ird"));
+        assert!(dot.contains("t\\\"itle"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Incident syndromes and symptom explainability (§5).
+//!
+//! "Define the vector of symptoms (i.e., nodes in the CDG who experience
+//! symptoms) as an *incident syndrome*. … We then define *symptom
+//! explainability* for team T as the cosine similarity of the incident
+//! syndrome to the syndrome if *only* team T caused a failure. This allows
+//! for noise, false dependencies and normalizes each team's explainability
+//! metric between [0, 1]."
+//!
+//! The expected syndrome of team T is the indicator vector of T's transitive
+//! dependents in the CDG: if only T failed, every team whose service
+//! (transitively) depends on T shows symptoms, and nobody else does.
+//!
+//! Two ablation variants are provided for the benches: Jaccard overlap
+//! instead of cosine, and a closure-free variant that only considers direct
+//! dependents (`--ablate` in the incident-routing bench).
+
+use serde::{Deserialize, Serialize};
+use smn_topology::graph::NodeId;
+
+use crate::coarse::CoarseDepGraph;
+
+/// An incident syndrome: one entry per CDG team (in CDG node order), where
+/// entry `i` is the symptom intensity observed at team `i` (commonly the
+/// fraction of that team's components with symptoms, or 0/1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Syndrome(pub Vec<f64>);
+
+impl Syndrome {
+    /// All-zero syndrome for a CDG of `n` teams.
+    pub fn zeros(n: usize) -> Syndrome {
+        Syndrome(vec![0.0; n])
+    }
+
+    /// Build from the set of symptomatic teams (binary syndrome).
+    pub fn from_teams(n: usize, symptomatic: impl IntoIterator<Item = NodeId>) -> Syndrome {
+        let mut s = Syndrome::zeros(n);
+        for t in symptomatic {
+            s.0[t.index()] = 1.0;
+        }
+        s
+    }
+
+    /// Number of teams.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the syndrome covers zero teams.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether no team shows symptoms.
+    pub fn is_quiet(&self) -> bool {
+        self.0.iter().all(|&v| v == 0.0)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Cosine similarity of two syndromes in `[0, 1]` (entries are
+/// non-negative). Returns 0 when either vector is all-zero.
+pub fn cosine_similarity(a: &Syndrome, b: &Syndrome) -> f64 {
+    assert_eq!(a.len(), b.len(), "syndrome dimension mismatch");
+    let dot: f64 = a.0.iter().zip(&b.0).map(|(x, y)| x * y).sum();
+    let denom = a.norm() * b.norm();
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+/// Jaccard overlap of the *supports* of two syndromes (ablation variant).
+pub fn jaccard_similarity(a: &Syndrome, b: &Syndrome) -> f64 {
+    assert_eq!(a.len(), b.len(), "syndrome dimension mismatch");
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (x, y) in a.0.iter().zip(&b.0) {
+        let (xa, ya) = (*x > 0.0, *y > 0.0);
+        if xa && ya {
+            inter += 1;
+        }
+        if xa || ya {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Similarity measure used to compare syndromes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Similarity {
+    /// Cosine similarity (the paper's metric).
+    Cosine,
+    /// Jaccard overlap of supports (ablation).
+    Jaccard,
+}
+
+/// How expected syndromes are derived from the CDG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Propagation {
+    /// Transitive closure of dependents (the paper's semantics: a fault
+    /// fans out through every layer above it).
+    Closure,
+    /// Direct dependents only (ablation: no fan-out modeling).
+    DirectOnly,
+}
+
+/// Computes expected syndromes and explainability vectors against a CDG.
+#[derive(Debug, Clone)]
+pub struct Explainability<'a> {
+    cdg: &'a CoarseDepGraph,
+    /// Precomputed expected syndrome per team.
+    expected: Vec<Syndrome>,
+    similarity: Similarity,
+}
+
+impl<'a> Explainability<'a> {
+    /// Precompute expected single-team-failure syndromes for `cdg` with the
+    /// paper's settings (closure propagation, cosine similarity).
+    pub fn new(cdg: &'a CoarseDepGraph) -> Self {
+        Self::with_options(cdg, Propagation::Closure, Similarity::Cosine)
+    }
+
+    /// Variant constructor for ablations.
+    pub fn with_options(
+        cdg: &'a CoarseDepGraph,
+        propagation: Propagation,
+        similarity: Similarity,
+    ) -> Self {
+        let n = cdg.len();
+        let expected = (0..n as u32)
+            .map(|t| {
+                let team = NodeId(t);
+                match propagation {
+                    Propagation::Closure => {
+                        Syndrome::from_teams(n, cdg.dependents_of(team))
+                    }
+                    Propagation::DirectOnly => {
+                        let direct = cdg.graph.predecessors(team).chain(std::iter::once(team));
+                        Syndrome::from_teams(n, direct)
+                    }
+                }
+            })
+            .collect();
+        Self { cdg, expected, similarity }
+    }
+
+    /// The CDG this was built against.
+    pub fn cdg(&self) -> &CoarseDepGraph {
+        self.cdg
+    }
+
+    /// Expected syndrome if only `team` failed.
+    pub fn expected_syndrome(&self, team: NodeId) -> &Syndrome {
+        &self.expected[team.index()]
+    }
+
+    /// Symptom explainability of `team` for an observed syndrome: how well
+    /// "only `team` failed" explains what is seen, in `[0, 1]`.
+    pub fn explainability(&self, observed: &Syndrome, team: NodeId) -> f64 {
+        let exp = &self.expected[team.index()];
+        match self.similarity {
+            Similarity::Cosine => cosine_similarity(observed, exp),
+            Similarity::Jaccard => jaccard_similarity(observed, exp),
+        }
+    }
+
+    /// Explainability of every team for `observed`, in CDG node order —
+    /// the extra feature vector the CLTO feeds its classifier (§5).
+    pub fn explainability_vector(&self, observed: &Syndrome) -> Vec<f64> {
+        (0..self.cdg.len() as u32)
+            .map(|t| self.explainability(observed, NodeId(t)))
+            .collect()
+    }
+
+    /// The team whose single-failure syndrome best explains `observed`
+    /// (highest explainability; ties broken by lowest node id). `None` when
+    /// the observed syndrome is quiet.
+    pub fn best_team(&self, observed: &Syndrome) -> Option<NodeId> {
+        if observed.is_quiet() {
+            return None;
+        }
+        let v = self.explainability_vector(observed);
+        let (best, _) = v
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.partial_cmp(b)
+                    .expect("explainability is never NaN")
+                    .then(ib.cmp(ia)) // prefer lower index on ties
+            })?;
+        Some(NodeId(best as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// app -> platform -> network; monitoring -> app.
+    fn chain_cdg() -> CoarseDepGraph {
+        let mut cdg = CoarseDepGraph::new();
+        let app = cdg.add_team("app");
+        let platform = cdg.add_team("platform");
+        let net = cdg.add_team("network");
+        let mon = cdg.add_team("monitoring");
+        cdg.add_dependency(app, platform);
+        cdg.add_dependency(platform, net);
+        cdg.add_dependency(mon, app);
+        cdg
+    }
+
+    #[test]
+    fn expected_syndrome_is_dependent_closure() {
+        let cdg = chain_cdg();
+        let ex = Explainability::new(&cdg);
+        let net = cdg.by_name("network").unwrap();
+        // A network fault shows symptoms everywhere (all depend on it).
+        assert_eq!(ex.expected_syndrome(net).0, vec![1.0, 1.0, 1.0, 1.0]);
+        let app = cdg.by_name("app").unwrap();
+        // An app fault shows at app and monitoring only.
+        assert_eq!(ex.expected_syndrome(app).0, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn direct_only_propagation_is_shallower() {
+        let cdg = chain_cdg();
+        let ex = Explainability::with_options(&cdg, Propagation::DirectOnly, Similarity::Cosine);
+        let net = cdg.by_name("network").unwrap();
+        // Only platform directly depends on network.
+        assert_eq!(ex.expected_syndrome(net).0, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let a = Syndrome(vec![1.0, 0.0, 1.0]);
+        let b = Syndrome(vec![1.0, 0.0, 1.0]);
+        let c = Syndrome(vec![0.0, 1.0, 0.0]);
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&a, &c), 0.0);
+        assert_eq!(cosine_similarity(&a, &Syndrome::zeros(3)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn cosine_rejects_mismatched_dims() {
+        cosine_similarity(&Syndrome::zeros(2), &Syndrome::zeros(3));
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a = Syndrome(vec![1.0, 1.0, 0.0]);
+        let b = Syndrome(vec![0.5, 0.0, 0.0]);
+        assert_eq!(jaccard_similarity(&a, &b), 0.5);
+        assert_eq!(jaccard_similarity(&Syndrome::zeros(3), &Syndrome::zeros(3)), 0.0);
+    }
+
+    #[test]
+    fn explainability_in_unit_interval_and_discriminative() {
+        let cdg = chain_cdg();
+        let ex = Explainability::new(&cdg);
+        let net = cdg.by_name("network").unwrap();
+        let app = cdg.by_name("app").unwrap();
+        // Observed: full fan-out (network-style failure).
+        let observed = Syndrome(vec![1.0, 1.0, 1.0, 1.0]);
+        let e_net = ex.explainability(&observed, net);
+        let e_app = ex.explainability(&observed, app);
+        assert!((0.0..=1.0).contains(&e_net) && (0.0..=1.0).contains(&e_app));
+        assert!(e_net > e_app, "network should best explain full fan-out");
+        assert_eq!(ex.best_team(&observed), Some(net));
+    }
+
+    #[test]
+    fn explainability_tolerates_noise() {
+        let cdg = chain_cdg();
+        let ex = Explainability::new(&cdg);
+        let app = cdg.by_name("app").unwrap();
+        // App failure syndrome plus a noisy platform blip.
+        let observed = Syndrome(vec![1.0, 0.3, 0.0, 1.0]);
+        assert_eq!(ex.best_team(&observed), Some(app));
+        let e = ex.explainability(&observed, app);
+        assert!(e > 0.9, "noise should only mildly reduce explainability: {e}");
+    }
+
+    #[test]
+    fn quiet_syndrome_has_no_best_team() {
+        let cdg = chain_cdg();
+        let ex = Explainability::new(&cdg);
+        assert_eq!(ex.best_team(&Syndrome::zeros(4)), None);
+    }
+
+    #[test]
+    fn explainability_vector_matches_pointwise() {
+        let cdg = chain_cdg();
+        let ex = Explainability::new(&cdg);
+        let observed = Syndrome(vec![1.0, 1.0, 0.0, 1.0]);
+        let v = ex.explainability_vector(&observed);
+        assert_eq!(v.len(), 4);
+        for (i, &val) in v.iter().enumerate() {
+            assert_eq!(val, ex.explainability(&observed, NodeId(i as u32)));
+        }
+    }
+}

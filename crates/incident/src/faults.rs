@@ -1,0 +1,300 @@
+//! Fault taxonomy and injection campaigns.
+//!
+//! Mirrors the Revelio Incident Dataset protocol at the level the paper
+//! describes: "560 fine-grained faults (e.g., hypervisor failure, bad
+//! timeouts)" injected into the Reddit deployment, each with a ground-truth
+//! responsible team ("an incident caused by a faulty firewall rule should be
+//! handled by the network team, and an incident caused by a faulty server
+//! should be handled by its microservice infrastructure team").
+//!
+//! Faults come in *kinds* × *targets* × *parameter variants*. The variant is
+//! part of the injection signature used for group-wise dataset splitting, so
+//! the test set "only contains incidents that are a result of a root-cause
+//! that is never injected in the same way as in the training set".
+
+use serde::{Deserialize, Serialize};
+use smn_telemetry::det::{mix, uniform01};
+
+use crate::app::RedditDeployment;
+
+/// The fault classes injected by the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A hypervisor fails, degrading everything it hosts.
+    HypervisorFailure,
+    /// A single server/component crashes hard.
+    ServerCrash,
+    /// A misconfigured (too-aggressive) timeout at a calling service: the
+    /// caller errors even though its dependencies are healthy.
+    BadTimeout,
+    /// A faulty firewall rule drops some flows.
+    FirewallRule,
+    /// A switch or uplink drops packets probabilistically.
+    PacketLoss,
+    /// Storage device pressure on a stateful service.
+    DiskPressure,
+    /// A slow memory leak degrades one service.
+    MemoryLeak,
+    /// A bad configuration push to one service.
+    ConfigError,
+    /// Cache eviction storm: hit rates collapse.
+    CacheEvictionStorm,
+    /// Queue backlog: consumers fall behind.
+    QueueBacklog,
+    /// WAN uplink flaps.
+    LinkFlap,
+    /// An expired TLS certificate at the load balancer.
+    CertExpiry,
+}
+
+impl FaultKind {
+    /// All kinds, fixed order.
+    pub const ALL: [FaultKind; 12] = [
+        FaultKind::HypervisorFailure,
+        FaultKind::ServerCrash,
+        FaultKind::BadTimeout,
+        FaultKind::FirewallRule,
+        FaultKind::PacketLoss,
+        FaultKind::DiskPressure,
+        FaultKind::MemoryLeak,
+        FaultKind::ConfigError,
+        FaultKind::CacheEvictionStorm,
+        FaultKind::QueueBacklog,
+        FaultKind::LinkFlap,
+        FaultKind::CertExpiry,
+    ];
+
+    /// How strongly this fault transmits along dependency edges
+    /// (multiplier on the propagated intensity; < 1 attenuates).
+    pub fn propagation_strength(self) -> f64 {
+        match self {
+            FaultKind::HypervisorFailure => 0.95,
+            FaultKind::ServerCrash => 0.9,
+            // A bad timeout hurts the *caller*; upstream of the caller
+            // still sees elevated errors.
+            FaultKind::BadTimeout => 0.8,
+            FaultKind::FirewallRule => 0.85,
+            FaultKind::PacketLoss => 0.8,
+            FaultKind::DiskPressure => 0.75,
+            // "Local" faults still degrade their callers (retries, slow
+            // responses), so even these fan out moderately.
+            FaultKind::MemoryLeak => 0.6,
+            FaultKind::ConfigError => 0.75,
+            FaultKind::CacheEvictionStorm => 0.7,
+            FaultKind::QueueBacklog => 0.75,
+            FaultKind::LinkFlap => 0.9,
+            FaultKind::CertExpiry => 0.7,
+        }
+    }
+
+    /// Campaign weight: how many times this kind's signatures are repeated
+    /// in the round-robin schedule. Cross-layer fan-out faults dominate the
+    /// campaign — they are the class of incidents the paper argues are
+    /// "inherently cross-layer and cross-team" and mis-routed today.
+    pub fn campaign_weight(self) -> usize {
+        match self {
+            FaultKind::HypervisorFailure => 2,
+            FaultKind::ServerCrash => 2,
+            FaultKind::FirewallRule => 2,
+            FaultKind::PacketLoss => 2,
+            FaultKind::LinkFlap => 2,
+            _ => 1,
+        }
+    }
+
+    /// Component names eligible as injection targets in the deployment.
+    pub fn eligible_targets(self, d: &RedditDeployment) -> Vec<String> {
+        let by_service = |services: &[&str]| -> Vec<String> {
+            d.fine
+                .graph
+                .nodes()
+                .filter(|(_, c)| services.contains(&c.service.as_str()))
+                .map(|(_, c)| c.name.clone())
+                .collect()
+        };
+        match self {
+            FaultKind::HypervisorFailure => by_service(&["hypervisor"]),
+            FaultKind::ServerCrash => by_service(&[
+                "reddit-app",
+                "memcached",
+                "cassandra",
+                "postgres",
+                "rabbitmq",
+                "worker",
+                "haproxy",
+            ]),
+            FaultKind::BadTimeout => by_service(&["reddit-app", "worker", "haproxy"]),
+            FaultKind::FirewallRule => by_service(&["firewall"]),
+            FaultKind::PacketLoss => by_service(&["switch", "wan-uplink"]),
+            FaultKind::DiskPressure => by_service(&["cassandra", "postgres"]),
+            FaultKind::MemoryLeak => {
+                by_service(&["reddit-app", "memcached", "cassandra", "postgres", "rabbitmq"])
+            }
+            FaultKind::ConfigError => {
+                by_service(&["reddit-app", "haproxy", "rabbitmq", "postgres"])
+            }
+            FaultKind::CacheEvictionStorm => by_service(&["memcached"]),
+            FaultKind::QueueBacklog => by_service(&["rabbitmq"]),
+            FaultKind::LinkFlap => by_service(&["wan-uplink"]),
+            FaultKind::CertExpiry => by_service(&["haproxy"]),
+        }
+    }
+}
+
+/// One fault to inject.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Campaign-unique incident id.
+    pub id: u64,
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Target component name.
+    pub target: String,
+    /// Parameter variant index — part of the injection signature.
+    pub variant: u8,
+    /// Root symptom severity in `(0, 1]`, derived from the variant.
+    pub severity: f64,
+    /// Ground-truth responsible team (owner of `target`).
+    pub team: String,
+}
+
+impl FaultSpec {
+    /// Injection-signature group id: incidents sharing `(kind, target)`
+    /// were "injected in the same way" and must not straddle the train/test
+    /// split — held-out incidents are root causes (fault class × faulted
+    /// component) the router has *never* seen, per the paper's protocol
+    /// ("our test set only contains incidents that are a result of a
+    /// root-cause that is never injected in the same way as in the training
+    /// set"). Parameter variants of the same root cause stay together.
+    pub fn group_id(&self) -> u64 {
+        mix(&[
+            self.kind as u64,
+            self.target.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)),
+        ])
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Total faults to generate (the paper's 560).
+    pub n_faults: usize,
+    /// Parameter variants per (kind, target).
+    pub variants: u8,
+    /// Seed for severity derivation and fault-order shuffling.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self { n_faults: 560, variants: 4, seed: 0xFA17 }
+    }
+}
+
+/// Generate the fault campaign: round-robin over every (kind, target,
+/// variant) signature until `n_faults` faults exist, with severities
+/// hash-derived per fault. Deterministic.
+pub fn generate_campaign(d: &RedditDeployment, cfg: &CampaignConfig) -> Vec<FaultSpec> {
+    // Enumerate signatures in fixed order.
+    let mut signatures: Vec<(FaultKind, String, u8)> = Vec::new();
+    for kind in FaultKind::ALL {
+        for target in kind.eligible_targets(d) {
+            for v in 0..cfg.variants {
+                for _ in 0..kind.campaign_weight() {
+                    signatures.push((kind, target.clone(), v));
+                }
+            }
+        }
+    }
+    assert!(!signatures.is_empty(), "no eligible fault signatures");
+    let mut out = Vec::with_capacity(cfg.n_faults);
+    let mut i = 0usize;
+    while out.len() < cfg.n_faults {
+        let (kind, target, variant) = signatures[i % signatures.len()].clone();
+        let id = out.len() as u64;
+        // Severity: base by variant tier, jittered per fault.
+        let tier = 0.55 + 0.1 * (variant as f64);
+        let jitter = uniform01(mix(&[cfg.seed, id, kind as u64])) * 0.15;
+        let severity = (tier + jitter).min(1.0);
+        let node = d.fine.by_name(&target).expect("target exists");
+        let team = d.fine.component(node).team.clone();
+        out.push(FaultSpec { id, kind, target, variant, severity, team });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{team_index, RedditDeployment};
+
+    #[test]
+    fn campaign_has_requested_size_and_is_deterministic() {
+        let d = RedditDeployment::build();
+        let cfg = CampaignConfig::default();
+        let a = generate_campaign(&d, &cfg);
+        let b = generate_campaign(&d, &cfg);
+        assert_eq!(a.len(), 560);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_fault_has_valid_target_and_team() {
+        let d = RedditDeployment::build();
+        let faults = generate_campaign(&d, &CampaignConfig::default());
+        for f in &faults {
+            let node = d.fine.by_name(&f.target).expect("target exists");
+            assert_eq!(d.fine.component(node).team, f.team);
+            assert!(team_index(&f.team).is_some());
+            assert!((0.0..=1.0).contains(&f.severity));
+            assert!(f.severity > 0.4);
+        }
+    }
+
+    #[test]
+    fn all_eight_teams_appear_as_ground_truth() {
+        let d = RedditDeployment::build();
+        let faults = generate_campaign(&d, &CampaignConfig::default());
+        let teams: std::collections::HashSet<&str> =
+            faults.iter().map(|f| f.team.as_str()).collect();
+        assert_eq!(teams.len(), 8, "teams: {teams:?}");
+    }
+
+    #[test]
+    fn network_faults_route_to_network_team() {
+        let d = RedditDeployment::build();
+        let faults = generate_campaign(&d, &CampaignConfig::default());
+        for f in faults.iter().filter(|f| {
+            matches!(f.kind, FaultKind::FirewallRule | FaultKind::PacketLoss | FaultKind::LinkFlap)
+        }) {
+            assert_eq!(f.team, "network", "{f:?}");
+        }
+    }
+
+    #[test]
+    fn group_ids_shared_within_root_cause_distinct_across() {
+        let d = RedditDeployment::build();
+        let faults = generate_campaign(&d, &CampaignConfig::default());
+        let a = &faults[0];
+        let other = faults
+            .iter()
+            .find(|f| f.kind != a.kind || f.target != a.target)
+            .expect("campaign has more than one root cause");
+        assert_ne!(a.group_id(), other.group_id());
+        // Same (kind, target), any variant -> same group.
+        let twin = faults[1..]
+            .iter()
+            .find(|f| f.kind == a.kind && f.target == a.target)
+            .expect("weighted campaign repeats root causes");
+        assert_eq!(a.group_id(), twin.group_id());
+    }
+
+    #[test]
+    fn eligible_targets_nonempty_for_all_kinds() {
+        let d = RedditDeployment::build();
+        for kind in FaultKind::ALL {
+            assert!(!kind.eligible_targets(&d).is_empty(), "{kind:?} has no targets");
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Feature extraction for incident routing.
+//!
+//! §5: "We use both cosine similarities and internal health metrics as
+//! feature vectors input to a Random Forest Classifier to predict the
+//! correct team label for a given incident." Three feature views exist:
+//!
+//! * **internal-only** — per-team aggregates of internal health metrics
+//!   plus probe outcomes (the 45 % baseline);
+//! * **internal + explainability** — the same plus one symptom-
+//!   explainability value per team computed against the CDG (the 78 %
+//!   configuration);
+//! * **per-team local** — only one team's own metrics, for the Scouts-style
+//!   distributed baseline (the 22 % comparator).
+
+use smn_depgraph::syndrome::Explainability;
+use smn_ml::dataset::Dataset;
+
+use crate::app::{team_index, RedditDeployment, TEAMS};
+use crate::sim::IncidentObservation;
+
+/// Number of internal health-metric features extracted per team.
+///
+/// Note `alert_fraction` is *not* a feature: alert bits are the CLTO's
+/// derived syndrome data (they feed symptom explainability), while the
+/// internal-metrics views below see what team dashboards export — raw
+/// deviations, with their heterogeneous baselines and load scaling.
+pub const PER_TEAM_FEATURES: usize = 6;
+/// Number of global probe features.
+pub const PROBE_FEATURES: usize = 2;
+
+/// Per-team internal health aggregates for one incident.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeamHealth {
+    /// Mean error deviation across the team's components.
+    pub mean_error_dev: f64,
+    /// Max error deviation across the team's components.
+    pub max_error_dev: f64,
+    /// Mean latency deviation across the team's components.
+    pub mean_latency_dev: f64,
+    /// Max throughput collapse across the team's components.
+    pub max_throughput_drop: f64,
+    /// Fraction of the team's components whose *normalized* (SMN) alert
+    /// fired — syndrome material, not a router feature.
+    pub alert_fraction: f64,
+    /// Fraction of the team's components whose *team-local* alert fired.
+    pub local_alert_fraction: f64,
+}
+
+/// Compute the per-team health aggregates for one observation, indexed by
+/// [`TEAMS`] order.
+pub fn team_health(d: &RedditDeployment, obs: &IncidentObservation) -> Vec<TeamHealth> {
+    let mut sums =
+        vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0usize); TEAMS.len()];
+    for (node, comp) in d.fine.graph.nodes() {
+        let ti = team_index(&comp.team).expect("known team");
+        let o = &obs.components[node.index()];
+        let s = &mut sums[ti];
+        s.0 += o.error_dev;
+        s.1 = s.1.max(o.error_dev);
+        s.2 += o.latency_dev;
+        s.3 = s.3.max(o.throughput_drop);
+        s.4 += o.alerting as u8 as f64;
+        s.5 += o.local_alerting as u8 as f64;
+        s.6 += 1;
+    }
+    sums.into_iter()
+        .map(|(err, max_err, lat, drop, alerts, local, n)| TeamHealth {
+            mean_error_dev: err / n as f64,
+            max_error_dev: max_err,
+            mean_latency_dev: lat / n as f64,
+            max_throughput_drop: drop,
+            alert_fraction: alerts / n as f64,
+            local_alert_fraction: local / n as f64,
+        })
+        .collect()
+}
+
+/// Names of the internal-only feature columns.
+pub fn internal_feature_names() -> Vec<String> {
+    let mut names = Vec::new();
+    for t in TEAMS {
+        names.push(format!("{t}/error_share"));
+        names.push(format!("{t}/share_margin"));
+        names.push(format!("{t}/share_rank"));
+        names.push(format!("{t}/local_alert_fraction"));
+        names.push(format!("{t}/first_alert_minute"));
+        names.push(format!("{t}/first_alert_rank"));
+    }
+    names.push("probe/cross_failure".into());
+    names.push("probe/intra_failure".into());
+    names
+}
+
+/// Internal-only feature row for one observation.
+///
+/// The centralized view normalizes across teams: each team's *share* of
+/// the incident-wide deviation, its margin over the loudest other team,
+/// and its loudness rank. Only a centralized consumer can build these —
+/// they require all teams' metrics at once — and they are what make the
+/// CLTO's internal-only router better than the per-layer distributed
+/// baseline even without the CDG: the ambient load scale and per-team
+/// baseline offsets largely cancel in relative features, while every
+/// absolute value is target- and load-specific noise.
+pub fn internal_features(d: &RedditDeployment, obs: &IncidentObservation) -> Vec<f64> {
+    let health = team_health(d, obs);
+    // Shares use the max (loudest component) rather than the mean, which
+    // would dilute single-component faults inside large teams.
+    let total_error: f64 = health.iter().map(|h| h.max_error_dev).sum::<f64>().max(1e-9);
+    let shares: Vec<f64> =
+        health.iter().map(|h| h.max_error_dev / total_error).collect();
+    let relative = |v: &[f64], i: usize| -> (f64, f64, f64) {
+        let best_other = v
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &x)| x)
+            .fold(f64::MIN, f64::max);
+        let rank =
+            v.iter().enumerate().filter(|&(j, &x)| x > v[i] || (x == v[i] && j < i)).count();
+        (v[i], v[i] - best_other, rank as f64)
+    };
+    let mut row = Vec::with_capacity(TEAMS.len() * PER_TEAM_FEATURES + PROBE_FEATURES);
+    // First-alert order: negate times so `relative` (built for
+    // larger-is-louder) ranks the *earliest* team 0.
+    let neg_times: Vec<f64> = obs.first_alert_minute.iter().map(|&t| -t).collect();
+    for (i, h) in health.iter().enumerate() {
+        let (s, m, r) = relative(&shares, i);
+        row.push(s);
+        row.push(m);
+        row.push(r);
+        row.push(h.local_alert_fraction);
+        row.push(obs.first_alert_minute[i]);
+        let (_, _, rank) = relative(&neg_times, i);
+        row.push(rank);
+    }
+    row.push(obs.cross_probe_failure);
+    row.push(obs.intra_probe_failure);
+    row
+}
+
+/// Explainability feature columns (three per team, CDG-derived).
+pub fn explainability_feature_names() -> Vec<String> {
+    let mut names: Vec<String> =
+        TEAMS.iter().map(|t| format!("explainability/{t}")).collect();
+    names.extend(TEAMS.iter().map(|t| format!("explainability_margin/{t}")));
+    names.extend(TEAMS.iter().map(|t| format!("explainability_rank/{t}")));
+    names
+}
+
+/// Explainability features: the symptom-explainability of each team for the
+/// observed syndrome (§5's extra signal), plus each team's *margin* — its
+/// explainability minus the best other team's. The margin makes "team T
+/// explains the syndrome best" directly expressible by one axis-aligned
+/// split (margin > 0), which raw similarity values alone cannot encode.
+pub fn explainability_features(
+    d: &RedditDeployment,
+    ex: &Explainability<'_>,
+    obs: &IncidentObservation,
+) -> Vec<f64> {
+    let sims: Vec<f64> = TEAMS
+        .iter()
+        .map(|t| ex.explainability(&obs.syndrome, d.team_node(t)))
+        .collect();
+    let mut row = sims.clone();
+    for (i, &s) in sims.iter().enumerate() {
+        let best_other = sims
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &v)| v)
+            .fold(f64::MIN, f64::max);
+        row.push(s - best_other);
+    }
+    // Rank of each team's explainability (0 = best). Ranks are invariant
+    // under the monotone, target-specific shifts in similarity values, so
+    // split thresholds learned on training root causes transfer to
+    // held-out ones.
+    for (i, &s) in sims.iter().enumerate() {
+        let rank = sims.iter().enumerate().filter(|&(j, &v)| v > s || (v == s && j < i)).count();
+        row.push(rank as f64);
+    }
+    row
+}
+
+/// Which feature view a dataset is built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureView {
+    /// Internal health metrics + probes only.
+    InternalOnly,
+    /// Internal + per-team symptom explainability.
+    WithExplainability,
+}
+
+/// Build the multi-class routing dataset (label = ground-truth team index)
+/// for a batch of observations.
+pub fn build_dataset(
+    d: &RedditDeployment,
+    ex: &Explainability<'_>,
+    observations: &[IncidentObservation],
+    view: FeatureView,
+) -> Dataset {
+    let mut names = internal_feature_names();
+    if view == FeatureView::WithExplainability {
+        names.extend(explainability_feature_names());
+    }
+    let mut data = Dataset::new(TEAMS.len(), names);
+    for obs in observations {
+        let mut row = internal_features(d, obs);
+        if view == FeatureView::WithExplainability {
+            row.extend(explainability_features(d, ex, obs));
+        }
+        let label = team_index(&obs.fault.team).expect("known team");
+        data.push(row, label);
+    }
+    data
+}
+
+/// Build the *local* dataset a single team's Scouts gate sees: only that
+/// team's four internal features, labeled "is this incident mine?". This is
+/// the paper's distributed comparator, which "can rely only on internal
+/// health metrics of a layer" — cross-team signals like the monitoring
+/// team's reachability probes are exactly what a per-layer view lacks.
+pub fn build_scouts_dataset(
+    d: &RedditDeployment,
+    observations: &[IncidentObservation],
+    team: &str,
+) -> Dataset {
+    let ti = team_index(team).expect("known team");
+    let names = vec![
+        format!("{team}/mean_error_dev"),
+        format!("{team}/max_error_dev"),
+        format!("{team}/mean_latency_dev"),
+        format!("{team}/local_alert_fraction"),
+    ];
+    let mut data = Dataset::new(2, names);
+    for obs in observations {
+        let h = team_health(d, obs)[ti];
+        let row = vec![
+            h.mean_error_dev,
+            h.max_error_dev,
+            h.mean_latency_dev,
+            h.local_alert_fraction,
+        ];
+        data.push(row, (obs.fault.team == team) as usize);
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{generate_campaign, CampaignConfig};
+    use crate::sim::{observe, SimConfig};
+
+    fn setup() -> (RedditDeployment, Vec<IncidentObservation>) {
+        let d = RedditDeployment::build();
+        let faults =
+            generate_campaign(&d, &CampaignConfig { n_faults: 40, ..Default::default() });
+        let cfg = SimConfig::default();
+        let obs = faults.iter().map(|f| observe(&d, f, &cfg)).collect();
+        (d, obs)
+    }
+
+    #[test]
+    fn internal_feature_width_matches_names() {
+        let (d, obs) = setup();
+        let row = internal_features(&d, &obs[0]);
+        assert_eq!(row.len(), internal_feature_names().len());
+        assert_eq!(row.len(), 8 * PER_TEAM_FEATURES + PROBE_FEATURES);
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dataset_views_have_expected_shapes() {
+        let (d, obs) = setup();
+        let ex = Explainability::new(&d.cdg);
+        let internal = build_dataset(&d, &ex, &obs, FeatureView::InternalOnly);
+        let full = build_dataset(&d, &ex, &obs, FeatureView::WithExplainability);
+        assert_eq!(internal.len(), 40);
+        assert_eq!(full.n_features(), internal.n_features() + 24);
+        assert_eq!(internal.n_classes, 8);
+    }
+
+    #[test]
+    fn explainability_features_bounded() {
+        let (d, obs) = setup();
+        let ex = Explainability::new(&d.cdg);
+        for o in &obs {
+            for v in explainability_features(&d, &ex, o) {
+                assert!((-1.0..=7.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn scouts_dataset_is_binary_and_local() {
+        let (d, obs) = setup();
+        let ds = build_scouts_dataset(&d, &obs, "storage");
+        assert_eq!(ds.n_classes, 2);
+        assert_eq!(ds.n_features(), 4);
+        let positives = ds.labels.iter().filter(|&&l| l == 1).count();
+        let expected = obs.iter().filter(|o| o.fault.team == "storage").count();
+        assert_eq!(positives, expected);
+        // The network team's view is equally local: no probe features.
+        let net = build_scouts_dataset(&d, &obs, "network");
+        assert_eq!(net.n_features(), 4);
+    }
+
+    #[test]
+    fn team_health_alert_fraction_in_unit_interval() {
+        let (d, obs) = setup();
+        for o in &obs {
+            for h in team_health(&d, o) {
+                assert!((0.0..=1.0).contains(&h.alert_fraction));
+                assert!(h.max_error_dev >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Materializing observations as CLDS telemetry records.
+//!
+//! The evaluation pipeline works on aggregated [`IncidentObservation`]s for
+//! speed; this module expands an observation into the raw record streams a
+//! real monitoring agent would emit — per-minute [`HealthSample`]s,
+//! [`ProbeResult`]s, and threshold [`Alert`]s — so the data-lake and
+//! war-story code paths operate on realistic inputs.
+
+use smn_telemetry::det::{mix, std_normal, uniform01};
+use smn_telemetry::record::{Alert, HealthSample, ProbeResult, Severity};
+use smn_telemetry::time::{Ts, MINUTE};
+
+use crate::app::RedditDeployment;
+use crate::sim::{IncidentObservation, SimConfig};
+
+/// The record streams produced by one incident window.
+#[derive(Debug, Clone, Default)]
+pub struct IncidentTelemetry {
+    /// Per-minute health samples for every component (3 metrics each).
+    pub health: Vec<HealthSample>,
+    /// Per-minute probe results (intra + cross cluster).
+    pub probes: Vec<ProbeResult>,
+    /// Alerts raised by components crossing the threshold.
+    pub alerts: Vec<Alert>,
+}
+
+/// Baseline values the deviations are applied to.
+const BASE_ERROR_RATE: f64 = 0.005;
+const BASE_LATENCY_MS: f64 = 80.0;
+
+/// Expand `obs` into raw telemetry starting at `start`.
+///
+/// Per-minute values jitter deterministically around the observation's mean
+/// deviations; alerts fire on the first minute a component's metric crosses
+/// the threshold.
+pub fn materialize(
+    d: &RedditDeployment,
+    obs: &IncidentObservation,
+    cfg: &SimConfig,
+    start: Ts,
+) -> IncidentTelemetry {
+    let mut out = IncidentTelemetry::default();
+    for minute in 0..cfg.window_minutes {
+        let ts = start + minute as u64 * MINUTE;
+        for (node, comp) in d.fine.graph.nodes() {
+            let o = &obs.components[node.index()];
+            let h = mix(&[cfg.seed, obs.fault.id, 0x3a7e, node.index() as u64, minute as u64]);
+            let jitter = 1.0 + 0.1 * std_normal(h);
+            let err = (BASE_ERROR_RATE + 0.3 * o.error_dev * jitter).max(0.0);
+            let lat = BASE_LATENCY_MS * (1.0 + 4.0 * o.latency_dev * jitter).max(0.1);
+            out.health.push(HealthSample {
+                ts,
+                component: comp.name.clone(),
+                metric: "error_rate".into(),
+                value: err,
+            });
+            out.health.push(HealthSample {
+                ts,
+                component: comp.name.clone(),
+                metric: "p99_latency_ms".into(),
+                value: lat,
+            });
+            out.health.push(HealthSample {
+                ts,
+                component: comp.name.clone(),
+                metric: "saturation".into(),
+                value: (0.4 + 0.5 * o.error_dev * jitter).clamp(0.0, 1.0),
+            });
+            // One alert per alerting component, on its first minute.
+            if minute == 0 && o.alerting {
+                let severity = if o.error_dev > 2.0 * cfg.alert_threshold {
+                    Severity::Critical
+                } else {
+                    Severity::Error
+                };
+                out.alerts.push(Alert {
+                    ts,
+                    component: comp.name.clone(),
+                    team: comp.team.clone(),
+                    kind: "health-threshold".into(),
+                    severity,
+                    message: format!(
+                        "{}: error deviation {:.2} above threshold {:.2}",
+                        comp.name, o.error_dev, cfg.alert_threshold
+                    ),
+                });
+            }
+        }
+        // Probes: one cross-cluster and one intra-cluster pair per minute.
+        let cross_fail = uniform01(mix(&[cfg.seed, obs.fault.id, 0xC505, minute as u64]))
+            < obs.cross_probe_failure;
+        out.probes.push(ProbeResult {
+            ts,
+            src_cluster: "cluster-1".into(),
+            dst_cluster: "cluster-2".into(),
+            success: !cross_fail,
+            latency_ms: if cross_fail { f64::INFINITY } else { 2.0 },
+        });
+        let intra_fail = uniform01(mix(&[cfg.seed, obs.fault.id, 0x1274, minute as u64]))
+            < obs.intra_probe_failure;
+        out.probes.push(ProbeResult {
+            ts,
+            src_cluster: "cluster-1".into(),
+            dst_cluster: "cluster-1".into(),
+            success: !intra_fail,
+            latency_ms: if intra_fail { f64::INFINITY } else { 0.5 },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultKind, FaultSpec};
+    use crate::sim::observe;
+
+    fn observation(kind: FaultKind, target: &str) -> (RedditDeployment, IncidentObservation) {
+        let d = RedditDeployment::build();
+        let node = d.fine.by_name(target).unwrap();
+        let f = FaultSpec {
+            id: 7,
+            kind,
+            target: target.into(),
+            variant: 0,
+            severity: 0.9,
+            team: d.fine.component(node).team.clone(),
+        };
+        let obs = observe(&d, &f, &SimConfig::default());
+        (d, obs)
+    }
+
+    #[test]
+    fn record_counts_match_window() {
+        let (d, obs) = observation(FaultKind::ServerCrash, "cassandra-1");
+        let cfg = SimConfig::default();
+        let t = materialize(&d, &obs, &cfg, Ts(0));
+        let n_components = d.fine.len();
+        assert_eq!(t.health.len(), cfg.window_minutes as usize * n_components * 3);
+        assert_eq!(t.probes.len(), cfg.window_minutes as usize * 2);
+        assert!(!t.alerts.is_empty());
+    }
+
+    #[test]
+    fn alerts_only_from_alerting_components() {
+        let (d, obs) = observation(FaultKind::MemoryLeak, "memcached-1");
+        let t = materialize(&d, &obs, &SimConfig::default(), Ts(0));
+        for a in &t.alerts {
+            let node = d.fine.by_name(&a.component).unwrap();
+            assert!(obs.components[node.index()].alerting, "{} not alerting", a.component);
+            assert_eq!(a.team, d.fine.component(node).team);
+        }
+    }
+
+    #[test]
+    fn firewall_fault_produces_cross_probe_failures() {
+        let (d, obs) = observation(FaultKind::FirewallRule, "firewall-1");
+        let t = materialize(&d, &obs, &SimConfig::default(), Ts(0));
+        let cross_failures = t
+            .probes
+            .iter()
+            .filter(|p| p.src_cluster != p.dst_cluster && !p.success)
+            .count();
+        assert!(cross_failures > 5, "cross failures {cross_failures}");
+    }
+
+    #[test]
+    fn health_values_physical() {
+        let (d, obs) = observation(FaultKind::HypervisorFailure, "hv-1");
+        let t = materialize(&d, &obs, &SimConfig::default(), Ts(0));
+        for h in &t.health {
+            assert!(h.value >= 0.0, "{}: {}", h.metric, h.value);
+            if h.metric == "saturation" {
+                assert!(h.value <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (d, obs) = observation(FaultKind::ConfigError, "postgres-1");
+        let cfg = SimConfig::default();
+        let a = materialize(&d, &obs, &cfg, Ts(100));
+        let b = materialize(&d, &obs, &cfg, Ts(100));
+        assert_eq!(a.health, b.health);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.alerts, b.alerts);
+    }
+}

@@ -1,0 +1,216 @@
+//! Feature matrices, labels, and dataset splits.
+//!
+//! The paper's evaluation protocol (§5) re-uses Revelio's splits and makes
+//! the test set contain "only incidents that are a result of a root-cause
+//! that is never injected in the same way as in the training set" — a
+//! *group-wise* split where all incidents sharing an injection signature go
+//! to the same side. [`Dataset::group_split`] implements that;
+//! [`Dataset::stratified_split`] is the conventional alternative.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A supervised classification dataset with dense `f64` features.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Row-major feature matrix.
+    pub features: Vec<Vec<f64>>,
+    /// Class label per row, in `0..n_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Human-readable feature names (diagnostics; len == feature count).
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Empty dataset with named features.
+    pub fn new(n_classes: usize, feature_names: Vec<String>) -> Self {
+        Self { features: Vec::new(), labels: Vec::new(), n_classes, feature_names }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width or label is inconsistent.
+    pub fn push(&mut self, row: Vec<f64>, label: usize) {
+        assert_eq!(row.len(), self.feature_names.len(), "row width mismatch");
+        assert!(label < self.n_classes, "label {label} out of range");
+        assert!(row.iter().all(|v| v.is_finite()), "non-finite feature value");
+        self.features.push(row);
+        self.labels.push(label);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Sub-dataset at the given row indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Stratified train/test split: each class is shuffled independently
+    /// and `test_frac` of it held out, so class balance is preserved.
+    pub fn stratified_split(&self, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_frac), "test_frac out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class in 0..self.n_classes {
+            let mut idx: Vec<usize> =
+                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            idx.shuffle(&mut rng);
+            let n_test = (idx.len() as f64 * test_frac).round() as usize;
+            test_idx.extend_from_slice(&idx[..n_test]);
+            train_idx.extend_from_slice(&idx[n_test..]);
+        }
+        train_idx.sort_unstable();
+        test_idx.sort_unstable();
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Group-wise split: rows sharing a group id land on the same side, and
+    /// roughly `test_frac` of *groups* are held out. This is the paper's
+    /// protocol — held-out incidents come from injection signatures never
+    /// seen in training.
+    ///
+    /// Returns `(train, test)` datasets.
+    pub fn group_split(&self, groups: &[u64], test_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert_eq!(groups.len(), self.len(), "one group id per row");
+        let mut unique: Vec<u64> = {
+            let mut g = groups.to_vec();
+            g.sort_unstable();
+            g.dedup();
+            g
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        unique.shuffle(&mut rng);
+        let n_test_groups = ((unique.len() as f64 * test_frac).round() as usize)
+            .clamp(1, unique.len().saturating_sub(1).max(1));
+        let test_groups: std::collections::HashSet<u64> =
+            unique[..n_test_groups].iter().copied().collect();
+        let (mut train_idx, mut test_idx) = (Vec::new(), Vec::new());
+        for (i, g) in groups.iter().enumerate() {
+            if test_groups.contains(g) {
+                test_idx.push(i);
+            } else {
+                train_idx.push(i);
+            }
+        }
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Class frequency histogram.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_per_class: usize, n_classes: usize) -> Dataset {
+        let mut d = Dataset::new(n_classes, vec!["x".into(), "y".into()]);
+        for c in 0..n_classes {
+            for i in 0..n_per_class {
+                d.push(vec![c as f64, i as f64], c);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_counts() {
+        let d = toy(5, 3);
+        assert_eq!(d.len(), 15);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.class_counts(), vec![5, 5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_bad_width() {
+        let mut d = Dataset::new(2, vec!["x".into()]);
+        d.push(vec![1.0, 2.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        let mut d = Dataset::new(2, vec!["x".into()]);
+        d.push(vec![1.0], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_features() {
+        let mut d = Dataset::new(2, vec!["x".into()]);
+        d.push(vec![f64::NAN], 0);
+    }
+
+    #[test]
+    fn stratified_split_preserves_balance() {
+        let d = toy(20, 4);
+        let (train, test) = d.stratified_split(0.25, 7);
+        assert_eq!(train.len(), 60);
+        assert_eq!(test.len(), 20);
+        assert_eq!(test.class_counts(), vec![5, 5, 5, 5]);
+        // Deterministic.
+        let (train2, _) = d.stratified_split(0.25, 7);
+        assert_eq!(train.labels, train2.labels);
+    }
+
+    #[test]
+    fn group_split_keeps_groups_intact() {
+        let d = toy(10, 2); // 20 rows
+        // 5 groups of 4 rows each.
+        let groups: Vec<u64> = (0..20).map(|i| (i / 4) as u64).collect();
+        let (train, test) = d.group_split(&groups, 0.4, 3);
+        assert_eq!(train.len() + test.len(), 20);
+        // Each side's size is a multiple of the group size.
+        assert_eq!(test.len() % 4, 0);
+        assert!(test.len() >= 4);
+    }
+
+    #[test]
+    fn group_split_never_empties_training() {
+        let d = toy(3, 2);
+        let groups = vec![1, 1, 1, 2, 2, 2];
+        let (train, test) = d.group_split(&groups, 0.99, 1);
+        assert!(!train.is_empty());
+        assert!(!test.is_empty());
+    }
+
+    #[test]
+    fn subset_picks_rows() {
+        let d = toy(3, 2);
+        let s = d.subset(&[0, 5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![0, 1]);
+        assert_eq!(s.features[1], d.features[5]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Random Forest classifier (bagging + per-node feature subsampling).
+//!
+//! §5 uses "a Random Forest Classifier to predict the correct team label for
+//! a given incident". This implementation is standard Breiman: each tree is
+//! fit on a bootstrap resample with √d features considered per split, and
+//! prediction averages leaf class distributions (soft voting). Training is
+//! parallelized across trees with scoped threads; results are independent
+//! of thread scheduling because every tree's RNG is seeded from
+//! `(forest seed, tree index)`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// Random Forest hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Base-tree knobs. `max_features: None` here means "use √d".
+    pub tree: TreeConfig,
+    /// RNG seed; fits are reproducible given the seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self { n_trees: 100, tree: TreeConfig::default(), seed: 0x5357 }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Fit a forest on `data`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or zero trees.
+    pub fn fit(data: &Dataset, config: &ForestConfig) -> RandomForest {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(config.n_trees > 0, "forest needs at least one tree");
+        let mut tree_cfg = config.tree.clone();
+        if tree_cfg.max_features.is_none() {
+            let sqrt_d = (data.n_features() as f64).sqrt().round() as usize;
+            tree_cfg.max_features = Some(sqrt_d.max(1));
+        }
+        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk = config.n_trees.div_ceil(n_threads);
+        let trees: Vec<DecisionTree> = std::thread::scope(|scope| {
+            let tree_cfg = &tree_cfg;
+            let handles: Vec<_> = (0..config.n_trees)
+                .collect::<Vec<_>>()
+                .chunks(chunk)
+                .map(|idxs| {
+                    let idxs = idxs.to_vec();
+                    scope.spawn(move || {
+                        idxs.into_iter()
+                            .map(|t| {
+                                let mut rng = StdRng::seed_from_u64(
+                                    config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                );
+                                let sample = bootstrap(data, &mut rng);
+                                DecisionTree::fit(&sample, tree_cfg, &mut rng)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("tree fitting panicked"))
+                .collect()
+        });
+        RandomForest { trees, n_classes: data.n_classes }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Averaged per-class probability for `row`.
+    pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_classes];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict_proba(row)) {
+                *a += p;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+
+    /// Predicted class for `row`.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        crate::tree::argmax(&self.predict_proba(row))
+    }
+
+    /// Predictions for every row of `data`.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
+        data.features.iter().map(|r| self.predict(r)).collect()
+    }
+}
+
+/// Bootstrap resample of `data` (same size, sampled with replacement).
+fn bootstrap(data: &Dataset, rng: &mut StdRng) -> Dataset {
+    let n = data.len();
+    let indices: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+    data.subset(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Noisy two-cluster data.
+    fn noisy_clusters(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(2, vec!["x".into(), "y".into(), "noise".into()]);
+        for _ in 0..100 {
+            let c = rng.random_range(0..2usize);
+            let base = c as f64 * 2.0;
+            d.push(
+                vec![
+                    base + rng.random::<f64>() - 0.5,
+                    base + rng.random::<f64>() - 0.5,
+                    rng.random::<f64>(),
+                ],
+                c,
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn learns_noisy_clusters() {
+        let train = noisy_clusters(1);
+        let test = noisy_clusters(2);
+        let forest =
+            RandomForest::fit(&train, &ForestConfig { n_trees: 30, ..Default::default() });
+        let preds = forest.predict_all(&test);
+        let acc = preds.iter().zip(&test.labels).filter(|(p, l)| p == l).count() as f64
+            / test.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = noisy_clusters(3);
+        let cfg = ForestConfig { n_trees: 10, seed: 42, ..Default::default() };
+        let f1 = RandomForest::fit(&d, &cfg);
+        let f2 = RandomForest::fit(&d, &cfg);
+        assert_eq!(f1.predict_all(&d), f2.predict_all(&d));
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        // Pure-noise labels: trees memorize their bootstrap sample, so
+        // different seeds must yield different probability estimates.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut d = Dataset::new(2, vec!["x".into()]);
+        for _ in 0..60 {
+            d.push(vec![rng.random::<f64>()], rng.random_range(0..2usize));
+        }
+        let f1 = RandomForest::fit(&d, &ForestConfig { n_trees: 3, seed: 1, ..Default::default() });
+        let f2 = RandomForest::fit(&d, &ForestConfig { n_trees: 3, seed: 2, ..Default::default() });
+        let differs = d
+            .features
+            .iter()
+            .any(|r| f1.predict_proba(r) != f2.predict_proba(r));
+        assert!(differs);
+    }
+
+    #[test]
+    fn proba_normalized() {
+        let d = noisy_clusters(4);
+        let forest = RandomForest::fit(&d, &ForestConfig { n_trees: 7, ..Default::default() });
+        let p = forest.predict_proba(&d.features[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let d = noisy_clusters(5);
+        RandomForest::fit(&d, &ForestConfig { n_trees: 0, ..Default::default() });
+    }
+}
+
+#[cfg(test)]
+mod argmax_sanity {
+    use super::*;
+    use rand::RngExt;
+
+    /// y = argmax of 8 features, margins included: the forest must learn it.
+    #[test]
+    fn learns_argmax_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut make = |n: usize| {
+            let mut d = Dataset::new(8, (0..16).map(|i| format!("f{i}")).collect());
+            for _ in 0..n {
+                let vals: Vec<f64> = (0..8).map(|_| rng.random::<f64>()).collect();
+                let mut row = vals.clone();
+                for i in 0..8 {
+                    let best_other = vals
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, &v)| v)
+                        .fold(f64::MIN, f64::max);
+                    row.push(vals[i] - best_other);
+                }
+                let label = vals
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0;
+                d.push(row, label);
+            }
+            d
+        };
+        let train = make(400);
+        let test = make(200);
+        let f = RandomForest::fit(&train, &ForestConfig { n_trees: 150, ..Default::default() });
+        let acc = f
+            .predict_all(&test)
+            .iter()
+            .zip(&test.labels)
+            .filter(|(p, l)| p == l)
+            .count() as f64
+            / test.len() as f64;
+        assert!(acc > 0.8, "forest cannot learn argmax: {acc}");
+    }
+}

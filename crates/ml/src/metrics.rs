@@ -1,0 +1,169 @@
+//! Classification metrics: accuracy, confusion matrix, precision/recall/F1.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to the truth.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "prediction count mismatch");
+    assert!(!truth.is_empty(), "accuracy of empty prediction set");
+    truth.iter().zip(pred).filter(|(t, p)| t == p).count() as f64 / truth.len() as f64
+}
+
+/// A confusion matrix: `m[t][p]` counts rows with truth `t` predicted `p`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Row-major counts, `n_classes × n_classes`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel truth/prediction slices.
+    pub fn new(n_classes: usize, truth: &[usize], pred: &[usize]) -> Self {
+        assert_eq!(truth.len(), pred.len(), "prediction count mismatch");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&t, &p) in truth.iter().zip(pred) {
+            counts[t][p] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Precision of `class` (None when the class is never predicted).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let predicted: usize = self.counts.iter().map(|row| row[class]).sum();
+        (predicted > 0).then(|| self.counts[class][class] as f64 / predicted as f64)
+    }
+
+    /// Recall of `class` (None when the class never occurs in truth).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let actual: usize = self.counts[class].iter().sum();
+        (actual > 0).then(|| self.counts[class][class] as f64 / actual as f64)
+    }
+
+    /// F1 of `class`, when both precision and recall are defined and
+    /// nonzero-summed.
+    pub fn f1(&self, class: usize) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Macro-F1: mean F1 over classes that occur in truth (missing
+    /// precision counts as 0).
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.n_classes() {
+            if self.recall(c).is_some() {
+                sum += self.f1(c).unwrap_or(0.0);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Overall accuracy from the matrix.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.n_classes()).map(|c| self.counts[c][c]).sum();
+        let total: usize = self.counts.iter().flat_map(|r| r.iter()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Render as an aligned text table with class names.
+    pub fn render(&self, class_names: &[&str]) -> String {
+        assert_eq!(class_names.len(), self.n_classes(), "one name per class");
+        let w = class_names.iter().map(|n| n.len()).max().unwrap_or(4).max(5);
+        let mut out = format!("{:>w$} |", "t\\p", w = w);
+        for n in class_names {
+            out.push_str(&format!(" {n:>w$}", w = w));
+        }
+        out.push('\n');
+        for (t, row) in self.counts.iter().enumerate() {
+            out.push_str(&format!("{:>w$} |", class_names[t], w = w));
+            for &c in row {
+                out.push_str(&format!(" {c:>w$}", w = w));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn accuracy_length_mismatch() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let truth = [0, 0, 1, 1, 2];
+        let pred = [0, 1, 1, 1, 0];
+        let m = ConfusionMatrix::new(3, &truth, &pred);
+        assert_eq!(m.counts[0], vec![1, 1, 0]);
+        assert_eq!(m.counts[1], vec![0, 2, 0]);
+        assert_eq!(m.counts[2], vec![1, 0, 0]);
+        assert_eq!(m.accuracy(), 0.6);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 1, 1];
+        let m = ConfusionMatrix::new(2, &truth, &pred);
+        assert_eq!(m.precision(0), Some(1.0));
+        assert_eq!(m.recall(0), Some(0.5));
+        assert_eq!(m.precision(1), Some(2.0 / 3.0));
+        assert_eq!(m.recall(1), Some(1.0));
+        let f1_0 = m.f1(0).unwrap();
+        assert!((f1_0 - 2.0 / 3.0).abs() < 1e-12);
+        assert!(m.macro_f1() > 0.0);
+    }
+
+    #[test]
+    fn undefined_precision_for_never_predicted_class() {
+        let m = ConfusionMatrix::new(3, &[0, 1], &[0, 0]);
+        assert_eq!(m.precision(2), None);
+        assert_eq!(m.recall(2), None);
+        // Class 2 absent from truth: excluded from macro-F1 denominator.
+        let m2 = ConfusionMatrix::new(3, &[0, 1], &[0, 1]);
+        assert_eq!(m2.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn render_is_square() {
+        let m = ConfusionMatrix::new(2, &[0, 1], &[1, 1]);
+        let txt = m.render(&["net", "app"]);
+        assert_eq!(txt.lines().count(), 3);
+        assert!(txt.contains("net"));
+    }
+}

@@ -1,0 +1,323 @@
+//! CART decision trees (Gini impurity, axis-aligned splits).
+//!
+//! Built from scratch because the workspace has no ML dependency. Only what
+//! a Random Forest base learner needs: continuous features, Gini splits,
+//! depth / sample-count stopping rules, and optional per-node feature
+//! subsampling (the "random" in random forest).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Stopping and randomization knobs for tree induction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Do not split nodes with fewer samples than this.
+    pub min_samples_split: usize,
+    /// Every leaf must hold at least this many samples.
+    pub min_samples_leaf: usize,
+    /// Number of features sampled per node; `None` = all features.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_split: 2, min_samples_leaf: 1, max_features: None }
+    }
+}
+
+/// A node in the flattened tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    /// Terminal node: per-class sample counts at fit time.
+    Leaf { counts: Vec<usize> },
+    /// Internal node: go left when `feature value <= threshold`.
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted classification tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Fit a tree on `data`.
+    ///
+    /// `rng` drives per-node feature subsampling when
+    /// `config.max_features` is set; with `None` the fit is fully
+    /// deterministic regardless of `rng`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset, config: &TreeConfig, rng: &mut StdRng) -> DecisionTree {
+        assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
+        let mut tree = DecisionTree { nodes: Vec::new(), n_classes: data.n_classes };
+        let indices: Vec<usize> = (0..data.len()).collect();
+        tree.build(data, &indices, 0, config, rng);
+        tree
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    fn build(
+        &mut self,
+        data: &Dataset,
+        indices: &[usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let counts = class_counts(data, indices);
+        let node_id = self.nodes.len();
+        // Stopping rules: pure node, depth, or size.
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= config.max_depth || indices.len() < config.min_samples_split {
+            self.nodes.push(Node::Leaf { counts });
+            return node_id;
+        }
+        let Some((feature, threshold)) = best_split(data, indices, config, rng) else {
+            self.nodes.push(Node::Leaf { counts });
+            return node_id;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| data.features[i][feature] <= threshold);
+        if left_idx.len() < config.min_samples_leaf || right_idx.len() < config.min_samples_leaf {
+            self.nodes.push(Node::Leaf { counts });
+            return node_id;
+        }
+        // Reserve the slot, then fill in children (indices stay stable).
+        self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+        let left = self.build(data, &left_idx, depth + 1, config, rng);
+        let right = self.build(data, &right_idx, depth + 1, config, rng);
+        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        node_id
+    }
+
+    /// Per-class probability estimate for `row` (leaf frequency).
+    pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { counts } => {
+                    let total: usize = counts.iter().sum();
+                    return counts
+                        .iter()
+                        .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+                        .collect();
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predicted class for `row` (argmax of leaf counts; ties to the lower
+    /// class id).
+    pub fn predict(&self, row: &[f64]) -> usize {
+        argmax(&self.predict_proba(row))
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub(crate) fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn class_counts(data: &Dataset, indices: &[usize]) -> Vec<usize> {
+    let mut counts = vec![0usize; data.n_classes];
+    for &i in indices {
+        counts[data.labels[i]] += 1;
+    }
+    counts
+}
+
+fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+/// Find the (feature, threshold) minimizing weighted child Gini over the
+/// sampled feature set. Returns `None` when no split separates anything.
+fn best_split(
+    data: &Dataset,
+    indices: &[usize],
+    config: &TreeConfig,
+    rng: &mut StdRng,
+) -> Option<(usize, f64)> {
+    let n_features = data.n_features();
+    let mut feature_pool: Vec<usize> = (0..n_features).collect();
+    if let Some(k) = config.max_features {
+        feature_pool.shuffle(rng);
+        feature_pool.truncate(k.max(1).min(n_features));
+        feature_pool.sort_unstable(); // determinism of iteration order
+    }
+    let parent_gini = gini(&class_counts(data, indices));
+    let total = indices.len() as f64;
+    let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+    for &f in &feature_pool {
+        // Sort this node's samples by the feature value.
+        let mut vals: Vec<(f64, usize)> =
+            indices.iter().map(|&i| (data.features[i][f], data.labels[i])).collect();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+        // Sweep split points between distinct adjacent values.
+        let mut left_counts = vec![0usize; data.n_classes];
+        let mut right_counts = class_counts(data, indices);
+        for w in 0..vals.len() - 1 {
+            left_counts[vals[w].1] += 1;
+            right_counts[vals[w].1] -= 1;
+            if vals[w].0 == vals[w + 1].0 {
+                continue; // can't split between equal values
+            }
+            let nl = (w + 1) as f64;
+            let nr = total - nl;
+            let impurity = nl / total * gini(&left_counts) + nr / total * gini(&right_counts);
+            // Accept any split that does not worsen impurity (zero-gain
+            // splits are kept so structures like XOR, where the first cut
+            // pays off only one level deeper, remain learnable); among
+            // candidates prefer strictly lower impurity.
+            if best.map_or(impurity <= parent_gini + 1e-12, |(bi, _, _)| impurity < bi - 1e-12) {
+                let threshold = (vals[w].0 + vals[w + 1].0) / 2.0;
+                best = Some((impurity, f, threshold));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    /// Two clusters separable on feature 0.
+    fn separable() -> Dataset {
+        let mut d = Dataset::new(2, vec!["x".into(), "junk".into()]);
+        for i in 0..20 {
+            d.push(vec![i as f64 * 0.1, 0.5], 0);
+            d.push(vec![10.0 + i as f64 * 0.1, 0.5], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let d = separable();
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        for i in 0..d.len() {
+            assert_eq!(tree.predict(&d.features[i]), d.labels[i]);
+        }
+        // One split suffices.
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.node_count(), 3);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let d = separable();
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        let p = tree.predict_proba(&[0.5, 0.5]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p[0], 1.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        // XOR-ish data that needs depth 2; cap at 1.
+        let mut d = Dataset::new(2, vec!["x".into(), "y".into()]);
+        for &(x, y, l) in
+            &[(0.0, 0.0, 0usize), (1.0, 1.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1)]
+        {
+            for _ in 0..5 {
+                d.push(vec![x, y], l);
+            }
+        }
+        let shallow =
+            DecisionTree::fit(&d, &TreeConfig { max_depth: 1, ..Default::default() }, &mut rng());
+        assert!(shallow.depth() <= 1);
+        let deep = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        // Deep tree learns XOR.
+        assert_eq!(deep.predict(&[0.0, 0.0]), 0);
+        assert_eq!(deep.predict(&[0.0, 1.0]), 1);
+    }
+
+    #[test]
+    fn constant_features_give_single_leaf() {
+        let mut d = Dataset::new(2, vec!["x".into()]);
+        for i in 0..10 {
+            d.push(vec![3.0], i % 2);
+        }
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.node_count(), 1);
+        let p = tree.predict_proba(&[3.0]);
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let d = separable();
+        let cfg = TreeConfig { min_samples_leaf: 25, ..Default::default() };
+        // 40 samples, leaves must have >= 25 each: impossible -> no split.
+        let tree = DecisionTree::fit(&d, &cfg, &mut rng());
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn gini_values() {
+        assert_eq!(gini(&[10, 0]), 0.0);
+        assert!((gini(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+    }
+
+    #[test]
+    fn feature_subsampling_is_deterministic_per_seed() {
+        let d = separable();
+        let cfg = TreeConfig { max_features: Some(1), ..Default::default() };
+        let t1 = DecisionTree::fit(&d, &cfg, &mut StdRng::seed_from_u64(9));
+        let t2 = DecisionTree::fit(&d, &cfg, &mut StdRng::seed_from_u64(9));
+        for i in 0..d.len() {
+            assert_eq!(t1.predict(&d.features[i]), t2.predict(&d.features[i]));
+        }
+    }
+}

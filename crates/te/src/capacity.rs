@@ -1,0 +1,242 @@
+//! Capacity planning: threshold-driven link augmentation.
+//!
+//! §4: "operators follow heuristics like augmenting the bandwidth on a link
+//! if its utilization consistently exceeds a threshold" — and war story 1
+//! shows why the heuristic needs cross-layer context: without it, planners
+//! upgrade links TE *transiently* overloaded, and propose upgrades fiber
+//! constraints make impossible. [`CapacityPlanner`] implements both the
+//! naive (siloed) policy and the SMN policy (sustained overload + fiber
+//! awareness); the war-story bench compares them.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use smn_topology::EdgeId;
+
+/// Planner policy knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UpgradePolicy {
+    /// Utilization above this counts as overloaded.
+    pub threshold: f64,
+    /// A link must be overloaded in at least this many of the last
+    /// `window` observations to qualify as *sustained* (1 = the naive
+    /// "any overload" rule of war story 1).
+    pub min_overloaded: usize,
+    /// Number of trailing observations considered.
+    pub window: usize,
+    /// Capacity added per upgrade, in Gbps.
+    pub step_gbps: f64,
+    /// Cost per Gbps·km of added capacity (arbitrary currency).
+    pub cost_per_gbps_km: f64,
+}
+
+impl Default for UpgradePolicy {
+    fn default() -> Self {
+        Self {
+            threshold: 0.8,
+            min_overloaded: 6,
+            window: 8,
+            step_gbps: 100.0,
+            cost_per_gbps_km: 0.02,
+        }
+    }
+}
+
+impl UpgradePolicy {
+    /// The naive siloed policy: upgrade on any single overloaded window,
+    /// with no fiber awareness (fiber checks are the caller's choice of
+    /// `upgradeable` oracle).
+    pub fn naive(threshold: f64) -> Self {
+        Self { threshold, min_overloaded: 1, window: 1, ..Self::default() }
+    }
+}
+
+/// One proposed link upgrade.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkUpgrade {
+    /// The link to augment.
+    pub link: EdgeId,
+    /// Capacity to add in Gbps.
+    pub add_gbps: f64,
+    /// Estimated cost (step × distance × unit cost).
+    pub cost: f64,
+    /// How many of the trailing windows were overloaded.
+    pub overloaded_windows: usize,
+}
+
+/// The outcome of one planning pass.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CapacityPlan {
+    /// Upgrades the plan commits to.
+    pub upgrades: Vec<LinkUpgrade>,
+    /// Links that met the utilization rule but cannot be upgraded due to
+    /// fiber constraints (no spare wavelength slots on a span).
+    pub blocked_by_fiber: Vec<EdgeId>,
+    /// Links that exceeded the threshold only transiently (skipped by a
+    /// sustained-overload policy; the naive policy would have upgraded
+    /// them — war story 1's wasted planning cycles).
+    pub transient_skipped: Vec<EdgeId>,
+}
+
+impl CapacityPlan {
+    /// Total plan cost.
+    pub fn total_cost(&self) -> f64 {
+        self.upgrades.iter().map(|u| u.cost).sum()
+    }
+
+    /// Screen the plan's upgrades against the shared-risk structure (§7's
+    /// risk-aware capacity planning): upgrades that share fiber spans
+    /// concentrate capacity on one failure domain instead of adding
+    /// resilience.
+    pub fn risk_screen(&self, srlgs: &[crate::srlg::Srlg]) -> crate::srlg::RiskReport {
+        let candidates: Vec<usize> =
+            self.upgrades.iter().map(|u| u.link.index()).collect();
+        crate::srlg::assess_upgrades(srlgs, &candidates)
+    }
+}
+
+/// The capacity planner.
+#[derive(Debug, Clone)]
+pub struct CapacityPlanner {
+    policy: UpgradePolicy,
+}
+
+impl CapacityPlanner {
+    /// Planner with `policy`.
+    pub fn new(policy: UpgradePolicy) -> Self {
+        Self { policy }
+    }
+
+    /// Produce a plan from per-link utilization history.
+    ///
+    /// * `history` — per link, chronological utilization observations (one
+    ///   per planning window, e.g. weekly p95);
+    /// * `distance_km` — per-link distance (for costing);
+    /// * `upgradeable` — fiber oracle: `Some(false)` means spans are full
+    ///   (cannot light new wavelengths), `None` means unknown (treated as
+    ///   upgradeable — the naive planner's blindness).
+    pub fn plan(
+        &self,
+        history: &HashMap<EdgeId, Vec<f64>>,
+        distance_km: impl Fn(EdgeId) -> f64,
+        upgradeable: impl Fn(EdgeId) -> Option<bool>,
+    ) -> CapacityPlan {
+        let p = &self.policy;
+        let mut plan = CapacityPlan::default();
+        let mut links: Vec<&EdgeId> = history.keys().collect();
+        links.sort();
+        for &link in links {
+            let series = &history[&link];
+            let recent: Vec<f64> =
+                series.iter().rev().take(p.window).cloned().collect();
+            let overloaded = recent.iter().filter(|&&u| u > p.threshold).count();
+            if overloaded == 0 {
+                continue;
+            }
+            if overloaded < p.min_overloaded {
+                plan.transient_skipped.push(link);
+                continue;
+            }
+            if upgradeable(link) == Some(false) {
+                plan.blocked_by_fiber.push(link);
+                continue;
+            }
+            let cost = p.step_gbps * distance_km(link) * p.cost_per_gbps_km;
+            plan.upgrades.push(LinkUpgrade {
+                link,
+                add_gbps: p.step_gbps,
+                cost,
+                overloaded_windows: overloaded,
+            });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history(entries: &[(u32, &[f64])]) -> HashMap<EdgeId, Vec<f64>> {
+        entries.iter().map(|&(e, v)| (EdgeId(e), v.to_vec())).collect()
+    }
+
+    #[test]
+    fn sustained_overload_upgraded_transient_skipped() {
+        let h = history(&[
+            (0, &[0.9; 8]),                                        // sustained
+            (1, &[0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.95]),       // transient spike
+            (2, &[0.1; 8]),                                        // healthy
+        ]);
+        let planner = CapacityPlanner::new(UpgradePolicy::default());
+        let plan = planner.plan(&h, |_| 1000.0, |_| Some(true));
+        assert_eq!(plan.upgrades.len(), 1);
+        assert_eq!(plan.upgrades[0].link, EdgeId(0));
+        assert_eq!(plan.upgrades[0].overloaded_windows, 8);
+        assert_eq!(plan.transient_skipped, vec![EdgeId(1)]);
+        assert!(plan.blocked_by_fiber.is_empty());
+    }
+
+    #[test]
+    fn naive_policy_upgrades_transients() {
+        let h = history(&[(1, &[0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.95])]);
+        let planner = CapacityPlanner::new(UpgradePolicy::naive(0.8));
+        let plan = planner.plan(&h, |_| 1000.0, |_| None);
+        assert_eq!(plan.upgrades.len(), 1, "naive planner chases the spike");
+        assert!(plan.transient_skipped.is_empty());
+    }
+
+    #[test]
+    fn fiber_constraints_block_upgrades() {
+        let h = history(&[(0, &[0.9; 8]), (1, &[0.9; 8])]);
+        let planner = CapacityPlanner::new(UpgradePolicy::default());
+        let plan = planner.plan(&h, |_| 500.0, |e| Some(e != EdgeId(1)));
+        assert_eq!(plan.upgrades.len(), 1);
+        assert_eq!(plan.blocked_by_fiber, vec![EdgeId(1)]);
+    }
+
+    #[test]
+    fn cost_scales_with_distance() {
+        let h = history(&[(0, &[0.9; 8]), (1, &[0.9; 8])]);
+        let planner = CapacityPlanner::new(UpgradePolicy::default());
+        let plan = planner.plan(
+            &h,
+            |e| if e == EdgeId(0) { 100.0 } else { 5000.0 },
+            |_| Some(true),
+        );
+        assert_eq!(plan.upgrades.len(), 2);
+        let costs: HashMap<EdgeId, f64> =
+            plan.upgrades.iter().map(|u| (u.link, u.cost)).collect();
+        assert!(costs[&EdgeId(1)] > costs[&EdgeId(0)] * 40.0);
+        assert_eq!(plan.total_cost(), costs[&EdgeId(0)] + costs[&EdgeId(1)]);
+    }
+
+    #[test]
+    fn risk_screen_flags_correlated_upgrades() {
+        use smn_topology::layer1::{Modulation, OpticalLayer};
+        // Two sustained-hot links that ride the same fiber span.
+        let mut l1 = OpticalLayer::new();
+        let shared = l1.add_span("shared", 500.0, false, 4);
+        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![0]);
+        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![1]);
+        let srlgs = crate::srlg::extract_srlgs(&l1);
+        let h = history(&[(0, &[0.9; 8]), (1, &[0.9; 8])]);
+        let plan = CapacityPlanner::new(UpgradePolicy::default())
+            .plan(&h, |_| 100.0, |_| Some(true));
+        assert_eq!(plan.upgrades.len(), 2);
+        let report = plan.risk_screen(&srlgs);
+        assert!(!report.is_diverse());
+        assert_eq!(report.correlated_pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn short_history_counts_what_exists() {
+        // Only 3 observations, all hot: with min_overloaded=6 this is still
+        // "transient" (not enough evidence).
+        let h = history(&[(0, &[0.9, 0.95, 0.99])]);
+        let planner = CapacityPlanner::new(UpgradePolicy::default());
+        let plan = planner.plan(&h, |_| 100.0, |_| Some(true));
+        assert!(plan.upgrades.is_empty());
+        assert_eq!(plan.transient_skipped, vec![EdgeId(0)]);
+    }
+}

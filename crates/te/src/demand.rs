@@ -1,0 +1,158 @@
+//! Demand matrices: the interface between bandwidth logs and TE solvers.
+//!
+//! A demand matrix is derived from bandwidth logs — per-epoch, or
+//! aggregated over a window by a summary statistic (the time-coarsened
+//! form of §4) — and can be *contracted* onto a coarse (supernode) graph
+//! using a node map from topology coarsening.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use smn_telemetry::record::BandwidthRecord;
+use smn_telemetry::series::{SummaryStats, Statistic};
+use smn_topology::NodeId;
+
+/// One traffic commodity: demand between a node pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Commodity {
+    /// Source node (fine or coarse, depending on the graph in use).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Demand in Gbps.
+    pub demand_gbps: f64,
+}
+
+/// A demand matrix: a set of commodities over some graph's node space.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DemandMatrix {
+    /// The commodities, one per communicating pair.
+    pub commodities: Vec<Commodity>,
+}
+
+impl DemandMatrix {
+    /// Build from explicit `(src, dst, gbps)` triples, dropping
+    /// non-positive demands and merging duplicates.
+    pub fn from_triples(triples: impl IntoIterator<Item = (NodeId, NodeId, f64)>) -> Self {
+        let mut merged: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+        for (s, d, g) in triples {
+            if g > 0.0 && s != d {
+                *merged.entry((s, d)).or_insert(0.0) += g;
+            }
+        }
+        let mut commodities: Vec<Commodity> = merged
+            .into_iter()
+            .map(|((src, dst), demand_gbps)| Commodity { src, dst, demand_gbps })
+            .collect();
+        commodities.sort_by_key(|c| (c.src, c.dst));
+        DemandMatrix { commodities }
+    }
+
+    /// Build from a window of bandwidth records, summarizing each pair's
+    /// samples with `stat` (e.g. [`Statistic::Mean`] or p95 — the
+    /// time-coarsening statistics of §4).
+    pub fn from_records(records: &[BandwidthRecord], stat: Statistic) -> Self {
+        let mut samples: HashMap<(u32, u32), Vec<f64>> = HashMap::new();
+        for r in records {
+            samples.entry((r.src, r.dst)).or_default().push(r.gbps);
+        }
+        Self::from_triples(samples.into_iter().map(|((s, d), v)| {
+            let value = SummaryStats::of(&v).expect("non-empty sample vector").get(stat);
+            (NodeId(s), NodeId(d), value)
+        }))
+    }
+
+    /// Total demand in Gbps.
+    pub fn total_gbps(&self) -> f64 {
+        self.commodities.iter().map(|c| c.demand_gbps).sum()
+    }
+
+    /// Number of commodities.
+    pub fn len(&self) -> usize {
+        self.commodities.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.commodities.is_empty()
+    }
+
+    /// Contract the matrix onto a coarse graph: each node is mapped by
+    /// `node_map` (from [`smn_topology::graph::Contraction`]); demands
+    /// whose endpoints merge into the same supernode disappear (they become
+    /// intra-supernode traffic the coarse problem cannot see — §4's
+    /// information loss), and the rest merge per coarse pair.
+    pub fn contract(&self, node_map: &[NodeId]) -> DemandMatrix {
+        Self::from_triples(self.commodities.iter().filter_map(|c| {
+            let cs = node_map[c.src.index()];
+            let cd = node_map[c.dst.index()];
+            (cs != cd).then_some((cs, cd, c.demand_gbps))
+        }))
+    }
+
+    /// The fraction of total demand that survives contraction (the rest is
+    /// intra-supernode).
+    pub fn contracted_fraction(&self, node_map: &[NodeId]) -> f64 {
+        let total = self.total_gbps();
+        if total == 0.0 {
+            return 1.0;
+        }
+        self.contract(node_map).total_gbps() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_telemetry::time::Ts;
+
+    fn rec(ts: u64, src: u32, dst: u32, gbps: f64) -> BandwidthRecord {
+        BandwidthRecord { ts: Ts(ts), src, dst, gbps }
+    }
+
+    #[test]
+    fn from_triples_merges_and_sorts() {
+        let m = DemandMatrix::from_triples(vec![
+            (NodeId(1), NodeId(0), 5.0),
+            (NodeId(0), NodeId(1), 10.0),
+            (NodeId(0), NodeId(1), 2.0),
+            (NodeId(2), NodeId(2), 99.0), // self loop dropped
+            (NodeId(0), NodeId(2), -1.0), // non-positive dropped
+        ]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.commodities[0].src, NodeId(0));
+        assert_eq!(m.commodities[0].demand_gbps, 12.0);
+        assert_eq!(m.total_gbps(), 17.0);
+    }
+
+    #[test]
+    fn from_records_applies_statistic() {
+        let records = vec![rec(0, 0, 1, 100.0), rec(300, 0, 1, 200.0), rec(600, 0, 1, 300.0)];
+        let mean = DemandMatrix::from_records(&records, Statistic::Mean);
+        assert_eq!(mean.commodities[0].demand_gbps, 200.0);
+        let max = DemandMatrix::from_records(&records, Statistic::Max);
+        assert_eq!(max.commodities[0].demand_gbps, 300.0);
+    }
+
+    #[test]
+    fn contraction_merges_and_drops_internal() {
+        // Nodes 0,1 -> supernode 0; node 2 -> supernode 1.
+        let map = vec![NodeId(0), NodeId(0), NodeId(1)];
+        let m = DemandMatrix::from_triples(vec![
+            (NodeId(0), NodeId(1), 50.0), // intra-supernode: vanishes
+            (NodeId(0), NodeId(2), 30.0),
+            (NodeId(1), NodeId(2), 20.0), // merges with the above
+        ]);
+        let c = m.contract(&map);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.commodities[0].demand_gbps, 50.0);
+        assert!((m.contracted_fraction(&map) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_contracts_cleanly() {
+        let m = DemandMatrix::default();
+        assert!(m.is_empty());
+        assert_eq!(m.contracted_fraction(&[]), 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Exact single-commodity max-flow (Dinic's algorithm).
+//!
+//! Used as ground truth in tests of the approximate multicommodity solver
+//! and for single-pair feasibility questions (e.g. "how much could these
+//! two regions exchange at most?").
+
+/// A directed flow network with float capacities, built edge-by-edge.
+///
+/// This is a self-contained residual-graph structure (not [`smn_topology`]'s
+/// `DiGraph`) because max-flow needs paired residual arcs.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    // Forward and residual arcs interleaved: arc i's reverse is i ^ 1.
+    to: Vec<usize>,
+    cap: Vec<f64>,
+    head: Vec<Vec<usize>>,
+}
+
+impl FlowNetwork {
+    /// Network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        Self { to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Add a directed arc `u -> v` with `capacity`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes or negative capacity.
+    pub fn add_arc(&mut self, u: usize, v: usize, capacity: f64) {
+        assert!(u < self.head.len() && v < self.head.len(), "arc endpoint out of range");
+        assert!(capacity >= 0.0, "negative capacity");
+        self.head[u].push(self.to.len());
+        self.to.push(v);
+        self.cap.push(capacity);
+        self.head[v].push(self.to.len());
+        self.to.push(u);
+        self.cap.push(0.0);
+    }
+
+    /// Maximum `s -> t` flow (Dinic). The network's residual capacities are
+    /// consumed; clone first if you need to reuse it.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        const EPS: f64 = 1e-9;
+        assert!(s < self.head.len() && t < self.head.len(), "terminal out of range");
+        if s == t {
+            return 0.0;
+        }
+        let n = self.head.len();
+        let mut total = 0.0;
+        loop {
+            // BFS level graph.
+            let mut level = vec![usize::MAX; n];
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &a in &self.head[u] {
+                    let v = self.to[a];
+                    if self.cap[a] > EPS && level[v] == usize::MAX {
+                        level[v] = level[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if level[t] == usize::MAX {
+                break;
+            }
+            // DFS blocking flow with iteration pointers.
+            let mut it = vec![0usize; n];
+            loop {
+                let pushed = self.dfs(s, t, f64::INFINITY, &level, &mut it);
+                if pushed <= EPS {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, limit: f64, level: &[usize], it: &mut [usize]) -> f64 {
+        const EPS: f64 = 1e-9;
+        if u == t {
+            return limit;
+        }
+        while it[u] < self.head[u].len() {
+            let a = self.head[u][it[u]];
+            let v = self.to[a];
+            if self.cap[a] > EPS && level[v] == level[u] + 1 {
+                let pushed = self.dfs(v, t, limit.min(self.cap[a]), level, it);
+                if pushed > EPS {
+                    self.cap[a] -= pushed;
+                    self.cap[a ^ 1] += pushed;
+                    return pushed;
+                }
+            }
+            it[u] += 1;
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_two_path_flow() {
+        // s -> a -> t (10), s -> b -> t (5).
+        let mut f = FlowNetwork::new(4);
+        f.add_arc(0, 1, 10.0);
+        f.add_arc(1, 3, 10.0);
+        f.add_arc(0, 2, 5.0);
+        f.add_arc(2, 3, 5.0);
+        assert_eq!(f.max_flow(0, 3), 15.0);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        // s -> a (100) -> t (1).
+        let mut f = FlowNetwork::new(3);
+        f.add_arc(0, 1, 100.0);
+        f.add_arc(1, 2, 1.0);
+        assert_eq!(f.max_flow(0, 2), 1.0);
+    }
+
+    #[test]
+    fn classic_augmenting_cross_edge() {
+        // The textbook case where a naive greedy needs the residual arc.
+        let mut f = FlowNetwork::new(4);
+        f.add_arc(0, 1, 1.0);
+        f.add_arc(0, 2, 1.0);
+        f.add_arc(1, 3, 1.0);
+        f.add_arc(2, 3, 1.0);
+        f.add_arc(1, 2, 1.0);
+        assert_eq!(f.max_flow(0, 3), 2.0);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut f = FlowNetwork::new(4);
+        f.add_arc(0, 1, 7.0);
+        f.add_arc(2, 3, 7.0);
+        assert_eq!(f.max_flow(0, 3), 0.0);
+        let mut g = FlowNetwork::new(2);
+        assert_eq!(g.max_flow(0, 0), 0.0);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut f = FlowNetwork::new(3);
+        f.add_arc(0, 1, 0.25);
+        f.add_arc(1, 2, 0.75);
+        assert!((f.max_flow(0, 2) - 0.25).abs() < 1e-9);
+    }
+}

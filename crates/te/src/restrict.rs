@@ -1,0 +1,180 @@
+//! Coarse-conformant path restriction: realizing supernode-level TE
+//! decisions on the fine network.
+//!
+//! §4: "traffic engineering optimization on a coarsened network graph
+//! assumes that all traffic from the supernode must be routed along
+//! predetermined network edges defined in the coarsened graph. This
+//! restriction in the algorithmic search space can lead to suboptimal
+//! solutions." This module makes the restriction concrete: a fine
+//! commodity's candidate paths are *expansions* of coarse paths — within a
+//! supernode any intra-supernode route is allowed, but supernode-to-
+//! supernode hops must follow the coarse path's edge sequence. Solving the
+//! fine problem over these restricted path sets measures exactly the
+//! optimality the coarsening gave up.
+
+use smn_topology::graph::{Contraction, NodeId, Path};
+use smn_topology::layer3::{SuperLink, SuperNode, Wan};
+
+/// Expand up to `k` coarse paths between the supernodes of `src` and `dst`
+/// into fine-network paths.
+///
+/// For each coarse path: cross each coarse edge over its highest-capacity
+/// member link, and bridge within supernodes via shortest up-link routes
+/// restricted to that supernode's members. Coarse paths with no feasible
+/// expansion are skipped. When `src` and `dst` share a supernode, the
+/// intra-supernode shortest path is returned (the coarse problem cannot see
+/// this traffic at all, but the realization must still carry it).
+pub fn coarse_restricted_paths(
+    wan: &Wan,
+    contraction: &Contraction<SuperNode, SuperLink>,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+) -> Vec<Path> {
+    let cs = contraction.node_map[src.index()];
+    let cd = contraction.node_map[dst.index()];
+    let usable = |eid: smn_topology::EdgeId| wan.graph.edge(eid).payload.up;
+
+    // Shortest fine path between two nodes staying inside one supernode.
+    let within = |from: NodeId, to: NodeId, supernode: NodeId| -> Option<Path> {
+        wan.graph.shortest_path(from, to, |eid, e| {
+            (usable(eid)
+                && contraction.node_map[e.src.index()] == supernode
+                && contraction.node_map[e.dst.index()] == supernode)
+                .then_some(1.0)
+        })
+    };
+
+    if cs == cd {
+        return within(src, dst, cs).into_iter().collect();
+    }
+
+    let coarse_paths = contraction.graph.k_shortest_paths(cs, cd, k, |_, e| {
+        (e.payload.capacity_gbps > 0.0).then_some(1.0)
+    });
+
+    let mut out = Vec::new();
+    'coarse: for cp in coarse_paths {
+        let mut nodes = vec![src];
+        let mut edges = Vec::new();
+        let mut cursor = src;
+        for (hop, &cedge) in cp.edges.iter().enumerate() {
+            let (ca, cb) = cp.nodes[hop..].split_first().map(|(a, rest)| (*a, rest[0])).unwrap();
+            let _ = cedge;
+            // Highest-capacity member link crossing ca -> cb.
+            let member = wan
+                .graph
+                .edges()
+                .filter(|(eid, e)| {
+                    usable(*eid)
+                        && contraction.node_map[e.src.index()] == ca
+                        && contraction.node_map[e.dst.index()] == cb
+                })
+                .max_by(|a, b| {
+                    a.1.payload
+                        .capacity_gbps
+                        .partial_cmp(&b.1.payload.capacity_gbps)
+                        .expect("finite capacities")
+                });
+            let Some((member_id, member_edge)) = member else { continue 'coarse };
+            // Bridge within the current supernode to the member link's tail.
+            if cursor != member_edge.src {
+                let Some(bridge) = within(cursor, member_edge.src, ca) else {
+                    continue 'coarse;
+                };
+                nodes.extend_from_slice(&bridge.nodes[1..]);
+                edges.extend_from_slice(&bridge.edges);
+            }
+            nodes.push(member_edge.dst);
+            edges.push(member_id);
+            cursor = member_edge.dst;
+        }
+        // Final leg inside the destination supernode.
+        if cursor != dst {
+            let Some(tail) = within(cursor, dst, cd) else { continue 'coarse };
+            nodes.extend_from_slice(&tail.nodes[1..]);
+            edges.extend_from_slice(&tail.edges);
+        }
+        // Drop expansions that revisit a node (can arise from greedy
+        // member-link choices); they would be rejected by loopless TE.
+        let mut seen = std::collections::HashSet::new();
+        if !nodes.iter().all(|n| seen.insert(*n)) {
+            continue;
+        }
+        let cost = edges.len() as f64;
+        out.push(Path { nodes, edges, cost });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_topology::gen::reference_wan;
+
+    #[test]
+    fn expansion_respects_supernode_sequence() {
+        let wan = reference_wan();
+        let contraction = wan.contract_by_region();
+        let src = wan.dc_by_name("us-e2").unwrap();
+        let dst = wan.dc_by_name("us-w1").unwrap();
+        let paths = coarse_restricted_paths(&wan, &contraction, src, dst, 3);
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert_eq!(p.nodes.first(), Some(&src));
+            assert_eq!(p.nodes.last(), Some(&dst));
+            // Supernode sequence must never return to a previous supernode.
+            let supers: Vec<_> =
+                p.nodes.iter().map(|n| contraction.node_map[n.index()]).collect();
+            let mut dedup = supers.clone();
+            dedup.dedup();
+            let unique: std::collections::HashSet<_> = dedup.iter().collect();
+            assert_eq!(unique.len(), dedup.len(), "revisits a supernode: {supers:?}");
+        }
+    }
+
+    #[test]
+    fn intra_supernode_commodity_routes_internally() {
+        let wan = reference_wan();
+        let contraction = wan.contract_by_region();
+        let src = wan.dc_by_name("us-e1").unwrap();
+        let dst = wan.dc_by_name("us-e2").unwrap();
+        let paths = coarse_restricted_paths(&wan, &contraction, src, dst, 3);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].edges.len(), 1, "direct intra-region link");
+    }
+
+    #[test]
+    fn down_links_are_avoided() {
+        let mut wan = reference_wan();
+        // Down both parallel direct links us-e1 <-> us-w1.
+        let e1 = wan.dc_by_name("us-e1").unwrap();
+        let w1 = wan.dc_by_name("us-w1").unwrap();
+        let fwd = wan.graph.find_edge(e1, w1).unwrap();
+        wan.set_link_up(fwd, false);
+        let contraction = wan.contract_by_region();
+        let paths = coarse_restricted_paths(&wan, &contraction, e1, w1, 3);
+        for p in &paths {
+            assert!(!p.edges.contains(&fwd), "uses a down link");
+        }
+        assert!(!paths.is_empty(), "alternate member links exist");
+    }
+
+    #[test]
+    fn restricted_paths_are_a_subset_of_fine_reachability() {
+        let wan = reference_wan();
+        let contraction = wan.contract_by_continent();
+        let src = wan.dc_by_name("us-w2").unwrap();
+        let dst = wan.dc_by_name("eu-w1").unwrap();
+        let paths = coarse_restricted_paths(&wan, &contraction, src, dst, 2);
+        assert!(!paths.is_empty());
+        for p in &paths {
+            // Every edge really exists and chains correctly.
+            for (i, &e) in p.edges.iter().enumerate() {
+                let (a, b) = wan.graph.endpoints(e);
+                assert_eq!(a, p.nodes[i]);
+                assert_eq!(b, p.nodes[i + 1]);
+            }
+        }
+    }
+}

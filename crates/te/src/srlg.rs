@@ -1,0 +1,177 @@
+//! Shared-risk link groups (SRLGs) from the L1↔L3 mapping.
+//!
+//! §7: "can mappings from IP links to layer 1 information like submarine
+//! cables be used not just for risk modeling but for risk-aware topology
+//! design and capacity planning at layer 3?" — this module answers the
+//! capacity-planning half. An SRLG is the set of L3 links that ride a
+//! common fiber span: one backhoe (or shark) takes them all down together.
+//! The risk-aware planner diversifies upgrades away from spans that
+//! already carry much of a corridor's capacity.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use smn_topology::layer1::{FiberSpanId, OpticalLayer};
+
+/// One shared-risk group: a fiber span and every L3 link riding it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Srlg {
+    /// The shared span.
+    pub span: FiberSpanId,
+    /// Whether the span is submarine (harder to repair, higher exposure).
+    pub submarine: bool,
+    /// L3 link indices sharing the span, sorted.
+    pub links: Vec<usize>,
+}
+
+/// Extract every SRLG with at least two member links from the optical
+/// layer — single-link spans carry no *shared* risk.
+pub fn extract_srlgs(optical: &OpticalLayer) -> Vec<Srlg> {
+    let mut span_links: HashMap<FiberSpanId, HashSet<usize>> = HashMap::new();
+    for w in optical.wavelengths() {
+        for &span in &w.spans {
+            span_links
+                .entry(span)
+                .or_default()
+                .extend(optical.links_on_wavelength(w.id).iter().copied());
+        }
+    }
+    let mut srlgs: Vec<Srlg> = span_links
+        .into_iter()
+        .filter(|(_, links)| links.len() >= 2)
+        .map(|(span, links)| {
+            let mut links: Vec<usize> = links.into_iter().collect();
+            links.sort_unstable();
+            Srlg { span, submarine: optical.span(span).submarine, links }
+        })
+        .collect();
+    srlgs.sort_by_key(|s| s.span);
+    srlgs
+}
+
+/// All L3 links that fail together with `link` (including itself) when any
+/// shared span is cut — the blast radius of a single span failure.
+pub fn correlated_failure_set(srlgs: &[Srlg], link: usize) -> HashSet<usize> {
+    let mut out = HashSet::from([link]);
+    for s in srlgs {
+        if s.links.contains(&link) {
+            out.extend(s.links.iter().copied());
+        }
+    }
+    out
+}
+
+/// Risk report for a set of candidate upgrades: upgrades landing on links
+/// that share a span with other candidates concentrate risk instead of
+/// adding resilient capacity.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RiskReport {
+    /// Candidate pairs that share at least one span.
+    pub correlated_pairs: Vec<(usize, usize)>,
+    /// Candidates riding a submarine span (repair times in weeks).
+    pub submarine_exposed: Vec<usize>,
+}
+
+impl RiskReport {
+    /// Whether the candidate set is risk-diverse (no correlated pairs).
+    pub fn is_diverse(&self) -> bool {
+        self.correlated_pairs.is_empty()
+    }
+}
+
+/// Assess a set of upgrade candidates against the SRLG structure.
+pub fn assess_upgrades(srlgs: &[Srlg], candidates: &[usize]) -> RiskReport {
+    let mut report = RiskReport::default();
+    for (i, &a) in candidates.iter().enumerate() {
+        for &b in &candidates[i + 1..] {
+            if a == b {
+                continue;
+            }
+            if srlgs.iter().any(|s| s.links.contains(&a) && s.links.contains(&b)) {
+                report.correlated_pairs.push((a.min(b), a.max(b)));
+            }
+        }
+    }
+    for &c in candidates {
+        if srlgs.iter().any(|s| s.submarine && s.links.contains(&c))
+            && !report.submarine_exposed.contains(&c)
+        {
+            report.submarine_exposed.push(c);
+        }
+    }
+    report.correlated_pairs.sort_unstable();
+    report.correlated_pairs.dedup();
+    report.submarine_exposed.sort_unstable();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_topology::layer1::Modulation;
+
+    /// Two links share span A; a third rides its own span; a fourth rides
+    /// a submarine span.
+    fn layer() -> OpticalLayer {
+        let mut l1 = OpticalLayer::new();
+        let shared = l1.add_span("shared", 500.0, false, 2);
+        let solo = l1.add_span("solo", 500.0, false, 2);
+        let sea = l1.add_span("sea", 3000.0, true, 0);
+        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![0]);
+        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![1]);
+        l1.light_wavelength(vec![solo], Modulation::Qpsk, vec![2]);
+        l1.light_wavelength(vec![sea], Modulation::Qpsk, vec![3]);
+        l1
+    }
+
+    #[test]
+    fn srlgs_found_only_for_shared_spans() {
+        let srlgs = extract_srlgs(&layer());
+        assert_eq!(srlgs.len(), 1);
+        assert_eq!(srlgs[0].links, vec![0, 1]);
+        assert!(!srlgs[0].submarine);
+    }
+
+    #[test]
+    fn correlated_failure_sets() {
+        let srlgs = extract_srlgs(&layer());
+        assert_eq!(correlated_failure_set(&srlgs, 0), HashSet::from([0, 1]));
+        assert_eq!(correlated_failure_set(&srlgs, 2), HashSet::from([2]));
+    }
+
+    #[test]
+    fn upgrade_assessment_flags_correlation() {
+        let srlgs = extract_srlgs(&layer());
+        let risky = assess_upgrades(&srlgs, &[0, 1, 2]);
+        assert_eq!(risky.correlated_pairs, vec![(0, 1)]);
+        assert!(!risky.is_diverse());
+        let diverse = assess_upgrades(&srlgs, &[0, 2]);
+        assert!(diverse.is_diverse());
+    }
+
+    #[test]
+    fn submarine_exposure_detected() {
+        let mut l1 = layer();
+        // Add a second link to the sea span so it becomes an SRLG.
+        let sea = l1.spans().iter().find(|s| s.submarine).unwrap().id;
+        l1.light_wavelength(vec![sea], Modulation::Qpsk, vec![4]);
+        let srlgs = extract_srlgs(&l1);
+        let report = assess_upgrades(&srlgs, &[3, 4]);
+        assert_eq!(report.submarine_exposed, vec![3, 4]);
+        assert_eq!(report.correlated_pairs, vec![(3, 4)]);
+    }
+
+    #[test]
+    fn planetary_wan_has_real_srlgs() {
+        let p = smn_topology::gen::generate_planetary(
+            &smn_topology::gen::PlanetaryConfig::small(9),
+        );
+        let srlgs = extract_srlgs(&p.optical);
+        // Every generated link's two directions share spans, so SRLGs are
+        // plentiful by construction.
+        assert!(!srlgs.is_empty());
+        for s in &srlgs {
+            assert!(s.links.len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # smn-telemetry
+//!
+//! Telemetry substrate for the SMN reproduction: the record vocabulary of
+//! the Cross-Layer Data Store ([`record`]), simulated time and five-minute
+//! epochs ([`time`]), a deterministic synthetic WAN traffic model with
+//! hot-pair skew, seasonality, spikes, and stability classes ([`traffic`]),
+//! time-series summaries for time-based coarsening ([`series`]), and honest
+//! byte-level log-volume accounting ([`sizing`]).
+//!
+//! ```
+//! use smn_telemetry::time::Ts;
+//! use smn_telemetry::traffic::{TrafficConfig, TrafficModel};
+//! use smn_topology::gen::reference_wan;
+//!
+//! let wan = reference_wan();
+//! let model = TrafficModel::new(&wan, TrafficConfig::default());
+//! let log = model.generate(Ts(0), 12); // one hour of 5-minute epochs
+//! assert_eq!(log.len(), 12 * model.pairs().len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod det;
+pub mod record;
+pub mod series;
+pub mod templates;
+pub mod sizing;
+pub mod time;
+pub mod traffic;
+
+pub use record::{Alert, BandwidthRecord, HealthSample, IncidentRecord, LogEvent, ProbeResult, Severity};
+pub use time::Ts;

@@ -1,0 +1,271 @@
+//! Time-series summaries: the statistical half of time-based coarsening.
+//!
+//! §4: "traffic engineering controllers can replace per-epoch demand traces
+//! … with summary statistics (e.g., mean or 95th percentile bandwidth usage)
+//! over fixed smaller time windows." [`SummaryStats`] is that replacement;
+//! [`TimeSeries::window_summaries`] computes it over fixed windows of a
+//! record stream.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Ts;
+
+/// Summary statistics of a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl SummaryStats {
+    /// Summarize `values`. Returns `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<SummaryStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Some(SummaryStats {
+            count,
+            mean,
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            std: var.sqrt(),
+        })
+    }
+
+    /// Pick one statistic by name; used to parameterize which statistic a
+    /// coarsening retains.
+    pub fn get(&self, stat: Statistic) -> f64 {
+        match stat {
+            Statistic::Mean => self.mean,
+            Statistic::Min => self.min,
+            Statistic::Max => self.max,
+            Statistic::P50 => self.p50,
+            Statistic::P95 => self.p95,
+            Statistic::P99 => self.p99,
+        }
+    }
+}
+
+/// Selectable summary statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Statistic {
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Median.
+    P50,
+    /// 95th percentile — the capacity-planning staple.
+    P95,
+    /// 99th percentile.
+    P99,
+}
+
+/// Exact percentile of an ascending-sorted slice by linear interpolation.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `p` outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// A timestamped univariate series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Sample times, ascending.
+    pub ts: Vec<Ts>,
+    /// Sample values, parallel to `ts`.
+    pub values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample.
+    ///
+    /// # Panics
+    /// Panics if `ts` is older than the last sample (series are append-only
+    /// and time-ordered, like the telemetry streams they model).
+    pub fn push(&mut self, ts: Ts, value: f64) {
+        if let Some(&last) = self.ts.last() {
+            assert!(ts >= last, "out-of-order sample {ts:?} after {last:?}");
+        }
+        self.ts.push(ts);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Values with `start <= ts < end`.
+    pub fn range(&self, start: Ts, end: Ts) -> &[f64] {
+        let lo = self.ts.partition_point(|&t| t < start);
+        let hi = self.ts.partition_point(|&t| t < end);
+        &self.values[lo..hi]
+    }
+
+    /// Summaries over consecutive fixed windows of `window_secs`, starting
+    /// at the first sample's window boundary. Returns `(window_start,
+    /// stats)` pairs; empty windows are skipped.
+    pub fn window_summaries(&self, window_secs: u64) -> Vec<(Ts, SummaryStats)> {
+        assert!(window_secs > 0, "zero window");
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let first = Ts(self.ts[0].0 / window_secs * window_secs);
+        let last = *self.ts.last().expect("non-empty");
+        let mut out = Vec::new();
+        let mut w = first;
+        while w <= last {
+            let end = w + window_secs;
+            if let Some(stats) = SummaryStats::of(self.range(w, end)) {
+                out.push((w, stats));
+            }
+            w = end;
+        }
+        out
+    }
+
+    /// Coefficient of variation (std/mean) over the whole series — the
+    /// stability score used by churn-adaptive coarsening (higher = less
+    /// stable). `None` if empty or zero-mean.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        let s = SummaryStats::of(&self.values)?;
+        (s.mean.abs() > f64::EPSILON).then(|| s.std / s.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = SummaryStats::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.5);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!(SummaryStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let sorted = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 50.0);
+        assert_eq!(percentile_sorted(&sorted, 50.0), 30.0);
+        assert_eq!(percentile_sorted(&sorted, 25.0), 20.0);
+        assert_eq!(percentile_sorted(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_bad_p() {
+        percentile_sorted(&[1.0], 150.0);
+    }
+
+    #[test]
+    fn statistic_selector() {
+        let s = SummaryStats::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.get(Statistic::Mean), 2.0);
+        assert_eq!(s.get(Statistic::Max), 3.0);
+        assert_eq!(s.get(Statistic::Min), 1.0);
+        assert_eq!(s.get(Statistic::P50), 2.0);
+    }
+
+    #[test]
+    fn series_range_queries() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(Ts(i * 100), i as f64);
+        }
+        assert_eq!(ts.range(Ts(200), Ts(500)), &[2.0, 3.0, 4.0]);
+        assert_eq!(ts.range(Ts(950), Ts(2000)), &[] as &[f64]);
+        assert_eq!(ts.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn series_rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.push(Ts(100), 1.0);
+        ts.push(Ts(50), 2.0);
+    }
+
+    #[test]
+    fn window_summaries_partition_samples() {
+        let mut ts = TimeSeries::new();
+        for i in 0..6 {
+            ts.push(Ts(i * 100), i as f64);
+        }
+        let w = ts.window_summaries(300);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].0, Ts(0));
+        assert_eq!(w[0].1.count, 3);
+        assert_eq!(w[0].1.mean, 1.0);
+        assert_eq!(w[1].0, Ts(300));
+        assert_eq!(w[1].1.mean, 4.0);
+        // Total samples preserved.
+        assert_eq!(w.iter().map(|(_, s)| s.count).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn cv_ranks_stability() {
+        let mut flat = TimeSeries::new();
+        let mut wild = TimeSeries::new();
+        for i in 0..50u64 {
+            flat.push(Ts(i), 100.0 + (i % 2) as f64);
+            wild.push(Ts(i), if i % 2 == 0 { 10.0 } else { 200.0 });
+        }
+        assert!(
+            flat.coefficient_of_variation().unwrap() < wild.coefficient_of_variation().unwrap()
+        );
+        assert!(TimeSeries::new().coefficient_of_variation().is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! Log-template mining: converting unstructured logs into structured
+//! inputs for the CLTO (§6 AIOps item 3 — the deterministic, pre-LLM
+//! version of "convert logs into structured inputs").
+//!
+//! A lightweight Drain-style miner: log lines are tokenized on whitespace,
+//! grouped by token count, and merged into templates where positions whose
+//! tokens differ become `<*>` wildcards, as long as the fraction of
+//! non-wildcard positions stays above a similarity threshold. Parameters
+//! (the wildcarded tokens) are extracted per line.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::LogEvent;
+
+/// A mined template: fixed tokens with `<*>` wildcards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Template {
+    /// Stable id within its miner.
+    pub id: usize,
+    /// Tokens; `None` is a wildcard position.
+    pub tokens: Vec<Option<String>>,
+    /// How many lines matched this template.
+    pub count: usize,
+}
+
+impl Template {
+    /// Human-readable form, wildcards as `<*>`.
+    pub fn render(&self) -> String {
+        self.tokens
+            .iter()
+            .map(|t| t.as_deref().unwrap_or("<*>"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Fraction of positions that are fixed (non-wildcard).
+    pub fn specificity(&self) -> f64 {
+        if self.tokens.is_empty() {
+            return 1.0;
+        }
+        self.tokens.iter().filter(|t| t.is_some()).count() as f64 / self.tokens.len() as f64
+    }
+}
+
+/// A structured event: which template a line matched and its parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructuredEvent {
+    /// Matched template id.
+    pub template: usize,
+    /// Tokens at the template's wildcard positions, in order.
+    pub parameters: Vec<String>,
+}
+
+/// The template miner.
+#[derive(Debug, Clone)]
+pub struct TemplateMiner {
+    /// Minimum fraction of agreeing positions to merge a line into an
+    /// existing template.
+    pub similarity_threshold: f64,
+    templates: Vec<Template>,
+    /// Index: token count -> template ids (cheap candidate filter).
+    by_len: HashMap<usize, Vec<usize>>,
+}
+
+impl TemplateMiner {
+    /// Miner with the given merge threshold (0.5 is a good default).
+    pub fn new(similarity_threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&similarity_threshold));
+        Self { similarity_threshold, templates: Vec::new(), by_len: HashMap::new() }
+    }
+
+    /// All mined templates.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Ingest one line; returns its structured form.
+    pub fn ingest(&mut self, line: &str) -> StructuredEvent {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let candidates = self.by_len.get(&tokens.len()).cloned().unwrap_or_default();
+        // Find the best-matching template of the same length.
+        let mut best: Option<(usize, usize)> = None; // (template id, matches)
+        for id in candidates {
+            let t = &self.templates[id];
+            let matches = t
+                .tokens
+                .iter()
+                .zip(&tokens)
+                .filter(|(a, b)| a.as_deref() == Some(**b))
+                .count();
+            if best.is_none_or(|(_, m)| matches > m) {
+                best = Some((id, matches));
+            }
+        }
+        let threshold =
+            (self.similarity_threshold * tokens.len() as f64).ceil() as usize;
+        if let Some((id, matches)) = best {
+            if matches >= threshold.max(1) || tokens.is_empty() {
+                return self.merge_into(id, &tokens);
+            }
+        }
+        // New template: all positions fixed.
+        let id = self.templates.len();
+        self.templates.push(Template {
+            id,
+            tokens: tokens.iter().map(|t| Some(t.to_string())).collect(),
+            count: 1,
+        });
+        self.by_len.entry(tokens.len()).or_default().push(id);
+        StructuredEvent { template: id, parameters: Vec::new() }
+    }
+
+    fn merge_into(&mut self, id: usize, tokens: &[&str]) -> StructuredEvent {
+        let t = &mut self.templates[id];
+        t.count += 1;
+        let mut parameters = Vec::new();
+        for (slot, tok) in t.tokens.iter_mut().zip(tokens) {
+            match slot {
+                Some(s) if s == tok => {}
+                Some(_) => {
+                    *slot = None; // position becomes a wildcard
+                    parameters.push(tok.to_string());
+                }
+                None => parameters.push(tok.to_string()),
+            }
+        }
+        StructuredEvent { template: id, parameters }
+    }
+
+    /// Ingest a batch of [`LogEvent`]s; returns per-event structures.
+    pub fn ingest_events(&mut self, events: &[LogEvent]) -> Vec<StructuredEvent> {
+        events.iter().map(|e| self.ingest(&e.text)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_lines_share_a_template() {
+        let mut m = TemplateMiner::new(0.5);
+        let a = m.ingest("connection refused to db-1");
+        let b = m.ingest("connection refused to db-1");
+        assert_eq!(a.template, b.template);
+        assert_eq!(m.templates().len(), 1);
+        assert_eq!(m.templates()[0].count, 2);
+        assert!(b.parameters.is_empty());
+    }
+
+    #[test]
+    fn varying_token_becomes_wildcard_parameter() {
+        let mut m = TemplateMiner::new(0.5);
+        m.ingest("connection refused to db-1");
+        let b = m.ingest("connection refused to db-2");
+        assert_eq!(m.templates().len(), 1);
+        assert_eq!(m.templates()[0].render(), "connection refused to <*>");
+        assert_eq!(b.parameters, vec!["db-2".to_string()]);
+        // A third line extracts its parameter from the wildcard slot.
+        let c = m.ingest("connection refused to cache-7");
+        assert_eq!(c.parameters, vec!["cache-7".to_string()]);
+    }
+
+    #[test]
+    fn dissimilar_lines_get_separate_templates() {
+        let mut m = TemplateMiner::new(0.6);
+        let a = m.ingest("disk pressure on volume sda1");
+        let b = m.ingest("timeout waiting for upstream http");
+        assert_ne!(a.template, b.template);
+        assert_eq!(m.templates().len(), 2);
+    }
+
+    #[test]
+    fn different_lengths_never_merge() {
+        let mut m = TemplateMiner::new(0.1);
+        let a = m.ingest("error code 500");
+        let b = m.ingest("error code 500 from gateway");
+        assert_ne!(a.template, b.template);
+    }
+
+    #[test]
+    fn specificity_reflects_wildcards() {
+        let mut m = TemplateMiner::new(0.5);
+        m.ingest("request 1 failed with 503");
+        m.ingest("request 2 failed with 504");
+        let t = &m.templates()[0];
+        assert_eq!(t.render(), "request <*> failed with <*>");
+        assert!((t.specificity() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ingest_events_batches() {
+        use crate::record::Severity;
+        use crate::time::Ts;
+        let events: Vec<LogEvent> = (0..5)
+            .map(|i| LogEvent {
+                ts: Ts(i),
+                component: "web-1".into(),
+                severity: Severity::Error,
+                text: format!("request {i} failed with 503"),
+            })
+            .collect();
+        let mut m = TemplateMiner::new(0.5);
+        let structured = m.ingest_events(&events);
+        assert_eq!(structured.len(), 5);
+        assert!(structured.iter().all(|s| s.template == 0));
+        assert_eq!(m.templates()[0].count, 5);
+    }
+}

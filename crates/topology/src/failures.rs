@@ -1,0 +1,140 @@
+//! Failure-event simulation over the optical layer.
+//!
+//! War story 2 and the SMN reliability loop need a realistic stream of
+//! link flaps whose *cause* lives at L1: each wavelength flaps per
+//! [`crate::layer1::Wavelength::flap_probability`] (driven by modulation
+//! aggressiveness and reach stress), and a wavelength flap takes down every
+//! L3 link it carries for that day. The simulation is a pure function of
+//! the seed, so reliability experiments are reproducible.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer1::{OpticalLayer, WavelengthId};
+
+/// One simulated flap: a wavelength failed (and recovered) on a given day,
+/// dropping its carried L3 links.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlapEvent {
+    /// Day index of the flap.
+    pub day: u64,
+    /// The wavelength that flapped.
+    pub wavelength: WavelengthId,
+    /// L3 link indices that dropped.
+    pub links: Vec<usize>,
+}
+
+/// Simulate `days` days of wavelength flaps over `optical`. Deterministic
+/// in `seed`.
+pub fn simulate_flaps(optical: &OpticalLayer, days: u64, seed: u64) -> Vec<FlapEvent> {
+    let mut events = Vec::new();
+    for day in 0..days {
+        for w in optical.wavelengths() {
+            let p = w.flap_probability();
+            let h = hash3(seed, day, w.id.0 as u64);
+            if uniform01(h) < p {
+                events.push(FlapEvent {
+                    day,
+                    wavelength: w.id,
+                    links: optical.links_on_wavelength(w.id).to_vec(),
+                });
+            }
+        }
+    }
+    events
+}
+
+/// Aggregate flap events into per-L3-link flap counts — the input shape
+/// of the SMN reliability loop.
+pub fn flap_counts(events: &[FlapEvent]) -> HashMap<usize, u32> {
+    let mut counts = HashMap::new();
+    for e in events {
+        for &l in &e.links {
+            *counts.entry(l).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Flap counts per wavelength (for attribution analysis).
+pub fn flaps_per_wavelength(events: &[FlapEvent]) -> HashMap<WavelengthId, u32> {
+    let mut counts = HashMap::new();
+    for e in events {
+        *counts.entry(e.wavelength).or_insert(0) += 1;
+    }
+    counts
+}
+
+// Local SplitMix-based hashing (kept here so smn-topology stays
+// dependency-free of smn-telemetry).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(a) ^ b) ^ c)
+}
+
+fn uniform01(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer1::Modulation;
+
+    fn two_wavelength_layer() -> OpticalLayer {
+        let mut l1 = OpticalLayer::new();
+        // Stressed 16QAM near reach; relaxed QPSK.
+        let hot = l1.add_span("hot", 760.0, false, 1);
+        let cool = l1.add_span("cool", 760.0, false, 1);
+        l1.light_wavelength(vec![hot], Modulation::Qam16, vec![0, 1]);
+        l1.light_wavelength(vec![cool], Modulation::Qpsk, vec![2]);
+        l1
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let l1 = two_wavelength_layer();
+        assert_eq!(simulate_flaps(&l1, 100, 5), simulate_flaps(&l1, 100, 5));
+        assert_ne!(
+            simulate_flaps(&l1, 500, 5).len(),
+            simulate_flaps(&l1, 500, 6).len()
+        );
+    }
+
+    #[test]
+    fn stressed_wavelength_flaps_much_more() {
+        let l1 = two_wavelength_layer();
+        let events = simulate_flaps(&l1, 2000, 1);
+        let per_w = flaps_per_wavelength(&events);
+        let hot = per_w.get(&WavelengthId(0)).copied().unwrap_or(0);
+        let cool = per_w.get(&WavelengthId(1)).copied().unwrap_or(0);
+        assert!(hot > 10 * cool.max(1), "hot {hot} vs cool {cool}");
+    }
+
+    #[test]
+    fn link_counts_aggregate_carried_links() {
+        let l1 = two_wavelength_layer();
+        let events = simulate_flaps(&l1, 2000, 2);
+        let counts = flap_counts(&events);
+        // Links 0 and 1 ride the same wavelength: identical counts.
+        assert_eq!(counts.get(&0), counts.get(&1));
+        let hot_flaps = counts.get(&0).copied().unwrap_or(0);
+        assert!(hot_flaps > 0);
+    }
+
+    #[test]
+    fn retune_reduces_flap_rate() {
+        let mut l1 = two_wavelength_layer();
+        let before = simulate_flaps(&l1, 1000, 3).len();
+        l1.retune(WavelengthId(0), Modulation::Qam8);
+        let after = simulate_flaps(&l1, 1000, 3).len();
+        assert!(after * 3 < before, "retune should collapse flaps: {before} -> {after}");
+    }
+}

@@ -1,0 +1,393 @@
+//! Deterministic topology generators.
+//!
+//! [`PlanetaryConfig`] builds a hyperscaler-style WAN in the shape the paper
+//! assumes for its log-size estimates: "a planet-scale wide-area network of
+//! roughly 300 datacenters" grouped into geographic regions (< 30 of which
+//! carry high-volume traffic), spread over continents joined by subsea
+//! cables. An L1 optical layer is generated underneath the L3 links so the
+//! cross-layer experiments (wavelength flaps, fiber constraints) have a real
+//! substrate to act on.
+//!
+//! All generation is deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::NodeId;
+use crate::layer1::{Modulation, OpticalLayer};
+use crate::layer3::{haversine_km, Continent, Datacenter, LinkAttrs, RegionId, Wan};
+
+/// Configuration for the planetary WAN generator.
+#[derive(Debug, Clone)]
+pub struct PlanetaryConfig {
+    /// RNG seed; equal seeds produce identical topologies.
+    pub seed: u64,
+    /// Continents to populate with (regions, dcs-per-region) pairs.
+    /// Defaults model a ~300-DC network over 5 populated continents.
+    pub continents: Vec<(Continent, usize, usize)>,
+    /// Probability of a direct link between two DCs in the same region
+    /// beyond the connectivity spanning ring.
+    pub intra_region_extra_link_prob: f64,
+    /// Capacity of intra-region links in Gbps.
+    pub intra_region_capacity: f64,
+    /// Capacity of inter-region (same continent) links in Gbps.
+    pub inter_region_capacity: f64,
+    /// Extra random inter-region chord links per continent (beyond the
+    /// gateway ring), each between random member DCs of two regions. These
+    /// give the fine topology the parallel-path diversity real WANs have —
+    /// and that supernode-level routing cannot fully exploit.
+    pub inter_region_chords_per_continent: usize,
+    /// Capacity of inter-continent (subsea) links in Gbps.
+    pub subsea_capacity: f64,
+}
+
+impl Default for PlanetaryConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            // 5 populated continents, 24 regions, 300 DCs total:
+            // na: 8 regions x 16 = 128, eu: 6 x 14 = 84, ap: 6 x 10 = 60,
+            // sa: 2 x 8 = 16, oc: 2 x 6 = 12.
+            continents: vec![
+                (Continent::NorthAmerica, 8, 16),
+                (Continent::Europe, 6, 14),
+                (Continent::Asia, 6, 10),
+                (Continent::SouthAmerica, 2, 8),
+                (Continent::Oceania, 2, 6),
+            ],
+            intra_region_extra_link_prob: 0.25,
+            intra_region_capacity: 400.0,
+            inter_region_capacity: 800.0,
+            inter_region_chords_per_continent: 10,
+            subsea_capacity: 600.0,
+        }
+    }
+}
+
+impl PlanetaryConfig {
+    /// A smaller topology (good for tests and fast benches): 3 continents,
+    /// 6 regions, 24 DCs.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            continents: vec![
+                (Continent::NorthAmerica, 3, 5),
+                (Continent::Europe, 2, 4),
+                (Continent::Asia, 1, 1),
+            ],
+            ..Self::default()
+        }
+    }
+
+    /// Total datacenter count this config will generate.
+    pub fn dc_count(&self) -> usize {
+        self.continents.iter().map(|&(_, r, d)| r * d).sum()
+    }
+}
+
+/// A generated planetary network: the L3 WAN plus its optical underlay.
+#[derive(Debug, Clone)]
+pub struct Planetary {
+    /// Logical topology.
+    pub wan: Wan,
+    /// Optical underlay; L3 link indices in the optical layer are
+    /// [`crate::graph::EdgeId`] indices into `wan.graph`.
+    pub optical: OpticalLayer,
+}
+
+/// Rough anchor coordinates per continent (lat, lon).
+fn continent_anchor(c: Continent) -> (f64, f64) {
+    match c {
+        Continent::NorthAmerica => (39.0, -98.0),
+        Continent::SouthAmerica => (-15.0, -58.0),
+        Continent::Europe => (50.0, 10.0),
+        Continent::Africa => (2.0, 21.0),
+        Continent::Asia => (25.0, 105.0),
+        Continent::Oceania => (-27.0, 140.0),
+        Continent::Antarctica => (-80.0, 0.0),
+    }
+}
+
+/// Generate a planetary WAN + optical underlay from `config`.
+///
+/// Structure:
+/// * each region is a ring of DCs plus random chords
+///   (`intra_region_extra_link_prob`);
+/// * regions within a continent form a ring through per-region gateway DCs;
+/// * continents are joined in a ring through per-continent gateway DCs with
+///   subsea links.
+///
+/// Every L3 link gets one or more wavelengths in the optical layer sized to
+/// its capacity, and subsea spans are created with zero spare slots half the
+/// time (fiber constraints in the ground).
+pub fn generate_planetary(config: &PlanetaryConfig) -> Planetary {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut wan = Wan::new();
+    let mut optical = OpticalLayer::new();
+
+    let mut region_counter: u16 = 0;
+    // Per continent: list of (region gateway nodes).
+    let mut continent_gateways: Vec<(Continent, Vec<NodeId>)> = Vec::new();
+
+    for &(continent, regions, dcs_per_region) in &config.continents {
+        let (clat, clon) = continent_anchor(continent);
+        let mut region_gateways = Vec::new();
+        let mut region_members: Vec<Vec<NodeId>> = Vec::new();
+        for r in 0..regions {
+            let rid = RegionId(region_counter);
+            region_counter += 1;
+            // Region center jittered around the continent anchor.
+            let rlat = clat + rng.random_range(-12.0..12.0);
+            let rlon = clon + rng.random_range(-25.0..25.0);
+            let mut nodes = Vec::with_capacity(dcs_per_region);
+            for d in 0..dcs_per_region {
+                let name = format!("{}-r{}-dc{}", continent.code(), r, d);
+                let lat = (rlat + rng.random_range(-2.0..2.0)).clamp(-85.0, 85.0);
+                let lon = rlon + rng.random_range(-3.0..3.0);
+                nodes.push(wan.add_datacenter(Datacenter {
+                    name,
+                    continent,
+                    region: rid,
+                    lat,
+                    lon,
+                }));
+            }
+            // Ring for connectivity.
+            for i in 0..nodes.len() {
+                let a = nodes[i];
+                let b = nodes[(i + 1) % nodes.len()];
+                if a == b {
+                    continue;
+                }
+                add_linked(&mut wan, &mut optical, &mut rng, a, b, config.intra_region_capacity, false);
+            }
+            // Extra chords.
+            for i in 0..nodes.len() {
+                for j in (i + 2)..nodes.len() {
+                    if (i == 0) && (j == nodes.len() - 1) {
+                        continue; // ring edge already present
+                    }
+                    if rng.random::<f64>() < config.intra_region_extra_link_prob {
+                        add_linked(
+                            &mut wan,
+                            &mut optical,
+                            &mut rng,
+                            nodes[i],
+                            nodes[j],
+                            config.intra_region_capacity,
+                            false,
+                        );
+                    }
+                }
+            }
+            region_gateways.push(nodes[0]);
+            region_members.push(nodes);
+        }
+        // Ring over region gateways within the continent.
+        for i in 0..region_gateways.len() {
+            let a = region_gateways[i];
+            let b = region_gateways[(i + 1) % region_gateways.len()];
+            if a == b {
+                continue;
+            }
+            add_linked(&mut wan, &mut optical, &mut rng, a, b, config.inter_region_capacity, false);
+        }
+        // Extra chords between random region pairs through random member
+        // DCs: parallel inter-region paths.
+        if region_members.len() >= 2 {
+            for _ in 0..config.inter_region_chords_per_continent {
+                let r1 = rng.random_range(0..region_members.len());
+                let r2 = rng.random_range(0..region_members.len());
+                if r1 == r2 {
+                    continue;
+                }
+                let a = region_members[r1][rng.random_range(0..region_members[r1].len())];
+                let b = region_members[r2][rng.random_range(0..region_members[r2].len())];
+                add_linked(&mut wan, &mut optical, &mut rng, a, b, config.inter_region_capacity, false);
+            }
+        }
+        continent_gateways.push((continent, region_gateways));
+    }
+
+    // Ring over continents (subsea).
+    for i in 0..continent_gateways.len() {
+        let a = continent_gateways[i].1[0];
+        let b = continent_gateways[(i + 1) % continent_gateways.len()].1[0];
+        if a == b {
+            continue;
+        }
+        add_linked(&mut wan, &mut optical, &mut rng, a, b, config.subsea_capacity, true);
+    }
+
+    Planetary { wan, optical }
+}
+
+/// Add a bidirectional L3 link plus its optical underlay.
+fn add_linked(
+    wan: &mut Wan,
+    optical: &mut OpticalLayer,
+    rng: &mut StdRng,
+    a: NodeId,
+    b: NodeId,
+    capacity: f64,
+    subsea: bool,
+) {
+    // Avoid duplicate links between the same pair.
+    if wan.graph.find_edge(a, b).is_some() {
+        return;
+    }
+    let dist = haversine_km(wan.dc(a).lat, wan.dc(a).lon, wan.dc(b).lat, wan.dc(b).lon).max(50.0);
+    let (fwd, rev) = wan.add_bidi_link(a, b, LinkAttrs::new(capacity, dist, subsea));
+
+    // Optical underlay: split the path into spans of <= 800 km.
+    let nspans = (dist / 800.0).ceil().max(1.0) as usize;
+    let span_len = dist / nspans as f64;
+    let spare = if subsea && rng.random::<f64>() < 0.5 {
+        0 // fiber constraints in the ground
+    } else {
+        rng.random_range(1..4)
+    };
+    let spans: Vec<_> = (0..nspans)
+        .map(|i| {
+            optical.add_span(
+                format!("{}-{}-seg{}", wan.dc(a).name, wan.dc(b).name, i),
+                span_len,
+                subsea,
+                spare,
+            )
+        })
+        .collect();
+    // Choose the most aggressive modulation still within reach; paths longer
+    // than QPSK reach are regenerated: split into segments, each lit as its
+    // own wavelength chain carrying the same L3 link.
+    let modulation = [Modulation::Qam16, Modulation::Qam8, Modulation::Qpsk]
+        .into_iter()
+        .find(|m| dist <= m.max_reach_km())
+        .unwrap_or(Modulation::Qpsk);
+    let n_wavelengths = (capacity / modulation.rate_gbps()).ceil().max(1.0) as usize;
+    let spans_per_segment =
+        ((modulation.max_reach_km() / span_len).floor() as usize).clamp(1, spans.len());
+    for _ in 0..n_wavelengths {
+        for segment in spans.chunks(spans_per_segment) {
+            optical.light_wavelength(
+                segment.to_vec(),
+                modulation,
+                vec![fwd.index(), rev.index()],
+            );
+        }
+    }
+}
+
+/// A tiny fixed WAN (5 DCs, 2 regions + 1 EU DC) used throughout unit tests
+/// and doc examples. Deterministic, no RNG.
+pub fn reference_wan() -> Wan {
+    let mut w = Wan::new();
+    let dc = |name: &str, c: Continent, r: u16, lat: f64, lon: f64| Datacenter {
+        name: name.into(),
+        continent: c,
+        region: RegionId(r),
+        lat,
+        lon,
+    };
+    let e1 = w.add_datacenter(dc("us-e1", Continent::NorthAmerica, 0, 39.0, -77.5));
+    let e2 = w.add_datacenter(dc("us-e2", Continent::NorthAmerica, 0, 40.7, -74.0));
+    let w1 = w.add_datacenter(dc("us-w1", Continent::NorthAmerica, 1, 45.6, -121.2));
+    let w2 = w.add_datacenter(dc("us-w2", Continent::NorthAmerica, 1, 37.4, -122.1));
+    let eu = w.add_datacenter(dc("eu-w1", Continent::Europe, 2, 53.3, -6.3));
+    w.add_bidi_link(e1, e2, LinkAttrs::new(400.0, 330.0, false));
+    w.add_bidi_link(w1, w2, LinkAttrs::new(400.0, 920.0, false));
+    w.add_bidi_link(e1, w1, LinkAttrs::new(800.0, 3700.0, false));
+    w.add_bidi_link(e2, w2, LinkAttrs::new(800.0, 4100.0, false));
+    w.add_bidi_link(e1, eu, LinkAttrs::new(600.0, 5500.0, true));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_produces_roughly_300_dcs() {
+        let cfg = PlanetaryConfig::default();
+        assert_eq!(cfg.dc_count(), 300);
+        let p = generate_planetary(&cfg);
+        assert_eq!(p.wan.dc_count(), 300);
+        assert!(p.wan.link_count() > 600, "links: {}", p.wan.link_count());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PlanetaryConfig::small(42);
+        let a = generate_planetary(&cfg);
+        let b = generate_planetary(&cfg);
+        assert_eq!(a.wan.dc_count(), b.wan.dc_count());
+        assert_eq!(a.wan.link_count(), b.wan.link_count());
+        for (ea, eb) in a.wan.graph.edges().zip(b.wan.graph.edges()) {
+            assert_eq!(ea.1.src, eb.1.src);
+            assert_eq!(ea.1.dst, eb.1.dst);
+            assert_eq!(ea.1.payload.capacity_gbps, eb.1.payload.capacity_gbps);
+        }
+        assert_eq!(a.optical.wavelengths().len(), b.optical.wavelengths().len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_planetary(&PlanetaryConfig::small(1));
+        let b = generate_planetary(&PlanetaryConfig::small(2));
+        // Same node count (structure fixed) but different link sets.
+        assert_eq!(a.wan.dc_count(), b.wan.dc_count());
+        assert_ne!(a.wan.link_count(), b.wan.link_count());
+    }
+
+    #[test]
+    fn generated_wan_is_connected() {
+        let p = generate_planetary(&PlanetaryConfig::small(3));
+        let (_, n) = p.wan.graph.weakly_connected_components();
+        assert_eq!(n, 1, "planetary WAN must be connected");
+    }
+
+    #[test]
+    fn every_l3_link_has_optical_backing() {
+        let p = generate_planetary(&PlanetaryConfig::small(4));
+        for eid in p.wan.graph.edge_ids() {
+            let wls = p.optical.wavelengths_for_link(eid.index());
+            assert!(!wls.is_empty(), "link {eid} has no wavelength");
+            let cap: f64 = wls.iter().map(|&w| p.optical.wavelength(w).capacity_gbps()).sum();
+            assert!(
+                cap + 1e-6 >= p.wan.graph.edge(eid).payload.capacity_gbps,
+                "optical capacity {cap} under L3 capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn wavelengths_within_reach() {
+        let p = generate_planetary(&PlanetaryConfig::small(5));
+        for w in p.optical.wavelengths() {
+            assert!(
+                w.within_reach(),
+                "generator picked {:?} for a {} km path",
+                w.modulation,
+                w.path_km
+            );
+        }
+    }
+
+    #[test]
+    fn region_contraction_shrinks_order_of_magnitude() {
+        let p = generate_planetary(&PlanetaryConfig::default());
+        let c = p.wan.contract_by_region();
+        // 300 DCs -> 24 regions: >10x node reduction (paper's estimate).
+        assert!(c.graph.node_count() * 10 <= p.wan.dc_count());
+        assert!(c.graph.node_count() < 30);
+    }
+
+    #[test]
+    fn reference_wan_shape() {
+        let w = reference_wan();
+        assert_eq!(w.dc_count(), 5);
+        assert_eq!(w.link_count(), 10);
+        let (_, n) = w.graph.weakly_connected_components();
+        assert_eq!(n, 1);
+    }
+}

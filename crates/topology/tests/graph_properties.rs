@@ -1,0 +1,87 @@
+//! Property-based tests of the graph algorithms on random graphs.
+
+use proptest::prelude::*;
+use smn_topology::graph::{DiGraph, NodeId};
+
+/// Random graph: n nodes, edges as (src, dst, weight) triples.
+fn graph_strategy() -> impl Strategy<Value = DiGraph<(), f64>> {
+    (2usize..12, proptest::collection::vec((0usize..12, 0usize..12, 0.1f64..100.0), 1..40))
+        .prop_map(|(n, edges)| {
+            let mut g = DiGraph::new();
+            for _ in 0..n {
+                g.add_node(());
+            }
+            for (s, d, w) in edges {
+                let (s, d) = (s % n, d % n);
+                g.add_edge(NodeId(s as u32), NodeId(d as u32), w);
+            }
+            g
+        })
+}
+
+proptest! {
+    /// Dijkstra's result is a valid, correctly-priced path, and no single
+    /// edge beats it.
+    #[test]
+    fn shortest_path_is_valid_and_minimal(g in graph_strategy()) {
+        let src = NodeId(0);
+        let dst = NodeId((g.node_count() - 1) as u32);
+        if let Some(p) = g.shortest_path(src, dst, |_, e| Some(e.payload)) {
+            prop_assert_eq!(p.nodes.first(), Some(&src));
+            prop_assert_eq!(p.nodes.last(), Some(&dst));
+            // Edges chain and cost adds up.
+            let mut cost = 0.0;
+            for (i, &e) in p.edges.iter().enumerate() {
+                let (a, b) = g.endpoints(e);
+                prop_assert_eq!(a, p.nodes[i]);
+                prop_assert_eq!(b, p.nodes[i + 1]);
+                cost += g.edge(e).payload;
+            }
+            prop_assert!((cost - p.cost).abs() < 1e-9);
+            // No direct edge is cheaper.
+            for (_, e) in g.edges() {
+                if e.src == src && e.dst == dst {
+                    prop_assert!(e.payload + 1e-9 >= p.cost);
+                }
+            }
+        }
+    }
+
+    /// Yen's paths are sorted by cost, loopless, and pairwise distinct.
+    #[test]
+    fn k_shortest_paths_sorted_and_distinct(g in graph_strategy()) {
+        let src = NodeId(0);
+        let dst = NodeId((g.node_count() - 1) as u32);
+        let paths = g.k_shortest_paths(src, dst, 4, |_, e| Some(e.payload));
+        for w in paths.windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost + 1e-9);
+            prop_assert_ne!(&w[0].edges, &w[1].edges);
+        }
+        for p in &paths {
+            let set: std::collections::HashSet<_> = p.nodes.iter().collect();
+            prop_assert_eq!(set.len(), p.nodes.len(), "loop in path");
+        }
+    }
+
+    /// Reachability is reflexive and transitive-consistent with BFS hops.
+    #[test]
+    fn reachability_consistent_with_bfs(g in graph_strategy()) {
+        let start = NodeId(0);
+        let reach = g.reachable_from(start);
+        let hops = g.bfs_hops(start);
+        prop_assert!(reach.contains(&start));
+        for n in g.node_ids() {
+            prop_assert_eq!(reach.contains(&n), hops.contains_key(&n));
+        }
+    }
+
+    /// Weakly connected components: every edge's endpoints share one.
+    #[test]
+    fn components_respect_edges(g in graph_strategy()) {
+        let (comp, n) = g.weakly_connected_components();
+        prop_assert!(n >= 1);
+        for (_, e) in g.edges() {
+            prop_assert_eq!(comp[e.src.index()], comp[e.dst.index()]);
+        }
+    }
+}

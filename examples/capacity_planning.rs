@@ -1,0 +1,102 @@
+//! Capacity planning from coarse bandwidth logs (§4 end-to-end):
+//! generate months of telemetry, coarsen it into weekly p95 utilization
+//! via the TE substrate, and run the fiber-aware planner.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use std::collections::HashMap;
+
+use smn_core::controller::{ControllerConfig, Feedback, SmnController};
+use smn_te::demand::DemandMatrix;
+use smn_te::mcf::{greedy_min_max_utilization, TeConfig};
+use smn_telemetry::series::Statistic;
+use smn_telemetry::time::Ts;
+use smn_telemetry::traffic::{TrafficConfig, TrafficModel};
+use smn_topology::gen::{generate_planetary, PlanetaryConfig};
+use smn_topology::EdgeId;
+
+fn main() {
+    let planetary = generate_planetary(&PlanetaryConfig::small(7));
+    let wan = &planetary.wan;
+    let model = TrafficModel::new(wan, TrafficConfig::default());
+    let te_cfg = TeConfig { k_paths: 3, ..Default::default() };
+    let weeks = 8u64;
+    println!(
+        "simulating {weeks} weeks of traffic over {} DCs / {} links…\n",
+        wan.dc_count(),
+        wan.link_count()
+    );
+
+    // Weekly planning windows: route each week's p95 demand and record the
+    // resulting per-link utilization — the history the planner consumes.
+    let mut history: HashMap<EdgeId, Vec<f64>> = HashMap::new();
+    for week in 0..weeks {
+        // One sample day per week keeps the example fast.
+        let log = model.generate(
+            Ts::from_days(week * 7 + 2),
+            TrafficModel::epochs_per_days(1),
+        );
+        let demand = DemandMatrix::from_records(&log, Statistic::P95);
+        let solution = greedy_min_max_utilization(
+            &wan.graph,
+            |_, e| if e.payload.up { e.payload.capacity_gbps } else { 0.0 },
+            &demand,
+            &te_cfg,
+        );
+        for eid in wan.graph.edge_ids() {
+            history
+                .entry(eid)
+                .or_default()
+                .push(solution.utilization.get(&eid).copied().unwrap_or(0.0));
+        }
+        println!(
+            "week {week}: offered {:>8.0} Gbps, max link utilization {:.2}",
+            demand.total_gbps(),
+            solution.max_utilization()
+        );
+    }
+
+    // The SMN planning loop: sustained-overload + fiber-aware.
+    let controller = SmnController::new(
+        smn_depgraph::coarse::CoarseDepGraph::new(),
+        ControllerConfig::default(),
+    );
+    let feedback = controller.planning_loop(
+        &history,
+        |e| wan.graph.edge(e).payload.distance_km,
+        &planetary.optical,
+    );
+    let upgrades = feedback
+        .iter()
+        .filter(|f| matches!(f, Feedback::ProvisionCapacity { .. }))
+        .count();
+    let blocked = feedback
+        .iter()
+        .filter(|f| matches!(f, Feedback::UpgradeBlockedByFiber { .. }))
+        .count();
+    println!("\nplanning feedback: {upgrades} upgrades, {blocked} blocked by fiber constraints");
+    for f in feedback.iter().take(10) {
+        match f {
+            Feedback::ProvisionCapacity { link, add_gbps, cost } => {
+                let e = wan.graph.edge(*link);
+                println!(
+                    "  upgrade {} -> {}: +{add_gbps} Gbps (cost {cost:.0})",
+                    wan.dc(e.src).name,
+                    wan.dc(e.dst).name
+                );
+            }
+            Feedback::UpgradeBlockedByFiber { link } => {
+                let e = wan.graph.edge(*link);
+                println!(
+                    "  BLOCKED {} -> {}: no spare wavelength slots on its spans",
+                    wan.dc(e.src).name,
+                    wan.dc(e.dst).name
+                );
+            }
+            _ => {}
+        }
+    }
+    if upgrades > 10 {
+        println!("  … and {} more", upgrades - 10);
+    }
+}

@@ -1,0 +1,53 @@
+//! Four weeks of continuous SMN operation: all three control loops running
+//! against a living network — telemetry flowing into the CLDS, wavelength
+//! flaps at L1, periodic application faults, weekly planning.
+//!
+//! Run with: `cargo run --release --example continuous_operation`
+
+use smn_core::simulation::{SimulationConfig, SmnSimulation};
+use smn_telemetry::traffic::{TrafficConfig, TrafficModel};
+use smn_topology::gen::{generate_planetary, PlanetaryConfig};
+
+fn main() {
+    let planetary = generate_planetary(&PlanetaryConfig::small(7));
+    let traffic = TrafficModel::new(&planetary.wan, TrafficConfig::default());
+    let mut sim = SmnSimulation::new(
+        &planetary,
+        &traffic,
+        SimulationConfig { days: 28, ..Default::default() },
+    );
+    let report = sim.run();
+
+    for day in &report.days {
+        let mut line = format!("day {:>2}: {} flaps", day.day, day.flaps);
+        if let Some(team) = &day.injected_team {
+            let routed = day.incident_feedback.iter().find_map(|f| match f {
+                smn_core::Feedback::RouteIncident { team, .. } => Some(team.clone()),
+                _ => None,
+            });
+            line.push_str(&format!(
+                "  | fault in '{team}' routed to '{}'",
+                routed.unwrap_or_else(|| "<nobody>".into())
+            ));
+        }
+        if !day.planning_feedback.is_empty() || !day.reliability_feedback.is_empty() {
+            line.push_str(&format!(
+                "  | planning: {} upgrades, {} retunes",
+                day.planning_feedback.len(),
+                day.reliability_feedback.len()
+            ));
+        }
+        println!("{line}");
+    }
+    println!(
+        "\n4-week summary: routing accuracy {:.0}% ({}/{}), {} upgrades ({} fiber-blocked), \
+         {} retunes, {} CLDS records",
+        report.routing_accuracy() * 100.0,
+        report.routing_correct,
+        report.routing_total,
+        report.upgrades,
+        report.blocked,
+        report.retunes,
+        report.clds_records
+    );
+}

@@ -1,0 +1,61 @@
+//! Cross-layer risk modeling (§7): shared-risk link groups from the
+//! L1↔L3 mapping, correlated-failure analysis, and risk-aware screening
+//! of capacity upgrades.
+//!
+//! Run with: `cargo run --release --example cross_layer_risk`
+
+use smn_te::srlg::{assess_upgrades, correlated_failure_set, extract_srlgs};
+use smn_topology::failures::{flap_counts, simulate_flaps};
+use smn_topology::gen::{generate_planetary, PlanetaryConfig};
+
+fn main() {
+    let p = generate_planetary(&PlanetaryConfig::small(7));
+    println!(
+        "topology: {} DCs, {} links over {} fiber spans / {} wavelengths\n",
+        p.wan.dc_count(),
+        p.wan.link_count(),
+        p.optical.spans().len(),
+        p.optical.wavelengths().len()
+    );
+
+    // Shared-risk structure.
+    let srlgs = extract_srlgs(&p.optical);
+    let submarine = srlgs.iter().filter(|s| s.submarine).count();
+    println!("{} shared-risk groups ({submarine} submarine)", srlgs.len());
+    let biggest = srlgs.iter().max_by_key(|s| s.links.len()).expect("srlgs exist");
+    println!(
+        "largest SRLG: span '{}' carries {} L3 links — one cut drops them all",
+        p.optical.span(biggest.span).name,
+        biggest.links.len()
+    );
+    let blast = correlated_failure_set(&srlgs, biggest.links[0]);
+    println!(
+        "correlated-failure set of link {}: {} links\n",
+        biggest.links[0],
+        blast.len()
+    );
+
+    // Risk-aware upgrade screening: take the two most flap-prone links and
+    // ask whether upgrading both actually diversifies capacity.
+    let events = simulate_flaps(&p.optical, 365, 11);
+    let mut counts: Vec<(usize, u32)> = flap_counts(&events).into_iter().collect();
+    counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("one simulated year: {} wavelength flap events", events.len());
+    let candidates: Vec<usize> = counts.iter().take(4).map(|&(l, _)| l).collect();
+    println!("upgrade candidates (most flap-prone links): {candidates:?}");
+    let report = assess_upgrades(&srlgs, &candidates);
+    if report.is_diverse() {
+        println!("candidate set is risk-diverse: no two share a fiber span");
+    } else {
+        println!(
+            "candidate set concentrates risk: correlated pairs {:?}",
+            report.correlated_pairs
+        );
+    }
+    if !report.submarine_exposed.is_empty() {
+        println!(
+            "submarine-exposed candidates (repair in weeks, not hours): {:?}",
+            report.submarine_exposed
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Incident routing end-to-end: inject a fault into the simulated Reddit
+//! deployment, watch it propagate, and compare how the three routers
+//! triage it (§5).
+//!
+//! Run with: `cargo run --release --example incident_routing [test-index]`
+
+use smn_depgraph::syndrome::Explainability;
+use smn_incident::eval::{observe_campaign, split_observations, EvalConfig};
+use smn_incident::faults::{generate_campaign, CampaignConfig};
+use smn_incident::features::FeatureView;
+use smn_incident::routing::{CltoRouter, ScoutsRouter};
+use smn_incident::{RedditDeployment, TEAMS};
+use smn_ml::forest::ForestConfig;
+
+fn main() {
+    let pick: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(17);
+    let d = RedditDeployment::build();
+    println!(
+        "deployment: {} components, 8 teams, CDG with {} team dependencies\n",
+        d.fine.len(),
+        d.cdg.graph.edge_count()
+    );
+
+    // A reduced campaign keeps this example fast (~200 faults).
+    let cfg = EvalConfig {
+        campaign: CampaignConfig { n_faults: 200, ..Default::default() },
+        forest: ForestConfig { n_trees: 80, ..EvalConfig::default().forest },
+        ..Default::default()
+    };
+    let faults = generate_campaign(&d, &cfg.campaign);
+    let observations = observe_campaign(&d, &cfg);
+    let (train, test) = split_observations(observations, cfg.test_frac, cfg.split_seed);
+    println!(
+        "campaign: {} faults ({} train / {} held-out-root-cause test)",
+        faults.len(),
+        train.len(),
+        test.len()
+    );
+
+    // Inspect one held-out incident in detail.
+    let incident = &test[pick.min(test.len() - 1)];
+    println!(
+        "\nincident #{}: {:?} injected at '{}' (ground truth team: {})",
+        incident.fault.id, incident.fault.kind, incident.fault.target, incident.fault.team
+    );
+    println!("  symptomatic teams:");
+    for (i, &v) in incident.syndrome.0.iter().enumerate() {
+        if v > 0.0 {
+            println!("    {}", d.cdg.team(smn_topology::NodeId(i as u32)).name);
+        }
+    }
+    println!(
+        "  probes: cross-cluster {:.0}% failing, intra {:.0}%",
+        incident.cross_probe_failure * 100.0,
+        incident.intra_probe_failure * 100.0
+    );
+    let ex = Explainability::new(&d.cdg);
+    println!("  symptom explainability per team:");
+    for (i, val) in ex.explainability_vector(&incident.syndrome).iter().enumerate() {
+        println!("    {:<16} {:.3}", TEAMS[i], val);
+    }
+
+    // Train the three routers and route the incident + the whole test set.
+    let scouts = ScoutsRouter::train(&d, &train, &cfg.forest);
+    let internal = CltoRouter::train(&d, &ex, &train, FeatureView::InternalOnly, &cfg.forest);
+    let full = CltoRouter::train(&d, &ex, &train, FeatureView::WithExplainability, &cfg.forest);
+
+    let one = std::slice::from_ref(incident);
+    println!("\nrouting of this incident:");
+    println!("  scouts (distributed):     {}", TEAMS[scouts.route(&d, one)[0]]);
+    println!("  CLTO internal-only:       {}", TEAMS[internal.route(&d, &ex, one)[0]]);
+    println!("  CLTO + explainability:    {}", TEAMS[full.route(&d, &ex, one)[0]]);
+    println!("  ground truth:             {}", incident.fault.team);
+
+    let truth: Vec<usize> = test
+        .iter()
+        .map(|o| smn_incident::app::team_index(&o.fault.team).expect("known team"))
+        .collect();
+    let acc = |pred: &[usize]| {
+        100.0 * pred.iter().zip(&truth).filter(|(p, t)| p == t).count() as f64
+            / truth.len() as f64
+    };
+    println!("\nheld-out accuracy over {} incidents:", test.len());
+    println!("  scouts (distributed):     {:.1}%", acc(&scouts.route(&d, &test)));
+    println!("  CLTO internal-only:       {:.1}%", acc(&internal.route(&d, &ex, &test)));
+    println!("  CLTO + explainability:    {:.1}%", acc(&full.route(&d, &ex, &test)));
+    println!(
+        "\n(full 560-fault evaluation: cargo run --release -p smn-bench --bin incident_routing_eval)"
+    );
+}

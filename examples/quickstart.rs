@@ -1,0 +1,85 @@
+//! Quickstart: the SMN in ~60 lines.
+//!
+//! Builds a planetary WAN with an optical underlay, generates bandwidth
+//! telemetry into the CLDS, coarsens it, and runs the controller's two
+//! headline loops — incident routing (minutes) and capacity planning
+//! (months).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::collections::HashMap;
+
+use smn_core::bwlogs::TimeCoarsener;
+use smn_core::coarsen::Coarsening;
+use smn_core::controller::{ControllerConfig, SmnController};
+use smn_depgraph::coarse::CoarseDepGraph;
+use smn_telemetry::record::{Alert, Severity};
+use smn_telemetry::series::Statistic;
+use smn_telemetry::time::{Ts, HOUR};
+use smn_telemetry::traffic::{TrafficConfig, TrafficModel};
+use smn_topology::gen::{generate_planetary, PlanetaryConfig};
+use smn_topology::EdgeId;
+
+fn main() {
+    // 1. A planetary network: L3 datacenters over an L1 optical underlay.
+    let planetary = generate_planetary(&PlanetaryConfig::small(7));
+    println!(
+        "topology: {} DCs, {} links, {} wavelengths",
+        planetary.wan.dc_count(),
+        planetary.wan.link_count(),
+        planetary.optical.wavelengths().len()
+    );
+
+    // 2. One day of bandwidth logs, coarsened for the history store.
+    let model = TrafficModel::new(&planetary.wan, TrafficConfig::default());
+    let log = model.generate(Ts(0), TrafficModel::epochs_per_days(1));
+    let coarsener = TimeCoarsener::new(HOUR, vec![Statistic::Mean, Statistic::P95]);
+    let report = coarsener.report(&log);
+    println!(
+        "bandwidth log: {} raw rows -> {} coarse rows ({:.1}x smaller)",
+        log.len(),
+        report.coarse.len(),
+        report.reduction_factor()
+    );
+
+    // 3. An SMN controller over a hand-sketched CDG ("engineers can
+    //    directly sketch the CDG and refine it over time").
+    let mut cdg = CoarseDepGraph::new();
+    let app = cdg.add_team("app");
+    let platform = cdg.add_team("platform");
+    let network = cdg.add_team("network");
+    cdg.add_dependency(app, platform);
+    cdg.add_dependency(platform, network);
+    let controller = SmnController::new(cdg, ControllerConfig::default());
+
+    // 4. Minutes loop: a cross-layer failure (everything alerts) routes to
+    //    the network team, with observers informed.
+    {
+        let mut alerts = controller.clds.alerts.write();
+        for (ts, team) in [(10u64, "app"), (40, "platform"), (70, "network")] {
+            alerts.append(Alert {
+                ts: Ts(ts),
+                component: format!("{team}-1"),
+                team: team.into(),
+                kind: "error-rate".into(),
+                severity: Severity::Error,
+                message: "error rate above SLO".into(),
+            });
+        }
+    }
+    println!("\nincident loop feedback:");
+    for feedback in controller.incident_loop(Ts(0), Ts(600)) {
+        println!("  {feedback:?}");
+    }
+
+    // 5. Months loop: utilization history drives fiber-aware planning.
+    let history: HashMap<EdgeId, Vec<f64>> = [(EdgeId(0), vec![0.9; 8])].into();
+    println!("\nplanning loop feedback:");
+    for feedback in controller.planning_loop(
+        &history,
+        |e| planetary.wan.graph.edge(e).payload.distance_km,
+        &planetary.optical,
+    ) {
+        println!("  {feedback:?}");
+    }
+}

@@ -1,0 +1,19 @@
+//! The paper's four war stories (§1), executed: each scenario is simulated
+//! and resolved twice — by today's siloed management and by the SMN.
+//!
+//! Run with: `cargo run --release --example war_stories`
+
+use smn_core::warstories;
+
+fn main() {
+    for (i, report) in warstories::run_all().into_iter().enumerate() {
+        println!("war story {}: {}", i + 1, report.title);
+        println!("  siloed: {}", report.siloed_outcome);
+        println!("     SMN: {}", report.smn_outcome);
+        println!(
+            "  verdict: SMN {}, siloed {}\n",
+            if report.smn_correct { "correct" } else { "WRONG" },
+            if report.siloed_correct { "correct" } else { "wrong" }
+        );
+    }
+}

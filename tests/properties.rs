@@ -1,0 +1,157 @@
+//! F2 — property-based tests of the coarsening invariants (Figure 2's
+//! "acting on s is approximately the same as acting on S", made precise
+//! per coarsening) and of the solvers' safety properties.
+
+use proptest::prelude::*;
+use smn_core::bwlogs::{TimeCoarsener, TopologyCoarsener};
+use smn_core::coarsen::Coarsening;
+use smn_depgraph::coarse::CoarseDepGraph;
+use smn_depgraph::syndrome::{Explainability, Syndrome};
+use smn_te::demand::DemandMatrix;
+use smn_te::mcf::{max_multicommodity_flow, TeConfig};
+use smn_telemetry::record::BandwidthRecord;
+use smn_telemetry::series::{Statistic, SummaryStats};
+use smn_telemetry::time::{Ts, EPOCH_SECS, HOUR};
+use smn_topology::graph::DiGraph;
+use smn_topology::NodeId;
+
+/// Strategy: a small bandwidth log over `n_nodes` nodes and `epochs` epochs.
+fn bw_log_strategy(
+    n_nodes: u32,
+    epochs: u64,
+) -> impl Strategy<Value = Vec<BandwidthRecord>> {
+    let record = (0..epochs, 0..n_nodes, 0..n_nodes, 1.0f64..2000.0).prop_map(
+        |(e, src, dst, gbps)| BandwidthRecord { ts: Ts(e * EPOCH_SECS), src, dst, gbps },
+    );
+    proptest::collection::vec(record, 1..200).prop_map(|mut v| {
+        v.sort_by_key(|r| r.ts);
+        v
+    })
+}
+
+proptest! {
+    /// Time coarsening: every window's Mean lies within [Min, Max] of the
+    /// raw samples it replaces, and total byte size never grows per row.
+    #[test]
+    fn time_coarsening_mean_bounded(log in bw_log_strategy(4, 48)) {
+        let c = TimeCoarsener::new(HOUR, vec![Statistic::Mean, Statistic::Min, Statistic::Max]);
+        for r in c.coarsen(&log) {
+            prop_assert!(r.values[1] <= r.values[0] + 1e-9);
+            prop_assert!(r.values[0] <= r.values[2] + 1e-9);
+        }
+    }
+
+    /// Time coarsening conserves sample counts: the windows partition the
+    /// records (no sample lost, none double-counted).
+    #[test]
+    fn time_coarsening_partitions(log in bw_log_strategy(4, 48)) {
+        let mut per_pair_window = std::collections::HashMap::new();
+        for r in &log {
+            *per_pair_window.entry((r.ts.0 / HOUR, r.src, r.dst)).or_insert(0usize) += 1;
+        }
+        let coarse = TimeCoarsener::new(HOUR, vec![Statistic::Mean]).coarsen(&log);
+        prop_assert_eq!(coarse.len(), per_pair_window.len());
+    }
+
+    /// Topology coarsening conserves cross-supernode volume exactly and
+    /// never invents traffic.
+    #[test]
+    fn topology_coarsening_conserves_volume(log in bw_log_strategy(6, 12)) {
+        // 6 nodes -> 2 supernodes.
+        let map: Vec<NodeId> = (0..6).map(|i| NodeId(i / 3)).collect();
+        let c = TopologyCoarsener::new(map.clone());
+        let coarse = c.coarsen(&log);
+        let cross_sum: f64 = log
+            .iter()
+            .filter(|r| map[r.src as usize] != map[r.dst as usize])
+            .map(|r| r.gbps)
+            .sum();
+        let coarse_sum: f64 = coarse.iter().map(|r| r.gbps).sum();
+        prop_assert!((cross_sum - coarse_sum).abs() < 1e-6 * cross_sum.max(1.0));
+        prop_assert!(coarse.len() <= log.len());
+    }
+
+    /// SummaryStats invariants on arbitrary positive samples.
+    #[test]
+    fn summary_stats_ordering(values in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+        let s = SummaryStats::of(&values).unwrap();
+        prop_assert!(s.min <= s.p50 + 1e-9);
+        prop_assert!(s.p50 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    /// Symptom explainability is always in [0, 1] and the expected syndrome
+    /// of a team perfectly explains itself.
+    #[test]
+    fn explainability_bounds(bits in proptest::collection::vec(0.0f64..=1.0, 5)) {
+        let mut cdg = CoarseDepGraph::new();
+        let teams: Vec<_> = (0..5).map(|i| cdg.add_team(format!("t{i}"))).collect();
+        for w in teams.windows(2) {
+            cdg.add_dependency(w[0], w[1]);
+        }
+        let ex = Explainability::new(&cdg);
+        let syndrome = Syndrome(bits);
+        for &t in &teams {
+            let e = ex.explainability(&syndrome, t);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&e));
+            let perfect = ex.explainability(ex.expected_syndrome(t), t);
+            prop_assert!((perfect - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Garg–Könemann never violates capacities or demands, on random
+    /// two-terminal networks with random parallel links.
+    #[test]
+    fn gk_is_always_feasible(
+        caps in proptest::collection::vec(1.0f64..100.0, 2..8),
+        demand_gbps in 1.0f64..500.0,
+    ) {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        for &c in &caps {
+            g.add_edge(a, b, c);
+        }
+        let demand = DemandMatrix::from_triples([(a, b, demand_gbps)]);
+        let sol = max_multicommodity_flow(
+            &g,
+            |_, e| e.payload,
+            &demand,
+            &TeConfig { k_paths: caps.len(), ..Default::default() },
+        );
+        prop_assert!(sol.routed_gbps <= demand_gbps + 1e-9);
+        prop_assert!(sol.max_utilization() <= 1.0 + 1e-9);
+        // And it should route a meaningful fraction of what's feasible.
+        let feasible = caps.iter().sum::<f64>().min(demand_gbps);
+        prop_assert!(sol.routed_gbps >= 0.5 * feasible, "routed {} of feasible {}", sol.routed_gbps, feasible);
+    }
+
+    /// Contraction invariants on random group assignments: node maps are
+    /// total, member lists partition the nodes, and no self-loop edges
+    /// survive.
+    #[test]
+    fn contraction_partitions_nodes(groups in proptest::collection::vec(0u8..4, 2..30)) {
+        let mut g: DiGraph<u8, ()> = DiGraph::new();
+        for &grp in &groups {
+            g.add_node(grp);
+        }
+        // Ring edges.
+        for i in 0..groups.len() {
+            g.add_edge(
+                NodeId(i as u32),
+                NodeId(((i + 1) % groups.len()) as u32),
+                (),
+            );
+        }
+        let c = g.contract(|_, &grp| grp, |_, members| members.len(), |_: Option<()>, _| ());
+        prop_assert_eq!(c.node_map.len(), groups.len());
+        let total_members: usize = c.members.iter().map(|m| m.len()).sum();
+        prop_assert_eq!(total_members, groups.len());
+        for (_, e) in c.graph.edges() {
+            prop_assert!(e.src != e.dst, "self-loop survived contraction");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! E6 — integration: the paper's four war stories (§1/§2), asserting that
+//! the SMN resolution is correct and the siloed resolution is not, across
+//! crates (topology + telemetry + depgraph + incident + te + core).
+
+use smn_core::warstories::{
+    capacity_planning_in_the_dark, database_failure_fanout, run_all,
+    wan_flaps_impacting_cluster, wavelength_modulation_and_resilience,
+};
+
+#[test]
+fn war_story_1_planner_ignores_transients_and_respects_fiber() {
+    let r = capacity_planning_in_the_dark();
+    assert!(r.smn_correct, "SMN: {}", r.smn_outcome);
+    assert!(!r.siloed_correct, "siloed: {}", r.siloed_outcome);
+    // The siloed description must mention both failure modes.
+    assert!(r.siloed_outcome.contains("spike"));
+    assert!(r.smn_outcome.contains("blocked by fiber"));
+}
+
+#[test]
+fn war_story_2_flaps_traced_to_modulation() {
+    let r = wavelength_modulation_and_resilience();
+    assert!(r.smn_correct, "SMN: {}", r.smn_outcome);
+    assert!(r.smn_outcome.contains("16QAM"));
+    assert!(r.smn_outcome.contains("retunes to 8QAM"));
+}
+
+#[test]
+fn war_story_3_incident_reaches_wan_team() {
+    let r = wan_flaps_impacting_cluster();
+    assert!(r.smn_correct, "SMN: {}", r.smn_outcome);
+    assert!(!r.siloed_correct, "siloed routed correctly by accident: {}", r.siloed_outcome);
+    assert!(r.smn_outcome.contains("network"));
+}
+
+#[test]
+fn war_story_4_one_aggregated_p0_incident() {
+    let r = database_failure_fanout();
+    assert!(r.smn_correct, "SMN: {}", r.smn_outcome);
+    assert!(r.smn_outcome.contains("priority-0"));
+    assert!(r.smn_outcome.contains("database"));
+}
+
+#[test]
+fn all_four_reports_are_complete() {
+    let reports = run_all();
+    assert_eq!(reports.len(), 4);
+    for r in &reports {
+        assert!(!r.title.is_empty());
+        assert!(!r.siloed_outcome.is_empty());
+        assert!(!r.smn_outcome.is_empty());
+        assert!(r.smn_correct && !r.siloed_correct, "{}", r.title);
+    }
+}
