@@ -14,9 +14,8 @@ fn bench_graph(c: &mut Criterion) {
     c.bench_function("contract_by_region_300dc", |b| b.iter(|| wan.contract_by_region()));
     c.bench_function("k_shortest_paths_k4", |b| {
         b.iter(|| {
-            wan.graph.k_shortest_paths(src, dst, 4, |_, e| {
-                e.payload.up.then_some(e.payload.distance_km)
-            })
+            wan.graph
+                .k_shortest_paths(src, dst, 4, |_, e| e.payload.up.then_some(e.payload.distance_km))
         })
     });
     c.bench_function("reaching_closure", |b| b.iter(|| wan.graph.reaching(dst)));

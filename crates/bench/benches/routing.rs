@@ -25,18 +25,14 @@ fn bench_routing(c: &mut Criterion) {
     let ex = Explainability::new(&d.cdg);
     let fault = &train[0].fault;
 
-    c.bench_function("observe_one_fault", |b| {
-        b.iter(|| observe(&d, fault, &SimConfig::default()))
-    });
+    c.bench_function("observe_one_fault", |b| b.iter(|| observe(&d, fault, &SimConfig::default())));
     c.bench_function("explainability_vector", |b| {
         b.iter(|| ex.explainability_vector(&train[0].syndrome))
     });
     let mut group = c.benchmark_group("router");
     group.sample_size(10);
     group.bench_function("train_full_view", |b| {
-        b.iter(|| {
-            CltoRouter::train(&d, &ex, &train, FeatureView::WithExplainability, &cfg.forest)
-        })
+        b.iter(|| CltoRouter::train(&d, &ex, &train, FeatureView::WithExplainability, &cfg.forest))
     });
     let router = CltoRouter::train(&d, &ex, &train, FeatureView::WithExplainability, &cfg.forest);
     group.bench_function("route_batch", |b| b.iter(|| router.route(&d, &ex, &test)));

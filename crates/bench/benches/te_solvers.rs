@@ -18,14 +18,15 @@ fn bench_te(c: &mut Criterion) {
     let region_demand = demand.contract(&regions.node_map);
     let cfg = TeConfig { k_paths: 3, epsilon: 0.2, ..Default::default() };
 
-    let cap_fine = |_: smn_topology::EdgeId,
-                    e: &smn_topology::graph::Edge<smn_topology::layer3::LinkAttrs>| {
-        if e.payload.up {
-            e.payload.capacity_gbps
-        } else {
-            0.0
-        }
-    };
+    let cap_fine =
+        |_: smn_topology::EdgeId,
+         e: &smn_topology::graph::Edge<smn_topology::layer3::LinkAttrs>| {
+            if e.payload.up {
+                e.payload.capacity_gbps
+            } else {
+                0.0
+            }
+        };
 
     let mut group = c.benchmark_group("te_solvers");
     group.sample_size(10);
@@ -39,12 +40,7 @@ fn bench_te(c: &mut Criterion) {
         &region_demand,
         |b, d| {
             b.iter(|| {
-                max_multicommodity_flow(
-                    &regions.graph,
-                    |_, e| e.payload.capacity_gbps,
-                    d,
-                    &cfg,
-                )
+                max_multicommodity_flow(&regions.graph, |_, e| e.payload.capacity_gbps, d, &cfg)
             })
         },
     );

@@ -23,9 +23,7 @@ fn routing_accuracy(cdg: &CoarseDepGraph, obs: &[IncidentObservation]) -> f64 {
     let correct = obs
         .iter()
         .filter(|o| {
-            ex.best_team(&o.syndrome)
-                .map(|t| cdg.team(t).name == o.fault.team)
-                .unwrap_or(false)
+            ex.best_team(&o.syndrome).map(|t| cdg.team(t).name == o.fault.team).unwrap_or(false)
         })
         .count();
     correct as f64 / obs.len() as f64
@@ -57,11 +55,7 @@ fn main() {
     let obs = observe_campaign(&d, &cfg);
 
     // The sketch is missing three real dependencies.
-    let removed = [
-        ("application", "storage"),
-        ("cache", "storage"),
-        ("application", "queue"),
-    ];
+    let removed = [("application", "storage"), ("cache", "storage"), ("application", "queue")];
     let degraded = without_edges(&d.cdg, &removed);
     let full_acc = routing_accuracy(&d.cdg, &obs);
     let degraded_acc = routing_accuracy(&degraded, &obs);

@@ -11,14 +11,14 @@
 //! Jaccard instead of cosine similarity, direct-only syndrome propagation
 //! instead of the transitive closure, and forest-size sensitivity.
 
+use smn_depgraph::syndrome::{Propagation, Similarity};
 use smn_incident::eval::{evaluate, observe_campaign, split_observations, EvalConfig};
 use smn_incident::features::{build_dataset, FeatureView};
 use smn_incident::RedditDeployment;
 use smn_incident::TEAMS;
+use smn_ml::forest::ForestConfig;
 use smn_ml::forest::RandomForest;
 use smn_ml::importance::{permutation_importance, top_features};
-use smn_depgraph::syndrome::{Propagation, Similarity};
-use smn_ml::forest::ForestConfig;
 
 fn main() {
     let ablate = std::env::args().any(|a| a == "--ablate");
@@ -89,10 +89,7 @@ fn main() {
     );
     println!(
         "{}",
-        smn_bench::render_table(
-            &["configuration", "scouts", "internal", "+explainability"],
-            &rows
-        )
+        smn_bench::render_table(&["configuration", "scouts", "internal", "+explainability"], &rows)
     );
 }
 

@@ -49,12 +49,7 @@ fn main() {
     );
     let region_log = TopologyCoarsener::new(regions.node_map.clone()).coarsen(&log);
     let continent_log = TopologyCoarsener::new(continents.node_map.clone()).coarsen(&log);
-    push(
-        "topology: regions",
-        region_log.len(),
-        region_log.len() * BW_RECORD_BYTES,
-        &mut rows,
-    );
+    push("topology: regions", region_log.len(), region_log.len() * BW_RECORD_BYTES, &mut rows);
     push(
         "topology: continents",
         continent_log.len(),

@@ -44,9 +44,7 @@ fn main() {
         let mut total = 0.0;
         let mut n = 0usize;
         for r in log.iter().step_by(11) {
-            if let Some(est) =
-                TimeCoarsener::estimate(&daily_report.coarse, r.src, r.dst, r.ts)
-            {
+            if let Some(est) = TimeCoarsener::estimate(&daily_report.coarse, r.src, r.dst, r.ts) {
                 total += (est - r.gbps).abs() / r.gbps.max(1e-9);
                 n += 1;
             }

@@ -26,8 +26,8 @@ use smn_te::demand::DemandMatrix;
 use smn_te::mcf::{max_multicommodity_flow, max_multicommodity_flow_with_paths, TeConfig};
 use smn_te::restrict::coarse_restricted_paths;
 use smn_telemetry::time::Ts;
-use smn_topology::layer3::{SuperLink, SuperNode};
 use smn_topology::graph::Contraction;
+use smn_topology::layer3::{SuperLink, SuperNode};
 
 fn main() {
     let p = smn_bench::planetary();
@@ -41,12 +41,11 @@ fn main() {
     // Scale offered demand to a realistic operating point (~60-80 % fine
     // satisfaction): the interesting regime is demand near capacity, not a
     // 40x-oversubscribed network where every solver saturates everything.
-    let demand = DemandMatrix::from_triples(
-        triples.into_iter().map(|(s, d, g)| (s, d, g * 0.03)),
-    );
+    let demand = DemandMatrix::from_triples(triples.into_iter().map(|(s, d, g)| (s, d, g * 0.03)));
     let cfg = TeConfig { k_paths: 3, epsilon: 0.15, ..Default::default() };
 
-    let cap = |_: smn_topology::EdgeId, e: &smn_topology::graph::Edge<smn_topology::layer3::LinkAttrs>| {
+    let cap = |_: smn_topology::EdgeId,
+               e: &smn_topology::graph::Edge<smn_topology::layer3::LinkAttrs>| {
         if e.payload.up {
             e.payload.capacity_gbps
         } else {
@@ -68,28 +67,23 @@ fn main() {
     );
 
     let granularities: Vec<(&str, Contraction<SuperNode, SuperLink>)> = vec![
-        (
-            "split-regions",
-            {
-                // Split each region into two *contiguous* halves (node ids
-                // within a region are consecutive by construction, so a
-                // midpoint split keeps each half connected).
-                let mut region_bounds: std::collections::HashMap<u16, (usize, usize)> =
-                    std::collections::HashMap::new();
-                for (id, dc) in p.wan.graph.nodes() {
-                    let e = region_bounds
-                        .entry(dc.region.0)
-                        .or_insert((usize::MAX, 0));
-                    e.0 = e.0.min(id.index());
-                    e.1 = e.1.max(id.index());
-                }
-                p.wan.contract_by_label(|id, dc| {
-                    let (lo, hi) = region_bounds[&dc.region.0];
-                    let half = (id.index() - lo) * 2 > hi - lo;
-                    format!("{}-r{}-h{}", dc.continent.code(), dc.region.0, half as u8)
-                })
-            },
-        ),
+        ("split-regions", {
+            // Split each region into two *contiguous* halves (node ids
+            // within a region are consecutive by construction, so a
+            // midpoint split keeps each half connected).
+            let mut region_bounds: std::collections::HashMap<u16, (usize, usize)> =
+                std::collections::HashMap::new();
+            for (id, dc) in p.wan.graph.nodes() {
+                let e = region_bounds.entry(dc.region.0).or_insert((usize::MAX, 0));
+                e.0 = e.0.min(id.index());
+                e.1 = e.1.max(id.index());
+            }
+            p.wan.contract_by_label(|id, dc| {
+                let (lo, hi) = region_bounds[&dc.region.0];
+                let half = (id.index() - lo) * 2 > hi - lo;
+                format!("{}-r{}-h{}", dc.continent.code(), dc.region.0, half as u8)
+            })
+        }),
         ("regions", p.wan.contract_by_region()),
         ("continents", p.wan.contract_by_continent()),
     ];

@@ -56,7 +56,10 @@ fn main() {
     let mean_peak = peak_of(&mean_only, 0);
     rows.push(vec![
         "month windows, Mean".into(),
-        format!("{:.1}x", fine_bytes as f64 / smn_core::bwlogs::coarse_log_bytes(&mean_only) as f64),
+        format!(
+            "{:.1}x",
+            fine_bytes as f64 / smn_core::bwlogs::coarse_log_bytes(&mean_only) as f64
+        ),
         format!("{:.0}", mean_peak),
         format!("{:.0}%", mean_peak / true_peak * 100.0),
     ]);

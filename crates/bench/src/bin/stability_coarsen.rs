@@ -55,10 +55,7 @@ fn main() {
     // coarsen the logs more often to not miss trends", §4).
     let model = smn_telemetry::traffic::TrafficModel::new(
         &p.wan,
-        smn_telemetry::traffic::TrafficConfig {
-            regime_days: 4,
-            ..Default::default()
-        },
+        smn_telemetry::traffic::TrafficConfig { regime_days: 4, ..Default::default() },
     );
     let days: u64 = 30;
     let log = smn_bench::bw_log(&model, 0, days);
@@ -91,8 +88,16 @@ fn main() {
         (bytes, err)
     };
 
-    measure("uniform fine (6h windows)", TimeCoarsener::new(6 * HOUR, stats.clone()).coarsen(&log), &mut rows);
-    measure("uniform coarse (5d windows)", TimeCoarsener::new(5 * DAY, stats.clone()).coarsen(&log), &mut rows);
+    measure(
+        "uniform fine (6h windows)",
+        TimeCoarsener::new(6 * HOUR, stats.clone()).coarsen(&log),
+        &mut rows,
+    );
+    measure(
+        "uniform coarse (5d windows)",
+        TimeCoarsener::new(5 * DAY, stats.clone()).coarsen(&log),
+        &mut rows,
+    );
     let adaptive = AdaptiveCoarsener {
         cv_threshold: 0.35,
         stable_window: 5 * DAY,

@@ -28,8 +28,7 @@ fn main() {
     triples.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
     triples.truncate(250);
     // Same realistic operating point as the pareto_te experiment.
-    let demand =
-        DemandMatrix::from_triples(triples.into_iter().map(|(s, d, g)| (s, d, g * 0.03)));
+    let demand = DemandMatrix::from_triples(triples.into_iter().map(|(s, d, g)| (s, d, g * 0.03)));
     let cfg = TeConfig { k_paths: 3, epsilon: 0.15, ..Default::default() };
     let cap = |_: smn_topology::EdgeId,
                e: &smn_topology::graph::Edge<smn_topology::layer3::LinkAttrs>| {

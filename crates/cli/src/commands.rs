@@ -79,7 +79,11 @@ pub fn coarsen(args: &[String]) -> Result<(), String> {
     println!("{days} days, {} pairs, {} raw rows", model.pairs().len(), log.len());
     let regions = p.wan.contract_by_region();
     let topo = TopologyCoarsener::new(regions.node_map.clone()).report(&log);
-    println!("  topology (regions):     {:>8} rows  {:>7.1}x", topo.coarse.len(), topo.reduction_factor());
+    println!(
+        "  topology (regions):     {:>8} rows  {:>7.1}x",
+        topo.coarse.len(),
+        topo.reduction_factor()
+    );
     for (label, secs) in [("1h", 3600u64), ("1d", 86_400)] {
         let t = TimeCoarsener::new(secs, vec![Statistic::Mean, Statistic::P95]).report(&log);
         println!(
@@ -88,12 +92,13 @@ pub fn coarsen(args: &[String]) -> Result<(), String> {
             t.reduction_factor()
         );
     }
-    let combined = TimeCoarsener::new(86_400, vec![Statistic::Mean, Statistic::P95])
-        .report(&topo.coarse);
+    let combined =
+        TimeCoarsener::new(86_400, vec![Statistic::Mean, Statistic::P95]).report(&topo.coarse);
     println!(
         "  combined (regions+1d):  {:>8} rows  {:>7.1}x",
         combined.coarse.len(),
-        (log.len() * 24) as f64 / (combined.coarse.len() * combined.coarse[0].encoded_bytes()) as f64
+        (log.len() * 24) as f64
+            / (combined.coarse.len() * combined.coarse[0].encoded_bytes()) as f64
     );
     Ok(())
 }
@@ -123,14 +128,10 @@ pub fn route(args: &[String]) -> Result<(), String> {
     };
     let kind = fault_kind(kind_name)?;
     let d = RedditDeployment::build();
-    let node = d
-        .fine
-        .by_name(target)
-        .ok_or_else(|| {
-            let names: Vec<String> =
-                d.fine.graph.nodes().map(|(_, c)| c.name.clone()).collect();
-            format!("unknown component '{target}'; components: {}", names.join(", "))
-        })?;
+    let node = d.fine.by_name(target).ok_or_else(|| {
+        let names: Vec<String> = d.fine.graph.nodes().map(|(_, c)| c.name.clone()).collect();
+        format!("unknown component '{target}'; components: {}", names.join(", "))
+    })?;
     let team = d.fine.component(node).team.clone();
     let fault = FaultSpec {
         id: 1,
@@ -172,8 +173,7 @@ pub fn plan(args: &[String]) -> Result<(), String> {
     let te_cfg = TeConfig { k_paths: 3, ..Default::default() };
     let mut history: HashMap<EdgeId, Vec<f64>> = HashMap::new();
     for week in 0..weeks {
-        let log = model
-            .generate(Ts::from_days(week * 7 + 2), TrafficModel::epochs_per_days(1));
+        let log = model.generate(Ts::from_days(week * 7 + 2), TrafficModel::epochs_per_days(1));
         let demand = DemandMatrix::from_records(&log, Statistic::P95);
         let sol = greedy_min_max_utilization(
             &p.wan.graph,
@@ -182,21 +182,15 @@ pub fn plan(args: &[String]) -> Result<(), String> {
             &te_cfg,
         );
         for eid in p.wan.graph.edge_ids() {
-            history
-                .entry(eid)
-                .or_default()
-                .push(sol.utilization.get(&eid).copied().unwrap_or(0.0));
+            history.entry(eid).or_default().push(sol.utilization.get(&eid).copied().unwrap_or(0.0));
         }
     }
     let controller = SmnController::new(
         smn_depgraph::coarse::CoarseDepGraph::new(),
         ControllerConfig::default(),
     );
-    let feedback = controller.planning_loop(
-        &history,
-        |e| p.wan.graph.edge(e).payload.distance_km,
-        &p.optical,
-    );
+    let feedback =
+        controller.planning_loop(&history, |e| p.wan.graph.edge(e).payload.distance_km, &p.optical);
     let mut upgrades = 0;
     let mut blocked = 0;
     let mut cost = 0.0;
@@ -222,8 +216,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let days = flags.get("days").copied().unwrap_or(28);
     let p = generate_planetary(&PlanetaryConfig::small(7));
     let traffic = TrafficModel::new(&p.wan, TrafficConfig::default());
-    let mut sim =
-        SmnSimulation::new(&p, &traffic, SimulationConfig { days, ..Default::default() });
+    let mut sim = SmnSimulation::new(&p, &traffic, SimulationConfig { days, ..Default::default() });
     let report = sim.run();
     println!(
         "{days} days: routing {:.0}% ({}/{}), {} upgrades, {} blocked, {} retunes, {} CLDS records",

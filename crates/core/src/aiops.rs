@@ -184,10 +184,8 @@ mod tests {
     fn six_team_fanout_becomes_one_p0() {
         // War story 4: six services alert; each alone is low priority, the
         // aggregate is a single high-priority incident.
-        let alerts: Vec<Alert> = ["a", "b", "c", "d", "e", "f"]
-            .iter()
-            .map(|t| alert(t, Severity::Warning))
-            .collect();
+        let alerts: Vec<Alert> =
+            ["a", "b", "c", "d", "e", "f"].iter().map(|t| alert(t, Severity::Warning)).collect();
         let agg = aggregate_alerts(&alerts, 3).expect("aggregates");
         assert_eq!(agg.alerting_teams.len(), 6);
         assert_eq!(agg.merged_alerts, 6);

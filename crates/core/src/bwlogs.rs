@@ -50,8 +50,7 @@ pub fn coarse_log_bytes(records: &[CoarseBwRecord]) -> usize {
 /// per record so heterogeneous statistic sets decode unambiguously).
 pub fn encode_coarse_log(records: &[CoarseBwRecord]) -> bytes::Bytes {
     use bytes::BufMut;
-    let mut buf =
-        bytes::BytesMut::with_capacity(coarse_log_bytes(records) + 2 * records.len());
+    let mut buf = bytes::BytesMut::with_capacity(coarse_log_bytes(records) + 2 * records.len());
     for r in records {
         buf.put_u64(r.window_start.0);
         buf.put_u64(r.window_secs);
@@ -132,12 +131,7 @@ impl TimeCoarsener {
 
     /// Estimated demand for a pair in the window containing `ts`, using the
     /// first statistic (the acting-on-`s` side of Figure 2).
-    pub fn estimate(
-        records: &[CoarseBwRecord],
-        src: u32,
-        dst: u32,
-        ts: Ts,
-    ) -> Option<f64> {
+    pub fn estimate(records: &[CoarseBwRecord], src: u32, dst: u32, ts: Ts) -> Option<f64> {
         records
             .iter()
             .find(|r| {
@@ -339,8 +333,8 @@ impl Coarsening for AdaptiveCoarsener {
             self.volatile_pairs(fine).into_iter().collect();
         let (vol, stable): (Vec<BandwidthRecord>, Vec<BandwidthRecord>) =
             fine.iter().partition(|r| volatile.contains(&(r.src, r.dst)));
-        let mut out = TimeCoarsener::new(self.volatile_window, self.stats.clone())
-            .coarsen_records(&vol);
+        let mut out =
+            TimeCoarsener::new(self.volatile_window, self.stats.clone()).coarsen_records(&vol);
         out.extend(
             TimeCoarsener::new(self.stable_window, self.stats.clone()).coarsen_records(&stable),
         );
@@ -403,8 +397,7 @@ mod tests {
     #[test]
     fn coarse_log_codec_roundtrips() {
         let log = ramp_log(48);
-        let coarse =
-            TimeCoarsener::new(HOUR, vec![Statistic::Mean, Statistic::P95]).coarsen(&log);
+        let coarse = TimeCoarsener::new(HOUR, vec![Statistic::Mean, Statistic::P95]).coarsen(&log);
         let wire = encode_coarse_log(&coarse);
         let back = decode_coarse_log(wire);
         assert_eq!(coarse, back);
@@ -465,7 +458,8 @@ mod tests {
         let mut log = ramp_log(0);
         for e in 0..(10 * 288) {
             let ts = Ts(e * EPOCH_SECS);
-            let gbps = if ts.0 / DAY == 2 && (ts.0 % DAY) / EPOCH_SECS == 100 { 999.0 } else { 10.0 };
+            let gbps =
+                if ts.0 / DAY == 2 && (ts.0 % DAY) / EPOCH_SECS == 100 { 999.0 } else { 10.0 };
             log.push(BandwidthRecord { ts, src: 0, dst: 1, gbps });
         }
         let c = NestedCoarsener {

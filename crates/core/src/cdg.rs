@@ -64,11 +64,7 @@ mod tests {
         let d = RedditDeployment::build();
         let report = CdgCoarsening.report(&d.fine);
         assert!(report.shrinks());
-        assert!(
-            report.reduction_factor() > 3.0,
-            "reduction {}",
-            report.reduction_factor()
-        );
+        assert!(report.reduction_factor() > 3.0, "reduction {}", report.reduction_factor());
         assert_eq!(report.coarse.len(), 8);
     }
 

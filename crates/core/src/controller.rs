@@ -16,19 +16,38 @@
 //!
 //! Feedback is data, not side effects: "the output is a set of feedback
 //! either to teams or external agents" (§2).
+//!
+//! # Degraded-mode operation
+//!
+//! The controller reads the CLDS through a fallible
+//! [`FaultyStore`] front with retry and circuit-breaker resilience
+//! ([`ResilientAccess`]). When a read still fails after retries, loops
+//! *degrade* along a fallback ladder instead of aborting, and every step
+//! down emits a [`Feedback::Degraded`] record so operators can audit what
+//! the controller could not see. [`SmnController::checkpoint`] /
+//! [`SmnController::restore`] snapshot loop state so a crashed controller
+//! resumes mid-campaign without double-emitting feedback.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use smn_datalake::access::ResilientAccess;
+use smn_datalake::fault::{FaultyStore, LakeError};
 use smn_datalake::store::Clds;
 use smn_depgraph::coarse::CoarseDepGraph;
 use smn_depgraph::syndrome::{Explainability, Syndrome};
 use smn_te::capacity::{CapacityPlanner, UpgradePolicy};
-use smn_telemetry::time::Ts;
+use smn_telemetry::record::{Alert, LogEvent, ProbeResult, Severity};
+use smn_telemetry::series::Statistic;
+use smn_telemetry::time::{Ts, DAY, EPOCH_SECS, HOUR};
 use smn_topology::layer1::{Modulation, OpticalLayer, WavelengthId};
 use smn_topology::EdgeId;
 
 use crate::aiops::{aggregate_alerts, AggregatedIncident};
+use crate::bwlogs::{CoarseBwRecord, TimeCoarsener};
+use crate::coarsen::Coarsening;
 
 /// Feedback emitted by the CLTO to teams or external agents.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,6 +90,19 @@ pub enum Feedback {
         /// Target modulation.
         to: Modulation,
     },
+    /// A control loop lost part of its input and fell back to a coarser or
+    /// narrower view instead of aborting. One record per rung stepped down
+    /// the fallback ladder.
+    Degraded {
+        /// Which loop degraded (`"incident"`, `"planning"`, `"reliability"`).
+        loop_name: String,
+        /// The input mode the loop wanted.
+        from: String,
+        /// The input mode it actually ran with.
+        to: String,
+        /// Why (the lake error or completeness shortfall, human-readable).
+        reason: String,
+    },
 }
 
 /// Controller configuration.
@@ -86,6 +118,9 @@ pub struct ControllerConfig {
     pub flap_threshold: u32,
     /// Reach utilization above which a wavelength is considered stressed.
     pub reach_stress_threshold: f64,
+    /// Minimum fraction of expected windows that must be populated before a
+    /// planning resolution is trusted (the fallback-ladder gate).
+    pub planning_completeness_threshold: f64,
 }
 
 impl Default for ControllerConfig {
@@ -96,31 +131,132 @@ impl Default for ControllerConfig {
             upgrade_policy: UpgradePolicy::default(),
             flap_threshold: 5,
             reach_stress_threshold: 0.75,
+            planning_completeness_threshold: 0.9,
         }
     }
+}
+
+/// Planning inputs assembled under possible degradation: the coarse
+/// bandwidth log at whichever ladder resolution was complete enough.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanningWindow {
+    /// Resolution actually used (seconds per coarse window).
+    pub resolution_secs: u64,
+    /// Fraction of expected windows at that resolution that had data.
+    pub completeness: f64,
+    /// The coarse log (P95 per pair per window).
+    pub records: Vec<CoarseBwRecord>,
+}
+
+/// Serializable controller snapshot: the loop state needed to resume after
+/// a crash without double-emitting feedback (the incident-id counter and
+/// the processed-window cursor).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControllerCheckpoint {
+    /// Next incident id the controller will assign.
+    pub next_incident_id: u64,
+    /// End timestamp of the last incident window processed.
+    pub processed_through: u64,
+    /// Controller knobs at checkpoint time.
+    pub config: ControllerConfig,
 }
 
 /// The SMN controller.
 #[derive(Debug)]
 pub struct SmnController {
-    /// The Cross-Layer Cross-Team Data Store.
-    pub clds: Clds,
+    /// The CLDS behind its fallible lake front.
+    lake: FaultyStore,
     /// The cloud's coarse dependency graph.
     pub cdg: CoarseDepGraph,
     /// Knobs.
     pub config: ControllerConfig,
-    next_incident_id: std::sync::atomic::AtomicU64,
+    next_incident_id: AtomicU64,
+    /// End of the last incident window processed (the checkpoint cursor).
+    processed_through: AtomicU64,
+    /// Retry + circuit-breaker state shared by all lake reads.
+    access: Mutex<ResilientAccess>,
 }
 
 impl SmnController {
-    /// Controller over a fresh CLDS with the given CDG.
+    /// Controller over a fresh, reliable CLDS with the given CDG.
     pub fn new(cdg: CoarseDepGraph, config: ControllerConfig) -> Self {
+        Self::with_lake(FaultyStore::reliable(Clds::new()), cdg, config)
+    }
+
+    /// Controller over an existing (possibly faulty) lake.
+    pub fn with_lake(lake: FaultyStore, cdg: CoarseDepGraph, config: ControllerConfig) -> Self {
         Self {
-            clds: Clds::new(),
+            lake,
             cdg,
             config,
-            next_incident_id: std::sync::atomic::AtomicU64::new(1),
+            next_incident_id: AtomicU64::new(1),
+            processed_through: AtomicU64::new(0),
+            access: Mutex::new(ResilientAccess::default()),
         }
+    }
+
+    /// Rebuild a controller from a checkpoint: loops resume after the
+    /// cursor, and already-processed windows emit nothing.
+    pub fn restore(
+        lake: FaultyStore,
+        cdg: CoarseDepGraph,
+        checkpoint: ControllerCheckpoint,
+    ) -> Self {
+        Self {
+            lake,
+            cdg,
+            config: checkpoint.config,
+            next_incident_id: AtomicU64::new(checkpoint.next_incident_id),
+            processed_through: AtomicU64::new(checkpoint.processed_through),
+            access: Mutex::new(ResilientAccess::default()),
+        }
+    }
+
+    /// Snapshot the loop state (serde-serializable; pair with
+    /// [`SmnController::restore`]).
+    pub fn checkpoint(&self) -> ControllerCheckpoint {
+        ControllerCheckpoint {
+            next_incident_id: self.next_incident_id.load(Ordering::Relaxed),
+            processed_through: self.processed_through.load(Ordering::Relaxed),
+            config: self.config.clone(),
+        }
+    }
+
+    /// Direct access to the underlying CLDS (writes, ingestion, tests) —
+    /// bypasses fault injection, as ingestion-side chaos is modeled by
+    /// `smn_telemetry::chaos`.
+    pub fn clds(&self) -> &Clds {
+        self.lake.clds()
+    }
+
+    /// The fallible lake front the loops read through.
+    pub fn lake(&self) -> &FaultyStore {
+        &self.lake
+    }
+
+    /// Mutable lake access (e.g. heal or break a partition mid-campaign).
+    pub fn lake_mut(&mut self) -> &mut FaultyStore {
+        &mut self.lake
+    }
+
+    /// Tear the controller down, releasing its lake: the store outlives a
+    /// controller crash (pair with [`SmnController::restore`]).
+    pub fn into_lake(self) -> FaultyStore {
+        self.lake
+    }
+
+    /// Snapshot of the retry/breaker counters (observability).
+    pub fn resilience(&self) -> ResilientAccess {
+        self.access.lock().clone()
+    }
+
+    /// Run one lake read under the shared retry + circuit-breaker policy.
+    fn fetch<T>(&self, op: impl FnMut(u32) -> Result<T, LakeError>) -> Result<T, LakeError> {
+        self.access.lock().query(op)
+    }
+
+    fn advance_cursor(&self, end: Ts) {
+        self.processed_through.fetch_max(end.0, Ordering::Relaxed);
     }
 
     /// Build the observed syndrome for a time window from the CLDS: a team
@@ -128,25 +264,27 @@ impl SmnController {
     /// owning the probing infrastructure's *target* — the network — is
     /// symptomatic when probe failure rates exceed the threshold.
     pub fn window_syndrome(&self, start: Ts, end: Ts) -> Syndrome {
+        let clds = self.lake.clds();
+        let alerts = clds.alerts.read();
+        let probes = clds.probes.read();
+        self.syndrome_from_parts(alerts.range(start, end), probes.range(start, end))
+    }
+
+    /// Syndrome from whichever telemetry slices survived the lake: missing
+    /// sources contribute no symptoms (the degraded-mode contract).
+    fn syndrome_from_parts(&self, alerts: &[Alert], probes: &[ProbeResult]) -> Syndrome {
         let mut syndrome = Syndrome::zeros(self.cdg.len());
-        {
-            let alerts = self.clds.alerts.read();
-            for a in alerts.range(start, end) {
-                if let Some(team) = self.cdg.by_name(&a.team) {
-                    syndrome.0[team.index()] = 1.0;
-                }
+        for a in alerts {
+            if let Some(team) = self.cdg.by_name(&a.team) {
+                syndrome.0[team.index()] = 1.0;
             }
         }
-        {
-            let probes = self.clds.probes.read();
-            let window = probes.range(start, end);
-            if !window.is_empty() {
-                let failures = window.iter().filter(|p| !p.success).count();
-                let rate = failures as f64 / window.len() as f64;
-                if rate > self.config.probe_failure_threshold {
-                    if let Some(net) = self.cdg.by_name("network") {
-                        syndrome.0[net.index()] = 1.0;
-                    }
+        if !probes.is_empty() {
+            let failures = probes.iter().filter(|p| !p.success).count();
+            let rate = failures as f64 / probes.len() as f64;
+            if rate > self.config.probe_failure_threshold {
+                if let Some(net) = self.cdg.by_name("network") {
+                    syndrome.0[net.index()] = 1.0;
                 }
             }
         }
@@ -159,37 +297,87 @@ impl SmnController {
     /// [`Feedback::RouteIncident`] to the best-explaining team (with
     /// aggregation metadata when several teams alerted — war story 4), and
     /// one [`Feedback::InformTeam`] per other symptomatic team.
+    ///
+    /// Degraded mode: when the lake cannot serve alerts, the syndrome is
+    /// built from probes alone (and vice versa); when both sources fail the
+    /// window is skipped. Each step emits a [`Feedback::Degraded`] record
+    /// *before* any routing feedback. Windows ending at or before the
+    /// checkpoint cursor return nothing — a restored controller never
+    /// re-emits feedback for windows a previous incarnation processed.
     pub fn incident_loop(&self, start: Ts, end: Ts) -> Vec<Feedback> {
-        let syndrome = self.window_syndrome(start, end);
-        if syndrome.is_quiet() {
+        if end.0 <= self.processed_through.load(Ordering::Relaxed) {
             return Vec::new();
+        }
+        let mut feedback = Vec::new();
+        let alerts = match self.fetch(|_| self.lake.alerts_range(start, end)) {
+            Ok(a) => Some(a),
+            Err(e) => {
+                feedback.push(Feedback::Degraded {
+                    loop_name: "incident".into(),
+                    from: "alerts + probes syndrome".into(),
+                    to: "probes-only syndrome".into(),
+                    reason: e.to_string(),
+                });
+                None
+            }
+        };
+        let probes = match self.fetch(|_| self.lake.probes_range(start, end)) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                feedback.push(Feedback::Degraded {
+                    loop_name: "incident".into(),
+                    from: if alerts.is_some() {
+                        "alerts + probes syndrome".into()
+                    } else {
+                        "probes-only syndrome".into()
+                    },
+                    to: if alerts.is_some() {
+                        "alerts-only syndrome".into()
+                    } else {
+                        "window skipped (lake blind)".into()
+                    },
+                    reason: e.to_string(),
+                });
+                None
+            }
+        };
+        if alerts.is_none() && probes.is_none() {
+            self.advance_cursor(end);
+            return feedback;
+        }
+        let syndrome = self.syndrome_from_parts(
+            alerts.as_deref().unwrap_or(&[]),
+            probes.as_deref().unwrap_or(&[]),
+        );
+        if syndrome.is_quiet() {
+            self.advance_cursor(end);
+            return feedback;
         }
         let ex = Explainability::new(&self.cdg);
         let best = ex.best_team(&syndrome).expect("non-quiet syndrome has a best team");
         let best_name = self.cdg.team(best).name.clone();
-        let aggregated = {
-            let alerts = self.clds.alerts.read();
-            aggregate_alerts(alerts.range(start, end), self.config.min_aggregation_teams)
-        };
+        let aggregated =
+            alerts.as_deref().and_then(|a| aggregate_alerts(a, self.config.min_aggregation_teams));
         // Record the incident in the CLDS (the lifecycle the history
         // store's retention policy keys on).
-        let id = self
-            .next_incident_id
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let id = self.next_incident_id.fetch_add(1, Ordering::Relaxed);
         let priority = aggregated.as_ref().map(|a| a.priority).unwrap_or(2);
-        self.clds.incidents.write().append(smn_telemetry::record::IncidentRecord {
+        self.lake.clds().incidents.write().append(smn_telemetry::record::IncidentRecord {
             id,
             opened_at: end,
-            title: format!("symptoms across {} team(s)", syndrome.0.iter().filter(|&&v| v > 0.0).count()),
+            title: format!(
+                "symptoms across {} team(s)",
+                syndrome.0.iter().filter(|&&v| v > 0.0).count()
+            ),
             routed_to: Some(best_name.clone()),
             ground_truth_team: None,
             priority,
         });
-        let mut feedback = vec![Feedback::RouteIncident {
+        feedback.push(Feedback::RouteIncident {
             team: best_name.clone(),
             explainability: ex.explainability(&syndrome, best),
             aggregated,
-        }];
+        });
         for (i, &sym) in syndrome.0.iter().enumerate() {
             let team = self.cdg.team(smn_topology::NodeId(i as u32)).name.clone();
             if sym > 0.0 && team != best_name {
@@ -199,6 +387,7 @@ impl SmnController {
                 });
             }
         }
+        self.advance_cursor(end);
         feedback
     }
 
@@ -215,9 +404,8 @@ impl SmnController {
         optical: &OpticalLayer,
     ) -> Vec<Feedback> {
         let planner = CapacityPlanner::new(self.config.upgrade_policy.clone());
-        let plan = planner.plan(history, distance_km, |link| {
-            optical.link_upgradeable(link.index())
-        });
+        let plan =
+            planner.plan(history, distance_km, |link| optical.link_upgradeable(link.index()));
         let mut feedback: Vec<Feedback> = plan
             .upgrades
             .iter()
@@ -228,11 +416,98 @@ impl SmnController {
             })
             .collect();
         feedback.extend(
-            plan.blocked_by_fiber
-                .iter()
-                .map(|&link| Feedback::UpgradeBlockedByFiber { link }),
+            plan.blocked_by_fiber.iter().map(|&link| Feedback::UpgradeBlockedByFiber { link }),
         );
         feedback
+    }
+
+    /// The planning-input fallback ladder: fine epochs, hourly, daily.
+    pub const PLANNING_LADDER: [u64; 3] = [EPOCH_SECS, HOUR, DAY];
+
+    fn ladder_rung_name(resolution_secs: u64) -> &'static str {
+        match resolution_secs {
+            EPOCH_SECS => "fine bandwidth logs (300 s epochs)",
+            HOUR => "hourly coarse logs",
+            DAY => "daily coarse logs",
+            _ => "custom-resolution coarse logs",
+        }
+    }
+
+    /// Assemble planning inputs from the lake, degrading along the
+    /// resolution ladder when the fine window is incomplete.
+    ///
+    /// A resolution is trusted when the fraction of its expected windows
+    /// that contain at least one record meets
+    /// [`ControllerConfig::planning_completeness_threshold`] — chaos-thinned
+    /// epochs leave holes in the fine series that mislead the planner, but
+    /// the same records spread over hourly or daily windows still populate
+    /// every window, so summary statistics stay trustworthy. Each rung
+    /// stepped down emits [`Feedback::Degraded`]; an unreadable lake yields
+    /// `None` plus a single degradation record.
+    pub fn planning_bandwidth(
+        &self,
+        start: Ts,
+        end: Ts,
+    ) -> (Option<PlanningWindow>, Vec<Feedback>) {
+        let mut feedback = Vec::new();
+        let fine = match self.fetch(|_| self.lake.bandwidth_range(start, end)) {
+            Ok(f) => f,
+            Err(e) => {
+                feedback.push(Feedback::Degraded {
+                    loop_name: "planning".into(),
+                    from: Self::ladder_rung_name(EPOCH_SECS).into(),
+                    to: "no planning inputs this cycle".into(),
+                    reason: e.to_string(),
+                });
+                return (None, feedback);
+            }
+        };
+        let span = end.0.saturating_sub(start.0);
+        let completeness_at = |resolution: u64| -> f64 {
+            let expected = (span.div_ceil(resolution)).max(1);
+            let observed: HashSet<u64> = fine.iter().map(|r| r.ts.0 / resolution).collect();
+            observed.len() as f64 / expected as f64
+        };
+        let threshold = self.config.planning_completeness_threshold;
+        let mut chosen = *Self::PLANNING_LADDER.last().expect("ladder non-empty");
+        let mut completeness = completeness_at(chosen);
+        for (i, &resolution) in Self::PLANNING_LADDER.iter().enumerate() {
+            let c = completeness_at(resolution);
+            if c >= threshold || i == Self::PLANNING_LADDER.len() - 1 {
+                chosen = resolution;
+                completeness = c;
+                break;
+            }
+            feedback.push(Feedback::Degraded {
+                loop_name: "planning".into(),
+                from: Self::ladder_rung_name(resolution).into(),
+                to: Self::ladder_rung_name(Self::PLANNING_LADDER[i + 1]).into(),
+                reason: format!(
+                    "window completeness {:.0}% below {:.0}%",
+                    c * 100.0,
+                    threshold * 100.0
+                ),
+            });
+        }
+        let records = TimeCoarsener::new(chosen, vec![Statistic::P95]).coarsen(&fine);
+        (Some(PlanningWindow { resolution_secs: chosen, completeness, records }), feedback)
+    }
+
+    /// Per-edge utilization history from a planning window: `edge_of` maps
+    /// a `(src, dst)` pair to its WAN edge and capacity in Gbps.
+    pub fn utilization_history(
+        window: &PlanningWindow,
+        edge_of: impl Fn(u32, u32) -> Option<(EdgeId, f64)>,
+    ) -> HashMap<EdgeId, Vec<f64>> {
+        let mut history: HashMap<EdgeId, Vec<f64>> = HashMap::new();
+        for r in &window.records {
+            if let Some((edge, capacity_gbps)) = edge_of(r.src, r.dst) {
+                if capacity_gbps > 0.0 {
+                    history.entry(edge).or_default().push(r.values[0] / capacity_gbps);
+                }
+            }
+        }
+        history
     }
 
     /// The cross-layer reliability loop (war story 2): given per-link flap
@@ -268,6 +543,66 @@ impl SmnController {
         }
         feedback
     }
+
+    /// The reliability loop fed from the lake: flap counts are recovered
+    /// from the `ops/logs` dataset (one [`LogEvent`] per dropped link per
+    /// wavelength flap, the convention of [`flap_log_events`]). When the
+    /// lake cannot serve
+    /// the window, the loop degrades to proposing nothing this cycle —
+    /// emitting [`Feedback::Degraded`] — rather than panicking or acting on
+    /// a partial flap picture.
+    pub fn reliability_loop_from_lake(
+        &self,
+        start: Ts,
+        end: Ts,
+        optical: &OpticalLayer,
+    ) -> Vec<Feedback> {
+        let logs = match self.fetch(|_| self.lake.logs_range(start, end)) {
+            Ok(l) => l,
+            Err(e) => {
+                return vec![Feedback::Degraded {
+                    loop_name: "reliability".into(),
+                    from: "lake flap logs".into(),
+                    to: "no retunes this cycle".into(),
+                    reason: e.to_string(),
+                }];
+            }
+        };
+        self.reliability_loop(&flap_counts_from_logs(&logs), optical)
+    }
+}
+
+/// Materialize wavelength flap events as CLDS log events (the `ops/logs`
+/// convention [`SmnController::reliability_loop_from_lake`] reads back):
+/// one event per affected L3 link per flap, component `"link-<edge>"`.
+pub fn flap_log_events(events: &[smn_topology::failures::FlapEvent]) -> Vec<LogEvent> {
+    let mut out: Vec<LogEvent> = events
+        .iter()
+        .flat_map(|e| {
+            e.links.iter().map(move |&link| LogEvent {
+                ts: Ts::from_days(e.day),
+                component: format!("link-{link}"),
+                severity: Severity::Error,
+                text: format!("wavelength {} flap dropped link {link}", e.wavelength.0),
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| (a.ts, &a.component).cmp(&(b.ts, &b.component)));
+    out
+}
+
+/// Recover per-link flap counts from flap log events (inverse of
+/// [`flap_log_events`]).
+pub fn flap_counts_from_logs(logs: &[LogEvent]) -> HashMap<EdgeId, u32> {
+    let mut counts: HashMap<EdgeId, u32> = HashMap::new();
+    for l in logs {
+        if let Some(link) = l.component.strip_prefix("link-").and_then(|s| s.parse::<u32>().ok()) {
+            if l.text.contains("flap") {
+                *counts.entry(EdgeId(link)).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
 }
 
 #[cfg(test)]
@@ -317,7 +652,7 @@ mod tests {
     fn full_fanout_routes_to_network_and_informs_observers() {
         let c = controller();
         {
-            let mut alerts = c.clds.alerts.write();
+            let mut alerts = c.clds().alerts.write();
             alerts.append(alert(10, "app"));
             alerts.append(alert(20, "platform"));
             alerts.append(alert(30, "network"));
@@ -347,12 +682,12 @@ mod tests {
         // War story 3: only the app's probes fail; no network alerts at all.
         let c = controller();
         {
-            let mut alerts = c.clds.alerts.write();
+            let mut alerts = c.clds().alerts.write();
             alerts.append(alert(10, "app"));
             alerts.append(alert(15, "platform"));
         }
         {
-            let mut probes = c.clds.probes.write();
+            let mut probes = c.clds().probes.write();
             for t in 0..10 {
                 probes.append(probe(t * 60, t % 2 == 0)); // 50% failure
             }
@@ -369,7 +704,7 @@ mod tests {
     #[test]
     fn local_failure_routes_locally() {
         let c = controller();
-        c.clds.alerts.write().append(alert(10, "app"));
+        c.clds().alerts.write().append(alert(10, "app"));
         let feedback = c.incident_loop(Ts(0), Ts(600));
         assert_eq!(feedback.len(), 1);
         assert!(matches!(
@@ -381,11 +716,11 @@ mod tests {
     #[test]
     fn incident_loop_records_incident_in_clds() {
         let c = controller();
-        c.clds.alerts.write().append(alert(10, "app"));
+        c.clds().alerts.write().append(alert(10, "app"));
         let _ = c.incident_loop(Ts(0), Ts(600));
-        c.clds.alerts.write().append(alert(700, "platform"));
+        c.clds().alerts.write().append(alert(700, "platform"));
         let _ = c.incident_loop(Ts(600), Ts(1200));
-        let incidents = c.clds.incidents.read();
+        let incidents = c.clds().incidents.read();
         assert_eq!(incidents.len(), 2);
         assert_eq!(incidents.all()[0].id, 1);
         assert_eq!(incidents.all()[0].routed_to.as_deref(), Some("app"));
@@ -437,5 +772,192 @@ mod tests {
         optical.light_wavelength(vec![s], Modulation::Qam16, vec![0]);
         let flaps: HashMap<EdgeId, u32> = [(EdgeId(0), 2)].into();
         assert!(c.reliability_loop(&flaps, &optical).is_empty());
+    }
+
+    // ---- degraded-mode behavior -------------------------------------
+
+    use smn_datalake::fault::FaultProfile;
+
+    /// Same CDG as `controller()`, but behind a configurable lake.
+    fn faulty_controller(profile: FaultProfile) -> SmnController {
+        let mut cdg = CoarseDepGraph::new();
+        let app = cdg.add_team("app");
+        let platform = cdg.add_team("platform");
+        let net = cdg.add_team("network");
+        cdg.add_dependency(app, platform);
+        cdg.add_dependency(platform, net);
+        SmnController::with_lake(
+            FaultyStore::new(Clds::new(), profile),
+            cdg,
+            ControllerConfig::default(),
+        )
+    }
+
+    fn is_degraded(f: &Feedback) -> bool {
+        matches!(f, Feedback::Degraded { .. })
+    }
+
+    #[test]
+    fn incident_loop_degrades_to_probes_when_alerts_unreachable() {
+        // Outage only over the alerts query window; probes carry the signal.
+        let c = faulty_controller(FaultProfile::reliable().with_outage(Ts(0), Ts(600)));
+        {
+            let mut probes = c.clds().probes.write();
+            for t in 0..10 {
+                probes.append(probe(t * 60, t % 2 == 0)); // 50% failure
+            }
+        }
+        // Both alerts and probes ranges overlap the outage -> fully blind.
+        let feedback = c.incident_loop(Ts(0), Ts(600));
+        assert!(!feedback.is_empty());
+        assert!(feedback.iter().all(is_degraded), "blind window emits only Degraded");
+        // A later window misses the outage: normal routing resumes.
+        {
+            let mut probes = c.clds().probes.write();
+            for t in 10..20 {
+                probes.append(probe(t * 60, t % 2 == 0));
+            }
+        }
+        let feedback = c.incident_loop(Ts(600), Ts(1200));
+        assert!(feedback
+            .iter()
+            .any(|f| matches!(f, Feedback::RouteIncident { team, .. } if team == "network")));
+        assert!(!feedback.iter().any(is_degraded));
+    }
+
+    #[test]
+    fn incident_loop_never_panics_under_total_failure() {
+        let c = faulty_controller(FaultProfile::reliable().with_error_rate(1.0));
+        c.clds().alerts.write().append(alert(10, "app"));
+        for w in 0..20u64 {
+            let feedback = c.incident_loop(Ts(w * 600), Ts((w + 1) * 600));
+            assert!(
+                feedback.iter().all(is_degraded),
+                "every failure path must end in Degraded, got {feedback:?}"
+            );
+        }
+        // Persistent failures tripped the breaker at least once.
+        assert!(c.resilience().breaker.trips > 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_does_not_double_emit() {
+        let run_windows = |c: &SmnController, from: u64, to: u64| -> Vec<Feedback> {
+            let mut all = Vec::new();
+            for w in from..to {
+                all.extend(c.incident_loop(Ts(w * 600), Ts((w + 1) * 600)));
+            }
+            all
+        };
+        let seed_alerts = |c: &SmnController| {
+            let mut alerts = c.clds().alerts.write();
+            for w in 0..6u64 {
+                alerts.append(alert(w * 600 + 10, "app"));
+            }
+        };
+
+        // Uninterrupted reference run.
+        let reference = controller();
+        seed_alerts(&reference);
+        let want = run_windows(&reference, 0, 6);
+
+        // Crash after 3 windows; restore from checkpoint; replay all 6.
+        let first = controller();
+        seed_alerts(&first);
+        let mut got = run_windows(&first, 0, 3);
+        let snapshot = serde_json::to_string(&first.checkpoint()).unwrap();
+        let cdg = first.cdg.clone();
+        let resumed = SmnController::restore(
+            first.into_lake(), // the lake outlives the crashed controller
+            cdg,
+            serde_json::from_str(&snapshot).unwrap(),
+        );
+        // Replaying from window 0 emits nothing for processed windows.
+        got.extend(run_windows(&resumed, 0, 6));
+        assert_eq!(got, want, "no duplicates, no gaps across the crash");
+        // Incident ids continue without reuse.
+        let incidents = resumed.clds().incidents.read();
+        let ids: Vec<u64> = incidents.all().iter().map(|i| i.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn planning_ladder_steps_down_on_incomplete_fine_window() {
+        let c = controller();
+        {
+            let mut bw = c.clds().bandwidth.write();
+            // One day of epochs with 60% dropped (keep every 5th then some):
+            // fine completeness 0.2, hourly completeness 1.0.
+            for e in 0..288u64 {
+                if e % 5 == 0 {
+                    bw.append(smn_telemetry::record::BandwidthRecord {
+                        ts: Ts(e * EPOCH_SECS),
+                        src: 0,
+                        dst: 1,
+                        gbps: 10.0,
+                    });
+                }
+            }
+        }
+        let (window, feedback) = c.planning_bandwidth(Ts(0), Ts(DAY));
+        let window = window.expect("lake is reachable");
+        assert_eq!(window.resolution_secs, HOUR, "falls back exactly one rung");
+        assert_eq!(window.records.len(), 24);
+        assert_eq!(feedback.len(), 1);
+        assert!(matches!(
+            &feedback[0],
+            Feedback::Degraded { loop_name, .. } if loop_name == "planning"
+        ));
+    }
+
+    #[test]
+    fn planning_full_fine_window_stays_fine() {
+        let c = controller();
+        {
+            let mut bw = c.clds().bandwidth.write();
+            for e in 0..288u64 {
+                bw.append(smn_telemetry::record::BandwidthRecord {
+                    ts: Ts(e * EPOCH_SECS),
+                    src: 0,
+                    dst: 1,
+                    gbps: 10.0,
+                });
+            }
+        }
+        let (window, feedback) = c.planning_bandwidth(Ts(0), Ts(DAY));
+        assert_eq!(window.unwrap().resolution_secs, EPOCH_SECS);
+        assert!(feedback.is_empty());
+    }
+
+    #[test]
+    fn planning_unreachable_lake_yields_degraded_only() {
+        let c = faulty_controller(FaultProfile::reliable().with_outage(Ts(0), Ts(DAY)));
+        let (window, feedback) = c.planning_bandwidth(Ts(0), Ts(DAY));
+        assert!(window.is_none());
+        assert_eq!(feedback.len(), 1);
+        assert!(is_degraded(&feedback[0]));
+    }
+
+    #[test]
+    fn reliability_from_lake_roundtrips_flap_logs_and_degrades() {
+        let mut optical = OpticalLayer::new();
+        let s1 = optical.add_span("hot", 700.0, false, 1);
+        let hot = optical.light_wavelength(vec![s1], Modulation::Qam16, vec![0]);
+        // 12 flap days for link 0.
+        let events: Vec<smn_topology::failures::FlapEvent> = (0..12)
+            .map(|day| smn_topology::failures::FlapEvent { day, wavelength: hot, links: vec![0] })
+            .collect();
+        let c = controller();
+        c.clds().logs.write().extend(flap_log_events(&events));
+        let feedback = c.reliability_loop_from_lake(Ts(0), Ts(30 * DAY), &optical);
+        assert_eq!(
+            feedback,
+            vec![Feedback::RetuneModulation { wavelength: hot, to: Modulation::Qam8 }]
+        );
+        // Same window against a partitioned lake: Degraded, never a panic.
+        let c = faulty_controller(FaultProfile::reliable().with_outage(Ts(0), Ts(30 * DAY)));
+        let feedback = c.reliability_loop_from_lake(Ts(0), Ts(30 * DAY), &optical);
+        assert_eq!(feedback.len(), 1);
+        assert!(is_degraded(&feedback[0]));
     }
 }

@@ -30,4 +30,6 @@ pub mod simulation;
 pub mod warstories;
 
 pub use coarsen::{action_fidelity, Coarsening, CoarseningReport};
-pub use controller::{ControllerConfig, Feedback, SmnController};
+pub use controller::{
+    ControllerCheckpoint, ControllerConfig, Feedback, PlanningWindow, SmnController,
+};

@@ -98,8 +98,7 @@ impl SeasonalModel {
         let trend_per_day = if days.len() < 2 {
             0.0
         } else {
-            let sxy: f64 =
-                days.iter().map(|(x, y)| (x - anchor_day) * (y - level)).sum();
+            let sxy: f64 = days.iter().map(|(x, y)| (x - anchor_day) * (y - level)).sum();
             let sxx: f64 = days.iter().map(|(x, _)| (x - anchor_day).powi(2)).sum();
             if sxx > 0.0 {
                 sxy / sxx
@@ -150,10 +149,7 @@ impl Coarsening for ModelCoarsener {
 
 /// Mean relative error of model predictions against a (usually held-out)
 /// log. Returns `None` when no record matches a model.
-pub fn reconstruction_error(
-    models: &[SeasonalModel],
-    log: &[BandwidthRecord],
-) -> Option<f64> {
+pub fn reconstruction_error(models: &[SeasonalModel], log: &[BandwidthRecord]) -> Option<f64> {
     let index: HashMap<(u32, u32), &SeasonalModel> =
         models.iter().map(|m| ((m.src, m.dst), m)).collect();
     let mut total = 0.0;
@@ -206,10 +202,7 @@ mod tests {
         let ts = Ts(30 * DAY + 14 * HOUR);
         let truth = (100.0 + 0.5 * 30.0) * 1.3;
         let pred = m.predict(ts);
-        assert!(
-            (pred - truth).abs() / truth < 0.15,
-            "pred {pred} vs truth {truth}"
-        );
+        assert!((pred - truth).abs() / truth < 0.15, "pred {pred} vs truth {truth}");
     }
 
     #[test]

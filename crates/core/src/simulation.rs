@@ -123,8 +123,7 @@ impl<'a> SmnSimulation<'a> {
         config: SimulationConfig,
     ) -> Self {
         let deployment = RedditDeployment::build();
-        let controller =
-            SmnController::new(deployment.cdg.clone(), ControllerConfig::default());
+        let controller = SmnController::new(deployment.cdg.clone(), ControllerConfig::default());
         Self { controller, planetary, traffic, deployment, config }
     }
 
@@ -135,7 +134,10 @@ impl<'a> SmnSimulation<'a> {
         // Fault schedule: cycle through a deterministic campaign.
         let campaign = generate_campaign(
             &self.deployment,
-            &CampaignConfig { n_faults: (cfg.days / cfg.fault_every_days + 1) as usize, ..Default::default() },
+            &CampaignConfig {
+                n_faults: (cfg.days / cfg.fault_every_days + 1) as usize,
+                ..Default::default()
+            },
         );
         let mut next_fault = 0usize;
         let flap_events = simulate_flaps(&self.planetary.optical, cfg.days, cfg.flap_seed);
@@ -149,7 +151,7 @@ impl<'a> SmnSimulation<'a> {
             // (full-epoch ingestion is exercised by unit tests; sampling
             // keeps multi-week runs fast).
             let records = self.traffic.generate(day_start + 12 * HOUR, 12);
-            self.controller.clds.bandwidth.write().extend(records);
+            self.controller.clds().bandwidth.write().extend(records);
 
             // L1 flaps.
             log.flaps = flap_events.iter().filter(|e| e.day == day).count();
@@ -159,22 +161,18 @@ impl<'a> SmnSimulation<'a> {
                 let fault = &campaign[next_fault];
                 next_fault += 1;
                 let obs = observe(&self.deployment, fault, &cfg.incident_sim);
-                let telemetry =
-                    materialize(&self.deployment, &obs, &cfg.incident_sim, day_start);
+                let telemetry = materialize(&self.deployment, &obs, &cfg.incident_sim, day_start);
                 {
-                    let mut alerts = self.controller.clds.alerts.write();
+                    let mut alerts = self.controller.clds().alerts.write();
                     let mut sorted = telemetry.alerts;
                     sorted.sort_by_key(|a| a.ts);
                     alerts.extend(sorted);
                 }
-                self.controller.clds.probes.write().extend(telemetry.probes);
-                log.incident_feedback =
-                    self.controller.incident_loop(day_start, day_start + DAY);
+                self.controller.clds().probes.write().extend(telemetry.probes);
+                log.incident_feedback = self.controller.incident_loop(day_start, day_start + DAY);
                 log.injected_team = Some(fault.team.clone());
                 report.routing_total += 1;
-                if let Some(Feedback::RouteIncident { team, .. }) =
-                    log.incident_feedback.first()
-                {
+                if let Some(Feedback::RouteIncident { team, .. }) = log.incident_feedback.first() {
                     if *team == fault.team {
                         report.routing_correct += 1;
                     }
@@ -184,8 +182,7 @@ impl<'a> SmnSimulation<'a> {
             // Planning cadence: refresh utilization from the day's demand,
             // then run the planning and reliability loops.
             if day % cfg.planning_every_days == cfg.planning_every_days - 1 {
-                let demand_records =
-                    self.traffic.generate(day_start + 12 * HOUR, 12);
+                let demand_records = self.traffic.generate(day_start + 12 * HOUR, 12);
                 let demand = DemandMatrix::from_records(&demand_records, Statistic::P95);
                 let solution = greedy_min_max_utilization(
                     &self.planetary.wan.graph,
@@ -205,11 +202,7 @@ impl<'a> SmnSimulation<'a> {
                     &self.planetary.optical,
                 );
                 let counts: HashMap<EdgeId, u32> = flap_counts(
-                    &flap_events
-                        .iter()
-                        .filter(|e| e.day <= day)
-                        .cloned()
-                        .collect::<Vec<_>>(),
+                    &flap_events.iter().filter(|e| e.day <= day).cloned().collect::<Vec<_>>(),
                 )
                 .into_iter()
                 .map(|(l, c)| (EdgeId(l as u32), c))
@@ -231,7 +224,7 @@ impl<'a> SmnSimulation<'a> {
             report.retunes += log.reliability_feedback.len();
             report.days.push(log);
         }
-        report.clds_records = self.controller.clds.total_records();
+        report.clds_records = self.controller.clds().total_records();
         report
     }
 }
@@ -280,7 +273,7 @@ mod tests {
             SimulationConfig { days: 10, ..Default::default() },
         );
         let report = sim.run();
-        let incidents = sim.controller.clds.incidents.read();
+        let incidents = sim.controller.clds().incidents.read();
         assert_eq!(incidents.len(), report.routing_total);
     }
 

@@ -128,10 +128,8 @@ pub fn wavelength_modulation_and_resilience() -> WarStoryReport {
     );
     // Per-link flap counts, as the L3 team's monitoring would report them.
     let events = simulate_flaps(&optical, 90, 1);
-    let flaps: HashMap<EdgeId, u32> = flap_counts(&events)
-        .into_iter()
-        .map(|(l, c)| (EdgeId(l as u32), c))
-        .collect();
+    let flaps: HashMap<EdgeId, u32> =
+        flap_counts(&events).into_iter().map(|(l, c)| (EdgeId(l as u32), c)).collect();
     let feedback = controller.reliability_loop(&flaps, &optical);
     let retuned = match feedback.as_slice() {
         [Feedback::RetuneModulation { wavelength, to }] => {
@@ -186,10 +184,8 @@ pub fn wan_flaps_impacting_cluster() -> WarStoryReport {
 
     // SMN: symptom explainability over the CDG.
     let ex = Explainability::new(&d.cdg);
-    let smn_team = ex
-        .best_team(&obs.syndrome)
-        .map(|t| d.cdg.team(t).name.clone())
-        .unwrap_or_default();
+    let smn_team =
+        ex.best_team(&obs.syndrome).map(|t| d.cdg.team(t).name.clone()).unwrap_or_default();
 
     WarStoryReport {
         title: "WAN link flaps impacting cluster traffic".into(),
@@ -243,7 +239,7 @@ pub fn database_failure_fanout() -> WarStoryReport {
     // SMN: feed the same alerts through the controller's incident loop.
     let controller = SmnController::new(d.cdg.clone(), ControllerConfig::default());
     {
-        let mut alerts = controller.clds.alerts.write();
+        let mut alerts = controller.clds().alerts.write();
         let mut sorted = telemetry.alerts.clone();
         sorted.sort_by_key(|a| a.ts);
         alerts.extend(sorted);

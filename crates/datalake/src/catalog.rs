@@ -74,11 +74,7 @@ impl Catalog {
     /// Panics on a duplicate dataset name — names are the global key other
     /// teams discover data by.
     pub fn register(&mut self, d: DatasetDescriptor) {
-        assert!(
-            self.get(&d.name).is_none(),
-            "dataset {} already registered",
-            d.name
-        );
+        assert!(self.get(&d.name).is_none(), "dataset {} already registered", d.name);
         self.datasets.push(d);
     }
 

@@ -1,6 +1,9 @@
 //! Ingestion pipeline with denoising (§6 AIOps engine, step (1):
 //! "denoise telemetry and logs on injection into the data lake").
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 use smn_telemetry::record::{Alert, Severity};
 use smn_telemetry::time::Ts;
@@ -32,36 +35,51 @@ impl Denoiser for NoopDenoiser {
 pub struct DedupDenoiser {
     /// Suppression window in seconds.
     pub window_secs: u64,
-    /// Last time each (component, kind) alerted, with its severity.
-    seen: Vec<(String, String, Ts, Severity)>,
+    /// Last time each `(component, kind)` alerted, with its severity.
+    seen: HashMap<(String, String), (Ts, Severity)>,
+    /// Stream timestamp of the last expiry sweep.
+    last_sweep: Ts,
 }
 
 impl DedupDenoiser {
     /// New denoiser with the given suppression window.
     pub fn new(window_secs: u64) -> Self {
-        Self { window_secs, seen: Vec::new() }
+        Self { window_secs, seen: HashMap::new(), last_sweep: Ts(0) }
+    }
+
+    /// Number of `(component, kind)` pairs currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Drop entries too old to suppress anything at stream time `now`.
+    /// Amortized: a full sweep runs at most once per window, so the map only
+    /// ever holds pairs seen within the last two windows.
+    fn sweep(&mut self, now: Ts) {
+        if now.0.saturating_sub(self.last_sweep.0) < self.window_secs {
+            return;
+        }
+        let horizon = now.0.saturating_sub(self.window_secs);
+        self.seen.retain(|_, (last, _)| last.0 >= horizon);
+        self.last_sweep = now;
     }
 }
 
 impl Denoiser for DedupDenoiser {
     fn filter(&mut self, alert: Alert) -> Option<Alert> {
-        let key = (&alert.component, &alert.kind);
-        if let Some(entry) =
-            self.seen.iter_mut().find(|(c, k, _, _)| (c, k) == (key.0, key.1))
-        {
-            let within = alert.ts.0.saturating_sub(entry.2 .0) < self.window_secs;
-            if within && alert.severity <= entry.3 {
-                return None; // duplicate, not escalating
+        self.sweep(alert.ts);
+        match self.seen.entry((alert.component.clone(), alert.kind.clone())) {
+            Entry::Occupied(mut e) => {
+                let (last, severity) = *e.get();
+                let within = alert.ts.0.saturating_sub(last.0) < self.window_secs;
+                if within && alert.severity <= severity {
+                    return None; // duplicate, not escalating
+                }
+                *e.get_mut() = (alert.ts, alert.severity);
             }
-            entry.2 = alert.ts;
-            entry.3 = alert.severity;
-        } else {
-            self.seen.push((
-                alert.component.clone(),
-                alert.kind.clone(),
-                alert.ts,
-                alert.severity,
-            ));
+            Entry::Vacant(e) => {
+                e.insert((alert.ts, alert.severity));
+            }
         }
         Some(alert)
     }
@@ -150,5 +168,29 @@ mod tests {
         assert_eq!(r.suppressed, 1);
         let stored = clds.alerts.read();
         assert_eq!(stored.all()[1].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn dedup_state_stays_bounded_by_window() {
+        let mut d = DedupDenoiser::new(600);
+        // 10k distinct components spread over many windows: old entries must
+        // be evicted, so the map never grows near 10k.
+        for i in 0..10_000u64 {
+            let mut a = alert(i * 60, &format!("web-{i}"), Severity::Warning);
+            a.component = format!("web-{i}");
+            assert!(d.filter(a).is_some());
+        }
+        // Each entry is one minute apart; two windows is 20 entries.
+        assert!(d.tracked() <= 21, "tracked {}", d.tracked());
+    }
+
+    #[test]
+    fn dedup_still_suppresses_after_sweep() {
+        let mut d = DedupDenoiser::new(600);
+        assert!(d.filter(alert(0, "web-1", Severity::Warning)).is_some());
+        // t=900 is outside the window, so it passes and refreshes the entry;
+        // the refreshed entry must survive sweeps and keep suppressing.
+        assert!(d.filter(alert(900, "web-1", Severity::Warning)).is_some());
+        assert!(d.filter(alert(1000, "web-1", Severity::Warning)).is_none());
     }
 }

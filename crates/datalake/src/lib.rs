@@ -4,8 +4,9 @@
 //! a queryable global catalog with uniform schemas ([`catalog`]),
 //! time-ordered typed stores bundled behind locks ([`store`]),
 //! incident-aware retention for the Network History store ([`retention`]),
-//! team-scoped access control ([`access`]), and a denoising ingestion
-//! pipeline ([`ingest`]).
+//! team-scoped access control plus retry/circuit-breaker resilience
+//! ([`access`]), deterministic fault injection for degraded-mode testing
+//! ([`fault`]), and a denoising ingestion pipeline ([`ingest`]).
 //!
 //! ```
 //! use smn_datalake::store::Clds;
@@ -23,11 +24,14 @@
 
 pub mod access;
 pub mod catalog;
+pub mod fault;
 pub mod ingest;
 pub mod query;
 pub mod retention;
 pub mod store;
 
+pub use access::{CircuitBreaker, ResilientAccess, RetryPolicy};
 pub use catalog::{Catalog, DataType, DatasetDescriptor};
+pub use fault::{FaultProfile, FaultyStore, LakeError, Outage};
 pub use retention::{ProtectedWindow, RetentionPolicy};
 pub use store::{Clds, TimeStore};

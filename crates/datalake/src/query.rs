@@ -73,11 +73,7 @@ impl<'a> QueryContext<'a> {
 
     /// Alert counts per team in `[start, end)` — the cross-team view that
     /// war story 4's aggregation needs.
-    pub fn alerts_by_team(
-        &self,
-        start: Ts,
-        end: Ts,
-    ) -> Result<HashMap<String, usize>, QueryError> {
+    pub fn alerts_by_team(&self, start: Ts, end: Ts) -> Result<HashMap<String, usize>, QueryError> {
         self.check("ops/alerts")?;
         let alerts = self.clds.alerts.read();
         let mut out = HashMap::new();
@@ -223,8 +219,7 @@ mod tests {
         let by_team = q.alerts_by_team(Ts(0), Ts(100)).unwrap();
         assert_eq!(by_team["app"], 2);
         assert_eq!(by_team["network"], 1);
-        let severe =
-            q.severe_alerts_by_component(Ts(0), Ts(100), Severity::Error).unwrap();
+        let severe = q.severe_alerts_by_component(Ts(0), Ts(100), Severity::Error).unwrap();
         assert_eq!(severe.len(), 2);
         assert_eq!(q.probe_failure_rate(Ts(0), Ts(601)).unwrap(), Some(0.2));
         let means = q.mean_metric_by_component(Ts(0), Ts(300), "error_rate").unwrap();

@@ -81,12 +81,7 @@ impl<T: Timestamped> TimeStore<T> {
     /// Panics if `r` is older than the last stored record.
     pub fn append(&mut self, r: T) {
         if let Some(last) = self.records.last() {
-            assert!(
-                r.ts() >= last.ts(),
-                "out-of-order append: {:?} after {:?}",
-                r.ts(),
-                last.ts()
-            );
+            assert!(r.ts() >= last.ts(), "out-of-order append: {:?} after {:?}", r.ts(), last.ts());
         }
         self.records.push(r);
     }

@@ -111,11 +111,7 @@ impl FineDepGraph {
 
     /// All components of a team.
     pub fn team_components(&self, team: &str) -> Vec<NodeId> {
-        self.graph
-            .nodes()
-            .filter(|(_, c)| c.team == team)
-            .map(|(id, _)| id)
-            .collect()
+        self.graph.nodes().filter(|(_, c)| c.team == team).map(|(id, _)| id).collect()
     }
 
     /// Distinct team names in insertion order.

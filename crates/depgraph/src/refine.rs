@@ -127,9 +127,8 @@ mod tests {
         let cdg = sketched_cdg();
         // Three app incidents where monitoring also alerted: the sketch
         // can't explain monitoring's symptoms.
-        let history: Vec<ResolvedIncident> = (0..3)
-            .map(|_| incident(&cdg, &["app", "monitoring"], "app"))
-            .collect();
+        let history: Vec<ResolvedIncident> =
+            (0..3).map(|_| incident(&cdg, &["app", "monitoring"], "app")).collect();
         let suggestions = suggest_edges(&cdg, &history, 2);
         assert_eq!(suggestions.len(), 1);
         assert_eq!(suggestions[0].from, "monitoring");
@@ -141,8 +140,7 @@ mod tests {
     fn explained_symptoms_produce_no_suggestions() {
         let cdg = sketched_cdg();
         // Full fan-out from network is entirely inside network's closure.
-        let history =
-            vec![incident(&cdg, &["app", "platform", "network"], "network")];
+        let history = vec![incident(&cdg, &["app", "platform", "network"], "network")];
         assert!(suggest_edges(&cdg, &history, 1).is_empty());
     }
 

@@ -142,9 +142,7 @@ impl<'a> Explainability<'a> {
             .map(|t| {
                 let team = NodeId(t);
                 match propagation {
-                    Propagation::Closure => {
-                        Syndrome::from_teams(n, cdg.dependents_of(team))
-                    }
+                    Propagation::Closure => Syndrome::from_teams(n, cdg.dependents_of(team)),
                     Propagation::DirectOnly => {
                         let direct = cdg.graph.predecessors(team).chain(std::iter::once(team));
                         Syndrome::from_teams(n, direct)
@@ -178,9 +176,7 @@ impl<'a> Explainability<'a> {
     /// Explainability of every team for `observed`, in CDG node order —
     /// the extra feature vector the CLTO feeds its classifier (§5).
     pub fn explainability_vector(&self, observed: &Syndrome) -> Vec<f64> {
-        (0..self.cdg.len() as u32)
-            .map(|t| self.explainability(observed, NodeId(t)))
-            .collect()
+        (0..self.cdg.len() as u32).map(|t| self.explainability(observed, NodeId(t))).collect()
     }
 
     /// The team whose single-failure syndrome best explains `observed`
@@ -191,14 +187,10 @@ impl<'a> Explainability<'a> {
             return None;
         }
         let v = self.explainability_vector(observed);
-        let (best, _) = v
-            .iter()
-            .enumerate()
-            .max_by(|(ia, a), (ib, b)| {
-                a.partial_cmp(b)
-                    .expect("explainability is never NaN")
-                    .then(ib.cmp(ia)) // prefer lower index on ties
-            })?;
+        let (best, _) = v.iter().enumerate().max_by(|(ia, a), (ib, b)| {
+            a.partial_cmp(b).expect("explainability is never NaN").then(ib.cmp(ia))
+            // prefer lower index on ties
+        })?;
         Some(NodeId(best as u32))
     }
 }

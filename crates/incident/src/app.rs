@@ -67,10 +67,14 @@ impl RedditDeployment {
 
         // Application team: reddit app servers, two clusters.
         let app_c1: Vec<NodeId> = (1..=3)
-            .map(|i| add(&mut g, &format!("app-c1-{i}"), "reddit-app", "application", Layer::Application))
+            .map(|i| {
+                add(&mut g, &format!("app-c1-{i}"), "reddit-app", "application", Layer::Application)
+            })
             .collect();
         let app_c2: Vec<NodeId> = (1..=3)
-            .map(|i| add(&mut g, &format!("app-c2-{i}"), "reddit-app", "application", Layer::Application))
+            .map(|i| {
+                add(&mut g, &format!("app-c2-{i}"), "reddit-app", "application", Layer::Application)
+            })
             .collect();
 
         // Cache team: memcached (user profile cache, subreddit cache).
@@ -79,7 +83,9 @@ impl RedditDeployment {
 
         // Storage team: Cassandra ring.
         let cas: Vec<NodeId> = (1..=3)
-            .map(|i| add(&mut g, &format!("cassandra-{i}"), "cassandra", "storage", Layer::Platform))
+            .map(|i| {
+                add(&mut g, &format!("cassandra-{i}"), "cassandra", "storage", Layer::Platform)
+            })
             .collect();
 
         // Database team: PostgreSQL primary + replica.
@@ -93,7 +99,15 @@ impl RedditDeployment {
 
         // Infrastructure team: hypervisors.
         let hv: Vec<NodeId> = (1..=4)
-            .map(|i| add(&mut g, &format!("hv-{i}"), "hypervisor", "infrastructure", Layer::Infrastructure))
+            .map(|i| {
+                add(
+                    &mut g,
+                    &format!("hv-{i}"),
+                    "hypervisor",
+                    "infrastructure",
+                    Layer::Infrastructure,
+                )
+            })
             .collect();
 
         // Network team: firewall, switches, WAN uplink.
@@ -219,9 +233,8 @@ mod tests {
     #[test]
     fn cdg_has_expected_key_edges() {
         let d = RedditDeployment::build();
-        let edge = |a: &str, b: &str| {
-            d.cdg.graph.find_edge(d.team_node(a), d.team_node(b)).is_some()
-        };
+        let edge =
+            |a: &str, b: &str| d.cdg.graph.find_edge(d.team_node(a), d.team_node(b)).is_some();
         assert!(edge("frontend", "application"));
         assert!(edge("application", "cache"));
         assert!(edge("application", "storage"));
@@ -269,12 +282,8 @@ mod tests {
     fn hypervisor_fault_fans_out_across_teams() {
         let d = RedditDeployment::build();
         let hv = d.fine.by_name("hv-2").unwrap();
-        let teams: std::collections::HashSet<&str> = d
-            .fine
-            .blast_radius(hv)
-            .iter()
-            .map(|&id| d.fine.component(id).team.as_str())
-            .collect();
+        let teams: std::collections::HashSet<&str> =
+            d.fine.blast_radius(hv).iter().map(|&id| d.fine.component(id).team.as_str()).collect();
         // hv-2 hosts haproxy-2, app-c1-3, memcached-1, cassandra-1 — the
         // fan-out confounder the paper describes.
         assert!(teams.len() >= 5, "teams affected: {teams:?}");

@@ -98,10 +98,7 @@ impl EvalResult {
 }
 
 /// Observe every fault of a campaign.
-pub fn observe_campaign(
-    d: &RedditDeployment,
-    cfg: &EvalConfig,
-) -> Vec<IncidentObservation> {
+pub fn observe_campaign(d: &RedditDeployment, cfg: &EvalConfig) -> Vec<IncidentObservation> {
     let faults = generate_campaign(d, &cfg.campaign);
     // Independent per-fault observation: parallelize across threads.
     let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
@@ -109,7 +106,9 @@ pub fn observe_campaign(
     std::thread::scope(|scope| {
         let handles: Vec<_> = faults
             .chunks(chunk)
-            .map(|fs| scope.spawn(move || fs.iter().map(|f| observe(d, f, &cfg.sim)).collect::<Vec<_>>()))
+            .map(|fs| {
+                scope.spawn(move || fs.iter().map(|f| observe(d, f, &cfg.sim)).collect::<Vec<_>>())
+            })
             .collect();
         handles.into_iter().flat_map(|h| h.join().expect("observe panicked")).collect()
     })
@@ -131,9 +130,7 @@ pub fn split_observations(
     let n_test = ((groups.len() as f64 * test_frac).round() as usize)
         .clamp(1, groups.len().saturating_sub(1));
     let test_groups: std::collections::HashSet<u64> = groups[..n_test].iter().copied().collect();
-    observations
-        .into_iter()
-        .partition(|o| !test_groups.contains(&o.fault.group_id()))
+    observations.into_iter().partition(|o| !test_groups.contains(&o.fault.group_id()))
 }
 
 /// Run the full evaluation.
@@ -149,12 +146,10 @@ pub fn evaluate(cfg: &EvalConfig) -> EvalResult {
     let scouts = ScoutsRouter::train(&d, &train, &cfg.forest);
     let scouts_pred = scouts.route(&d, &test);
 
-    let internal =
-        CltoRouter::train(&d, &ex, &train, FeatureView::InternalOnly, &cfg.forest);
+    let internal = CltoRouter::train(&d, &ex, &train, FeatureView::InternalOnly, &cfg.forest);
     let internal_pred = internal.route(&d, &ex, &test);
 
-    let full =
-        CltoRouter::train(&d, &ex, &train, FeatureView::WithExplainability, &cfg.forest);
+    let full = CltoRouter::train(&d, &ex, &train, FeatureView::WithExplainability, &cfg.forest);
     let full_pred = full.route(&d, &ex, &test);
 
     EvalResult {

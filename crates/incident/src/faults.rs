@@ -45,6 +45,16 @@ pub enum FaultKind {
     LinkFlap,
     /// An expired TLS certificate at the load balancer.
     CertExpiry,
+    /// Control-plane: telemetry records are lost, duplicated, or reordered
+    /// before ingestion (the SMN's own inputs thin out; the workload is
+    /// healthy). Not part of [`FaultKind::ALL`] — see
+    /// [`FaultKind::CONTROL_PLANE`].
+    TelemetryLoss,
+    /// Control-plane: a CLDS partition takes a window of history offline.
+    LakePartition,
+    /// Control-plane: the SMN controller crashes and must restore from its
+    /// last checkpoint.
+    ControllerCrash,
 }
 
 impl FaultKind {
@@ -63,6 +73,13 @@ impl FaultKind {
         FaultKind::LinkFlap,
         FaultKind::CertExpiry,
     ];
+
+    /// Control-plane fault kinds: they degrade the SMN itself rather than
+    /// the workload, so they are injected by degraded-mode campaigns (the
+    /// `degraded_mode` bench), never by [`generate_campaign`], and stay out
+    /// of [`FaultKind::ALL`].
+    pub const CONTROL_PLANE: [FaultKind; 3] =
+        [FaultKind::TelemetryLoss, FaultKind::LakePartition, FaultKind::ControllerCrash];
 
     /// How strongly this fault transmits along dependency edges
     /// (multiplier on the propagated intensity; < 1 attenuates).
@@ -84,6 +101,9 @@ impl FaultKind {
             FaultKind::QueueBacklog => 0.75,
             FaultKind::LinkFlap => 0.9,
             FaultKind::CertExpiry => 0.7,
+            // Control-plane faults blind the observer; they do not
+            // propagate through application dependency edges at all.
+            FaultKind::TelemetryLoss | FaultKind::LakePartition | FaultKind::ControllerCrash => 0.0,
         }
     }
 
@@ -137,6 +157,11 @@ impl FaultKind {
             FaultKind::QueueBacklog => by_service(&["rabbitmq"]),
             FaultKind::LinkFlap => by_service(&["wan-uplink"]),
             FaultKind::CertExpiry => by_service(&["haproxy"]),
+            // Control-plane faults target the SMN, not deployment
+            // components: no in-deployment injection targets.
+            FaultKind::TelemetryLoss | FaultKind::LakePartition | FaultKind::ControllerCrash => {
+                Vec::new()
+            }
         }
     }
 }

@@ -49,8 +49,7 @@ pub struct TeamHealth {
 /// Compute the per-team health aggregates for one observation, indexed by
 /// [`TEAMS`] order.
 pub fn team_health(d: &RedditDeployment, obs: &IncidentObservation) -> Vec<TeamHealth> {
-    let mut sums =
-        vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0usize); TEAMS.len()];
+    let mut sums = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0usize); TEAMS.len()];
     for (node, comp) in d.fine.graph.nodes() {
         let ti = team_index(&comp.team).expect("known team");
         let o = &obs.components[node.index()];
@@ -106,17 +105,11 @@ pub fn internal_features(d: &RedditDeployment, obs: &IncidentObservation) -> Vec
     // Shares use the max (loudest component) rather than the mean, which
     // would dilute single-component faults inside large teams.
     let total_error: f64 = health.iter().map(|h| h.max_error_dev).sum::<f64>().max(1e-9);
-    let shares: Vec<f64> =
-        health.iter().map(|h| h.max_error_dev / total_error).collect();
+    let shares: Vec<f64> = health.iter().map(|h| h.max_error_dev / total_error).collect();
     let relative = |v: &[f64], i: usize| -> (f64, f64, f64) {
-        let best_other = v
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, &x)| x)
-            .fold(f64::MIN, f64::max);
-        let rank =
-            v.iter().enumerate().filter(|&(j, &x)| x > v[i] || (x == v[i] && j < i)).count();
+        let best_other =
+            v.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &x)| x).fold(f64::MIN, f64::max);
+        let rank = v.iter().enumerate().filter(|&(j, &x)| x > v[i] || (x == v[i] && j < i)).count();
         (v[i], v[i] - best_other, rank as f64)
     };
     let mut row = Vec::with_capacity(TEAMS.len() * PER_TEAM_FEATURES + PROBE_FEATURES);
@@ -140,8 +133,7 @@ pub fn internal_features(d: &RedditDeployment, obs: &IncidentObservation) -> Vec
 
 /// Explainability feature columns (three per team, CDG-derived).
 pub fn explainability_feature_names() -> Vec<String> {
-    let mut names: Vec<String> =
-        TEAMS.iter().map(|t| format!("explainability/{t}")).collect();
+    let mut names: Vec<String> = TEAMS.iter().map(|t| format!("explainability/{t}")).collect();
     names.extend(TEAMS.iter().map(|t| format!("explainability_margin/{t}")));
     names.extend(TEAMS.iter().map(|t| format!("explainability_rank/{t}")));
     names
@@ -157,10 +149,8 @@ pub fn explainability_features(
     ex: &Explainability<'_>,
     obs: &IncidentObservation,
 ) -> Vec<f64> {
-    let sims: Vec<f64> = TEAMS
-        .iter()
-        .map(|t| ex.explainability(&obs.syndrome, d.team_node(t)))
-        .collect();
+    let sims: Vec<f64> =
+        TEAMS.iter().map(|t| ex.explainability(&obs.syndrome, d.team_node(t))).collect();
     let mut row = sims.clone();
     for (i, &s) in sims.iter().enumerate() {
         let best_other = sims
@@ -235,12 +225,8 @@ pub fn build_scouts_dataset(
     let mut data = Dataset::new(2, names);
     for obs in observations {
         let h = team_health(d, obs)[ti];
-        let row = vec![
-            h.mean_error_dev,
-            h.max_error_dev,
-            h.mean_latency_dev,
-            h.local_alert_fraction,
-        ];
+        let row =
+            vec![h.mean_error_dev, h.max_error_dev, h.mean_latency_dev, h.local_alert_fraction];
         data.push(row, (obs.fault.team == team) as usize);
     }
     data
@@ -254,8 +240,7 @@ mod tests {
 
     fn setup() -> (RedditDeployment, Vec<IncidentObservation>) {
         let d = RedditDeployment::build();
-        let faults =
-            generate_campaign(&d, &CampaignConfig { n_faults: 40, ..Default::default() });
+        let faults = generate_campaign(&d, &CampaignConfig { n_faults: 40, ..Default::default() });
         let cfg = SimConfig::default();
         let obs = faults.iter().map(|f| observe(&d, f, &cfg)).collect();
         (d, obs)

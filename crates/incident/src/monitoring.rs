@@ -156,11 +156,8 @@ mod tests {
     fn firewall_fault_produces_cross_probe_failures() {
         let (d, obs) = observation(FaultKind::FirewallRule, "firewall-1");
         let t = materialize(&d, &obs, &SimConfig::default(), Ts(0));
-        let cross_failures = t
-            .probes
-            .iter()
-            .filter(|p| p.src_cluster != p.dst_cluster && !p.success)
-            .count();
+        let cross_failures =
+            t.probes.iter().filter(|p| p.src_cluster != p.dst_cluster && !p.success).count();
         assert!(cross_failures > 5, "cross failures {cross_failures}");
     }
 

@@ -149,13 +149,10 @@ mod tests {
         let (d, obs) = setup(120);
         let ex = Explainability::new(&d.cdg);
         let forest = ForestConfig { n_trees: 20, ..Default::default() };
-        let router =
-            CltoRouter::train(&d, &ex, &obs, FeatureView::WithExplainability, &forest);
+        let router = CltoRouter::train(&d, &ex, &obs, FeatureView::WithExplainability, &forest);
         let preds = router.route(&d, &ex, &obs);
-        let truth: Vec<usize> = obs
-            .iter()
-            .map(|o| crate::app::team_index(&o.fault.team).unwrap())
-            .collect();
+        let truth: Vec<usize> =
+            obs.iter().map(|o| crate::app::team_index(&o.fault.team).unwrap()).collect();
         let acc = accuracy(&truth, &preds);
         assert!(acc > 0.8, "train accuracy {acc}");
     }
@@ -179,10 +176,8 @@ mod tests {
         assert_eq!(preds.len(), obs.len());
         assert!(preds.iter().all(|&p| p < TEAMS.len()));
         // Should beat a constant-class guess on its own training data.
-        let truth: Vec<usize> = obs
-            .iter()
-            .map(|o| crate::app::team_index(&o.fault.team).unwrap())
-            .collect();
+        let truth: Vec<usize> =
+            obs.iter().map(|o| crate::app::team_index(&o.fault.team).unwrap()).collect();
         let acc = accuracy(&truth, &preds);
         let majority = {
             let mut counts = [0usize; 8];

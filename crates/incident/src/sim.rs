@@ -154,10 +154,7 @@ impl FaultKind {
     /// binary symptom. Crash-class faults are therefore quiet in magnitude
     /// space and loud in syndrome space.
     fn is_hard_crash(self) -> bool {
-        matches!(
-            self,
-            FaultKind::ServerCrash | FaultKind::HypervisorFailure | FaultKind::LinkFlap
-        )
+        matches!(self, FaultKind::ServerCrash | FaultKind::HypervisorFailure | FaultKind::LinkFlap)
     }
 
     /// How visible the fault is in the *root component's own* health
@@ -183,6 +180,11 @@ impl FaultKind {
             FaultKind::QueueBacklog => (0.9, 1.1),
             FaultKind::LinkFlap => (0.25, 0.6),
             FaultKind::CertExpiry => (0.6, 1.0),
+            // Control-plane faults never reach `observe` (no deployment
+            // targets); give them no root visibility if one ever does.
+            FaultKind::TelemetryLoss | FaultKind::LakePartition | FaultKind::ControllerCrash => {
+                (0.0, 0.0)
+            }
         }
     }
 }
@@ -218,8 +220,8 @@ pub fn propagate(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Ve
                 DependencyKind::Network => 0.9,
                 DependencyKind::Observes => 1.0,
             };
-            let atten = cfg.attenuation_floor
-                + (1.0 - cfg.attenuation_floor) * uniform01(mix(&[h, 1]));
+            let atten =
+                cfg.attenuation_floor + (1.0 - cfg.attenuation_floor) * uniform01(mix(&[h, 1]));
             let new = (from * strength * kind_factor * atten).min(1.0);
             if new > intensity[edge.src.index()] + 1e-12 {
                 intensity[edge.src.index()] = new;
@@ -280,8 +282,7 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
     // Hard crashes export almost nothing from the dead component.
     let (vis_lo, vis_hi) =
         if fault.kind.is_hard_crash() { (0.05, 0.3) } else { fault.kind.root_visibility() };
-    let root_vis =
-        vis_lo + (vis_hi - vis_lo) * uniform01(mix(&[cfg.seed, fault.id, 0x4015]));
+    let root_vis = vis_lo + (vis_hi - vis_lo) * uniform01(mix(&[cfg.seed, fault.id, 0x4015]));
     // Ambient load level: a per-incident multiplicative scale on every
     // measured deviation (traffic varies across incidents). Raw-magnitude
     // features are corrupted by it; the cosine syndrome direction is not.
@@ -390,9 +391,8 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
     // firewall, and switch-2; intra-cluster probes stay on one switch.
     let idx = |name: &str| d.fine.by_name(name).expect("network component exists").index();
     let cross_path = [idx("switch-1"), idx("firewall-1"), idx("switch-2")];
-    let path_intensity = |path: &[usize]| -> f64 {
-        path.iter().map(|&i| true_intensity[i]).fold(0.0, f64::max)
-    };
+    let path_intensity =
+        |path: &[usize]| -> f64 { path.iter().map(|&i| true_intensity[i]).fold(0.0, f64::max) };
     let server_intensity = |names: &[String]| -> f64 {
         let sum: f64 = names
             .iter()

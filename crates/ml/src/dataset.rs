@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn group_split_keeps_groups_intact() {
         let d = toy(10, 2); // 20 rows
-        // 5 groups of 4 rows each.
+                            // 5 groups of 4 rows each.
         let groups: Vec<u64> = (0..20).map(|i| (i / 4) as u64).collect();
         let (train, test) = d.group_split(&groups, 0.4, 3);
         assert_eq!(train.len() + test.len(), 20);

@@ -74,10 +74,7 @@ impl RandomForest {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("tree fitting panicked"))
-                .collect()
+            handles.into_iter().flat_map(|h| h.join().expect("tree fitting panicked")).collect()
         });
         RandomForest { trees, n_classes: data.n_classes }
     }
@@ -147,8 +144,7 @@ mod tests {
     fn learns_noisy_clusters() {
         let train = noisy_clusters(1);
         let test = noisy_clusters(2);
-        let forest =
-            RandomForest::fit(&train, &ForestConfig { n_trees: 30, ..Default::default() });
+        let forest = RandomForest::fit(&train, &ForestConfig { n_trees: 30, ..Default::default() });
         let preds = forest.predict_all(&test);
         let acc = preds.iter().zip(&test.labels).filter(|(p, l)| p == l).count() as f64
             / test.len() as f64;
@@ -175,10 +171,7 @@ mod tests {
         }
         let f1 = RandomForest::fit(&d, &ForestConfig { n_trees: 3, seed: 1, ..Default::default() });
         let f2 = RandomForest::fit(&d, &ForestConfig { n_trees: 3, seed: 2, ..Default::default() });
-        let differs = d
-            .features
-            .iter()
-            .any(|r| f1.predict_proba(r) != f2.predict_proba(r));
+        let differs = d.features.iter().any(|r| f1.predict_proba(r) != f2.predict_proba(r));
         assert!(differs);
     }
 
@@ -222,12 +215,8 @@ mod argmax_sanity {
                         .fold(f64::MIN, f64::max);
                     row.push(vals[i] - best_other);
                 }
-                let label = vals
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                    .unwrap()
-                    .0;
+                let label =
+                    vals.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
                 d.push(row, label);
             }
             d
@@ -235,12 +224,8 @@ mod argmax_sanity {
         let train = make(400);
         let test = make(200);
         let f = RandomForest::fit(&train, &ForestConfig { n_trees: 150, ..Default::default() });
-        let acc = f
-            .predict_all(&test)
-            .iter()
-            .zip(&test.labels)
-            .filter(|(p, l)| p == l)
-            .count() as f64
+        let acc = f.predict_all(&test).iter().zip(&test.labels).filter(|(p, l)| p == l).count()
+            as f64
             / test.len() as f64;
         assert!(acc > 0.8, "forest cannot learn argmax: {acc}");
     }

@@ -34,8 +34,7 @@ pub fn permutation_importance(
             let mut drop_sum = 0.0;
             for _ in 0..repeats {
                 let mut shuffled = data.clone();
-                let mut column: Vec<f64> =
-                    shuffled.features.iter().map(|row| row[f]).collect();
+                let mut column: Vec<f64> = shuffled.features.iter().map(|row| row[f]).collect();
                 column.shuffle(&mut rng);
                 for (row, v) in shuffled.features.iter_mut().zip(column) {
                     row[f] = v;
@@ -56,11 +55,8 @@ pub fn top_features<'a>(
     k: usize,
 ) -> Vec<(usize, &'a str, f64)> {
     assert_eq!(importances.len(), names.len(), "one name per feature");
-    let mut ranked: Vec<(usize, &str, f64)> = importances
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (i, names[i].as_str(), v))
-        .collect();
+    let mut ranked: Vec<(usize, &str, f64)> =
+        importances.iter().enumerate().map(|(i, &v)| (i, names[i].as_str(), v)).collect();
     ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite importances"));
     ranked.truncate(k);
     ranked
@@ -75,8 +71,7 @@ mod tests {
     /// Label depends only on feature 0; features 1 and 2 are noise.
     fn one_signal_dataset(seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut d =
-            Dataset::new(2, vec!["signal".into(), "noise_a".into(), "noise_b".into()]);
+        let mut d = Dataset::new(2, vec!["signal".into(), "noise_a".into(), "noise_b".into()]);
         for _ in 0..200 {
             let x: f64 = rng.random();
             d.push(vec![x, rng.random(), rng.random()], (x > 0.5) as usize);
@@ -88,8 +83,7 @@ mod tests {
     fn signal_feature_dominates() {
         let train = one_signal_dataset(1);
         let test = one_signal_dataset(2);
-        let forest =
-            RandomForest::fit(&train, &ForestConfig { n_trees: 40, ..Default::default() });
+        let forest = RandomForest::fit(&train, &ForestConfig { n_trees: 40, ..Default::default() });
         let imp = permutation_importance(&forest, &test, 3, 7);
         assert!(imp[0] > 0.2, "signal importance {}", imp[0]);
         assert!(imp[0] > 10.0 * imp[1].abs().max(1e-3));
@@ -108,8 +102,7 @@ mod tests {
     #[test]
     fn importance_is_deterministic_per_seed() {
         let train = one_signal_dataset(3);
-        let forest =
-            RandomForest::fit(&train, &ForestConfig { n_trees: 10, ..Default::default() });
+        let forest = RandomForest::fit(&train, &ForestConfig { n_trees: 10, ..Default::default() });
         let a = permutation_importance(&forest, &train, 2, 5);
         let b = permutation_importance(&forest, &train, 2, 5);
         assert_eq!(a, b);

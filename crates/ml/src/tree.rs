@@ -266,9 +266,7 @@ mod tests {
     fn depth_limit_respected() {
         // XOR-ish data that needs depth 2; cap at 1.
         let mut d = Dataset::new(2, vec!["x".into(), "y".into()]);
-        for &(x, y, l) in
-            &[(0.0, 0.0, 0usize), (1.0, 1.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1)]
-        {
+        for &(x, y, l) in &[(0.0, 0.0, 0usize), (1.0, 1.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1)] {
             for _ in 0..5 {
                 d.push(vec![x, y], l);
             }

@@ -6,15 +6,13 @@ use smn_ml::forest::{ForestConfig, RandomForest};
 use smn_ml::tree::{DecisionTree, TreeConfig};
 
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    proptest::collection::vec(((0.0f64..10.0, 0.0f64..10.0), 0usize..3), 8..60).prop_map(
-        |rows| {
-            let mut d = Dataset::new(3, vec!["x".into(), "y".into()]);
-            for ((x, y), label) in rows {
-                d.push(vec![x, y], label);
-            }
-            d
-        },
-    )
+    proptest::collection::vec(((0.0f64..10.0, 0.0f64..10.0), 0usize..3), 8..60).prop_map(|rows| {
+        let mut d = Dataset::new(3, vec!["x".into(), "y".into()]);
+        for ((x, y), label) in rows {
+            d.push(vec![x, y], label);
+        }
+        d
+    })
 }
 
 proptest! {

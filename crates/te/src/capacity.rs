@@ -89,8 +89,7 @@ impl CapacityPlan {
     /// concentrate capacity on one failure domain instead of adding
     /// resilience.
     pub fn risk_screen(&self, srlgs: &[crate::srlg::Srlg]) -> crate::srlg::RiskReport {
-        let candidates: Vec<usize> =
-            self.upgrades.iter().map(|u| u.link.index()).collect();
+        let candidates: Vec<usize> = self.upgrades.iter().map(|u| u.link.index()).collect();
         crate::srlg::assess_upgrades(srlgs, &candidates)
     }
 }
@@ -127,8 +126,7 @@ impl CapacityPlanner {
         links.sort();
         for &link in links {
             let series = &history[&link];
-            let recent: Vec<f64> =
-                series.iter().rev().take(p.window).cloned().collect();
+            let recent: Vec<f64> = series.iter().rev().take(p.window).cloned().collect();
             let overloaded = recent.iter().filter(|&&u| u > p.threshold).count();
             if overloaded == 0 {
                 continue;
@@ -164,9 +162,9 @@ mod tests {
     #[test]
     fn sustained_overload_upgraded_transient_skipped() {
         let h = history(&[
-            (0, &[0.9; 8]),                                        // sustained
-            (1, &[0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.95]),       // transient spike
-            (2, &[0.1; 8]),                                        // healthy
+            (0, &[0.9; 8]),                                  // sustained
+            (1, &[0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.95]), // transient spike
+            (2, &[0.1; 8]),                                  // healthy
         ]);
         let planner = CapacityPlanner::new(UpgradePolicy::default());
         let plan = planner.plan(&h, |_| 1000.0, |_| Some(true));
@@ -199,14 +197,10 @@ mod tests {
     fn cost_scales_with_distance() {
         let h = history(&[(0, &[0.9; 8]), (1, &[0.9; 8])]);
         let planner = CapacityPlanner::new(UpgradePolicy::default());
-        let plan = planner.plan(
-            &h,
-            |e| if e == EdgeId(0) { 100.0 } else { 5000.0 },
-            |_| Some(true),
-        );
+        let plan =
+            planner.plan(&h, |e| if e == EdgeId(0) { 100.0 } else { 5000.0 }, |_| Some(true));
         assert_eq!(plan.upgrades.len(), 2);
-        let costs: HashMap<EdgeId, f64> =
-            plan.upgrades.iter().map(|u| (u.link, u.cost)).collect();
+        let costs: HashMap<EdgeId, f64> = plan.upgrades.iter().map(|u| (u.link, u.cost)).collect();
         assert!(costs[&EdgeId(1)] > costs[&EdgeId(0)] * 40.0);
         assert_eq!(plan.total_cost(), costs[&EdgeId(0)] + costs[&EdgeId(1)]);
     }
@@ -221,8 +215,8 @@ mod tests {
         l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![1]);
         let srlgs = crate::srlg::extract_srlgs(&l1);
         let h = history(&[(0, &[0.9; 8]), (1, &[0.9; 8])]);
-        let plan = CapacityPlanner::new(UpgradePolicy::default())
-            .plan(&h, |_| 100.0, |_| Some(true));
+        let plan =
+            CapacityPlanner::new(UpgradePolicy::default()).plan(&h, |_| 100.0, |_| Some(true));
         assert_eq!(plan.upgrades.len(), 2);
         let report = plan.risk_screen(&srlgs);
         assert!(!report.is_diverse());

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use smn_telemetry::record::BandwidthRecord;
-use smn_telemetry::series::{SummaryStats, Statistic};
+use smn_telemetry::series::{Statistic, SummaryStats};
 use smn_topology::NodeId;
 
 /// One traffic commodity: demand between a node pair.

@@ -41,5 +41,8 @@ pub mod srlg;
 
 pub use capacity::{CapacityPlan, CapacityPlanner, UpgradePolicy};
 pub use demand::{Commodity, DemandMatrix};
-pub use mcf::{greedy_min_max_utilization, max_multicommodity_flow, max_multicommodity_flow_with_paths, TeConfig, TeSolution};
+pub use mcf::{
+    greedy_min_max_utilization, max_multicommodity_flow, max_multicommodity_flow_with_paths,
+    TeConfig, TeSolution,
+};
 pub use restrict::coarse_restricted_paths;

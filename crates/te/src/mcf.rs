@@ -98,9 +98,7 @@ pub fn path_sets<N, E>(
         .commodities
         .iter()
         .map(|c| {
-            g.k_shortest_paths(c.src, c.dst, k, |eid, e| {
-                (capacity(eid, e) > 0.0).then_some(1.0)
-            })
+            g.k_shortest_paths(c.src, c.dst, k, |eid, e| (capacity(eid, e) > 0.0).then_some(1.0))
         })
         .collect()
 }
@@ -197,11 +195,7 @@ pub fn max_multicommodity_flow_with_paths<N, E>(
             break;
         }
         let col = &columns[ci];
-        let gamma = col
-            .rows
-            .iter()
-            .map(|&r| row_cap(r))
-            .fold(f64::INFINITY, f64::min);
+        let gamma = col.rows.iter().map(|&r| row_cap(r)).fold(f64::INFINITY, f64::min);
         if gamma <= 0.0 || !gamma.is_finite() {
             break;
         }
@@ -232,11 +226,8 @@ pub fn max_multicommodity_flow_with_paths<N, E>(
         .fold(0.0f64, f64::max);
     let feas_scale = if worst > 1.0 { 1.0 / worst } else { 1.0 };
 
-    let mut solution = TeSolution {
-        offered_gbps: demand.total_gbps(),
-        iterations,
-        ..Default::default()
-    };
+    let mut solution =
+        TeSolution { offered_gbps: demand.total_gbps(), iterations, ..Default::default() };
     for (i, col) in columns.iter().enumerate() {
         let f = raw_flow[i] * feas_scale;
         if f <= 1e-9 {
@@ -313,9 +304,7 @@ pub fn greedy_min_max_utilization<N, E>(
         ..Default::default()
     };
     for (&(ci, pi), &f) in &flows {
-        solution
-            .flows
-            .push(PathFlow { commodity: ci, path: paths[ci][pi].clone(), gbps: f });
+        solution.flows.push(PathFlow { commodity: ci, path: paths[ci][pi].clone(), gbps: f });
     }
     for (e, l) in load {
         let cap = capacity(e, g.edge(e)).max(1e-9);
@@ -347,8 +336,7 @@ mod tests {
     #[test]
     fn gk_routes_single_commodity_near_capacity() {
         let g = parallel_graph();
-        let demand =
-            DemandMatrix::from_triples([(NodeId(0), NodeId(1), 100.0)]);
+        let demand = DemandMatrix::from_triples([(NodeId(0), NodeId(1), 100.0)]);
         let sol = max_multicommodity_flow(&g, cap, &demand, &TeConfig::default());
         // Exact optimum is 20 (both links); GK with feasibility rescale
         // must be close and never above.
@@ -403,10 +391,7 @@ mod tests {
         g.add_edge(a, b, 10.0);
         g.add_edge(c, a, 100.0);
         g.add_edge(b, d, 100.0);
-        let demand = DemandMatrix::from_triples([
-            (a, b, 10.0),
-            (c, d, 10.0),
-        ]);
+        let demand = DemandMatrix::from_triples([(a, b, 10.0), (c, d, 10.0)]);
         let sol = max_multicommodity_flow(&g, cap, &demand, &TeConfig::default());
         // Shared bottleneck: total routed cannot exceed 10.
         assert!(sol.routed_gbps <= 10.0 + 1e-9);
@@ -420,10 +405,7 @@ mod tests {
         let b = g.add_node(());
         let island = g.add_node(());
         g.add_edge(a, b, 10.0);
-        let demand = DemandMatrix::from_triples([
-            (a, b, 5.0),
-            (a, island, 5.0),
-        ]);
+        let demand = DemandMatrix::from_triples([(a, b, 5.0), (a, island, 5.0)]);
         let sol = max_multicommodity_flow(&g, cap, &demand, &TeConfig::default());
         assert!(sol.routed_gbps <= 5.0 + 1e-9);
         assert!(sol.satisfaction() <= 0.55);

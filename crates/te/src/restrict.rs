@@ -49,9 +49,9 @@ pub fn coarse_restricted_paths(
         return within(src, dst, cs).into_iter().collect();
     }
 
-    let coarse_paths = contraction.graph.k_shortest_paths(cs, cd, k, |_, e| {
-        (e.payload.capacity_gbps > 0.0).then_some(1.0)
-    });
+    let coarse_paths = contraction
+        .graph
+        .k_shortest_paths(cs, cd, k, |_, e| (e.payload.capacity_gbps > 0.0).then_some(1.0));
 
     let mut out = Vec::new();
     'coarse: for cp in coarse_paths {
@@ -124,8 +124,7 @@ mod tests {
             assert_eq!(p.nodes.first(), Some(&src));
             assert_eq!(p.nodes.last(), Some(&dst));
             // Supernode sequence must never return to a previous supernode.
-            let supers: Vec<_> =
-                p.nodes.iter().map(|n| contraction.node_map[n.index()]).collect();
+            let supers: Vec<_> = p.nodes.iter().map(|n| contraction.node_map[n.index()]).collect();
             let mut dedup = supers.clone();
             dedup.dedup();
             let unique: std::collections::HashSet<_> = dedup.iter().collect();

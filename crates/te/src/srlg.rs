@@ -163,9 +163,8 @@ mod tests {
 
     #[test]
     fn planetary_wan_has_real_srlgs() {
-        let p = smn_topology::gen::generate_planetary(
-            &smn_topology::gen::PlanetaryConfig::small(9),
-        );
+        let p =
+            smn_topology::gen::generate_planetary(&smn_topology::gen::PlanetaryConfig::small(9));
         let srlgs = extract_srlgs(&p.optical);
         // Every generated link's two directions share spans, so SRLGs are
         // plentiful by construction.

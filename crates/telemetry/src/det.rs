@@ -57,8 +57,7 @@ mod tests {
     #[test]
     fn uniform_in_range_and_roughly_uniform() {
         let n = 10_000;
-        let mean: f64 =
-            (0..n).map(|i| uniform01(splitmix64(i))).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|i| uniform01(splitmix64(i))).sum::<f64>() / n as f64;
         assert!((0.48..0.52).contains(&mean), "mean {mean}");
         for i in 0..1000 {
             let u = uniform01(splitmix64(i));

@@ -4,8 +4,9 @@
 //! the Cross-Layer Data Store ([`record`]), simulated time and five-minute
 //! epochs ([`time`]), a deterministic synthetic WAN traffic model with
 //! hot-pair skew, seasonality, spikes, and stability classes ([`traffic`]),
-//! time-series summaries for time-based coarsening ([`series`]), and honest
-//! byte-level log-volume accounting ([`sizing`]).
+//! time-series summaries for time-based coarsening ([`series`]), honest
+//! byte-level log-volume accounting ([`sizing`]), and deterministic chaos
+//! injection for degraded-mode testing ([`chaos`]).
 //!
 //! ```
 //! use smn_telemetry::time::Ts;
@@ -20,13 +21,16 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod det;
 pub mod record;
 pub mod series;
-pub mod templates;
 pub mod sizing;
+pub mod templates;
 pub mod time;
 pub mod traffic;
 
-pub use record::{Alert, BandwidthRecord, HealthSample, IncidentRecord, LogEvent, ProbeResult, Severity};
+pub use record::{
+    Alert, BandwidthRecord, HealthSample, IncidentRecord, LogEvent, ProbeResult, Severity,
+};
 pub use time::Ts;

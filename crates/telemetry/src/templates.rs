@@ -28,11 +28,7 @@ pub struct Template {
 impl Template {
     /// Human-readable form, wildcards as `<*>`.
     pub fn render(&self) -> String {
-        self.tokens
-            .iter()
-            .map(|t| t.as_deref().unwrap_or("<*>"))
-            .collect::<Vec<_>>()
-            .join(" ")
+        self.tokens.iter().map(|t| t.as_deref().unwrap_or("<*>")).collect::<Vec<_>>().join(" ")
     }
 
     /// Fraction of positions that are fixed (non-wildcard).
@@ -84,18 +80,13 @@ impl TemplateMiner {
         let mut best: Option<(usize, usize)> = None; // (template id, matches)
         for id in candidates {
             let t = &self.templates[id];
-            let matches = t
-                .tokens
-                .iter()
-                .zip(&tokens)
-                .filter(|(a, b)| a.as_deref() == Some(**b))
-                .count();
+            let matches =
+                t.tokens.iter().zip(&tokens).filter(|(a, b)| a.as_deref() == Some(**b)).count();
             if best.is_none_or(|(_, m)| matches > m) {
                 best = Some((id, matches));
             }
         }
-        let threshold =
-            (self.similarity_threshold * tokens.len() as f64).ceil() as usize;
+        let threshold = (self.similarity_threshold * tokens.len() as f64).ceil() as usize;
         if let Some((id, matches)) = best {
             if matches >= threshold.max(1) || tokens.is_empty() {
                 return self.merge_into(id, &tokens);

@@ -188,8 +188,7 @@ impl TrafficModel {
                 (uniform01(h) * 4.0 - 2.0).exp2()
             }
         };
-        let noise_h =
-            mix(&[c.seed, 0x4e4f, p.src.0 as u64, p.dst.0 as u64, ts.epoch()]);
+        let noise_h = mix(&[c.seed, 0x4e4f, p.src.0 as u64, p.dst.0 as u64, ts.epoch()]);
         let noise = lognormal_multiplier(noise_h, c.noise_sigma);
         p.base_gbps * diurnal * weekly * spike * regime * noise
     }
@@ -272,15 +271,9 @@ mod tests {
         let hot: Vec<_> = m.pairs().iter().filter(|p| p.hot).collect();
         let frac = hot.len() as f64 / m.pairs().len() as f64;
         assert!(frac < 0.25, "hot fraction {frac}");
-        let hot_demand: f64 =
-            hot.iter().map(|p| m.pair_demand(p, ts)).sum();
+        let hot_demand: f64 = hot.iter().map(|p| m.pair_demand(p, ts)).sum();
         let total: f64 = m.pairs().iter().map(|p| m.pair_demand(p, ts)).sum();
-        assert!(
-            hot_demand / total > 0.5,
-            "hot pairs should dominate: {} of {}",
-            hot_demand,
-            total
-        );
+        assert!(hot_demand / total > 0.5, "hot pairs should dominate: {} of {}", hot_demand, total);
     }
 
     #[test]
@@ -298,15 +291,15 @@ mod tests {
 
     #[test]
     fn diurnal_cycle_peaks_in_local_afternoon() {
-        let mut cfg = TrafficConfig { noise_sigma: 0.0, volatile_fraction: 0.0, ..Default::default() };
+        let mut cfg =
+            TrafficConfig { noise_sigma: 0.0, volatile_fraction: 0.0, ..Default::default() };
         cfg.spike_days.clear();
         let p = generate_planetary(&PlanetaryConfig::small(1));
         let m = TrafficModel::new(&p.wan, cfg);
         let pair = m.pairs().iter().find(|p| p.class == PairClass::Stable).unwrap();
         // Scan a weekday in 1h steps; max should be well above min.
         let day0 = Ts::from_days(1); // Tuesday
-        let demands: Vec<f64> =
-            (0..24).map(|h| m.pair_demand(pair, day0 + h * 3600)).collect();
+        let demands: Vec<f64> = (0..24).map(|h| m.pair_demand(pair, day0 + h * 3600)).collect();
         let max = demands.iter().cloned().fold(f64::MIN, f64::max);
         let min = demands.iter().cloned().fold(f64::MAX, f64::min);
         assert!(max / min > 1.5, "diurnal swing too small: {min}..{max}");

@@ -102,10 +102,7 @@ mod tests {
     fn simulation_is_deterministic() {
         let l1 = two_wavelength_layer();
         assert_eq!(simulate_flaps(&l1, 100, 5), simulate_flaps(&l1, 100, 5));
-        assert_ne!(
-            simulate_flaps(&l1, 500, 5).len(),
-            simulate_flaps(&l1, 500, 6).len()
-        );
+        assert_ne!(simulate_flaps(&l1, 500, 5).len(), simulate_flaps(&l1, 500, 6).len());
     }
 
     #[test]

@@ -159,7 +159,15 @@ pub fn generate_planetary(config: &PlanetaryConfig) -> Planetary {
                 if a == b {
                     continue;
                 }
-                add_linked(&mut wan, &mut optical, &mut rng, a, b, config.intra_region_capacity, false);
+                add_linked(
+                    &mut wan,
+                    &mut optical,
+                    &mut rng,
+                    a,
+                    b,
+                    config.intra_region_capacity,
+                    false,
+                );
             }
             // Extra chords.
             for i in 0..nodes.len() {
@@ -203,7 +211,15 @@ pub fn generate_planetary(config: &PlanetaryConfig) -> Planetary {
                 }
                 let a = region_members[r1][rng.random_range(0..region_members[r1].len())];
                 let b = region_members[r2][rng.random_range(0..region_members[r2].len())];
-                add_linked(&mut wan, &mut optical, &mut rng, a, b, config.inter_region_capacity, false);
+                add_linked(
+                    &mut wan,
+                    &mut optical,
+                    &mut rng,
+                    a,
+                    b,
+                    config.inter_region_capacity,
+                    false,
+                );
             }
         }
         continent_gateways.push((continent, region_gateways));
@@ -269,11 +285,7 @@ fn add_linked(
         ((modulation.max_reach_km() / span_len).floor() as usize).clamp(1, spans.len());
     for _ in 0..n_wavelengths {
         for segment in spans.chunks(spans_per_segment) {
-            optical.light_wavelength(
-                segment.to_vec(),
-                modulation,
-                vec![fwd.index(), rev.index()],
-            );
+            optical.light_wavelength(segment.to_vec(), modulation, vec![fwd.index(), rev.index()]);
         }
     }
 }

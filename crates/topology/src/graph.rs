@@ -284,10 +284,8 @@ impl<N, E> DiGraph<N, E> {
     pub fn topological_order(&self) -> Option<Vec<NodeId>> {
         let n = self.node_count();
         let mut indegree: Vec<usize> = (0..n).map(|i| self.nodes[i].in_edges.len()).collect();
-        let mut queue: VecDeque<NodeId> = (0..n)
-            .filter(|&i| indegree[i] == 0)
-            .map(|i| NodeId(i as u32))
-            .collect();
+        let mut queue: VecDeque<NodeId> =
+            (0..n).filter(|&i| indegree[i] == 0).map(|i| NodeId(i as u32)).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {
             order.push(u);
@@ -607,9 +605,17 @@ mod tests {
         let (g, ids) = diamond();
         // Ban the b route; next best is via c at cost 3.
         let p = g
-            .shortest_path(ids[0], ids[3], |_, e| {
-                if e.dst == ids[1] { None } else { Some(e.payload) }
-            })
+            .shortest_path(
+                ids[0],
+                ids[3],
+                |_, e| {
+                    if e.dst == ids[1] {
+                        None
+                    } else {
+                        Some(e.payload)
+                    }
+                },
+            )
             .unwrap();
         assert_eq!(p.cost, 3.0);
     }
@@ -687,8 +693,7 @@ mod tests {
         g.add_edge(b, c, ());
         g.add_edge(a, c, ());
         let order = g.topological_order().unwrap();
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         assert!(pos[&a] < pos[&b] && pos[&b] < pos[&c]);
     }
 
@@ -733,7 +738,8 @@ mod tests {
     #[test]
     fn contraction_to_single_supernode_has_no_edges() {
         let (g, _) = diamond();
-        let c = g.contract(|_, _| 0u8, |_, m| m.len(), |acc: Option<f64>, w| acc.unwrap_or(0.0) + w);
+        let c =
+            g.contract(|_, _| 0u8, |_, m| m.len(), |acc: Option<f64>, w| acc.unwrap_or(0.0) + w);
         assert_eq!(c.graph.node_count(), 1);
         assert_eq!(c.graph.edge_count(), 0);
         assert_eq!(*c.graph.node(NodeId(0)), 4);

@@ -319,7 +319,10 @@ mod tests {
         let (long, wl) = layer_with_one_wavelength(Modulation::Qam16, 790.0);
         let p_short = short.wavelength(ws).flap_probability();
         let p_long = long.wavelength(wl).flap_probability();
-        assert!(p_long > 10.0 * p_short, "near-reach path should flap much more: {p_short} vs {p_long}");
+        assert!(
+            p_long > 10.0 * p_short,
+            "near-reach path should flap much more: {p_short} vs {p_long}"
+        );
         assert!(p_long <= 1.0);
     }
 

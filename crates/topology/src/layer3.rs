@@ -127,11 +127,7 @@ impl Wan {
     /// # Panics
     /// Panics if a DC with the same name already exists.
     pub fn add_datacenter(&mut self, dc: Datacenter) -> NodeId {
-        assert!(
-            !self.name_index.contains_key(&dc.name),
-            "duplicate datacenter name {}",
-            dc.name
-        );
+        assert!(!self.name_index.contains_key(&dc.name), "duplicate datacenter name {}", dc.name);
         let name = dc.name.clone();
         let id = self.graph.add_node(dc);
         self.name_index.insert(name, id);
@@ -225,14 +221,16 @@ impl Wan {
     ///
     /// # Panics
     /// Panics when `k` is zero or exceeds the datacenter count.
-    pub fn contract_by_geo_clusters(&self, k: usize, seed: u64) -> Contraction<SuperNode, SuperLink> {
+    pub fn contract_by_geo_clusters(
+        &self,
+        k: usize,
+        seed: u64,
+    ) -> Contraction<SuperNode, SuperLink> {
         assert!(k > 0 && k <= self.dc_count(), "k must be in 1..=dc_count");
-        let points: Vec<(f64, f64)> =
-            self.graph.nodes().map(|(_, dc)| (dc.lat, dc.lon)).collect();
+        let points: Vec<(f64, f64)> = self.graph.nodes().map(|(_, dc)| (dc.lat, dc.lon)).collect();
         // Deterministic centroid init: spread over the node list.
-        let mut centroids: Vec<(f64, f64)> = (0..k)
-            .map(|i| points[(i * points.len() / k + seed as usize) % points.len()])
-            .collect();
+        let mut centroids: Vec<(f64, f64)> =
+            (0..k).map(|i| points[(i * points.len() / k + seed as usize) % points.len()]).collect();
         let mut assign = vec![0usize; points.len()];
         for _iter in 0..25 {
             let mut changed = false;
@@ -438,7 +436,11 @@ mod tests {
     fn custom_label_contraction() {
         let w = small_wan();
         let c = w.contract_by_label(|_, dc| {
-            if dc.name.starts_with("us") { "us".into() } else { "other".into() }
+            if dc.name.starts_with("us") {
+                "us".into()
+            } else {
+                "other".into()
+            }
         });
         assert_eq!(c.graph.node_count(), 2);
     }

@@ -32,10 +32,7 @@ fn main() {
     let mut history: HashMap<EdgeId, Vec<f64>> = HashMap::new();
     for week in 0..weeks {
         // One sample day per week keeps the example fast.
-        let log = model.generate(
-            Ts::from_days(week * 7 + 2),
-            TrafficModel::epochs_per_days(1),
-        );
+        let log = model.generate(Ts::from_days(week * 7 + 2), TrafficModel::epochs_per_days(1));
         let demand = DemandMatrix::from_records(&log, Statistic::P95);
         let solution = greedy_min_max_utilization(
             &wan.graph,
@@ -66,14 +63,10 @@ fn main() {
         |e| wan.graph.edge(e).payload.distance_km,
         &planetary.optical,
     );
-    let upgrades = feedback
-        .iter()
-        .filter(|f| matches!(f, Feedback::ProvisionCapacity { .. }))
-        .count();
-    let blocked = feedback
-        .iter()
-        .filter(|f| matches!(f, Feedback::UpgradeBlockedByFiber { .. }))
-        .count();
+    let upgrades =
+        feedback.iter().filter(|f| matches!(f, Feedback::ProvisionCapacity { .. })).count();
+    let blocked =
+        feedback.iter().filter(|f| matches!(f, Feedback::UpgradeBlockedByFiber { .. })).count();
     println!("\nplanning feedback: {upgrades} upgrades, {blocked} blocked by fiber constraints");
     for f in feedback.iter().take(10) {
         match f {

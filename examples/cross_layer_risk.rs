@@ -29,11 +29,7 @@ fn main() {
         biggest.links.len()
     );
     let blast = correlated_failure_set(&srlgs, biggest.links[0]);
-    println!(
-        "correlated-failure set of link {}: {} links\n",
-        biggest.links[0],
-        blast.len()
-    );
+    println!("correlated-failure set of link {}: {} links\n", biggest.links[0], blast.len());
 
     // Risk-aware upgrade screening: take the two most flap-prone links and
     // ask whether upgrading both actually diversifies capacity.
@@ -47,10 +43,7 @@ fn main() {
     if report.is_diverse() {
         println!("candidate set is risk-diverse: no two share a fiber span");
     } else {
-        println!(
-            "candidate set concentrates risk: correlated pairs {:?}",
-            report.correlated_pairs
-        );
+        println!("candidate set concentrates risk: correlated pairs {:?}", report.correlated_pairs);
     }
     if !report.submarine_exposed.is_empty() {
         println!(

@@ -77,8 +77,7 @@ fn main() {
         .map(|o| smn_incident::app::team_index(&o.fault.team).expect("known team"))
         .collect();
     let acc = |pred: &[usize]| {
-        100.0 * pred.iter().zip(&truth).filter(|(p, t)| p == t).count() as f64
-            / truth.len() as f64
+        100.0 * pred.iter().zip(&truth).filter(|(p, t)| p == t).count() as f64 / truth.len() as f64
     };
     println!("\nheld-out accuracy over {} incidents:", test.len());
     println!("  scouts (distributed):     {:.1}%", acc(&scouts.route(&d, &test)));

@@ -55,7 +55,7 @@ fn main() {
     // 4. Minutes loop: a cross-layer failure (everything alerts) routes to
     //    the network team, with observers informed.
     {
-        let mut alerts = controller.clds.alerts.write();
+        let mut alerts = controller.clds().alerts.write();
         for (ts, team) in [(10u64, "app"), (40, "platform"), (70, "network")] {
             alerts.append(Alert {
                 ts: Ts(ts),

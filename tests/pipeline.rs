@@ -37,8 +37,8 @@ fn telemetry_to_planning_pipeline() {
         ControllerConfig::default(),
     );
     let log = model.generate(Ts(0), TrafficModel::epochs_per_days(1));
-    controller.clds.bandwidth.write().extend(log.iter().cloned());
-    assert_eq!(controller.clds.bandwidth.read().len(), log.len());
+    controller.clds().bandwidth.write().extend(log.iter().cloned());
+    assert_eq!(controller.clds().bandwidth.read().len(), log.len());
 
     // Coarsen (topology x time) and derive a demand matrix from the
     // coarse log — acting on s instead of S.
@@ -66,16 +66,9 @@ fn telemetry_to_planning_pipeline() {
         let u = solution.utilization.get(&eid).copied().unwrap_or(0.0);
         history.insert(EdgeId(eid.index() as u32), vec![u; 8]);
     }
-    let feedback = controller.planning_loop(
-        &history,
-        |_| 1000.0,
-        &planetary.optical,
-    );
+    let feedback = controller.planning_loop(&history, |_| 1000.0, &planetary.optical);
     let hot_links = history.values().filter(|v| v[0] > 0.8).count();
-    assert!(
-        feedback.len() <= hot_links,
-        "planner can only act on overloaded links"
-    );
+    assert!(feedback.len() <= hot_links, "planner can only act on overloaded links");
 }
 
 #[test]
@@ -95,17 +88,17 @@ fn fault_to_incident_routing_pipeline() {
     // Feed the CLDS exactly what monitoring would emit.
     let controller = SmnController::new(d.cdg.clone(), ControllerConfig::default());
     {
-        let mut alerts = controller.clds.alerts.write();
+        let mut alerts = controller.clds().alerts.write();
         let mut sorted = telemetry.alerts.clone();
         sorted.sort_by_key(|a| a.ts);
         alerts.extend(sorted);
     }
     {
-        let mut probes = controller.clds.probes.write();
+        let mut probes = controller.clds().probes.write();
         probes.extend(telemetry.probes.iter().cloned());
     }
     {
-        let mut health = controller.clds.health.write();
+        let mut health = controller.clds().health.write();
         health.extend(telemetry.health.iter().cloned());
     }
     let feedback = controller.incident_loop(Ts(0), Ts(HOUR));
@@ -149,7 +142,7 @@ fn history_store_retention_protects_incident_windows() {
         ControllerConfig::default(),
     );
     {
-        let mut bw = controller.clds.bandwidth.write();
+        let mut bw = controller.clds().bandwidth.write();
         for day in 0..200u64 {
             bw.append(smn_telemetry::record::BandwidthRecord {
                 ts: Ts::from_days(day),
@@ -166,10 +159,10 @@ fn history_store_retention_protects_incident_windows() {
     };
     let windows = [ProtectedWindow::around(Ts::from_days(50), 2 * DAY)];
     let report =
-        policy.enforce(&mut controller.clds.bandwidth.write(), Ts::from_days(200), &windows);
+        policy.enforce(&mut controller.clds().bandwidth.write(), Ts::from_days(200), &windows);
     assert!(report.dropped > 100);
     assert!(report.kept_incident >= 3, "incident-linked data retained");
     assert!(report.kept_sampled > 0, "failure-free sample retained");
-    let bw = controller.clds.bandwidth.read();
+    let bw = controller.clds().bandwidth.read();
     assert!(bw.all().iter().any(|r| r.ts == Ts::from_days(50)));
 }

@@ -9,6 +9,7 @@ use smn_depgraph::coarse::CoarseDepGraph;
 use smn_depgraph::syndrome::{Explainability, Syndrome};
 use smn_te::demand::DemandMatrix;
 use smn_te::mcf::{max_multicommodity_flow, TeConfig};
+use smn_telemetry::chaos::{ChaosConfig, ChaosInjector};
 use smn_telemetry::record::BandwidthRecord;
 use smn_telemetry::series::{Statistic, SummaryStats};
 use smn_telemetry::time::{Ts, EPOCH_SECS, HOUR};
@@ -16,13 +17,9 @@ use smn_topology::graph::DiGraph;
 use smn_topology::NodeId;
 
 /// Strategy: a small bandwidth log over `n_nodes` nodes and `epochs` epochs.
-fn bw_log_strategy(
-    n_nodes: u32,
-    epochs: u64,
-) -> impl Strategy<Value = Vec<BandwidthRecord>> {
-    let record = (0..epochs, 0..n_nodes, 0..n_nodes, 1.0f64..2000.0).prop_map(
-        |(e, src, dst, gbps)| BandwidthRecord { ts: Ts(e * EPOCH_SECS), src, dst, gbps },
-    );
+fn bw_log_strategy(n_nodes: u32, epochs: u64) -> impl Strategy<Value = Vec<BandwidthRecord>> {
+    let record = (0..epochs, 0..n_nodes, 0..n_nodes, 1.0f64..2000.0)
+        .prop_map(|(e, src, dst, gbps)| BandwidthRecord { ts: Ts(e * EPOCH_SECS), src, dst, gbps });
     proptest::collection::vec(record, 1..200).prop_map(|mut v| {
         v.sort_by_key(|r| r.ts);
         v
@@ -153,5 +150,82 @@ proptest! {
         for (_, e) in c.graph.edges() {
             prop_assert!(e.src != e.dst, "self-loop survived contraction");
         }
+    }
+}
+
+/// A dense, strictly ordered telemetry stream for chaos-injection tests.
+fn chaos_stream(n: u64) -> Vec<BandwidthRecord> {
+    (0..n).map(|i| BandwidthRecord { ts: Ts(i * 60), src: 0, dst: 1, gbps: i as f64 }).collect()
+}
+
+proptest! {
+    /// Loss injection converges: on a large stream, the observed loss
+    /// rate is within sampling noise of the configured rate, and the
+    /// survivor count is exactly `input - dropped`.
+    #[test]
+    fn chaos_loss_rate_converges(seed in 0u64..1_000_000, rate in 0.0f64..=0.8) {
+        let stream = chaos_stream(4000);
+        let out = ChaosInjector::new(ChaosConfig::clean(seed).with_loss(rate)).apply(&stream);
+        prop_assert_eq!(out.records.len(), out.report.input - out.report.dropped);
+        // 4000 Bernoulli trials: |observed - p| < 0.05 is an ~8-sigma bound.
+        prop_assert!(
+            (out.report.observed_loss_rate() - rate).abs() < 0.05,
+            "observed {} vs configured {}",
+            out.report.observed_loss_rate(),
+            rate
+        );
+    }
+
+    /// Bounded lateness is a hard guarantee: no record is ever delivered
+    /// more than `max_lateness_secs` after a record with a later
+    /// timestamp, for any reorder rate and bound.
+    #[test]
+    fn chaos_lateness_bound_never_violated(
+        seed in 0u64..1_000_000,
+        rate in 0.0f64..=1.0,
+        bound in 1u64..900,
+    ) {
+        let stream = chaos_stream(500);
+        let out = ChaosInjector::new(ChaosConfig::clean(seed).with_reordering(rate, bound))
+            .apply(&stream);
+        prop_assert_eq!(out.records.len(), stream.len());
+        prop_assert!(out.report.max_observed_delay_secs <= bound);
+        let mut max_seen = 0u64;
+        for r in &out.records {
+            prop_assert!(
+                max_seen <= r.ts.0 + bound,
+                "record at ts {} arrived {} s after a later record",
+                r.ts.0,
+                max_seen - r.ts.0
+            );
+            max_seen = max_seen.max(r.ts.0);
+        }
+    }
+
+    /// Chaos is a pure function of (seed, stream): the same config
+    /// replayed over the same input yields the identical record sequence
+    /// and report, which is what makes degraded-mode runs replayable.
+    #[test]
+    fn chaos_same_seed_identical_stream(seed in 0u64..1_000_000) {
+        let stream = chaos_stream(300);
+        let cfg = ChaosConfig::clean(seed)
+            .with_loss(0.3)
+            .with_duplication(0.1)
+            .with_reordering(0.5, 600)
+            .with_clock_skew(-30, 20);
+        let a = ChaosInjector::new(cfg.clone()).apply(&stream);
+        let b = ChaosInjector::new(cfg).apply(&stream);
+        prop_assert_eq!(&a.records, &b.records);
+        prop_assert_eq!(a.report, b.report);
+    }
+
+    /// A clean config is the identity on any stream.
+    #[test]
+    fn chaos_clean_config_is_identity(seed in 0u64..1_000_000, n in 1u64..200) {
+        let stream = chaos_stream(n);
+        let out = ChaosInjector::new(ChaosConfig::clean(seed)).apply(&stream);
+        prop_assert_eq!(&out.records, &stream);
+        prop_assert_eq!(out.report.dropped, 0);
+        prop_assert_eq!(out.report.duplicated, 0);
     }
 }

@@ -16,9 +16,7 @@ fn routing_accuracy(cdg: &CoarseDepGraph, obs: &[IncidentObservation]) -> f64 {
     let ex = Explainability::new(cdg);
     obs.iter()
         .filter(|o| {
-            ex.best_team(&o.syndrome)
-                .map(|t| cdg.team(t).name == o.fault.team)
-                .unwrap_or(false)
+            ex.best_team(&o.syndrome).map(|t| cdg.team(t).name == o.fault.team).unwrap_or(false)
         })
         .count() as f64
         / obs.len() as f64
@@ -46,11 +44,7 @@ fn deleted_edges_are_recovered_by_refinement() {
     let obs = observe_campaign(&d, &cfg);
     let full_acc = routing_accuracy(&d.cdg, &obs);
 
-    let removed = [
-        ("application", "storage"),
-        ("cache", "storage"),
-        ("application", "queue"),
-    ];
+    let removed = [("application", "storage"), ("cache", "storage"), ("application", "queue")];
     let mut refined = without_edges(&d.cdg, &removed);
     let degraded_acc = routing_accuracy(&refined, &obs);
     assert!(

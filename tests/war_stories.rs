@@ -3,8 +3,8 @@
 //! crates (topology + telemetry + depgraph + incident + te + core).
 
 use smn_core::warstories::{
-    capacity_planning_in_the_dark, database_failure_fanout, run_all,
-    wan_flaps_impacting_cluster, wavelength_modulation_and_resilience,
+    capacity_planning_in_the_dark, database_failure_fanout, run_all, wan_flaps_impacting_cluster,
+    wavelength_modulation_and_resilience,
 };
 
 #[test]

@@ -1,0 +1,131 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the declaration surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, throughput,
+//! `bench_with_input`) but only runs each closure a handful of times and
+//! prints rough wall-clock timings — no statistics, no reports. Enough to
+//! keep `cargo bench` compiling and producing an ordering signal offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and parameter description.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{function}/{parameter}") }
+    }
+}
+
+/// Per-iteration timing harness passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over a small fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, iters: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = if b.elapsed.is_zero() { Duration::ZERO } else { b.elapsed / (iters as u32) };
+    println!("bench {label}: ~{per_iter:?}/iter over {iters} iters");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    iters: u64,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the work performed per iteration (printed, not analysed).
+    pub fn throughput(&mut self, t: Throughput) {
+        println!("bench group {}: throughput {t:?}", self.name);
+    }
+
+    /// Reduce the iteration count for slow benchmarks.
+    pub fn sample_size(&mut self, n: usize) {
+        self.iters = (n as u64).clamp(1, 10);
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        run_one(&format!("{}/{id}", self.name), self.iters, f);
+    }
+
+    /// Benchmark a closure with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        run_one(&format!("{}/{}", self.name, id.name), self.iters, |b| f(b, input));
+    }
+
+    /// Finish the group (no-op).
+    pub fn finish(self) {}
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), iters: 3, _criterion: self }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        run_one(&id.to_string(), 3, f);
+    }
+}
+
+/// Declare a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,309 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro,
+//! `prop_assert*` macros, the [`strategy::Strategy`] trait with
+//! `prop_map`, numeric range strategies, tuple strategies, and
+//! [`collection::vec`]. Cases are generated from a deterministic seed (no
+//! shrinking); set `PROPTEST_CASES` to change the per-test case count.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::RngExt::random_range(&mut rng.rng, self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::RngExt::random_range(&mut rng.rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A:0);
+    impl_tuple_strategy!(A:0, B:1);
+    impl_tuple_strategy!(A:0, B:1, C:2);
+    impl_tuple_strategy!(A:0, B:1, C:2, D:3);
+    impl_tuple_strategy!(A:0, B:1, C:2, D:3, E:4);
+    impl_tuple_strategy!(A:0, B:1, C:2, D:3, E:4, F:5);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count bound for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate `Vec`s of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.hi <= self.size.lo + 1 {
+                self.size.lo
+            } else {
+                rand::RngExt::random_range(&mut rng.rng, self.size.lo..self.size.hi)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Case running machinery used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// RNG handed to strategies.
+    pub struct TestRng {
+        /// Underlying generator (public for in-crate strategy impls).
+        pub rng: StdRng,
+    }
+
+    /// A failed property within a test case.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Construct a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Drives the per-test case loop.
+    pub struct TestRunner {
+        /// Number of cases to run per property.
+        pub cases: u64,
+        seed: u64,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+            TestRunner { cases, seed: 0x5EED_CA5E }
+        }
+    }
+
+    impl TestRunner {
+        /// Deterministic RNG for the `case`-th test case.
+        pub fn rng_for(&self, case: u64) -> TestRng {
+            TestRng { rng: StdRng::seed_from_u64(self.seed ^ case.wrapping_mul(0x9E37_79B9)) }
+        }
+    }
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let runner = $crate::test_runner::TestRunner::default();
+                for case in 0..runner.cases {
+                    let mut case_rng = runner.rng_for(case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut case_rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!("proptest {} case {case} failed: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition, failing the current proptest case on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality, failing the current proptest case on violation.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({a:?} vs {b:?})",
+                stringify!($a),
+                stringify!($b)
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Assert inequality, failing the current proptest case on violation.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {a:?})",
+                stringify!($a),
+                stringify!($b)
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 0u32..10, f in 0.5f64..2.0) {
+            prop_assert!(x < 10);
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0u8..4, 2..30)) {
+            prop_assert!((2..30).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn fixed_size_vec(v in crate::collection::vec(0.0f64..=1.0, 5)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+
+        #[test]
+        fn prop_map_applies(n in (1usize..5).prop_map(|n| n * 2)) {
+            prop_assert!(n % 2 == 0);
+            prop_assert_ne!(n, 0);
+        }
+    }
+}

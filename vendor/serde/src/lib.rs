@@ -1,0 +1,409 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the workspace vendors a minimal serde-compatible surface: the
+//! [`Serialize`]/[`Deserialize`] traits, the [`Value`] self-describing data
+//! model they convert through, and re-exported derive macros from
+//! `serde_derive`. The API intentionally mirrors how this workspace uses
+//! serde (derive + `serde_json` string round-trips), not the full serde
+//! data-model machinery.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// A self-describing serialized value (the vendored data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Map with string keys, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Construct an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can convert themselves into a [`Value`].
+pub trait Serialize {
+    /// Serialize `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserialize from the data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn unexpected(what: &str, v: &Value) -> Error {
+    Error(format!("expected {what}, got {v:?}"))
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) if *n >= 0 => Ok(*n as $t),
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as $t),
+                    other => Err(unexpected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::F64(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(unexpected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            // Non-finite floats are encoded as strings on the wire.
+            Value::Str(s) => match s.as_str() {
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                "nan" => Ok(f64::NAN),
+                _ => Err(unexpected("float", v)),
+            },
+            other => Err(unexpected("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(unexpected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(unexpected("single-char string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(unexpected("null", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+/// Maps serialize as sequences of `[key, value]` pairs so non-string keys
+/// survive the wire format.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect())
+    }
+}
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        kv_pairs(v)?.into_iter().collect::<Result<_, _>>()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect())
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        kv_pairs(v)?.into_iter().collect::<Result<_, _>>()
+    }
+}
+
+type PairIter<K, V> = Vec<Result<(K, V), Error>>;
+
+fn kv_pairs<K: Deserialize, V: Deserialize>(v: &Value) -> Result<PairIter<K, V>, Error> {
+    match v {
+        Value::Seq(items) => Ok(items
+            .iter()
+            .map(|item| match item {
+                Value::Seq(pair) if pair.len() == 2 => {
+                    Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+                }
+                other => Err(unexpected("[key, value] pair", other)),
+            })
+            .collect()),
+        other => Err(unexpected("sequence of pairs", other)),
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(unexpected("sequence", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:expr) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(unexpected(concat!($len, "-tuple"), other)),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(A:0 ; 1);
+impl_tuple!(A:0, B:1 ; 2);
+impl_tuple!(A:0, B:1, C:2 ; 3);
+impl_tuple!(A:0, B:1, C:2, D:3 ; 4);
+impl_tuple!(A:0, B:1, C:2, D:3, E:4 ; 5);
+impl_tuple!(A:0, B:1, C:2, D:3, E:4, F:5 ; 6);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"x".to_string().to_value()).unwrap(), "x");
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let m: HashMap<u32, String> = [(1, "a".to_string()), (2, "b".to_string())].into();
+        assert_eq!(HashMap::<u32, String>::from_value(&m.to_value()).unwrap(), m);
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip_via_strings() {
+        assert_eq!(f64::from_value(&Value::Str("inf".into())).unwrap(), f64::INFINITY);
+        assert!(f64::from_value(&Value::Str("nan".into())).unwrap().is_nan());
+    }
+}

@@ -1,0 +1,551 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Hand-written token-level parser (no syn/quote available offline) that
+//! handles the shapes this workspace actually uses: plain structs, tuple
+//! structs (newtypes are transparent), unit structs, generic structs, and
+//! enums with unit / tuple / struct variants (externally tagged).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+enum Body {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum GenParam {
+    Lifetime(String),
+    Type { name: String, bounds: String },
+    Const { name: String, ty: String },
+}
+
+struct Item {
+    name: String,
+    generics: Vec<GenParam>,
+    where_clause: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = parse_item(input);
+    let code = match mode {
+        Mode::Ser => gen_serialize(&item),
+        Mode::De => gen_deserialize(&item),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+fn ident_text(t: &TokenTree) -> String {
+    match t {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde_derive: expected identifier, got `{other}`"),
+    }
+}
+
+/// Skip `#[...]` attribute sequences starting at `i`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while *i + 1 < toks.len() && is_punct(&toks[*i], '#') {
+        *i += 2; // '#' + bracketed group
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` starting at `i`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if *i < toks.len() && is_ident(&toks[*i], "pub") {
+        *i += 1;
+        if *i < toks.len() {
+            if let TokenTree::Group(g) = &toks[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn tokens_to_string(toks: &[TokenTree]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        s.push_str(&t.to_string());
+        s.push(' ');
+    }
+    s
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+
+    let kind = ident_text(&toks[i]);
+    i += 1;
+    let name = ident_text(&toks[i]);
+    i += 1;
+
+    let generics = parse_generics(&toks, &mut i);
+
+    // Optional where clause before the body.
+    let mut where_clause = String::new();
+    if i < toks.len() && is_ident(&toks[i], "where") {
+        let start = i;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                t if is_punct(t, ';') => break,
+                _ => i += 1,
+            }
+        }
+        where_clause = tokens_to_string(&toks[start..i]);
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            None => Body::UnitStruct,
+            Some(t) if is_punct(t, ';') => Body::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(other) => panic!("serde_derive: unexpected struct body `{other}`"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive: expected enum body"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item { name, generics, where_clause, body }
+}
+
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Vec<GenParam> {
+    let mut params = Vec::new();
+    if *i >= toks.len() || !is_punct(&toks[*i], '<') {
+        return params;
+    }
+    *i += 1; // consume '<'
+    let mut depth = 1usize;
+    while *i < toks.len() && depth > 0 {
+        if depth == 1 {
+            if is_punct(&toks[*i], '>') {
+                *i += 1;
+                return params;
+            }
+            if is_punct(&toks[*i], ',') {
+                *i += 1;
+                continue;
+            }
+            if is_punct(&toks[*i], '\'') {
+                // Lifetime param: '<apostrophe> <ident>, skip any bounds.
+                *i += 1;
+                let lt = ident_text(&toks[*i]);
+                *i += 1;
+                params.push(GenParam::Lifetime(format!("'{lt}")));
+                skip_to_param_end(toks, i);
+                continue;
+            }
+            if is_ident(&toks[*i], "const") {
+                *i += 1;
+                let name = ident_text(&toks[*i]);
+                *i += 1;
+                // ':'
+                *i += 1;
+                let start = *i;
+                skip_to_param_end(toks, i);
+                params.push(GenParam::Const { name, ty: tokens_to_string(&toks[start..*i]) });
+                continue;
+            }
+            // Type param, optionally with bounds / default.
+            let name = ident_text(&toks[*i]);
+            *i += 1;
+            let mut bounds = String::new();
+            if *i < toks.len() && is_punct(&toks[*i], ':') {
+                *i += 1;
+                let start = *i;
+                skip_to_param_end_or_default(toks, i);
+                bounds = tokens_to_string(&toks[start..*i]);
+            }
+            // Skip a `= Default` if present.
+            if *i < toks.len() && is_punct(&toks[*i], '=') {
+                skip_to_param_end(toks, i);
+            }
+            params.push(GenParam::Type { name, bounds });
+        } else {
+            if is_punct(&toks[*i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[*i], '>') {
+                depth -= 1;
+            }
+            *i += 1;
+        }
+    }
+    params
+}
+
+/// Advance to the next top-level ',' (consuming nothing past it) or to the
+/// closing '>' of the generics list (not consumed).
+fn skip_to_param_end(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while *i < toks.len() {
+        if is_punct(&toks[*i], '<') {
+            depth += 1;
+        } else if is_punct(&toks[*i], '>') {
+            if depth == 0 {
+                return;
+            }
+            depth -= 1;
+        } else if is_punct(&toks[*i], ',') && depth == 0 {
+            return;
+        }
+        *i += 1;
+    }
+}
+
+/// Like [`skip_to_param_end`] but also stops at a top-level '='.
+fn skip_to_param_end_or_default(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while *i < toks.len() {
+        if is_punct(&toks[*i], '<') {
+            depth += 1;
+        } else if is_punct(&toks[*i], '>') {
+            if depth == 0 {
+                return;
+            }
+            depth -= 1;
+        } else if (is_punct(&toks[*i], ',') || is_punct(&toks[*i], '=')) && depth == 0 {
+            return;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(ident_text(&toks[i]));
+        i += 1; // field name
+        i += 1; // ':'
+                // Skip the type up to the next top-level ','.
+        let mut depth = 0usize;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth = depth.saturating_sub(1);
+            } else if is_punct(&toks[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth = depth.saturating_sub(1);
+        } else if is_punct(t, ',') && depth == 0 {
+            count += 1;
+            trailing_comma = true;
+            continue;
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_text(&toks[i]);
+        i += 1;
+        let mut kind = VariantKind::Unit;
+        if i < toks.len() {
+            if let TokenTree::Group(g) = &toks[i] {
+                match g.delimiter() {
+                    Delimiter::Parenthesis => {
+                        kind = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                        i += 1;
+                    }
+                    Delimiter::Brace => {
+                        kind = VariantKind::Named(parse_named_fields(g.stream()));
+                        i += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Skip an explicit discriminant and the trailing ','.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn impl_header(item: &Item, mode: Mode) -> (String, String) {
+    let bound = match mode {
+        Mode::Ser => "serde::Serialize",
+        Mode::De => "serde::Deserialize",
+    };
+    let mut impl_params = Vec::new();
+    let mut ty_params = Vec::new();
+    for p in &item.generics {
+        match p {
+            GenParam::Lifetime(lt) => {
+                impl_params.push(lt.clone());
+                ty_params.push(lt.clone());
+            }
+            GenParam::Type { name, bounds } => {
+                if bounds.trim().is_empty() {
+                    impl_params.push(format!("{name}: {bound}"));
+                } else {
+                    impl_params.push(format!("{name}: {bounds} + {bound}"));
+                }
+                ty_params.push(name.clone());
+            }
+            GenParam::Const { name, ty } => {
+                impl_params.push(format!("const {name}: {ty}"));
+                ty_params.push(name.clone());
+            }
+        }
+    }
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics =
+        if ty_params.is_empty() { String::new() } else { format!("<{}>", ty_params.join(", ")) };
+    (impl_generics, ty_generics)
+}
+
+fn named_to_value(fields: &[String], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&{access}{f}))"))
+        .collect();
+    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn named_from_value(fields: &[String], source: &str, path: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value({source}.get({f:?}).unwrap_or(&serde::Value::Null))?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = impl_header(item, Mode::Ser);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => "serde::Value::Null".to_string(),
+        Body::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::NamedStruct(fields) => named_to_value(fields, "self."),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "Self::{vn} => serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "Self::{vn}(f0) => serde::Value::Map(vec![({vn:?}.to_string(), serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "Self::{vn}({}) => serde::Value::Map(vec![({vn:?}.to_string(), serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {binds} }} => serde::Value::Map(vec![({vn:?}.to_string(), serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all)]\nimpl{impl_generics} serde::Serialize for {name}{ty_generics} {} {{\n    fn to_value(&self) -> serde::Value {{ {body} }}\n}}\n",
+        item.where_clause
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = impl_header(item, Mode::De);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!(
+            "match v {{ serde::Value::Null => Ok(Self), other => Err(serde::Error(format!(\"expected null for unit struct {name}, got {{other:?}}\"))) }}"
+        ),
+        Body::TupleStruct(1) => "Ok(Self(serde::Deserialize::from_value(v)?))".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ serde::Value::Seq(items) if items.len() == {n} => Ok(Self({})), other => Err(serde::Error(format!(\"expected {n}-element seq for {name}, got {{other:?}}\"))) }}",
+                items.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let init = named_from_value(fields, "v", "Self");
+            format!(
+                "match v {{ serde::Value::Map(_) => Ok({init}), other => Err(serde::Error(format!(\"expected map for struct {name}, got {{other:?}}\"))) }}"
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => Ok(Self::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok(Self::{vn}(serde::Deserialize::from_value(_payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match _payload {{ serde::Value::Seq(items) if items.len() == {n} => Ok(Self::{vn}({})), other => Err(serde::Error(format!(\"expected {n}-element seq for variant {vn}, got {{other:?}}\"))) }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let init =
+                                named_from_value(fields, "_payload", &format!("Self::{vn}"));
+                            Some(format!("{vn:?} => Ok({init}),"))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                 serde::Value::Str(s) => match s.as_str() {{ {} other => Err(serde::Error(format!(\"unknown unit variant {{other}} for enum {name}\"))) }}, \
+                 serde::Value::Map(entries) if entries.len() == 1 => {{ let (tag, _payload) = &entries[0]; match tag.as_str() {{ {} other => Err(serde::Error(format!(\"unknown variant {{other}} for enum {name}\"))) }} }}, \
+                 other => Err(serde::Error(format!(\"expected variant encoding for enum {name}, got {{other:?}}\"))) }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all)]\nimpl{impl_generics} serde::Deserialize for {name}{ty_generics} {} {{\n    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n}}\n",
+        item.where_clause
+    )
+}
