@@ -20,7 +20,7 @@
 //! inter-continent question and "the routing within the large super nodes
 //! is not specified".
 
-use std::time::Instant;
+use smn_bench::timer;
 
 use smn_te::demand::DemandMatrix;
 use smn_te::mcf::{max_multicommodity_flow, max_multicommodity_flow_with_paths, TeConfig};
@@ -54,11 +54,10 @@ fn main() {
     };
 
     // Fine optimum.
-    let t0 = Instant::now();
-    let fine = max_multicommodity_flow(&p.wan.graph, cap, &demand, &cfg);
-    let fine_ms = t0.elapsed().as_millis();
+    let (fine, fine_ms) =
+        timer::time_ms(|| max_multicommodity_flow(&p.wan.graph, cap, &demand, &cfg));
     println!(
-        "fine problem: {} nodes, {} commodities, routed {:.0}/{:.0} Gbps in {} ms\n",
+        "fine problem: {} nodes, {} commodities, routed {:.0}/{:.0} Gbps in {:.0} ms\n",
         p.wan.dc_count(),
         demand.len(),
         fine.routed_gbps,
@@ -93,7 +92,7 @@ fn main() {
         "datacenters (fine)".to_string(),
         format!("{}", p.wan.dc_count()),
         format!("{}", demand.len()),
-        format!("{fine_ms}"),
+        format!("{fine_ms:.0}"),
         "100%".to_string(),
         "1.000".to_string(),
         "1.000".to_string(),
@@ -101,14 +100,14 @@ fn main() {
     for (name, contraction) in granularities {
         // Coarse solve (the speed benefit).
         let coarse_demand = demand.contract(&contraction.node_map);
-        let t0 = Instant::now();
-        let coarse_sol = max_multicommodity_flow(
-            &contraction.graph,
-            |_, e| e.payload.capacity_gbps,
-            &coarse_demand,
-            &cfg,
-        );
-        let coarse_ms = t0.elapsed().as_millis();
+        let (coarse_sol, coarse_ms) = timer::time_ms(|| {
+            max_multicommodity_flow(
+                &contraction.graph,
+                |_, e| e.payload.capacity_gbps,
+                &coarse_demand,
+                &cfg,
+            )
+        });
         // Realization on the fine network under coarse-conformant paths.
         let restricted: Vec<Vec<smn_topology::Path>> = demand
             .commodities
@@ -121,7 +120,7 @@ fn main() {
             name.to_string(),
             format!("{}", contraction.graph.node_count()),
             format!("{}", coarse_demand.len()),
-            format!("{coarse_ms}"),
+            format!("{coarse_ms:.0}"),
             format!("{:.0}%", demand.contracted_fraction(&contraction.node_map) * 100.0),
             format!("{:.3}", coarse_sol.satisfaction()),
             format!("{:.3}", realized.routed_gbps / fine.routed_gbps.max(1e-9)),

@@ -10,7 +10,7 @@
 //! * CDG / what's lost: the false-dependency rate and structural reduction
 //!   (coarser incident routing).
 
-use std::time::Instant;
+use smn_bench::timer;
 
 use smn_core::cdg::cdg_loss;
 use smn_incident::eval::{evaluate, EvalConfig};
@@ -38,19 +38,18 @@ fn main() {
             0.0
         }
     };
-    let t0 = Instant::now();
-    let fine = max_multicommodity_flow(&p.wan.graph, cap, &demand, &cfg);
-    let fine_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let (fine, fine_ms) =
+        timer::time_ms(|| max_multicommodity_flow(&p.wan.graph, cap, &demand, &cfg));
     let contraction = p.wan.contract_by_region();
     let coarse_demand = demand.contract(&contraction.node_map);
-    let t0 = Instant::now();
-    let _coarse = max_multicommodity_flow(
-        &contraction.graph,
-        |_, e| e.payload.capacity_gbps,
-        &coarse_demand,
-        &cfg,
-    );
-    let coarse_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let (_coarse, coarse_ms) = timer::time_ms(|| {
+        max_multicommodity_flow(
+            &contraction.graph,
+            |_, e| e.payload.capacity_gbps,
+            &coarse_demand,
+            &cfg,
+        )
+    });
     let restricted: Vec<Vec<smn_topology::Path>> = demand
         .commodities
         .iter()

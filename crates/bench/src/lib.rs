@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod timer;
+
 use smn_telemetry::record::BandwidthRecord;
 use smn_telemetry::time::Ts;
 use smn_telemetry::traffic::{TrafficConfig, TrafficModel};

@@ -1,6 +1,6 @@
 //! Subcommand implementations for the `smn` CLI.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use smn_core::bwlogs::{TimeCoarsener, TopologyCoarsener};
 use smn_core::coarsen::Coarsening;
@@ -171,7 +171,7 @@ pub fn plan(args: &[String]) -> Result<(), String> {
     let p = generate_planetary(&PlanetaryConfig::small(7));
     let model = TrafficModel::new(&p.wan, TrafficConfig::default());
     let te_cfg = TeConfig { k_paths: 3, ..Default::default() };
-    let mut history: HashMap<EdgeId, Vec<f64>> = HashMap::new();
+    let mut history: BTreeMap<EdgeId, Vec<f64>> = BTreeMap::new();
     for week in 0..weeks {
         let log = model.generate(Ts::from_days(week * 7 + 2), TrafficModel::epochs_per_days(1));
         let demand = DemandMatrix::from_records(&log, Statistic::P95);
@@ -235,6 +235,55 @@ pub fn run(args: &[String]) -> Result<(), String> {
 pub fn cdg() -> Result<(), String> {
     let d = RedditDeployment::build();
     print!("{}", cdg_to_dot(&d.cdg, "simulated Reddit CDG"));
+    Ok(())
+}
+
+/// `smn lint` — run the workspace static-analysis pass (both engines).
+///
+/// Mirrors `cargo run -p smn-lint`: source rules over every workspace
+/// crate, artifact rules over `artifacts/` (or the dirs named with
+/// `--artifacts`). Fails on deny-level findings.
+pub fn lint(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut artifact_dirs: Vec<std::path::PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--artifacts" => match it.next() {
+                Some(dir) => artifact_dirs.push(std::path::PathBuf::from(dir)),
+                None => return Err("--artifacts needs a directory".to_string()),
+            },
+            other => return Err(format!("unknown flag '{other}' (expected --json/--artifacts)")),
+        }
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = smn_lint::find_workspace_root(&cwd)
+        .ok_or_else(|| "no workspace root found above the current directory".to_string())?;
+    let cfg = smn_lint::config::Config::load(&root)?;
+
+    if artifact_dirs.is_empty() {
+        let default_dir = root.join("artifacts");
+        if default_dir.is_dir() {
+            artifact_dirs.push(default_dir);
+        }
+    }
+
+    let mut report = smn_lint::run_source(&root, &cfg);
+    for dir in &artifact_dirs {
+        let dir = if dir.is_absolute() { dir.clone() } else { root.join(dir) };
+        report.merge(smn_lint::run_artifacts(&root, &dir));
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.failed() {
+        return Err("deny-level findings (see report above)".to_string());
+    }
     Ok(())
 }
 

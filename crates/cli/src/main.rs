@@ -7,6 +7,7 @@
 //! smn plan     [--weeks N]             run the capacity-planning pipeline
 //! smn run      [--days N]              continuous operation (all loops)
 //! smn cdg                              print the Reddit CDG as DOT
+//! smn lint [--json] [--artifacts DIR]  static analysis (source + artifacts)
 //! ```
 //!
 //! Argument parsing is intentionally dependency-free (two flags per
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         "plan" => commands::plan(rest),
         "run" => commands::run(rest),
         "cdg" => commands::cdg(),
+        "lint" => commands::lint(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -58,4 +60,5 @@ USAGE:
                                        cert)
   smn plan     [--weeks N]            capacity planning from simulated logs
   smn run      [--days N]             continuous operation (all loops)
-  smn cdg                             print the Reddit CDG as Graphviz DOT";
+  smn cdg                             print the Reddit CDG as Graphviz DOT
+  smn lint [--json] [--artifacts DIR] run smn-lint (source + artifact engines)";

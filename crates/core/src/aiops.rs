@@ -37,7 +37,7 @@ pub fn similar_incidents<'a>(
         .filter(|h| h.syndrome.len() == current.len())
         .map(|h| (h, cosine_similarity(&h.syndrome, current)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("similarities are finite"));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     scored.truncate(k);
     scored
 }

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+use smn_datalake::fault::LakeError;
 use smn_telemetry::record::BandwidthRecord;
 use smn_telemetry::series::{Statistic, SummaryStats};
 use smn_telemetry::sizing::BW_RECORD_BYTES;
@@ -66,23 +67,38 @@ pub fn encode_coarse_log(records: &[CoarseBwRecord]) -> bytes::Bytes {
 
 /// Decode a log encoded by [`encode_coarse_log`].
 ///
-/// # Panics
-/// Panics on a truncated buffer.
-pub fn decode_coarse_log(mut bytes: bytes::Bytes) -> Vec<CoarseBwRecord> {
+/// # Errors
+/// Returns [`LakeError::Corrupt`] on a truncated buffer; the lake's
+/// retry machinery treats that as persistent (retries cannot help).
+pub fn decode_coarse_log(mut bytes: bytes::Bytes) -> Result<Vec<CoarseBwRecord>, LakeError> {
     use bytes::Buf;
+    let corrupt =
+        |detail: String| LakeError::Corrupt { dataset: "wan/bandwidth-logs".into(), detail };
     let mut out = Vec::new();
     while bytes.has_remaining() {
-        assert!(bytes.remaining() >= 26, "truncated coarse log");
+        if bytes.remaining() < 26 {
+            return Err(corrupt(format!(
+                "truncated record header: {} byte(s) left, need 26",
+                bytes.remaining()
+            )));
+        }
         let window_start = Ts(bytes.get_u64());
         let window_secs = bytes.get_u64();
         let src = bytes.get_u32();
         let dst = bytes.get_u32();
         let n = bytes.get_u16() as usize;
-        assert!(bytes.remaining() >= n * 8, "truncated coarse log values");
+        if bytes.remaining() < n * 8 {
+            return Err(corrupt(format!(
+                "truncated values for record {}: {} byte(s) left, need {}",
+                out.len(),
+                bytes.remaining(),
+                n * 8
+            )));
+        }
         let values = (0..n).map(|_| bytes.get_f64()).collect();
         out.push(CoarseBwRecord { window_start, window_secs, src, dst, values });
     }
-    out
+    Ok(out)
 }
 
 /// Time-based coarsening: replace per-epoch rows with per-window summary
@@ -114,15 +130,17 @@ impl TimeCoarsener {
         }
         let mut out: Vec<CoarseBwRecord> = buckets
             .into_iter()
-            .map(|((w, src, dst), vals)| {
-                let stats = SummaryStats::of(&vals).expect("bucket is non-empty");
-                CoarseBwRecord {
+            .filter_map(|((w, src, dst), vals)| {
+                // Buckets are created on first push, so `vals` is never
+                // empty; an empty bucket simply yields no coarse record.
+                let stats = SummaryStats::of(&vals)?;
+                Some(CoarseBwRecord {
                     window_start: Ts(w * self.window_secs),
                     window_secs: self.window_secs,
                     src,
                     dst,
                     values: self.stats.iter().map(|&s| stats.get(s)).collect(),
-                }
+                })
             })
             .collect();
         out.sort_by_key(|r| (r.window_start, r.src, r.dst));
@@ -399,18 +417,19 @@ mod tests {
         let log = ramp_log(48);
         let coarse = TimeCoarsener::new(HOUR, vec![Statistic::Mean, Statistic::P95]).coarsen(&log);
         let wire = encode_coarse_log(&coarse);
-        let back = decode_coarse_log(wire);
+        let back = decode_coarse_log(wire).expect("roundtrip decodes");
         assert_eq!(coarse, back);
     }
 
     #[test]
-    #[should_panic(expected = "truncated")]
     fn coarse_log_decode_rejects_truncation() {
         let log = ramp_log(12);
         let coarse = TimeCoarsener::new(HOUR, vec![Statistic::Mean]).coarsen(&log);
         let mut wire = encode_coarse_log(&coarse);
         let cut = wire.split_to(wire.len() - 3);
-        decode_coarse_log(cut);
+        let err = decode_coarse_log(cut).expect_err("truncated log must not decode");
+        assert!(matches!(err, LakeError::Corrupt { .. }), "got {err}");
+        assert!(!err.is_transient(), "corruption is persistent, not retryable");
     }
 
     #[test]

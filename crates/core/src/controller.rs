@@ -28,7 +28,7 @@
 //! [`SmnController::restore`] snapshot loop state so a crashed controller
 //! resumes mid-campaign without double-emitting feedback.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
@@ -354,7 +354,12 @@ impl SmnController {
             return feedback;
         }
         let ex = Explainability::new(&self.cdg);
-        let best = ex.best_team(&syndrome).expect("non-quiet syndrome has a best team");
+        let Some(best) = ex.best_team(&syndrome) else {
+            // Only a quiet syndrome has no best team, and quiet returned
+            // above; treat a surprise here as "nothing to diagnose".
+            self.advance_cursor(end);
+            return feedback;
+        };
         let best_name = self.cdg.team(best).name.clone();
         let aggregated =
             alerts.as_deref().and_then(|a| aggregate_alerts(a, self.config.min_aggregation_teams));
@@ -399,7 +404,7 @@ impl SmnController {
     /// upgrades; `optical` answers fiber feasibility.
     pub fn planning_loop(
         &self,
-        history: &HashMap<EdgeId, Vec<f64>>,
+        history: &BTreeMap<EdgeId, Vec<f64>>,
         distance_km: impl Fn(EdgeId) -> f64,
         optical: &OpticalLayer,
     ) -> Vec<Feedback> {
@@ -469,7 +474,7 @@ impl SmnController {
             observed.len() as f64 / expected as f64
         };
         let threshold = self.config.planning_completeness_threshold;
-        let mut chosen = *Self::PLANNING_LADDER.last().expect("ladder non-empty");
+        let mut chosen = Self::PLANNING_LADDER[Self::PLANNING_LADDER.len() - 1];
         let mut completeness = completeness_at(chosen);
         for (i, &resolution) in Self::PLANNING_LADDER.iter().enumerate() {
             let c = completeness_at(resolution);
@@ -498,8 +503,8 @@ impl SmnController {
     pub fn utilization_history(
         window: &PlanningWindow,
         edge_of: impl Fn(u32, u32) -> Option<(EdgeId, f64)>,
-    ) -> HashMap<EdgeId, Vec<f64>> {
-        let mut history: HashMap<EdgeId, Vec<f64>> = HashMap::new();
+    ) -> BTreeMap<EdgeId, Vec<f64>> {
+        let mut history: BTreeMap<EdgeId, Vec<f64>> = BTreeMap::new();
         for r in &window.records {
             if let Some((edge, capacity_gbps)) = edge_of(r.src, r.dst) {
                 if capacity_gbps > 0.0 {
@@ -516,14 +521,13 @@ impl SmnController {
     /// modulated wavelengths down.
     pub fn reliability_loop(
         &self,
-        flap_counts: &HashMap<EdgeId, u32>,
+        flap_counts: &BTreeMap<EdgeId, u32>,
         optical: &OpticalLayer,
     ) -> Vec<Feedback> {
         let mut feedback = Vec::new();
         let mut flagged: Vec<WavelengthId> = Vec::new();
-        let mut links: Vec<(&EdgeId, &u32)> = flap_counts.iter().collect();
-        links.sort_by_key(|(e, _)| **e);
-        for (&link, &count) in links {
+        // BTreeMap iterates in EdgeId order; no defensive sort needed.
+        for (&link, &count) in flap_counts.iter() {
             if count < self.config.flap_threshold {
                 continue;
             }
@@ -593,8 +597,8 @@ pub fn flap_log_events(events: &[smn_topology::failures::FlapEvent]) -> Vec<LogE
 
 /// Recover per-link flap counts from flap log events (inverse of
 /// [`flap_log_events`]).
-pub fn flap_counts_from_logs(logs: &[LogEvent]) -> HashMap<EdgeId, u32> {
-    let mut counts: HashMap<EdgeId, u32> = HashMap::new();
+pub fn flap_counts_from_logs(logs: &[LogEvent]) -> BTreeMap<EdgeId, u32> {
+    let mut counts: BTreeMap<EdgeId, u32> = BTreeMap::new();
     for l in logs {
         if let Some(link) = l.component.strip_prefix("link-").and_then(|s| s.parse::<u32>().ok()) {
             if l.text.contains("flap") {
@@ -736,7 +740,7 @@ mod tests {
         let full = optical.add_span("full", 500.0, false, 0);
         optical.light_wavelength(vec![spare], Modulation::Qpsk, vec![0]);
         optical.light_wavelength(vec![full], Modulation::Qpsk, vec![1]);
-        let history: HashMap<EdgeId, Vec<f64>> =
+        let history: BTreeMap<EdgeId, Vec<f64>> =
             [(EdgeId(0), vec![0.9; 8]), (EdgeId(1), vec![0.9; 8])].into();
         let feedback = c.planning_loop(&history, |_| 1000.0, &optical);
         assert!(feedback
@@ -756,7 +760,7 @@ mod tests {
         let s2 = optical.add_span("cool", 700.0, false, 1);
         let hot = optical.light_wavelength(vec![s1], Modulation::Qam16, vec![0]);
         let _cool = optical.light_wavelength(vec![s2], Modulation::Qpsk, vec![1]);
-        let flaps: HashMap<EdgeId, u32> = [(EdgeId(0), 12), (EdgeId(1), 9)].into();
+        let flaps: BTreeMap<EdgeId, u32> = [(EdgeId(0), 12), (EdgeId(1), 9)].into();
         let feedback = c.reliability_loop(&flaps, &optical);
         assert_eq!(
             feedback,
@@ -770,7 +774,7 @@ mod tests {
         let mut optical = OpticalLayer::new();
         let s = optical.add_span("hot", 700.0, false, 1);
         optical.light_wavelength(vec![s], Modulation::Qam16, vec![0]);
-        let flaps: HashMap<EdgeId, u32> = [(EdgeId(0), 2)].into();
+        let flaps: BTreeMap<EdgeId, u32> = [(EdgeId(0), 2)].into();
         assert!(c.reliability_loop(&flaps, &optical).is_empty());
     }
 

@@ -9,7 +9,7 @@
 //! planning cadence runs TE to refresh utilization history and invokes the
 //! capacity planner. The run log is the audit trail an operator would see.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use smn_incident::faults::{generate_campaign, CampaignConfig};
@@ -141,7 +141,7 @@ impl<'a> SmnSimulation<'a> {
         );
         let mut next_fault = 0usize;
         let flap_events = simulate_flaps(&self.planetary.optical, cfg.days, cfg.flap_seed);
-        let mut utilization_history: HashMap<EdgeId, Vec<f64>> = HashMap::new();
+        let mut utilization_history: BTreeMap<EdgeId, Vec<f64>> = BTreeMap::new();
 
         for day in 0..cfg.days {
             let mut log = DayLog { day, ..Default::default() };
@@ -201,7 +201,7 @@ impl<'a> SmnSimulation<'a> {
                     |e| self.planetary.wan.graph.edge(e).payload.distance_km,
                     &self.planetary.optical,
                 );
-                let counts: HashMap<EdgeId, u32> = flap_counts(
+                let counts: BTreeMap<EdgeId, u32> = flap_counts(
                     &flap_events.iter().filter(|e| e.day <= day).cloned().collect::<Vec<_>>(),
                 )
                 .into_iter()

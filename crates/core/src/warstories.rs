@@ -6,7 +6,7 @@
 //! reports the difference. These back the `war_stories` example and the E6
 //! integration tests.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use smn_depgraph::syndrome::Explainability;
@@ -52,7 +52,7 @@ pub fn capacity_planning_in_the_dark() -> WarStoryReport {
 
     // Link 0: transient TE spike. Link 1: sustained but fiber-blocked.
     // Link 2: sustained and upgradeable (the only correct upgrade).
-    let history: HashMap<EdgeId, Vec<f64>> = [
+    let history: BTreeMap<EdgeId, Vec<f64>> = [
         (EdgeId(0), vec![0.3, 0.35, 0.3, 0.32, 0.3, 0.31, 0.3, 0.97]),
         (EdgeId(1), vec![0.9, 0.92, 0.91, 0.95, 0.9, 0.93, 0.9, 0.94]),
         (EdgeId(2), vec![0.85, 0.9, 0.88, 0.91, 0.9, 0.86, 0.9, 0.92]),
@@ -128,7 +128,7 @@ pub fn wavelength_modulation_and_resilience() -> WarStoryReport {
     );
     // Per-link flap counts, as the L3 team's monitoring would report them.
     let events = simulate_flaps(&optical, 90, 1);
-    let flaps: HashMap<EdgeId, u32> =
+    let flaps: BTreeMap<EdgeId, u32> =
         flap_counts(&events).into_iter().map(|(l, c)| (EdgeId(l as u32), c)).collect();
     let feedback = controller.reliability_loop(&flaps, &optical);
     let retuned = match feedback.as_slice() {

@@ -115,8 +115,10 @@ impl Catalog {
     }
 
     /// Serialize the whole catalog as JSON (the queryable export surface).
+    /// Serialization of plain data cannot fail; if it ever does, the error
+    /// is returned in-band rather than panicking the control plane.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("catalog serializes")
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
     }
 }
 

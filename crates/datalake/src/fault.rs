@@ -47,6 +47,14 @@ pub enum LakeError {
         /// Queries remaining before the breaker half-opens.
         cooldown_remaining: u64,
     },
+    /// The stored bytes are malformed: decoding a dataset's wire format
+    /// failed. Persistent: the data itself is damaged, retries cannot help.
+    Corrupt {
+        /// Dataset whose encoding failed to parse.
+        dataset: String,
+        /// What was wrong with the bytes.
+        detail: String,
+    },
 }
 
 impl LakeError {
@@ -68,6 +76,9 @@ impl fmt::Display for LakeError {
             }
             LakeError::CircuitOpen { cooldown_remaining } => {
                 write!(f, "circuit open: failing fast ({cooldown_remaining} queries to half-open)")
+            }
+            LakeError::Corrupt { dataset, detail } => {
+                write!(f, "dataset {dataset} corrupt: {detail}")
             }
         }
     }

@@ -7,22 +7,23 @@ use crate::fine::FineDepGraph;
 
 /// Render a CDG as a Graphviz digraph (Figure 3's team-level view).
 pub fn cdg_to_dot(cdg: &CoarseDepGraph, title: &str) -> String {
+    // `fmt::Write` into a String is infallible; discard the Ok results
+    // rather than panicking on an error that cannot happen.
     let mut out = String::new();
-    writeln!(out, "digraph \"{}\" {{", escape(title)).expect("write to String");
-    writeln!(out, "  rankdir=BT;").unwrap();
-    writeln!(out, "  node [shape=box, style=rounded];").unwrap();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  node [shape=box, style=rounded];");
     for (id, team) in cdg.graph.nodes() {
-        writeln!(
+        let _ = writeln!(
             out,
             "  n{} [label=\"{}\\n({} components)\"];",
             id.index(),
             escape(&team.name),
             team.component_count
-        )
-        .unwrap();
+        );
     }
     for (_, e) in cdg.graph.edges() {
-        writeln!(out, "  n{} -> n{};", e.src.index(), e.dst.index()).unwrap();
+        let _ = writeln!(out, "  n{} -> n{};", e.src.index(), e.dst.index());
     }
     out.push_str("}\n");
     out
@@ -31,19 +32,23 @@ pub fn cdg_to_dot(cdg: &CoarseDepGraph, title: &str) -> String {
 /// Render a fine-grained dependency graph as DOT, clustered by team.
 pub fn fine_to_dot(fine: &FineDepGraph, title: &str) -> String {
     let mut out = String::new();
-    writeln!(out, "digraph \"{}\" {{", escape(title)).unwrap();
-    writeln!(out, "  rankdir=BT;").unwrap();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "  rankdir=BT;");
     for (ti, team) in fine.teams().iter().enumerate() {
-        writeln!(out, "  subgraph cluster_{ti} {{").unwrap();
-        writeln!(out, "    label=\"{}\";", escape(team)).unwrap();
+        let _ = writeln!(out, "  subgraph cluster_{ti} {{");
+        let _ = writeln!(out, "    label=\"{}\";", escape(team));
         for id in fine.team_components(team) {
-            writeln!(out, "    n{} [label=\"{}\"];", id.index(), escape(&fine.component(id).name))
-                .unwrap();
+            let _ = writeln!(
+                out,
+                "    n{} [label=\"{}\"];",
+                id.index(),
+                escape(&fine.component(id).name)
+            );
         }
-        writeln!(out, "  }}").unwrap();
+        let _ = writeln!(out, "  }}");
     }
     for (_, e) in fine.graph.edges() {
-        writeln!(out, "  n{} -> n{};", e.src.index(), e.dst.index()).unwrap();
+        let _ = writeln!(out, "  n{} -> n{};", e.src.index(), e.dst.index());
     }
     out.push_str("}\n");
     out

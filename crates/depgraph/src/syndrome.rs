@@ -188,7 +188,7 @@ impl<'a> Explainability<'a> {
         }
         let v = self.explainability_vector(observed);
         let (best, _) = v.iter().enumerate().max_by(|(ia, a), (ib, b)| {
-            a.partial_cmp(b).expect("explainability is never NaN").then(ib.cmp(ia))
+            a.total_cmp(b).then(ib.cmp(ia))
             // prefer lower index on ties
         })?;
         Some(NodeId(best as u32))

@@ -194,7 +194,7 @@ impl RedditDeployment {
     /// # Panics
     /// Panics if the team is unknown.
     pub fn team_node(&self, team: &str) -> NodeId {
-        self.cdg.by_name(team).unwrap_or_else(|| panic!("unknown team {team}"))
+        self.cdg.by_name(team).unwrap_or_else(|| panic!("unknown team {team}")) // smn-lint: allow(panic/panic-macro) -- documented panicking lookup; callers pass the static TEAMS list
     }
 
     /// All component names of a team.

@@ -110,7 +110,12 @@ pub fn observe_campaign(d: &RedditDeployment, cfg: &EvalConfig) -> Vec<IncidentO
                 scope.spawn(move || fs.iter().map(|f| observe(d, f, &cfg.sim)).collect::<Vec<_>>())
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("observe panicked")).collect()
+        handles
+            .into_iter()
+            // A join error means a child observation thread panicked:
+            // propagate that panic rather than unwrapping a fresh one.
+            .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
     })
 }
 
@@ -140,8 +145,11 @@ pub fn evaluate(cfg: &EvalConfig) -> EvalResult {
     let (train, test) = split_observations(observations, cfg.test_frac, cfg.split_seed);
     let ex = Explainability::with_options(&d.cdg, cfg.propagation, cfg.similarity);
 
+    // Campaign faults always carry a deployment team; an unknown team
+    // (impossible for a generated campaign) scores as a guaranteed miss
+    // rather than panicking the evaluation.
     let truth: Vec<usize> =
-        test.iter().map(|o| team_index(&o.fault.team).expect("known team")).collect();
+        test.iter().map(|o| team_index(&o.fault.team).unwrap_or(usize::MAX)).collect();
 
     let scouts = ScoutsRouter::train(&d, &train, &cfg.forest);
     let scouts_pred = scouts.route(&d, &test);

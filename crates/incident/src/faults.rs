@@ -236,15 +236,17 @@ pub fn generate_campaign(d: &RedditDeployment, cfg: &CampaignConfig) -> Vec<Faul
     let mut i = 0usize;
     while out.len() < cfg.n_faults {
         let (kind, target, variant) = signatures[i % signatures.len()].clone();
+        i += 1;
         let id = out.len() as u64;
         // Severity: base by variant tier, jittered per fault.
         let tier = 0.55 + 0.1 * (variant as f64);
         let jitter = uniform01(mix(&[cfg.seed, id, kind as u64])) * 0.15;
         let severity = (tier + jitter).min(1.0);
-        let node = d.fine.by_name(&target).expect("target exists");
+        // Signatures are enumerated from the deployment, so the target
+        // resolves; a stale signature is skipped rather than panicking.
+        let Some(node) = d.fine.by_name(&target) else { continue };
         let team = d.fine.component(node).team.clone();
         out.push(FaultSpec { id, kind, target, variant, severity, team });
-        i += 1;
     }
     out
 }

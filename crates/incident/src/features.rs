@@ -51,7 +51,8 @@ pub struct TeamHealth {
 pub fn team_health(d: &RedditDeployment, obs: &IncidentObservation) -> Vec<TeamHealth> {
     let mut sums = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0usize); TEAMS.len()];
     for (node, comp) in d.fine.graph.nodes() {
-        let ti = team_index(&comp.team).expect("known team");
+        // A component outside the static TEAMS list contributes nothing.
+        let Some(ti) = team_index(&comp.team) else { continue };
         let o = &obs.components[node.index()];
         let s = &mut sums[ti];
         s.0 += o.error_dev;
@@ -199,7 +200,8 @@ pub fn build_dataset(
         if view == FeatureView::WithExplainability {
             row.extend(explainability_features(d, ex, obs));
         }
-        let label = team_index(&obs.fault.team).expect("known team");
+        // An observation blaming an unknown team has no label; skip it.
+        let Some(label) = team_index(&obs.fault.team) else { continue };
         data.push(row, label);
     }
     data
@@ -215,7 +217,6 @@ pub fn build_scouts_dataset(
     observations: &[IncidentObservation],
     team: &str,
 ) -> Dataset {
-    let ti = team_index(team).expect("known team");
     let names = vec![
         format!("{team}/mean_error_dev"),
         format!("{team}/max_error_dev"),
@@ -223,6 +224,8 @@ pub fn build_scouts_dataset(
         format!("{team}/local_alert_fraction"),
     ];
     let mut data = Dataset::new(2, names);
+    // An unknown team has no health column; its gate sees an empty dataset.
+    let Some(ti) = team_index(team) else { return data };
     for obs in observations {
         let h = team_health(d, obs)[ti];
         let row =

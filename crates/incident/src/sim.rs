@@ -195,7 +195,8 @@ pub fn propagate(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Ve
     let g = &d.fine.graph;
     let n = g.node_count();
     let mut intensity = vec![0.0f64; n];
-    let root = d.fine.by_name(&fault.target).expect("fault target exists");
+    // A fault targeting an unknown component injects nothing.
+    let Some(root) = d.fine.by_name(&fault.target) else { return intensity };
     intensity[root.index()] = fault.severity;
     let strength = fault.kind.propagation_strength();
     let gate_p = (cfg.gate_probability * fault.kind.gate_scale()).min(1.0);
@@ -277,7 +278,9 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
     let true_intensity = propagate(d, fault, cfg);
     let bp = backpressure(d, fault, cfg, &true_intensity);
     let n = true_intensity.len();
-    let root = d.fine.by_name(&fault.target).expect("fault target exists");
+    // Unknown target (never the case for generated campaigns): no
+    // component is the root, so nothing gets root visibility.
+    let root_index = d.fine.by_name(&fault.target).map_or(usize::MAX, |id| id.index());
     // Root observability: sampled once per incident from the kind's range.
     // Hard crashes export almost nothing from the dead component.
     let (vis_lo, vis_hi) =
@@ -299,15 +302,17 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
         .collect();
     let mut components = Vec::with_capacity(n);
     for i in 0..n {
-        let comp_team =
-            team_index(&d.fine.component(smn_topology::NodeId(i as u32)).team).expect("team");
-        let offset = team_offset[comp_team];
+        // Components outside the static TEAMS list carry no team offset and
+        // salt the per-team hashes with an out-of-range index.
+        let comp_team = team_index(&d.fine.component(smn_topology::NodeId(i as u32)).team)
+            .unwrap_or(usize::MAX);
+        let offset = team_offset.get(comp_team).copied().unwrap_or(0.0);
         let h = mix(&[cfg.seed, fault.id, 0x0b5e, i as u64]);
         // Per-component amplification scrambles the intensity ordering:
         // a victim can measure *worse* than the root (retry storms amplify
         // downstream symptoms).
         let amp = 0.75 + 0.6 * uniform01(mix(&[h, 1]));
-        let visibility = if i == root.index() { root_vis } else { 1.0 };
+        let visibility = if i == root_index { root_vis } else { 1.0 };
         // Back-pressure elevates continuous metrics but stays sub-alert.
         let pressure = (bp[i] * amp).min(cfg.alert_threshold * 0.65);
         let base = (true_intensity[i] * visibility * amp).max(pressure);
@@ -338,7 +343,7 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
         // dead component's metric exports are quiet. (Pages flow into the
         // centralized incident stream; they are not part of the per-team
         // health-metric dashboards the routers' raw features read.)
-        if i == root.index() && fault.kind.is_hard_crash() {
+        if i == root_index && fault.kind.is_hard_crash() {
             alerting = true;
         }
         // Team-local alert: same windowed deviation, but against the
@@ -351,7 +356,7 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
         let local_alerting = windowed > local_threshold;
         // Throughput collapse: near-total at a dead root, partial and
         // noisy at everything the fault touches.
-        let drop_factor = if i == root.index() {
+        let drop_factor = if i == root_index {
             if fault.kind.is_hard_crash() {
                 // The dead root's collapse is severe but sampled, not
                 // pegged: health checks still see residual cached traffic.
@@ -389,14 +394,18 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
 
     // Reachability probes. Cross-cluster probes traverse switch-1, the
     // firewall, and switch-2; intra-cluster probes stay on one switch.
-    let idx = |name: &str| d.fine.by_name(name).expect("network component exists").index();
+    // Unknown names (never the case for the static deployment) resolve to
+    // an out-of-range index, which `path_intensity` simply skips.
+    let idx = |name: &str| d.fine.by_name(name).map_or(usize::MAX, |id| id.index());
     let cross_path = [idx("switch-1"), idx("firewall-1"), idx("switch-2")];
-    let path_intensity =
-        |path: &[usize]| -> f64 { path.iter().map(|&i| true_intensity[i]).fold(0.0, f64::max) };
+    let path_intensity = |path: &[usize]| -> f64 {
+        path.iter().filter_map(|&i| true_intensity.get(i)).fold(0.0, |a, &v| a.max(v))
+    };
     let server_intensity = |names: &[String]| -> f64 {
         let sum: f64 = names
             .iter()
-            .map(|n| true_intensity[d.fine.by_name(n).expect("server exists").index()])
+            .filter_map(|n| d.fine.by_name(n))
+            .filter_map(|id| true_intensity.get(id.index()))
             .sum();
         sum / names.len() as f64
     };
@@ -431,8 +440,12 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
     let hops = {
         let mut hops = vec![u32::MAX; n];
         let mut queue = std::collections::VecDeque::new();
-        hops[root.index()] = 0;
-        queue.push_back(root);
+        // An unknown root (out-of-range index) seeds nothing: every hop
+        // count stays at u32::MAX and alert timing carries no signal.
+        if let Some(h) = hops.get_mut(root_index) {
+            *h = 0;
+            queue.push_back(smn_topology::NodeId(root_index as u32));
+        }
         while let Some(u) = queue.pop_front() {
             for v in d.fine.graph.predecessors(u) {
                 if hops[v.index()] == u32::MAX {
@@ -452,7 +465,7 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
         if !components[i].local_alerting {
             continue;
         }
-        let ti = team_index(&comp.team).expect("known team");
+        let Some(ti) = team_index(&comp.team) else { continue };
         let h = mix(&[cfg.seed, fault.id, 0x7173, i as u64]);
         let phase = 5.0 * uniform01(mix(&[cfg.seed, fault.id, 0x9a5e, ti as u64]));
         let t = if true_intensity[i] > 0.05 {
@@ -476,13 +489,15 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
     let mut team_alerting = vec![false; TEAMS.len()];
     for (node, comp) in d.fine.graph.nodes() {
         if components[node.index()].alerting {
-            team_alerting[team_index(&comp.team).expect("known team")] = true;
+            if let Some(ti) = team_index(&comp.team) {
+                team_alerting[ti] = true;
+            }
         }
     }
     // Syndrome is indexed by CDG node order; map team name order -> CDG id.
     let mut syndrome = Syndrome::zeros(d.cdg.len());
     for (ti, team) in TEAMS.iter().enumerate() {
-        let cdg_id = d.cdg.by_name(team).expect("team in CDG");
+        let Some(cdg_id) = d.cdg.by_name(team) else { continue };
         syndrome.0[cdg_id.index()] = team_alerting[ti] as u8 as f64;
     }
     // Probe failures are a symptom *of the network* as seen by monitoring:
@@ -490,8 +505,9 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
     // health metrics defined by respective individual teams" (§5) — and
     // war story 3 routes on exactly this signal.
     if cross_probe_failure > 0.25 || intra_probe_failure > 0.25 {
-        let net = d.cdg.by_name("network").expect("network team in CDG");
-        syndrome.0[net.index()] = 1.0;
+        if let Some(net) = d.cdg.by_name("network") {
+            syndrome.0[net.index()] = 1.0;
+        }
     }
 
     IncidentObservation {

@@ -1,0 +1,106 @@
+//! Regenerate the checked-in `artifacts/` corpus from the workspace's own
+//! types, so the artifact engine always validates real serialized state:
+//!
+//! ```console
+//! cargo run -p smn-lint --example gen_artifacts
+//! ```
+//!
+//! Emits four envelopes — the Reddit CDG, the small planetary topology
+//! with its optical underlay and SRLGs, the 560-fault campaign, and the
+//! by-region coarsening — into `<workspace>/artifacts/`.
+
+use serde::{Serialize, Value};
+
+fn envelope(kind: &str, fields: Vec<(&str, Value)>) -> Value {
+    let mut map: Vec<(String, Value)> = vec![("kind".to_string(), Value::Str(kind.to_string()))];
+    map.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Value::Map(map)
+}
+
+fn write(root: &std::path::Path, name: &str, v: &Value) -> Result<(), String> {
+    let path = root.join("artifacts").join(name);
+    let text = serde_json::to_string_pretty(v).map_err(|e| format!("serialize {name}: {e:?}"))?;
+    std::fs::write(&path, text + "\n").map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> Result<(), String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = smn_lint::find_workspace_root(&cwd)
+        .ok_or_else(|| "no workspace root above cwd".to_string())?;
+    std::fs::create_dir_all(root.join("artifacts"))
+        .map_err(|e| format!("create artifacts/: {e}"))?;
+
+    // 1. The Reddit CDG: fine dependency graph plus its coarse derivation.
+    let d = smn_incident::RedditDeployment::build();
+    write(
+        &root,
+        "reddit_cdg.json",
+        &envelope("cdg", vec![("fine", d.fine.to_value()), ("coarse", d.cdg.to_value())]),
+    )?;
+
+    // 2. The small planetary WAN with optical underlay and derived SRLGs.
+    let p = smn_topology::gen::generate_planetary(&smn_topology::gen::PlanetaryConfig::small(7));
+    let srlgs = smn_te::srlg::extract_srlgs(&p.optical);
+    write(
+        &root,
+        "planetary_small_topology.json",
+        &envelope(
+            "topology",
+            vec![
+                ("wan", p.wan.to_value()),
+                ("optical", p.optical.to_value()),
+                ("srlgs", srlgs.to_value()),
+            ],
+        ),
+    )?;
+
+    // 3. The 560-fault campaign over the Reddit deployment, with the
+    //    component ownership table the checker validates targets against.
+    let campaign = smn_incident::faults::generate_campaign(
+        &d,
+        &smn_incident::faults::CampaignConfig::default(),
+    );
+    let components: Vec<Value> = (0..d.fine.len())
+        .map(|i| {
+            let c = d.fine.component(smn_topology::NodeId(i as u32));
+            Value::Map(vec![
+                ("name".to_string(), Value::Str(c.name.clone())),
+                ("team".to_string(), Value::Str(c.team.clone())),
+            ])
+        })
+        .collect();
+    write(
+        &root,
+        "campaign_560.json",
+        &envelope(
+            "fault-campaign",
+            vec![("components", Value::Seq(components)), ("faults", campaign.to_value())],
+        ),
+    )?;
+
+    // 4. The by-region coarsening of the planetary WAN as a partition.
+    let contraction = p.wan.contract_by_region();
+    let node_map: Vec<Value> =
+        contraction.node_map.iter().map(|n| Value::U64(n.index() as u64)).collect();
+    let members: Vec<Value> = contraction
+        .members
+        .iter()
+        .map(|ms| Value::Seq(ms.iter().map(|n| Value::U64(n.index() as u64)).collect()))
+        .collect();
+    write(
+        &root,
+        "region_coarsening.json",
+        &envelope(
+            "coarsening",
+            vec![
+                ("fine_nodes", Value::U64(p.wan.dc_count() as u64)),
+                ("node_map", Value::Seq(node_map)),
+                ("members", Value::Seq(members)),
+            ],
+        ),
+    )?;
+
+    Ok(())
+}

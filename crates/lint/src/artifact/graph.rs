@@ -1,0 +1,218 @@
+//! Structural view over a serialized [`smn_topology::graph::DiGraph`].
+//!
+//! The wire shape (produced by the workspace serde derives) is
+//! `{"nodes": [{"payload": …, "out_edges": […], "in_edges": […]}, …],
+//!   "edges": [{"src": n, "dst": n, "payload": …}, …]}` and the name-indexed
+//! wrappers (`FineDepGraph`, `CoarseDepGraph`, `Wan`) add a
+//! `"name_index": [[name, id], …]` pair list. This module decodes that
+//! shape without validating it, then checks referential integrity: edge
+//! endpoints in range, adjacency lists consistent with the edge table, the
+//! name index bijective with the node table.
+
+use serde::Value;
+
+use super::locate::Step;
+use super::Checker;
+
+/// A decoded (but unvalidated) serialized graph.
+pub struct GraphView<'a> {
+    /// Node payload values, in id order.
+    pub payloads: Vec<&'a Value>,
+    /// Per node: (out edge ids, in edge ids) as serialized.
+    pub adjacency: Vec<(Vec<u64>, Vec<u64>)>,
+    /// Edge records `(src, dst, payload)`, in id order.
+    pub edges: Vec<(u64, u64, &'a Value)>,
+}
+
+fn u64_list(v: Option<&Value>) -> Option<Vec<u64>> {
+    match v? {
+        Value::Seq(items) => items
+            .iter()
+            .map(|x| match x {
+                Value::U64(n) => Some(*n),
+                Value::I64(n) if *n >= 0 => Some(*n as u64),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+fn u64_of(v: Option<&Value>) -> Option<u64> {
+    match v? {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+impl<'a> GraphView<'a> {
+    /// Decode a serialized `DiGraph` from the value at `base`; on a shape
+    /// mismatch, emit `artifact/unreadable` and return `None`.
+    pub fn decode(ck: &mut Checker<'_>, base: &[Step], v: &'a Value) -> Option<Self> {
+        let fail = |ck: &mut Checker<'_>, what: &str| {
+            ck.emit(
+                "artifact/unreadable",
+                base.to_vec(),
+                format!("not a serialized graph: {what}"),
+                "",
+            );
+            None::<Self>
+        };
+        let Some(Value::Seq(nodes)) = v.get("nodes") else {
+            return fail(ck, "missing `nodes` array");
+        };
+        let Some(Value::Seq(edges)) = v.get("edges") else {
+            return fail(ck, "missing `edges` array");
+        };
+        let mut payloads = Vec::with_capacity(nodes.len());
+        let mut adjacency = Vec::with_capacity(nodes.len());
+        for (i, n) in nodes.iter().enumerate() {
+            let (Some(p), Some(out), Some(inn)) =
+                (n.get("payload"), u64_list(n.get("out_edges")), u64_list(n.get("in_edges")))
+            else {
+                return fail(ck, &format!("node {i} lacks payload/out_edges/in_edges"));
+            };
+            payloads.push(p);
+            adjacency.push((out, inn));
+        }
+        let mut edge_recs = Vec::with_capacity(edges.len());
+        for (i, e) in edges.iter().enumerate() {
+            let (Some(src), Some(dst), Some(p)) =
+                (u64_of(e.get("src")), u64_of(e.get("dst")), e.get("payload"))
+            else {
+                return fail(ck, &format!("edge {i} lacks src/dst/payload"));
+            };
+            edge_recs.push((src, dst, p));
+        }
+        Some(Self { payloads, adjacency, edges: edge_recs })
+    }
+
+    /// Referential integrity: endpoints in range, adjacency lists pointing
+    /// at real edges with matching endpoints.
+    pub fn check_integrity(&self, ck: &mut Checker<'_>, base: &[Step]) {
+        let n = self.payloads.len() as u64;
+        let m = self.edges.len() as u64;
+        for (i, &(src, dst, _)) in self.edges.iter().enumerate() {
+            for (field, end) in [("src", src), ("dst", dst)] {
+                if end >= n {
+                    ck.emit(
+                        "artifact/dangling-edge",
+                        ck.path(base, &[Step::key("edges"), Step::Idx(i), Step::key(field)]),
+                        format!("edge {i} {field} references node {end}, but only {n} nodes exist"),
+                        "every edge endpoint must name an existing node",
+                    );
+                }
+            }
+        }
+        for (i, (out, inn)) in self.adjacency.iter().enumerate() {
+            for (field, list, pick) in [("out_edges", out, 0usize), ("in_edges", inn, 1usize)] {
+                for (j, &eid) in list.iter().enumerate() {
+                    let path = ck.path(
+                        base,
+                        &[Step::key("nodes"), Step::Idx(i), Step::key(field), Step::Idx(j)],
+                    );
+                    if eid >= m {
+                        ck.emit(
+                            "artifact/dangling-edge",
+                            path,
+                            format!(
+                                "node {i} {field} references edge {eid}, but only {m} edges exist"
+                            ),
+                            "",
+                        );
+                        continue;
+                    }
+                    let endpoint = if pick == 0 {
+                        self.edges[eid as usize].0
+                    } else {
+                        self.edges[eid as usize].1
+                    };
+                    if endpoint != i as u64 {
+                        ck.emit(
+                            "artifact/dangling-edge",
+                            path,
+                            format!(
+                                "node {i} {field} lists edge {eid}, whose endpoint is node {endpoint}"
+                            ),
+                            "adjacency lists must agree with the edge table",
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Payload field `name` of node `id`, when it is a string.
+    pub fn node_name(&self, id: usize) -> Option<&'a str> {
+        match self.payloads.get(id)?.get("name")? {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Check a `name_index` pair list against the node table: every entry
+    /// must point at a node of that exact name, every named node must be
+    /// indexed, and names must be unique. `base` addresses the serialized
+    /// graph (`…/graph`); `wrapper` addresses its parent object, where the
+    /// `name_index` key lives.
+    pub fn check_name_index(
+        &self,
+        ck: &mut Checker<'_>,
+        base: &[Step],
+        wrapper: &[Step],
+        index: Option<&Value>,
+    ) {
+        // Duplicate payload names are a defect independent of the index.
+        let mut seen: Vec<&str> = Vec::new();
+        for i in 0..self.payloads.len() {
+            let Some(name) = self.node_name(i) else { continue };
+            if seen.contains(&name) {
+                ck.emit(
+                    "artifact/duplicate-id",
+                    ck.path(base, &[Step::key("nodes"), Step::Idx(i), Step::key("payload")]),
+                    format!("duplicate name `{name}` (node {i})"),
+                    "names key cross-artifact references and must be unique",
+                );
+            }
+            seen.push(name);
+        }
+        let Some(Value::Seq(entries)) = index else { return };
+        let mut indexed: Vec<&str> = Vec::new();
+        for (i, entry) in entries.iter().enumerate() {
+            let pair = match entry {
+                Value::Seq(p) if p.len() == 2 => p,
+                _ => continue,
+            };
+            let (Value::Str(name), Some(id)) = (&pair[0], u64_of(Some(&pair[1]))) else {
+                continue;
+            };
+            indexed.push(name.as_str());
+            let actual = self.node_name(id as usize);
+            if actual != Some(name.as_str()) {
+                ck.emit(
+                    "artifact/name-index",
+                    ck.path(wrapper, &[Step::key("name_index"), Step::Idx(i)]),
+                    match actual {
+                        Some(other) => format!(
+                            "name index maps `{name}` to node {id}, which is named `{other}`"
+                        ),
+                        None => format!("name index maps `{name}` to nonexistent node {id}"),
+                    },
+                    "rebuild the index from the node table",
+                );
+            }
+        }
+        for i in 0..self.payloads.len() {
+            let Some(name) = self.node_name(i) else { continue };
+            if !indexed.contains(&name) {
+                ck.emit(
+                    "artifact/name-index",
+                    ck.path(base, &[Step::key("nodes"), Step::Idx(i), Step::key("payload")]),
+                    format!("node {i} `{name}` is missing from the name index"),
+                    "rebuild the index from the node table",
+                );
+            }
+        }
+    }
+}

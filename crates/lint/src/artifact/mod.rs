@@ -1,0 +1,816 @@
+//! The artifact engine: static validation of serialized SMN artifacts.
+//!
+//! Artifacts are JSON envelopes dispatched on a top-level `"kind"`:
+//!
+//! - `"cdg"` — `{kind, fine: FineDepGraph, coarse?: CoarseDepGraph}`.
+//!   Referential integrity of both graphs, name-index consistency,
+//!   L1→L3→L7 layer-order on hosting edges, team-ownership consistency
+//!   between the fine components and their coarse supernodes.
+//! - `"topology"` — `{kind, wan: Wan, optical?: OpticalLayer, srlgs?: [Srlg]}`.
+//!   Graph integrity, link-attribute sanity, wavelength span references,
+//!   SRLG membership pointing at real links that really ride the span.
+//! - `"fault-campaign"` — `{kind, components: [{name, team}], faults: [FaultSpec]}`.
+//!   Target/team consistency, severity ranges, unique ids, and taxonomy
+//!   coverage of every [`FaultKind::ALL`] member.
+//! - `"coarsening"` — `{kind, fine_nodes, node_map, members}`.
+//!   The partition must be total, disjoint, in-range, with no empty
+//!   supernode and a node_map that agrees with the member lists.
+//!
+//! Every check first gates through the *real* workspace serde types
+//! ([`FineDepGraph`], [`Wan`], [`Srlg`], [`FaultSpec`], …) so the checker
+//! can never drift from the wire format the code actually produces; the
+//! structural walks then run on the raw [`Value`] tree, where private
+//! fields like `name_index` are still visible. Spans come from re-walking
+//! the source text with [`locate`], since the vendored JSON parser keeps
+//! no spans.
+
+pub mod graph;
+pub mod locate;
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize, Value};
+use smn_depgraph::coarse::CoarseDepGraph;
+use smn_depgraph::fine::FineDepGraph;
+use smn_incident::faults::{FaultKind, FaultSpec};
+use smn_te::srlg::Srlg;
+use smn_topology::layer1::OpticalLayer;
+use smn_topology::layer3::Wan;
+
+use crate::diag::{Diagnostic, Level};
+use graph::GraphView;
+use locate::{locate, render_path, Step};
+
+/// Shared emit context for one artifact file.
+pub struct Checker<'a> {
+    file: &'a str,
+    src: &'a str,
+    /// Findings accumulated so far.
+    pub findings: Vec<Diagnostic>,
+}
+
+impl<'a> Checker<'a> {
+    /// Concatenate a base path with a tail.
+    pub fn path(&self, base: &[Step], tail: &[Step]) -> Vec<Step> {
+        base.iter().chain(tail.iter()).cloned().collect()
+    }
+
+    /// Emit a deny finding at the location of `path` in the source text
+    /// (file-level span when the path cannot be located).
+    pub fn emit(&mut self, rule: &str, path: Vec<Step>, message: impl Into<String>, note: &str) {
+        let (line, col) = locate(self.src, &path).unwrap_or((0, 0));
+        let message = if path.is_empty() {
+            message.into()
+        } else {
+            format!("{} [{}]", message.into(), render_path(&path))
+        };
+        let mut d = Diagnostic::new(rule, Level::Deny, self.file, line, col, message);
+        if !note.is_empty() {
+            d = d.with_note(note);
+        }
+        self.findings.push(d);
+    }
+}
+
+/// Check every `*.json` under `dir` (recursively, in sorted order),
+/// reporting paths relative to `root`. Returns the findings and the number
+/// of artifact files checked.
+pub fn check_dir(root: &Path, dir: &Path) -> (Vec<Diagnostic>, usize) {
+    let mut files = Vec::new();
+    collect_json(dir, &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        match std::fs::read_to_string(path) {
+            Ok(src) => findings.extend(check_str(&rel, &src)),
+            Err(e) => findings.push(Diagnostic::new(
+                "artifact/unreadable",
+                Level::Deny,
+                &rel,
+                0,
+                0,
+                format!("cannot read artifact: {e}"),
+            )),
+        }
+    }
+    (findings, files.len())
+}
+
+fn collect_json(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_json(&path, out);
+        } else if path.extension().is_some_and(|e| e == "json") {
+            out.push(path);
+        }
+    }
+}
+
+/// Check one artifact given its workspace-relative name and source text.
+pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
+    let mut ck = Checker { file, src, findings: Vec::new() };
+    match serde_json::from_str::<Value>(src) {
+        Err(e) => {
+            ck.emit("artifact/unreadable", vec![], format!("invalid JSON: {e}"), "");
+        }
+        Ok(v) => match v.get("kind") {
+            Some(Value::Str(kind)) => match kind.as_str() {
+                "cdg" => check_cdg(&mut ck, &v),
+                "topology" => check_topology(&mut ck, &v),
+                "fault-campaign" => check_campaign(&mut ck, &v),
+                "coarsening" => check_coarsening(&mut ck, &v),
+                other => ck.emit(
+                    "artifact/unknown-kind",
+                    vec![Step::key("kind")],
+                    format!("unknown artifact kind `{other}`"),
+                    "expected one of: cdg, topology, fault-campaign, coarsening",
+                ),
+            },
+            _ => ck.emit(
+                "artifact/unknown-kind",
+                vec![],
+                "artifact envelope lacks a string `kind` field",
+                "expected one of: cdg, topology, fault-campaign, coarsening",
+            ),
+        },
+    }
+    ck.findings
+}
+
+/// Present-and-non-null accessor for optional envelope members.
+fn optional<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    match v.get(key) {
+        None | Some(Value::Null) => None,
+        Some(x) => Some(x),
+    }
+}
+
+fn f64_of(v: Option<&Value>) -> Option<f64> {
+    match v? {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        // The vendored serde encodes non-finite floats as strings.
+        Value::Str(s) => match s.as_str() {
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            "nan" => Some(f64::NAN),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn str_of(v: Option<&Value>) -> Option<&str> {
+    match v? {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn u64_seq(v: Option<&Value>) -> Vec<u64> {
+    match v {
+        Some(Value::Seq(items)) => items
+            .iter()
+            .filter_map(|x| match x {
+                Value::U64(n) => Some(*n),
+                Value::I64(n) if *n >= 0 => Some(*n as u64),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------- cdg ----
+
+/// L1→L7 stack order; hosting must point *down* the stack (a component on
+/// a higher layer is hosted by one on a strictly lower layer). Monitoring
+/// sits above everything it observes.
+fn layer_rank(payload: &Value) -> Option<u32> {
+    match str_of(payload.get("layer"))? {
+        "Physical" => Some(0),
+        "Network" => Some(1),
+        "Infrastructure" => Some(2),
+        "Platform" => Some(3),
+        "Application" => Some(4),
+        "Monitoring" => Some(5),
+        _ => None,
+    }
+}
+
+fn check_cdg(ck: &mut Checker<'_>, v: &Value) {
+    let Some(fine_v) = optional(v, "fine") else {
+        ck.emit("artifact/unreadable", vec![], "cdg artifact lacks `fine`", "");
+        return;
+    };
+    if let Err(e) = FineDepGraph::from_value(fine_v) {
+        ck.emit(
+            "artifact/unreadable",
+            vec![Step::key("fine")],
+            format!("does not deserialize as a FineDepGraph: {e}"),
+            "",
+        );
+        return;
+    }
+    let base = [Step::key("fine"), Step::key("graph")];
+    let Some(graph_v) = fine_v.get("graph") else { return };
+    let Some(fine) = GraphView::decode(ck, &base, graph_v) else { return };
+    fine.check_integrity(ck, &base);
+    fine.check_name_index(ck, &base, &[Step::key("fine")], fine_v.get("name_index"));
+
+    // Layer-order: every Hosting edge `src depends-on dst` must have the
+    // host (dst) on a strictly lower layer than the hosted component.
+    for (i, &(src, dst, payload)) in fine.edges.iter().enumerate() {
+        if str_of(Some(payload)) != Some("Hosting") {
+            continue;
+        }
+        let ranks = (
+            fine.payloads.get(src as usize).and_then(|p| layer_rank(p)),
+            fine.payloads.get(dst as usize).and_then(|p| layer_rank(p)),
+        );
+        if let (Some(rs), Some(rd)) = ranks {
+            if rs <= rd {
+                let sn = fine.node_name(src as usize).unwrap_or("?");
+                let dn = fine.node_name(dst as usize).unwrap_or("?");
+                ck.emit(
+                    "artifact/layer-order",
+                    ck.path(&base, &[Step::key("edges"), Step::Idx(i)]),
+                    format!(
+                        "hosting edge `{sn}` -> `{dn}` does not descend the stack \
+                         (host must sit on a strictly lower layer)"
+                    ),
+                    "L1->L3->L7 consistency: Physical < Network < Infrastructure \
+                     < Platform < Application < Monitoring",
+                );
+            }
+        }
+    }
+
+    // Every component must carry a team (the L7 coarsening key).
+    let mut fine_team_sizes: Vec<(String, usize)> = Vec::new();
+    for (i, payload) in fine.payloads.iter().enumerate() {
+        let team = str_of(payload.get("team")).unwrap_or("");
+        if team.is_empty() {
+            let name = fine.node_name(i).unwrap_or("?");
+            ck.emit(
+                "artifact/missing-team",
+                ck.path(&base, &[Step::key("nodes"), Step::Idx(i), Step::key("payload")]),
+                format!("component `{name}` has no owning team"),
+                "teams are the coarsening partition; an unowned component cannot be coarsened",
+            );
+            continue;
+        }
+        match fine_team_sizes.iter_mut().find(|(t, _)| t == team) {
+            Some((_, n)) => *n += 1,
+            None => fine_team_sizes.push((team.to_string(), 1)),
+        }
+    }
+
+    let Some(coarse_v) = optional(v, "coarse") else { return };
+    if let Err(e) = CoarseDepGraph::from_value(coarse_v) {
+        ck.emit(
+            "artifact/unreadable",
+            vec![Step::key("coarse")],
+            format!("does not deserialize as a CoarseDepGraph: {e}"),
+            "",
+        );
+        return;
+    }
+    let cbase = [Step::key("coarse"), Step::key("graph")];
+    let Some(cgraph_v) = coarse_v.get("graph") else { return };
+    let Some(coarse) = GraphView::decode(ck, &cbase, cgraph_v) else { return };
+    coarse.check_integrity(ck, &cbase);
+    coarse.check_name_index(ck, &cbase, &[Step::key("coarse")], coarse_v.get("name_index"));
+
+    // L7 mapping consistency: every fine team appears as a coarse node and
+    // a recorded component_count matches the fine population.
+    for (team, fine_count) in &fine_team_sizes {
+        let Some(ci) = (0..coarse.payloads.len()).find(|&i| coarse.node_name(i) == Some(team))
+        else {
+            ck.emit(
+                "artifact/missing-team",
+                vec![Step::key("coarse")],
+                format!("team `{team}` owns {fine_count} fine component(s) but has no coarse node"),
+                "the coarse graph must cover every team in the fine graph",
+            );
+            continue;
+        };
+        let recorded = f64_of(coarse.payloads[ci].get("component_count"));
+        if let Some(rec) = recorded {
+            if rec > 0.0 && rec != *fine_count as f64 {
+                ck.emit(
+                    "artifact/team-count",
+                    ck.path(
+                        &cbase,
+                        &[
+                            Step::key("nodes"),
+                            Step::Idx(ci),
+                            Step::key("payload"),
+                            Step::key("component_count"),
+                        ],
+                    ),
+                    format!(
+                        "coarse node `{team}` records {rec} component(s), \
+                         but the fine graph has {fine_count}"
+                    ),
+                    "",
+                );
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- topology ----
+
+fn check_topology(ck: &mut Checker<'_>, v: &Value) {
+    let Some(wan_v) = optional(v, "wan") else {
+        ck.emit("artifact/unreadable", vec![], "topology artifact lacks `wan`", "");
+        return;
+    };
+    if let Err(e) = Wan::from_value(wan_v) {
+        ck.emit(
+            "artifact/unreadable",
+            vec![Step::key("wan")],
+            format!("does not deserialize as a Wan: {e}"),
+            "",
+        );
+        return;
+    }
+    let base = [Step::key("wan"), Step::key("graph")];
+    let Some(graph_v) = wan_v.get("graph") else { return };
+    let Some(wan) = GraphView::decode(ck, &base, graph_v) else { return };
+    wan.check_integrity(ck, &base);
+    wan.check_name_index(ck, &base, &[Step::key("wan")], wan_v.get("name_index"));
+
+    for (i, &(_, _, attrs)) in wan.edges.iter().enumerate() {
+        let capacity = f64_of(attrs.get("capacity_gbps"));
+        if !capacity.is_some_and(|c| c.is_finite() && c > 0.0) {
+            ck.emit(
+                "artifact/invalid-attr",
+                ck.path(
+                    &base,
+                    &[
+                        Step::key("edges"),
+                        Step::Idx(i),
+                        Step::key("payload"),
+                        Step::key("capacity_gbps"),
+                    ],
+                ),
+                format!("link {i} capacity must be finite and positive, got {capacity:?}"),
+                "",
+            );
+        }
+        let distance = f64_of(attrs.get("distance_km"));
+        if !distance.is_some_and(|d| d.is_finite() && d >= 0.0) {
+            ck.emit(
+                "artifact/invalid-attr",
+                ck.path(
+                    &base,
+                    &[
+                        Step::key("edges"),
+                        Step::Idx(i),
+                        Step::key("payload"),
+                        Step::key("distance_km"),
+                    ],
+                ),
+                format!("link {i} distance must be finite and non-negative, got {distance:?}"),
+                "",
+            );
+        }
+    }
+    let link_count = wan.edges.len() as u64;
+
+    // Optical layer: wavelengths reference real spans; the carries table
+    // maps each wavelength to real L3 links.
+    let optical_v = optional(v, "optical");
+    let mut span_count = None;
+    let mut wavelength_spans: Vec<Vec<u64>> = Vec::new();
+    let mut carries: Vec<Vec<u64>> = Vec::new();
+    if let Some(optical_v) = optical_v {
+        if let Err(e) = OpticalLayer::from_value(optical_v) {
+            ck.emit(
+                "artifact/unreadable",
+                vec![Step::key("optical")],
+                format!("does not deserialize as an OpticalLayer: {e}"),
+                "",
+            );
+            return;
+        }
+        let spans = match optical_v.get("spans") {
+            Some(Value::Seq(s)) => s.len() as u64,
+            _ => 0,
+        };
+        span_count = Some(spans);
+        if let Some(Value::Seq(wls)) = optical_v.get("wavelengths") {
+            for (i, wl) in wls.iter().enumerate() {
+                let refs = u64_seq(wl.get("spans"));
+                for (j, &sid) in refs.iter().enumerate() {
+                    if sid >= spans {
+                        ck.emit(
+                            "artifact/unknown-span",
+                            vec![
+                                Step::key("optical"),
+                                Step::key("wavelengths"),
+                                Step::Idx(i),
+                                Step::key("spans"),
+                                Step::Idx(j),
+                            ],
+                            format!(
+                                "wavelength {i} rides span {sid}, but only {spans} spans exist"
+                            ),
+                            "",
+                        );
+                    }
+                }
+                wavelength_spans.push(refs);
+            }
+        }
+        if let Some(Value::Seq(rows)) = optical_v.get("carries") {
+            for (i, row) in rows.iter().enumerate() {
+                let refs = u64_seq(Some(row));
+                for (j, &lid) in refs.iter().enumerate() {
+                    if lid >= link_count {
+                        ck.emit(
+                            "artifact/dangling-link-ref",
+                            vec![
+                                Step::key("optical"),
+                                Step::key("carries"),
+                                Step::Idx(i),
+                                Step::Idx(j),
+                            ],
+                            format!(
+                                "wavelength {i} carries link {lid}, \
+                                 but the WAN has only {link_count} links"
+                            ),
+                            "",
+                        );
+                    }
+                }
+                carries.push(refs);
+            }
+        }
+    }
+
+    // SRLGs: groups of L3 links sharing one physical span.
+    let Some(srlgs_v) = optional(v, "srlgs") else { return };
+    let Value::Seq(srlgs) = srlgs_v else {
+        ck.emit("artifact/unreadable", vec![Step::key("srlgs")], "`srlgs` is not an array", "");
+        return;
+    };
+    for (i, srlg_v) in srlgs.iter().enumerate() {
+        if let Err(e) = Srlg::from_value(srlg_v) {
+            ck.emit(
+                "artifact/unreadable",
+                vec![Step::key("srlgs"), Step::Idx(i)],
+                format!("does not deserialize as an Srlg: {e}"),
+                "",
+            );
+            continue;
+        }
+        let span = f64_of(srlg_v.get("span")).unwrap_or(-1.0) as i64;
+        if let Some(spans) = span_count {
+            if span < 0 || span as u64 >= spans {
+                ck.emit(
+                    "artifact/unknown-span",
+                    vec![Step::key("srlgs"), Step::Idx(i), Step::key("span")],
+                    format!("SRLG {i} names span {span}, but only {spans} spans exist"),
+                    "",
+                );
+                continue;
+            }
+        }
+        let links = u64_seq(srlg_v.get("links"));
+        if links.len() < 2 {
+            ck.emit(
+                "artifact/srlg-too-small",
+                vec![Step::key("srlgs"), Step::Idx(i), Step::key("links")],
+                format!("SRLG {i} groups {} link(s); a risk group needs at least 2", links.len()),
+                "single-link groups carry no shared-risk information",
+            );
+        }
+        // Which links actually ride this span, per the optical carries map.
+        let riders: Option<Vec<u64>> = span_count.map(|_| {
+            let mut out = Vec::new();
+            for (w, wspans) in wavelength_spans.iter().enumerate() {
+                if wspans.contains(&(span as u64)) {
+                    if let Some(row) = carries.get(w) {
+                        out.extend(row.iter().copied());
+                    }
+                }
+            }
+            out
+        });
+        for (j, &lid) in links.iter().enumerate() {
+            if lid >= link_count {
+                ck.emit(
+                    "artifact/dangling-link-ref",
+                    vec![Step::key("srlgs"), Step::Idx(i), Step::key("links"), Step::Idx(j)],
+                    format!("SRLG {i} lists link {lid}, but the WAN has only {link_count} links"),
+                    "",
+                );
+            } else if let Some(riders) = &riders {
+                if !riders.contains(&lid) {
+                    ck.emit(
+                        "artifact/orphan-srlg",
+                        vec![Step::key("srlgs"), Step::Idx(i), Step::key("links"), Step::Idx(j)],
+                        format!(
+                            "SRLG {i} claims link {lid} rides span {span}, \
+                             but no wavelength over that span carries it"
+                        ),
+                        "SRLG membership must be derivable from the optical carries map",
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------- fault campaign ----
+
+fn kind_name(k: FaultKind) -> String {
+    match k.to_value() {
+        Value::Str(s) => s,
+        other => format!("{other:?}"),
+    }
+}
+
+fn check_campaign(ck: &mut Checker<'_>, v: &Value) {
+    let Some(Value::Seq(components)) = v.get("components") else {
+        ck.emit("artifact/unreadable", vec![], "campaign lacks a `components` array", "");
+        return;
+    };
+    // name -> team, for target/ownership checks.
+    let mut owners: Vec<(&str, &str)> = Vec::new();
+    for (i, c) in components.iter().enumerate() {
+        let (Some(name), Some(team)) = (str_of(c.get("name")), str_of(c.get("team"))) else {
+            ck.emit(
+                "artifact/unreadable",
+                vec![Step::key("components"), Step::Idx(i)],
+                format!("component {i} lacks string `name`/`team`"),
+                "",
+            );
+            continue;
+        };
+        if owners.iter().any(|&(n, _)| n == name) {
+            ck.emit(
+                "artifact/duplicate-id",
+                vec![Step::key("components"), Step::Idx(i), Step::key("name")],
+                format!("duplicate component name `{name}`"),
+                "",
+            );
+        }
+        owners.push((name, team));
+    }
+
+    let Some(Value::Seq(faults)) = v.get("faults") else {
+        ck.emit("artifact/unreadable", vec![], "campaign lacks a `faults` array", "");
+        return;
+    };
+    let mut seen_ids: Vec<u64> = Vec::new();
+    let mut seen_kinds: Vec<FaultKind> = Vec::new();
+    for (i, f_v) in faults.iter().enumerate() {
+        let fault = match FaultSpec::from_value(f_v) {
+            Ok(f) => f,
+            Err(e) => {
+                ck.emit(
+                    "artifact/unreadable",
+                    vec![Step::key("faults"), Step::Idx(i)],
+                    format!("does not deserialize as a FaultSpec: {e}"),
+                    "",
+                );
+                continue;
+            }
+        };
+        if seen_ids.contains(&fault.id) {
+            ck.emit(
+                "artifact/duplicate-id",
+                vec![Step::key("faults"), Step::Idx(i), Step::key("id")],
+                format!("duplicate fault id {}", fault.id),
+                "fault ids key ground-truth labels and must be campaign-unique",
+            );
+        }
+        seen_ids.push(fault.id);
+        if !seen_kinds.contains(&fault.kind) {
+            seen_kinds.push(fault.kind);
+        }
+        if !(fault.severity.is_finite() && fault.severity > 0.0 && fault.severity <= 1.0) {
+            ck.emit(
+                "artifact/invalid-severity",
+                vec![Step::key("faults"), Step::Idx(i), Step::key("severity")],
+                format!("fault {} severity {} is outside (0, 1]", fault.id, fault.severity),
+                "",
+            );
+        }
+        match owners.iter().find(|&&(n, _)| n == fault.target) {
+            None => {
+                ck.emit(
+                    "artifact/unknown-target",
+                    vec![Step::key("faults"), Step::Idx(i), Step::key("target")],
+                    format!(
+                        "fault {} targets `{}`, not a declared component",
+                        fault.id, fault.target
+                    ),
+                    "",
+                );
+            }
+            Some(&(_, team)) if team != fault.team => {
+                ck.emit(
+                    "artifact/wrong-team",
+                    vec![Step::key("faults"), Step::Idx(i), Step::key("team")],
+                    format!(
+                        "fault {} blames team `{}`, but `{}` is owned by `{team}`",
+                        fault.id, fault.team, fault.target
+                    ),
+                    "the ground-truth team must be the owner of the target component",
+                );
+            }
+            Some(_) => {}
+        }
+    }
+
+    let missing: Vec<String> =
+        FaultKind::ALL.iter().filter(|k| !seen_kinds.contains(k)).map(|&k| kind_name(k)).collect();
+    if !missing.is_empty() && !faults.is_empty() {
+        ck.emit(
+            "artifact/taxonomy-gap",
+            vec![Step::key("faults")],
+            format!("campaign exercises no fault of kind(s): {}", missing.join(", ")),
+            "a campaign must cover the full fault taxonomy (FaultKind::ALL)",
+        );
+    }
+}
+
+// --------------------------------------------------------- coarsening ----
+
+/// The serialized shape of a coarsening partition (mirrors
+/// `smn_topology::graph::Contraction` minus the coarse graph itself, which
+/// does not serialize its payload-generic form).
+#[derive(Deserialize)]
+struct CoarseningSpec {
+    fine_nodes: usize,
+    node_map: Vec<usize>,
+    members: Vec<Vec<usize>>,
+}
+
+fn check_coarsening(ck: &mut Checker<'_>, v: &Value) {
+    let spec = match CoarseningSpec::from_value(v) {
+        Ok(s) => s,
+        Err(e) => {
+            ck.emit(
+                "artifact/unreadable",
+                vec![],
+                format!("does not deserialize as a coarsening spec: {e}"),
+                "expected {kind, fine_nodes, node_map, members}",
+            );
+            return;
+        }
+    };
+
+    // Owner of each fine node per the member lists; usize::MAX = unassigned.
+    let mut owner = vec![usize::MAX; spec.fine_nodes];
+    for (s, group) in spec.members.iter().enumerate() {
+        if group.is_empty() {
+            ck.emit(
+                "artifact/empty-supernode",
+                vec![Step::key("members"), Step::Idx(s)],
+                format!("supernode {s} has no members"),
+                "every coarse node must absorb at least one fine node",
+            );
+        }
+        for (j, &node) in group.iter().enumerate() {
+            if node >= spec.fine_nodes {
+                ck.emit(
+                    "artifact/dangling-node",
+                    vec![Step::key("members"), Step::Idx(s), Step::Idx(j)],
+                    format!(
+                        "supernode {s} lists fine node {node}, \
+                         but only {} fine nodes exist",
+                        spec.fine_nodes
+                    ),
+                    "",
+                );
+            } else if owner[node] != usize::MAX {
+                ck.emit(
+                    "artifact/overlapping-partition",
+                    vec![Step::key("members"), Step::Idx(s), Step::Idx(j)],
+                    format!("fine node {node} belongs to supernodes {} and {s}", owner[node]),
+                    "a coarsening is a partition: member lists must be disjoint",
+                );
+            } else {
+                owner[node] = s;
+            }
+        }
+    }
+
+    let unassigned: Vec<usize> = (0..spec.fine_nodes).filter(|&n| owner[n] == usize::MAX).collect();
+    if !unassigned.is_empty() {
+        let shown: Vec<String> = unassigned.iter().take(8).map(usize::to_string).collect();
+        ck.emit(
+            "artifact/partition-not-total",
+            vec![Step::key("members")],
+            format!(
+                "{} of {} fine node(s) belong to no supernode: {}{}",
+                unassigned.len(),
+                spec.fine_nodes,
+                shown.join(", "),
+                if unassigned.len() > 8 { ", …" } else { "" }
+            ),
+            "a coarsening is a partition: the member lists must cover every fine node",
+        );
+    }
+
+    if spec.node_map.len() != spec.fine_nodes {
+        ck.emit(
+            "artifact/partition-not-total",
+            vec![Step::key("node_map")],
+            format!(
+                "node_map has {} entr(ies) for {} fine node(s)",
+                spec.node_map.len(),
+                spec.fine_nodes
+            ),
+            "",
+        );
+        return;
+    }
+    for (node, &super_id) in spec.node_map.iter().enumerate() {
+        if super_id >= spec.members.len() {
+            ck.emit(
+                "artifact/partition-mismatch",
+                vec![Step::key("node_map"), Step::Idx(node)],
+                format!(
+                    "node_map sends fine node {node} to supernode {super_id}, \
+                     but only {} supernodes exist",
+                    spec.members.len()
+                ),
+                "",
+            );
+            continue;
+        }
+        // Only cross-check nodes with a well-defined owner: missing or
+        // duplicated membership already produced its own finding above.
+        if owner.get(node).copied().unwrap_or(usize::MAX) != usize::MAX && owner[node] != super_id {
+            ck.emit(
+                "artifact/partition-mismatch",
+                vec![Step::key("node_map"), Step::Idx(node)],
+                format!(
+                    "node_map sends fine node {node} to supernode {super_id}, \
+                     but the member lists place it in supernode {}",
+                    owner[node]
+                ),
+                "node_map and members encode the same partition and must agree",
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_kind_is_flagged() {
+        let out = check_str("x.json", r#"{"kind": "mystery"}"#);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "artifact/unknown-kind");
+        assert_eq!((out[0].line, out[0].col), (1, 10));
+    }
+
+    #[test]
+    fn malformed_json_is_unreadable() {
+        let out = check_str("x.json", "{nope");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "artifact/unreadable");
+    }
+
+    #[test]
+    fn coarsening_partition_checks() {
+        let good =
+            r#"{"kind":"coarsening","fine_nodes":3,"node_map":[0,0,1],"members":[[0,1],[2]]}"#;
+        assert!(check_str("c.json", good).is_empty());
+
+        let not_total =
+            r#"{"kind":"coarsening","fine_nodes":4,"node_map":[0,0,1,1],"members":[[0,1],[2]]}"#;
+        let out = check_str("c.json", not_total);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/partition-not-total");
+
+        let overlap =
+            r#"{"kind":"coarsening","fine_nodes":3,"node_map":[0,0,1],"members":[[0,1],[1,2]]}"#;
+        let out = check_str("c.json", overlap);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/overlapping-partition");
+
+        let empty = r#"{"kind":"coarsening","fine_nodes":2,"node_map":[0,0],"members":[[0,1],[]]}"#;
+        let out = check_str("c.json", empty);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/empty-supernode");
+    }
+}

@@ -1,0 +1,97 @@
+//! The `smn-lint` binary: CI gate and developer tool.
+//!
+//! ```text
+//! smn-lint [--workspace] [--artifacts DIR]... [--root PATH] [--json]
+//! ```
+//!
+//! With no engine flags, runs the source engine plus the artifact engine
+//! over `artifacts/` when that directory exists. Exit codes: 0 clean,
+//! 1 deny-level findings, 2 usage or configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use smn_lint::config::Config;
+use smn_lint::diag::Report;
+use smn_lint::{find_workspace_root, run_artifacts, run_source};
+
+const USAGE: &str = "usage: smn-lint [--workspace] [--artifacts DIR]... [--root PATH] [--json]";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut artifact_dirs: Vec<PathBuf> = Vec::new();
+    let mut root_arg: Option<PathBuf> = None;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--artifacts" => match args.next() {
+                Some(dir) => artifact_dirs.push(PathBuf::from(dir)),
+                None => return usage_error("--artifacts needs a directory"),
+            },
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match root_arg.or_else(|| find_workspace_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("smn-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Default run: source engine plus the checked-in artifact corpus.
+    if !workspace && artifact_dirs.is_empty() {
+        workspace = true;
+        let default_dir = root.join("artifacts");
+        if default_dir.is_dir() {
+            artifact_dirs.push(default_dir);
+        }
+    }
+
+    let cfg = match Config::load(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("smn-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut report = Report::default();
+    if workspace {
+        report.merge(run_source(&root, &cfg));
+    }
+    for dir in &artifact_dirs {
+        let dir = if dir.is_absolute() { dir.clone() } else { root.join(dir) };
+        report.merge(run_artifacts(&root, &dir));
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("smn-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

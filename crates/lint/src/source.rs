@@ -1,0 +1,534 @@
+//! Source engine: token-level rules over every workspace crate.
+//!
+//! Each `.rs` file under `crates/` is lexed with the spanned lexer from the
+//! vendored `syn` and walked once. Rules fire on token patterns — method
+//! calls like `.unwrap()`, paths like `Instant::now`, macro invocations,
+//! `as` casts — never on raw text, so literals and comments cannot produce
+//! false positives.
+//!
+//! Two kinds of region suppress findings:
+//!
+//! * **test code** — any item under an attribute whose tokens include
+//!   `test` (and not `not`, so `#[cfg(not(test))]` stays live): tests may
+//!   unwrap and use wall clocks freely;
+//! * **allow annotations** — a comment of the form
+//!   `smn-lint: allow(rule) -- reason` waives `rule` for its own line
+//!   (trailing form), the next item (standalone form), or the whole file
+//!   (as a `//!` inner comment). The reason is mandatory.
+
+use std::path::{Path, PathBuf};
+
+use syn::{Token, TokenKind};
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+
+/// Idents that mean entropy-seeded randomness.
+const RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "OsRng", "from_entropy"];
+
+/// Idents that mean wall-clock time wherever they appear.
+const WALL_CLOCK_IDENTS: &[&str] = &["SystemTime", "UNIX_EPOCH"];
+
+/// Macro names that abort the process.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Cast targets that can truncate the wide counters and f64 rates flowing
+/// through telemetry ingest and TE.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Scan every Rust source file under `root/crates`, returning findings and
+/// the number of files scanned.
+pub fn scan_workspace(root: &Path, cfg: &Config) -> (Vec<Diagnostic>, usize) {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in files {
+        let rel: String = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        if !cfg.scanned(&rel) {
+            continue;
+        }
+        scanned += 1;
+        match std::fs::read_to_string(&path) {
+            Ok(src) => findings.extend(scan_file(&rel, &src, cfg)),
+            Err(e) => findings.push(unparsed(&rel, 0, 0, format!("cannot read file: {e}"))),
+        }
+    }
+    (findings, scanned)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn unparsed(file: &str, line: u32, col: u32, message: String) -> Diagnostic {
+    Diagnostic::new("source/unparsed", crate::diag::Level::Deny, file, line, col, message)
+}
+
+/// Run every source rule over one file.
+pub fn scan_file(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let file = match syn::parse_file(src) {
+        Ok(f) => f,
+        Err(e) => {
+            return vec![unparsed(rel_path, e.span.line, e.span.col, e.message)];
+        }
+    };
+    let mut scan = FileScan {
+        path: rel_path,
+        tokens: &file.tokens,
+        cfg,
+        allows: Vec::new(),
+        test_ranges: Vec::new(),
+        findings: Vec::new(),
+    };
+    scan.collect_allows();
+    scan.collect_test_ranges();
+    scan.run_rules();
+    scan.findings
+}
+
+/// One allow annotation's effect: `rule` waived on lines `start..=end`.
+struct Allow {
+    rule: String,
+    start: u32,
+    end: u32,
+}
+
+struct FileScan<'a> {
+    path: &'a str,
+    tokens: &'a [Token],
+    cfg: &'a Config,
+    allows: Vec<Allow>,
+    /// Token-index ranges (inclusive) that are test code.
+    test_ranges: Vec<(usize, usize)>,
+    findings: Vec<Diagnostic>,
+}
+
+impl<'a> FileScan<'a> {
+    /// Index of the next non-comment token at or after `idx`.
+    fn next_code(&self, idx: usize) -> Option<usize> {
+        (idx..self.tokens.len()).find(|&i| !self.tokens[i].is_comment())
+    }
+
+    /// Last token index (inclusive) of the item starting at `start`: the
+    /// matching close of its first top-level `{`, or its first top-level
+    /// `;`, whichever comes first.
+    fn item_extent(&self, start: usize) -> usize {
+        let mut k = start;
+        while k < self.tokens.len() {
+            let t = &self.tokens[k];
+            if t.is_punct('{') {
+                return syn::matching_close(self.tokens, k)
+                    .unwrap_or(self.tokens.len().saturating_sub(1));
+            }
+            if t.is_punct(';') {
+                return k;
+            }
+            k += 1;
+        }
+        self.tokens.len().saturating_sub(1)
+    }
+
+    // ---- allow annotations -------------------------------------------
+
+    fn collect_allows(&mut self) {
+        for (idx, tok) in self.tokens.iter().enumerate() {
+            if !tok.is_comment() {
+                continue;
+            }
+            let Some(body) = annotation_body(&tok.text) else { continue };
+            let line = tok.span.line;
+            let (rules, reason_ok) = match parse_allow(body) {
+                Ok(parsed) => parsed,
+                Err(msg) => {
+                    self.push_raw("annotation/unknown-rule", line, tok.span.col, msg, "");
+                    continue;
+                }
+            };
+            if !reason_ok {
+                self.push_raw(
+                    "annotation/missing-reason",
+                    line,
+                    tok.span.col,
+                    "allow annotation without a `-- reason`".to_string(),
+                    "append `-- <why this waiver is sound>` so the exemption stays auditable",
+                );
+            }
+            let (start, end) = self.allow_extent(idx, tok);
+            for rule in rules {
+                if !self.cfg.known_rule(&rule) {
+                    self.push_raw(
+                        "annotation/unknown-rule",
+                        line,
+                        tok.span.col,
+                        format!("allow annotation names unknown rule `{rule}`"),
+                        "",
+                    );
+                    continue;
+                }
+                // A reasonless allow still suppresses nothing: the waiver
+                // only takes effect once it carries its justification.
+                if reason_ok {
+                    self.allows.push(Allow { rule, start, end });
+                }
+            }
+        }
+    }
+
+    /// Line range an annotation at token `idx` covers.
+    fn allow_extent(&self, idx: usize, tok: &Token) -> (u32, u32) {
+        if tok.is_inner_doc() {
+            return (1, u32::MAX);
+        }
+        let trailing = self.tokens[..idx]
+            .iter()
+            .rev()
+            .take_while(|t| t.span.line == tok.span.line)
+            .any(|t| !t.is_comment());
+        if trailing {
+            return (tok.span.line, tok.span.line);
+        }
+        match self.next_code(idx + 1) {
+            Some(next) => {
+                let end_idx = self.item_extent(next);
+                let end_line = self.tokens.get(end_idx).map_or(tok.span.line, |t| t.span.line);
+                (tok.span.line, end_line.max(tok.span.line))
+            }
+            None => (tok.span.line, tok.span.line),
+        }
+    }
+
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| (a.rule == rule || a.rule == "all") && a.start <= line && line <= a.end)
+    }
+
+    // ---- test regions ------------------------------------------------
+
+    fn collect_test_ranges(&mut self) {
+        let mut idx = 0usize;
+        while idx < self.tokens.len() {
+            if !self.tokens[idx].is_punct('#') {
+                idx += 1;
+                continue;
+            }
+            let Some(open) = self.next_code(idx + 1) else { break };
+            if !self.tokens[open].is_punct('[') {
+                idx += 1;
+                continue;
+            }
+            let Some(close) = self.matching_bracket(open) else { break };
+            let attr = &self.tokens[open + 1..close];
+            let has = |name: &str| attr.iter().any(|t| t.is_ident(name));
+            if has("test") && !has("not") {
+                let start = self.next_code(close + 1).unwrap_or(close);
+                let end = self.item_extent(start);
+                self.test_ranges.push((idx, end));
+                idx = end + 1;
+            } else {
+                idx = close + 1;
+            }
+        }
+    }
+
+    /// Index of the `]` matching the `[` at `open`.
+    fn matching_bracket(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for (i, t) in self.tokens.iter().enumerate().skip(open) {
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| s <= idx && idx <= e)
+    }
+
+    // ---- rules -------------------------------------------------------
+
+    fn run_rules(&mut self) {
+        let det = self.cfg.is_deterministic_path(self.path);
+        let casts = self.cfg.is_cast_path(self.path);
+        let panics = self.cfg.panic_rules_apply(self.path);
+
+        for idx in 0..self.tokens.len() {
+            let tok = &self.tokens[idx];
+            if tok.kind != TokenKind::Ident && tok.kind != TokenKind::Punct {
+                continue;
+            }
+
+            if RNG_IDENTS.iter().any(|r| tok.is_ident(r)) {
+                self.fire(
+                    "determinism/unseeded-rng",
+                    idx,
+                    format!("`{}` draws entropy outside the campaign seed", tok.text),
+                    "seed an explicit StdRng (seed_from_u64) from the scenario config",
+                );
+            }
+
+            if WALL_CLOCK_IDENTS.iter().any(|w| tok.is_ident(w)) {
+                self.fire(
+                    "determinism/wall-clock",
+                    idx,
+                    format!("`{}` reads the wall clock", tok.text),
+                    "thread the simulation tick / log timestamp through instead",
+                );
+            }
+            if tok.is_ident("Instant") && self.path_segment(idx, "now") {
+                self.fire(
+                    "determinism/wall-clock",
+                    idx,
+                    "`Instant::now` reads the wall clock".to_string(),
+                    "use bench::timer for measured sections; simulation code must use tick time",
+                );
+            }
+
+            if det && (tok.is_ident("HashMap") || tok.is_ident("HashSet")) {
+                self.fire(
+                    "determinism/hash-iter",
+                    idx,
+                    format!("`{}` on a deterministic simulation path", tok.text),
+                    "use BTreeMap/BTreeSet so iteration order cannot leak into outputs",
+                );
+            }
+
+            if panics {
+                if self.method_call(idx, "unwrap") {
+                    self.fire(
+                        "panic/unwrap",
+                        idx + 1,
+                        "`.unwrap()` in library code".to_string(),
+                        "propagate a typed error, or restructure so the value is infallible",
+                    );
+                }
+                if self.method_call(idx, "expect") {
+                    self.fire(
+                        "panic/expect",
+                        idx + 1,
+                        "`.expect()` in library code".to_string(),
+                        "propagate a typed error, or restructure so the value is infallible",
+                    );
+                }
+                if PANIC_MACROS.iter().any(|m| tok.is_ident(m))
+                    && self.tokens.get(idx + 1).is_some_and(|t| t.is_punct('!'))
+                {
+                    self.fire(
+                        "panic/panic-macro",
+                        idx,
+                        format!("`{}!` in library code", tok.text),
+                        "return a typed error; panics take the whole control plane down",
+                    );
+                }
+            }
+
+            if casts && tok.is_ident("as") {
+                if let Some(target) = self
+                    .next_code(idx + 1)
+                    .map(|i| &self.tokens[i])
+                    .filter(|t| NARROW_TARGETS.iter().any(|n| t.is_ident(n)))
+                {
+                    self.fire(
+                        "casts/narrowing",
+                        idx,
+                        format!("unchecked `as {}` can truncate silently", target.text),
+                        "use try_from with a typed error, or clamp with a documented \
+                         saturation policy",
+                    );
+                }
+            }
+        }
+    }
+
+    /// Is token `idx` followed by `::segment`?
+    fn path_segment(&self, idx: usize, segment: &str) -> bool {
+        self.tokens.get(idx + 1).is_some_and(|t| t.is_punct(':'))
+            && self.tokens.get(idx + 2).is_some_and(|t| t.is_punct(':'))
+            && self.tokens.get(idx + 3).is_some_and(|t| t.is_ident(segment))
+    }
+
+    /// Is token `idx` the `.` of a `.name(` method call?
+    fn method_call(&self, idx: usize, name: &str) -> bool {
+        self.tokens[idx].is_punct('.')
+            && self.tokens.get(idx + 1).is_some_and(|t| t.is_ident(name))
+            && self.tokens.get(idx + 2).is_some_and(|t| t.is_punct('('))
+    }
+
+    /// Emit a finding at token `idx` unless the token sits in test code,
+    /// the rule is waived for that line, or configured off.
+    fn fire(&mut self, rule: &str, idx: usize, message: String, note: &str) {
+        let Some(tok) = self.tokens.get(idx) else { return };
+        if self.in_test(idx) || self.allowed(rule, tok.span.line) {
+            return;
+        }
+        self.push_raw(rule, tok.span.line, tok.span.col, message, note);
+    }
+
+    fn push_raw(&mut self, rule: &str, line: u32, col: u32, message: String, note: &str) {
+        let Some(level) = self.cfg.level(rule) else { return };
+        let mut d = Diagnostic::new(rule, level, self.path, line, col, message);
+        if !note.is_empty() {
+            d = d.with_note(note);
+        }
+        self.findings.push(d);
+    }
+}
+
+/// If `comment` is an smn-lint annotation, the text after the marker.
+fn annotation_body(comment: &str) -> Option<&str> {
+    let body = ["/*!", "/**", "/*", "//!", "///", "//"]
+        .iter()
+        .find_map(|p| comment.strip_prefix(p))
+        .unwrap_or(comment);
+    body.trim_start().strip_prefix("smn-lint:").map(str::trim)
+}
+
+/// Parse `allow(rule, ...) -- reason`: the rule list and whether a
+/// non-empty reason is present.
+fn parse_allow(body: &str) -> Result<(Vec<String>, bool), String> {
+    let rest = body
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .ok_or_else(|| format!("unparseable smn-lint annotation: `{body}`"))?;
+    let close =
+        rest.find(')').ok_or_else(|| format!("unparseable smn-lint annotation: `{body}`"))?;
+    let rules: Vec<String> =
+        rest[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return Err("allow annotation lists no rules".to_string());
+    }
+    let tail = rest[close + 1..].trim_start().trim_end_matches("*/").trim();
+    let reason_ok = tail.strip_prefix("--").is_some_and(|r| !r.trim().is_empty());
+    Ok((rules, reason_ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/core/src/cdg.rs";
+    const DET: &str = "crates/core/src/simulation.rs";
+    const CAST: &str = "crates/te/src/mcf.rs";
+
+    fn rules_of(path: &str, src: &str) -> Vec<String> {
+        let cfg = Config::default();
+        scan_file(path, src, &cfg).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_lib_fires_with_span() {
+        let cfg = Config::default();
+        let d = scan_file(LIB, "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n", &cfg);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "panic/unwrap");
+        assert_eq!((d[0].line, d[0].col), (2, 7));
+    }
+
+    #[test]
+    fn unwrap_or_and_strings_do_not_fire() {
+        assert!(rules_of(LIB, "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }").is_empty());
+        assert!(rules_of(LIB, "fn f() -> &'static str { \".unwrap() panic!()\" }").is_empty());
+    }
+
+    #[test]
+    fn panic_macros_fire_only_in_lib_scope() {
+        let src = "fn f() { panic!(\"boom\") }";
+        assert_eq!(rules_of(LIB, src), vec!["panic/panic-macro"]);
+        assert!(rules_of("crates/bench/src/bin/table2.rs", src).is_empty());
+        assert!(rules_of("crates/core/src/bin/tool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        assert!(rules_of(LIB, src).is_empty());
+        let live = "#[cfg(not(test))]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(rules_of(LIB, live), vec!["panic/unwrap"]);
+    }
+
+    #[test]
+    fn wall_clock_and_rng_fire_everywhere() {
+        assert_eq!(
+            rules_of(LIB, "fn f() { let t = std::time::Instant::now(); }"),
+            vec!["determinism/wall-clock"]
+        );
+        assert_eq!(
+            rules_of("crates/bench/src/lib.rs", "fn f() { let mut r = thread_rng(); }"),
+            vec!["determinism/unseeded-rng"]
+        );
+    }
+
+    #[test]
+    fn hash_iter_only_on_det_paths() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {}\n";
+        assert_eq!(rules_of(DET, src), vec!["determinism/hash-iter", "determinism/hash-iter"]);
+        assert!(rules_of(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn narrowing_casts_only_on_cast_paths() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }";
+        assert_eq!(rules_of(CAST, src), vec!["casts/narrowing"]);
+        assert!(rules_of(LIB, src).is_empty());
+        assert!(rules_of(CAST, "fn f(x: u32) -> u64 { x as u64 }").is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_waives_one_line() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    \
+                   x.unwrap() // smn-lint: allow(panic/unwrap) -- invariant: seeded above\n}\n\
+                   fn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(rules_of(LIB, src), vec!["panic/unwrap"]);
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_item() {
+        let src = "// smn-lint: allow(panic/expect) -- join only fails on poisoned threads\n\
+                   fn f(x: Option<u8>) -> u8 {\n    x.expect(\"joined\")\n}\n\
+                   fn g(x: Option<u8>) -> u8 { x.expect(\"later\") }\n";
+        assert_eq!(rules_of(LIB, src), vec!["panic/expect"]);
+    }
+
+    #[test]
+    fn inner_doc_allow_covers_whole_file() {
+        let src = "//! smn-lint: allow(determinism/wall-clock) -- bench timing is wall time\n\
+                   fn a() { let t = Instant::now(); }\nfn b() { let t = Instant::now(); }\n";
+        assert!(rules_of(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding_and_waives_nothing() {
+        let src = "// smn-lint: allow(panic/unwrap)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let mut rules = rules_of(LIB, src);
+        rules.sort();
+        assert_eq!(rules, vec!["annotation/missing-reason", "panic/unwrap"]);
+    }
+
+    #[test]
+    fn allow_of_unknown_rule_is_a_finding() {
+        let src = "// smn-lint: allow(panic/bogus) -- hm\nfn f() {}\n";
+        assert_eq!(rules_of(LIB, src), vec!["annotation/unknown-rule"]);
+    }
+}

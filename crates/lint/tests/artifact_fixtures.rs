@@ -1,0 +1,80 @@
+//! Fixture-corpus tests for the artifact checker (satellite of the
+//! static-analysis issue): each known-bad artifact must produce exactly
+//! one diagnostic, with the right rule and a span pointing at the
+//! offending JSON element; the known-good twins must be clean.
+
+use std::path::PathBuf;
+
+use smn_lint::artifact::check_str;
+use smn_lint::diag::Diagnostic;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn check_fixture(name: &str) -> Vec<Diagnostic> {
+    check_str(name, &fixture(name))
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    for name in
+        ["good_cdg.json", "good_topology.json", "good_campaign.json", "good_coarsening.json"]
+    {
+        let out = check_fixture(name);
+        assert!(out.is_empty(), "{name} should be clean, got {out:?}");
+    }
+}
+
+#[test]
+fn dangling_edge_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_cdg_dangling_edge.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/dangling-edge");
+    // The span points at the out-of-range `dst` value inside the edge
+    // record on line 18 of the fixture.
+    assert_eq!((d.line, d.col), (18, 27), "span moved: {d:?}");
+    assert!(d.message.contains("$.fine.graph.edges[0].dst"), "{}", d.message);
+    assert!(d.message.contains("node 7"), "{}", d.message);
+}
+
+#[test]
+fn non_total_partition_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_coarsening_not_total.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/partition-not-total");
+    // The span points at the `members` array on line 5.
+    assert_eq!((d.line, d.col), (5, 14), "span moved: {d:?}");
+    assert!(d.message.contains("$.members"), "{}", d.message);
+    assert!(d.message.contains('3'), "must name the uncovered node: {}", d.message);
+}
+
+#[test]
+fn orphan_srlg_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_topology_orphan_srlg.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/orphan-srlg");
+    // The span points at the orphaned link index inside the SRLG member
+    // list on line 35.
+    assert_eq!((d.line, d.col), (35, 49), "span moved: {d:?}");
+    assert!(d.message.contains("$.srlgs[0].links[1]"), "{}", d.message);
+}
+
+#[test]
+fn check_dir_sees_every_fixture_and_fails_on_the_bad_ones() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let root = dir.clone();
+    let (findings, checked) = smn_lint::artifact::check_dir(&root, &dir);
+    assert_eq!(checked, 7, "fixture corpus size changed");
+    assert_eq!(findings.len(), 3, "one finding per bad fixture: {findings:?}");
+    let report = smn_lint::diag::Report::from_findings(findings);
+    assert!(report.failed());
+    let json = report.to_json();
+    for rule in ["artifact/dangling-edge", "artifact/partition-not-total", "artifact/orphan-srlg"] {
+        assert!(json.contains(rule), "JSON report must carry {rule}: {json}");
+    }
+}

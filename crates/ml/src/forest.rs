@@ -74,7 +74,12 @@ impl RandomForest {
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("tree fitting panicked")).collect()
+            handles
+                .into_iter()
+                // A join error means a tree-fitting thread panicked:
+                // propagate that panic rather than unwrapping a fresh one.
+                .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
         });
         RandomForest { trees, n_classes: data.n_classes }
     }

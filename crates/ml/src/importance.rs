@@ -57,7 +57,7 @@ pub fn top_features<'a>(
     assert_eq!(importances.len(), names.len(), "one name per feature");
     let mut ranked: Vec<(usize, &str, f64)> =
         importances.iter().enumerate().map(|(i, &v)| (i, names[i].as_str(), v)).collect();
-    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite importances"));
+    ranked.sort_by(|a, b| b.2.total_cmp(&a.2));
     ranked.truncate(k);
     ranked
 }

@@ -195,7 +195,7 @@ fn best_split(
         // Sort this node's samples by the feature value.
         let mut vals: Vec<(f64, usize)> =
             indices.iter().map(|&i| (data.features[i][f], data.labels[i])).collect();
-        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+        vals.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Sweep split points between distinct adjacent values.
         let mut left_counts = vec![0usize; data.n_classes];
         let mut right_counts = class_counts(data, indices);

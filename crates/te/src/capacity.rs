@@ -8,7 +8,7 @@
 //! naive (siloed) policy and the SMN policy (sustained overload + fiber
 //! awareness); the war-story bench compares them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use smn_topology::EdgeId;
@@ -116,15 +116,15 @@ impl CapacityPlanner {
     ///   upgradeable — the naive planner's blindness).
     pub fn plan(
         &self,
-        history: &HashMap<EdgeId, Vec<f64>>,
+        history: &BTreeMap<EdgeId, Vec<f64>>,
         distance_km: impl Fn(EdgeId) -> f64,
         upgradeable: impl Fn(EdgeId) -> Option<bool>,
     ) -> CapacityPlan {
         let p = &self.policy;
         let mut plan = CapacityPlan::default();
-        let mut links: Vec<&EdgeId> = history.keys().collect();
-        links.sort();
-        for &link in links {
+        // BTreeMap iteration is already in EdgeId order, so the plan is
+        // deterministic without a defensive sort.
+        for &link in history.keys() {
             let series = &history[&link];
             let recent: Vec<f64> = series.iter().rev().take(p.window).cloned().collect();
             let overloaded = recent.iter().filter(|&&u| u > p.threshold).count();
@@ -155,7 +155,7 @@ impl CapacityPlanner {
 mod tests {
     use super::*;
 
-    fn history(entries: &[(u32, &[f64])]) -> HashMap<EdgeId, Vec<f64>> {
+    fn history(entries: &[(u32, &[f64])]) -> BTreeMap<EdgeId, Vec<f64>> {
         entries.iter().map(|&(e, v)| (EdgeId(e), v.to_vec())).collect()
     }
 
@@ -200,7 +200,7 @@ mod tests {
         let plan =
             planner.plan(&h, |e| if e == EdgeId(0) { 100.0 } else { 5000.0 }, |_| Some(true));
         assert_eq!(plan.upgrades.len(), 2);
-        let costs: HashMap<EdgeId, f64> = plan.upgrades.iter().map(|u| (u.link, u.cost)).collect();
+        let costs: BTreeMap<EdgeId, f64> = plan.upgrades.iter().map(|u| (u.link, u.cost)).collect();
         assert!(costs[&EdgeId(1)] > costs[&EdgeId(0)] * 40.0);
         assert_eq!(plan.total_cost(), costs[&EdgeId(0)] + costs[&EdgeId(1)]);
     }

@@ -56,9 +56,11 @@ impl DemandMatrix {
         for r in records {
             samples.entry((r.src, r.dst)).or_default().push(r.gbps);
         }
-        Self::from_triples(samples.into_iter().map(|((s, d), v)| {
-            let value = SummaryStats::of(&v).expect("non-empty sample vector").get(stat);
-            (NodeId(s), NodeId(d), value)
+        Self::from_triples(samples.into_iter().filter_map(|((s, d), v)| {
+            // Buckets are created on first push, so `v` is never empty; an
+            // empty bucket would simply contribute no commodity.
+            let value = SummaryStats::of(&v)?.get(stat);
+            Some((NodeId(s), NodeId(d), value))
         }))
     }
 

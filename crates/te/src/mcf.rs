@@ -138,7 +138,9 @@ pub fn max_multicommodity_flow_with_paths<N, E>(
     let n_rows = n_edges + n_comm;
     let row_cap = |row: usize| -> f64 {
         if row < n_edges {
-            let eid = EdgeId(row as u32);
+            // Saturating cast policy: edge ids are u32, so a row below
+            // edge_count always fits; saturation is unreachable.
+            let eid = EdgeId(u32::try_from(row).unwrap_or(u32::MAX));
             capacity(eid, g.edge(eid))
         } else {
             demand.commodities[row - n_edges].demand_gbps
@@ -272,8 +274,10 @@ pub fn greedy_min_max_utilization<N, E>(
                 continue;
             }
             let part = c.demand_gbps / cfg.greedy_chunks as f64;
-            // Pick the path minimizing the resulting max utilization along it.
-            let (best_pi, _) = paths[ci]
+            // Pick the path minimizing the resulting max utilization along
+            // it (the path set is non-empty here, so min_by yields a value;
+            // an empty set just routes nothing).
+            let Some((best_pi, _)) = paths[ci]
                 .iter()
                 .enumerate()
                 .map(|(pi, p)| {
@@ -287,8 +291,10 @@ pub fn greedy_min_max_utilization<N, E>(
                         .fold(0.0f64, f64::max);
                     (pi, bottleneck)
                 })
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite utilizations"))
-                .expect("non-empty path set");
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+            else {
+                continue;
+            };
             for e in &paths[ci][best_pi].edges {
                 *load.entry(*e).or_insert(0.0) += part;
             }

@@ -59,7 +59,10 @@ pub fn coarse_restricted_paths(
         let mut edges = Vec::new();
         let mut cursor = src;
         for (hop, &cedge) in cp.edges.iter().enumerate() {
-            let (ca, cb) = cp.nodes[hop..].split_first().map(|(a, rest)| (*a, rest[0])).unwrap();
+            // A well-formed path has edges.len() + 1 nodes, so both the
+            // head and its successor exist; a malformed path is skipped.
+            let Some((&ca, rest)) = cp.nodes[hop..].split_first() else { continue 'coarse };
+            let Some(&cb) = rest.first() else { continue 'coarse };
             let _ = cedge;
             // Highest-capacity member link crossing ca -> cb.
             let member = wan
@@ -70,12 +73,7 @@ pub fn coarse_restricted_paths(
                         && contraction.node_map[e.src.index()] == ca
                         && contraction.node_map[e.dst.index()] == cb
                 })
-                .max_by(|a, b| {
-                    a.1.payload
-                        .capacity_gbps
-                        .partial_cmp(&b.1.payload.capacity_gbps)
-                        .expect("finite capacities")
-                });
+                .max_by(|a, b| a.1.payload.capacity_gbps.total_cmp(&b.1.payload.capacity_gbps));
             let Some((member_id, member_edge)) = member else { continue 'coarse };
             // Bridge within the current supernode to the member link's tail.
             if cursor != member_edge.src {

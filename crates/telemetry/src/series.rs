@@ -38,7 +38,8 @@ impl SummaryStats {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        // total_cmp gives NaN a defined order instead of panicking on it.
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
@@ -152,11 +153,10 @@ impl TimeSeries {
     /// stats)` pairs; empty windows are skipped.
     pub fn window_summaries(&self, window_secs: u64) -> Vec<(Ts, SummaryStats)> {
         assert!(window_secs > 0, "zero window");
-        if self.is_empty() {
+        let (Some(&first_ts), Some(&last)) = (self.ts.first(), self.ts.last()) else {
             return Vec::new();
-        }
-        let first = Ts(self.ts[0].0 / window_secs * window_secs);
-        let last = *self.ts.last().expect("non-empty");
+        };
+        let first = Ts(first_ts.0 / window_secs * window_secs);
         let mut out = Vec::new();
         let mut w = first;
         while w <= last {

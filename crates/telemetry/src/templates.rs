@@ -8,7 +8,7 @@
 //! non-wildcard positions stays above a similarity threshold. Parameters
 //! (the wildcarded tokens) are extracted per line.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -57,14 +57,14 @@ pub struct TemplateMiner {
     pub similarity_threshold: f64,
     templates: Vec<Template>,
     /// Index: token count -> template ids (cheap candidate filter).
-    by_len: HashMap<usize, Vec<usize>>,
+    by_len: BTreeMap<usize, Vec<usize>>,
 }
 
 impl TemplateMiner {
     /// Miner with the given merge threshold (0.5 is a good default).
     pub fn new(similarity_threshold: f64) -> Self {
         assert!((0.0..=1.0).contains(&similarity_threshold));
-        Self { similarity_threshold, templates: Vec::new(), by_len: HashMap::new() }
+        Self { similarity_threshold, templates: Vec::new(), by_len: BTreeMap::new() }
     }
 
     /// All mined templates.

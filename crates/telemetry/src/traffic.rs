@@ -121,10 +121,13 @@ impl TrafficModel {
     /// Build the model for `wan` under `config`. Pair selection is
     /// deterministic from the seed.
     pub fn new(wan: &Wan, config: TrafficConfig) -> Self {
-        let n = wan.dc_count();
+        // Saturating cast policy: node ids are u32 (a WAN cannot hold more
+        // datacenters than NodeId can address), so try_from never saturates
+        // on a well-formed topology.
+        let n = u32::try_from(wan.dc_count()).unwrap_or(u32::MAX);
         let mut pairs = Vec::new();
-        for s in 0..n as u32 {
-            for d in 0..n as u32 {
+        for s in 0..n {
+            for d in 0..n {
                 if s == d {
                     continue;
                 }

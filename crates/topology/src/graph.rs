@@ -411,18 +411,16 @@ impl<N, E> DiGraph<N, E> {
         // Candidate paths found so far, best first.
         let mut candidates: Vec<Path> = Vec::new();
         while result.len() < k {
-            let last = result.last().expect("result is non-empty").clone();
+            let Some(last) = result.last().cloned() else { break };
             // For each node in the previous path except the terminal, branch.
             for i in 0..last.nodes.len() - 1 {
                 let spur_node = last.nodes[i];
                 let root_nodes = &last.nodes[..=i];
                 let root_edges = &last.edges[..i];
-                let root_cost: f64 = root_edges
-                    .iter()
-                    .map(|&e| {
-                        cost(e, &self.edges[e.index()]).expect("edge on accepted path is usable")
-                    })
-                    .sum();
+                // Edges on an already-accepted path always have a usable
+                // cost; a None here would only drop that edge's contribution.
+                let root_cost: f64 =
+                    root_edges.iter().filter_map(|&e| cost(e, &self.edges[e.index()])).sum();
                 // Edges removed: any edge leaving the spur node that a
                 // previously accepted path with the same root uses next.
                 let mut banned_edges: HashSet<EdgeId> = HashSet::new();
@@ -545,7 +543,8 @@ impl<N, E> DiGraph<N, E> {
             }
         }
         for pair in pair_order {
-            let payload = coarse_edges.remove(&pair).expect("pair recorded exactly once");
+            // Each pair is pushed exactly once when first inserted above.
+            let Some(payload) = coarse_edges.remove(&pair) else { continue };
             graph.add_edge(pair.0, pair.1, payload);
         }
         Contraction { graph, node_map, members }

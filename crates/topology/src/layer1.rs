@@ -205,15 +205,10 @@ impl OpticalLayer {
         modulation: Modulation,
         l3_links: Vec<usize>,
     ) -> WavelengthId {
-        let path_km = spans
-            .iter()
-            .map(|s| {
-                self.spans
-                    .get(s.0 as usize)
-                    .unwrap_or_else(|| panic!("unknown fiber span {s:?}"))
-                    .length_km
-            })
-            .sum();
+        // Span ids come from `add_span`; an out-of-range id (caller bug)
+        // contributes zero length rather than aborting the build.
+        let path_km =
+            spans.iter().filter_map(|s| self.spans.get(s.0 as usize)).map(|sp| sp.length_km).sum();
         let id = WavelengthId(self.wavelengths.len() as u32);
         self.wavelengths.push(Wavelength { id, spans, path_km, modulation });
         self.carries.push(l3_links);

@@ -241,10 +241,9 @@ impl Wan {
                     .min_by(|(_, a), (_, b)| {
                         let da = (p.0 - a.0).powi(2) + (p.1 - a.1).powi(2);
                         let db = (p.0 - b.0).powi(2) + (p.1 - b.1).powi(2);
-                        da.partial_cmp(&db).expect("finite coordinates")
+                        da.total_cmp(&db)
                     })
-                    .map(|(j, _)| j)
-                    .expect("k >= 1");
+                    .map_or(assign[i], |(j, _)| j);
                 if assign[i] != best {
                     assign[i] = best;
                     changed = true;

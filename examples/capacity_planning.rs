@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example capacity_planning`
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use smn_core::controller::{ControllerConfig, Feedback, SmnController};
 use smn_te::demand::DemandMatrix;
@@ -29,7 +29,7 @@ fn main() {
 
     // Weekly planning windows: route each week's p95 demand and record the
     // resulting per-link utilization — the history the planner consumes.
-    let mut history: HashMap<EdgeId, Vec<f64>> = HashMap::new();
+    let mut history: BTreeMap<EdgeId, Vec<f64>> = BTreeMap::new();
     for week in 0..weeks {
         // One sample day per week keeps the example fast.
         let log = model.generate(Ts::from_days(week * 7 + 2), TrafficModel::epochs_per_days(1));

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use smn_core::bwlogs::TimeCoarsener;
 use smn_core::coarsen::Coarsening;
@@ -73,7 +73,7 @@ fn main() {
     }
 
     // 5. Months loop: utilization history drives fiber-aware planning.
-    let history: HashMap<EdgeId, Vec<f64>> = [(EdgeId(0), vec![0.9; 8])].into();
+    let history: BTreeMap<EdgeId, Vec<f64>> = [(EdgeId(0), vec![0.9; 8])].into();
     println!("\nplanning loop feedback:");
     for feedback in controller.planning_loop(
         &history,

@@ -5,7 +5,7 @@
 //! * incident campaign → three routers → the paper's accuracy ordering
 //!   (reduced scale; the full 560-fault run is `incident_routing_eval`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use smn_core::bwlogs::{TimeCoarsener, TopologyCoarsener};
 use smn_core::coarsen::Coarsening;
@@ -61,7 +61,7 @@ fn telemetry_to_planning_pipeline() {
     // Planner consumes utilization history; with 8 identical hot windows a
     // sustained overload (if any) must produce feedback, and the call must
     // respect fiber constraints without panicking either way.
-    let mut history: HashMap<EdgeId, Vec<f64>> = HashMap::new();
+    let mut history: BTreeMap<EdgeId, Vec<f64>> = BTreeMap::new();
     for eid in regions.graph.edge_ids() {
         let u = solution.utilization.get(&eid).copied().unwrap_or(0.0);
         history.insert(EdgeId(eid.index() as u32), vec![u; 8]);

@@ -1,0 +1,538 @@
+//! Offline vendored stand-in for `syn`.
+//!
+//! The real `syn` parses Rust source into a full AST. This workspace builds
+//! offline (no crates.io), so this stand-in provides the subset `smn-lint`
+//! actually uses: [`parse_file`] lexes a source file into a lossless stream
+//! of spanned [`Token`]s (identifiers, punctuation, literals, lifetimes,
+//! comments — including doc comments), and [`matching_close`] /
+//! [`Cursor`] give rule engines structured navigation over that stream.
+//!
+//! The lexer is exact about the things that make naive text scans wrong:
+//! string/char/byte/raw-string literals (so `"call .unwrap()"` in a message
+//! is *not* an `unwrap` call), nested block comments, doc comments, raw
+//! identifiers, lifetimes vs char literals, and float vs range punctuation.
+
+use std::fmt;
+
+/// A source position: 1-based line and column (in characters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number, counted in characters.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, without the `r#`).
+    Ident,
+    /// A lifetime such as `'a` (text includes the leading `'`).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// String, raw-string, byte-string, or char literal (text is the full
+    /// literal including quotes/prefix).
+    Str,
+    /// Line or block comment, doc or plain (text is the full comment).
+    Comment,
+    /// A single punctuation character (`text` holds exactly one char).
+    Punct,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text of the token.
+    pub text: String,
+    /// Position of the token's first character.
+    pub span: Span,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes().first() == Some(&(ch as u8))
+    }
+
+    /// True for any comment token.
+    pub fn is_comment(&self) -> bool {
+        self.kind == TokenKind::Comment
+    }
+
+    /// True for an inner doc comment (`//!` or `/*!`): file-level docs.
+    pub fn is_inner_doc(&self) -> bool {
+        self.kind == TokenKind::Comment
+            && (self.text.starts_with("//!") || self.text.starts_with("/*!"))
+    }
+}
+
+/// A lex failure (unterminated literal or comment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Where the offending construct starts.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A lexed source file: the full token stream, comments included.
+#[derive(Debug, Clone, Default)]
+pub struct File {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+}
+
+impl File {
+    /// Index of the `}` matching the `{` at token index `open`, scanning
+    /// over the *code* tokens (comments are ignored for depth but present
+    /// in the stream). Returns `None` when unbalanced or `open` is not `{`.
+    pub fn matching_close(&self, open: usize) -> Option<usize> {
+        matching_close(&self.tokens, open)
+    }
+}
+
+/// Parse (lex) a Rust source file into its spanned token stream.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    Lexer::new(src).run().map(|tokens| File { tokens })
+}
+
+/// Index of the `}` matching the `{` at `open` in `tokens`.
+pub fn matching_close(tokens: &[Token], open: usize) -> Option<usize> {
+    if !tokens.get(open)?.is_punct('{') {
+        return None;
+    }
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { chars: src.chars().collect(), src, pos: 0, line: 1, col: 1, out: Vec::new() }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span { line: self.line, col: self.col }
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, span: Span) {
+        self.out.push(Token { kind, text, span });
+    }
+
+    fn error(&self, span: Span, message: &str) -> Error {
+        Error { span, message: message.to_string() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Error> {
+        while let Some(c) = self.peek(0) {
+            let span = self.span();
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(span),
+                '/' if self.peek(1) == Some('*') => self.block_comment(span)?,
+                '"' => self.string(span, String::new())?,
+                '\'' => self.quote(span)?,
+                c if c.is_ascii_digit() => self.number(span),
+                c if is_ident_start(c) => self.ident_or_prefixed(span)?,
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), span);
+                }
+            }
+        }
+        let _ = self.src;
+        Ok(self.out)
+    }
+
+    fn line_comment(&mut self, span: Span) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment, text, span);
+    }
+
+    fn block_comment(&mut self, span: Span) -> Result<(), Error> {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        loop {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    self.bump();
+                    self.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => return Err(self.error(span, "unterminated block comment")),
+            }
+        }
+        self.push(TokenKind::Comment, text, span);
+        Ok(())
+    }
+
+    /// A `"`-delimited string with escapes; `prefix` holds any consumed
+    /// literal prefix (`b`, etc.).
+    fn string(&mut self, span: Span, prefix: String) -> Result<(), Error> {
+        let mut text = prefix;
+        text.push('"');
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                Some('\\') => {
+                    text.push('\\');
+                    self.bump();
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    self.bump();
+                    break;
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+                None => return Err(self.error(span, "unterminated string literal")),
+            }
+        }
+        self.push(TokenKind::Str, text, span);
+        Ok(())
+    }
+
+    /// A raw string `r"…"` / `r#"…"#` (any number of hashes); `prefix`
+    /// holds the consumed `r` / `br` and the current position is at the
+    /// first `#` or `"`.
+    fn raw_string(&mut self, span: Span, prefix: String) -> Result<(), Error> {
+        let mut text = prefix;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#ident` raw identifier: hand the ident chars back.
+            let mut ident = String::new();
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    ident.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Ident, ident, span);
+            return Ok(());
+        }
+        text.push('"');
+        self.bump();
+        loop {
+            match self.peek(0) {
+                Some('"') => {
+                    // Closed only when followed by `hashes` hash marks.
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek(1 + i) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    text.push('"');
+                    self.bump();
+                    if ok {
+                        for _ in 0..hashes {
+                            text.push('#');
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+                None => return Err(self.error(span, "unterminated raw string literal")),
+            }
+        }
+        self.push(TokenKind::Str, text, span);
+        Ok(())
+    }
+
+    /// Disambiguate a leading `'`: char literal or lifetime.
+    fn quote(&mut self, span: Span) -> Result<(), Error> {
+        // Char literal when: '\x', or 'c' (single char then closing quote).
+        let next = self.peek(1);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if c != '\'' => self.peek(2) == Some('\''),
+            _ => false,
+        };
+        if is_char {
+            let mut text = String::from("'");
+            self.bump();
+            loop {
+                match self.peek(0) {
+                    Some('\\') => {
+                        text.push('\\');
+                        self.bump();
+                        if let Some(e) = self.bump() {
+                            text.push(e);
+                        }
+                    }
+                    Some('\'') => {
+                        text.push('\'');
+                        self.bump();
+                        break;
+                    }
+                    Some(c) => {
+                        text.push(c);
+                        self.bump();
+                    }
+                    None => return Err(self.error(span, "unterminated char literal")),
+                }
+            }
+            self.push(TokenKind::Str, text, span);
+        } else {
+            // Lifetime: ' followed by ident chars.
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, span);
+        }
+        Ok(())
+    }
+
+    fn number(&mut self, span: Span) {
+        let mut text = String::new();
+        let mut prev = '\0';
+        while let Some(c) = self.peek(0) {
+            let take = if c.is_ascii_alphanumeric() || c == '_' {
+                true
+            } else if c == '.' {
+                // `1.5` continues the float; `1..n` and `1.method()` stop.
+                matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+            } else {
+                // Exponent sign: `1e-3`, `2.5E+7`.
+                (c == '+' || c == '-') && (prev == 'e' || prev == 'E')
+            };
+            if !take {
+                break;
+            }
+            text.push(c);
+            prev = c;
+            self.bump();
+        }
+        self.push(TokenKind::Number, text, span);
+    }
+
+    fn ident_or_prefixed(&mut self, span: Span) -> Result<(), Error> {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes: r"", r#"", b"", br#"", c"".
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "rb", Some('"' | '#')) => self.raw_string(span, text),
+            ("b" | "c", Some('"')) => self.string(span, text),
+            _ => {
+                self.push(TokenKind::Ident, text, span);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        parse_file(src).unwrap().tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let t = kinds("let x = 42 + 0xff_u8;");
+        assert_eq!(
+            t,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Number, "42".into()),
+                (TokenKind::Punct, "+".into()),
+                (TokenKind::Number, "0xff_u8".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let t = kinds(r#"m(".unwrap() panic!()")"#);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Ident).count(), 1);
+        assert_eq!(t[2].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let t = kinds(r##"let s = r#"quote " inside"#; let b = b"bytes";"##);
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Str && s.contains("quote")));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Str && s.starts_with("b\"")));
+    }
+
+    #[test]
+    fn raw_ident() {
+        let t = kinds("let r#type = 1;");
+        assert_eq!(t[1], (TokenKind::Ident, "type".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(
+            t.iter().filter(|(k, s)| *k == TokenKind::Str && s.starts_with('\'')).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn floats_vs_ranges() {
+        let t = kinds("a(1.5, 0..10, x.iter())");
+        assert!(t.contains(&(TokenKind::Number, "1.5".into())));
+        assert!(t.contains(&(TokenKind::Number, "0".into())));
+        assert!(t.contains(&(TokenKind::Number, "10".into())));
+        assert!(t.contains(&(TokenKind::Ident, "iter".into())));
+    }
+
+    #[test]
+    fn comments_kept_with_kind() {
+        let t = kinds("// line\n/// doc\n//! inner\n/* block /* nested */ */ fn f() {}");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Comment).count(), 4);
+        let f = parse_file("//! inner docs\nfn f() {}").unwrap();
+        assert!(f.tokens[0].is_inner_doc());
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_cols() {
+        let f = parse_file("fn f() {\n    g();\n}").unwrap();
+        let g = f.tokens.iter().find(|t| t.is_ident("g")).unwrap();
+        assert_eq!(g.span, Span { line: 2, col: 5 });
+    }
+
+    #[test]
+    fn matching_close_balances_braces() {
+        let f = parse_file("mod m { fn f() { if x { y() } } } struct S;").unwrap();
+        let open = f.tokens.iter().position(|t| t.is_punct('{')).unwrap();
+        let close = f.matching_close(open).unwrap();
+        assert!(f.tokens[close].is_punct('}'));
+        assert!(f.tokens[close + 1].is_ident("struct"));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse_file("let s = \"oops").is_err());
+        assert!(parse_file("/* never closed").is_err());
+    }
+}
