@@ -20,7 +20,22 @@
 //! is seeded; the telemetry-chaos profile is run twice and its outcome
 //! hashes compared to prove determinism.
 //!
-//! Run with: `cargo run --release --bin degraded_mode`
+//! # Observability
+//!
+//! With `--trace`, `--metrics`, or `--audit`, the campaign runs with an
+//! enabled `smn_obs::Obs` driven by a sim-time clock (one tick per fault
+//! window) and exports the JSONL trace, Prometheus metrics snapshot, and
+//! controller audit trail to the given paths. These artifacts are
+//! deterministic: two runs with the same seeds write identical bytes
+//! (`tests/observability.rs` locks this in; CI uploads the trace).
+//! Wall-clock per-window latencies are measured through `smn_bench::timer`
+//! into a *separate* bench-only registry and printed to stdout — they
+//! never enter the deterministic artifacts.
+//!
+//! Run with: `cargo run --release --bin degraded_mode -- [--trace FILE]
+//! [--metrics FILE] [--audit FILE]`
+
+use std::sync::Arc;
 
 use smn_core::controller::{ControllerConfig, Feedback, SmnController};
 use smn_datalake::fault::{FaultProfile, FaultyStore};
@@ -29,6 +44,8 @@ use smn_incident::faults::{generate_campaign, CampaignConfig, FaultSpec};
 use smn_incident::monitoring::materialize;
 use smn_incident::sim::{observe, SimConfig};
 use smn_incident::RedditDeployment;
+use smn_obs::clock::SimClock;
+use smn_obs::Obs;
 use smn_telemetry::chaos::{ChaosConfig, ChaosInjector};
 use smn_telemetry::time::{Ts, HOUR};
 
@@ -58,6 +75,7 @@ struct ProfileResult {
 }
 
 impl ProfileResult {
+    #[allow(clippy::cast_precision_loss)] // campaign sizes stay far below 2^52
     fn accuracy(&self) -> f64 {
         self.correct as f64 / self.total as f64
     }
@@ -65,7 +83,7 @@ impl ProfileResult {
 
 fn fnv1a(hash: &mut u64, bytes: &[u8]) {
     for &b in bytes {
-        *hash ^= b as u64;
+        *hash ^= u64::from(b);
         *hash = hash.wrapping_mul(0x0100_0000_01b3);
     }
 }
@@ -79,18 +97,29 @@ fn partition_profile(n_faults: usize) -> FaultProfile {
     p
 }
 
+/// Observability context threaded through a profile run: the deterministic
+/// pipeline registry (sim-time stamped, exported to files) and the
+/// bench-only wall-clock registry (stdout only).
+struct ObsCtx {
+    obs: Arc<Obs>,
+    clock: Arc<SimClock>,
+    bench: Arc<Obs>,
+}
+
 fn run_profile(
     d: &RedditDeployment,
     faults: &[FaultSpec],
     sim: &SimConfig,
     p: &Profile,
+    ctx: &ObsCtx,
 ) -> ProfileResult {
     let mut controller = SmnController::with_lake(
         FaultyStore::new(Clds::new(), p.lake.clone()),
         d.cdg.clone(),
         ControllerConfig::default(),
     );
-    let mut injector = p.chaos.clone().map(ChaosInjector::new);
+    controller.set_obs(ctx.obs.clone());
+    let mut injector = p.chaos.clone().map(|c| ChaosInjector::new(c).with_obs(ctx.obs.clone()));
     let mut result = ProfileResult {
         name: p.name,
         correct: 0,
@@ -103,8 +132,10 @@ fn run_profile(
         outcome_hash: 0xcbf2_9ce4_8422_2325,
     };
 
+    let mut profile_span = ctx.obs.span_with("profile", &[("name", p.name.into())]);
     for (i, fault) in faults.iter().enumerate() {
         let start = Ts(i as u64 * HOUR);
+        ctx.clock.set(start.0);
         let obs = observe(d, fault, sim);
         let telemetry = materialize(d, &obs, sim, start);
 
@@ -126,7 +157,9 @@ fn run_profile(
         controller.clds().probes.write().extend(probes);
         controller.clds().health.write().extend(telemetry.health);
 
-        let feedback = controller.incident_loop(start, start + HOUR);
+        let (feedback, window_ms) =
+            smn_bench::timer::time_ms(|| controller.incident_loop(start, start + HOUR));
+        ctx.bench.observe_ms(&format!("window_ms/{}", p.name), window_ms);
         let routed = feedback.iter().find_map(|f| match f {
             Feedback::RouteIncident { team, .. } => Some(team.as_str()),
             _ => None,
@@ -154,7 +187,14 @@ fn run_profile(
                     cdg,
                     serde_json::from_str(&snapshot).expect("checkpoint restores"),
                 );
+                controller.set_obs(ctx.obs.clone());
                 result.crashes += 1;
+                ctx.obs.inc("controller_crashes_total");
+                ctx.obs.audit(
+                    "supervisor",
+                    "crash-restore",
+                    &[("profile", p.name.to_string()), ("after_fault", (i + 1).to_string())],
+                );
             }
         }
     }
@@ -162,10 +202,55 @@ fn run_profile(
     let resilience = controller.resilience();
     result.breaker_trips += resilience.breaker.trips;
     result.retries += resilience.total_retries;
+    profile_span.field("accuracy", result.accuracy());
+    profile_span.field("degraded", result.degraded);
     result
 }
 
+/// `--trace FILE --metrics FILE --audit FILE`, all optional.
+struct Args {
+    trace: Option<String>,
+    metrics: Option<String>,
+    audit: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { trace: None, metrics: None, audit: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let target = match flag.as_str() {
+            "--trace" => &mut args.trace,
+            "--metrics" => &mut args.metrics,
+            "--audit" => &mut args.audit,
+            other => {
+                eprintln!("unknown flag: {other}");
+                eprintln!("usage: degraded_mode [--trace FILE] [--metrics FILE] [--audit FILE]");
+                std::process::exit(2);
+            }
+        };
+        if let Some(path) = it.next() {
+            *target = Some(path);
+        } else {
+            eprintln!("{flag} requires a file path");
+            std::process::exit(2);
+        }
+    }
+    args
+}
+
+#[allow(clippy::too_many_lines)] // linear experiment script: profiles, table, replay, export
 fn main() {
+    let args = parse_args();
+    let export = args.trace.is_some() || args.metrics.is_some() || args.audit.is_some();
+    let clock = SimClock::new();
+    let ctx = ObsCtx {
+        obs: if export { Obs::enabled(clock.clone()) } else { Obs::disabled() },
+        clock,
+        // Wall-clock latencies always print; they stay out of the
+        // deterministic artifacts by living in their own registry.
+        bench: Obs::enabled(SimClock::new()),
+    };
+
     let d = RedditDeployment::build();
     let campaign_cfg = CampaignConfig::default();
     let sim = SimConfig::default();
@@ -208,7 +293,7 @@ fn main() {
     ];
 
     let results: Vec<ProfileResult> =
-        profiles.iter().map(|p| run_profile(&d, &faults, &sim, p)).collect();
+        profiles.iter().map(|p| run_profile(&d, &faults, &sim, p, &ctx)).collect();
     let baseline = results[0].accuracy();
 
     let rows: Vec<Vec<String>> = results
@@ -245,9 +330,24 @@ fn main() {
         )
     );
 
+    // Per-profile incident-loop wall latency (bench registry, stdout only).
+    println!("incident-loop wall latency per window:");
+    for p in &profiles {
+        if let Some(h) = ctx.bench.histogram(&format!("window_ms/{}", p.name)) {
+            println!(
+                "  {:<18} n={:<5} mean={:.3}ms p50≤{:.2}ms p99≤{:.2}ms",
+                p.name,
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+            );
+        }
+    }
+
     // Determinism: replaying the harshest seeded profile must reproduce
     // the exact routing decisions, bit for bit.
-    let replay = run_profile(&d, &faults, &sim, &profiles[4]);
+    let replay = run_profile(&d, &faults, &sim, &profiles[4], &ctx);
     assert_eq!(
         replay.outcome_hash, results[4].outcome_hash,
         "chaos replay diverged under a fixed seed"
@@ -256,4 +356,17 @@ fn main() {
         "\ndeterminism: perfect-storm replay reproduced outcome hash {:016x}",
         replay.outcome_hash
     );
+
+    if let Some(path) = &args.trace {
+        std::fs::write(path, ctx.obs.trace_jsonl()).expect("write trace");
+        println!("trace:   {} events -> {path}", ctx.obs.trace_len());
+    }
+    if let Some(path) = &args.metrics {
+        std::fs::write(path, ctx.obs.metrics_text()).expect("write metrics");
+        println!("metrics: snapshot -> {path}");
+    }
+    if let Some(path) = &args.audit {
+        std::fs::write(path, ctx.obs.audit_jsonl()).expect("write audit");
+        println!("audit:   {} decisions -> {path}", ctx.obs.audit_len());
+    }
 }

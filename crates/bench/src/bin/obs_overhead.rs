@@ -1,0 +1,68 @@
+//! Overhead guard for disabled observability.
+//!
+//! Every hot path in the workspace is instrumented unconditionally — the
+//! chaos injector, the controller loops, the coarseners all carry an
+//! `smn_obs::Obs` handle and call into it per operation. That is only
+//! acceptable if a *disabled* handle is effectively free. This binary
+//! measures the Table 2 hot loop (the `TimeCoarsener` over a multi-day
+//! bandwidth log) twice — plain `report` vs `report_observed` with a
+//! disabled handle — and fails when the instrumented path is more than 2%
+//! slower.
+//!
+//! Methodology: the two variants alternate over many trials and the
+//! *minimum* per-variant time is compared (minimum is the standard
+//! low-noise estimator for microbenchmarks; means are polluted by
+//! scheduler noise and allocator warmup).
+//!
+//! Run with: `cargo run --release --bin obs_overhead`
+
+use smn_bench::timer;
+use smn_core::bwlogs::TimeCoarsener;
+use smn_core::coarsen::Coarsening;
+use smn_obs::Obs;
+use smn_telemetry::series::Statistic;
+use smn_telemetry::time::HOUR;
+
+const TRIALS: usize = 15;
+const MAX_OVERHEAD: f64 = 0.02;
+
+fn main() {
+    let p = smn_bench::planetary_small();
+    let model = smn_bench::traffic(&p);
+    let log = smn_bench::bw_log(&model, 0, 3);
+    let coarsener = TimeCoarsener::new(HOUR, vec![Statistic::P95]);
+    let off = Obs::disabled();
+    println!(
+        "obs overhead guard: {} fine records -> hourly p95, {} alternating trials",
+        log.len(),
+        TRIALS
+    );
+
+    // Warm up caches and the allocator before any measured trial.
+    let warm = coarsener.report(&log);
+    assert!(warm.shrinks(), "sanity: coarsening must shrink the log");
+
+    let mut plain_min = f64::INFINITY;
+    let mut observed_min = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let (r, ms) = timer::time_ms(|| coarsener.report(&log));
+        assert_eq!(r.coarse_size, warm.coarse_size);
+        plain_min = plain_min.min(ms);
+        let (r, ms) = timer::time_ms(|| coarsener.report_observed(&log, &off, "bwlog"));
+        assert_eq!(r.coarse_size, warm.coarse_size);
+        observed_min = observed_min.min(ms);
+    }
+
+    let overhead = observed_min / plain_min - 1.0;
+    println!("  plain report:      {plain_min:.3} ms (min of {TRIALS})");
+    println!("  disabled observed: {observed_min:.3} ms (min of {TRIALS})");
+    println!("  overhead:          {:+.2}%", overhead * 100.0);
+    assert!(off.trace_jsonl().is_empty(), "disabled handle must record nothing");
+    assert!(
+        overhead <= MAX_OVERHEAD,
+        "disabled observability costs {:.2}% > {:.0}% budget",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    println!("ok: disabled observability within the {:.0}% budget", MAX_OVERHEAD * 100.0);
+}

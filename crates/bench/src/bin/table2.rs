@@ -11,6 +11,8 @@
 //!   (coarser incident routing).
 
 use smn_bench::timer;
+use smn_obs::clock::SimClock;
+use smn_obs::Obs;
 
 use smn_core::cdg::cdg_loss;
 use smn_incident::eval::{evaluate, EvalConfig};
@@ -21,6 +23,10 @@ use smn_te::restrict::coarse_restricted_paths;
 use smn_telemetry::time::Ts;
 
 fn main() {
+    // Bench-only wall-clock registry: per-phase latency histograms printed
+    // after the table (values measured via `timer`, the audited wall clock).
+    let bench_obs = Obs::enabled(SimClock::new());
+
     // --- Coarse Bandwidth Logs cells -------------------------------------
     let p = smn_bench::planetary();
     let model = smn_bench::traffic(&p);
@@ -50,22 +56,30 @@ fn main() {
             &cfg,
         )
     });
-    let restricted: Vec<Vec<smn_topology::Path>> = demand
-        .commodities
-        .iter()
-        .map(|c| coarse_restricted_paths(&p.wan, &contraction, c.src, c.dst, cfg.k_paths))
-        .collect();
-    let realized =
-        max_multicommodity_flow_with_paths(&p.wan.graph, cap, &demand, &restricted, &cfg);
+    let ((restricted, realized), restricted_ms) = timer::time_ms(|| {
+        let restricted: Vec<Vec<smn_topology::Path>> = demand
+            .commodities
+            .iter()
+            .map(|c| coarse_restricted_paths(&p.wan, &contraction, c.src, c.dst, cfg.k_paths))
+            .collect();
+        let realized =
+            max_multicommodity_flow_with_paths(&p.wan.graph, cap, &demand, &restricted, &cfg);
+        (restricted, realized)
+    });
+    let _ = restricted;
     let speedup = fine_ms / coarse_ms.max(1e-3);
     let optimality = realized.routed_gbps / fine.routed_gbps.max(1e-9);
+    bench_obs.observe_ms("te_fine_solve_ms", fine_ms);
+    bench_obs.observe_ms("te_coarse_solve_ms", coarse_ms);
+    bench_obs.observe_ms("te_restricted_solve_ms", restricted_ms);
 
     // --- CDG cells --------------------------------------------------------
     let d = RedditDeployment::build();
     let loss = cdg_loss(&d.fine);
     // The full paper-scale campaign, same configuration as
     // incident_routing_eval, so Table 2's CDG cell matches E4.
-    let eval = evaluate(&EvalConfig::default());
+    let (eval, eval_ms) = timer::time_ms(|| evaluate(&EvalConfig::default()));
+    bench_obs.observe_ms("incident_eval_ms", eval_ms);
     let uplift = (eval.explainability_accuracy - eval.internal_accuracy) * 100.0;
 
     let rows = vec![
@@ -101,4 +115,13 @@ fn main() {
         "{}",
         smn_bench::render_table(&["Example", "Mapping", "What's Lost", "What's Gained"], &rows)
     );
+
+    println!("phase latency (wall clock, single run):");
+    for name in
+        ["te_fine_solve_ms", "te_coarse_solve_ms", "te_restricted_solve_ms", "incident_eval_ms"]
+    {
+        if let Some(h) = bench_obs.histogram(name) {
+            println!("  {:<24} {:.1} ms (bucket ≤ {:.0} ms)", name, h.mean(), h.quantile(1.0));
+        }
+    }
 }

@@ -287,6 +287,93 @@ pub fn lint(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `smn obs summarize` — summarize a deterministic JSONL trace.
+///
+/// Renders the span tree with durations, the top-N slowest spans, and
+/// (with `--metrics`) the Prometheus snapshot written alongside the
+/// trace. Fails when any trace line does not parse, so CI can gate on
+/// artifact validity the same way it gates on `smn lint`.
+pub fn obs(args: &[String]) -> Result<(), String> {
+    const OBS_USAGE: &str =
+        "usage: smn obs summarize <trace.jsonl> [--metrics FILE] [--top N] [--json]";
+    let Some(action) = args.first() else {
+        return Err(OBS_USAGE.to_string());
+    };
+    if action != "summarize" {
+        return Err(format!("unknown obs action '{action}'\n{OBS_USAGE}"));
+    }
+    let mut trace: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut top: usize = 10;
+    let mut json = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--metrics" => match it.next() {
+                Some(path) => metrics = Some(path.clone()),
+                None => return Err("--metrics needs a file path".to_string()),
+            },
+            "--top" => match it.next() {
+                Some(n) => {
+                    top = n.parse().map_err(|_| format!("--top needs a number, got '{n}'"))?;
+                }
+                None => return Err("--top needs a number".to_string()),
+            },
+            other if !other.starts_with("--") && trace.is_none() => {
+                trace = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument '{other}'\n{OBS_USAGE}")),
+        }
+    }
+    let Some(trace) = trace else {
+        return Err(OBS_USAGE.to_string());
+    };
+
+    let jsonl = std::fs::read_to_string(&trace).map_err(|e| format!("cannot read {trace}: {e}"))?;
+    let summary = smn_obs::summary::TraceSummary::parse(&jsonl);
+    let metrics_text = match &metrics {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?)
+        }
+        None => None,
+    };
+
+    if json {
+        let rendered = summary.to_json(top);
+        match metrics_text {
+            Some(m) => {
+                // Graft the raw metrics snapshot into the summary object so
+                // `--json` stays a single parseable document.
+                let mut value = serde_json::parse_value(&rendered)
+                    .map_err(|e| format!("internal: summary JSON did not round-trip: {e}"))?;
+                if let serde_json::Value::Map(entries) = &mut value {
+                    entries.push(("metrics".to_string(), serde_json::Value::Str(m)));
+                }
+                println!("{}", serde_json::to_string_pretty(&value).map_err(|e| e.to_string())?);
+            }
+            None => println!("{rendered}"),
+        }
+    } else {
+        print!("{}", summary.render_text(top));
+        if let Some(m) = metrics_text {
+            println!("\nmetric snapshot ({}):", metrics.as_deref().unwrap_or_default());
+            for line in m.lines() {
+                println!("  {line}");
+            }
+        }
+    }
+
+    if !summary.parse_errors.is_empty() {
+        let (line, msg) = &summary.parse_errors[0];
+        return Err(format!(
+            "{} trace line(s) failed to parse (first: line {line}: {msg})",
+            summary.parse_errors.len()
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,7 @@
 //! smn run      [--days N]              continuous operation (all loops)
 //! smn cdg                              print the Reddit CDG as DOT
 //! smn lint [--json] [--artifacts DIR]  static analysis (source + artifacts)
+//! smn obs summarize <trace.jsonl>      summarize a deterministic trace
 //! ```
 //!
 //! Argument parsing is intentionally dependency-free (two flags per
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "run" => commands::run(rest),
         "cdg" => commands::cdg(),
         "lint" => commands::lint(rest),
+        "obs" => commands::obs(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -61,4 +63,7 @@ USAGE:
   smn plan     [--weeks N]            capacity planning from simulated logs
   smn run      [--days N]             continuous operation (all loops)
   smn cdg                             print the Reddit CDG as Graphviz DOT
-  smn lint [--json] [--artifacts DIR] run smn-lint (source + artifact engines)";
+  smn lint [--json] [--artifacts DIR] run smn-lint (source + artifact engines)
+  smn obs summarize <trace.jsonl>     summarize a deterministic trace
+           [--metrics FILE]           (span tree, top-N slowest spans,
+           [--top N] [--json]          metric snapshot; fails on parse errors)";

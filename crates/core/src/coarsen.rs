@@ -35,6 +35,30 @@ pub trait Coarsening {
         let coarse_size = self.coarse_size(&coarse);
         CoarseningReport { coarse, fine_size, coarse_size }
     }
+
+    /// [`Coarsening::report`] wrapped in an observability span named
+    /// `coarsen/<label>`, with the size relation recorded as exit fields
+    /// and `coarsen_<label>_reduction` published as a gauge.
+    fn report_observed(
+        &self,
+        fine: &Self::Fine,
+        obs: &smn_obs::Obs,
+        label: &str,
+    ) -> CoarseningReport<Self::Coarse> {
+        if !obs.is_enabled() {
+            return self.report(fine);
+        }
+        let mut span = obs.span(&format!("coarsen/{label}"));
+        let report = self.report(fine);
+        span.field("fine_size", report.fine_size);
+        span.field("coarse_size", report.coarse_size);
+        span.field("shrinks", report.shrinks());
+        let reduction = report.reduction_factor();
+        if reduction.is_finite() {
+            obs.gauge(&format!("coarsen_{label}_reduction"), reduction);
+        }
+        report
+    }
 }
 
 /// The result of applying a coarsening: the coarse structure plus the size
@@ -140,6 +164,22 @@ mod tests {
     }
 
     #[test]
+    fn observed_report_traces_the_size_relation() {
+        let c = BucketSum { bucket: 4 };
+        let fine: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let obs = smn_obs::Obs::enabled(smn_obs::clock::SimClock::new());
+        let report = c.report_observed(&fine, &obs, "bucket-sum");
+        assert_eq!(report.coarse_size, 25);
+        assert_eq!(obs.trace_len(), 2); // enter + exit
+        assert_eq!(obs.gauge_value("coarsen_bucket-sum_reduction"), Some(4.0));
+        // Disabled handle: same result, no events.
+        let off = smn_obs::Obs::disabled();
+        let report = c.report_observed(&fine, &off, "bucket-sum");
+        assert_eq!(report.coarse_size, 25);
+        assert_eq!(off.trace_len(), 0);
+    }
+
+    #[test]
     fn sum_preserving_action_has_perfect_fidelity() {
         let c = BucketSum { bucket: 10 };
         let fine: Vec<f64> = (0..100).map(|i| i as f64).collect();
@@ -163,8 +203,8 @@ mod tests {
         let f = action_fidelity(
             &fine,
             &coarse,
-            |v| v.iter().cloned().fold(f64::MIN, f64::max),
-            |v| v.iter().cloned().fold(f64::MIN, f64::max),
+            |v| v.iter().copied().fold(f64::MIN, f64::max),
+            |v| v.iter().copied().fold(f64::MIN, f64::max),
             relative_closeness,
         );
         // Max over bucket sums overestimates max over elements.

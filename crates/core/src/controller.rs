@@ -30,6 +30,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,7 @@ use smn_datalake::fault::{FaultyStore, LakeError};
 use smn_datalake::store::Clds;
 use smn_depgraph::coarse::CoarseDepGraph;
 use smn_depgraph::syndrome::{Explainability, Syndrome};
+use smn_obs::Obs;
 use smn_te::capacity::{CapacityPlanner, UpgradePolicy};
 use smn_telemetry::record::{Alert, LogEvent, ProbeResult, Severity};
 use smn_telemetry::series::Statistic;
@@ -175,6 +177,9 @@ pub struct SmnController {
     processed_through: AtomicU64,
     /// Retry + circuit-breaker state shared by all lake reads.
     access: Mutex<ResilientAccess>,
+    /// Observability handle: spans per loop, counters, and the decision
+    /// audit trail. Disabled by default.
+    obs: Arc<Obs>,
 }
 
 impl SmnController {
@@ -192,7 +197,19 @@ impl SmnController {
             next_incident_id: AtomicU64::new(1),
             processed_through: AtomicU64::new(0),
             access: Mutex::new(ResilientAccess::default()),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Route controller telemetry — loop spans, counters, resilience
+    /// gauges, and the decision audit trail — to `obs`.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = obs;
+    }
+
+    /// The controller's observability handle.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Rebuild a controller from a checkpoint: loops resume after the
@@ -209,6 +226,7 @@ impl SmnController {
             next_incident_id: AtomicU64::new(checkpoint.next_incident_id),
             processed_through: AtomicU64::new(checkpoint.processed_through),
             access: Mutex::new(ResilientAccess::default()),
+            obs: Obs::disabled(),
         }
     }
 
@@ -250,9 +268,89 @@ impl SmnController {
         self.access.lock().clone()
     }
 
-    /// Run one lake read under the shared retry + circuit-breaker policy.
+    /// Run one lake read under the shared retry + circuit-breaker policy,
+    /// publishing the updated resilience counters as gauges.
     fn fetch<T>(&self, op: impl FnMut(u32) -> Result<T, LakeError>) -> Result<T, LakeError> {
-        self.access.lock().query(op)
+        let mut access = self.access.lock();
+        let result = access.query(op);
+        access.record(&self.obs);
+        result
+    }
+
+    /// Publish a loop's emitted feedback to the audit trail — one record
+    /// per decision, carrying the evidence that triggered it — and bump the
+    /// per-kind feedback counters.
+    fn audit_feedback(&self, loop_name: &str, feedback: &[Feedback]) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let actor = format!("controller/{loop_name}");
+        for f in feedback {
+            match f {
+                Feedback::RouteIncident { team, explainability, aggregated } => {
+                    self.obs.inc("controller_incidents_routed_total");
+                    let mut ev = vec![
+                        ("team", team.clone()),
+                        ("explainability", format!("{explainability:.4}")),
+                    ];
+                    if let Some(a) = aggregated {
+                        ev.push(("aggregated_teams", a.alerting_teams.len().to_string()));
+                        ev.push(("merged_alerts", a.merged_alerts.to_string()));
+                        ev.push(("priority", a.priority.to_string()));
+                    }
+                    self.obs.audit(&actor, "route-incident", &ev);
+                }
+                Feedback::InformTeam { team, reason } => {
+                    self.obs.inc("controller_informs_total");
+                    self.obs.audit(
+                        &actor,
+                        "inform-team",
+                        &[("team", team.clone()), ("reason", reason.clone())],
+                    );
+                }
+                Feedback::ProvisionCapacity { link, add_gbps, cost } => {
+                    self.obs.inc("controller_provisions_total");
+                    self.obs.audit(
+                        &actor,
+                        "provision-capacity",
+                        &[
+                            ("link", link.index().to_string()),
+                            ("add_gbps", format!("{add_gbps:.1}")),
+                            ("cost", format!("{cost:.1}")),
+                        ],
+                    );
+                }
+                Feedback::UpgradeBlockedByFiber { link } => {
+                    self.obs.inc("controller_fiber_blocks_total");
+                    self.obs.audit(
+                        &actor,
+                        "upgrade-blocked-by-fiber",
+                        &[("link", link.index().to_string())],
+                    );
+                }
+                Feedback::RetuneModulation { wavelength, to } => {
+                    self.obs.inc("controller_retunes_total");
+                    self.obs.audit(
+                        &actor,
+                        "retune-modulation",
+                        &[("wavelength", wavelength.0.to_string()), ("to", format!("{to:?}"))],
+                    );
+                }
+                Feedback::Degraded { loop_name, from, to, reason } => {
+                    self.obs.inc("controller_degraded_total");
+                    self.obs.audit(
+                        &actor,
+                        "degrade",
+                        &[
+                            ("loop", loop_name.clone()),
+                            ("from", from.clone()),
+                            ("to", to.clone()),
+                            ("reason", reason.clone()),
+                        ],
+                    );
+                }
+            }
+        }
     }
 
     fn advance_cursor(&self, end: Ts) {
@@ -305,6 +403,18 @@ impl SmnController {
     /// checkpoint cursor return nothing — a restored controller never
     /// re-emits feedback for windows a previous incarnation processed.
     pub fn incident_loop(&self, start: Ts, end: Ts) -> Vec<Feedback> {
+        let mut span = self.obs.span_with(
+            "controller/incident-loop",
+            &[("start", start.0.into()), ("end", end.0.into())],
+        );
+        let feedback = self.incident_loop_inner(start, end);
+        span.field("feedback", feedback.len());
+        self.obs.inc("controller_incident_windows_total");
+        self.audit_feedback("incident", &feedback);
+        feedback
+    }
+
+    fn incident_loop_inner(&self, start: Ts, end: Ts) -> Vec<Feedback> {
         if end.0 <= self.processed_through.load(Ordering::Relaxed) {
             return Vec::new();
         }
@@ -408,6 +518,20 @@ impl SmnController {
         distance_km: impl Fn(EdgeId) -> f64,
         optical: &OpticalLayer,
     ) -> Vec<Feedback> {
+        let mut span =
+            self.obs.span_with("controller/planning-loop", &[("links", history.len().into())]);
+        let feedback = self.planning_loop_inner(history, distance_km, optical);
+        span.field("feedback", feedback.len());
+        self.audit_feedback("planning", &feedback);
+        feedback
+    }
+
+    fn planning_loop_inner(
+        &self,
+        history: &BTreeMap<EdgeId, Vec<f64>>,
+        distance_km: impl Fn(EdgeId) -> f64,
+        optical: &OpticalLayer,
+    ) -> Vec<Feedback> {
         let planner = CapacityPlanner::new(self.config.upgrade_policy.clone());
         let plan =
             planner.plan(history, distance_km, |link| optical.link_upgradeable(link.index()));
@@ -450,6 +574,28 @@ impl SmnController {
     /// stepped down emits [`Feedback::Degraded`]; an unreadable lake yields
     /// `None` plus a single degradation record.
     pub fn planning_bandwidth(
+        &self,
+        start: Ts,
+        end: Ts,
+    ) -> (Option<PlanningWindow>, Vec<Feedback>) {
+        let mut span = self.obs.span_with(
+            "controller/planning-bandwidth",
+            &[("start", start.0.into()), ("end", end.0.into())],
+        );
+        let (window, feedback) = self.planning_bandwidth_inner(start, end);
+        if let Some(w) = &window {
+            span.field("resolution_secs", w.resolution_secs);
+            span.field("completeness", w.completeness);
+            #[allow(clippy::cast_precision_loss)] // resolutions are seconds-scale
+            self.obs.gauge("planning_resolution_secs", w.resolution_secs as f64);
+            self.obs.gauge("planning_completeness", w.completeness);
+        }
+        span.field("feedback", feedback.len());
+        self.audit_feedback("planning", &feedback);
+        (window, feedback)
+    }
+
+    fn planning_bandwidth_inner(
         &self,
         start: Ts,
         end: Ts,
@@ -556,6 +702,22 @@ impl SmnController {
     /// emitting [`Feedback::Degraded`] — rather than panicking or acting on
     /// a partial flap picture.
     pub fn reliability_loop_from_lake(
+        &self,
+        start: Ts,
+        end: Ts,
+        optical: &OpticalLayer,
+    ) -> Vec<Feedback> {
+        let mut span = self.obs.span_with(
+            "controller/reliability-loop",
+            &[("start", start.0.into()), ("end", end.0.into())],
+        );
+        let feedback = self.reliability_loop_from_lake_inner(start, end, optical);
+        span.field("feedback", feedback.len());
+        self.audit_feedback("reliability", &feedback);
+        feedback
+    }
+
+    fn reliability_loop_from_lake_inner(
         &self,
         start: Ts,
         end: Ts,

@@ -14,6 +14,7 @@
 //! fast and deterministic.
 
 use serde::{Deserialize, Serialize};
+use smn_obs::Obs;
 
 use crate::catalog::Catalog;
 use crate::fault::LakeError;
@@ -258,6 +259,20 @@ impl ResilientAccess {
             }
         }
     }
+
+    /// Snapshot resilience state into observability gauges. The struct
+    /// itself stays serializable (it is part of controller checkpoints), so
+    /// it cannot hold an [`Obs`] handle — callers publish after querying.
+    #[allow(clippy::cast_precision_loss)] // retry/trip counts stay far below 2^52
+    pub fn record(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.gauge("lake_retries_total", self.total_retries as f64);
+        obs.gauge("lake_backoff_secs_total", self.total_backoff_secs);
+        obs.gauge("lake_breaker_trips_total", self.breaker.trips as f64);
+        obs.gauge("lake_breaker_open", if self.breaker.is_open() { 1.0 } else { 0.0 });
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +411,27 @@ mod resilience_tests {
         // Cooldown elapsed: half-open trial goes through and closes.
         assert_eq!(access.query(|_| Ok(42)).unwrap(), 42);
         assert!(!access.breaker.is_open());
+    }
+
+    #[test]
+    fn record_publishes_resilience_gauges() {
+        let mut access = ResilientAccess::default();
+        let result =
+            access.query(
+                |attempt| {
+                    if attempt < 2 {
+                        Err(transient(attempt as u64))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        assert!(result.is_ok());
+        let obs = Obs::enabled(smn_obs::clock::SimClock::new());
+        access.record(&obs);
+        assert_eq!(obs.gauge_value("lake_retries_total"), Some(2.0));
+        assert_eq!(obs.gauge_value("lake_breaker_open"), Some(0.0));
+        assert!(obs.gauge_value("lake_backoff_secs_total").unwrap() > 0.0);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+use smn_obs::Obs;
 use smn_telemetry::record::{Alert, Severity};
 use smn_telemetry::time::Ts;
 
@@ -114,6 +115,27 @@ pub fn ingest_alerts(
     report
 }
 
+/// [`ingest_alerts`] with the batch outcome published to `obs`: bumps the
+/// `lake_ingested_total` / `lake_suppressed_total` counters and emits a
+/// `lake/ingest` trace event carrying the batch counts.
+pub fn ingest_alerts_observed(
+    clds: &Clds,
+    denoiser: &mut dyn Denoiser,
+    alerts: impl IntoIterator<Item = Alert>,
+    obs: &Obs,
+) -> IngestReport {
+    let report = ingest_alerts(clds, denoiser, alerts);
+    if obs.is_enabled() {
+        obs.inc_by("lake_ingested_total", report.ingested as u64);
+        obs.inc_by("lake_suppressed_total", report.suppressed as u64);
+        obs.event(
+            "lake/ingest",
+            &[("ingested", report.ingested.into()), ("suppressed", report.suppressed.into())],
+        );
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +159,23 @@ mod tests {
         assert_eq!(r.ingested, 5);
         assert_eq!(r.suppressed, 0);
         assert_eq!(clds.alerts.read().len(), 5);
+    }
+
+    #[test]
+    fn observed_ingest_publishes_counters() {
+        let clds = Clds::new();
+        let mut d = DedupDenoiser::new(600);
+        let obs = Obs::enabled(smn_obs::clock::SimClock::new());
+        let alerts = vec![
+            alert(0, "web-1", Severity::Warning),
+            alert(60, "web-1", Severity::Warning), // dup
+            alert(120, "web-2", Severity::Warning),
+        ];
+        let r = ingest_alerts_observed(&clds, &mut d, alerts, &obs);
+        assert_eq!(r.ingested, 2);
+        assert_eq!(obs.counter("lake_ingested_total"), 2);
+        assert_eq!(obs.counter("lake_suppressed_total"), 1);
+        assert_eq!(obs.trace_len(), 1);
     }
 
     #[test]

@@ -105,6 +105,26 @@ impl CoarseDepGraph {
         cdg
     }
 
+    /// [`CoarseDepGraph::from_fine`] wrapped in a `cdg/build` span: the
+    /// fine/coarse node and edge counts land as exit fields, and the node
+    /// reduction factor publishes as the `cdg_node_reduction` gauge.
+    #[allow(clippy::cast_precision_loss)] // node counts stay far below 2^52
+    pub fn from_fine_observed(fine: &FineDepGraph, obs: &smn_obs::Obs) -> Self {
+        if !obs.is_enabled() {
+            return Self::from_fine(fine);
+        }
+        let mut span = obs.span("cdg/build");
+        let cdg = Self::from_fine(fine);
+        span.field("fine_nodes", fine.graph.node_count());
+        span.field("fine_edges", fine.graph.edge_count());
+        span.field("teams", cdg.len());
+        span.field("team_edges", cdg.graph.edge_count());
+        if !cdg.is_empty() {
+            obs.gauge("cdg_node_reduction", fine.graph.node_count() as f64 / cdg.len() as f64);
+        }
+        cdg
+    }
+
     /// Teams that transitively depend on `team` (including itself): the
     /// expected set of symptom-bearing teams if only `team` failed.
     pub fn dependents_of(&self, team: NodeId) -> HashSet<NodeId> {

@@ -117,6 +117,7 @@ impl Default for Config {
             deterministic_paths: vec![
                 "crates/core/src/simulation.rs".into(),
                 "crates/incident/src/sim.rs".into(),
+                "crates/obs/src/".into(),
                 "crates/telemetry/src/".into(),
             ],
             cast_paths: vec![
@@ -223,6 +224,7 @@ mod tests {
     fn path_scoping() {
         let c = Config::default();
         assert!(c.is_deterministic_path("crates/telemetry/src/chaos.rs"));
+        assert!(c.is_deterministic_path("crates/obs/src/trace.rs"));
         assert!(!c.is_deterministic_path("crates/te/src/mcf.rs"));
         assert!(c.is_cast_path("crates/te/src/mcf.rs"));
         assert!(c.panic_rules_apply("crates/core/src/bwlogs.rs"));

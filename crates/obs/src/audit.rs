@@ -1,0 +1,154 @@
+//! The controller decision audit trail.
+//!
+//! Every consequential CLTO decision — routing an incident, stepping down
+//! a degradation ladder, falling back to a coarser planning resolution,
+//! proposing a modulation retune — is recorded as an [`AuditRecord`] with
+//! the evidence that triggered it. The trail answers the question the
+//! degraded-mode campaigns kept raising: *why* did the controller do that?
+//!
+//! Records export as JSONL with fixed field order, so identically seeded
+//! runs produce byte-identical trails.
+
+use serde::Value;
+
+/// One audited controller decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRecord {
+    /// Emission order, 1-based, dense.
+    pub seq: u64,
+    /// Simulated seconds at decision time.
+    pub ts: u64,
+    /// Who decided, e.g. `"controller/incident"`.
+    pub actor: String,
+    /// What was decided, e.g. `"route-incident"`, `"degrade"`.
+    pub action: String,
+    /// Triggering evidence as ordered key → value pairs.
+    pub evidence: Vec<(String, String)>,
+}
+
+impl AuditRecord {
+    /// Serialize as one compact JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let evidence: Vec<(String, Value)> =
+            self.evidence.iter().map(|(k, v)| (k.clone(), Value::Str(v.clone()))).collect();
+        let map = Value::Map(vec![
+            ("seq".to_string(), Value::U64(self.seq)),
+            ("ts".to_string(), Value::U64(self.ts)),
+            ("actor".to_string(), Value::Str(self.actor.clone())),
+            ("action".to_string(), Value::Str(self.action.clone())),
+            ("evidence".to_string(), Value::Map(evidence)),
+        ]);
+        serde_json::to_string(&map).unwrap_or_default()
+    }
+
+    /// Parse one JSONL line back into a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed line: bad JSON, a missing
+    /// or mistyped field, or non-string evidence values.
+    pub fn from_json_line(line: &str) -> Result<AuditRecord, String> {
+        let v = serde_json::parse_value(line).map_err(|e| e.to_string())?;
+        let u64_of = |key: &str| -> Result<u64, String> {
+            match v.get(key) {
+                Some(Value::U64(n)) => Ok(*n),
+                _ => Err(format!("missing or non-integer field '{key}'")),
+            }
+        };
+        let str_of = |key: &str| -> Result<String, String> {
+            match v.get(key) {
+                Some(Value::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("missing or non-string field '{key}'")),
+            }
+        };
+        let mut evidence = Vec::new();
+        match v.get("evidence") {
+            Some(Value::Map(entries)) => {
+                for (k, ev) in entries {
+                    match ev {
+                        Value::Str(s) => evidence.push((k.clone(), s.clone())),
+                        other => return Err(format!("evidence '{k}' is not a string: {other:?}")),
+                    }
+                }
+            }
+            _ => return Err("missing or non-object field 'evidence'".to_string()),
+        }
+        Ok(AuditRecord {
+            seq: u64_of("seq")?,
+            ts: u64_of("ts")?,
+            actor: str_of("actor")?,
+            action: str_of("action")?,
+            evidence,
+        })
+    }
+}
+
+/// Trail state behind the [`crate::Obs`] lock.
+#[derive(Debug, Default)]
+pub(crate) struct AuditState {
+    /// Recorded decisions, in emission order.
+    pub records: Vec<AuditRecord>,
+    next_seq: u64,
+}
+
+impl AuditState {
+    /// Append a decision record.
+    pub fn record(&mut self, ts: u64, actor: &str, action: &str, evidence: Vec<(String, String)>) {
+        self.next_seq += 1;
+        self.records.push(AuditRecord {
+            seq: self.next_seq,
+            ts,
+            actor: actor.to_string(),
+            action: action.to_string(),
+            evidence,
+        });
+    }
+
+    /// Export the trail as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip_through_jsonl() {
+        let mut a = AuditState::default();
+        a.record(
+            3600,
+            "controller/incident",
+            "route-incident",
+            vec![("team".to_string(), "network".to_string())],
+        );
+        a.record(
+            7200,
+            "controller/planning",
+            "degrade",
+            vec![
+                ("from".to_string(), "fine".to_string()),
+                ("to".to_string(), "hourly".to_string()),
+            ],
+        );
+        let jsonl = a.to_jsonl();
+        let parsed: Vec<AuditRecord> =
+            jsonl.lines().map(|l| AuditRecord::from_json_line(l).unwrap()).collect();
+        assert_eq!(parsed, a.records);
+        assert_eq!(parsed[0].seq, 1);
+        assert_eq!(parsed[1].evidence[1], ("to".to_string(), "hourly".to_string()));
+    }
+
+    #[test]
+    fn malformed_records_error() {
+        assert!(AuditRecord::from_json_line("{").is_err());
+        assert!(AuditRecord::from_json_line(r#"{"seq":1}"#).is_err());
+    }
+}

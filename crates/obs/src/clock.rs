@@ -1,0 +1,80 @@
+//! Time sources for observability events.
+//!
+//! Every timestamp an [`crate::Obs`] emits comes through the [`Clock`]
+//! trait, and the only implementation in the workspace is simulation time:
+//! a [`SimClock`] the driving loop advances explicitly. No implementation
+//! reads the wall clock, which is what makes two identically seeded runs
+//! produce byte-identical traces (the `determinism/wall-clock` invariant of
+//! `smn-lint`). Benchmark binaries that want real latencies measure them
+//! with `smn_bench::timer` — the workspace's single audited wall-clock
+//! read — and feed the measured milliseconds into histograms as *values*,
+//! never as event timestamps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A source of observability timestamps, in simulated seconds.
+pub trait Clock: Send + Sync {
+    /// The current time in simulated seconds since campaign start.
+    fn now(&self) -> u64;
+}
+
+/// Simulation-time clock: holds whatever the driving loop last set.
+///
+/// Shared by `Arc` between the driver (which calls [`SimClock::set`] at
+/// each window boundary) and the [`crate::Obs`] handle reading it.
+#[derive(Debug, Default)]
+pub struct SimClock(AtomicU64);
+
+impl SimClock {
+    /// A clock at simulated second zero.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// A clock starting at `start_secs`.
+    #[must_use]
+    pub fn starting_at(start_secs: u64) -> Arc<Self> {
+        Arc::new(SimClock(AtomicU64::new(start_secs)))
+    }
+
+    /// Move the clock to `now_secs`. Monotonicity is the caller's contract;
+    /// the clock itself just stores the value (replays may legitimately
+    /// rewind between campaign runs).
+    pub fn set(&self, now_secs: u64) {
+        self.0.store(now_secs, Ordering::Relaxed);
+    }
+
+    /// Advance the clock by `delta_secs`, returning the new time.
+    pub fn advance(&self, delta_secs: u64) -> u64 {
+        self.0.fetch_add(delta_secs, Ordering::Relaxed) + delta_secs
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_set_and_advance() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), 0);
+        c.set(3600);
+        assert_eq!(c.now(), 3600);
+        assert_eq!(c.advance(60), 3660);
+        assert_eq!(c.now(), 3660);
+    }
+
+    #[test]
+    fn starting_at_seeds_the_clock() {
+        let c = SimClock::starting_at(86_400);
+        assert_eq!(c.now(), 86_400);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for histogram merging.
+//!
+//! The degraded-mode campaigns merge per-shard histograms in whatever
+//! order the profiles finish, so `Histogram::merge` must be associative
+//! and commutative over same-bound histograms — `(a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)`
+//! down to exact bucket counts, sums, and totals.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use smn_obs::Histogram;
+
+const BOUNDS: [f64; 5] = [0.5, 2.0, 8.0, 32.0, 128.0];
+
+fn filled(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new(&BOUNDS);
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative(
+        a in vec(0.0f64..200.0, 0..40),
+        b in vec(0.0f64..200.0, 0..40),
+        c in vec(0.0f64..200.0, 0..40),
+    ) {
+        // (a ⊔ b) ⊔ c
+        let mut left = filled(&a);
+        prop_assert!(left.merge(&filled(&b)));
+        prop_assert!(left.merge(&filled(&c)));
+        // a ⊔ (b ⊔ c)
+        let mut bc = filled(&b);
+        prop_assert!(bc.merge(&filled(&c)));
+        let mut right = filled(&a);
+        prop_assert!(right.merge(&bc));
+
+        prop_assert_eq!(&left.counts, &right.counts);
+        prop_assert_eq!(left.count, right.count);
+        // Sums are f64 additions in different orders; bound the drift.
+        prop_assert!((left.sum - right.sum).abs() <= 1e-6 * (1.0 + left.sum.abs()));
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in vec(0.0f64..200.0, 0..40),
+        b in vec(0.0f64..200.0, 0..40),
+    ) {
+        let mut ab = filled(&a);
+        prop_assert!(ab.merge(&filled(&b)));
+        let mut ba = filled(&b);
+        prop_assert!(ba.merge(&filled(&a)));
+        prop_assert_eq!(&ab.counts, &ba.counts);
+        prop_assert_eq!(ab.count, ba.count);
+        prop_assert!((ab.sum - ba.sum).abs() <= 1e-6 * (1.0 + ab.sum.abs()));
+    }
+
+    #[test]
+    fn merge_equals_bulk_observation(
+        a in vec(0.0f64..200.0, 0..40),
+        b in vec(0.0f64..200.0, 0..40),
+    ) {
+        let mut merged = filled(&a);
+        prop_assert!(merged.merge(&filled(&b)));
+        let mut all: Vec<f64> = a.clone();
+        all.extend_from_slice(&b);
+        let bulk = filled(&all);
+        prop_assert_eq!(&merged.counts, &bulk.counts);
+        prop_assert_eq!(merged.count, bulk.count);
+    }
+}

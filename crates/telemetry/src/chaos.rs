@@ -19,7 +19,10 @@
 //!    can therefore appear after records up to `max_lateness_secs` newer
 //!    than it, but never later than that bound.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
+use smn_obs::Obs;
 
 use crate::det::{mix, uniform01};
 use crate::record::{Alert, BandwidthRecord, HealthSample, IncidentRecord, LogEvent, ProbeResult};
@@ -174,12 +177,21 @@ pub struct ChaosOutcome<T> {
 #[derive(Debug, Clone)]
 pub struct ChaosInjector {
     config: ChaosConfig,
+    obs: Arc<Obs>,
 }
 
 impl ChaosInjector {
-    /// Build an injector from a profile.
+    /// Build an injector from a profile (observability disabled).
     pub fn new(config: ChaosConfig) -> Self {
-        ChaosInjector { config }
+        ChaosInjector { config, obs: Obs::disabled() }
+    }
+
+    /// Route injection statistics to an observability handle: every
+    /// [`ChaosInjector::apply`] bumps the `telemetry_chaos_*` counters.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The profile this injector applies.
@@ -252,6 +264,14 @@ impl ChaosInjector {
         // Delivery order: by arrival time, input order breaking ties (stable
         // for determinism).
         delivered.sort_by_key(|(arrival, idx, _)| (*arrival, *idx));
+        if self.obs.is_enabled() {
+            self.obs.inc_by("telemetry_records_total", report.input as u64);
+            self.obs.inc_by("telemetry_chaos_dropped_total", report.dropped as u64);
+            self.obs.inc_by("telemetry_chaos_duplicated_total", report.duplicated as u64);
+            self.obs.inc_by("telemetry_chaos_delayed_total", report.delayed as u64);
+            #[allow(clippy::cast_precision_loss)] // delays are bounded small
+            self.obs.gauge("telemetry_chaos_max_delay_secs", report.max_observed_delay_secs as f64);
+        }
         ChaosOutcome { records: delivered.into_iter().map(|(_, _, r)| r).collect(), report }
     }
 
@@ -333,6 +353,24 @@ mod tests {
         assert!(out.records.iter().all(|r| r.ts == Ts(0)));
         let out = ChaosInjector::new(ChaosConfig::clean(4).with_clock_skew(120, 0)).apply(&log);
         assert_eq!(out.records[0].ts, Ts(120));
+    }
+
+    #[test]
+    #[allow(clippy::cast_precision_loss)] // small test magnitudes
+    fn obs_counters_track_the_report() {
+        let log = stream(500);
+        let obs = Obs::enabled(smn_obs::clock::SimClock::new());
+        let cfg =
+            ChaosConfig::clean(11).with_loss(0.2).with_duplication(0.1).with_reordering(0.4, 300);
+        let out = ChaosInjector::new(cfg).with_obs(obs.clone()).apply(&log);
+        assert_eq!(obs.counter("telemetry_records_total"), 500);
+        assert_eq!(obs.counter("telemetry_chaos_dropped_total"), out.report.dropped as u64);
+        assert_eq!(obs.counter("telemetry_chaos_duplicated_total"), out.report.duplicated as u64);
+        assert_eq!(obs.counter("telemetry_chaos_delayed_total"), out.report.delayed as u64);
+        assert_eq!(
+            obs.gauge_value("telemetry_chaos_max_delay_secs"),
+            Some(out.report.max_observed_delay_secs as f64)
+        );
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Observability determinism: the whole point of `smn-obs` is that a
+//! seeded chaos campaign leaves *byte-identical* artifacts on every run.
+//! These tests run a reduced perfect-storm campaign twice — fresh
+//! controller, injector, clock, and `Obs` registry each time — and
+//! compare the exported trace, metrics snapshot, and audit trail byte
+//! for byte, then check that the trace summarizer reads the artifact
+//! back without a single parse error.
+
+use smn_core::controller::{ControllerConfig, SmnController};
+use smn_datalake::fault::{FaultProfile, FaultyStore};
+use smn_datalake::store::Clds;
+use smn_incident::faults::{generate_campaign, CampaignConfig};
+use smn_incident::monitoring::materialize;
+use smn_incident::sim::{observe, SimConfig};
+use smn_incident::RedditDeployment;
+use smn_obs::clock::SimClock;
+use smn_obs::summary::TraceSummary;
+use smn_obs::Obs;
+use smn_telemetry::chaos::{ChaosConfig, ChaosInjector};
+use smn_telemetry::time::{Ts, HOUR};
+
+struct Artifacts {
+    trace: String,
+    metrics: String,
+    audit: String,
+}
+
+/// A reduced perfect-storm window sequence: telemetry chaos plus a flaky
+/// lake, fully instrumented, artifacts exported at the end.
+fn storm_campaign() -> Artifacts {
+    let d = RedditDeployment::build();
+    let faults = generate_campaign(&d, &CampaignConfig { n_faults: 10, ..Default::default() });
+    let clock = SimClock::new();
+    let obs = Obs::enabled(clock.clone());
+    let mut controller = SmnController::with_lake(
+        FaultyStore::new(Clds::new(), FaultProfile::reliable().with_error_rate(0.2).with_seed(11)),
+        d.cdg.clone(),
+        ControllerConfig::default(),
+    );
+    controller.set_obs(obs.clone());
+    let injector = ChaosInjector::new(
+        ChaosConfig::clean(0xBAD).with_loss(0.3).with_duplication(0.1).with_reordering(0.6, 600),
+    )
+    .with_obs(obs.clone());
+    let sim = SimConfig::default();
+
+    for (i, fault) in faults.iter().enumerate() {
+        let start = Ts(i as u64 * HOUR);
+        clock.set(start.0);
+        let telemetry = materialize(&d, &observe(&d, fault, &sim), &sim, start);
+        let mut alerts = injector.apply(&telemetry.alerts).records;
+        let mut probes = injector.apply(&telemetry.probes).records;
+        alerts.sort_by_key(|a| a.ts);
+        probes.sort_by_key(|r| r.ts);
+        controller.clds().alerts.write().extend(alerts);
+        controller.clds().probes.write().extend(probes);
+        controller.incident_loop(start, start + HOUR);
+    }
+
+    Artifacts { trace: obs.trace_jsonl(), metrics: obs.metrics_text(), audit: obs.audit_jsonl() }
+}
+
+/// Two identical seeded runs leave byte-identical artifacts: no wall
+/// clock, no map-iteration nondeterminism, no allocation-order leaks.
+#[test]
+fn seeded_runs_leave_byte_identical_artifacts() {
+    let a = storm_campaign();
+    let b = storm_campaign();
+    assert!(!a.trace.is_empty(), "instrumented campaign must emit trace events");
+    assert!(!a.metrics.is_empty(), "instrumented campaign must publish metrics");
+    assert!(!a.audit.is_empty(), "routing decisions must hit the audit trail");
+    assert_eq!(a.trace, b.trace, "trace must be byte-identical across seeded runs");
+    assert_eq!(a.metrics, b.metrics, "metrics snapshot must be byte-identical");
+    assert_eq!(a.audit, b.audit, "audit trail must be byte-identical");
+}
+
+/// The exported trace round-trips through the summarizer: every line
+/// parses, every span is closed, and the span tree has the loop spans
+/// the controller is supposed to emit.
+#[test]
+fn exported_trace_summarizes_cleanly() {
+    let a = storm_campaign();
+    let summary = TraceSummary::parse(&a.trace);
+    assert!(summary.parse_errors.is_empty(), "parse errors: {:?}", summary.parse_errors);
+    assert_eq!(summary.open_spans(), 0, "all spans must be closed at export");
+    assert!(!summary.spans.is_empty());
+    assert!(
+        summary.spans.values().any(|s| s.name == "controller/incident-loop"),
+        "incident loop spans must be present"
+    );
+    assert!(!summary.slowest(3).is_empty());
+    assert!(!summary.aggregate().is_empty());
+}
+
+/// A disabled registry records nothing even when the same campaign runs
+/// through it — the zero-cost path really is a no-op.
+#[test]
+fn disabled_registry_records_nothing() {
+    let d = RedditDeployment::build();
+    let faults = generate_campaign(&d, &CampaignConfig { n_faults: 3, ..Default::default() });
+    let obs = Obs::disabled();
+    let mut controller = SmnController::with_lake(
+        FaultyStore::new(Clds::new(), FaultProfile::reliable()),
+        d.cdg.clone(),
+        ControllerConfig::default(),
+    );
+    controller.set_obs(obs.clone());
+    let injector = ChaosInjector::new(ChaosConfig::clean(1)).with_obs(obs.clone());
+    let sim = SimConfig::default();
+    for (i, fault) in faults.iter().enumerate() {
+        let start = Ts(i as u64 * HOUR);
+        let telemetry = materialize(&d, &observe(&d, fault, &sim), &sim, start);
+        let alerts = injector.apply(&telemetry.alerts).records;
+        controller.clds().alerts.write().extend(alerts);
+        controller.incident_loop(start, start + HOUR);
+    }
+    assert!(obs.trace_jsonl().is_empty());
+    assert!(obs.metrics_text().is_empty());
+    assert_eq!(obs.audit_len(), 0);
+}

@@ -4,8 +4,10 @@
 //! JSON text back. Non-finite floats are encoded as the strings `"inf"`,
 //! `"-inf"`, and `"nan"` (plain JSON has no representation for them).
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
 use std::fmt;
+
+pub use serde::Value;
 
 /// JSON encode/decode error.
 #[derive(Debug, Clone, PartialEq, Eq)]
