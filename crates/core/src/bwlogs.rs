@@ -166,6 +166,9 @@ impl Coarsening for TimeCoarsener {
     type Fine = Vec<BandwidthRecord>;
     type Coarse = Vec<CoarseBwRecord>;
 
+    fn layer(&self) -> Option<smn_topology::LayerId> {
+        Some(smn_topology::LayerId::L3)
+    }
     fn coarsen(&self, fine: &Self::Fine) -> Self::Coarse {
         self.coarsen_records(fine)
     }
@@ -216,6 +219,9 @@ impl Coarsening for TopologyCoarsener {
     type Fine = Vec<BandwidthRecord>;
     type Coarse = Vec<BandwidthRecord>;
 
+    fn layer(&self) -> Option<smn_topology::LayerId> {
+        Some(smn_topology::LayerId::L3)
+    }
     fn coarsen(&self, fine: &Self::Fine) -> Self::Coarse {
         self.coarsen_records(fine)
     }
@@ -276,6 +282,9 @@ impl Coarsening for NestedCoarsener {
     type Fine = Vec<BandwidthRecord>;
     type Coarse = NestedLog;
 
+    fn layer(&self) -> Option<smn_topology::LayerId> {
+        Some(smn_topology::LayerId::L3)
+    }
     fn coarsen(&self, fine: &Self::Fine) -> NestedLog {
         assert!(self.fine_horizon <= self.mid_horizon, "horizons must nest");
         let mut raw = Vec::new();
@@ -346,6 +355,9 @@ impl Coarsening for AdaptiveCoarsener {
     type Fine = Vec<BandwidthRecord>;
     type Coarse = Vec<CoarseBwRecord>;
 
+    fn layer(&self) -> Option<smn_topology::LayerId> {
+        Some(smn_topology::LayerId::L3)
+    }
     fn coarsen(&self, fine: &Self::Fine) -> Vec<CoarseBwRecord> {
         let volatile: std::collections::HashSet<(u32, u32)> =
             self.volatile_pairs(fine).into_iter().collect();

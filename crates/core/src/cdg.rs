@@ -21,6 +21,9 @@ impl Coarsening for CdgCoarsening {
     type Fine = FineDepGraph;
     type Coarse = CoarseDepGraph;
 
+    fn layer(&self) -> Option<smn_topology::LayerId> {
+        Some(smn_topology::LayerId::L7)
+    }
     fn coarsen(&self, fine: &FineDepGraph) -> CoarseDepGraph {
         CoarseDepGraph::from_fine(fine)
     }

@@ -18,6 +18,15 @@ pub trait Coarsening {
     /// The simpler structure `s = C(S)`.
     type Coarse;
 
+    /// The unified-stack layer this coarsening acts on, aligning
+    /// `smn_depgraph`'s `Layer` enum with the stack's
+    /// [`smn_topology::LayerId`]: bandwidth-log and topology coarsenings
+    /// act on the L3 WAN, the CDG coarsening on the L7 service graph.
+    /// `None` for layer-agnostic coarsenings.
+    fn layer(&self) -> Option<smn_topology::LayerId> {
+        None
+    }
+
     /// Apply the mapping.
     fn coarsen(&self, fine: &Self::Fine) -> Self::Coarse;
 
@@ -59,6 +68,23 @@ pub trait Coarsening {
         }
         report
     }
+
+    /// Per-layer entry point: [`Coarsening::report`] tagged with the stack
+    /// layer the coarsening acts on, so callers iterating a
+    /// [`smn_topology::LayerStack`] can collect the coarsenings relevant
+    /// to each layer uniformly.
+    fn report_for_layer(&self, fine: &Self::Fine) -> LayerReport<Self::Coarse> {
+        LayerReport { layer: self.layer(), report: self.report(fine) }
+    }
+}
+
+/// A coarsening report tagged with the unified-stack layer it was taken on.
+#[derive(Debug, Clone)]
+pub struct LayerReport<C> {
+    /// The stack layer the coarsening acts on (`None` = layer-agnostic).
+    pub layer: Option<smn_topology::LayerId>,
+    /// The size-relation report.
+    pub report: CoarseningReport<C>,
 }
 
 /// The result of applying a coarsening: the coarse structure plus the size
@@ -177,6 +203,21 @@ mod tests {
         let report = c.report_observed(&fine, &off, "bucket-sum");
         assert_eq!(report.coarse_size, 25);
         assert_eq!(off.trace_len(), 0);
+    }
+
+    #[test]
+    fn layer_entry_point_tags_reports() {
+        // The toy coarsening is layer-agnostic: default None.
+        let c = BucketSum { bucket: 4 };
+        let fine: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let lr = c.report_for_layer(&fine);
+        assert_eq!(lr.layer, None);
+        assert_eq!(lr.report.coarse_size, 25);
+        // The concrete coarseners declare their stack layer.
+        use smn_topology::LayerId;
+        assert_eq!(crate::cdg::CdgCoarsening.layer(), Some(LayerId::L7));
+        assert_eq!(crate::modelhist::ModelCoarsener.layer(), Some(LayerId::L3));
+        assert_eq!(crate::bwlogs::TopologyCoarsener::new(Vec::new()).layer(), Some(LayerId::L3));
     }
 
     #[test]

@@ -533,8 +533,7 @@ impl SmnController {
         optical: &OpticalLayer,
     ) -> Vec<Feedback> {
         let planner = CapacityPlanner::new(self.config.upgrade_policy.clone());
-        let plan =
-            planner.plan(history, distance_km, |link| optical.link_upgradeable(link.index()));
+        let plan = planner.plan(history, distance_km, |link| optical.link_upgradeable(link));
         let mut feedback: Vec<Feedback> = plan
             .upgrades
             .iter()
@@ -677,7 +676,7 @@ impl SmnController {
             if count < self.config.flap_threshold {
                 continue;
             }
-            for w in optical.wavelengths_for_link(link.index()) {
+            for w in optical.wavelengths_for_link(link) {
                 if flagged.contains(&w) {
                     continue;
                 }
@@ -747,9 +746,11 @@ pub fn flap_log_events(events: &[smn_topology::failures::FlapEvent]) -> Vec<LogE
         .flat_map(|e| {
             e.links.iter().map(move |&link| LogEvent {
                 ts: Ts::from_days(e.day),
-                component: format!("link-{link}"),
+                // The numeric edge index, not EdgeId's "e<n>" Display —
+                // flap_counts_from_logs parses this back as a u32.
+                component: format!("link-{}", link.index()),
                 severity: Severity::Error,
-                text: format!("wavelength {} flap dropped link {link}", e.wavelength.0),
+                text: format!("wavelength {} flap dropped link {}", e.wavelength.0, link.index()),
             })
         })
         .collect();
@@ -900,8 +901,8 @@ mod tests {
         let mut optical = OpticalLayer::new();
         let spare = optical.add_span("ok", 500.0, false, 3);
         let full = optical.add_span("full", 500.0, false, 0);
-        optical.light_wavelength(vec![spare], Modulation::Qpsk, vec![0]);
-        optical.light_wavelength(vec![full], Modulation::Qpsk, vec![1]);
+        optical.light_wavelength(vec![spare], Modulation::Qpsk, vec![EdgeId(0)]);
+        optical.light_wavelength(vec![full], Modulation::Qpsk, vec![EdgeId(1)]);
         let history: BTreeMap<EdgeId, Vec<f64>> =
             [(EdgeId(0), vec![0.9; 8]), (EdgeId(1), vec![0.9; 8])].into();
         let feedback = c.planning_loop(&history, |_| 1000.0, &optical);
@@ -920,8 +921,8 @@ mod tests {
         // Stressed: 16QAM at 700/800 km of reach. Relaxed: QPSK well within.
         let s1 = optical.add_span("hot", 700.0, false, 1);
         let s2 = optical.add_span("cool", 700.0, false, 1);
-        let hot = optical.light_wavelength(vec![s1], Modulation::Qam16, vec![0]);
-        let _cool = optical.light_wavelength(vec![s2], Modulation::Qpsk, vec![1]);
+        let hot = optical.light_wavelength(vec![s1], Modulation::Qam16, vec![EdgeId(0)]);
+        let _cool = optical.light_wavelength(vec![s2], Modulation::Qpsk, vec![EdgeId(1)]);
         let flaps: BTreeMap<EdgeId, u32> = [(EdgeId(0), 12), (EdgeId(1), 9)].into();
         let feedback = c.reliability_loop(&flaps, &optical);
         assert_eq!(
@@ -935,7 +936,7 @@ mod tests {
         let c = controller();
         let mut optical = OpticalLayer::new();
         let s = optical.add_span("hot", 700.0, false, 1);
-        optical.light_wavelength(vec![s], Modulation::Qam16, vec![0]);
+        optical.light_wavelength(vec![s], Modulation::Qam16, vec![EdgeId(0)]);
         let flaps: BTreeMap<EdgeId, u32> = [(EdgeId(0), 2)].into();
         assert!(c.reliability_loop(&flaps, &optical).is_empty());
     }
@@ -1108,10 +1109,14 @@ mod tests {
     fn reliability_from_lake_roundtrips_flap_logs_and_degrades() {
         let mut optical = OpticalLayer::new();
         let s1 = optical.add_span("hot", 700.0, false, 1);
-        let hot = optical.light_wavelength(vec![s1], Modulation::Qam16, vec![0]);
+        let hot = optical.light_wavelength(vec![s1], Modulation::Qam16, vec![EdgeId(0)]);
         // 12 flap days for link 0.
         let events: Vec<smn_topology::failures::FlapEvent> = (0..12)
-            .map(|day| smn_topology::failures::FlapEvent { day, wavelength: hot, links: vec![0] })
+            .map(|day| smn_topology::failures::FlapEvent {
+                day,
+                wavelength: hot,
+                links: vec![EdgeId(0)],
+            })
             .collect();
         let c = controller();
         c.clds().logs.write().extend(flap_log_events(&events));

@@ -127,6 +127,9 @@ impl Coarsening for ModelCoarsener {
     type Fine = Vec<BandwidthRecord>;
     type Coarse = Vec<SeasonalModel>;
 
+    fn layer(&self) -> Option<smn_topology::LayerId> {
+        Some(smn_topology::LayerId::L3)
+    }
     fn coarsen(&self, fine: &Self::Fine) -> Vec<SeasonalModel> {
         let mut per_pair: HashMap<(u32, u32), Vec<(Ts, f64)>> = HashMap::new();
         for r in fine {

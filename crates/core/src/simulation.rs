@@ -203,10 +203,7 @@ impl<'a> SmnSimulation<'a> {
                 );
                 let counts: BTreeMap<EdgeId, u32> = flap_counts(
                     &flap_events.iter().filter(|e| e.day <= day).cloned().collect::<Vec<_>>(),
-                )
-                .into_iter()
-                .map(|(l, c)| (EdgeId(l as u32), c))
-                .collect();
+                );
                 log.reliability_feedback =
                     self.controller.reliability_loop(&counts, &self.planetary.optical);
             }

@@ -46,9 +46,9 @@ pub fn capacity_planning_in_the_dark() -> WarStoryReport {
     let mut optical = OpticalLayer::new();
     let ok_span = optical.add_span("land-seg", 800.0, false, 4);
     let full_span = optical.add_span("subsea-seg", 3000.0, true, 0);
-    optical.light_wavelength(vec![ok_span], Modulation::Qam8, vec![0]);
-    optical.light_wavelength(vec![full_span], Modulation::Qpsk, vec![1]);
-    optical.light_wavelength(vec![ok_span], Modulation::Qam8, vec![2]);
+    optical.light_wavelength(vec![ok_span], Modulation::Qam8, vec![EdgeId(0)]);
+    optical.light_wavelength(vec![full_span], Modulation::Qpsk, vec![EdgeId(1)]);
+    optical.light_wavelength(vec![ok_span], Modulation::Qam8, vec![EdgeId(2)]);
 
     // Link 0: transient TE spike. Link 1: sustained but fiber-blocked.
     // Link 2: sustained and upgradeable (the only correct upgrade).
@@ -113,7 +113,7 @@ pub fn capacity_planning_in_the_dark() -> WarStoryReport {
 pub fn wavelength_modulation_and_resilience() -> WarStoryReport {
     let mut optical = OpticalLayer::new();
     let span = optical.add_span("metro", 760.0, false, 2);
-    let hot = optical.light_wavelength(vec![span], Modulation::Qam16, vec![0]);
+    let hot = optical.light_wavelength(vec![span], Modulation::Qam16, vec![EdgeId(0)]);
 
     // Simulate 90 days of flaps before intervention.
     let flap_days = |optical: &OpticalLayer, seed: u64| -> u32 {
@@ -128,8 +128,7 @@ pub fn wavelength_modulation_and_resilience() -> WarStoryReport {
     );
     // Per-link flap counts, as the L3 team's monitoring would report them.
     let events = simulate_flaps(&optical, 90, 1);
-    let flaps: BTreeMap<EdgeId, u32> =
-        flap_counts(&events).into_iter().map(|(l, c)| (EdgeId(l as u32), c)).collect();
+    let flaps: BTreeMap<EdgeId, u32> = flap_counts(&events);
     let feedback = controller.reliability_loop(&flaps, &optical);
     let retuned = match feedback.as_slice() {
         [Feedback::RetuneModulation { wavelength, to }] => {

@@ -29,6 +29,36 @@ pub enum Layer {
     Monitoring,
 }
 
+impl Layer {
+    /// All layers, physical-first — the order faults propagate downward
+    /// through the hosting chain.
+    pub const ALL: [Layer; 6] = [
+        Layer::Physical,
+        Layer::Network,
+        Layer::Infrastructure,
+        Layer::Platform,
+        Layer::Application,
+        Layer::Monitoring,
+    ];
+
+    /// Where this dependency layer sits in the unified
+    /// [`smn_topology::stack::LayerId`] stack: `Physical` is the optical
+    /// substrate (L1), `Network` is the WAN fabric (L3), and everything
+    /// above — infrastructure, platform, application, monitoring — is
+    /// application-side (L7). This is the alignment that lets the incident
+    /// engine and the coarsening layer treat `FineDepGraph` components and
+    /// stack elements uniformly.
+    pub fn stack_layer(self) -> smn_topology::LayerId {
+        match self {
+            Layer::Physical => smn_topology::LayerId::L1,
+            Layer::Network => smn_topology::LayerId::L3,
+            Layer::Infrastructure | Layer::Platform | Layer::Application | Layer::Monitoring => {
+                smn_topology::LayerId::L7
+            }
+        }
+    }
+}
+
 /// A fine-grained component: the unit faults are injected into.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Component {
@@ -132,6 +162,27 @@ impl FineDepGraph {
         v.sort();
         v
     }
+
+    /// The L7 face of this graph for the unified layer stack: component
+    /// names in node order, so `ComponentId(i)` is node `i`.
+    pub fn service_layer(&self) -> smn_topology::ServiceLayer {
+        smn_topology::ServiceLayer::from_names(
+            self.graph.nodes().map(|(_, c)| c.name.clone()).collect(),
+        )
+    }
+
+    /// Components whose [`Layer`] maps onto the given stack layer, as
+    /// typed stack [`smn_topology::ComponentId`]s in node order.
+    pub fn components_in_stack_layer(
+        &self,
+        layer: smn_topology::LayerId,
+    ) -> Vec<smn_topology::ComponentId> {
+        self.graph
+            .nodes()
+            .filter(|(_, c)| c.layer.stack_layer() == layer)
+            .map(|(id, _)| smn_topology::ComponentId(id.0))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +221,31 @@ mod tests {
     fn duplicate_component_rejected() {
         let (mut g, _) = chain();
         g.add_component(comp("web-1", "web", "app", Layer::Application));
+    }
+
+    #[test]
+    fn layers_align_with_the_unified_stack() {
+        use smn_topology::LayerId;
+        assert_eq!(Layer::Physical.stack_layer(), LayerId::L1);
+        assert_eq!(Layer::Network.stack_layer(), LayerId::L3);
+        for l in [Layer::Infrastructure, Layer::Platform, Layer::Application, Layer::Monitoring] {
+            assert_eq!(l.stack_layer(), LayerId::L7);
+        }
+        // Every Layer maps somewhere, and ALL covers the enum.
+        assert_eq!(Layer::ALL.len(), 6);
+    }
+
+    #[test]
+    fn service_layer_mirrors_node_order() {
+        use smn_topology::{ComponentId, LayerId, NetLayer};
+        let (g, ids) = chain();
+        let sl = g.service_layer();
+        assert_eq!(sl.element_count(), 4);
+        assert_eq!(sl.id_of("db-1"), Some(ComponentId(ids[2].0)));
+        assert_eq!(sl.name_of(ComponentId(0)), Some("web-1"));
+        // All four components here are L7-side.
+        assert_eq!(g.components_in_stack_layer(LayerId::L7).len(), 4);
+        assert!(g.components_in_stack_layer(LayerId::L1).is_empty());
     }
 
     #[test]

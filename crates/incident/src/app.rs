@@ -5,8 +5,8 @@
 //! application" and identifies "8 'teams' including Network, Application and
 //! Infrastructure". The Revelio dataset is not public, so this module builds
 //! the closest synthetic equivalent: the open-source Reddit architecture
-//! (HAProxy front end, app servers in two clusters, memcached, Cassandra,
-//! PostgreSQL, RabbitMQ + workers) deployed on hypervisors behind a firewall
+//! (`HAProxy` front end, app servers in two clusters, memcached, Cassandra,
+//! `PostgreSQL`, `RabbitMQ` + workers) deployed on hypervisors behind a firewall
 //! and switches, owned by eight teams. The fine-grained dependency graph is
 //! ground truth for fault propagation; the CDG derived from it is what the
 //! SMN maintains.
@@ -29,6 +29,7 @@ pub const TEAMS: [&str; 8] = [
 ];
 
 /// Index of a team name in [`TEAMS`].
+#[must_use]
 pub fn team_index(name: &str) -> Option<usize> {
     TEAMS.iter().position(|&t| t == name)
 }
@@ -50,6 +51,7 @@ pub struct RedditDeployment {
 
 impl RedditDeployment {
     /// Build the canonical deployment.
+    #[must_use]
     pub fn build() -> RedditDeployment {
         let mut g = FineDepGraph::new();
         let add = |g: &mut FineDepGraph, name: &str, service: &str, team: &str, layer: Layer| {
@@ -193,11 +195,13 @@ impl RedditDeployment {
     ///
     /// # Panics
     /// Panics if the team is unknown.
+    #[must_use]
     pub fn team_node(&self, team: &str) -> NodeId {
         self.cdg.by_name(team).unwrap_or_else(|| panic!("unknown team {team}")) // smn-lint: allow(panic/panic-macro) -- documented panicking lookup; callers pass the static TEAMS list
     }
 
     /// All component names of a team.
+    #[must_use]
     pub fn team_component_names(&self, team: &str) -> Vec<String> {
         self.fine
             .team_components(team)
@@ -216,7 +220,8 @@ mod tests {
         let d = RedditDeployment::build();
         let mut teams = d.fine.teams();
         teams.sort();
-        let mut expected: Vec<String> = TEAMS.iter().map(|s| s.to_string()).collect();
+        let mut expected: Vec<String> =
+            TEAMS.iter().map(std::string::ToString::to_string).collect();
         expected.sort();
         assert_eq!(teams, expected);
         assert_eq!(d.cdg.len(), 8);

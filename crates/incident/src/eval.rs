@@ -81,6 +81,7 @@ pub struct EvalResult {
 
 impl EvalResult {
     /// Render the headline comparison as a text table.
+    #[must_use]
     pub fn render(&self) -> String {
         format!(
             "incident routing accuracy over {} test incidents ({} train):\n\
@@ -98,10 +99,11 @@ impl EvalResult {
 }
 
 /// Observe every fault of a campaign.
+#[must_use]
 pub fn observe_campaign(d: &RedditDeployment, cfg: &EvalConfig) -> Vec<IncidentObservation> {
     let faults = generate_campaign(d, &cfg.campaign);
     // Independent per-fault observation: parallelize across threads.
-    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let n_threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let chunk = faults.len().div_ceil(n_threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = faults
@@ -120,6 +122,7 @@ pub fn observe_campaign(d: &RedditDeployment, cfg: &EvalConfig) -> Vec<IncidentO
 }
 
 /// Split observations group-wise by injection signature.
+#[must_use]
 pub fn split_observations(
     observations: Vec<IncidentObservation>,
     test_frac: f64,
@@ -139,6 +142,7 @@ pub fn split_observations(
 }
 
 /// Run the full evaluation.
+#[must_use]
 pub fn evaluate(cfg: &EvalConfig) -> EvalResult {
     let d = RedditDeployment::build();
     let observations = observe_campaign(&d, cfg);

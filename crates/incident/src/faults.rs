@@ -83,6 +83,7 @@ impl FaultKind {
 
     /// How strongly this fault transmits along dependency edges
     /// (multiplier on the propagated intensity; < 1 attenuates).
+    #[must_use]
     pub fn propagation_strength(self) -> f64 {
         match self {
             FaultKind::HypervisorFailure => 0.95,
@@ -111,6 +112,7 @@ impl FaultKind {
     /// in the round-robin schedule. Cross-layer fan-out faults dominate the
     /// campaign — they are the class of incidents the paper argues are
     /// "inherently cross-layer and cross-team" and mis-routed today.
+    #[must_use]
     pub fn campaign_weight(self) -> usize {
         match self {
             FaultKind::HypervisorFailure => 2,
@@ -123,6 +125,7 @@ impl FaultKind {
     }
 
     /// Component names eligible as injection targets in the deployment.
+    #[must_use]
     pub fn eligible_targets(self, d: &RedditDeployment) -> Vec<String> {
         let by_service = |services: &[&str]| -> Vec<String> {
             d.fine
@@ -191,10 +194,11 @@ impl FaultSpec {
     /// ("our test set only contains incidents that are a result of a
     /// root-cause that is never injected in the same way as in the training
     /// set"). Parameter variants of the same root cause stay together.
+    #[must_use]
     pub fn group_id(&self) -> u64 {
         mix(&[
             self.kind as u64,
-            self.target.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)),
+            self.target.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(u64::from(b))),
         ])
     }
 }
@@ -219,6 +223,7 @@ impl Default for CampaignConfig {
 /// Generate the fault campaign: round-robin over every (kind, target,
 /// variant) signature until `n_faults` faults exist, with severities
 /// hash-derived per fault. Deterministic.
+#[must_use]
 pub fn generate_campaign(d: &RedditDeployment, cfg: &CampaignConfig) -> Vec<FaultSpec> {
     // Enumerate signatures in fixed order.
     let mut signatures: Vec<(FaultKind, String, u8)> = Vec::new();
@@ -239,7 +244,7 @@ pub fn generate_campaign(d: &RedditDeployment, cfg: &CampaignConfig) -> Vec<Faul
         i += 1;
         let id = out.len() as u64;
         // Severity: base by variant tier, jittered per fault.
-        let tier = 0.55 + 0.1 * (variant as f64);
+        let tier = 0.55 + 0.1 * f64::from(variant);
         let jitter = uniform01(mix(&[cfg.seed, id, kind as u64])) * 0.15;
         let severity = (tier + jitter).min(1.0);
         // Signatures are enumerated from the deployment, so the target

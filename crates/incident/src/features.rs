@@ -48,6 +48,7 @@ pub struct TeamHealth {
 
 /// Compute the per-team health aggregates for one observation, indexed by
 /// [`TEAMS`] order.
+#[must_use]
 pub fn team_health(d: &RedditDeployment, obs: &IncidentObservation) -> Vec<TeamHealth> {
     let mut sums = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0usize); TEAMS.len()];
     for (node, comp) in d.fine.graph.nodes() {
@@ -59,8 +60,8 @@ pub fn team_health(d: &RedditDeployment, obs: &IncidentObservation) -> Vec<TeamH
         s.1 = s.1.max(o.error_dev);
         s.2 += o.latency_dev;
         s.3 = s.3.max(o.throughput_drop);
-        s.4 += o.alerting as u8 as f64;
-        s.5 += o.local_alerting as u8 as f64;
+        s.4 += f64::from(u8::from(o.alerting));
+        s.5 += f64::from(u8::from(o.local_alerting));
         s.6 += 1;
     }
     sums.into_iter()
@@ -76,6 +77,7 @@ pub fn team_health(d: &RedditDeployment, obs: &IncidentObservation) -> Vec<TeamH
 }
 
 /// Names of the internal-only feature columns.
+#[must_use]
 pub fn internal_feature_names() -> Vec<String> {
     let mut names = Vec::new();
     for t in TEAMS {
@@ -101,6 +103,7 @@ pub fn internal_feature_names() -> Vec<String> {
 /// baseline even without the CDG: the ambient load scale and per-team
 /// baseline offsets largely cancel in relative features, while every
 /// absolute value is target- and load-specific noise.
+#[must_use]
 pub fn internal_features(d: &RedditDeployment, obs: &IncidentObservation) -> Vec<f64> {
     let health = team_health(d, obs);
     // Shares use the max (loudest component) rather than the mean, which
@@ -133,6 +136,7 @@ pub fn internal_features(d: &RedditDeployment, obs: &IncidentObservation) -> Vec
 }
 
 /// Explainability feature columns (three per team, CDG-derived).
+#[must_use]
 pub fn explainability_feature_names() -> Vec<String> {
     let mut names: Vec<String> = TEAMS.iter().map(|t| format!("explainability/{t}")).collect();
     names.extend(TEAMS.iter().map(|t| format!("explainability_margin/{t}")));
@@ -184,6 +188,7 @@ pub enum FeatureView {
 
 /// Build the multi-class routing dataset (label = ground-truth team index)
 /// for a batch of observations.
+#[must_use]
 pub fn build_dataset(
     d: &RedditDeployment,
     ex: &Explainability<'_>,
@@ -212,6 +217,7 @@ pub fn build_dataset(
 /// the paper's distributed comparator, which "can rely only on internal
 /// health metrics of a layer" — cross-team signals like the monitoring
 /// team's reachability probes are exactly what a per-layer view lacks.
+#[must_use]
 pub fn build_scouts_dataset(
     d: &RedditDeployment,
     observations: &[IncidentObservation],
@@ -230,7 +236,7 @@ pub fn build_scouts_dataset(
         let h = team_health(d, obs)[ti];
         let row =
             vec![h.mean_error_dev, h.max_error_dev, h.mean_latency_dev, h.local_alert_fraction];
-        data.push(row, (obs.fault.team == team) as usize);
+        data.push(row, usize::from(obs.fault.team == team));
     }
     data
 }

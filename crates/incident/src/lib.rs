@@ -26,8 +26,10 @@ pub mod features;
 pub mod monitoring;
 pub mod routing;
 pub mod sim;
+pub mod stack;
 
 pub use app::{RedditDeployment, TEAMS};
 pub use eval::{evaluate, EvalConfig, EvalResult};
 pub use faults::{CampaignConfig, FaultKind, FaultSpec};
 pub use sim::{observe, IncidentObservation, SimConfig};
+pub use stack::DeploymentStack;

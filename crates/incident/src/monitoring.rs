@@ -33,6 +33,7 @@ const BASE_LATENCY_MS: f64 = 80.0;
 /// Per-minute values jitter deterministically around the observation's mean
 /// deviations; alerts fire on the first minute a component's metric crosses
 /// the threshold.
+#[must_use]
 pub fn materialize(
     d: &RedditDeployment,
     obs: &IncidentObservation,
@@ -41,10 +42,10 @@ pub fn materialize(
 ) -> IncidentTelemetry {
     let mut out = IncidentTelemetry::default();
     for minute in 0..cfg.window_minutes {
-        let ts = start + minute as u64 * MINUTE;
+        let ts = start + u64::from(minute) * MINUTE;
         for (node, comp) in d.fine.graph.nodes() {
             let o = &obs.components[node.index()];
-            let h = mix(&[cfg.seed, obs.fault.id, 0x3a7e, node.index() as u64, minute as u64]);
+            let h = mix(&[cfg.seed, obs.fault.id, 0x3a7e, node.index() as u64, u64::from(minute)]);
             let jitter = 1.0 + 0.1 * std_normal(h);
             let err = (BASE_ERROR_RATE + 0.3 * o.error_dev * jitter).max(0.0);
             let lat = BASE_LATENCY_MS * (1.0 + 4.0 * o.latency_dev * jitter).max(0.1);
@@ -87,7 +88,7 @@ pub fn materialize(
             }
         }
         // Probes: one cross-cluster and one intra-cluster pair per minute.
-        let cross_fail = uniform01(mix(&[cfg.seed, obs.fault.id, 0xC505, minute as u64]))
+        let cross_fail = uniform01(mix(&[cfg.seed, obs.fault.id, 0xC505, u64::from(minute)]))
             < obs.cross_probe_failure;
         out.probes.push(ProbeResult {
             ts,
@@ -96,7 +97,7 @@ pub fn materialize(
             success: !cross_fail,
             latency_ms: if cross_fail { f64::INFINITY } else { 2.0 },
         });
-        let intra_fail = uniform01(mix(&[cfg.seed, obs.fault.id, 0x1274, minute as u64]))
+        let intra_fail = uniform01(mix(&[cfg.seed, obs.fault.id, 0x1274, u64::from(minute)]))
             < obs.intra_probe_failure;
         out.probes.push(ProbeResult {
             ts,

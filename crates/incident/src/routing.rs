@@ -25,6 +25,7 @@ pub struct CltoRouter {
 
 impl CltoRouter {
     /// Train on a batch of observed incidents.
+    #[must_use]
     pub fn train(
         d: &RedditDeployment,
         ex: &Explainability<'_>,
@@ -37,6 +38,7 @@ impl CltoRouter {
     }
 
     /// Route a batch: returns the predicted team index per incident.
+    #[must_use]
     pub fn route(
         &self,
         d: &RedditDeployment,
@@ -48,6 +50,7 @@ impl CltoRouter {
     }
 
     /// Route one incident to a team name.
+    #[must_use]
     pub fn route_one(
         &self,
         d: &RedditDeployment,
@@ -70,6 +73,7 @@ pub struct ScoutsRouter {
 
 impl ScoutsRouter {
     /// Train each team's gate on its local view of the training incidents.
+    #[must_use]
     pub fn train(
         d: &RedditDeployment,
         train: &[IncidentObservation],
@@ -99,6 +103,7 @@ impl ScoutsRouter {
     /// paper's database war story, where six teams each triaged the same
     /// outage independently. When no gate claims, the least-unconfident
     /// gate is used as a fallback.
+    #[must_use]
     pub fn route(&self, d: &RedditDeployment, incidents: &[IncidentObservation]) -> Vec<usize> {
         // Build each team's local dataset once for the whole batch.
         let local: Vec<Dataset> =
@@ -111,18 +116,17 @@ impl ScoutsRouter {
                     .enumerate()
                     .map(|(ti, gate)| gate.predict_proba(&local[ti].features[row])[1])
                     .collect();
-                match probs.iter().position(|&p| p >= CLAIM_THRESHOLD) {
-                    Some(first_claimer) => first_claimer,
-                    None => {
-                        // Nobody claims: fall back to the boldest gate.
-                        let mut best = 0;
-                        for (i, &p) in probs.iter().enumerate() {
-                            if p > probs[best] {
-                                best = i;
-                            }
+                if let Some(first_claimer) = probs.iter().position(|&p| p >= CLAIM_THRESHOLD) {
+                    first_claimer
+                } else {
+                    // Nobody claims: fall back to the boldest gate.
+                    let mut best = 0;
+                    for (i, &p) in probs.iter().enumerate() {
+                        if p > probs[best] {
+                            best = i;
                         }
-                        best
                     }
+                    best
                 }
             })
             .collect()

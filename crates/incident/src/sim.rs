@@ -191,6 +191,7 @@ impl FaultKind {
 
 /// Propagate `fault` through the deployment's fine dependency graph.
 /// Returns per-component symptom intensity in `[0, 1]`.
+#[must_use]
 pub fn propagate(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Vec<f64> {
     let g = &d.fine.graph;
     let n = g.node_count();
@@ -240,6 +241,7 @@ pub fn propagate(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Ve
 /// dependent to the dependency), decaying per hop. Returned separately from
 /// the failure intensity; callers cap it below the alert threshold when
 /// mixing it into observed metrics.
+#[must_use]
 pub fn backpressure(
     d: &RedditDeployment,
     fault: &FaultSpec,
@@ -274,13 +276,14 @@ pub fn backpressure(
 
 /// Observe an incident: propagate, then add measurement noise, false
 /// symptoms, probe outcomes, and derive the team syndrome.
+#[must_use]
 pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> IncidentObservation {
     let true_intensity = propagate(d, fault, cfg);
     let bp = backpressure(d, fault, cfg, &true_intensity);
     let n = true_intensity.len();
     // Unknown target (never the case for generated campaigns): no
     // component is the root, so nothing gets root visibility.
-    let root_index = d.fine.by_name(&fault.target).map_or(usize::MAX, |id| id.index());
+    let root_index = d.fine.by_name(&fault.target).map_or(usize::MAX, smn_topology::NodeId::index);
     // Root observability: sampled once per incident from the kind's range.
     // Hard crashes export almost nothing from the dead component.
     let (vis_lo, vis_hi) =
@@ -396,7 +399,7 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
     // firewall, and switch-2; intra-cluster probes stay on one switch.
     // Unknown names (never the case for the static deployment) resolve to
     // an out-of-range index, which `path_intensity` simply skips.
-    let idx = |name: &str| d.fine.by_name(name).map_or(usize::MAX, |id| id.index());
+    let idx = |name: &str| d.fine.by_name(name).map_or(usize::MAX, smn_topology::NodeId::index);
     let cross_path = [idx("switch-1"), idx("firewall-1"), idx("switch-2")];
     let path_intensity = |path: &[usize]| -> f64 {
         path.iter().filter_map(|&i| true_intensity.get(i)).fold(0.0, |a, &v| a.max(v))
@@ -423,12 +426,12 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
         }
         let mut fails = 0u32;
         for t in 0..cfg.window_minutes {
-            let h = mix(&[cfg.seed, fault.id, salt, t as u64]);
+            let h = mix(&[cfg.seed, fault.id, salt, u64::from(t)]);
             if uniform01(h) < p {
                 fails += 1;
             }
         }
-        fails as f64 / cfg.window_minutes as f64
+        f64::from(fails) / f64::from(cfg.window_minutes)
     };
     let cross_probe_failure = probe_rate(cross_fail_p, 0xC505);
     let intra_probe_failure = probe_rate(intra_fail_p, 0x1274);
@@ -456,7 +459,7 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
         }
         hops
     };
-    let never = (cfg.window_minutes + 1) as f64;
+    let never = f64::from(cfg.window_minutes + 1);
     let mut first_alert_minute = vec![never; TEAMS.len()];
     for (node, comp) in d.fine.graph.nodes() {
         let i = node.index();
@@ -469,14 +472,14 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
         let h = mix(&[cfg.seed, fault.id, 0x7173, i as u64]);
         let phase = 5.0 * uniform01(mix(&[cfg.seed, fault.id, 0x9a5e, ti as u64]));
         let t = if true_intensity[i] > 0.05 {
-            let hop_delay = hops[i].min(8) as f64 * (0.8 - (1.0 - uniform01(h)).ln() * 1.1);
+            let hop_delay = f64::from(hops[i].min(8)) * (0.8 - (1.0 - uniform01(h)).ln() * 1.1);
             let onset = -(1.0 - uniform01(mix(&[h, 1]))).ln();
             phase + hop_delay + onset
         } else {
             // False symptom: arbitrary time in the window.
-            uniform01(mix(&[h, 2])) * cfg.window_minutes as f64
+            uniform01(mix(&[h, 2])) * f64::from(cfg.window_minutes)
         };
-        let t = t.min(cfg.window_minutes as f64);
+        let t = t.min(f64::from(cfg.window_minutes));
         if t < first_alert_minute[ti] {
             first_alert_minute[ti] = t;
         }
@@ -498,7 +501,7 @@ pub fn observe(d: &RedditDeployment, fault: &FaultSpec, cfg: &SimConfig) -> Inci
     let mut syndrome = Syndrome::zeros(d.cdg.len());
     for (ti, team) in TEAMS.iter().enumerate() {
         let Some(cdg_id) = d.cdg.by_name(team) else { continue };
-        syndrome.0[cdg_id.index()] = team_alerting[ti] as u8 as f64;
+        syndrome.0[cdg_id.index()] = f64::from(u8::from(team_alerting[ti]));
     }
     // Probe failures are a symptom *of the network* as seen by monitoring:
     // "Symptom can be a function (e.g., packet loss > X%) of internal

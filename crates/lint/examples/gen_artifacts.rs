@@ -5,9 +5,10 @@
 //! cargo run -p smn-lint --example gen_artifacts
 //! ```
 //!
-//! Emits four envelopes — the Reddit CDG, the small planetary topology
-//! with its optical underlay and SRLGs, the 560-fault campaign, and the
-//! by-region coarsening — into `<workspace>/artifacts/`.
+//! Emits five envelopes — the Reddit CDG, the small planetary topology
+//! with its optical underlay and SRLGs, the 560-fault campaign, the
+//! by-region coarsening, and the unified L1→L3→L7 layer stack — into
+//! `<workspace>/artifacts/`.
 
 use serde::{Serialize, Value};
 
@@ -98,6 +99,46 @@ fn main() -> Result<(), String> {
                 ("fine_nodes", Value::U64(p.wan.dc_count() as u64)),
                 ("node_map", Value::Seq(node_map)),
                 ("members", Value::Seq(members)),
+            ],
+        ),
+    )?;
+
+    // 5. The unified layer stack bound over the same planetary network and
+    //    Reddit deployment: layer order plus both cross-layer maps, the
+    //    exact shape the stack artifact rules gate.
+    let ds = smn_incident::DeploymentStack::bind(&d, p.optical, p.wan);
+    let stack = ds.stack();
+    let map_rows = |rows: Vec<Vec<u64>>| {
+        Value::Seq(
+            rows.into_iter().map(|r| Value::Seq(r.into_iter().map(Value::U64).collect())).collect(),
+        )
+    };
+    let l1_l3: Vec<Vec<u64>> = stack
+        .l1_l3()
+        .entries()
+        .map(|(_, links)| links.iter().map(|l| l.index() as u64).collect())
+        .collect();
+    let l3_l7: Vec<Vec<u64>> = stack
+        .l3_l7()
+        .entries()
+        .map(|(_, comps)| comps.iter().map(|c| c.0 as u64).collect())
+        .collect();
+    let count = |id: smn_topology::LayerId| Value::U64(stack.layer(id).element_count() as u64);
+    let layers = Value::Seq(
+        smn_topology::LayerId::ALL.iter().map(|l| Value::Str(l.name().to_string())).collect(),
+    );
+    write(
+        &root,
+        "planetary_stack.json",
+        &envelope(
+            "stack",
+            vec![
+                ("layers", layers),
+                ("wavelength_count", count(smn_topology::LayerId::L1)),
+                ("link_count", count(smn_topology::LayerId::L3)),
+                ("component_count", count(smn_topology::LayerId::L7)),
+                ("l1_l3", map_rows(l1_l3)),
+                ("l3_l7", map_rows(l3_l7)),
             ],
         ),
     )?;

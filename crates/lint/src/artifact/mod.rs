@@ -15,6 +15,12 @@
 //! - `"coarsening"` — `{kind, fine_nodes, node_map, members}`.
 //!   The partition must be total, disjoint, in-range, with no empty
 //!   supernode and a node_map that agrees with the member lists.
+//! - `"stack"` — `{kind, layers, wavelength_count, link_count,
+//!   component_count, l1_l3, l3_l7}`: a serialized unified layer stack.
+//!   Layers must appear in strict L1 → L3 → L7 order, each cross-layer
+//!   map must have one row per upper-layer element, and no row may
+//!   reference an element beyond the declared lower-layer population
+//!   (no dangling cross-layer refs).
 //!
 //! Every check first gates through the *real* workspace serde types
 //! ([`FineDepGraph`], [`Wan`], [`Srlg`], [`FaultSpec`], …) so the checker
@@ -126,18 +132,19 @@ pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
                 "topology" => check_topology(&mut ck, &v),
                 "fault-campaign" => check_campaign(&mut ck, &v),
                 "coarsening" => check_coarsening(&mut ck, &v),
+                "stack" => check_stack(&mut ck, &v),
                 other => ck.emit(
                     "artifact/unknown-kind",
                     vec![Step::key("kind")],
                     format!("unknown artifact kind `{other}`"),
-                    "expected one of: cdg, topology, fault-campaign, coarsening",
+                    "expected one of: cdg, topology, fault-campaign, coarsening, stack",
                 ),
             },
             _ => ck.emit(
                 "artifact/unknown-kind",
                 vec![],
                 "artifact envelope lacks a string `kind` field",
-                "expected one of: cdg, topology, fault-campaign, coarsening",
+                "expected one of: cdg, topology, fault-campaign, coarsening, stack",
             ),
         },
     }
@@ -771,6 +778,101 @@ fn check_coarsening(ck: &mut Checker<'_>, v: &Value) {
     }
 }
 
+// -------------------------------------------------------------- stack ----
+
+/// Validate one cross-layer map of the stack envelope: one row per
+/// upper-layer element, every reference within the lower-layer population.
+fn check_stack_map(
+    ck: &mut Checker<'_>,
+    v: &Value,
+    key: &str,
+    upper: (&str, u64),
+    lower: (&str, u64),
+) {
+    let Some(map_v) = optional(v, key) else {
+        ck.emit(
+            "artifact/dangling-stack-ref",
+            vec![],
+            format!("stack artifact lacks `{key}`"),
+            "both cross-layer maps (l1_l3, l3_l7) are required",
+        );
+        return;
+    };
+    let Value::Seq(rows) = map_v else {
+        ck.emit(
+            "artifact/dangling-stack-ref",
+            vec![Step::key(key)],
+            format!("`{key}` is not an array of per-{}-element rows", upper.0),
+            "",
+        );
+        return;
+    };
+    if rows.len() as u64 != upper.1 {
+        ck.emit(
+            "artifact/dangling-stack-ref",
+            vec![Step::key(key)],
+            format!("`{key}` has {} row(s) for {} {} element(s)", rows.len(), upper.1, upper.0),
+            "a cross-layer map carries exactly one row per upper-layer element",
+        );
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for (j, &ref_idx) in u64_seq(Some(row)).iter().enumerate() {
+            if ref_idx >= lower.1 {
+                ck.emit(
+                    "artifact/dangling-stack-ref",
+                    vec![Step::key(key), Step::Idx(i), Step::Idx(j)],
+                    format!(
+                        "{} {i} maps to {} {ref_idx}, but only {} exist",
+                        upper.0, lower.0, lower.1
+                    ),
+                    "cross-layer references must resolve within the lower layer",
+                );
+            }
+        }
+    }
+}
+
+fn check_stack(ck: &mut Checker<'_>, v: &Value) {
+    // Layer list: strict L1 -> L3 -> L7 descent order, no unknowns.
+    match v.get("layers") {
+        Some(Value::Seq(layers)) => {
+            let expected = ["L1", "L3", "L7"];
+            let names: Vec<&str> = layers.iter().filter_map(|l| str_of(Some(l))).collect();
+            if names.len() != layers.len() || names != expected {
+                ck.emit(
+                    "artifact/stack-layer-order",
+                    vec![Step::key("layers")],
+                    format!("stack layers are {names:?}, expected {expected:?}"),
+                    "the unified stack registers exactly L1, L3, L7 in descending-\
+                     propagation order",
+                );
+            }
+        }
+        _ => ck.emit(
+            "artifact/stack-layer-order",
+            vec![],
+            "stack artifact lacks a `layers` array",
+            "expected layers: [\"L1\", \"L3\", \"L7\"]",
+        ),
+    }
+
+    let count = |key: &str| f64_of(v.get(key)).map(|c| c as u64);
+    let (Some(wavelengths), Some(links), Some(components)) =
+        (count("wavelength_count"), count("link_count"), count("component_count"))
+    else {
+        ck.emit(
+            "artifact/unreadable",
+            vec![],
+            "stack artifact lacks wavelength_count/link_count/component_count",
+            "per-layer populations are required to resolve cross-layer refs",
+        );
+        return;
+    };
+
+    check_stack_map(ck, v, "l1_l3", ("wavelength", wavelengths), ("link", links));
+    check_stack_map(ck, v, "l3_l7", ("link", links), ("component", components));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,5 +914,51 @@ mod tests {
         let out = check_str("c.json", empty);
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].rule, "artifact/empty-supernode");
+    }
+
+    #[test]
+    fn stack_checks() {
+        let good = r#"{"kind":"stack","layers":["L1","L3","L7"],
+            "wavelength_count":3,"link_count":2,"component_count":2,
+            "l1_l3":[[0],[0,1],[1]],"l3_l7":[[0,1],[1]]}"#;
+        assert!(check_str("s.json", good).is_empty(), "{:?}", check_str("s.json", good));
+
+        // Layers out of propagation order.
+        let reversed = r#"{"kind":"stack","layers":["L7","L3","L1"],
+            "wavelength_count":1,"link_count":1,"component_count":1,
+            "l1_l3":[[0]],"l3_l7":[[0]]}"#;
+        let out = check_str("s.json", reversed);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/stack-layer-order");
+
+        // An unknown layer name is also an order violation.
+        let unknown = r#"{"kind":"stack","layers":["L1","L2","L7"],
+            "wavelength_count":1,"link_count":1,"component_count":1,
+            "l1_l3":[[0]],"l3_l7":[[0]]}"#;
+        let out = check_str("s.json", unknown);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/stack-layer-order");
+
+        // A wavelength referencing a link beyond the declared population.
+        let dangling = r#"{"kind":"stack","layers":["L1","L3","L7"],
+            "wavelength_count":2,"link_count":2,"component_count":1,
+            "l1_l3":[[0],[2]],"l3_l7":[[0],[0]]}"#;
+        let out = check_str("s.json", dangling);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/dangling-stack-ref");
+
+        // Row count must equal the upper-layer population.
+        let short = r#"{"kind":"stack","layers":["L1","L3","L7"],
+            "wavelength_count":3,"link_count":1,"component_count":1,
+            "l1_l3":[[0],[0]],"l3_l7":[[0]]}"#;
+        let out = check_str("s.json", short);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/dangling-stack-ref");
+
+        // Missing maps and populations are structural failures, not passes.
+        let bare = r#"{"kind":"stack","layers":["L1","L3","L7"]}"#;
+        let out = check_str("s.json", bare);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/unreadable");
     }
 }

@@ -88,6 +88,8 @@ pub const ARTIFACT_RULES: &[&str] = &[
     "artifact/empty-supernode",
     "artifact/overlapping-partition",
     "artifact/partition-mismatch",
+    "artifact/dangling-stack-ref",
+    "artifact/stack-layer-order",
 ];
 
 /// The lint configuration.
@@ -119,6 +121,7 @@ impl Default for Config {
                 "crates/incident/src/sim.rs".into(),
                 "crates/obs/src/".into(),
                 "crates/telemetry/src/".into(),
+                "crates/topology/src/stack.rs".into(),
             ],
             cast_paths: vec![
                 "crates/telemetry/src/".into(),

@@ -89,7 +89,7 @@ impl CapacityPlan {
     /// concentrate capacity on one failure domain instead of adding
     /// resilience.
     pub fn risk_screen(&self, srlgs: &[crate::srlg::Srlg]) -> crate::srlg::RiskReport {
-        let candidates: Vec<usize> = self.upgrades.iter().map(|u| u.link.index()).collect();
+        let candidates: Vec<EdgeId> = self.upgrades.iter().map(|u| u.link).collect();
         crate::srlg::assess_upgrades(srlgs, &candidates)
     }
 }
@@ -211,8 +211,8 @@ mod tests {
         // Two sustained-hot links that ride the same fiber span.
         let mut l1 = OpticalLayer::new();
         let shared = l1.add_span("shared", 500.0, false, 4);
-        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![0]);
-        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![1]);
+        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![EdgeId(0)]);
+        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![EdgeId(1)]);
         let srlgs = crate::srlg::extract_srlgs(&l1);
         let h = history(&[(0, &[0.9; 8]), (1, &[0.9; 8])]);
         let plan =
@@ -220,7 +220,7 @@ mod tests {
         assert_eq!(plan.upgrades.len(), 2);
         let report = plan.risk_screen(&srlgs);
         assert!(!report.is_diverse());
-        assert_eq!(report.correlated_pairs, vec![(0, 1)]);
+        assert_eq!(report.correlated_pairs, vec![(EdgeId(0), EdgeId(1))]);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 
 use smn_topology::graph::{Contraction, NodeId, Path};
 use smn_topology::layer3::{SuperLink, SuperNode, Wan};
+use smn_topology::LayerStack;
+
+use crate::srlg::{extract_srlgs_from_stack, Srlg};
 
 /// Expand up to `k` coarse paths between the supernodes of `src` and `dst`
 /// into fine-network paths.
@@ -105,6 +108,38 @@ pub fn coarse_restricted_paths(
     out
 }
 
+/// Number of shared-risk groups that contain at least two of the path's
+/// links: each one is a single fiber span whose cut drops the path in two
+/// or more places at once.
+pub fn path_srlg_exposure(path: &Path, srlgs: &[Srlg]) -> usize {
+    srlgs.iter().filter(|s| path.edges.iter().filter(|e| s.links.contains(e)).count() >= 2).count()
+}
+
+/// [`coarse_restricted_paths`] with cross-layer risk awareness: the
+/// candidate expansions are ranked by their SRLG exposure (derived from
+/// the stack's L1 → L3 map) before path cost, so TE prefers realizations
+/// that do not ride one fiber span twice. The path set is unchanged —
+/// only the order encodes the risk preference.
+pub fn srlg_aware_restricted_paths(
+    stack: &LayerStack,
+    contraction: &Contraction<SuperNode, SuperLink>,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+) -> Vec<(Path, usize)> {
+    let srlgs = extract_srlgs_from_stack(stack);
+    let mut ranked: Vec<(Path, usize)> =
+        coarse_restricted_paths(stack.wan(), contraction, src, dst, k)
+            .into_iter()
+            .map(|p| {
+                let exposure = path_srlg_exposure(&p, &srlgs);
+                (p, exposure)
+            })
+            .collect();
+    ranked.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cost.total_cmp(&b.0.cost)));
+    ranked
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +190,26 @@ mod tests {
             assert!(!p.edges.contains(&fwd), "uses a down link");
         }
         assert!(!paths.is_empty(), "alternate member links exist");
+    }
+
+    #[test]
+    fn srlg_aware_ranking_is_deterministic_and_risk_sorted() {
+        let p =
+            smn_topology::gen::generate_planetary(&smn_topology::gen::PlanetaryConfig::small(7));
+        let contraction = p.wan.contract_by_region();
+        let src = NodeId(0);
+        let dst = NodeId((p.wan.dc_count() - 1) as u32);
+        let stack = p.into_stack();
+        let a = srlg_aware_restricted_paths(&stack, &contraction, src, dst, 3);
+        let b = srlg_aware_restricted_paths(&stack, &contraction, src, dst, 3);
+        assert_eq!(
+            a.iter().map(|(p, e)| (p.edges.clone(), *e)).collect::<Vec<_>>(),
+            b.iter().map(|(p, e)| (p.edges.clone(), *e)).collect::<Vec<_>>()
+        );
+        // Exposure is the primary sort key.
+        for w in a.windows(2) {
+            assert!(w[0].1 <= w[1].1, "paths must be ordered by SRLG exposure");
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Shared-risk link groups (SRLGs) from the L1↔L3 mapping.
+//! Shared-risk link groups (SRLGs) from the typed L1 → L3 stack map.
 //!
 //! §7: "can mappings from IP links to layer 1 information like submarine
 //! cables be used not just for risk modeling but for risk-aware topology
@@ -7,11 +7,17 @@
 //! common fiber span: one backhoe (or shark) takes them all down together.
 //! The risk-aware planner diversifies upgrades away from spans that
 //! already carry much of a corridor's capacity.
+//!
+//! SRLGs are derived from the unified stack's L1 → L3 cross-layer map
+//! (wavelength → carried [`EdgeId`]s): [`extract_srlgs`] reads the map off
+//! an [`OpticalLayer`] directly, [`extract_srlgs_from_stack`] off a
+//! registered [`LayerStack`].
 
 use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 use smn_topology::layer1::{FiberSpanId, OpticalLayer};
+use smn_topology::{EdgeId, LayerStack};
 
 /// One shared-risk group: a fiber span and every L3 link riding it.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -20,27 +26,24 @@ pub struct Srlg {
     pub span: FiberSpanId,
     /// Whether the span is submarine (harder to repair, higher exposure).
     pub submarine: bool,
-    /// L3 link indices sharing the span, sorted.
-    pub links: Vec<usize>,
+    /// L3 links sharing the span, sorted.
+    pub links: Vec<EdgeId>,
 }
 
 /// Extract every SRLG with at least two member links from the optical
-/// layer — single-link spans carry no *shared* risk.
+/// layer's L1 → L3 map — single-link spans carry no *shared* risk.
 pub fn extract_srlgs(optical: &OpticalLayer) -> Vec<Srlg> {
-    let mut span_links: HashMap<FiberSpanId, HashSet<usize>> = HashMap::new();
-    for w in optical.wavelengths() {
-        for &span in &w.spans {
-            span_links
-                .entry(span)
-                .or_default()
-                .extend(optical.links_on_wavelength(w.id).iter().copied());
+    let mut span_links: HashMap<FiberSpanId, HashSet<EdgeId>> = HashMap::new();
+    for (w, links) in optical.link_map().entries() {
+        for &span in &optical.wavelength(w).spans {
+            span_links.entry(span).or_default().extend(links.iter().copied());
         }
     }
     let mut srlgs: Vec<Srlg> = span_links
         .into_iter()
         .filter(|(_, links)| links.len() >= 2)
         .map(|(span, links)| {
-            let mut links: Vec<usize> = links.into_iter().collect();
+            let mut links: Vec<EdgeId> = links.into_iter().collect();
             links.sort_unstable();
             Srlg { span, submarine: optical.span(span).submarine, links }
         })
@@ -49,9 +52,15 @@ pub fn extract_srlgs(optical: &OpticalLayer) -> Vec<Srlg> {
     srlgs
 }
 
+/// [`extract_srlgs`] over a registered [`LayerStack`]: the shared-risk
+/// structure is exactly the stack's L1 → L3 map grouped by fiber span.
+pub fn extract_srlgs_from_stack(stack: &LayerStack) -> Vec<Srlg> {
+    extract_srlgs(stack.optical())
+}
+
 /// All L3 links that fail together with `link` (including itself) when any
 /// shared span is cut — the blast radius of a single span failure.
-pub fn correlated_failure_set(srlgs: &[Srlg], link: usize) -> HashSet<usize> {
+pub fn correlated_failure_set(srlgs: &[Srlg], link: EdgeId) -> HashSet<EdgeId> {
     let mut out = HashSet::from([link]);
     for s in srlgs {
         if s.links.contains(&link) {
@@ -67,9 +76,9 @@ pub fn correlated_failure_set(srlgs: &[Srlg], link: usize) -> HashSet<usize> {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RiskReport {
     /// Candidate pairs that share at least one span.
-    pub correlated_pairs: Vec<(usize, usize)>,
+    pub correlated_pairs: Vec<(EdgeId, EdgeId)>,
     /// Candidates riding a submarine span (repair times in weeks).
-    pub submarine_exposed: Vec<usize>,
+    pub submarine_exposed: Vec<EdgeId>,
 }
 
 impl RiskReport {
@@ -80,7 +89,7 @@ impl RiskReport {
 }
 
 /// Assess a set of upgrade candidates against the SRLG structure.
-pub fn assess_upgrades(srlgs: &[Srlg], candidates: &[usize]) -> RiskReport {
+pub fn assess_upgrades(srlgs: &[Srlg], candidates: &[EdgeId]) -> RiskReport {
     let mut report = RiskReport::default();
     for (i, &a) in candidates.iter().enumerate() {
         for &b in &candidates[i + 1..] {
@@ -117,10 +126,10 @@ mod tests {
         let shared = l1.add_span("shared", 500.0, false, 2);
         let solo = l1.add_span("solo", 500.0, false, 2);
         let sea = l1.add_span("sea", 3000.0, true, 0);
-        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![0]);
-        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![1]);
-        l1.light_wavelength(vec![solo], Modulation::Qpsk, vec![2]);
-        l1.light_wavelength(vec![sea], Modulation::Qpsk, vec![3]);
+        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![EdgeId(0)]);
+        l1.light_wavelength(vec![shared], Modulation::Qpsk, vec![EdgeId(1)]);
+        l1.light_wavelength(vec![solo], Modulation::Qpsk, vec![EdgeId(2)]);
+        l1.light_wavelength(vec![sea], Modulation::Qpsk, vec![EdgeId(3)]);
         l1
     }
 
@@ -128,24 +137,27 @@ mod tests {
     fn srlgs_found_only_for_shared_spans() {
         let srlgs = extract_srlgs(&layer());
         assert_eq!(srlgs.len(), 1);
-        assert_eq!(srlgs[0].links, vec![0, 1]);
+        assert_eq!(srlgs[0].links, vec![EdgeId(0), EdgeId(1)]);
         assert!(!srlgs[0].submarine);
     }
 
     #[test]
     fn correlated_failure_sets() {
         let srlgs = extract_srlgs(&layer());
-        assert_eq!(correlated_failure_set(&srlgs, 0), HashSet::from([0, 1]));
-        assert_eq!(correlated_failure_set(&srlgs, 2), HashSet::from([2]));
+        assert_eq!(
+            correlated_failure_set(&srlgs, EdgeId(0)),
+            HashSet::from([EdgeId(0), EdgeId(1)])
+        );
+        assert_eq!(correlated_failure_set(&srlgs, EdgeId(2)), HashSet::from([EdgeId(2)]));
     }
 
     #[test]
     fn upgrade_assessment_flags_correlation() {
         let srlgs = extract_srlgs(&layer());
-        let risky = assess_upgrades(&srlgs, &[0, 1, 2]);
-        assert_eq!(risky.correlated_pairs, vec![(0, 1)]);
+        let risky = assess_upgrades(&srlgs, &[EdgeId(0), EdgeId(1), EdgeId(2)]);
+        assert_eq!(risky.correlated_pairs, vec![(EdgeId(0), EdgeId(1))]);
         assert!(!risky.is_diverse());
-        let diverse = assess_upgrades(&srlgs, &[0, 2]);
+        let diverse = assess_upgrades(&srlgs, &[EdgeId(0), EdgeId(2)]);
         assert!(diverse.is_diverse());
     }
 
@@ -154,11 +166,11 @@ mod tests {
         let mut l1 = layer();
         // Add a second link to the sea span so it becomes an SRLG.
         let sea = l1.spans().iter().find(|s| s.submarine).unwrap().id;
-        l1.light_wavelength(vec![sea], Modulation::Qpsk, vec![4]);
+        l1.light_wavelength(vec![sea], Modulation::Qpsk, vec![EdgeId(4)]);
         let srlgs = extract_srlgs(&l1);
-        let report = assess_upgrades(&srlgs, &[3, 4]);
-        assert_eq!(report.submarine_exposed, vec![3, 4]);
-        assert_eq!(report.correlated_pairs, vec![(3, 4)]);
+        let report = assess_upgrades(&srlgs, &[EdgeId(3), EdgeId(4)]);
+        assert_eq!(report.submarine_exposed, vec![EdgeId(3), EdgeId(4)]);
+        assert_eq!(report.correlated_pairs, vec![(EdgeId(3), EdgeId(4))]);
     }
 
     #[test]
@@ -172,5 +184,14 @@ mod tests {
         for s in &srlgs {
             assert!(s.links.len() >= 2);
         }
+    }
+
+    #[test]
+    fn stack_and_optical_extraction_agree() {
+        let p =
+            smn_topology::gen::generate_planetary(&smn_topology::gen::PlanetaryConfig::small(9));
+        let direct = extract_srlgs(&p.optical);
+        let via_stack = extract_srlgs_from_stack(&p.into_stack());
+        assert_eq!(direct, via_stack);
     }
 }

@@ -1,4 +1,4 @@
-//! Failure-event simulation over the optical layer.
+//! Failure-event simulation over the optical layer and the unified stack.
 //!
 //! War story 2 and the SMN reliability loop need a realistic stream of
 //! link flaps whose *cause* lives at L1: each wavelength flaps per
@@ -6,12 +6,20 @@
 //! aggressiveness and reach stress), and a wavelength flap takes down every
 //! L3 link it carries for that day. The simulation is a pure function of
 //! the seed, so reliability experiments are reproducible.
+//!
+//! [`simulate_flaps`] walks the typed L1 → L3 map; [`simulate_stack_flaps`]
+//! walks the *whole* registered [`LayerStack`] downward, so a flap carries
+//! its L7 blast set too. Both use the same per-wavelength gate hash, so
+//! their L3 outcome sets are identical by construction (locked in by a
+//! workspace proptest).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
+use crate::graph::EdgeId;
 use crate::layer1::{OpticalLayer, WavelengthId};
+use crate::stack::{LayerStack, StackFault, StackImpact};
 
 /// One simulated flap: a wavelength failed (and recovered) on a given day,
 /// dropping its carried L3 links.
@@ -21,19 +29,28 @@ pub struct FlapEvent {
     pub day: u64,
     /// The wavelength that flapped.
     pub wavelength: WavelengthId,
-    /// L3 link indices that dropped.
-    pub links: Vec<usize>,
+    /// L3 links that dropped.
+    pub links: Vec<EdgeId>,
+}
+
+/// One simulated flap walked down the whole stack: the day plus the typed
+/// per-layer blast set (wavelength, links, components).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackFlapEvent {
+    /// Day index of the flap.
+    pub day: u64,
+    /// The cross-layer impact of the flap (origin L1).
+    pub impact: StackImpact,
 }
 
 /// Simulate `days` days of wavelength flaps over `optical`. Deterministic
 /// in `seed`.
+#[must_use]
 pub fn simulate_flaps(optical: &OpticalLayer, days: u64, seed: u64) -> Vec<FlapEvent> {
     let mut events = Vec::new();
     for day in 0..days {
         for w in optical.wavelengths() {
-            let p = w.flap_probability();
-            let h = hash3(seed, day, w.id.0 as u64);
-            if uniform01(h) < p {
+            if flap_gate(w.flap_probability(), seed, day, w.id) {
                 events.push(FlapEvent {
                     day,
                     wavelength: w.id,
@@ -45,10 +62,37 @@ pub fn simulate_flaps(optical: &OpticalLayer, days: u64, seed: u64) -> Vec<FlapE
     events
 }
 
+/// Simulate `days` days of wavelength flaps and walk each one down the
+/// registered [`LayerStack`] (L1 flap → L3 links down → L7 components
+/// symptomatic). Uses the same per-wavelength gate as [`simulate_flaps`],
+/// so the flap schedule and L3 outcome sets match the legacy path exactly.
+#[must_use]
+pub fn simulate_stack_flaps(stack: &LayerStack, days: u64, seed: u64) -> Vec<StackFlapEvent> {
+    let mut events = Vec::new();
+    for day in 0..days {
+        for w in stack.optical().wavelengths() {
+            if flap_gate(w.flap_probability(), seed, day, w.id) {
+                events.push(StackFlapEvent {
+                    day,
+                    impact: stack.propagate_down(StackFault::WavelengthFlap(w.id)),
+                });
+            }
+        }
+    }
+    events
+}
+
+/// The shared flap decision: deterministic in `(seed, day, wavelength)`.
+fn flap_gate(p: f64, seed: u64, day: u64, id: WavelengthId) -> bool {
+    uniform01(hash3(seed, day, u64::from(id.0))) < p
+}
+
 /// Aggregate flap events into per-L3-link flap counts — the input shape
-/// of the SMN reliability loop.
-pub fn flap_counts(events: &[FlapEvent]) -> HashMap<usize, u32> {
-    let mut counts = HashMap::new();
+/// of the SMN reliability loop. `BTreeMap` so iteration order is the
+/// deterministic link order.
+#[must_use]
+pub fn flap_counts(events: &[FlapEvent]) -> BTreeMap<EdgeId, u32> {
+    let mut counts = BTreeMap::new();
     for e in events {
         for &l in &e.links {
             *counts.entry(l).or_insert(0) += 1;
@@ -58,6 +102,7 @@ pub fn flap_counts(events: &[FlapEvent]) -> HashMap<usize, u32> {
 }
 
 /// Flap counts per wavelength (for attribution analysis).
+#[must_use]
 pub fn flaps_per_wavelength(events: &[FlapEvent]) -> HashMap<WavelengthId, u32> {
     let mut counts = HashMap::new();
     for e in events {
@@ -87,15 +132,43 @@ fn uniform01(h: u64) -> f64 {
 mod tests {
     use super::*;
     use crate::layer1::Modulation;
+    use crate::layer3::{Continent, Datacenter, LinkAttrs, RegionId, Wan};
+    use crate::stack::{ComponentId, CrossLayerMap, LayerId, ServiceLayer};
 
     fn two_wavelength_layer() -> OpticalLayer {
         let mut l1 = OpticalLayer::new();
         // Stressed 16QAM near reach; relaxed QPSK.
         let hot = l1.add_span("hot", 760.0, false, 1);
         let cool = l1.add_span("cool", 760.0, false, 1);
-        l1.light_wavelength(vec![hot], Modulation::Qam16, vec![0, 1]);
-        l1.light_wavelength(vec![cool], Modulation::Qpsk, vec![2]);
+        l1.light_wavelength(vec![hot], Modulation::Qam16, vec![EdgeId(0), EdgeId(1)]);
+        l1.light_wavelength(vec![cool], Modulation::Qpsk, vec![EdgeId(2)]);
         l1
+    }
+
+    fn stack_over(optical: OpticalLayer) -> LayerStack {
+        let mut wan = Wan::new();
+        let names = ["a", "b", "c", "d"];
+        let ids: Vec<_> = names
+            .iter()
+            .map(|n| {
+                wan.add_datacenter(Datacenter {
+                    name: (*n).to_string(),
+                    continent: Continent::NorthAmerica,
+                    region: RegionId(0),
+                    lat: 0.0,
+                    lon: 0.0,
+                })
+            })
+            .collect();
+        wan.add_link(ids[0], ids[1], LinkAttrs::new(100.0, 10.0, false));
+        wan.add_link(ids[1], ids[2], LinkAttrs::new(100.0, 10.0, false));
+        wan.add_link(ids[2], ids[3], LinkAttrs::new(100.0, 10.0, false));
+        let mut l3_l7 = CrossLayerMap::new();
+        l3_l7.push(vec![ComponentId(0)]);
+        l3_l7.push(vec![ComponentId(0)]);
+        l3_l7.push(vec![ComponentId(1)]);
+        let services = ServiceLayer::from_names(vec!["wan-1".into(), "edge-1".into()]);
+        LayerStack::new(optical, wan).with_services(services, l3_l7)
     }
 
     #[test]
@@ -121,8 +194,8 @@ mod tests {
         let events = simulate_flaps(&l1, 2000, 2);
         let counts = flap_counts(&events);
         // Links 0 and 1 ride the same wavelength: identical counts.
-        assert_eq!(counts.get(&0), counts.get(&1));
-        let hot_flaps = counts.get(&0).copied().unwrap_or(0);
+        assert_eq!(counts.get(&EdgeId(0)), counts.get(&EdgeId(1)));
+        let hot_flaps = counts.get(&EdgeId(0)).copied().unwrap_or(0);
         assert!(hot_flaps > 0);
     }
 
@@ -133,5 +206,22 @@ mod tests {
         l1.retune(WavelengthId(0), Modulation::Qam8);
         let after = simulate_flaps(&l1, 1000, 3).len();
         assert!(after * 3 < before, "retune should collapse flaps: {before} -> {after}");
+    }
+
+    #[test]
+    fn stack_flaps_match_legacy_schedule_and_reach_l7() {
+        let stack = stack_over(two_wavelength_layer());
+        let legacy = simulate_flaps(stack.optical(), 500, 7);
+        let generic = simulate_stack_flaps(&stack, 500, 7);
+        assert_eq!(legacy.len(), generic.len());
+        for (l, g) in legacy.iter().zip(&generic) {
+            assert_eq!(l.day, g.day);
+            assert_eq!(g.impact.wavelengths, vec![l.wavelength]);
+            let mut sorted = l.links.clone();
+            sorted.sort_unstable();
+            assert_eq!(g.impact.links, sorted);
+            assert_eq!(g.impact.origin, Some(LayerId::L1));
+            assert!(!g.impact.components.is_empty(), "flap must surface an L7 symptom");
+        }
     }
 }

@@ -16,6 +16,7 @@ use rand::{RngExt, SeedableRng};
 use crate::graph::NodeId;
 use crate::layer1::{Modulation, OpticalLayer};
 use crate::layer3::{haversine_km, Continent, Datacenter, LinkAttrs, RegionId, Wan};
+use crate::stack::LayerStack;
 
 /// Configuration for the planetary WAN generator.
 #[derive(Debug, Clone)]
@@ -67,6 +68,7 @@ impl Default for PlanetaryConfig {
 impl PlanetaryConfig {
     /// A smaller topology (good for tests and fast benches): 3 continents,
     /// 6 regions, 24 DCs.
+    #[must_use]
     pub fn small(seed: u64) -> Self {
         Self {
             seed,
@@ -80,6 +82,7 @@ impl PlanetaryConfig {
     }
 
     /// Total datacenter count this config will generate.
+    #[must_use]
     pub fn dc_count(&self) -> usize {
         self.continents.iter().map(|&(_, r, d)| r * d).sum()
     }
@@ -90,9 +93,19 @@ impl PlanetaryConfig {
 pub struct Planetary {
     /// Logical topology.
     pub wan: Wan,
-    /// Optical underlay; L3 link indices in the optical layer are
-    /// [`crate::graph::EdgeId`] indices into `wan.graph`.
+    /// Optical underlay; its L1 → L3 map references [`crate::graph::EdgeId`]s
+    /// of `wan.graph`.
     pub optical: OpticalLayer,
+}
+
+impl Planetary {
+    /// Register both network layers in a unified [`LayerStack`] (the L7
+    /// service layer starts empty; applications bind it via
+    /// [`LayerStack::with_services`]).
+    #[must_use]
+    pub fn into_stack(self) -> LayerStack {
+        LayerStack::new(self.optical, self.wan)
+    }
 }
 
 /// Rough anchor coordinates per continent (lat, lon).
@@ -120,6 +133,7 @@ fn continent_anchor(c: Continent) -> (f64, f64) {
 /// Every L3 link gets one or more wavelengths in the optical layer sized to
 /// its capacity, and subsea spans are created with zero spare slots half the
 /// time (fiber constraints in the ground).
+#[must_use]
 pub fn generate_planetary(config: &PlanetaryConfig) -> Planetary {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut wan = Wan::new();
@@ -285,13 +299,14 @@ fn add_linked(
         ((modulation.max_reach_km() / span_len).floor() as usize).clamp(1, spans.len());
     for _ in 0..n_wavelengths {
         for segment in spans.chunks(spans_per_segment) {
-            optical.light_wavelength(segment.to_vec(), modulation, vec![fwd.index(), rev.index()]);
+            optical.light_wavelength(segment.to_vec(), modulation, vec![fwd, rev]);
         }
     }
 }
 
 /// A tiny fixed WAN (5 DCs, 2 regions + 1 EU DC) used throughout unit tests
 /// and doc examples. Deterministic, no RNG.
+#[must_use]
 pub fn reference_wan() -> Wan {
     let mut w = Wan::new();
     let dc = |name: &str, c: Continent, r: u16, lat: f64, lon: f64| Datacenter {
@@ -362,7 +377,7 @@ mod tests {
     fn every_l3_link_has_optical_backing() {
         let p = generate_planetary(&PlanetaryConfig::small(4));
         for eid in p.wan.graph.edge_ids() {
-            let wls = p.optical.wavelengths_for_link(eid.index());
+            let wls = p.optical.wavelengths_for_link(eid);
             assert!(!wls.is_empty(), "link {eid} has no wavelength");
             let cap: f64 = wls.iter().map(|&w| p.optical.wavelength(w).capacity_gbps()).sum();
             assert!(

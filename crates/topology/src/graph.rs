@@ -28,6 +28,7 @@ pub struct EdgeId(pub u32);
 
 impl NodeId {
     /// The node's position in the graph's node table.
+    #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -35,6 +36,7 @@ impl NodeId {
 
 impl EdgeId {
     /// The edge's position in the graph's edge table.
+    #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -89,21 +91,25 @@ impl<N, E> Default for DiGraph<N, E> {
 
 impl<N, E> DiGraph<N, E> {
     /// Create an empty graph.
+    #[must_use]
     pub fn new() -> Self {
         Self { nodes: Vec::new(), edges: Vec::new() }
     }
 
     /// Create an empty graph with preallocated capacity.
+    #[must_use]
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
         Self { nodes: Vec::with_capacity(nodes), edges: Vec::with_capacity(edges) }
     }
 
     /// Number of nodes.
+    #[must_use]
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
     /// Number of edges.
+    #[must_use]
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
@@ -130,6 +136,7 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// Payload of `node`.
+    #[must_use]
     pub fn node(&self, node: NodeId) -> &N {
         &self.nodes[node.index()].payload
     }
@@ -140,6 +147,7 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// The full edge record of `edge`.
+    #[must_use]
     pub fn edge(&self, edge: EdgeId) -> &Edge<E> {
         &self.edges[edge.index()]
     }
@@ -150,6 +158,7 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// Endpoints `(src, dst)` of `edge`.
+    #[must_use]
     pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
         let e = &self.edges[edge.index()];
         (e.src, e.dst)
@@ -176,11 +185,13 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// Out-edges of `node`.
+    #[must_use]
     pub fn out_edges(&self, node: NodeId) -> &[EdgeId] {
         &self.nodes[node.index()].out_edges
     }
 
     /// In-edges of `node`.
+    #[must_use]
     pub fn in_edges(&self, node: NodeId) -> &[EdgeId] {
         &self.nodes[node.index()].in_edges
     }
@@ -197,6 +208,7 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// First edge from `src` to `dst`, if any.
+    #[must_use]
     pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
         self.out_edges(src).iter().copied().find(|&e| self.edges[e.index()].dst == dst)
     }
@@ -204,6 +216,7 @@ impl<N, E> DiGraph<N, E> {
     /// Set of nodes reachable from `start` by directed edges (including
     /// `start` itself). Used for syndrome propagation: "which observers
     /// transitively depend on a failed component".
+    #[must_use]
     pub fn reachable_from(&self, start: NodeId) -> HashSet<NodeId> {
         self.reachable(start, |g, n| Box::new(g.successors(n)))
     }
@@ -211,6 +224,7 @@ impl<N, E> DiGraph<N, E> {
     /// Set of nodes that can reach `target` by directed edges (including
     /// `target`). If edges read "x depends on y", this is everything that
     /// (transitively) depends on `target`.
+    #[must_use]
     pub fn reaching(&self, target: NodeId) -> HashSet<NodeId> {
         self.reachable(target, |g, n| Box::new(g.predecessors(n)))
     }
@@ -235,6 +249,7 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// Breadth-first hop distances from `start` (unreachable nodes absent).
+    #[must_use]
     pub fn bfs_hops(&self, start: NodeId) -> HashMap<NodeId, u32> {
         let mut dist = HashMap::new();
         let mut queue = VecDeque::new();
@@ -254,6 +269,7 @@ impl<N, E> DiGraph<N, E> {
 
     /// Weakly connected components, ignoring edge direction. Returns for
     /// each node the component index, plus the component count.
+    #[must_use]
     pub fn weakly_connected_components(&self) -> (Vec<usize>, usize) {
         let n = self.node_count();
         let mut comp = vec![usize::MAX; n];
@@ -281,6 +297,7 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// Topological order of the nodes, or `None` if the graph has a cycle.
+    #[must_use]
     pub fn topological_order(&self) -> Option<Vec<NodeId>> {
         let n = self.node_count();
         let mut indegree: Vec<usize> = (0..n).map(|i| self.nodes[i].in_edges.len()).collect();
@@ -313,6 +330,7 @@ pub struct Path {
 
 impl Path {
     /// Number of hops (edges) in the path.
+    #[must_use]
     pub fn hop_count(&self) -> usize {
         self.edges.len()
     }
@@ -532,14 +550,11 @@ impl<N, E> DiGraph<N, E> {
             if cs == cd {
                 continue; // intra-supernode edge: invisible at coarse level
             }
-            match coarse_edges.remove(&(cs, cd)) {
-                Some(acc) => {
-                    coarse_edges.insert((cs, cd), fold_edge(Some(acc), &e.payload));
-                }
-                None => {
-                    pair_order.push((cs, cd));
-                    coarse_edges.insert((cs, cd), fold_edge(None, &e.payload));
-                }
+            if let Some(acc) = coarse_edges.remove(&(cs, cd)) {
+                coarse_edges.insert((cs, cd), fold_edge(Some(acc), &e.payload));
+            } else {
+                pair_order.push((cs, cd));
+                coarse_edges.insert((cs, cd), fold_edge(None, &e.payload));
             }
         }
         for pair in pair_order {

@@ -10,6 +10,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::graph::EdgeId;
+use crate::stack::CrossLayerMap;
+
 /// Identifier for a fiber span (a physical segment of fiber between two
 /// amplifier huts or landing stations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -35,6 +38,7 @@ pub enum Modulation {
 
 impl Modulation {
     /// Data rate carried by a wavelength at this modulation, in Gbps.
+    #[must_use]
     pub fn rate_gbps(self) -> f64 {
         match self {
             Modulation::Qpsk => 100.0,
@@ -46,6 +50,7 @@ impl Modulation {
     /// Maximum reach in kilometers before the optical signal-to-noise ratio
     /// is insufficient (coarse industry figures; only relative order
     /// matters for the simulations).
+    #[must_use]
     pub fn max_reach_km(self) -> f64 {
         match self {
             Modulation::Qpsk => 5_000.0,
@@ -57,6 +62,7 @@ impl Modulation {
     /// Baseline failure probability per simulated day for a wavelength at
     /// this modulation operating *within* its reach budget. Operating near
     /// the reach limit multiplies this (see [`Wavelength::flap_probability`]).
+    #[must_use]
     pub fn base_daily_failure_rate(self) -> f64 {
         match self {
             Modulation::Qpsk => 0.001,
@@ -66,6 +72,7 @@ impl Modulation {
     }
 
     /// The next more aggressive format, if any.
+    #[must_use]
     pub fn step_up(self) -> Option<Modulation> {
         match self {
             Modulation::Qpsk => Some(Modulation::Qam8),
@@ -75,6 +82,7 @@ impl Modulation {
     }
 
     /// The next more conservative format, if any.
+    #[must_use]
     pub fn step_down(self) -> Option<Modulation> {
         match self {
             Modulation::Qpsk => None,
@@ -107,6 +115,7 @@ pub struct FiberSpan {
 
 impl FiberSpan {
     /// Whether a new wavelength can be provisioned over this span.
+    #[must_use]
     pub fn can_light_new_wavelength(&self) -> bool {
         self.spare_wavelength_slots > 0
     }
@@ -128,11 +137,13 @@ pub struct Wavelength {
 impl Wavelength {
     /// Fraction of the modulation's reach budget consumed by this path,
     /// in `[0, ∞)`. Above 1.0 the configuration is out of spec.
+    #[must_use]
     pub fn reach_utilization(&self) -> f64 {
         self.path_km / self.modulation.max_reach_km()
     }
 
     /// Whether the current modulation is within its reach budget.
+    #[must_use]
     pub fn within_reach(&self) -> bool {
         self.reach_utilization() <= 1.0
     }
@@ -145,6 +156,7 @@ impl Wavelength {
     /// multiplier grows quadratically to 16× at 100 % of reach and keeps
     /// growing beyond spec. This reproduces the qualitative RADWAN result
     /// that aggressive modulation on long paths flaps frequently.
+    #[must_use]
     pub fn flap_probability(&self) -> f64 {
         let base = self.modulation.base_daily_failure_rate();
         let u = self.reach_utilization();
@@ -153,6 +165,7 @@ impl Wavelength {
     }
 
     /// Capacity delivered to L3 by this wavelength, in Gbps.
+    #[must_use]
     pub fn capacity_gbps(&self) -> f64 {
         self.modulation.rate_gbps()
     }
@@ -163,14 +176,15 @@ impl Wavelength {
 pub struct OpticalLayer {
     spans: Vec<FiberSpan>,
     wavelengths: Vec<Wavelength>,
-    /// `carries[w]` = indices of L3 links (by the caller's link index)
-    /// carried by wavelength `w`. One wavelength may back multiple logical
-    /// links, and one logical link may ride multiple wavelengths.
-    carries: Vec<Vec<usize>>,
+    /// The typed L1 → L3 map: which [`EdgeId`]s each wavelength carries.
+    /// One wavelength may back multiple logical links, and one logical
+    /// link may ride multiple wavelengths.
+    carries: CrossLayerMap<WavelengthId, EdgeId>,
 }
 
 impl OpticalLayer {
     /// Create an empty optical layer.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -195,15 +209,12 @@ impl OpticalLayer {
     }
 
     /// Light a wavelength over `spans` at `modulation`, carrying the given
-    /// L3 links (caller-side link indices).
-    ///
-    /// # Panics
-    /// Panics if any span id is unknown.
+    /// L3 links.
     pub fn light_wavelength(
         &mut self,
         spans: Vec<FiberSpanId>,
         modulation: Modulation,
-        l3_links: Vec<usize>,
+        l3_links: Vec<EdgeId>,
     ) -> WavelengthId {
         // Span ids come from `add_span`; an out-of-range id (caller bug)
         // contributes zero length rather than aborting the build.
@@ -211,26 +222,31 @@ impl OpticalLayer {
             spans.iter().filter_map(|s| self.spans.get(s.0 as usize)).map(|sp| sp.length_km).sum();
         let id = WavelengthId(self.wavelengths.len() as u32);
         self.wavelengths.push(Wavelength { id, spans, path_km, modulation });
-        self.carries.push(l3_links);
+        let mapped = self.carries.push(l3_links);
+        debug_assert_eq!(mapped, id, "wavelength table and L1->L3 map out of sync");
         id
     }
 
     /// All fiber spans.
+    #[must_use]
     pub fn spans(&self) -> &[FiberSpan] {
         &self.spans
     }
 
     /// All wavelengths.
+    #[must_use]
     pub fn wavelengths(&self) -> &[Wavelength] {
         &self.wavelengths
     }
 
     /// Span by id.
+    #[must_use]
     pub fn span(&self, id: FiberSpanId) -> &FiberSpan {
         &self.spans[id.0 as usize]
     }
 
     /// Wavelength by id.
+    #[must_use]
     pub fn wavelength(&self, id: WavelengthId) -> &Wavelength {
         &self.wavelengths[id.0 as usize]
     }
@@ -240,25 +256,29 @@ impl OpticalLayer {
         &mut self.wavelengths[id.0 as usize]
     }
 
-    /// L3 link indices carried by a wavelength.
-    pub fn links_on_wavelength(&self, id: WavelengthId) -> &[usize] {
-        &self.carries[id.0 as usize]
+    /// L3 links carried by a wavelength.
+    #[must_use]
+    pub fn links_on_wavelength(&self, id: WavelengthId) -> &[EdgeId] {
+        self.carries.down(id)
     }
 
-    /// All wavelengths that carry a given L3 link index.
-    pub fn wavelengths_for_link(&self, l3_link: usize) -> Vec<WavelengthId> {
-        self.carries
-            .iter()
-            .enumerate()
-            .filter(|(_, links)| links.contains(&l3_link))
-            .map(|(i, _)| WavelengthId(i as u32))
-            .collect()
+    /// All wavelengths that carry a given L3 link.
+    #[must_use]
+    pub fn wavelengths_for_link(&self, l3_link: EdgeId) -> Vec<WavelengthId> {
+        self.carries.up(l3_link)
+    }
+
+    /// The typed L1 → L3 cross-layer map (wavelength → carried links).
+    #[must_use]
+    pub fn link_map(&self) -> &CrossLayerMap<WavelengthId, EdgeId> {
+        &self.carries
     }
 
     /// Whether an L3 link can be augmented with a new wavelength: every
     /// span under any existing wavelength of that link must have spare
     /// slots. Returns `None` if the link has no wavelength at all.
-    pub fn link_upgradeable(&self, l3_link: usize) -> Option<bool> {
+    #[must_use]
+    pub fn link_upgradeable(&self, l3_link: EdgeId) -> Option<bool> {
         let wls = self.wavelengths_for_link(l3_link);
         if wls.is_empty() {
             return None;
@@ -304,7 +324,7 @@ mod tests {
     fn layer_with_one_wavelength(modulation: Modulation, km: f64) -> (OpticalLayer, WavelengthId) {
         let mut l1 = OpticalLayer::new();
         let s = l1.add_span("test-span", km, false, 4);
-        let w = l1.light_wavelength(vec![s], modulation, vec![0]);
+        let w = l1.light_wavelength(vec![s], modulation, vec![EdgeId(0)]);
         (l1, w)
     }
 
@@ -334,13 +354,13 @@ mod tests {
         let mut l1 = OpticalLayer::new();
         let s1 = l1.add_span("a-b", 500.0, false, 2);
         let s2 = l1.add_span("b-c", 400.0, false, 0);
-        let w1 = l1.light_wavelength(vec![s1, s2], Modulation::Qam8, vec![7, 9]);
-        let w2 = l1.light_wavelength(vec![s1], Modulation::Qpsk, vec![7]);
+        let w1 = l1.light_wavelength(vec![s1, s2], Modulation::Qam8, vec![EdgeId(7), EdgeId(9)]);
+        let w2 = l1.light_wavelength(vec![s1], Modulation::Qpsk, vec![EdgeId(7)]);
         assert_eq!(l1.wavelength(w1).path_km, 900.0);
-        assert_eq!(l1.links_on_wavelength(w1), &[7, 9]);
-        assert_eq!(l1.wavelengths_for_link(7), vec![w1, w2]);
-        assert_eq!(l1.wavelengths_for_link(9), vec![w1]);
-        assert!(l1.wavelengths_for_link(42).is_empty());
+        assert_eq!(l1.links_on_wavelength(w1), &[EdgeId(7), EdgeId(9)]);
+        assert_eq!(l1.wavelengths_for_link(EdgeId(7)), vec![w1, w2]);
+        assert_eq!(l1.wavelengths_for_link(EdgeId(9)), vec![w1]);
+        assert!(l1.wavelengths_for_link(EdgeId(42)).is_empty());
     }
 
     #[test]
@@ -348,14 +368,14 @@ mod tests {
         let mut l1 = OpticalLayer::new();
         let spare = l1.add_span("land", 500.0, false, 2);
         let full = l1.add_span("subsea", 3000.0, true, 0);
-        l1.light_wavelength(vec![spare, full], Modulation::Qpsk, vec![0]);
-        l1.light_wavelength(vec![spare], Modulation::Qpsk, vec![1]);
+        l1.light_wavelength(vec![spare, full], Modulation::Qpsk, vec![EdgeId(0)]);
+        l1.light_wavelength(vec![spare], Modulation::Qpsk, vec![EdgeId(1)]);
         // Link 0 rides a full span — cannot upgrade.
-        assert_eq!(l1.link_upgradeable(0), Some(false));
+        assert_eq!(l1.link_upgradeable(EdgeId(0)), Some(false));
         // Link 1 rides only the spare span — can upgrade.
-        assert_eq!(l1.link_upgradeable(1), Some(true));
+        assert_eq!(l1.link_upgradeable(EdgeId(1)), Some(true));
         // Unknown link.
-        assert_eq!(l1.link_upgradeable(99), None);
+        assert_eq!(l1.link_upgradeable(EdgeId(99)), None);
     }
 
     #[test]

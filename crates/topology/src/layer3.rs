@@ -46,6 +46,7 @@ impl Continent {
     ];
 
     /// Short code used in names, e.g. `"na"`.
+    #[must_use]
     pub fn code(self) -> &'static str {
         match self {
             Continent::NorthAmerica => "na",
@@ -94,6 +95,7 @@ pub struct LinkAttrs {
 
 impl LinkAttrs {
     /// A fresh, up link.
+    #[must_use]
     pub fn new(capacity_gbps: f64, distance_km: f64, subsea: bool) -> Self {
         Self { capacity_gbps, distance_km, subsea, up: true }
     }
@@ -118,6 +120,7 @@ impl Default for Wan {
 
 impl Wan {
     /// An empty WAN.
+    #[must_use]
     pub fn new() -> Self {
         Self { graph: DiGraph::new(), name_index: HashMap::new() }
     }
@@ -148,21 +151,25 @@ impl Wan {
     }
 
     /// Look up a datacenter by name.
+    #[must_use]
     pub fn dc_by_name(&self, name: &str) -> Option<NodeId> {
         self.name_index.get(name).copied()
     }
 
     /// Datacenter payload of a node.
+    #[must_use]
     pub fn dc(&self, id: NodeId) -> &Datacenter {
         self.graph.node(id)
     }
 
     /// Number of datacenters.
+    #[must_use]
     pub fn dc_count(&self) -> usize {
         self.graph.node_count()
     }
 
     /// Number of directed links.
+    #[must_use]
     pub fn link_count(&self) -> usize {
         self.graph.edge_count()
     }
@@ -173,11 +180,13 @@ impl Wan {
     }
 
     /// Great-circle distance between two DCs in kilometers (haversine).
+    #[must_use]
     pub fn distance_km(&self, a: NodeId, b: NodeId) -> f64 {
         haversine_km(self.dc(a).lat, self.dc(a).lon, self.dc(b).lat, self.dc(b).lon)
     }
 
     /// Distinct regions present, in node order.
+    #[must_use]
     pub fn regions(&self) -> Vec<(Continent, RegionId)> {
         let mut seen = Vec::new();
         for (_, dc) in self.graph.nodes() {
@@ -192,17 +201,22 @@ impl Wan {
     /// Contract the WAN so each (continent, region) pair becomes one
     /// supernode. Parallel inter-region links merge by capacity sum — the
     /// region-level coarsening of §4.
+    #[must_use]
     pub fn contract_by_region(&self) -> Contraction<SuperNode, SuperLink> {
-        self.contract_by(|dc| (dc.continent, format!("r{}", dc.region.0)))
+        self.contract_by_label(|_, dc| format!("{}-r{}", dc.continent.code(), dc.region.0))
     }
 
     /// Contract the WAN so each continent becomes one supernode — the
     /// degenerate 7-node coarsening the paper warns about.
+    #[must_use]
     pub fn contract_by_continent(&self) -> Contraction<SuperNode, SuperLink> {
-        self.contract_by(|dc| (dc.continent, String::new()))
+        self.contract_by_label(|_, dc| dc.continent.code().to_string())
     }
 
-    /// Contract by an arbitrary labeling of datacenters.
+    /// Contract by an arbitrary labeling of datacenters — the one generic
+    /// contraction path. Region, continent, and geo-cluster contractions
+    /// are all labelings fed through here, so supernode naming, member
+    /// ordering, and link folding behave identically across granularities.
     pub fn contract_by_label(
         &self,
         mut label: impl FnMut(NodeId, &Datacenter) -> String,
@@ -221,6 +235,7 @@ impl Wan {
     ///
     /// # Panics
     /// Panics when `k` is zero or exceeds the datacenter count.
+    #[must_use]
     pub fn contract_by_geo_clusters(
         &self,
         k: usize,
@@ -268,24 +283,6 @@ impl Wan {
         }
         self.contract_by_label(|id, _| format!("geo{}", assign[id.index()]))
     }
-
-    fn contract_by(
-        &self,
-        mut key: impl FnMut(&Datacenter) -> (Continent, String),
-    ) -> Contraction<SuperNode, SuperLink> {
-        self.graph.contract(
-            |_, dc| key(dc),
-            |(continent, suffix), members| SuperNode {
-                name: if suffix.is_empty() {
-                    continent.code().to_string()
-                } else {
-                    format!("{}-{}", continent.code(), suffix)
-                },
-                dc_count: members.len(),
-            },
-            fold_link,
-        )
-    }
 }
 
 fn fold_link(acc: Option<SuperLink>, link: &LinkAttrs) -> SuperLink {
@@ -327,6 +324,7 @@ pub struct SuperLink {
 }
 
 /// Haversine great-circle distance in kilometers.
+#[must_use]
 pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
     const R: f64 = 6371.0;
     let (p1, p2) = (lat1.to_radians(), lat2.to_radians());
@@ -461,7 +459,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be")]
     fn geo_clustering_rejects_bad_k() {
-        small_wan().contract_by_geo_clusters(0, 1);
+        let _ = small_wan().contract_by_geo_clusters(0, 1);
     }
 
     #[test]

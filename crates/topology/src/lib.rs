@@ -4,8 +4,11 @@
 //! (SMN) reproduction: a from-scratch directed-graph library
 //! ([`graph::DiGraph`]), a Layer-1 optical model with wavelength/modulation
 //! tradeoffs ([`layer1`]), a Layer-3 wide-area topology of datacenters,
-//! regions and inter-DC links ([`layer3`]), and deterministic generators for
-//! planetary-scale topologies ([`gen`]).
+//! regions and inter-DC links ([`layer3`]), deterministic generators for
+//! planetary-scale topologies ([`gen`]), and the unified [`stack`]: typed
+//! cross-layer maps (`WavelengthId ↔ EdgeId ↔ ComponentId`) behind a common
+//! [`stack::NetLayer`] trait, with generic downward fault propagation
+//! (L1 flap → L3 link down → L7 symptom).
 //!
 //! The graph contraction primitive ([`graph::DiGraph::contract`]) is the
 //! structural half of the paper's *topology-based coarsening* (§4): grouping
@@ -26,6 +29,11 @@ pub mod gen;
 pub mod graph;
 pub mod layer1;
 pub mod layer3;
+pub mod stack;
 
 pub use graph::{DiGraph, EdgeId, NodeId, Path};
 pub use layer3::Wan;
+pub use stack::{
+    ComponentId, CrossLayerMap, LayerId, LayerKey, LayerStack, NetLayer, ServiceLayer, StackFault,
+    StackImpact,
+};

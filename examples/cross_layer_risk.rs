@@ -7,6 +7,7 @@
 use smn_te::srlg::{assess_upgrades, correlated_failure_set, extract_srlgs};
 use smn_topology::failures::{flap_counts, simulate_flaps};
 use smn_topology::gen::{generate_planetary, PlanetaryConfig};
+use smn_topology::EdgeId;
 
 fn main() {
     let p = generate_planetary(&PlanetaryConfig::small(7));
@@ -34,10 +35,10 @@ fn main() {
     // Risk-aware upgrade screening: take the two most flap-prone links and
     // ask whether upgrading both actually diversifies capacity.
     let events = simulate_flaps(&p.optical, 365, 11);
-    let mut counts: Vec<(usize, u32)> = flap_counts(&events).into_iter().collect();
+    let mut counts: Vec<(EdgeId, u32)> = flap_counts(&events).into_iter().collect();
     counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     println!("one simulated year: {} wavelength flap events", events.len());
-    let candidates: Vec<usize> = counts.iter().take(4).map(|&(l, _)| l).collect();
+    let candidates: Vec<EdgeId> = counts.iter().take(4).map(|&(l, _)| l).collect();
     println!("upgrade candidates (most flap-prone links): {candidates:?}");
     let report = assess_upgrades(&srlgs, &candidates);
     if report.is_diverse() {

@@ -229,3 +229,92 @@ proptest! {
         prop_assert_eq!(out.report.duplicated, 0);
     }
 }
+
+// ---- unified layer stack (cross-layer map + generic propagation) -------
+
+proptest! {
+    /// CrossLayerMap: `down` and `up` are mutual inverses — an upper
+    /// element maps to a lower element iff the lower element's up-set
+    /// contains the upper, and `maps` agrees with both.
+    #[test]
+    fn cross_layer_map_up_down_are_mutual_inverses(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..16, 0..6),
+            0..12,
+        )
+    ) {
+        use smn_topology::layer1::WavelengthId;
+        use smn_topology::{CrossLayerMap, EdgeId};
+        let mut map: CrossLayerMap<WavelengthId, EdgeId> = CrossLayerMap::new();
+        for row in &rows {
+            map.push(row.iter().map(|&i| EdgeId(i)).collect());
+        }
+        prop_assert_eq!(map.upper_len(), rows.len());
+        for u in 0..rows.len() {
+            let upper = WavelengthId(u as u32);
+            for d in 0u32..16 {
+                let lower = EdgeId(d);
+                let down_has = map.down(upper).contains(&lower);
+                let up_has = map.up(lower).contains(&upper);
+                prop_assert_eq!(down_has, up_has, "w{} <-> e{} asymmetric", u, d);
+                prop_assert_eq!(down_has, map.maps(upper, lower));
+            }
+        }
+        // Out-of-range lookups are empty on both axes.
+        prop_assert!(map.down(WavelengthId(rows.len() as u32)).is_empty());
+    }
+}
+
+proptest! {
+    /// Generic stack fault propagation reproduces the legacy per-layer
+    /// flap simulation for any seed: same schedule, same L3 outcome set.
+    #[test]
+    fn stack_propagation_matches_legacy_flap_simulation(seed in 0u64..100_000) {
+        use smn_topology::failures::{simulate_flaps, simulate_stack_flaps};
+        use smn_topology::gen::{generate_planetary, PlanetaryConfig};
+        let p = generate_planetary(&PlanetaryConfig::small(7));
+        let legacy = simulate_flaps(&p.optical, 45, seed);
+        let stack = p.into_stack();
+        let generic = simulate_stack_flaps(&stack, 45, seed);
+        prop_assert_eq!(legacy.len(), generic.len());
+        for (l, g) in legacy.iter().zip(&generic) {
+            prop_assert_eq!(l.day, g.day);
+            prop_assert_eq!(&g.impact.wavelengths, &vec![l.wavelength]);
+            let mut links = l.links.clone();
+            links.sort_unstable();
+            links.dedup();
+            prop_assert_eq!(&g.impact.links, &links, "L3 outcome sets differ");
+        }
+    }
+
+    /// On a seeded 560-fault campaign, every legacy LinkFlap spec is
+    /// reproduced exactly by walking the stack downward (L3 -> L7),
+    /// whatever the campaign seed.
+    #[test]
+    fn stack_descent_matches_legacy_campaign_for_any_seed(seed in 0u64..100_000) {
+        use smn_incident::faults::generate_campaign;
+        use smn_incident::{CampaignConfig, DeploymentStack, FaultKind, RedditDeployment};
+        use smn_topology::gen::{generate_planetary, PlanetaryConfig};
+        use smn_topology::{EdgeId, StackFault};
+        let d = RedditDeployment::build();
+        let p = generate_planetary(&PlanetaryConfig::small(7));
+        let ds = DeploymentStack::bind(&d, p.optical, p.wan);
+        let cfg = CampaignConfig { seed, ..Default::default() };
+        let faults = generate_campaign(&d, &cfg);
+        prop_assert_eq!(faults.len(), 560);
+        let mut flaps = 0usize;
+        for legacy in faults.iter().filter(|f| f.kind == FaultKind::LinkFlap) {
+            flaps += 1;
+            let generic = ds.link_flap_specs(
+                &d,
+                StackFault::LinkDown(EdgeId(0)),
+                legacy.id,
+                legacy.variant,
+                legacy.severity,
+            );
+            prop_assert_eq!(generic.len(), 1);
+            prop_assert_eq!(&generic[0], legacy, "stack descent diverged from legacy");
+        }
+        prop_assert!(flaps > 0, "campaign must contain LinkFlap faults");
+    }
+}
