@@ -207,32 +207,40 @@ fn run_profile(
     result
 }
 
+/// `--out FILE` (perf-trajectory snapshot, on by default) plus
 /// `--trace FILE --metrics FILE --audit FILE`, all optional.
 struct Args {
+    out: String,
     trace: Option<String>,
     metrics: Option<String>,
     audit: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { trace: None, metrics: None, audit: None };
+    let mut args = Args {
+        out: "BENCH_degraded_mode.json".to_string(),
+        trace: None,
+        metrics: None,
+        audit: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let target = match flag.as_str() {
-            "--trace" => &mut args.trace,
-            "--metrics" => &mut args.metrics,
-            "--audit" => &mut args.audit,
-            other => {
-                eprintln!("unknown flag: {other}");
-                eprintln!("usage: degraded_mode [--trace FILE] [--metrics FILE] [--audit FILE]");
-                std::process::exit(2);
-            }
-        };
-        if let Some(path) = it.next() {
-            *target = Some(path);
-        } else {
+        let Some(path) = it.next() else {
             eprintln!("{flag} requires a file path");
             std::process::exit(2);
+        };
+        match flag.as_str() {
+            "--out" => args.out = path,
+            "--trace" => args.trace = Some(path),
+            "--metrics" => args.metrics = Some(path),
+            "--audit" => args.audit = Some(path),
+            other => {
+                eprintln!("unknown flag: {other}");
+                eprintln!(
+                    "usage: degraded_mode [--out FILE] [--trace FILE] [--metrics FILE] [--audit FILE]"
+                );
+                std::process::exit(2);
+            }
         }
     }
     args
@@ -356,6 +364,37 @@ fn main() {
         "\ndeterminism: perfect-storm replay reproduced outcome hash {:016x}",
         replay.outcome_hash
     );
+
+    // Perf-trajectory snapshot: accuracy + resilience counters per profile
+    // plus the wall latencies from the bench-only registry.
+    let profile_values: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            smn_bench::json_obj(vec![
+                ("name", serde_json::Value::Str(r.name.to_string())),
+                ("accuracy", serde_json::Value::F64(r.accuracy())),
+                ("degraded_feedback", serde_json::Value::U64(r.degraded as u64)),
+                ("breaker_trips", serde_json::Value::U64(r.breaker_trips)),
+                ("retries", serde_json::Value::U64(r.retries)),
+                ("dropped_records", serde_json::Value::U64(r.dropped_records as u64)),
+                ("crashes", serde_json::Value::U64(r.crashes as u64)),
+                ("outcome_hash", serde_json::Value::Str(format!("{:016x}", r.outcome_hash))),
+                ("wall", smn_bench::wall_stats(&ctx.bench, &format!("window_ms/{}", r.name))),
+            ])
+        })
+        .collect();
+    let snapshot = smn_bench::json_obj(vec![
+        ("bench", serde_json::Value::Str("degraded_mode".to_string())),
+        (
+            "campaign",
+            smn_bench::json_obj(vec![
+                ("n_faults", serde_json::Value::U64(faults.len() as u64)),
+                ("campaign_seed", serde_json::Value::U64(campaign_cfg.seed)),
+            ]),
+        ),
+        ("profiles", serde_json::Value::Seq(profile_values)),
+    ]);
+    smn_bench::write_snapshot(&args.out, &snapshot);
 
     if let Some(path) = &args.trace {
         std::fs::write(path, ctx.obs.trace_jsonl()).expect("write trace");

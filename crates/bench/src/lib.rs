@@ -36,6 +36,34 @@ pub fn bw_log(model: &TrafficModel, start_day: u64, days: u64) -> Vec<BandwidthR
     model.generate(Ts::from_days(start_day), TrafficModel::epochs_per_days(days))
 }
 
+/// Build an insertion-ordered JSON object from `(key, value)` pairs — the
+/// building block of the `BENCH_*.json` perf-trajectory snapshots.
+pub fn json_obj(entries: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    serde_json::Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Wall-clock latency stats of one bench-registry histogram as a JSON
+/// object (`count`, `mean_ms`, `p50_ms`, `p99_ms`); `Null` when the
+/// histogram never observed a sample. Wall latencies are machine-dependent
+/// by nature — snapshots record them for trend lines, never for asserts.
+pub fn wall_stats(bench: &smn_obs::Obs, name: &str) -> serde_json::Value {
+    bench.histogram(name).map_or(serde_json::Value::Null, |h| {
+        json_obj(vec![
+            ("count", serde_json::Value::U64(h.count)),
+            ("mean_ms", serde_json::Value::F64(h.mean())),
+            ("p50_ms", serde_json::Value::F64(h.quantile(0.5))),
+            ("p99_ms", serde_json::Value::F64(h.quantile(0.99))),
+        ])
+    })
+}
+
+/// Write a `BENCH_*.json` snapshot, pretty-printed, and log the path.
+pub fn write_snapshot(path: &str, value: &serde_json::Value) {
+    let text = serde_json::to_string_pretty(value).expect("snapshot serializes");
+    std::fs::write(path, text + "\n").expect("write snapshot");
+    println!("snapshot: -> {path}");
+}
+
 /// Render an aligned plain-text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

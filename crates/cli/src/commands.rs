@@ -2,15 +2,17 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use serde::Deserialize;
 use smn_core::bwlogs::{TimeCoarsener, TopologyCoarsener};
 use smn_core::coarsen::Coarsening;
 use smn_core::controller::{ControllerConfig, Feedback, SmnController};
 use smn_core::simulation::{SimulationConfig, SmnSimulation};
 use smn_depgraph::dot::cdg_to_dot;
 use smn_depgraph::syndrome::Explainability;
-use smn_incident::faults::{FaultKind, FaultSpec};
+use smn_heal::{route_to_team_mttr, Diagnosis, HealConfig, HealWorld, Healer, RemediationPhase};
+use smn_incident::faults::{generate_campaign, CampaignConfig, FaultKind, FaultSpec};
 use smn_incident::sim::{observe, SimConfig};
-use smn_incident::RedditDeployment;
+use smn_incident::{DeploymentStack, RedditDeployment};
 use smn_te::demand::DemandMatrix;
 use smn_te::mcf::{greedy_min_max_utilization, TeConfig};
 use smn_telemetry::series::Statistic;
@@ -238,6 +240,181 @@ pub fn cdg() -> Result<(), String> {
     Ok(())
 }
 
+/// Load a `fault-campaign` artifact and keep the faults whose targets
+/// exist in this deployment; returns `(faults, skipped)`.
+fn load_campaign(path: &str, d: &RedditDeployment) -> Result<(Vec<FaultSpec>, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = serde_json::parse_value(&text).map_err(|e| format!("{path}: {e}"))?;
+    match value.get("kind") {
+        Some(serde_json::Value::Str(k)) if k == "fault-campaign" => {}
+        _ => return Err(format!("{path}: not a fault-campaign artifact (missing kind)")),
+    }
+    let Some(serde_json::Value::Seq(fault_vs)) = value.get("faults") else {
+        return Err(format!("{path}: fault-campaign has no 'faults' array"));
+    };
+    let mut faults = Vec::new();
+    let mut skipped = 0usize;
+    for (i, v) in fault_vs.iter().enumerate() {
+        let f = FaultSpec::from_value(v).map_err(|e| format!("{path}: faults[{i}]: {e}"))?;
+        if d.fine.by_name(&f.target).is_some() {
+            faults.push(f);
+        } else {
+            skipped += 1;
+        }
+    }
+    Ok((faults, skipped))
+}
+
+/// `smn heal` — run a remediation campaign through the closed-loop engine.
+///
+/// Observes each fault, diagnoses it (`Explainability::best_team`), and
+/// hands it to `smn_heal::Healer` for plan → execute → verify → commit or
+/// roll back. Reports MTTR against the deterministic route-to-team human
+/// model. A rollback *storm* — more than `--storm-threshold` percent of
+/// attempted remediations rolled back — exits non-zero, since it means the
+/// planner is mostly hurting the network it is supposed to heal.
+/// Flags accepted by `smn heal`, with their defaults.
+struct HealFlags {
+    n_faults: usize,
+    campaign_file: Option<String>,
+    storm_threshold: u32,
+    json: bool,
+}
+
+fn parse_heal_flags(args: &[String]) -> Result<HealFlags, String> {
+    const HEAL_USAGE: &str =
+        "usage: smn heal [--faults N] [--campaign FILE] [--storm-threshold PCT] [--json]";
+    let mut flags =
+        HealFlags { n_faults: 120, campaign_file: None, storm_threshold: 60, json: false };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => flags.json = true,
+            "--faults" => match it.next() {
+                Some(n) => {
+                    flags.n_faults =
+                        n.parse().map_err(|_| format!("--faults needs a number, got '{n}'"))?;
+                }
+                None => return Err("--faults needs a number".to_string()),
+            },
+            "--campaign" => match it.next() {
+                Some(path) => flags.campaign_file = Some(path.clone()),
+                None => return Err("--campaign needs a file path".to_string()),
+            },
+            "--storm-threshold" => match it.next() {
+                Some(n) => {
+                    flags.storm_threshold = n
+                        .parse()
+                        .map_err(|_| format!("--storm-threshold needs a percent, got '{n}'"))?;
+                }
+                None => return Err("--storm-threshold needs a percent".to_string()),
+            },
+            other => return Err(format!("unexpected argument '{other}'\n{HEAL_USAGE}")),
+        }
+    }
+    Ok(flags)
+}
+
+pub fn heal(args: &[String]) -> Result<(), String> {
+    let HealFlags { n_faults, campaign_file, storm_threshold, json } = parse_heal_flags(args)?;
+
+    let d = RedditDeployment::build();
+    let planetary = generate_planetary(&PlanetaryConfig::small(7));
+    let contraction = planetary.wan.contract_by_region();
+    let stack = DeploymentStack::bind(&d, planetary.optical, planetary.wan);
+    let sim = SimConfig::default();
+    let world =
+        HealWorld { deployment: &d, stack: stack.stack(), contraction: &contraction, sim: &sim };
+
+    let (faults, skipped) = match &campaign_file {
+        Some(path) => load_campaign(path, &d)?,
+        None => (generate_campaign(&d, &CampaignConfig { n_faults, ..Default::default() }), 0),
+    };
+    if faults.is_empty() {
+        return Err("campaign has no usable faults".to_string());
+    }
+
+    let cfg = HealConfig::default();
+    let heal_seed = cfg.seed;
+    let mut healer = Healer::new(cfg);
+    let ex = Explainability::new(&d.cdg);
+    let mut unrouted = 0usize;
+    let (mut verified, mut rolled_back, mut escalated) = (0usize, 0usize, 0usize);
+    let (mut mttr_heal_sum, mut mttr_route_sum) = (0.0f64, 0.0f64);
+    let mut accounted = 0usize;
+    for fault in &faults {
+        let observation = observe(&d, fault, &sim);
+        let Some(team_id) = ex.best_team(&observation.syndrome) else {
+            unrouted += 1;
+            continue;
+        };
+        let team = d.cdg.team(team_id).name.clone();
+        let explainability = ex.explainability(&observation.syndrome, team_id);
+        let diag = Diagnosis::from_observation(&d, &observation, &team, explainability);
+        let record = healer.heal(&world, &diag, fault);
+        match record.phase {
+            RemediationPhase::Verified => verified += 1,
+            RemediationPhase::RolledBack => rolled_back += 1,
+            RemediationPhase::Escalated => escalated += 1,
+        }
+        mttr_heal_sum += record.mttr_minutes;
+        mttr_route_sum += route_to_team_mttr(team == fault.team, heal_seed, fault.id);
+        accounted += 1;
+    }
+
+    let attempted = verified + rolled_back;
+    #[allow(clippy::cast_precision_loss)] // campaign sizes stay far below 2^52
+    let mean = |sum: f64, n: usize| if n == 0 { 0.0 } else { sum / n as f64 };
+    let rollback_pct = if attempted == 0 {
+        0.0
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            100.0 * rolled_back as f64 / attempted as f64
+        }
+    };
+    let mttr_heal = mean(mttr_heal_sum, accounted);
+    let mttr_route = mean(mttr_route_sum, accounted);
+
+    if json {
+        let obj = |entries: Vec<(&str, serde_json::Value)>| {
+            serde_json::Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let u = |n: usize| serde_json::Value::U64(n as u64);
+        let report = obj(vec![
+            ("command", serde_json::Value::Str("heal".to_string())),
+            ("faults", u(faults.len())),
+            ("skipped_unknown_targets", u(skipped)),
+            ("unrouted", u(unrouted)),
+            ("verified", u(verified)),
+            ("rolled_back", u(rolled_back)),
+            ("escalated", u(escalated)),
+            ("rollback_pct", serde_json::Value::F64(rollback_pct)),
+            ("mttr_heal_mean_minutes", serde_json::Value::F64(mttr_heal)),
+            ("mttr_route_mean_minutes", serde_json::Value::F64(mttr_route)),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+    } else {
+        println!("remediation campaign: {} faults (heal seed {heal_seed:#x})", faults.len());
+        if skipped > 0 {
+            println!("  skipped (unknown targets): {skipped}");
+        }
+        println!("  verified:    {verified}");
+        println!("  rolled back: {rolled_back}  ({rollback_pct:.0}% of executed)");
+        println!("  escalated:   {escalated}");
+        println!("  unrouted:    {unrouted}");
+        println!("  MTTR: heal {mttr_heal:.1}m vs route-to-team {mttr_route:.1}m");
+    }
+
+    if rollback_pct > f64::from(storm_threshold) {
+        return Err(format!(
+            "rollback storm: {rolled_back}/{attempted} executed remediations rolled back \
+             ({rollback_pct:.0}% > {storm_threshold}% threshold)"
+        ));
+    }
+    Ok(())
+}
+
 /// `smn lint` — run the workspace static-analysis pass (both engines).
 ///
 /// Mirrors `cargo run -p smn-lint`: source rules over every workspace
@@ -379,7 +556,7 @@ mod tests {
     use super::*;
 
     fn s(v: &[&str]) -> Vec<String> {
-        v.iter().map(|x| x.to_string()).collect()
+        v.iter().map(ToString::to_string).collect()
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! smn plan     [--weeks N]             run the capacity-planning pipeline
 //! smn run      [--days N]              continuous operation (all loops)
 //! smn cdg                              print the Reddit CDG as DOT
+//! smn heal [--faults N] [--json]       closed-loop remediation campaign
 //! smn lint [--json] [--artifacts DIR]  static analysis (source + artifacts)
 //! smn obs summarize <trace.jsonl>      summarize a deterministic trace
 //! ```
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "plan" => commands::plan(rest),
         "run" => commands::run(rest),
         "cdg" => commands::cdg(),
+        "heal" => commands::heal(rest),
         "lint" => commands::lint(rest),
         "obs" => commands::obs(rest),
         "help" | "--help" | "-h" => {
@@ -63,6 +65,9 @@ USAGE:
   smn plan     [--weeks N]            capacity planning from simulated logs
   smn run      [--days N]             continuous operation (all loops)
   smn cdg                             print the Reddit CDG as Graphviz DOT
+  smn heal [--faults N] [--json]      run a closed-loop remediation campaign
+           [--campaign FILE]          (plan/execute/verify/rollback per fault;
+           [--storm-threshold PCT]     non-zero exit on a rollback storm)
   smn lint [--json] [--artifacts DIR] run smn-lint (source + artifact engines)
   smn obs summarize <trace.jsonl>     summarize a deterministic trace
            [--metrics FILE]           (span tree, top-N slowest spans,

@@ -1,0 +1,102 @@
+//! Opt-in self-healing loop: the controller's incident routing composed
+//! with the smn-heal remediation engine.
+//!
+//! [`SmnController::healing_loop`] wraps [`SmnController::incident_loop`]:
+//! the incident loop still does all diagnosis (fetch → syndrome →
+//! explainability → route), and the healer acts on the routing decision.
+//! Composition with the degradation ladders is one-directional by design:
+//! any [`Feedback::Degraded`] rung this window disables the healer (an
+//! engine acting on half-blind telemetry would do more harm than a page),
+//! and the first fully healthy window re-arms it. The healer never writes
+//! back into the CLDS or the controller, so enabling healing cannot change
+//! a single routing decision — `tests/healing.rs` pins that equivalence
+//! byte-for-byte.
+//!
+//! Verification is deferred one window ([`smn_heal::Healer::execute`] now,
+//! [`smn_heal::Healer::resolve`] next call), so a controller crash can
+//! strike while a remediation is in flight. [`HealingCheckpoint`] bundles
+//! the controller checkpoint with [`smn_heal::HealCheckpoint`]; restoring
+//! it resumes the pending verification exactly where it stopped.
+
+use serde::{Deserialize, Serialize};
+use smn_datalake::fault::FaultyStore;
+use smn_depgraph::coarse::CoarseDepGraph;
+use smn_heal::{Diagnosis, HealCheckpoint, HealWorld, Healer, RemediationRecord};
+use smn_incident::IncidentObservation;
+use smn_telemetry::time::Ts;
+
+use crate::controller::{ControllerCheckpoint, Feedback, SmnController};
+
+/// Joint snapshot of the controller and its healing engine: restoring one
+/// without the other would either orphan in-flight remediations or replay
+/// already-settled ones.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealingCheckpoint {
+    /// The controller's own checkpoint (cursor, incident ids, config).
+    pub controller: ControllerCheckpoint,
+    /// The healer's checkpoint (overlay, enablement, in-flight actions).
+    pub healing: HealCheckpoint,
+}
+
+impl SmnController {
+    /// One incident-loop window with closed-loop healing.
+    ///
+    /// Runs [`SmnController::incident_loop`] unchanged, settles any
+    /// remediation left in flight by the *previous* window, and — unless
+    /// this window surfaced a [`Feedback::Degraded`] rung — executes a
+    /// remediation for this window's routed incident. Returns the loop's
+    /// feedback plus every remediation record that reached a terminal
+    /// phase during the window.
+    ///
+    /// `observation` is the simulator's observation for the fault active
+    /// in `[start, end)` — the healer diagnoses from it and the routing
+    /// decision only, never from the fault's ground truth.
+    pub fn healing_loop(
+        &self,
+        healer: &mut Healer,
+        world: &HealWorld<'_>,
+        observation: &IncidentObservation,
+        start: Ts,
+        end: Ts,
+    ) -> (Vec<Feedback>, Vec<RemediationRecord>) {
+        let feedback = self.incident_loop(start, end);
+        let mut records = healer.resolve(world);
+        if feedback.iter().any(|f| matches!(f, Feedback::Degraded { .. })) {
+            healer.disable("controller degraded: telemetry or lake below incident-loop floor");
+            return (feedback, records);
+        }
+        healer.enable();
+        let routed = feedback.iter().find_map(|f| match f {
+            Feedback::RouteIncident { team, explainability, .. } => {
+                Some((team.clone(), *explainability))
+            }
+            _ => None,
+        });
+        if let Some((team, explainability)) = routed {
+            let diag =
+                Diagnosis::from_observation(world.deployment, observation, &team, explainability);
+            if let Some(record) = healer.execute(world, &diag, &observation.fault) {
+                records.push(record);
+            }
+        }
+        (feedback, records)
+    }
+
+    /// Snapshot the controller together with its healing engine.
+    #[must_use]
+    pub fn checkpoint_with_healing(&self, healer: &Healer) -> HealingCheckpoint {
+        HealingCheckpoint { controller: self.checkpoint(), healing: healer.checkpoint() }
+    }
+
+    /// Restore a controller + healer pair from a joint checkpoint.
+    /// Observability on both sides starts disabled; re-attach with
+    /// [`SmnController::set_obs`] and [`Healer::set_obs`].
+    #[must_use]
+    pub fn restore_with_healing(
+        lake: FaultyStore,
+        cdg: CoarseDepGraph,
+        cp: HealingCheckpoint,
+    ) -> (SmnController, Healer) {
+        (SmnController::restore(lake, cdg, cp.controller), Healer::restore(cp.healing))
+    }
+}

@@ -25,6 +25,7 @@ pub mod bwlogs;
 pub mod cdg;
 pub mod coarsen;
 pub mod controller;
+pub mod healing;
 pub mod modelhist;
 pub mod simulation;
 pub mod warstories;
@@ -33,3 +34,4 @@ pub use coarsen::{action_fidelity, Coarsening, CoarseningReport};
 pub use controller::{
     ControllerCheckpoint, ControllerConfig, Feedback, PlanningWindow, SmnController,
 };
+pub use healing::HealingCheckpoint;

@@ -1,0 +1,585 @@
+//! The healing engine: execute → verify → roll back over a network-state
+//! overlay, with every step audited, graceful degradation interplay, and
+//! checkpoint/restore that preserves in-flight remediations.
+//!
+//! The engine is a state machine per incident:
+//!
+//! ```text
+//!            plan
+//!   diagnosis ──► RouteToTeam ─────────────► Escalated   (terminal)
+//!            │
+//!            └──► mutating action ──execute──► in-flight
+//!                    in-flight ──verify ok───► Verified   (terminal)
+//!                    in-flight ──regressed────► RolledBack (terminal,
+//!                    in-flight ──deadline──────► RolledBack  state restored)
+//! ```
+//!
+//! Execution mutates only the healer's [`NetworkState`] overlay, so a
+//! rollback is a plain restore of the pre-action clone — byte-identical,
+//! which the rollback proptest in `tests/healing.rs` pins. Verification is
+//! deferred: [`Healer::execute`] leaves the remediation in flight and
+//! [`Healer::resolve`] settles it against the next observation window,
+//! mirroring how a real control loop waits a probe interval before
+//! declaring victory. In-flight remediations survive checkpoint/restore
+//! ([`HealCheckpoint`]).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use smn_incident::{observe, FaultSpec, RedditDeployment, SimConfig};
+use smn_obs::Obs;
+use smn_topology::graph::Contraction;
+use smn_topology::layer1::{Modulation, WavelengthId};
+use smn_topology::layer3::{SuperLink, SuperNode};
+use smn_topology::{EdgeId, LayerStack};
+
+use crate::action::RemediationAction;
+use crate::plan::{plan_action, Diagnosis};
+use crate::verify::{remediated_fault, route_to_team_mttr, verify_recovery};
+
+/// Tuning knobs of the healing engine. Serializable so a checkpoint
+/// carries its exact configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealConfig {
+    /// Seed for every deterministic draw the engine makes (effect-model
+    /// residuals, human-recovery latencies).
+    pub seed: u64,
+    /// Routing decisions below this explainability score are escalated,
+    /// never remediated automatically.
+    pub min_explainability: f64,
+    /// Minutes a remediation has to verify before it is rolled back.
+    pub deadline_minutes: u32,
+    /// Actuation latency of an automated action, in minutes.
+    pub exec_latency_minutes: f64,
+    /// Latency of restoring the pre-action state, in minutes.
+    pub rollback_latency_minutes: f64,
+    /// `k` for coarse-restricted alternate-path search when planning
+    /// drains.
+    pub restricted_path_k: usize,
+}
+
+impl Default for HealConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x4EA1,
+            min_explainability: 0.45,
+            deadline_minutes: 30,
+            exec_latency_minutes: 2.0,
+            rollback_latency_minutes: 1.0,
+            restricted_path_k: 3,
+        }
+    }
+}
+
+/// Borrowed view of everything the healer plans and verifies against: the
+/// simulated deployment, its unified layer stack, the region coarsening
+/// (for restricted-path drains), and the simulator configuration.
+#[derive(Clone, Copy)]
+pub struct HealWorld<'a> {
+    /// The simulated Reddit-like deployment.
+    pub deployment: &'a RedditDeployment,
+    /// Unified L1→L3→L7 stack bound to that deployment.
+    pub stack: &'a LayerStack,
+    /// Region-level coarsening of the stack's WAN.
+    pub contraction: &'a Contraction<SuperNode, SuperLink>,
+    /// Observation-model configuration.
+    pub sim: &'a SimConfig,
+}
+
+/// One recorded wavelength retune (the typed inverse lives in `from`, so
+/// rollback never has to consult the optical layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetuneRecord {
+    /// Retuned wavelength.
+    pub wavelength: WavelengthId,
+    /// Modulation before the retune.
+    pub from: Modulation,
+    /// Modulation after the retune.
+    pub to: Modulation,
+}
+
+/// The healer's overlay on the shared network: what it has drained,
+/// retuned, and restarted. Actions mutate *only* this value — rolling
+/// back is restoring the pre-action clone, byte-identical under serde.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkState {
+    /// WAN links currently drained, ascending id.
+    pub drained_links: Vec<EdgeId>,
+    /// Applied retunes, in execution order.
+    pub retunes: Vec<RetuneRecord>,
+    /// Components restarted so far, in execution order.
+    pub restarted: Vec<String>,
+}
+
+impl NetworkState {
+    /// Apply one action to the overlay. Escalations change nothing.
+    pub fn apply(&mut self, action: &RemediationAction) {
+        match action {
+            RemediationAction::DrainLink { link, .. } => {
+                if let Err(at) = self.drained_links.binary_search(link) {
+                    self.drained_links.insert(at, *link);
+                }
+            }
+            RemediationAction::RetuneWavelength { wavelength, from, to } => {
+                self.retunes.push(RetuneRecord { wavelength: *wavelength, from: *from, to: *to });
+            }
+            RemediationAction::RestartComponent { component } => {
+                self.restarted.push(component.clone());
+            }
+            RemediationAction::RouteToTeam { .. } => {}
+        }
+    }
+}
+
+/// Where a remediation ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RemediationPhase {
+    /// Executed and verified: the incident cleared inside the deadline.
+    Verified,
+    /// Executed, failed verification (regression or deadline), state
+    /// restored to the pre-action checkpoint.
+    RolledBack,
+    /// Never executed: handed to the diagnosed team (low confidence, no
+    /// safe action, or healing disabled under degradation).
+    Escalated,
+}
+
+impl RemediationPhase {
+    /// Stable kebab-case name for reports and outcome hashes.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RemediationPhase::Verified => "verified",
+            RemediationPhase::RolledBack => "rolled-back",
+            RemediationPhase::Escalated => "escalated",
+        }
+    }
+}
+
+/// Terminal record of one incident's trip through the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemediationRecord {
+    /// The incident (fault) this record settles.
+    pub incident_id: u64,
+    /// Team the diagnosis named.
+    pub team: String,
+    /// The action taken (or the escalation).
+    pub action: RemediationAction,
+    /// Terminal phase.
+    pub phase: RemediationPhase,
+    /// Did the network verifiably recover under the action?
+    pub recovered: bool,
+    /// Minutes from incident to recovery (automated path) or to expected
+    /// human mitigation (escalated / rolled-back paths).
+    pub mttr_minutes: f64,
+    /// Severity left behind: the residual for verified heals, the full
+    /// original severity otherwise.
+    pub residual_severity: f64,
+}
+
+/// A remediation that has been executed but not yet verified. Serialized
+/// inside [`HealCheckpoint`] so a controller crash between execution and
+/// verification does not orphan the action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingRemediation {
+    /// The incident being remediated.
+    pub incident_id: u64,
+    /// Diagnosis that produced the action.
+    pub diagnosis: Diagnosis,
+    /// Ground-truth fault spec (the simulator's injection handle).
+    pub fault: FaultSpec,
+    /// The executed action.
+    pub action: RemediationAction,
+    /// Overlay state captured immediately before execution — the rollback
+    /// target.
+    pub pre_state: NetworkState,
+}
+
+/// Monotonic counters over the healer's lifetime (mirrored as smn-obs
+/// metrics when observability is enabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealCounters {
+    /// Plans produced (mutating or escalation) while enabled.
+    pub planned: u64,
+    /// Actions executed against the overlay.
+    pub executed: u64,
+    /// Remediations that verified.
+    pub verified: u64,
+    /// Remediations rolled back.
+    pub rolled_back: u64,
+    /// Incidents escalated to a team.
+    pub escalated: u64,
+    /// Enabled → disabled transitions (degradation interplay).
+    pub disables: u64,
+    /// Disabled → enabled transitions.
+    pub enables: u64,
+}
+
+/// Serializable snapshot of a [`Healer`] — configuration, overlay state,
+/// enablement, counters, and crucially the in-flight remediations, so
+/// checkpoint/restore preserves actions awaiting verification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealCheckpoint {
+    /// Engine configuration.
+    pub config: HealConfig,
+    /// Network-state overlay at checkpoint time.
+    pub state: NetworkState,
+    /// Whether healing was enabled.
+    pub enabled: bool,
+    /// Remediations executed but not yet verified.
+    pub in_flight: Vec<PendingRemediation>,
+    /// Lifetime counters.
+    pub counters: HealCounters,
+}
+
+/// The closed-loop remediation engine.
+pub struct Healer {
+    cfg: HealConfig,
+    state: NetworkState,
+    enabled: bool,
+    in_flight: Vec<PendingRemediation>,
+    counters: HealCounters,
+    obs: Arc<Obs>,
+}
+
+impl Healer {
+    /// A fresh, enabled healer with no observability (see
+    /// [`Healer::set_obs`]).
+    #[must_use]
+    pub fn new(cfg: HealConfig) -> Healer {
+        Healer {
+            cfg,
+            state: NetworkState::default(),
+            enabled: true,
+            in_flight: Vec::new(),
+            counters: HealCounters::default(),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attach an observability pipeline: every subsequent plan / execute /
+    /// verify / rollback lands in its audit trail and span tree.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = obs;
+    }
+
+    /// Is the engine currently willing to execute mutating actions?
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &HealConfig {
+        &self.cfg
+    }
+
+    /// The current network-state overlay.
+    #[must_use]
+    pub fn state(&self) -> &NetworkState {
+        &self.state
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn counters(&self) -> HealCounters {
+        self.counters
+    }
+
+    /// Remediations executed but not yet verified.
+    #[must_use]
+    pub fn in_flight(&self) -> &[PendingRemediation] {
+        &self.in_flight
+    }
+
+    /// Degradation interplay: stop executing mutating actions (incidents
+    /// escalate instead) until [`Healer::enable`] is called. Idempotent;
+    /// the transition is audited once.
+    pub fn disable(&mut self, reason: &str) {
+        if self.enabled {
+            self.enabled = false;
+            self.counters.disables += 1;
+            self.obs.inc("heal_disables_total");
+            self.obs.audit("heal/engine", "disable", &[("reason", reason.to_string())]);
+        }
+    }
+
+    /// Re-arm the engine after degradation clears. Idempotent; the
+    /// transition is audited once.
+    pub fn enable(&mut self) {
+        if !self.enabled {
+            self.enabled = true;
+            self.counters.enables += 1;
+            self.obs.inc("heal_enables_total");
+            self.obs.audit(
+                "heal/engine",
+                "enable",
+                &[("reason", "degradation cleared".to_string())],
+            );
+        }
+    }
+
+    /// Snapshot the engine (including in-flight remediations).
+    #[must_use]
+    pub fn checkpoint(&self) -> HealCheckpoint {
+        HealCheckpoint {
+            config: self.cfg.clone(),
+            state: self.state.clone(),
+            enabled: self.enabled,
+            in_flight: self.in_flight.clone(),
+            counters: self.counters,
+        }
+    }
+
+    /// Rebuild a healer from a checkpoint. Observability starts disabled
+    /// (attach with [`Healer::set_obs`]); everything else — overlay,
+    /// enablement, counters, in-flight remediations — carries over.
+    #[must_use]
+    pub fn restore(cp: HealCheckpoint) -> Healer {
+        Healer {
+            cfg: cp.config,
+            state: cp.state,
+            enabled: cp.enabled,
+            in_flight: cp.in_flight,
+            counters: cp.counters,
+            obs: Obs::disabled(),
+        }
+    }
+
+    fn escalation_record(&self, diag: &Diagnosis, fault: &FaultSpec) -> RemediationRecord {
+        let correctly_routed = diag.team == fault.team;
+        RemediationRecord {
+            incident_id: fault.id,
+            team: diag.team.clone(),
+            action: RemediationAction::RouteToTeam { team: diag.team.clone() },
+            phase: RemediationPhase::Escalated,
+            recovered: false,
+            mttr_minutes: route_to_team_mttr(correctly_routed, self.cfg.seed, fault.id),
+            residual_severity: fault.severity,
+        }
+    }
+
+    /// Plan and execute one remediation.
+    ///
+    /// Returns `Some(record)` when the incident terminated immediately
+    /// (escalated: healing disabled, low confidence, or no safe action).
+    /// Returns `None` when a mutating action was executed — the
+    /// remediation is now in flight and will settle on the next
+    /// [`Healer::resolve`], surviving checkpoint/restore in between.
+    pub fn execute(
+        &mut self,
+        world: &HealWorld<'_>,
+        diag: &Diagnosis,
+        fault: &FaultSpec,
+    ) -> Option<RemediationRecord> {
+        if !self.enabled {
+            self.counters.escalated += 1;
+            self.obs.inc("heal_escalations_total");
+            self.obs.audit(
+                "heal/engine",
+                "escalate",
+                &[
+                    ("incident", fault.id.to_string()),
+                    ("team", diag.team.clone()),
+                    ("reason", "healing disabled under degradation".to_string()),
+                ],
+            );
+            return Some(self.escalation_record(diag, fault));
+        }
+
+        let action = {
+            let mut span = self.obs.span_with("heal/plan", &[("incident", fault.id.into())]);
+            let action = plan_action(world, diag, &self.state, &self.cfg);
+            span.field("action", action.kind_name());
+            action
+        };
+        self.counters.planned += 1;
+        self.obs.inc("heal_plans_total");
+        self.obs.audit(
+            "heal/engine",
+            "plan",
+            &[
+                ("incident", fault.id.to_string()),
+                ("team", diag.team.clone()),
+                ("action", action.kind_name().to_string()),
+                ("layer", action.layer().name().to_string()),
+                ("target", action.target()),
+                ("explainability", format!("{:.4}", diag.explainability)),
+            ],
+        );
+
+        if !action.is_mutating() {
+            self.counters.escalated += 1;
+            self.obs.inc("heal_escalations_total");
+            self.obs.audit(
+                "heal/engine",
+                "escalate",
+                &[
+                    ("incident", fault.id.to_string()),
+                    ("team", diag.team.clone()),
+                    ("reason", "no safe automated action".to_string()),
+                ],
+            );
+            return Some(self.escalation_record(diag, fault));
+        }
+
+        let pre_state = self.state.clone();
+        {
+            let mut span = self.obs.span_with("heal/execute", &[("incident", fault.id.into())]);
+            self.state.apply(&action);
+            span.field("layer", action.layer().name());
+        }
+        self.counters.executed += 1;
+        self.obs.inc("heal_executions_total");
+        self.obs.audit(
+            "heal/engine",
+            "execute",
+            &[
+                ("incident", fault.id.to_string()),
+                ("action", action.kind_name().to_string()),
+                ("layer", action.layer().name().to_string()),
+                ("target", action.target()),
+            ],
+        );
+        self.in_flight.push(PendingRemediation {
+            incident_id: fault.id,
+            diagnosis: diag.clone(),
+            fault: fault.clone(),
+            action,
+            pre_state,
+        });
+        None
+    }
+
+    /// Verify every in-flight remediation against a fresh observation
+    /// window: commit the ones that recovered, roll the rest back to their
+    /// pre-action overlay. Records come back in execution order.
+    pub fn resolve(&mut self, world: &HealWorld<'_>) -> Vec<RemediationRecord> {
+        let pending = std::mem::take(&mut self.in_flight);
+        pending.into_iter().map(|p| self.resolve_one(world, p)).collect()
+    }
+
+    fn resolve_one(&mut self, world: &HealWorld<'_>, p: PendingRemediation) -> RemediationRecord {
+        let remediated = remediated_fault(&p.fault, &p.action, world, self.cfg.seed);
+        let pre = observe(world.deployment, &p.fault, world.sim);
+        let outcome = {
+            let mut span = self.obs.span_with("heal/verify", &[("incident", p.incident_id.into())]);
+            let o = verify_recovery(world, &pre, &remediated, self.cfg.deadline_minutes);
+            span.field("recovered", o.recovered);
+            span.field("regressed", o.regressed);
+            o
+        };
+        self.obs.audit(
+            "heal/engine",
+            "verify",
+            &[
+                ("incident", p.incident_id.to_string()),
+                ("action", p.action.kind_name().to_string()),
+                ("recovered", outcome.recovered.to_string()),
+                ("regressed", outcome.regressed.to_string()),
+                ("post_cross_probe_failure", format!("{:.4}", outcome.post_cross_probe_failure)),
+            ],
+        );
+
+        if outcome.recovered {
+            self.counters.verified += 1;
+            self.obs.inc("heal_verified_total");
+            return RemediationRecord {
+                incident_id: p.incident_id,
+                team: p.diagnosis.team,
+                action: p.action,
+                phase: RemediationPhase::Verified,
+                recovered: true,
+                mttr_minutes: self.cfg.exec_latency_minutes + outcome.recovery_minute,
+                residual_severity: remediated.severity,
+            };
+        }
+
+        let reason = if outcome.regressed { "regression" } else { "deadline" };
+        {
+            let mut span =
+                self.obs.span_with("heal/rollback", &[("incident", p.incident_id.into())]);
+            self.state = p.pre_state;
+            span.field("reason", reason);
+        }
+        self.counters.rolled_back += 1;
+        self.obs.inc("heal_rollbacks_total");
+        self.obs.audit(
+            "heal/engine",
+            "rollback",
+            &[
+                ("incident", p.incident_id.to_string()),
+                ("action", p.action.kind_name().to_string()),
+                ("reason", reason.to_string()),
+                ("restored", "pre-action overlay checkpoint".to_string()),
+            ],
+        );
+        let correctly_routed = p.diagnosis.team == p.fault.team;
+        let mttr = f64::from(self.cfg.deadline_minutes)
+            + self.cfg.rollback_latency_minutes
+            + route_to_team_mttr(correctly_routed, self.cfg.seed, p.incident_id);
+        RemediationRecord {
+            incident_id: p.incident_id,
+            team: p.diagnosis.team,
+            action: p.action,
+            phase: RemediationPhase::RolledBack,
+            recovered: false,
+            mttr_minutes: mttr,
+            residual_severity: p.fault.severity,
+        }
+    }
+
+    /// Synchronous convenience: [`Healer::execute`] then immediately
+    /// [`Healer::resolve`], returning this incident's terminal record.
+    /// Also settles any remediation still in flight from earlier
+    /// `execute` calls (those records are discarded — pipelined callers
+    /// should drive `execute`/`resolve` directly).
+    pub fn heal(
+        &mut self,
+        world: &HealWorld<'_>,
+        diag: &Diagnosis,
+        fault: &FaultSpec,
+    ) -> RemediationRecord {
+        if let Some(record) = self.execute(world, diag, fault) {
+            return record;
+        }
+        let records = self.resolve(world);
+        records
+            .into_iter()
+            .rev()
+            .find(|r| r.incident_id == fault.id)
+            .unwrap_or_else(|| self.escalation_record(diag, fault))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_round_trips_through_serde() {
+        let mut healer = Healer::new(HealConfig::default());
+        healer.state.apply(&RemediationAction::DrainLink { link: EdgeId(2), alternates: 1 });
+        healer.disable("test degradation");
+        let cp = healer.checkpoint();
+        let text = serde_json::to_string(&cp).unwrap();
+        let back: HealCheckpoint = serde_json::from_str(&text).unwrap();
+        assert_eq!(cp, back);
+        let restored = Healer::restore(back);
+        assert!(!restored.is_enabled());
+        assert_eq!(restored.state().drained_links, vec![EdgeId(2)]);
+        assert_eq!(restored.counters().disables, 1);
+    }
+
+    #[test]
+    fn disable_enable_are_idempotent() {
+        let mut healer = Healer::new(HealConfig::default());
+        healer.disable("a");
+        healer.disable("b");
+        healer.enable();
+        healer.enable();
+        assert_eq!(healer.counters().disables, 1);
+        assert_eq!(healer.counters().enables, 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Planning: from a diagnosed incident to one typed remediation action.
+//!
+//! The planner is deliberately conservative. It only proposes a mutating
+//! action when (a) the controller's explainability score cleared the
+//! confidence floor, and (b) the fault kind has a remediation family whose
+//! blast radius the engine can bound (restart one replica, drain one link
+//! with surviving alternates, step one wavelength down). Everything else —
+//! low confidence, control-plane faults, drains that would blackhole —
+//! escalates to the diagnosed team, which is exactly the pre-healing
+//! behaviour. Healing can therefore only *add* recovery paths, never
+//! remove the human one.
+
+use serde::{Deserialize, Serialize};
+use smn_incident::{FaultKind, IncidentObservation, RedditDeployment};
+use smn_te::restrict::restricted_alternates;
+use smn_topology::layer1::Modulation;
+use smn_topology::{ComponentId, StackFault};
+
+use crate::action::RemediationAction;
+use crate::engine::{HealConfig, HealWorld, NetworkState};
+
+/// What the controller knows about an incident when the healer is asked to
+/// act: the routed team and its explainability score
+/// ([`smn_depgraph::syndrome::Explainability::best_team`]), the classified
+/// fault kind, and the component the diagnosis localized to.
+///
+/// The *kind* comes from symptom-shape classification (liveness pages,
+/// probe-failure signature, metric mix), which is reliable; *localization*
+/// is the hard part, so the target is derived from the routing decision —
+/// a wrong routing yields a wrong target, the remediation misses, and
+/// verification catches it. The healer never peeks at ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Team the controller routed the incident to.
+    pub team: String,
+    /// Explainability score of that routing.
+    pub explainability: f64,
+    /// Classified fault kind.
+    pub kind: FaultKind,
+    /// Component the diagnosis localized to (may be empty when the routed
+    /// team shows no measurable deviation at all).
+    pub target: String,
+    /// Cross-cluster probe failure rate observed during the incident.
+    pub cross_probe_failure: f64,
+}
+
+impl Diagnosis {
+    /// Build a diagnosis from the observation window and the controller's
+    /// routing decision: the suspected component is the routed team's
+    /// loudest member — alerting components first, ranked by error-rate
+    /// deviation, falling back to the largest deviation when nothing in
+    /// the team crossed the alert threshold.
+    #[must_use]
+    pub fn from_observation(
+        d: &RedditDeployment,
+        obs: &IncidentObservation,
+        team: &str,
+        explainability: f64,
+    ) -> Diagnosis {
+        let members = d.fine.team_components(team);
+        let score = |id: &smn_topology::NodeId| -> (bool, f64) {
+            obs.components.get(id.index()).map_or((false, 0.0), |c| (c.alerting, c.error_dev.abs()))
+        };
+        // Strictly-greater fold: the earliest (lowest-index) member wins
+        // ties, keeping the diagnosis order-deterministic.
+        let mut best: Option<(bool, f64, smn_topology::NodeId)> = None;
+        for id in &members {
+            let (alerting, dev) = score(id);
+            if best.is_none_or(|(ba, bd, _)| (alerting, dev) > (ba, bd)) {
+                best = Some((alerting, dev, *id));
+            }
+        }
+        let target = best.map(|(_, _, id)| d.fine.component(id).name.clone()).unwrap_or_default();
+        Diagnosis {
+            team: team.to_string(),
+            explainability,
+            kind: obs.fault.kind,
+            target,
+            cross_probe_failure: obs.cross_probe_failure,
+        }
+    }
+}
+
+/// The [`ComponentId`] of a named component: services mirror the fine
+/// dependency graph's node order, so the index carries over.
+fn component_id(world: &HealWorld<'_>, name: &str) -> Option<ComponentId> {
+    let node = world.deployment.fine.by_name(name)?;
+    Some(ComponentId(node.0))
+}
+
+/// Whether the diagnosed component is a WAN-uplink service, i.e. mapped
+/// from at least one L3 link in the stack (drains apply only there).
+fn is_uplink(world: &HealWorld<'_>, target: &str) -> bool {
+    component_id(world, target).is_some_and(|cid| !world.stack.l3_l7().up(cid).is_empty())
+}
+
+/// The modulation a wavelength effectively runs under the healer's state
+/// overlay (the last un-rolled-back retune wins).
+#[must_use]
+pub fn effective_modulation(
+    world: &HealWorld<'_>,
+    state: &NetworkState,
+    w: smn_topology::layer1::WavelengthId,
+) -> Modulation {
+    state
+        .retunes
+        .iter()
+        .rev()
+        .find(|r| r.wavelength == w)
+        .map_or_else(|| world.stack.optical().wavelength(w).modulation, |r| r.to)
+}
+
+/// L1 plan: among wavelengths whose simulated flap would reach the
+/// diagnosed component (via [`smn_topology::LayerStack::propagate_down`]),
+/// retune the one with the highest effective flap probability one
+/// modulation step down. `None` when no covering wavelength can step down.
+fn plan_retune(
+    world: &HealWorld<'_>,
+    state: &NetworkState,
+    target: &str,
+) -> Option<RemediationAction> {
+    let cid = component_id(world, target)?;
+    let mut best: Option<(f64, RemediationAction)> = None;
+    for w in world.stack.optical().wavelengths() {
+        let impact = world.stack.propagate_down(StackFault::WavelengthFlap(w.id));
+        if !impact.components.contains(&cid) {
+            continue;
+        }
+        let from = effective_modulation(world, state, w.id);
+        let Some(to) = from.step_down() else { continue };
+        let p = w.flap_probability_at(from);
+        if best.as_ref().is_none_or(|(bp, _)| p > *bp) {
+            best = Some((p, RemediationAction::RetuneWavelength { wavelength: w.id, from, to }));
+        }
+    }
+    best.map(|(_, a)| a)
+}
+
+/// L3 plan: drain the up, not-yet-drained WAN link with the most surviving
+/// coarse-conformant alternate paths between its endpoints. `None` when
+/// every candidate would blackhole (zero alternates).
+fn plan_drain(
+    world: &HealWorld<'_>,
+    state: &NetworkState,
+    cfg: &HealConfig,
+) -> Option<RemediationAction> {
+    let wan = world.stack.wan();
+    let mut best: Option<(usize, RemediationAction)> = None;
+    for (eid, e) in wan.graph.edges() {
+        if !e.payload.up || state.drained_links.contains(&eid) {
+            continue;
+        }
+        let mut avoid = state.drained_links.clone();
+        avoid.push(eid);
+        let alternates = restricted_alternates(
+            wan,
+            world.contraction,
+            e.src,
+            e.dst,
+            cfg.restricted_path_k,
+            &avoid,
+        );
+        if alternates == 0 {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(ba, _)| alternates > *ba) {
+            let alternates_u32 = u32::try_from(alternates).unwrap_or(u32::MAX);
+            best = Some((
+                alternates,
+                RemediationAction::DrainLink { link: eid, alternates: alternates_u32 },
+            ));
+        }
+    }
+    best.map(|(_, a)| a)
+}
+
+/// Fault kinds a replica restart can clear when it hits the right
+/// component. Link flaps are physical (retune instead) and control-plane
+/// faults degrade the SMN itself, outside the healer's actuation surface.
+#[must_use]
+pub fn restart_curable(kind: FaultKind) -> bool {
+    !matches!(
+        kind,
+        FaultKind::LinkFlap
+            | FaultKind::TelemetryLoss
+            | FaultKind::LakePartition
+            | FaultKind::ControllerCrash
+    )
+}
+
+/// Map a diagnosis to the single action the engine will execute.
+///
+/// Decision ladder:
+/// 1. low explainability, empty target, or control-plane kind → escalate,
+/// 2. `LinkFlap` → retune the loudest covering wavelength (L1),
+/// 3. `PacketLoss` localized to a WAN-uplink service → drain a link with
+///    surviving alternates (L3),
+/// 4. any other workload kind → restart the diagnosed replica (L7).
+#[must_use]
+pub fn plan_action(
+    world: &HealWorld<'_>,
+    diag: &Diagnosis,
+    state: &NetworkState,
+    cfg: &HealConfig,
+) -> RemediationAction {
+    let escalate = || RemediationAction::RouteToTeam { team: diag.team.clone() };
+    if diag.explainability < cfg.min_explainability
+        || diag.target.is_empty()
+        || FaultKind::CONTROL_PLANE.contains(&diag.kind)
+    {
+        return escalate();
+    }
+    match diag.kind {
+        FaultKind::LinkFlap => plan_retune(world, state, &diag.target).unwrap_or_else(escalate),
+        FaultKind::PacketLoss if is_uplink(world, &diag.target) => {
+            plan_drain(world, state, cfg).unwrap_or_else(escalate)
+        }
+        _ => RemediationAction::RestartComponent { component: diag.target.clone() },
+    }
+}

@@ -1,0 +1,216 @@
+//! Effect model and verification: what an executed action does to the
+//! underlying fault, and how the engine decides — from the same noisy
+//! probes the controller consumes — whether the network actually
+//! recovered.
+//!
+//! The effect model is the simulator-side ground truth of remediation: a
+//! correct action shrinks the fault's severity to a residual (and softens
+//! hard-crash kinds, since a restarted replica is alive again); a wrong
+//! action adds churn and *grows* severity. Verification never reads the
+//! model's internals — it re-observes the deployment under the remediated
+//! fault and compares syndromes and probe-failure rates, with one
+//! observation-independent short-circuit: an action that did not strictly
+//! reduce severity can never verify, so rollback on regression is
+//! deterministic for every seed (the property the rollback proptest pins).
+
+use smn_incident::{observe, FaultKind, FaultSpec, IncidentObservation};
+use smn_telemetry::det::{mix, uniform01};
+
+use crate::action::RemediationAction;
+use crate::engine::HealWorld;
+use crate::plan::restart_curable;
+
+/// Residual severity multiplier bounds for a correct remediation:
+/// `lo + span * u` with a per-incident deterministic draw.
+const CURE_LO: f64 = 0.08;
+const CURE_SPAN: f64 = 0.12;
+
+/// Severity growth for a remediation that hit the wrong target: restarts
+/// churn connections, retunes cut capacity, drains reroute traffic.
+const CHURN_RESTART: f64 = 1.08;
+const CHURN_RETUNE: f64 = 1.05;
+const CHURN_DRAIN: f64 = 1.2;
+
+/// Whether `action` actually covers the faulty component, per the stack's
+/// cross-layer maps (the same maps the planner consulted — but evaluated
+/// against the *ground-truth* target, which the planner never sees).
+fn covers_target(world: &HealWorld<'_>, action: &RemediationAction, target: &str) -> bool {
+    let Some(node) = world.deployment.fine.by_name(target) else { return false };
+    let cid = smn_topology::ComponentId(node.0);
+    match action {
+        RemediationAction::RestartComponent { component } => component == target,
+        RemediationAction::DrainLink { link, .. } => world.stack.l3_l7().down(*link).contains(&cid),
+        RemediationAction::RetuneWavelength { wavelength, .. } => world
+            .stack
+            .propagate_down(smn_topology::StackFault::WavelengthFlap(*wavelength))
+            .components
+            .contains(&cid),
+        RemediationAction::RouteToTeam { .. } => false,
+    }
+}
+
+/// The fault as it stands *after* executing `action`: same injection, new
+/// severity (and possibly a softened kind), under a fresh observation-noise
+/// stream (`id` is re-salted so the post-action window redraws its noise).
+///
+/// Deterministic in `(fault.id, action, seed)` — the effect of an action
+/// never depends on what earlier incidents did to the network, which keeps
+/// replayed campaigns bit-identical across checkpoint/restore boundaries.
+#[must_use]
+pub fn remediated_fault(
+    fault: &FaultSpec,
+    action: &RemediationAction,
+    world: &HealWorld<'_>,
+    seed: u64,
+) -> FaultSpec {
+    let mut out = fault.clone();
+    out.id = mix(&[fault.id, 0x4EA1]);
+    let draw = |salt: u64| uniform01(mix(&[seed, fault.id, salt]));
+    let cure = |salt: u64| CURE_LO + CURE_SPAN * draw(salt);
+    let on_target = covers_target(world, action, &fault.target);
+    match action {
+        RemediationAction::RestartComponent { .. } => {
+            if on_target && restart_curable(fault.kind) {
+                out.severity = fault.severity * cure(0x9E57);
+                if fault.kind.is_hard_crash() {
+                    // The replica is alive again: no more liveness page,
+                    // just a soft warm-up degradation.
+                    out.kind = FaultKind::MemoryLeak;
+                }
+            } else {
+                out.severity = (fault.severity * CHURN_RESTART).min(1.0);
+            }
+        }
+        RemediationAction::RetuneWavelength { from, to, .. } => {
+            if on_target && fault.kind == FaultKind::LinkFlap {
+                // Stepping down trades rate for reach margin; the lost
+                // capacity adds a small extra residual on top of the cure.
+                let ratio = (to.rate_gbps() / from.rate_gbps()).clamp(0.0, 1.0);
+                out.severity = fault.severity * (cure(0x0177) + 0.08 * (1.0 - ratio));
+                // The link stops hard-flapping; reconvergence leaves a
+                // tail of packet loss until TE rebalances.
+                out.kind = FaultKind::PacketLoss;
+            } else {
+                out.severity = (fault.severity * CHURN_RETUNE).min(1.0);
+            }
+        }
+        RemediationAction::DrainLink { alternates, .. } => {
+            if on_target && *alternates > 0 && fault.kind == FaultKind::PacketLoss {
+                out.severity = fault.severity * cure(0xD4A1);
+            } else {
+                // Draining the wrong link (or one with no alternates)
+                // concentrates traffic and makes the loss worse.
+                out.severity = (fault.severity * CHURN_DRAIN).min(1.0);
+            }
+        }
+        RemediationAction::RouteToTeam { .. } => {}
+    }
+    out
+}
+
+/// Outcome of verifying one executed remediation against a fresh
+/// observation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifyOutcome {
+    /// The incident cleared: no team symptomatic in both the pre- and
+    /// post-action windows, and both probe directions back under the
+    /// controller's failure threshold, inside the deadline.
+    pub recovered: bool,
+    /// The action made things strictly worse (severity or blast radius
+    /// grew, or probe failures jumped) — rollback is mandatory.
+    pub regressed: bool,
+    /// Minute within the post-action window after which no probe failed
+    /// (the healing half of MTTR).
+    pub recovery_minute: f64,
+    /// Cross-cluster probe failure rate in the post-action window.
+    pub post_cross_probe_failure: f64,
+    /// Teams symptomatic in *both* windows (unresolved blast radius).
+    pub persisting_teams: u32,
+}
+
+/// Probe-failure threshold shared with the controller's monitoring rungs.
+const PROBE_THRESHOLD: f64 = 0.25;
+
+/// A team is *symptomatically involved* only when more than a third of its
+/// components alert. A single alerting replica in a replicated team is
+/// within the monitors' false-positive budget
+/// ([`smn_incident::SimConfig::false_symptom_probability`]) and must not,
+/// on its own, fail or regress a verification — otherwise healthy heals
+/// would roll back on monitoring noise.
+const TEAM_SYMPTOM_FLOOR: f64 = 0.34;
+
+fn team_count(s: &smn_depgraph::syndrome::Syndrome) -> u32 {
+    u32::try_from(s.0.iter().filter(|&&x| x > TEAM_SYMPTOM_FLOOR).count()).unwrap_or(u32::MAX)
+}
+
+/// Re-observe the deployment under the remediated fault and decide
+/// recovery vs regression.
+///
+/// Short-circuit first: if the action did not strictly reduce severity,
+/// the verdict is "not recovered" (and "regressed" when severity grew)
+/// *without consulting the noisy observation* — so execute → regress →
+/// rollback is a deterministic path for any seed.
+#[must_use]
+pub fn verify_recovery(
+    world: &HealWorld<'_>,
+    pre: &IncidentObservation,
+    remediated: &FaultSpec,
+    deadline_minutes: u32,
+) -> VerifyOutcome {
+    if remediated.severity >= pre.fault.severity - 1e-12 {
+        return VerifyOutcome {
+            recovered: false,
+            regressed: remediated.severity > pre.fault.severity + 1e-12,
+            recovery_minute: f64::from(deadline_minutes),
+            post_cross_probe_failure: pre.cross_probe_failure,
+            persisting_teams: team_count(&pre.syndrome),
+        };
+    }
+    let post = observe(world.deployment, remediated, world.sim);
+    let persisting = pre
+        .syndrome
+        .0
+        .iter()
+        .zip(post.syndrome.0.iter())
+        .filter(|(a, b)| **a > TEAM_SYMPTOM_FLOOR && **b > TEAM_SYMPTOM_FLOOR)
+        .count();
+    let persisting = u32::try_from(persisting).unwrap_or(u32::MAX);
+    let probes_ok =
+        post.cross_probe_failure < PROBE_THRESHOLD && post.intra_probe_failure < PROBE_THRESHOLD;
+
+    // Replay the post-window probe schedule (monitoring's own salts) to
+    // find the last failing minute: recovery is declared one minute later.
+    let horizon = deadline_minutes.min(world.sim.window_minutes);
+    let mut last_fail: Option<u32> = None;
+    for minute in 0..horizon {
+        let cross = uniform01(mix(&[world.sim.seed, remediated.id, 0xC505, u64::from(minute)]));
+        let intra = uniform01(mix(&[world.sim.seed, remediated.id, 0x1274, u64::from(minute)]));
+        if cross < post.cross_probe_failure || intra < post.intra_probe_failure {
+            last_fail = Some(minute);
+        }
+    }
+    let recovery_minute = last_fail.map_or(1.0, |m| f64::from(m + 1));
+    let within_deadline = recovery_minute < f64::from(deadline_minutes);
+
+    VerifyOutcome {
+        recovered: persisting == 0 && probes_ok && within_deadline,
+        regressed: post.cross_probe_failure > pre.cross_probe_failure + 0.05
+            || team_count(&post.syndrome) > team_count(&pre.syndrome),
+        recovery_minute,
+        post_cross_probe_failure: post.cross_probe_failure,
+        persisting_teams: persisting,
+    }
+}
+
+/// Deterministic model of the human recovery path the healer is compared
+/// against: acknowledge, then mitigate; a misrouted incident pays an extra
+/// re-route hop before the right team even starts. Minutes, lognormal-free
+/// so the bench's MTTR deltas are stable under any seed.
+#[must_use]
+pub fn route_to_team_mttr(correctly_routed: bool, seed: u64, incident_id: u64) -> f64 {
+    let draw = |salt: u64| uniform01(mix(&[seed, incident_id, salt]));
+    let ack = 12.0 + 18.0 * draw(0xAC4B);
+    let mitigate = 25.0 + 35.0 * draw(0xF1C5);
+    let reroute = if correctly_routed { 0.0 } else { 20.0 + 25.0 * draw(0x4E77) };
+    ack + mitigate + reroute
+}

@@ -153,7 +153,12 @@ impl FaultKind {
     /// owning team receives a *liveness* alert, so the team still shows a
     /// binary symptom. Crash-class faults are therefore quiet in magnitude
     /// space and loud in syndrome space.
-    fn is_hard_crash(self) -> bool {
+    ///
+    /// Public because the healing engine (smn-heal) must model the same
+    /// distinction: a restart clears the crash itself, leaving at most a
+    /// soft residual, so its effect model rewrites the kind on cure.
+    #[must_use]
+    pub fn is_hard_crash(self) -> bool {
         matches!(self, FaultKind::ServerCrash | FaultKind::HypervisorFailure | FaultKind::LinkFlap)
     }
 

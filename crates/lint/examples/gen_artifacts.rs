@@ -5,9 +5,10 @@
 //! cargo run -p smn-lint --example gen_artifacts
 //! ```
 //!
-//! Emits five envelopes — the Reddit CDG, the small planetary topology
+//! Emits six envelopes — the Reddit CDG, the small planetary topology
 //! with its optical underlay and SRLGs, the 560-fault campaign, the
-//! by-region coarsening, and the unified L1→L3→L7 layer stack — into
+//! by-region coarsening, the unified L1→L3→L7 layer stack, and the heal
+//! engine's remediation plan for the campaign head — into
 //! `<workspace>/artifacts/`.
 
 use serde::{Serialize, Value};
@@ -26,6 +27,7 @@ fn write(root: &std::path::Path, name: &str, v: &Value) -> Result<(), String> {
     Ok(())
 }
 
+#[allow(clippy::too_many_lines)] // linear generator script: one step per artifact
 fn main() -> Result<(), String> {
     let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
     let root = smn_lint::find_workspace_root(&cwd)
@@ -63,9 +65,11 @@ fn main() -> Result<(), String> {
         &d,
         &smn_incident::faults::CampaignConfig::default(),
     );
-    let components: Vec<Value> = (0..d.fine.len())
-        .map(|i| {
-            let c = d.fine.component(smn_topology::NodeId(i as u32));
+    let components: Vec<Value> = d
+        .fine
+        .graph
+        .nodes()
+        .map(|(_, c)| {
             Value::Map(vec![
                 ("name".to_string(), Value::Str(c.name.clone())),
                 ("team".to_string(), Value::Str(c.team.clone())),
@@ -121,7 +125,7 @@ fn main() -> Result<(), String> {
     let l3_l7: Vec<Vec<u64>> = stack
         .l3_l7()
         .entries()
-        .map(|(_, comps)| comps.iter().map(|c| c.0 as u64).collect())
+        .map(|(_, comps)| comps.iter().map(|c| u64::from(c.0)).collect())
         .collect();
     let count = |id: smn_topology::LayerId| Value::U64(stack.layer(id).element_count() as u64);
     let layers = Value::Seq(
@@ -139,6 +143,44 @@ fn main() -> Result<(), String> {
                 ("component_count", count(smn_topology::LayerId::L7)),
                 ("l1_l3", map_rows(l1_l3)),
                 ("l3_l7", map_rows(l3_l7)),
+            ],
+        ),
+    )?;
+
+    // 6. A remediation plan: what the heal engine would do for the head of
+    //    the campaign, given perfect routing — real planner output in the
+    //    envelope the remediation-plan artifact rules gate. Reuses the
+    //    by-region contraction from step 4 (same WAN).
+    let sim = smn_incident::sim::SimConfig::default();
+    let world = smn_heal::HealWorld { deployment: &d, stack, contraction: &contraction, sim: &sim };
+    let cfg = smn_heal::HealConfig::default();
+    let state = smn_heal::NetworkState::default();
+    let actions: Vec<Value> = campaign
+        .iter()
+        .take(16)
+        .map(|fault| {
+            let obs = smn_incident::sim::observe(&d, fault, &sim);
+            let diag = smn_heal::Diagnosis::from_observation(&d, &obs, &fault.team, 0.9);
+            let action = smn_heal::plan_action(&world, &diag, &state, &cfg);
+            Value::Map(vec![
+                ("incident_id".to_string(), Value::U64(fault.id)),
+                ("layer".to_string(), Value::Str(action.layer().name().to_string())),
+                ("action".to_string(), action.to_value()),
+            ])
+        })
+        .collect();
+    let component_names: Vec<Value> =
+        d.fine.graph.nodes().map(|(_, c)| Value::Str(c.name.clone())).collect();
+    write(
+        &root,
+        "remediation_plan.json",
+        &envelope(
+            "remediation-plan",
+            vec![
+                ("components", Value::Seq(component_names)),
+                ("link_count", count(smn_topology::LayerId::L3)),
+                ("wavelength_count", count(smn_topology::LayerId::L1)),
+                ("actions", Value::Seq(actions)),
             ],
         ),
     )?;

@@ -21,6 +21,12 @@
 //!   map must have one row per upper-layer element, and no row may
 //!   reference an element beyond the declared lower-layer population
 //!   (no dangling cross-layer refs).
+//! - `"remediation-plan"` — `{kind, components: [name], link_count,
+//!   wavelength_count, actions: [{incident_id, layer, action:
+//!   RemediationAction}]}`: a serialized smn-heal remediation plan.
+//!   Every action must target a declared component / in-range link or
+//!   wavelength, carry the layer its action kind actually operates on,
+//!   and use a plan-unique incident id.
 //!
 //! Every check first gates through the *real* workspace serde types
 //! ([`FineDepGraph`], [`Wan`], [`Srlg`], [`FaultSpec`], …) so the checker
@@ -38,10 +44,12 @@ use std::path::Path;
 use serde::{Deserialize, Serialize, Value};
 use smn_depgraph::coarse::CoarseDepGraph;
 use smn_depgraph::fine::FineDepGraph;
+use smn_heal::RemediationAction;
 use smn_incident::faults::{FaultKind, FaultSpec};
 use smn_te::srlg::Srlg;
 use smn_topology::layer1::OpticalLayer;
 use smn_topology::layer3::Wan;
+use smn_topology::stack::LayerId;
 
 use crate::diag::{Diagnostic, Level};
 use graph::GraphView;
@@ -133,18 +141,21 @@ pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
                 "fault-campaign" => check_campaign(&mut ck, &v),
                 "coarsening" => check_coarsening(&mut ck, &v),
                 "stack" => check_stack(&mut ck, &v),
+                "remediation-plan" => check_remediation_plan(&mut ck, &v),
                 other => ck.emit(
                     "artifact/unknown-kind",
                     vec![Step::key("kind")],
                     format!("unknown artifact kind `{other}`"),
-                    "expected one of: cdg, topology, fault-campaign, coarsening, stack",
+                    "expected one of: cdg, topology, fault-campaign, coarsening, \
+                     stack, remediation-plan",
                 ),
             },
             _ => ck.emit(
                 "artifact/unknown-kind",
                 vec![],
                 "artifact envelope lacks a string `kind` field",
-                "expected one of: cdg, topology, fault-campaign, coarsening, stack",
+                "expected one of: cdg, topology, fault-campaign, coarsening, \
+                 stack, remediation-plan",
             ),
         },
     }
@@ -171,6 +182,15 @@ fn f64_of(v: Option<&Value>) -> Option<f64> {
             "nan" => Some(f64::NAN),
             _ => None,
         },
+        _ => None,
+    }
+}
+
+/// Integer accessor: declared counts and ids serialize as JSON integers.
+fn u64_of(v: Option<&Value>) -> Option<u64> {
+    match v? {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) => u64::try_from(*n).ok(),
         _ => None,
     }
 }
@@ -856,7 +876,7 @@ fn check_stack(ck: &mut Checker<'_>, v: &Value) {
         ),
     }
 
-    let count = |key: &str| f64_of(v.get(key)).map(|c| c as u64);
+    let count = |key: &str| u64_of(v.get(key));
     let (Some(wavelengths), Some(links), Some(components)) =
         (count("wavelength_count"), count("link_count"), count("component_count"))
     else {
@@ -871,6 +891,145 @@ fn check_stack(ck: &mut Checker<'_>, v: &Value) {
 
     check_stack_map(ck, v, "l1_l3", ("wavelength", wavelengths), ("link", links));
     check_stack_map(ck, v, "l3_l7", ("link", links), ("component", components));
+}
+
+// --------------------------------------------------- remediation plan ----
+
+/// Validate a serialized smn-heal remediation plan: every action gates
+/// through the real [`RemediationAction`] serde type, targets something
+/// that exists in the declared world (component name, link index,
+/// wavelength index), declares the layer its action kind actually
+/// operates on, and carries a plan-unique incident id.
+fn check_remediation_plan(ck: &mut Checker<'_>, v: &Value) {
+    let Some(Value::Seq(components)) = v.get("components") else {
+        ck.emit("artifact/unreadable", vec![], "remediation plan lacks a `components` array", "");
+        return;
+    };
+    let names: Vec<&str> = components.iter().filter_map(|c| str_of(Some(c))).collect();
+    if names.len() != components.len() {
+        ck.emit(
+            "artifact/unreadable",
+            vec![Step::key("components")],
+            "`components` must be an array of component-name strings",
+            "",
+        );
+        return;
+    }
+    let link_count = u64_of(v.get("link_count")).unwrap_or(0);
+    let wavelength_count = u64_of(v.get("wavelength_count")).unwrap_or(0);
+
+    let Some(Value::Seq(actions)) = v.get("actions") else {
+        ck.emit("artifact/unreadable", vec![], "remediation plan lacks an `actions` array", "");
+        return;
+    };
+    let mut seen_ids: Vec<u64> = Vec::new();
+    for (i, a_v) in actions.iter().enumerate() {
+        check_remediation_action(ck, i, a_v, &names, link_count, wavelength_count, &mut seen_ids);
+    }
+}
+
+/// Validate one entry of a remediation plan's `actions` array: serde
+/// round-trip, plan-unique incident id, declared-vs-actual layer, and
+/// target existence in the declared world.
+fn check_remediation_action(
+    ck: &mut Checker<'_>,
+    i: usize,
+    a_v: &Value,
+    names: &[&str],
+    link_count: u64,
+    wavelength_count: u64,
+    seen_ids: &mut Vec<u64>,
+) {
+    let base = [Step::key("actions"), Step::Idx(i)];
+    let Some(action_v) = optional(a_v, "action") else {
+        ck.emit("artifact/unreadable", base.to_vec(), format!("action {i} lacks `action`"), "");
+        return;
+    };
+    let action = match RemediationAction::from_value(action_v) {
+        Ok(a) => a,
+        Err(e) => {
+            ck.emit(
+                "artifact/unreadable",
+                ck.path(&base, &[Step::key("action")]),
+                format!("does not deserialize as a RemediationAction: {e}"),
+                "",
+            );
+            return;
+        }
+    };
+
+    if let Some(id) = u64_of(a_v.get("incident_id")) {
+        if seen_ids.contains(&id) {
+            ck.emit(
+                "artifact/duplicate-id",
+                ck.path(&base, &[Step::key("incident_id")]),
+                format!("duplicate incident id {id}"),
+                "a plan settles each incident with at most one terminal action",
+            );
+        }
+        seen_ids.push(id);
+    }
+
+    // Layer-order validity: the declared layer must be the one the
+    // action kind operates on (retune=L1, drain=L3, restart/route=L7).
+    let declared = str_of(a_v.get("layer")).unwrap_or("");
+    if LayerId::parse(declared) != Some(action.layer()) {
+        ck.emit(
+            "artifact/layer-order",
+            ck.path(&base, &[Step::key("layer")]),
+            format!(
+                "action {i} ({}) declares layer `{declared}`, but `{}` operates on {}",
+                action.kind_name(),
+                action.kind_name(),
+                action.layer().name()
+            ),
+            "retune-wavelength acts on L1, drain-link on L3, \
+             restart-component and route-to-team on L7",
+        );
+    }
+
+    // Dangling targets: names against the component list, indices
+    // against the declared layer populations.
+    match &action {
+        RemediationAction::RestartComponent { component } => {
+            if !names.contains(&component.as_str()) {
+                ck.emit(
+                    "artifact/unknown-target",
+                    ck.path(&base, &[Step::key("action")]),
+                    format!("action {i} restarts `{component}`, not a declared component"),
+                    "",
+                );
+            }
+        }
+        RemediationAction::DrainLink { link, .. } => {
+            if u64::from(link.0) >= link_count {
+                ck.emit(
+                    "artifact/dangling-link-ref",
+                    ck.path(&base, &[Step::key("action")]),
+                    format!(
+                        "action {i} drains link {}, but the plan declares {link_count} link(s)",
+                        link.0
+                    ),
+                    "",
+                );
+            }
+        }
+        RemediationAction::RetuneWavelength { wavelength, .. } => {
+            if u64::from(wavelength.0) >= wavelength_count {
+                ck.emit(
+                    "artifact/dangling-link-ref",
+                    ck.path(&base, &[Step::key("action")]),
+                    format!(
+                        "action {i} retunes wavelength {}, but the plan declares \
+                         {wavelength_count} wavelength(s)",
+                        wavelength.0
+                    ),
+                    "",
+                );
+            }
+        }
+        RemediationAction::RouteToTeam { .. } => {}
+    }
 }
 
 #[cfg(test)]
@@ -914,6 +1073,59 @@ mod tests {
         let out = check_str("c.json", empty);
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].rule, "artifact/empty-supernode");
+    }
+
+    #[test]
+    fn remediation_plan_checks() {
+        let good = r#"{"kind":"remediation-plan","components":["app-1","db-1"],
+            "link_count":4,"wavelength_count":2,"actions":[
+            {"incident_id":1,"layer":"L7","action":{"RestartComponent":{"component":"app-1"}}},
+            {"incident_id":2,"layer":"L3","action":{"DrainLink":{"link":3,"alternates":2}}},
+            {"incident_id":3,"layer":"L7","action":{"RouteToTeam":{"team":"database"}}}]}"#;
+        assert!(check_str("p.json", good).is_empty(), "{:?}", check_str("p.json", good));
+
+        // Restart of an undeclared component is a dangling action target.
+        let unknown = r#"{"kind":"remediation-plan","components":["app-1"],
+            "link_count":1,"wavelength_count":1,"actions":[
+            {"incident_id":1,"layer":"L7","action":{"RestartComponent":{"component":"ghost"}}}]}"#;
+        let out = check_str("p.json", unknown);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/unknown-target");
+
+        // Link and wavelength indices must fall inside the declared world.
+        let dangling = r#"{"kind":"remediation-plan","components":[],
+            "link_count":2,"wavelength_count":1,"actions":[
+            {"incident_id":1,"layer":"L3","action":{"DrainLink":{"link":2,"alternates":1}}},
+            {"incident_id":2,"layer":"L1","action":{"RetuneWavelength":
+                {"wavelength":5,"from":"Qam16","to":"Qpsk"}}}]}"#;
+        let out = check_str("p.json", dangling);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|d| d.rule == "artifact/dangling-link-ref"));
+
+        // The declared layer must match the action kind's layer.
+        let wrong_layer = r#"{"kind":"remediation-plan","components":["app-1"],
+            "link_count":1,"wavelength_count":1,"actions":[
+            {"incident_id":1,"layer":"L3","action":{"RestartComponent":{"component":"app-1"}}}]}"#;
+        let out = check_str("p.json", wrong_layer);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/layer-order");
+
+        // Incident ids are plan-unique.
+        let dup = r#"{"kind":"remediation-plan","components":["app-1"],
+            "link_count":1,"wavelength_count":1,"actions":[
+            {"incident_id":1,"layer":"L7","action":{"RestartComponent":{"component":"app-1"}}},
+            {"incident_id":1,"layer":"L7","action":{"RouteToTeam":{"team":"app"}}}]}"#;
+        let out = check_str("p.json", dup);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/duplicate-id");
+
+        // A malformed action gates on the real serde type.
+        let bad = r#"{"kind":"remediation-plan","components":[],
+            "link_count":0,"wavelength_count":0,"actions":[
+            {"incident_id":1,"layer":"L7","action":{"Nuke":{"from":"orbit"}}}]}"#;
+        let out = check_str("p.json", bad);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/unreadable");
     }
 
     #[test]

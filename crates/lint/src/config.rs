@@ -118,6 +118,7 @@ impl Default for Config {
             levels: BTreeMap::new(),
             deterministic_paths: vec![
                 "crates/core/src/simulation.rs".into(),
+                "crates/heal/src/".into(),
                 "crates/incident/src/sim.rs".into(),
                 "crates/obs/src/".into(),
                 "crates/telemetry/src/".into(),

@@ -19,9 +19,13 @@ fn check_fixture(name: &str) -> Vec<Diagnostic> {
 
 #[test]
 fn good_fixtures_are_clean() {
-    for name in
-        ["good_cdg.json", "good_topology.json", "good_campaign.json", "good_coarsening.json"]
-    {
+    for name in [
+        "good_cdg.json",
+        "good_topology.json",
+        "good_campaign.json",
+        "good_coarsening.json",
+        "good_remediation_plan.json",
+    ] {
         let out = check_fixture(name);
         assert!(out.is_empty(), "{name} should be clean, got {out:?}");
     }
@@ -65,16 +69,34 @@ fn orphan_srlg_yields_exactly_one_diagnostic_with_span() {
 }
 
 #[test]
+fn dangling_action_target_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_remediation_plan_unknown_target.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/unknown-target");
+    // The span points at the action object of the offending entry on
+    // line 10 of the fixture.
+    assert_eq!((d.line, d.col), (10, 17), "span moved: {d:?}");
+    assert!(d.message.contains("$.actions[0].action"), "{}", d.message);
+    assert!(d.message.contains("ghost-9"), "{}", d.message);
+}
+
+#[test]
 fn check_dir_sees_every_fixture_and_fails_on_the_bad_ones() {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let root = dir.clone();
     let (findings, checked) = smn_lint::artifact::check_dir(&root, &dir);
-    assert_eq!(checked, 7, "fixture corpus size changed");
-    assert_eq!(findings.len(), 3, "one finding per bad fixture: {findings:?}");
+    assert_eq!(checked, 9, "fixture corpus size changed");
+    assert_eq!(findings.len(), 4, "one finding per bad fixture: {findings:?}");
     let report = smn_lint::diag::Report::from_findings(findings);
     assert!(report.failed());
     let json = report.to_json();
-    for rule in ["artifact/dangling-edge", "artifact/partition-not-total", "artifact/orphan-srlg"] {
+    for rule in [
+        "artifact/dangling-edge",
+        "artifact/partition-not-total",
+        "artifact/orphan-srlg",
+        "artifact/unknown-target",
+    ] {
         assert!(json.contains(rule), "JSON report must carry {rule}: {json}");
     }
 }

@@ -108,6 +108,28 @@ pub fn coarse_restricted_paths(
     out
 }
 
+/// How many coarse-restricted paths between `src` and `dst` survive when
+/// every link in `avoid` is treated as drained (on top of links that are
+/// already administratively down).
+///
+/// This is the feasibility question a remediation planner asks before
+/// draining a lossy link: "if I take this edge out of service, how many
+/// coarse-conformant detours remain?" Zero means the drain would blackhole
+/// the commodity and must not be executed.
+pub fn restricted_alternates(
+    wan: &Wan,
+    contraction: &Contraction<SuperNode, SuperLink>,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    avoid: &[smn_topology::EdgeId],
+) -> usize {
+    coarse_restricted_paths(wan, contraction, src, dst, k)
+        .iter()
+        .filter(|p| p.edges.iter().all(|e| !avoid.contains(e)))
+        .count()
+}
+
 /// Number of shared-risk groups that contain at least two of the path's
 /// links: each one is a single fiber span whose cut drops the path in two
 /// or more places at once.

@@ -158,8 +158,17 @@ impl Wavelength {
     /// that aggressive modulation on long paths flaps frequently.
     #[must_use]
     pub fn flap_probability(&self) -> f64 {
-        let base = self.modulation.base_daily_failure_rate();
-        let u = self.reach_utilization();
+        self.flap_probability_at(self.modulation)
+    }
+
+    /// [`Wavelength::flap_probability`] evaluated as if the wavelength ran
+    /// `modulation` over its current path — the what-if a remediation
+    /// planner asks before retuning: "how much calmer does this path get
+    /// one modulation step down?" without mutating the layer.
+    #[must_use]
+    pub fn flap_probability_at(&self, modulation: Modulation) -> f64 {
+        let base = modulation.base_daily_failure_rate();
+        let u = self.path_km / modulation.max_reach_km();
         let stress = if u <= 0.5 { 1.0 } else { 1.0 + 15.0 * ((u - 0.5) / 0.5).powi(2) };
         (base * stress).min(1.0)
     }
