@@ -7,6 +7,10 @@ use smn_core::bwlogs::{TimeCoarsener, TopologyCoarsener};
 use smn_core::coarsen::Coarsening;
 use smn_core::controller::{ControllerConfig, Feedback, SmnController};
 use smn_core::simulation::{SimulationConfig, SmnSimulation};
+use smn_coverage::{
+    generate_covering_campaign, replay_campaign, CoverageReport, FaultLattice, GeneratedCampaign,
+    GeneratorConfig, ReplayConfig,
+};
 use smn_depgraph::dot::cdg_to_dot;
 use smn_depgraph::syndrome::Explainability;
 use smn_heal::{route_to_team_mttr, Diagnosis, HealConfig, HealWorld, Healer, RemediationPhase};
@@ -96,12 +100,10 @@ pub fn coarsen(args: &[String]) -> Result<(), String> {
     }
     let combined =
         TimeCoarsener::new(86_400, vec![Statistic::Mean, Statistic::P95]).report(&topo.coarse);
-    println!(
-        "  combined (regions+1d):  {:>8} rows  {:>7.1}x",
-        combined.coarse.len(),
-        (log.len() * 24) as f64
-            / (combined.coarse.len() * combined.coarse[0].encoded_bytes()) as f64
-    );
+    #[allow(clippy::cast_precision_loss)] // row counts stay far below 2^52
+    let reduction = (log.len() * 24) as f64
+        / (combined.coarse.len() * combined.coarse[0].encoded_bytes()) as f64;
+    println!("  combined (regions+1d):  {:>8} rows  {:>7.1}x", combined.coarse.len(), reduction);
     Ok(())
 }
 
@@ -146,9 +148,9 @@ pub fn route(args: &[String]) -> Result<(), String> {
     let obs = observe(&d, &fault, &SimConfig::default());
     println!("injected {kind_name} at {target} (owner team: {team})");
     println!("symptomatic teams:");
-    for (i, &v) in obs.syndrome.0.iter().enumerate() {
+    for (i, &v) in (0u32..).zip(obs.syndrome.0.iter()) {
         if v > 0.0 {
-            println!("  {}", d.cdg.team(smn_topology::NodeId(i as u32)).name);
+            println!("  {}", d.cdg.team(smn_topology::NodeId(i)).name);
         }
     }
     let ex = Explainability::new(&d.cdg);
@@ -234,10 +236,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// `smn cdg` — print the Reddit CDG as DOT.
-pub fn cdg() -> Result<(), String> {
+pub fn cdg() {
     let d = RedditDeployment::build();
     print!("{}", cdg_to_dot(&d.cdg, "simulated Reddit CDG"));
-    Ok(())
 }
 
 /// Load a `fault-campaign` artifact and keep the faults whose targets
@@ -415,6 +416,186 @@ pub fn heal(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Flags accepted by `smn coverage`, with their defaults.
+struct CoverageFlags {
+    seed: u64,
+    threshold: u64,
+    campaign_file: Option<String>,
+    out: Option<String>,
+    baseline: bool,
+    json: bool,
+}
+
+fn parse_coverage_flags(args: &[String]) -> Result<CoverageFlags, String> {
+    const COVERAGE_USAGE: &str = "usage: smn coverage [--seed N] [--threshold PCT] \
+                                  [--campaign FILE] [--out FILE] [--no-baseline] [--json]";
+    let mut flags = CoverageFlags {
+        seed: GeneratorConfig::default().seed,
+        threshold: 80,
+        campaign_file: None,
+        out: None,
+        baseline: true,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => flags.json = true,
+            "--no-baseline" => flags.baseline = false,
+            "--seed" => match it.next() {
+                Some(n) => {
+                    flags.seed =
+                        n.parse().map_err(|_| format!("--seed needs a number, got '{n}'"))?;
+                }
+                None => return Err("--seed needs a number".to_string()),
+            },
+            "--threshold" => match it.next() {
+                Some(n) => {
+                    flags.threshold =
+                        n.parse().map_err(|_| format!("--threshold needs a percent, got '{n}'"))?;
+                }
+                None => return Err("--threshold needs a percent".to_string()),
+            },
+            "--campaign" => match it.next() {
+                Some(path) => flags.campaign_file = Some(path.clone()),
+                None => return Err("--campaign needs a file path".to_string()),
+            },
+            "--out" => match it.next() {
+                Some(path) => flags.out = Some(path.clone()),
+                None => return Err("--out needs a file path".to_string()),
+            },
+            other => return Err(format!("unexpected argument '{other}'\n{COVERAGE_USAGE}")),
+        }
+    }
+    Ok(flags)
+}
+
+/// `smn coverage` — measure a campaign against the fault lattice.
+///
+/// Builds the reachable lattice for the standard deployment + planetary
+/// stack, replays a campaign (the coverage-guided generated one by
+/// default, or a `--campaign` artifact) through the real controller, and
+/// reports covered / uncovered / unreachable cells from the audit-trail
+/// evidence. Exits non-zero when coverage falls below `--threshold`
+/// percent of the reachable lattice (default 80), which is the CI gate.
+/// Unless `--no-baseline`, the fixed 560-fault campaign is replayed too
+/// and reported alongside, as the floor the generator must beat.
+#[allow(clippy::too_many_lines)] // linear gate script: replay, report, baseline, threshold
+pub fn coverage(args: &[String]) -> Result<(), String> {
+    let flags = parse_coverage_flags(args)?;
+
+    let d = RedditDeployment::build();
+    let planetary = generate_planetary(&PlanetaryConfig::small(7));
+    let ds = DeploymentStack::bind(&d, planetary.optical, planetary.wan);
+    let lattice = FaultLattice::build(&d, &ds);
+    let sim = SimConfig::default();
+    let replay_cfg = ReplayConfig::default();
+
+    let (label, campaign) = match &flags.campaign_file {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let value = serde_json::parse_value(&text).map_err(|e| format!("{path}: {e}"))?;
+            match value.get("kind") {
+                Some(serde_json::Value::Str(k)) if k == "fault-campaign" => {}
+                _ => return Err(format!("{path}: not a fault-campaign artifact (missing kind)")),
+            }
+            let campaign =
+                GeneratedCampaign::from_artifact(&value).map_err(|e| format!("{path}: {e}"))?;
+            (path.as_str(), campaign)
+        }
+        None => (
+            "generated",
+            generate_covering_campaign(&d, &ds, &lattice, &GeneratorConfig { seed: flags.seed }),
+        ),
+    };
+    let outcome =
+        replay_campaign(&d, &ds, &lattice, &campaign.faults, &campaign.loci, &sim, &replay_cfg);
+    let report =
+        CoverageReport::build(label, flags.seed, campaign.faults.len(), &lattice, &outcome.map);
+
+    let baseline = flags.baseline.then(|| {
+        let cfg = CampaignConfig::default();
+        let fixed = generate_campaign(&d, &cfg);
+        let outcome = replay_campaign(&d, &ds, &lattice, &fixed, &[], &sim, &replay_cfg);
+        CoverageReport::build("fixed-560", cfg.seed, fixed.len(), &lattice, &outcome.map)
+    });
+
+    if let Some(path) = &flags.out {
+        let text = serde_json::to_string_pretty(&report.to_artifact())
+            .map_err(|e| format!("serializing report: {e}"))?;
+        std::fs::write(path, text + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    if flags.json {
+        let obj = |entries: Vec<(&str, serde_json::Value)>| {
+            serde_json::Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let doc = obj(vec![
+            ("command", serde_json::Value::Str("coverage".to_string())),
+            ("threshold_pct", serde_json::Value::U64(flags.threshold)),
+            ("report", report.to_artifact()),
+            (
+                "baseline",
+                baseline.as_ref().map_or(serde_json::Value::Null, CoverageReport::to_artifact),
+            ),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?);
+    } else {
+        println!(
+            "fault-lattice coverage: {} ({} faults, seed {:#x})",
+            report.campaign, report.n_faults, report.campaign_seed
+        );
+        println!(
+            "  lattice:     {} cells, {} reachable here",
+            report.total_cells, report.reachable
+        );
+        println!("  unreachable: {} (off-deployment shell)", report.unreachable);
+        println!(
+            "  covered:     {}/{} ({:.1}%)",
+            report.covered,
+            report.reachable,
+            report.ratio_pct()
+        );
+        for row in report.uncovered() {
+            println!("  uncovered:   {}", row.cell.label());
+        }
+        for row in report.unexpected() {
+            println!("  unexpected:  {} (off-lattice, {} hits)", row.cell.label(), row.count);
+        }
+        if let Some(b) = &baseline {
+            println!(
+                "  baseline:    {} covers {}/{} ({:.1}%)",
+                b.campaign,
+                b.covered,
+                b.reachable,
+                b.ratio_pct()
+            );
+        }
+    }
+
+    #[allow(clippy::cast_precision_loss)] // thresholds are small percentages
+    let threshold_pct = flags.threshold as f64;
+    if report.ratio_pct() < threshold_pct {
+        return Err(format!(
+            "coverage gate: {:.1}% of the reachable lattice is below the {}% threshold",
+            report.ratio_pct(),
+            flags.threshold
+        ));
+    }
+    if let Some(b) = &baseline {
+        if b.ratio_pct() >= report.ratio_pct() && flags.campaign_file.is_none() {
+            return Err(format!(
+                "coverage gate: the fixed baseline ({:.1}%) matches or beats the generated \
+                 campaign ({:.1}%); the generator is not earning its keep",
+                b.ratio_pct(),
+                report.ratio_pct()
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// `smn lint` — run the workspace static-analysis pass (both engines).
 ///
 /// Mirrors `cargo run -p smn-lint`: source rules over every workspace
@@ -582,7 +763,7 @@ mod tests {
         coarsen(&s(&["--days", "1"])).unwrap();
         route(&s(&["firewall", "firewall-1"])).unwrap();
         plan(&s(&["--weeks", "2"])).unwrap();
-        cdg().unwrap();
+        cdg();
         assert!(route(&s(&["firewall", "no-such-box"])).is_err());
         assert!(route(&s(&["firewall"])).is_err());
     }

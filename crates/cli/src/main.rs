@@ -8,6 +8,7 @@
 //! smn run      [--days N]              continuous operation (all loops)
 //! smn cdg                              print the Reddit CDG as DOT
 //! smn heal [--faults N] [--json]       closed-loop remediation campaign
+//! smn coverage [--json] [--seed N]     fault-lattice coverage gate
 //! smn lint [--json] [--artifacts DIR]  static analysis (source + artifacts)
 //! smn obs summarize <trace.jsonl>      summarize a deterministic trace
 //! ```
@@ -32,8 +33,12 @@ fn main() -> ExitCode {
         "route" => commands::route(rest),
         "plan" => commands::plan(rest),
         "run" => commands::run(rest),
-        "cdg" => commands::cdg(),
+        "cdg" => {
+            commands::cdg();
+            Ok(())
+        }
         "heal" => commands::heal(rest),
+        "coverage" => commands::coverage(rest),
         "lint" => commands::lint(rest),
         "obs" => commands::obs(rest),
         "help" | "--help" | "-h" => {
@@ -68,6 +73,11 @@ USAGE:
   smn heal [--faults N] [--json]      run a closed-loop remediation campaign
            [--campaign FILE]          (plan/execute/verify/rollback per fault;
            [--storm-threshold PCT]     non-zero exit on a rollback storm)
+  smn coverage [--seed N] [--json]    replay a campaign and gate on fault-
+           [--threshold PCT]           lattice coverage (covered / uncovered /
+           [--campaign FILE]           unreachable cells; non-zero exit below
+           [--out FILE]                the threshold); writes the coverage-
+           [--no-baseline]             report artifact with --out
   smn lint [--json] [--artifacts DIR] run smn-lint (source + artifact engines)
   smn obs summarize <trace.jsonl>     summarize a deterministic trace
            [--metrics FILE]           (span tree, top-N slowest spans,

@@ -1,0 +1,510 @@
+//! The fault lattice: the typed scenario space coverage is measured over.
+//!
+//! A lattice cell is one point of `FaultKind × LayerId × locus bucket ×
+//! degradation rung` — "a packet-loss fault, landing at L3, located on a
+//! submarine shared-risk group, handled by a fully-sighted controller" is
+//! one cell. Most of the raw product is *unreachable*: a `CertExpiry`
+//! fault cannot land at L1, a workload fault cannot put the controller on
+//! the `skipped` rung, and a locus bucket only exists where the topology
+//! actually has such links. [`FaultLattice::build`] enumerates the
+//! reachable subset from the deployment and the bound layer stack, so the
+//! coverage ratio divides by what a campaign *could* exercise, never by
+//! the combinatorial shell.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use smn_incident::faults::FaultKind;
+use smn_incident::{DeploymentStack, RedditDeployment};
+use smn_te::srlg::extract_srlgs_from_stack;
+use smn_topology::{EdgeId, LayerId, StackFault};
+
+/// The controller degradation rung a fault window was handled on — the
+/// incident loop's fallback ladder, as recorded in the smn-obs audit
+/// trail's `degrade` records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rung {
+    /// Alerts + probes syndrome: the controller saw everything.
+    Full,
+    /// Alerts unreachable; the syndrome was built from probes alone.
+    ProbesOnly,
+    /// Probes unreachable; the syndrome was built from alerts alone.
+    AlertsOnly,
+    /// Both sources unreachable; the window was skipped blind.
+    Skipped,
+}
+
+impl Rung {
+    /// Every rung, full-sight first.
+    pub const ALL: [Rung; 4] = [Rung::Full, Rung::ProbesOnly, Rung::AlertsOnly, Rung::Skipped];
+
+    /// Canonical name, e.g. `"probes-only"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Full => "full",
+            Rung::ProbesOnly => "probes-only",
+            Rung::AlertsOnly => "alerts-only",
+            Rung::Skipped => "skipped",
+        }
+    }
+
+    /// Parse a canonical name back into a rung.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Rung> {
+        Rung::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// The rung a `degrade` audit record's `to` evidence lands on — the
+    /// exact strings `SmnController::incident_loop` emits.
+    #[must_use]
+    pub fn from_degrade_target(to: &str) -> Option<Rung> {
+        match to {
+            "probes-only syndrome" => Some(Rung::ProbesOnly),
+            "alerts-only syndrome" => Some(Rung::AlertsOnly),
+            "window skipped (lake blind)" => Some(Rung::Skipped),
+            _ => None,
+        }
+    }
+}
+
+/// Where on the physical topology a fault is located, bucketed so the
+/// axis stays finite: shared-risk membership first (correlated failure is
+/// the interesting structure), degree centrality otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LocusBucket {
+    /// No topology locus: the fault is specified by component only.
+    None,
+    /// The locus link rides a submarine shared-risk span.
+    SrlgSubmarine,
+    /// The locus link rides a terrestrial shared-risk span.
+    SrlgTerrestrial,
+    /// Not in any SRLG; endpoint degree sum above the topology median.
+    HighDegree,
+    /// Not in any SRLG; endpoint degree sum at or below the median.
+    LowDegree,
+}
+
+impl LocusBucket {
+    /// Every bucket, the no-locus column first.
+    pub const ALL: [LocusBucket; 5] = [
+        LocusBucket::None,
+        LocusBucket::SrlgSubmarine,
+        LocusBucket::SrlgTerrestrial,
+        LocusBucket::HighDegree,
+        LocusBucket::LowDegree,
+    ];
+
+    /// Canonical name, e.g. `"srlg-submarine"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LocusBucket::None => "none",
+            LocusBucket::SrlgSubmarine => "srlg-submarine",
+            LocusBucket::SrlgTerrestrial => "srlg-terrestrial",
+            LocusBucket::HighDegree => "high-degree",
+            LocusBucket::LowDegree => "low-degree",
+        }
+    }
+
+    /// Parse a canonical name back into a bucket.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<LocusBucket> {
+        LocusBucket::ALL.into_iter().find(|b| b.name() == name)
+    }
+}
+
+/// One cell of the fault lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatticeCell {
+    /// Fault class (workload or control-plane).
+    pub kind: FaultKind,
+    /// Stack layer the faulted component lives on.
+    pub layer: LayerId,
+    /// Topology locus bucket of the fault, `None` when unlocated.
+    pub locus: LocusBucket,
+    /// Controller degradation rung the window was handled on.
+    pub rung: Rung,
+}
+
+/// Position of `kind` on the lattice's kind axis (the fixed
+/// [`FaultKind::ALL_WITH_CONTROL_PLANE`] order).
+#[must_use]
+pub fn kind_index(kind: FaultKind) -> u8 {
+    FaultKind::ALL_WITH_CONTROL_PLANE
+        .iter()
+        .position(|&k| k == kind)
+        .and_then(|i| u8::try_from(i).ok())
+        .unwrap_or(u8::MAX)
+}
+
+/// Canonical name of a fault kind — its serde tag, e.g. `"LinkFlap"`.
+#[must_use]
+pub fn kind_name(kind: FaultKind) -> String {
+    match kind.to_value() {
+        Value::Str(s) => s,
+        _ => format!("{kind:?}"),
+    }
+}
+
+impl LatticeCell {
+    fn sort_key(self) -> (u8, u8, LocusBucket, Rung) {
+        (kind_index(self.kind), self.layer.rank(), self.locus, self.rung)
+    }
+
+    /// Human-readable cell label, e.g. `LinkFlap/L3/srlg-submarine/full`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            kind_name(self.kind),
+            self.layer.name(),
+            self.locus.name(),
+            self.rung.name()
+        )
+    }
+}
+
+impl Ord for LatticeCell {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+impl PartialOrd for LatticeCell {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Serialize for LatticeCell {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("kind".to_string(), self.kind.to_value()),
+            ("layer".to_string(), Value::Str(self.layer.name().to_string())),
+            ("locus".to_string(), Value::Str(self.locus.name().to_string())),
+            ("rung".to_string(), Value::Str(self.rung.name().to_string())),
+        ])
+    }
+}
+
+impl Deserialize for LatticeCell {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |key: &str| -> Result<&Value, Error> {
+            v.get(key).ok_or_else(|| Error(format!("lattice cell missing '{key}'")))
+        };
+        let name = |key: &str| -> Result<&str, Error> {
+            match field(key)? {
+                Value::Str(s) => Ok(s.as_str()),
+                _ => Err(Error(format!("lattice cell field '{key}' is not a string"))),
+            }
+        };
+        let kind = FaultKind::from_value(field("kind")?)?;
+        let layer = LayerId::parse(name("layer")?)
+            .ok_or_else(|| Error("lattice cell has an unknown layer".to_string()))?;
+        let locus = LocusBucket::parse(name("locus")?)
+            .ok_or_else(|| Error("lattice cell has an unknown locus bucket".to_string()))?;
+        let rung = Rung::parse(name("rung")?)
+            .ok_or_else(|| Error("lattice cell has an unknown rung".to_string()))?;
+        Ok(LatticeCell { kind, layer, locus, rung })
+    }
+}
+
+/// Every L3 link's locus bucket, derived once from the bound stack: SRLG
+/// membership from the L1 → L3 map, degree centrality from the WAN graph.
+#[derive(Debug, Clone)]
+pub struct TopologyLoci {
+    /// `buckets[edge.index()]` is the bucket of that WAN link.
+    buckets: Vec<LocusBucket>,
+}
+
+impl TopologyLoci {
+    /// Bucket every WAN link of the bound stack.
+    #[must_use]
+    pub fn from_stack(ds: &DeploymentStack) -> Self {
+        let stack = ds.stack();
+        let wan = stack.wan();
+        let srlgs = extract_srlgs_from_stack(stack);
+        let edge_count = wan.graph.edge_count();
+        let mut in_submarine = vec![false; edge_count];
+        let mut in_terrestrial = vec![false; edge_count];
+        for srlg in &srlgs {
+            for link in &srlg.links {
+                if let Some(slot) = if srlg.submarine {
+                    in_submarine.get_mut(link.index())
+                } else {
+                    in_terrestrial.get_mut(link.index())
+                } {
+                    *slot = true;
+                }
+            }
+        }
+        // Degree centrality: endpoint degree sum per link, split at the
+        // median so both degree buckets are non-empty on any topology with
+        // degree variance.
+        let degree = |n: smn_topology::NodeId| -> usize {
+            wan.graph.out_edges(n).len() + wan.graph.in_edges(n).len()
+        };
+        let scores: Vec<usize> = wan
+            .graph
+            .edge_ids()
+            .map(|e| {
+                let (u, w) = wan.graph.endpoints(e);
+                degree(u) + degree(w)
+            })
+            .collect();
+        let mut sorted = scores.clone();
+        sorted.sort_unstable();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+        let buckets = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &score)| {
+                if in_submarine[i] {
+                    LocusBucket::SrlgSubmarine
+                } else if in_terrestrial[i] {
+                    LocusBucket::SrlgTerrestrial
+                } else if score > median {
+                    LocusBucket::HighDegree
+                } else {
+                    LocusBucket::LowDegree
+                }
+            })
+            .collect();
+        TopologyLoci { buckets }
+    }
+
+    /// Number of WAN links bucketed.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket of a WAN link, `None` when the id is out of range.
+    #[must_use]
+    pub fn bucket(&self, link: EdgeId) -> Option<LocusBucket> {
+        self.buckets.get(link.index()).copied()
+    }
+
+    /// The distinct buckets this topology actually has, lattice order.
+    #[must_use]
+    pub fn buckets_present(&self) -> Vec<LocusBucket> {
+        LocusBucket::ALL
+            .into_iter()
+            .filter(|b| *b != LocusBucket::None && self.buckets.contains(b))
+            .collect()
+    }
+
+    /// The lowest-id link in `bucket` — the deterministic representative
+    /// the generator anchors locus candidates on.
+    #[must_use]
+    pub fn representative(&self, bucket: LocusBucket) -> Option<EdgeId> {
+        self.buckets
+            .iter()
+            .position(|b| *b == bucket)
+            .and_then(|i| u32::try_from(i).ok())
+            .map(EdgeId)
+    }
+}
+
+/// The degradation rungs a fault kind can put the incident loop on.
+///
+/// Workload faults leave the control plane healthy (`full`); telemetry
+/// loss blinds exactly one of the two syndrome sources; a lake partition
+/// blinds both; a controller crash is recovered by checkpoint restore and
+/// handled at full sight.
+#[must_use]
+pub fn reachable_rungs(kind: FaultKind) -> &'static [Rung] {
+    match kind {
+        FaultKind::TelemetryLoss => &[Rung::ProbesOnly, Rung::AlertsOnly],
+        FaultKind::LakePartition => &[Rung::Skipped],
+        _ => &[Rung::Full],
+    }
+}
+
+/// The fault kinds whose injections can carry a topology locus: they are
+/// exactly the kinds a WAN-link failure descends into via the stack.
+pub const LOCUS_KINDS: [FaultKind; 2] = [FaultKind::PacketLoss, FaultKind::LinkFlap];
+
+/// Stack layer of a named component, from the fine dependency graph.
+#[must_use]
+pub fn layer_of_target(d: &RedditDeployment, target: &str) -> Option<LayerId> {
+    d.fine.by_name(target).map(|n| d.fine.component(n).layer.stack_layer())
+}
+
+/// The reachable fault lattice over one deployment + bound stack.
+#[derive(Debug, Clone)]
+pub struct FaultLattice {
+    reachable: Vec<LatticeCell>,
+    loci: TopologyLoci,
+}
+
+impl FaultLattice {
+    /// Enumerate the reachable cells: each kind over the layers of its
+    /// eligible targets and the rungs it can force, plus — for the
+    /// locus-bearing kinds — one cell per locus bucket whose links
+    /// actually descend onto an eligible target.
+    #[must_use]
+    pub fn build(d: &RedditDeployment, ds: &DeploymentStack) -> Self {
+        let loci = TopologyLoci::from_stack(ds);
+        let mut reachable: Vec<LatticeCell> = Vec::new();
+        for kind in FaultKind::ALL_WITH_CONTROL_PLANE {
+            let mut layers: Vec<LayerId> =
+                kind.eligible_targets(d).iter().filter_map(|t| layer_of_target(d, t)).collect();
+            layers.sort_by_key(|l| l.rank());
+            layers.dedup();
+            for &layer in &layers {
+                for &rung in reachable_rungs(kind) {
+                    reachable.push(LatticeCell { kind, layer, locus: LocusBucket::None, rung });
+                }
+            }
+            if LOCUS_KINDS.contains(&kind) {
+                let eligible = kind.eligible_targets(d);
+                for bucket in loci.buckets_present() {
+                    let Some(rep) = loci.representative(bucket) else { continue };
+                    let mut hit_layers: Vec<LayerId> = ds
+                        .descend_targets(d, StackFault::LinkDown(rep))
+                        .iter()
+                        .filter(|t| eligible.contains(t))
+                        .filter_map(|t| layer_of_target(d, t))
+                        .collect();
+                    hit_layers.sort_by_key(|l| l.rank());
+                    hit_layers.dedup();
+                    for layer in hit_layers {
+                        reachable.push(LatticeCell {
+                            kind,
+                            layer,
+                            locus: bucket,
+                            rung: Rung::Full,
+                        });
+                    }
+                }
+            }
+        }
+        reachable.sort();
+        reachable.dedup();
+        FaultLattice { reachable, loci }
+    }
+
+    /// The reachable cells, sorted in lattice order.
+    #[must_use]
+    pub fn reachable(&self) -> &[LatticeCell] {
+        &self.reachable
+    }
+
+    /// The topology's locus buckets.
+    #[must_use]
+    pub fn loci(&self) -> &TopologyLoci {
+        &self.loci
+    }
+
+    /// Whether a cell is reachable on this deployment + topology.
+    #[must_use]
+    pub fn is_reachable(&self, cell: &LatticeCell) -> bool {
+        self.reachable.binary_search(cell).is_ok()
+    }
+
+    /// Size of the raw product space (including unreachable cells).
+    #[must_use]
+    pub fn total_cells() -> usize {
+        FaultKind::ALL_WITH_CONTROL_PLANE.len()
+            * LayerId::ALL.len()
+            * LocusBucket::ALL.len()
+            * Rung::ALL.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_topology::gen::{generate_planetary, PlanetaryConfig};
+
+    fn world() -> (RedditDeployment, DeploymentStack) {
+        let d = RedditDeployment::build();
+        let p = generate_planetary(&PlanetaryConfig::small(7));
+        let ds = DeploymentStack::bind(&d, p.optical, p.wan);
+        (d, ds)
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for r in Rung::ALL {
+            assert_eq!(Rung::parse(r.name()), Some(r));
+        }
+        for b in LocusBucket::ALL {
+            assert_eq!(LocusBucket::parse(b.name()), Some(b));
+        }
+        assert_eq!(Rung::parse("bogus"), None);
+        assert_eq!(LocusBucket::parse("bogus"), None);
+    }
+
+    #[test]
+    fn degrade_targets_map_to_rungs() {
+        assert_eq!(Rung::from_degrade_target("probes-only syndrome"), Some(Rung::ProbesOnly));
+        assert_eq!(Rung::from_degrade_target("alerts-only syndrome"), Some(Rung::AlertsOnly));
+        assert_eq!(Rung::from_degrade_target("window skipped (lake blind)"), Some(Rung::Skipped));
+        assert_eq!(Rung::from_degrade_target("anything else"), None);
+    }
+
+    #[test]
+    fn cell_serde_round_trips() {
+        let cell = LatticeCell {
+            kind: FaultKind::LinkFlap,
+            layer: LayerId::L3,
+            locus: LocusBucket::SrlgSubmarine,
+            rung: Rung::Full,
+        };
+        let back = LatticeCell::from_value(&cell.to_value()).unwrap();
+        assert_eq!(back, cell);
+        assert_eq!(cell.label(), "LinkFlap/L3/srlg-submarine/full");
+    }
+
+    #[test]
+    fn lattice_is_sorted_and_strictly_smaller_than_the_product() {
+        let (d, ds) = world();
+        let lattice = FaultLattice::build(&d, &ds);
+        let cells = lattice.reachable();
+        assert!(!cells.is_empty());
+        assert!(cells.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        assert!(cells.len() < FaultLattice::total_cells() / 2);
+        for c in cells {
+            assert!(lattice.is_reachable(c));
+        }
+    }
+
+    #[test]
+    fn every_kind_has_a_reachable_cell_and_rungs_match() {
+        let (d, ds) = world();
+        let lattice = FaultLattice::build(&d, &ds);
+        for kind in FaultKind::ALL_WITH_CONTROL_PLANE {
+            assert!(
+                lattice.reachable().iter().any(|c| c.kind == kind),
+                "{kind:?} unreachable on the lattice"
+            );
+        }
+        for c in lattice.reachable() {
+            assert!(reachable_rungs(c.kind).contains(&c.rung), "{} rung mismatch", c.label());
+        }
+    }
+
+    #[test]
+    fn locus_cells_exist_for_the_locus_kinds() {
+        let (d, ds) = world();
+        let lattice = FaultLattice::build(&d, &ds);
+        let present = lattice.loci().buckets_present();
+        assert!(!present.is_empty(), "small(7) topology must have locus buckets");
+        for kind in LOCUS_KINDS {
+            for &b in &present {
+                assert!(
+                    lattice.reachable().iter().any(|c| c.kind == kind && c.locus == b),
+                    "{kind:?} missing locus cell {}",
+                    b.name()
+                );
+            }
+        }
+        // Every bucketed link round-trips through bucket().
+        let links = u32::try_from(lattice.loci().link_count()).unwrap();
+        for e in 0..links {
+            assert!(lattice.loci().bucket(EdgeId(e)).is_some());
+        }
+        assert!(lattice.loci().bucket(EdgeId(links)).is_none());
+    }
+}

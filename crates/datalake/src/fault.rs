@@ -103,6 +103,25 @@ impl Outage {
     }
 }
 
+/// Dataset name of the alerts stream (as reported in [`LakeError`]s and
+/// matched by dataset-scoped outages).
+pub const DATASET_ALERTS: &str = "ops/alerts";
+/// Dataset name of the probe-result stream.
+pub const DATASET_PROBES: &str = "ops/probes";
+
+/// An [`Outage`] confined to one dataset: the rest of the lake keeps
+/// serving. Models partial control-plane loss — e.g. the alerts pipeline
+/// offline for a window while probes survive — which is what walks the
+/// controller down a *specific* degradation rung instead of blinding it
+/// outright.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetOutage {
+    /// Dataset the outage confines to, e.g. [`DATASET_ALERTS`].
+    pub dataset: String,
+    /// The unavailability window.
+    pub outage: Outage,
+}
+
 /// How unreliable the lake is. Like the telemetry chaos profiles, failures
 /// are a pure function of `(seed, query counter)` so campaigns replay.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -113,11 +132,18 @@ pub struct FaultProfile {
     pub error_rate: f64,
     /// Simulated-time windows whose data is unreachable (partitions).
     pub outages: Vec<Outage>,
+    /// Unavailability windows confined to a single dataset.
+    pub dataset_outages: Vec<DatasetOutage>,
 }
 
 impl Default for FaultProfile {
     fn default() -> Self {
-        FaultProfile { seed: 0x1A4E, error_rate: 0.0, outages: Vec::new() }
+        FaultProfile {
+            seed: 0x1A4E,
+            error_rate: 0.0,
+            outages: Vec::new(),
+            dataset_outages: Vec::new(),
+        }
     }
 }
 
@@ -138,6 +164,14 @@ impl FaultProfile {
     pub fn with_outage(mut self, start: Ts, end: Ts) -> Self {
         assert!(start < end, "empty outage window");
         self.outages.push(Outage { start, end });
+        self
+    }
+
+    /// Add an unavailability window confined to one dataset.
+    pub fn with_dataset_outage(mut self, dataset: &str, start: Ts, end: Ts) -> Self {
+        assert!(start < end, "empty outage window");
+        self.dataset_outages
+            .push(DatasetOutage { dataset: dataset.to_string(), outage: Outage { start, end } });
         self
     }
 
@@ -224,6 +258,18 @@ impl FaultyStore {
                 outage_end: outage.end,
             });
         }
+        if let Some(d) = self
+            .profile
+            .dataset_outages
+            .iter()
+            .find(|d| d.dataset == dataset && d.outage.overlaps(start, end))
+        {
+            return Err(LakeError::Unavailable {
+                dataset: dataset.to_string(),
+                outage_start: d.outage.start,
+                outage_end: d.outage.end,
+            });
+        }
         if self.profile.error_rate > 0.0
             && uniform01(mix(&[self.profile.seed, q, 0xE4_40])) < self.profile.error_rate
         {
@@ -240,7 +286,7 @@ impl FaultyStore {
 
     /// Alerts with `start <= ts < end`.
     pub fn alerts_range(&self, start: Ts, end: Ts) -> Result<Vec<Alert>, LakeError> {
-        self.gate("ops/alerts", start, end)?;
+        self.gate(DATASET_ALERTS, start, end)?;
         Ok(self.clds.alerts.read().range(start, end).to_vec())
     }
 
@@ -252,7 +298,7 @@ impl FaultyStore {
 
     /// Probe results with `start <= ts < end`.
     pub fn probes_range(&self, start: Ts, end: Ts) -> Result<Vec<ProbeResult>, LakeError> {
-        self.gate("ops/probes", start, end)?;
+        self.gate(DATASET_PROBES, start, end)?;
         Ok(self.clds.probes.read().range(start, end).to_vec())
     }
 
@@ -317,6 +363,24 @@ mod tests {
         assert_eq!(outcomes_a, outcomes_b);
         let failures = outcomes_a.iter().filter(|ok| !**ok).count();
         assert!((60..140).contains(&failures), "failures {failures}");
+    }
+
+    #[test]
+    fn dataset_outage_blinds_only_its_dataset() {
+        let store = seeded_store(FaultProfile::reliable().with_dataset_outage(
+            DATASET_ALERTS,
+            Ts(0),
+            Ts(1000),
+        ));
+        // The scoped dataset fails persistently inside the window...
+        for _ in 0..3 {
+            let err = store.alerts_range(Ts(0), Ts(500)).unwrap_err();
+            assert!(matches!(err, LakeError::Unavailable { .. }));
+        }
+        // ...while sibling datasets and disjoint windows keep serving.
+        assert!(store.probes_range(Ts(0), Ts(500)).is_ok());
+        assert!(store.bandwidth_range(Ts(0), Ts(500)).is_ok());
+        assert!(store.alerts_range(Ts(1000), Ts(2000)).is_ok());
     }
 
     #[test]

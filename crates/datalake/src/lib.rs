@@ -32,6 +32,8 @@ pub mod store;
 
 pub use access::{CircuitBreaker, ResilientAccess, RetryPolicy};
 pub use catalog::{Catalog, DataType, DatasetDescriptor};
-pub use fault::{FaultProfile, FaultyStore, LakeError, Outage};
+pub use fault::{
+    DatasetOutage, FaultProfile, FaultyStore, LakeError, Outage, DATASET_ALERTS, DATASET_PROBES,
+};
 pub use retention::{ProtectedWindow, RetentionPolicy};
 pub use store::{Clds, TimeStore};

@@ -75,11 +75,40 @@ impl FaultKind {
     ];
 
     /// Control-plane fault kinds: they degrade the SMN itself rather than
-    /// the workload, so they are injected by degraded-mode campaigns (the
-    /// `degraded_mode` bench), never by [`generate_campaign`], and stay out
-    /// of [`FaultKind::ALL`].
+    /// the workload. They stay out of [`FaultKind::ALL`] so the legacy
+    /// 560-fault campaign is reproduced byte-identically, but campaigns can
+    /// opt them in via [`CampaignConfig::control_plane`] (the coverage-
+    /// guided generator does, to reach the degradation-rung cells of the
+    /// fault lattice).
     pub const CONTROL_PLANE: [FaultKind; 3] =
         [FaultKind::TelemetryLoss, FaultKind::LakePartition, FaultKind::ControllerCrash];
+
+    /// Every kind, workload first then control-plane, fixed order — the
+    /// full axis of the coverage lattice.
+    pub const ALL_WITH_CONTROL_PLANE: [FaultKind; 15] = [
+        FaultKind::HypervisorFailure,
+        FaultKind::ServerCrash,
+        FaultKind::BadTimeout,
+        FaultKind::FirewallRule,
+        FaultKind::PacketLoss,
+        FaultKind::DiskPressure,
+        FaultKind::MemoryLeak,
+        FaultKind::ConfigError,
+        FaultKind::CacheEvictionStorm,
+        FaultKind::QueueBacklog,
+        FaultKind::LinkFlap,
+        FaultKind::CertExpiry,
+        FaultKind::TelemetryLoss,
+        FaultKind::LakePartition,
+        FaultKind::ControllerCrash,
+    ];
+
+    /// Whether this kind attacks the SMN control plane rather than the
+    /// workload.
+    #[must_use]
+    pub fn is_control_plane(self) -> bool {
+        FaultKind::CONTROL_PLANE.contains(&self)
+    }
 
     /// How strongly this fault transmits along dependency edges
     /// (multiplier on the propagated intensity; < 1 attenuates).
@@ -160,11 +189,15 @@ impl FaultKind {
             FaultKind::QueueBacklog => by_service(&["rabbitmq"]),
             FaultKind::LinkFlap => by_service(&["wan-uplink"]),
             FaultKind::CertExpiry => by_service(&["haproxy"]),
-            // Control-plane faults target the SMN, not deployment
-            // components: no in-deployment injection targets.
-            FaultKind::TelemetryLoss | FaultKind::LakePartition | FaultKind::ControllerCrash => {
-                Vec::new()
-            }
+            // Control-plane faults attack the SMN's own substrate, but they
+            // are still *located* somewhere: telemetry is lost in the
+            // network fabric, the lake's partitions live on the storage
+            // tier, and the controller runs on the hypervisor fleet. The
+            // target anchors the fault on the lattice's layer axis and
+            // names the team that owns the blinded substrate.
+            FaultKind::TelemetryLoss => by_service(&["switch"]),
+            FaultKind::LakePartition => by_service(&["cassandra"]),
+            FaultKind::ControllerCrash => by_service(&["hypervisor"]),
         }
     }
 }
@@ -212,11 +245,15 @@ pub struct CampaignConfig {
     pub variants: u8,
     /// Seed for severity derivation and fault-order shuffling.
     pub seed: u64,
+    /// Opt the [`FaultKind::CONTROL_PLANE`] kinds into the round-robin.
+    /// Off by default: the legacy 560-fault campaign must stay
+    /// byte-identical.
+    pub control_plane: bool,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        Self { n_faults: 560, variants: 4, seed: 0xFA17 }
+        Self { n_faults: 560, variants: 4, seed: 0xFA17, control_plane: false }
     }
 }
 
@@ -225,9 +262,13 @@ impl Default for CampaignConfig {
 /// hash-derived per fault. Deterministic.
 #[must_use]
 pub fn generate_campaign(d: &RedditDeployment, cfg: &CampaignConfig) -> Vec<FaultSpec> {
-    // Enumerate signatures in fixed order.
+    // Enumerate signatures in fixed order; control-plane kinds append
+    // after the workload taxonomy so opting them in never perturbs the
+    // workload signature order.
+    let kinds: &[FaultKind] =
+        if cfg.control_plane { &FaultKind::ALL_WITH_CONTROL_PLANE } else { &FaultKind::ALL };
     let mut signatures: Vec<(FaultKind, String, u8)> = Vec::new();
-    for kind in FaultKind::ALL {
+    for &kind in kinds {
         for target in kind.eligible_targets(d) {
             for v in 0..cfg.variants {
                 for _ in 0..kind.campaign_weight() {
@@ -325,8 +366,39 @@ mod tests {
     #[test]
     fn eligible_targets_nonempty_for_all_kinds() {
         let d = RedditDeployment::build();
-        for kind in FaultKind::ALL {
+        for kind in FaultKind::ALL_WITH_CONTROL_PLANE {
             assert!(!kind.eligible_targets(&d).is_empty(), "{kind:?} has no targets");
+        }
+    }
+
+    #[test]
+    fn control_plane_kinds_stay_out_of_the_default_campaign() {
+        let d = RedditDeployment::build();
+        let faults = generate_campaign(&d, &CampaignConfig::default());
+        assert!(faults.iter().all(|f| !f.kind.is_control_plane()));
+        // Byte-identity of the legacy campaign: the opt-in flag off must
+        // serialize to exactly the same artifact payload as before the
+        // flag existed (the checked-in campaign_560.json).
+        let explicit = generate_campaign(
+            &d,
+            &CampaignConfig { control_plane: false, ..CampaignConfig::default() },
+        );
+        assert_eq!(faults.to_value(), explicit.to_value());
+    }
+
+    #[test]
+    fn control_plane_opt_in_reaches_all_fifteen_kinds() {
+        let d = RedditDeployment::build();
+        let cfg =
+            CampaignConfig { n_faults: 900, control_plane: true, ..CampaignConfig::default() };
+        let faults = generate_campaign(&d, &cfg);
+        for kind in FaultKind::ALL_WITH_CONTROL_PLANE {
+            assert!(faults.iter().any(|f| f.kind == kind), "{kind:?} missing from opt-in campaign");
+        }
+        // Control-plane targets resolve and carry their owners' teams.
+        for f in faults.iter().filter(|f| f.kind.is_control_plane()) {
+            let node = d.fine.by_name(&f.target).expect("control-plane target exists");
+            assert_eq!(d.fine.component(node).team, f.team);
         }
     }
 }

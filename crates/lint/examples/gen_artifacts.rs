@@ -5,11 +5,12 @@
 //! cargo run -p smn-lint --example gen_artifacts
 //! ```
 //!
-//! Emits six envelopes — the Reddit CDG, the small planetary topology
+//! Emits eight envelopes — the Reddit CDG, the small planetary topology
 //! with its optical underlay and SRLGs, the 560-fault campaign, the
-//! by-region coarsening, the unified L1→L3→L7 layer stack, and the heal
-//! engine's remediation plan for the campaign head — into
-//! `<workspace>/artifacts/`.
+//! by-region coarsening, the unified L1→L3→L7 layer stack, the heal
+//! engine's remediation plan for the campaign head, the coverage-guided
+//! generated campaign with its topology-locus annotations, and the
+//! coverage report of its clean replay — into `<workspace>/artifacts/`.
 
 use serde::{Serialize, Value};
 
@@ -184,6 +185,38 @@ fn main() -> Result<(), String> {
             ],
         ),
     )?;
+
+    // 7. The coverage-guided generated campaign: one fault per reachable
+    //    lattice cell, with the locus annotations the extended campaign
+    //    rules validate.
+    let lattice = smn_coverage::FaultLattice::build(&d, &ds);
+    let generated = smn_coverage::generate_covering_campaign(
+        &d,
+        &ds,
+        &lattice,
+        &smn_coverage::GeneratorConfig::default(),
+    );
+    write(&root, "generated_campaign.json", &generated.to_artifact(&d))?;
+
+    // 8. The coverage report of that campaign's clean replay — exercised
+    //    cells from the audit trail, not the spec.
+    let outcome = smn_coverage::replay_campaign(
+        &d,
+        &ds,
+        &lattice,
+        &generated.faults,
+        &generated.loci,
+        &sim,
+        &smn_coverage::ReplayConfig::default(),
+    );
+    let report = smn_coverage::CoverageReport::build(
+        "generated",
+        smn_coverage::GeneratorConfig::default().seed,
+        generated.faults.len(),
+        &lattice,
+        &outcome.map,
+    );
+    write(&root, "coverage_report.json", &report.to_artifact())?;
 
     Ok(())
 }

@@ -27,6 +27,13 @@
 //!   Every action must target a declared component / in-range link or
 //!   wavelength, carry the layer its action kind actually operates on,
 //!   and use a plan-unique incident id.
+//! - `"coverage-report"` — `{kind, campaign, campaign_seed, n_faults,
+//!   total_cells, reachable, covered, unreachable, ratio, cells:
+//!   [{kind, layer, locus, rung, count, status}]}`: an smn-coverage
+//!   fault-lattice report. Every cell must name a real fault kind,
+//!   layer, locus bucket, and degradation rung, appear at most once,
+//!   and carry a hit count consistent with its status; the summary
+//!   tallies must agree with the rows they summarize.
 //!
 //! Every check first gates through the *real* workspace serde types
 //! ([`FineDepGraph`], [`Wan`], [`Srlg`], [`FaultSpec`], …) so the checker
@@ -142,12 +149,13 @@ pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
                 "coarsening" => check_coarsening(&mut ck, &v),
                 "stack" => check_stack(&mut ck, &v),
                 "remediation-plan" => check_remediation_plan(&mut ck, &v),
+                "coverage-report" => check_coverage_report(&mut ck, &v),
                 other => ck.emit(
                     "artifact/unknown-kind",
                     vec![Step::key("kind")],
                     format!("unknown artifact kind `{other}`"),
                     "expected one of: cdg, topology, fault-campaign, coarsening, \
-                     stack, remediation-plan",
+                     stack, remediation-plan, coverage-report",
                 ),
             },
             _ => ck.emit(
@@ -155,7 +163,7 @@ pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
                 vec![],
                 "artifact envelope lacks a string `kind` field",
                 "expected one of: cdg, topology, fault-campaign, coarsening, \
-                 stack, remediation-plan",
+                 stack, remediation-plan, coverage-report",
             ),
         },
     }
@@ -673,6 +681,244 @@ fn check_campaign(ck: &mut Checker<'_>, v: &Value) {
             "a campaign must cover the full fault taxonomy (FaultKind::ALL)",
         );
     }
+
+    // Generator extension: topology-locus annotations (`loci` +
+    // `link_count`) tie faults to the WAN link whose failure produces
+    // them. Every annotation must name a declared fault and a link
+    // inside the declared population.
+    let link_count = u64_of(v.get("link_count"));
+    let Some(Value::Seq(loci)) = optional(v, "loci") else { return };
+    for (i, entry) in loci.iter().enumerate() {
+        match u64_of(entry.get("fault")) {
+            None => ck.emit(
+                "artifact/unreadable",
+                vec![Step::key("loci"), Step::Idx(i)],
+                format!("locus {i} lacks an integer `fault`"),
+                "",
+            ),
+            Some(id) if !seen_ids.contains(&id) => ck.emit(
+                "artifact/unknown-fault-ref",
+                vec![Step::key("loci"), Step::Idx(i), Step::key("fault")],
+                format!("locus {i} annotates fault {id}, not a fault of this campaign"),
+                "locus annotations bind campaign faults to WAN links",
+            ),
+            Some(_) => {}
+        }
+        match (u64_of(entry.get("link")), link_count) {
+            (None, _) => ck.emit(
+                "artifact/unreadable",
+                vec![Step::key("loci"), Step::Idx(i)],
+                format!("locus {i} lacks an integer `link`"),
+                "",
+            ),
+            (Some(link), Some(n)) if link >= n => ck.emit(
+                "artifact/dangling-link-ref",
+                vec![Step::key("loci"), Step::Idx(i), Step::key("link")],
+                format!("locus {i} names link {link}, but the campaign declares {n} link(s)"),
+                "",
+            ),
+            _ => {}
+        }
+    }
+}
+
+// ----------------------------------------------------- coverage report ----
+
+/// Locus-bucket names of the smn-coverage lattice (kept literal: smn-lint
+/// must stay dependency-free of the crate whose artifacts it validates).
+const LOCUS_NAMES: &[&str] =
+    &["none", "srlg-submarine", "srlg-terrestrial", "high-degree", "low-degree"];
+/// Controller degradation rungs, full sight to blind.
+const RUNG_NAMES: &[&str] = &["full", "probes-only", "alerts-only", "skipped"];
+/// Per-cell report statuses.
+const STATUS_NAMES: &[&str] = &["covered", "uncovered", "unexpected"];
+
+/// Validate one `cells[i]` row of a coverage report. Returns
+/// `Some((is_reachable, is_covered))` when the row is structurally sound.
+fn check_coverage_cell(ck: &mut Checker<'_>, i: usize, cell: &Value) -> Option<(bool, bool)> {
+    let base = [Step::key("cells"), Step::Idx(i)];
+    let mut ok = true;
+    if cell.get("kind").is_none_or(|k| FaultKind::from_value(k).is_err()) {
+        ck.emit(
+            "artifact/unknown-cell",
+            ck.path(&base, &[Step::key("kind")]),
+            format!("cell {i} does not name a FaultKind"),
+            "",
+        );
+        ok = false;
+    }
+    if str_of(cell.get("layer")).and_then(LayerId::parse).is_none() {
+        ck.emit(
+            "artifact/unknown-cell",
+            ck.path(&base, &[Step::key("layer")]),
+            format!("cell {i} does not name a stack layer"),
+            "expected L1, L3, or L7",
+        );
+        ok = false;
+    }
+    if !str_of(cell.get("locus")).is_some_and(|l| LOCUS_NAMES.contains(&l)) {
+        ck.emit(
+            "artifact/unknown-cell",
+            ck.path(&base, &[Step::key("locus")]),
+            format!("cell {i} does not name a topology-locus bucket"),
+            "expected one of: none, srlg-submarine, srlg-terrestrial, high-degree, low-degree",
+        );
+        ok = false;
+    }
+    if !str_of(cell.get("rung")).is_some_and(|r| RUNG_NAMES.contains(&r)) {
+        ck.emit(
+            "artifact/unknown-cell",
+            ck.path(&base, &[Step::key("rung")]),
+            format!("cell {i} does not name a degradation rung"),
+            "expected one of: full, probes-only, alerts-only, skipped",
+        );
+        ok = false;
+    }
+    let status = str_of(cell.get("status"));
+    if !status.is_some_and(|s| STATUS_NAMES.contains(&s)) {
+        ck.emit(
+            "artifact/unknown-cell",
+            ck.path(&base, &[Step::key("status")]),
+            format!("cell {i} does not carry a status"),
+            "expected one of: covered, uncovered, unexpected",
+        );
+        ok = false;
+    }
+    let Some(count) = u64_of(cell.get("count")) else {
+        ck.emit(
+            "artifact/unknown-cell",
+            ck.path(&base, &[Step::key("count")]),
+            format!("cell {i} lacks an integer hit count"),
+            "",
+        );
+        return None;
+    };
+    if !ok {
+        return None;
+    }
+    let status = status.unwrap_or("");
+    // Status must agree with the evidence: a covered or unexpected cell
+    // was exercised at least once, an uncovered one never.
+    let consistent = match status {
+        "uncovered" => count == 0,
+        _ => count > 0,
+    };
+    if !consistent {
+        ck.emit(
+            "artifact/coverage-mismatch",
+            ck.path(&base, &[Step::key("count")]),
+            format!("cell {i} has status `{status}` but a hit count of {count}"),
+            "covered/unexpected cells need count > 0; uncovered cells need count == 0",
+        );
+    }
+    Some((status != "unexpected", status == "covered"))
+}
+
+/// Validate a serialized smn-coverage report: every cell row names a real
+/// lattice coordinate, rows are report-unique, per-row status agrees with
+/// the hit count, and the summary tallies (`covered`, `reachable`,
+/// `total_cells`, `ratio`) agree with the rows they summarize.
+#[allow(clippy::cast_precision_loss)] // cell tallies stay far below 2^52
+fn check_coverage_report(ck: &mut Checker<'_>, v: &Value) {
+    let count = |key: &str| u64_of(v.get(key));
+    let (Some(total), Some(reachable), Some(covered), Some(unreachable)) =
+        (count("total_cells"), count("reachable"), count("covered"), count("unreachable"))
+    else {
+        ck.emit(
+            "artifact/unreadable",
+            vec![],
+            "coverage report lacks integer total_cells/reachable/covered/unreachable",
+            "the lattice tallies are required to validate the cell rows",
+        );
+        return;
+    };
+    let Some(ratio) = f64_of(v.get("ratio")) else {
+        ck.emit("artifact/unreadable", vec![], "coverage report lacks a numeric `ratio`", "");
+        return;
+    };
+    let Some(Value::Seq(cells)) = v.get("cells") else {
+        ck.emit("artifact/unreadable", vec![], "coverage report lacks a `cells` array", "");
+        return;
+    };
+
+    if total != reachable + unreachable {
+        ck.emit(
+            "artifact/coverage-mismatch",
+            vec![Step::key("total_cells")],
+            format!(
+                "total_cells is {total}, but reachable {reachable} + unreachable {unreachable} \
+                 = {}",
+                reachable + unreachable
+            ),
+            "the unreachable shell is the product lattice minus the reachable cells",
+        );
+    }
+
+    let mut seen: Vec<(String, String, String, String)> = Vec::new();
+    let mut tallied = (0u64, 0u64); // (reachable rows, covered rows)
+    let mut rows_sound = true;
+    for (i, cell) in cells.iter().enumerate() {
+        let key = (
+            str_of(cell.get("kind")).unwrap_or("").to_string(),
+            str_of(cell.get("layer")).unwrap_or("").to_string(),
+            str_of(cell.get("locus")).unwrap_or("").to_string(),
+            str_of(cell.get("rung")).unwrap_or("").to_string(),
+        );
+        if seen.contains(&key) {
+            ck.emit(
+                "artifact/duplicate-id",
+                vec![Step::key("cells"), Step::Idx(i)],
+                format!("duplicate cell {}/{}/{}/{}", key.0, key.1, key.2, key.3),
+                "each lattice cell appears at most once per report",
+            );
+        }
+        seen.push(key);
+        match check_coverage_cell(ck, i, cell) {
+            Some((is_reachable, is_covered)) => {
+                tallied.0 += u64::from(is_reachable);
+                tallied.1 += u64::from(is_covered);
+            }
+            None => rows_sound = false,
+        }
+    }
+
+    // Cross-check the summary tallies only over structurally sound rows;
+    // a malformed row already carries its own finding.
+    if rows_sound {
+        if tallied.0 != reachable {
+            ck.emit(
+                "artifact/coverage-mismatch",
+                vec![Step::key("reachable")],
+                format!(
+                    "report declares {reachable} reachable cell(s), \
+                     but lists {} covered/uncovered row(s)",
+                    tallied.0
+                ),
+                "every reachable cell gets one row, covered or uncovered",
+            );
+        }
+        if tallied.1 != covered {
+            ck.emit(
+                "artifact/coverage-mismatch",
+                vec![Step::key("covered")],
+                format!(
+                    "report declares {covered} covered cell(s), but lists {} row(s) \
+                     with status `covered`",
+                    tallied.1
+                ),
+                "",
+            );
+        }
+        let expected = if reachable == 0 { 0.0 } else { covered as f64 / reachable as f64 };
+        if (ratio - expected).abs() > 1e-9 {
+            ck.emit(
+                "artifact/coverage-mismatch",
+                vec![Step::key("ratio")],
+                format!("ratio is {ratio}, but covered/reachable = {expected}"),
+                "",
+            );
+        }
+    }
 }
 
 // --------------------------------------------------------- coarsening ----
@@ -687,6 +933,7 @@ struct CoarseningSpec {
     members: Vec<Vec<usize>>,
 }
 
+#[allow(clippy::too_many_lines)] // one rule block per coarsening invariant
 fn check_coarsening(ck: &mut Checker<'_>, v: &Value) {
     let spec = match CoarseningSpec::from_value(v) {
         Ok(s) => s,
@@ -1126,6 +1373,85 @@ mod tests {
         let out = check_str("p.json", bad);
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].rule, "artifact/unreadable");
+    }
+
+    #[test]
+    fn campaign_locus_checks() {
+        let campaign = |loci: &str| {
+            format!(
+                r#"{{"kind":"fault-campaign",
+                "components":[{{"name":"app-1","team":"app"}}],
+                "faults":[{{"id":0,"kind":"ServerCrash","target":"app-1",
+                    "variant":0,"severity":0.5,"team":"app"}}],
+                "link_count":2,"loci":{loci}}}"#
+            )
+        };
+        // A single-kind campaign has a taxonomy gap; in-range loci add
+        // nothing on top of it.
+        let out = check_str("c.json", &campaign(r#"[{"fault":0,"link":1}]"#));
+        assert!(out.iter().all(|d| d.rule == "artifact/taxonomy-gap"), "{out:?}");
+
+        // A locus link beyond the declared population dangles.
+        let out = check_str("c.json", &campaign(r#"[{"fault":0,"link":2}]"#));
+        assert!(out.iter().any(|d| d.rule == "artifact/dangling-link-ref"), "{out:?}");
+
+        // A locus annotating a fault id the campaign does not declare.
+        let out = check_str("c.json", &campaign(r#"[{"fault":9,"link":0}]"#));
+        assert!(out.iter().any(|d| d.rule == "artifact/unknown-fault-ref"), "{out:?}");
+    }
+
+    #[test]
+    fn coverage_report_checks() {
+        let report = |covered: u64, ratio: f64, cells: &str| {
+            format!(
+                r#"{{"kind":"coverage-report","campaign":"generated","campaign_seed":1,
+                "n_faults":2,"total_cells":900,"reachable":2,"covered":{covered},
+                "unreachable":898,"ratio":{ratio},"cells":{cells}}}"#
+            )
+        };
+        let good_cells = r#"[
+            {"kind":"ServerCrash","layer":"L7","locus":"none","rung":"full",
+             "count":3,"status":"covered"},
+            {"kind":"LinkFlap","layer":"L3","locus":"srlg-submarine","rung":"full",
+             "count":0,"status":"uncovered"}]"#;
+        let out = check_str("r.json", &report(1, 0.5, good_cells));
+        assert!(out.is_empty(), "{out:?}");
+
+        // An unknown fault kind in a cell row.
+        let bad_kind = r#"[
+            {"kind":"Gremlin","layer":"L7","locus":"none","rung":"full",
+             "count":1,"status":"covered"},
+            {"kind":"ServerCrash","layer":"L7","locus":"none","rung":"full",
+             "count":1,"status":"covered"}]"#;
+        let out = check_str("r.json", &report(1, 0.5, bad_kind));
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/unknown-cell");
+
+        // A covered cell that was never exercised contradicts its status.
+        let uncounted = r#"[
+            {"kind":"ServerCrash","layer":"L7","locus":"none","rung":"full",
+             "count":0,"status":"covered"},
+            {"kind":"LinkFlap","layer":"L3","locus":"none","rung":"full",
+             "count":0,"status":"uncovered"}]"#;
+        let out = check_str("r.json", &report(1, 0.5, uncounted));
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/coverage-mismatch");
+
+        // Summary tallies must agree with the rows: the declared covered
+        // count exceeds the covered rows, and the ratio disagrees with
+        // covered/reachable.
+        let out = check_str("r.json", &report(2, 0.5, good_cells));
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|d| d.rule == "artifact/coverage-mismatch"));
+
+        // The same cell listed twice is a duplicate.
+        let dup = r#"[
+            {"kind":"ServerCrash","layer":"L7","locus":"none","rung":"full",
+             "count":1,"status":"covered"},
+            {"kind":"ServerCrash","layer":"L7","locus":"none","rung":"full",
+             "count":1,"status":"covered"}]"#;
+        let out = check_str("r.json", &report(2, 1.0, dup));
+        assert!(out.iter().any(|d| d.rule == "artifact/duplicate-id"), "{out:?}");
     }
 
     #[test]

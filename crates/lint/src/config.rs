@@ -90,6 +90,9 @@ pub const ARTIFACT_RULES: &[&str] = &[
     "artifact/partition-mismatch",
     "artifact/dangling-stack-ref",
     "artifact/stack-layer-order",
+    "artifact/unknown-fault-ref",
+    "artifact/unknown-cell",
+    "artifact/coverage-mismatch",
 ];
 
 /// The lint configuration.
@@ -118,6 +121,7 @@ impl Default for Config {
             levels: BTreeMap::new(),
             deterministic_paths: vec![
                 "crates/core/src/simulation.rs".into(),
+                "crates/coverage/src/".into(),
                 "crates/heal/src/".into(),
                 "crates/incident/src/sim.rs".into(),
                 "crates/obs/src/".into(),

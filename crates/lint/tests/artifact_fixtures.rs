@@ -25,6 +25,7 @@ fn good_fixtures_are_clean() {
         "good_campaign.json",
         "good_coarsening.json",
         "good_remediation_plan.json",
+        "good_generated_campaign.json",
     ] {
         let out = check_fixture(name);
         assert!(out.is_empty(), "{name} should be clean, got {out:?}");
@@ -82,12 +83,25 @@ fn dangling_action_target_yields_exactly_one_diagnostic_with_span() {
 }
 
 #[test]
+fn dangling_locus_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_campaign_dangling_locus.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/dangling-link-ref");
+    // The span points at the out-of-range link index of the second locus
+    // annotation on line 24 of the fixture.
+    assert_eq!((d.line, d.col), (24, 27), "span moved: {d:?}");
+    assert!(d.message.contains("$.loci[1].link"), "{}", d.message);
+    assert!(d.message.contains("link 9"), "{}", d.message);
+}
+
+#[test]
 fn check_dir_sees_every_fixture_and_fails_on_the_bad_ones() {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let root = dir.clone();
     let (findings, checked) = smn_lint::artifact::check_dir(&root, &dir);
-    assert_eq!(checked, 9, "fixture corpus size changed");
-    assert_eq!(findings.len(), 4, "one finding per bad fixture: {findings:?}");
+    assert_eq!(checked, 11, "fixture corpus size changed");
+    assert_eq!(findings.len(), 5, "one finding per bad fixture: {findings:?}");
     let report = smn_lint::diag::Report::from_findings(findings);
     assert!(report.failed());
     let json = report.to_json();
@@ -96,6 +110,7 @@ fn check_dir_sees_every_fixture_and_fails_on_the_bad_ones() {
         "artifact/partition-not-total",
         "artifact/orphan-srlg",
         "artifact/unknown-target",
+        "artifact/dangling-link-ref",
     ] {
         assert!(json.contains(rule), "JSON report must carry {rule}: {json}");
     }

@@ -1,0 +1,180 @@
+//! Coverage-lattice properties: the campaign generator is deterministic
+//! for any seed, every emitted artifact passes the smn-lint rules,
+//! `CoverageMap` merge is associative/commutative, and identically
+//! seeded replays write byte-identical coverage reports. The final test
+//! is the CI gate's contract: the generated campaign covers at least 80%
+//! of the reachable lattice and the fixed 560-fault baseline sits
+//! strictly below it.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use smn_coverage::{
+    generate_covering_campaign, replay_campaign, CoverageMap, CoverageReport, FaultLattice,
+    GeneratorConfig, ReplayConfig,
+};
+use smn_incident::faults::{generate_campaign, CampaignConfig};
+use smn_incident::sim::SimConfig;
+use smn_incident::{DeploymentStack, RedditDeployment};
+use smn_lint::artifact::check_str;
+use smn_telemetry::det::mix;
+use smn_topology::gen::{generate_planetary, PlanetaryConfig};
+
+struct World {
+    d: RedditDeployment,
+    ds: DeploymentStack,
+    lattice: FaultLattice,
+}
+
+/// The deployment + bound stack + lattice every property runs against,
+/// built once (the lattice is a pure function of the two).
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let d = RedditDeployment::build();
+        let p = generate_planetary(&PlanetaryConfig::small(7));
+        let ds = DeploymentStack::bind(&d, p.optical, p.wan);
+        let lattice = FaultLattice::build(&d, &ds);
+        World { d, ds, lattice }
+    })
+}
+
+/// Strategy: sparse exercise counts over the reachable lattice, as
+/// `(cell index, hits)` pairs.
+fn hits() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0usize..256, 0u64..4), 0..24)
+}
+
+fn map_of(hits: &[(usize, u64)]) -> CoverageMap {
+    let cells = world().lattice.reachable();
+    let mut m = CoverageMap::new();
+    for &(i, n) in hits {
+        m.record_n(cells[i % cells.len()], n);
+    }
+    m
+}
+
+proptest! {
+    /// The generator is a pure function of (world, seed): two runs with
+    /// the same seed agree on every fault, locus annotation, and bound.
+    #[test]
+    fn generator_is_deterministic_for_any_seed(seed in 0u64..u64::MAX) {
+        let w = world();
+        let a = generate_covering_campaign(&w.d, &w.ds, &w.lattice, &GeneratorConfig { seed });
+        let b = generate_covering_campaign(&w.d, &w.ds, &w.lattice, &GeneratorConfig { seed });
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every campaign the generator emits — and every coverage report
+    /// built over the lattice it targets — passes the smn-lint artifact
+    /// rules, whatever the seed.
+    #[test]
+    fn emitted_artifacts_pass_the_lint_rules(seed in 0u64..u64::MAX) {
+        let w = world();
+        let campaign =
+            generate_covering_campaign(&w.d, &w.ds, &w.lattice, &GeneratorConfig { seed });
+        let text = serde_json::to_string_pretty(&campaign.to_artifact(&w.d)).unwrap();
+        let findings = check_str("generated_campaign.json", &text);
+        prop_assert!(findings.is_empty(), "campaign findings: {findings:?}");
+
+        // A seed-keyed sub-map exercises covered, uncovered, and varied
+        // hit counts through the report checker.
+        let mut map = CoverageMap::new();
+        for (i, &cell) in (0u64..).zip(w.lattice.reachable()) {
+            map.record_n(cell, mix(&[seed, i]) % 3);
+        }
+        let report =
+            CoverageReport::build("generated", seed, campaign.faults.len(), &w.lattice, &map);
+        let text = serde_json::to_string_pretty(&report.to_artifact()).unwrap();
+        let findings = check_str("coverage_report.json", &text);
+        prop_assert!(findings.is_empty(), "report findings: {findings:?}");
+    }
+
+    /// Merging coverage maps is associative and commutative, so sharded
+    /// or repeated runs can fold in any order.
+    #[test]
+    fn coverage_map_merge_is_associative_and_commutative(
+        a in hits(), b in hits(), c in hits()
+    ) {
+        let (a, b, c) = (map_of(&a), map_of(&b), map_of(&c));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "merge must commute");
+
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc, "merge must associate");
+    }
+}
+
+/// The gate's contract, end to end: seeded replays of the generated
+/// campaign write byte-identical `coverage-report` artifacts, the
+/// generated campaign covers at least 80% of the reachable lattice, and
+/// the fixed 560-fault baseline sits strictly below it.
+#[test]
+fn seeded_replays_are_byte_identical_and_beat_the_fixed_baseline() {
+    let w = world();
+    let sim = SimConfig::default();
+    let gen_cfg = GeneratorConfig::default();
+    let generated = generate_covering_campaign(&w.d, &w.ds, &w.lattice, &gen_cfg);
+
+    let replay = ReplayConfig::default();
+    let a =
+        replay_campaign(&w.d, &w.ds, &w.lattice, &generated.faults, &generated.loci, &sim, &replay);
+    let b =
+        replay_campaign(&w.d, &w.ds, &w.lattice, &generated.faults, &generated.loci, &sim, &replay);
+    let artifact = |map: &CoverageMap| {
+        let report = CoverageReport::build(
+            "generated",
+            gen_cfg.seed,
+            generated.faults.len(),
+            &w.lattice,
+            map,
+        );
+        serde_json::to_string_pretty(&report.to_artifact()).unwrap()
+    };
+    assert_eq!(
+        artifact(&a.map),
+        artifact(&b.map),
+        "identically seeded replays must write byte-identical coverage reports"
+    );
+
+    let generated_report = CoverageReport::build(
+        "generated",
+        gen_cfg.seed,
+        generated.faults.len(),
+        &w.lattice,
+        &a.map,
+    );
+    assert!(
+        generated_report.ratio_pct() >= 80.0,
+        "generated campaign covers {:.1}% of the reachable lattice, below the 80% gate \
+         (uncovered: {:?})",
+        generated_report.ratio_pct(),
+        generated_report.uncovered().iter().map(|r| r.cell.label()).collect::<Vec<_>>(),
+    );
+
+    let fixed = generate_campaign(&w.d, &CampaignConfig::default());
+    let f = replay_campaign(&w.d, &w.ds, &w.lattice, &fixed, &[], &sim, &replay);
+    let fixed_report = CoverageReport::build(
+        "fixed-560",
+        CampaignConfig::default().seed,
+        fixed.len(),
+        &w.lattice,
+        &f.map,
+    );
+    assert!(
+        fixed_report.ratio_pct() < generated_report.ratio_pct(),
+        "the fixed 560-fault baseline ({:.1}%) must sit strictly below the generated \
+         campaign ({:.1}%)",
+        fixed_report.ratio_pct(),
+        generated_report.ratio_pct(),
+    );
+}

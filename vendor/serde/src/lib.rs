@@ -43,6 +43,53 @@ impl Value {
             _ => None,
         }
     }
+
+    fn variant_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::U64(_) => 2,
+            Value::I64(_) => 3,
+            Value::F64(_) => 4,
+            Value::Str(_) => 5,
+            Value::Seq(_) => 6,
+            Value::Map(_) => 7,
+        }
+    }
+
+    /// Canonical total order over values, used to serialize hashed
+    /// collections deterministically (their iteration order varies per
+    /// process, which would leak into artifacts otherwise).
+    #[must_use]
+    pub fn canonical_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::U64(a), Value::U64(b)) => a.cmp(b),
+            (Value::I64(a), Value::I64(b)) => a.cmp(b),
+            (Value::F64(a), Value::F64(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Seq(a), Value::Seq(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.canonical_cmp(y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Map(a), Value::Map(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    let ord = ka.cmp(kb).then_with(|| va.canonical_cmp(vb));
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            _ => self.variant_rank().cmp(&other.variant_rank()),
+        }
+    }
 }
 
 /// Serialization/deserialization error.
@@ -276,10 +323,15 @@ impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
 }
 
 /// Maps serialize as sequences of `[key, value]` pairs so non-string keys
-/// survive the wire format.
+/// survive the wire format. Hash maps sort the pairs canonically by key:
+/// their iteration order varies per process, and serialization must not
+/// leak that into otherwise-deterministic artifacts.
 impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_value(&self) -> Value {
-        Value::Seq(self.iter().map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect())
+        let mut pairs: Vec<(Value, Value)> =
+            self.iter().map(|(k, v)| (k.to_value(), v.to_value())).collect();
+        pairs.sort_by(|(a, _), (b, _)| a.canonical_cmp(b));
+        Value::Seq(pairs.into_iter().map(|(k, v)| Value::Seq(vec![k, v])).collect())
     }
 }
 impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
@@ -316,9 +368,13 @@ fn kv_pairs<K: Deserialize, V: Deserialize>(v: &Value) -> Result<PairIter<K, V>,
     }
 }
 
+/// Hash sets serialize canonically sorted, for the same reason as hash
+/// maps: per-process iteration order must not reach the wire.
 impl<T: Serialize, S> Serialize for HashSet<T, S> {
     fn to_value(&self) -> Value {
-        Value::Seq(self.iter().map(Serialize::to_value).collect())
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(Value::canonical_cmp);
+        Value::Seq(items)
     }
 }
 impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
@@ -405,5 +461,25 @@ mod tests {
     fn nonfinite_floats_roundtrip_via_strings() {
         assert_eq!(f64::from_value(&Value::Str("inf".into())).unwrap(), f64::INFINITY);
         assert!(f64::from_value(&Value::Str("nan".into())).unwrap().is_nan());
+    }
+
+    #[test]
+    fn hashed_collections_serialize_canonically_sorted() {
+        let m: HashMap<String, u32> =
+            [("zeta".to_string(), 1), ("alpha".to_string(), 2), ("mid".to_string(), 3)].into();
+        let Value::Seq(pairs) = m.to_value() else { panic!("map serializes as a seq") };
+        let keys: Vec<&Value> = pairs
+            .iter()
+            .map(|p| match p {
+                Value::Seq(kv) => &kv[0],
+                other => panic!("pair expected, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            keys,
+            [&Value::Str("alpha".into()), &Value::Str("mid".into()), &Value::Str("zeta".into())]
+        );
+        let s: HashSet<u64> = [9, 1, 5].into();
+        assert_eq!(s.to_value(), Value::Seq(vec![Value::U64(1), Value::U64(5), Value::U64(9)]));
     }
 }
