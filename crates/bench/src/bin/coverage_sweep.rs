@@ -109,7 +109,7 @@ fn heal_pass(
         ControllerConfig::default(),
     );
     let mut healer = Healer::new(HealConfig::default());
-    let mut injector = p.chaos.clone().map(ChaosInjector::new);
+    let mut injector: Option<ChaosInjector> = p.chaos.clone().map(ChaosInjector::new);
 
     let mut routed_teams: Vec<Option<String>> = Vec::with_capacity(faults.len());
     let mut settled: BTreeMap<u64, RemediationRecord> = BTreeMap::new();
@@ -291,7 +291,7 @@ fn main() {
 
     let telemetry_chaos =
         ChaosConfig::clean(0xC4A0).with_loss(0.30).with_duplication(0.05).with_reordering(0.5, 600);
-    let profiles = [
+    let profiles: [Profile; 5] = [
         Profile { name: "clean", chaos: None, partition: false, crash_every: None },
         Profile {
             name: "telemetry-chaos",

@@ -119,7 +119,8 @@ fn run_profile(
         ControllerConfig::default(),
     );
     controller.set_obs(ctx.obs.clone());
-    let mut injector = p.chaos.clone().map(|c| ChaosInjector::new(c).with_obs(ctx.obs.clone()));
+    let mut injector: Option<ChaosInjector> =
+        p.chaos.clone().map(|c| ChaosInjector::new(c).with_obs(ctx.obs.clone()));
     let mut result = ProfileResult {
         name: p.name,
         correct: 0,

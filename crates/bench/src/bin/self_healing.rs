@@ -140,7 +140,8 @@ fn run_profile(
     controller.set_obs(ctx.obs.clone());
     let mut healer = Healer::new(HealConfig::default());
     healer.set_obs(ctx.obs.clone());
-    let mut injector = p.chaos.clone().map(|c| ChaosInjector::new(c).with_obs(ctx.obs.clone()));
+    let mut injector: Option<ChaosInjector> =
+        p.chaos.clone().map(|c| ChaosInjector::new(c).with_obs(ctx.obs.clone()));
 
     let mut result = ProfileResult {
         name: p.name,

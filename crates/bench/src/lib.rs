@@ -16,28 +16,33 @@ use smn_topology::gen::{generate_planetary, Planetary, PlanetaryConfig};
 
 /// The standard planetary fixture: ~300 DCs over 24 regions (the paper's
 /// "roughly 300 datacenters … less than 30 high traffic regions").
+#[must_use]
 pub fn planetary() -> Planetary {
     generate_planetary(&PlanetaryConfig::default())
 }
 
 /// A small planetary fixture for quick runs and Criterion benches.
+#[must_use]
 pub fn planetary_small() -> Planetary {
     generate_planetary(&PlanetaryConfig::small(7))
 }
 
 /// Traffic model over a planetary WAN with default (published-shape)
 /// characteristics.
+#[must_use]
 pub fn traffic(p: &Planetary) -> TrafficModel {
     TrafficModel::new(&p.wan, TrafficConfig::default())
 }
 
 /// Generate `days` of 5-minute bandwidth logs starting at `start_day`.
+#[must_use]
 pub fn bw_log(model: &TrafficModel, start_day: u64, days: u64) -> Vec<BandwidthRecord> {
     model.generate(Ts::from_days(start_day), TrafficModel::epochs_per_days(days))
 }
 
 /// Build an insertion-ordered JSON object from `(key, value)` pairs — the
 /// building block of the `BENCH_*.json` perf-trajectory snapshots.
+#[must_use]
 pub fn json_obj(entries: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
     serde_json::Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
@@ -65,6 +70,7 @@ pub fn write_snapshot(path: &str, value: &serde_json::Value) {
 }
 
 /// Render an aligned plain-text table.
+#[must_use]
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {

@@ -600,19 +600,26 @@ pub fn coverage(args: &[String]) -> Result<(), String> {
 ///
 /// Mirrors `cargo run -p smn-lint`: source rules over every workspace
 /// crate, artifact rules over `artifacts/` (or the dirs named with
-/// `--artifacts`). Fails on deny-level findings.
+/// `--artifacts`). `--deep` adds the whole-workspace call-graph pass
+/// (determinism taint, panic reachability against the committed
+/// `panic-baseline.txt` ratchet, lock discipline, consequential
+/// unresolved-call ambiguity). Fails on deny-level findings.
 pub fn lint(args: &[String]) -> Result<(), String> {
     let mut json = false;
+    let mut deep = false;
     let mut artifact_dirs: Vec<std::path::PathBuf> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--deep" => deep = true,
             "--artifacts" => match it.next() {
                 Some(dir) => artifact_dirs.push(std::path::PathBuf::from(dir)),
                 None => return Err("--artifacts needs a directory".to_string()),
             },
-            other => return Err(format!("unknown flag '{other}' (expected --json/--artifacts)")),
+            other => {
+                return Err(format!("unknown flag '{other}' (expected --json/--deep/--artifacts)"))
+            }
         }
     }
 
@@ -634,10 +641,49 @@ pub fn lint(args: &[String]) -> Result<(), String> {
         report.merge(smn_lint::run_artifacts(&root, &dir));
     }
 
+    let mut deep_result = None;
+    if deep {
+        let baseline = match std::fs::read_to_string(root.join("panic-baseline.txt")) {
+            Ok(text) => Some(smn_lint::reach::parse_baseline(&text)?),
+            Err(_) => None,
+        };
+        let opts = smn_lint::deep::DeepOptions { baseline };
+        let result = smn_lint::deep::analyze_workspace(&root, &cfg, &opts);
+        report.merge(result.report.clone());
+        deep_result = Some(result);
+    }
+
     if json {
-        println!("{}", report.to_json());
+        match &deep_result {
+            Some(d) => {
+                use serde::{Serialize, Value};
+                let root_value = Value::Map(vec![
+                    ("report".to_string(), report.to_value()),
+                    ("deep".to_string(), d.summary.to_value()),
+                ]);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&root_value)
+                        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+                );
+            }
+            None => println!("{}", report.to_json()),
+        }
     } else {
         print!("{}", report.render());
+        if let Some(d) = &deep_result {
+            let s = &d.summary;
+            println!(
+                "smn-lint --deep: {} function(s), {} edge(s), {} unresolved, {} external; \
+                 {} det endpoint(s); {} panic-reachable public API(s)",
+                s.functions,
+                s.edges,
+                s.unresolved,
+                s.external,
+                s.det_endpoints,
+                s.panic_per_crate.values().sum::<usize>()
+            );
+        }
     }
     if report.failed() {
         return Err("deny-level findings (see report above)".to_string());

@@ -10,6 +10,7 @@
 //! smn heal [--faults N] [--json]       closed-loop remediation campaign
 //! smn coverage [--json] [--seed N]     fault-lattice coverage gate
 //! smn lint [--json] [--artifacts DIR]  static analysis (source + artifacts)
+//!          [--deep]                    add the call-graph deep pass
 //! smn obs summarize <trace.jsonl>      summarize a deterministic trace
 //! ```
 //!
@@ -78,7 +79,8 @@ USAGE:
            [--campaign FILE]           unreachable cells; non-zero exit below
            [--out FILE]                the threshold); writes the coverage-
            [--no-baseline]             report artifact with --out
-  smn lint [--json] [--artifacts DIR] run smn-lint (source + artifact engines)
+  smn lint [--json] [--artifacts DIR] run smn-lint (source + artifact engines;
+           [--deep]                    --deep adds the call-graph pass)
   smn obs summarize <trace.jsonl>     summarize a deterministic trace
            [--metrics FILE]           (span tree, top-N slowest spans,
            [--top N] [--json]          metric snapshot; fails on parse errors)";

@@ -27,6 +27,7 @@ pub struct HistoricalIncident {
 /// cosine similarity ("enrich incidents with metadata such as similar
 /// incidents, potential root causes, and fixes learned from retrospective
 /// analysis", §6). Returns `(incident, similarity)` pairs, best first.
+#[must_use]
 pub fn similar_incidents<'a>(
     history: &'a [HistoricalIncident],
     current: &Syndrome,
@@ -99,6 +100,7 @@ pub struct AggregatedIncident {
 /// event; teams handle their own noise). Otherwise one aggregated incident:
 /// priority 0 when at least `min_teams + 2` teams are involved (wide
 /// fan-out), 1 otherwise.
+#[must_use]
 pub fn aggregate_alerts(alerts: &[Alert], min_teams: usize) -> Option<AggregatedIncident> {
     let mut teams: Vec<String> = Vec::new();
     let mut max_severity = Severity::Info;

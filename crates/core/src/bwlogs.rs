@@ -36,12 +36,14 @@ pub struct CoarseBwRecord {
 
 impl CoarseBwRecord {
     /// Encoded size in bytes: ts(8) + window(8) + src(4) + dst(4) + values.
+    #[must_use]
     pub fn encoded_bytes(&self) -> usize {
         8 + 8 + 4 + 4 + 8 * self.values.len()
     }
 }
 
 /// Byte size of a coarse log.
+#[must_use]
 pub fn coarse_log_bytes(records: &[CoarseBwRecord]) -> usize {
     records.iter().map(|r| r.encoded_bytes()).sum()
 }
@@ -49,6 +51,7 @@ pub fn coarse_log_bytes(records: &[CoarseBwRecord]) -> usize {
 /// Encode a coarse log into its wire form (the format
 /// [`CoarseBwRecord::encoded_bytes`] accounts, plus a 2-byte value count
 /// per record so heterogeneous statistic sets decode unambiguously).
+#[must_use]
 pub fn encode_coarse_log(records: &[CoarseBwRecord]) -> bytes::Bytes {
     use bytes::BufMut;
     let mut buf = bytes::BytesMut::with_capacity(coarse_log_bytes(records) + 2 * records.len());
@@ -115,6 +118,7 @@ pub struct TimeCoarsener {
 
 impl TimeCoarsener {
     /// Coarsener keeping `stats` over `window_secs` windows.
+    #[must_use]
     pub fn new(window_secs: u64, stats: Vec<Statistic>) -> Self {
         assert!(window_secs > 0, "zero window");
         assert!(!stats.is_empty(), "at least one statistic");
@@ -149,6 +153,7 @@ impl TimeCoarsener {
 
     /// Estimated demand for a pair in the window containing `ts`, using the
     /// first statistic (the acting-on-`s` side of Figure 2).
+    #[must_use]
     pub fn estimate(records: &[CoarseBwRecord], src: u32, dst: u32, ts: Ts) -> Option<f64> {
         records
             .iter()
@@ -192,6 +197,7 @@ pub struct TopologyCoarsener {
 
 impl TopologyCoarsener {
     /// From a contraction's node map.
+    #[must_use]
     pub fn new(node_map: Vec<NodeId>) -> Self {
         Self { node_map }
     }
@@ -268,11 +274,13 @@ pub struct NestedLog {
 
 impl NestedLog {
     /// Total encoded bytes.
+    #[must_use]
     pub fn bytes(&self) -> usize {
         self.raw.len() * BW_RECORD_BYTES + coarse_log_bytes(&self.summarized)
     }
 
     /// Row count across tiers.
+    #[must_use]
     pub fn rows(&self) -> usize {
         self.raw.len() + self.summarized.len()
     }
@@ -332,6 +340,7 @@ pub struct AdaptiveCoarsener {
 
 impl AdaptiveCoarsener {
     /// Classify pairs by CV of their samples; returns the volatile set.
+    #[must_use]
     pub fn volatile_pairs(&self, records: &[BandwidthRecord]) -> Vec<(u32, u32)> {
         let mut samples: HashMap<(u32, u32), Vec<f64>> = HashMap::new();
         for r in records {

@@ -49,6 +49,7 @@ pub struct CdgLossReport {
 }
 
 /// Measure the CDG coarsening's loss on a fine graph.
+#[must_use]
 pub fn cdg_loss(fine: &FineDepGraph) -> CdgLossReport {
     let report = CdgCoarsening.report(fine);
     CdgLossReport {

@@ -146,6 +146,7 @@ pub struct Fidelity<A> {
 
 /// Closeness score for scalar answers: `1 - |a-b| / max(|a|, |b|)`,
 /// 1.0 when both are zero.
+#[must_use]
 pub fn relative_closeness(a: &f64, b: &f64) -> f64 {
     let denom = a.abs().max(b.abs());
     if denom == 0.0 {

@@ -184,6 +184,7 @@ pub struct SmnController {
 
 impl SmnController {
     /// Controller over a fresh, reliable CLDS with the given CDG.
+    #[must_use]
     pub fn new(cdg: CoarseDepGraph, config: ControllerConfig) -> Self {
         Self::with_lake(FaultyStore::reliable(Clds::new()), cdg, config)
     }
@@ -740,6 +741,7 @@ impl SmnController {
 /// Materialize wavelength flap events as CLDS log events (the `ops/logs`
 /// convention [`SmnController::reliability_loop_from_lake`] reads back):
 /// one event per affected L3 link per flap, component `"link-<edge>"`.
+#[must_use]
 pub fn flap_log_events(events: &[smn_topology::failures::FlapEvent]) -> Vec<LogEvent> {
     let mut out: Vec<LogEvent> = events
         .iter()
@@ -760,6 +762,7 @@ pub fn flap_log_events(events: &[smn_topology::failures::FlapEvent]) -> Vec<LogE
 
 /// Recover per-link flap counts from flap log events (inverse of
 /// [`flap_log_events`]).
+#[must_use]
 pub fn flap_counts_from_logs(logs: &[LogEvent]) -> BTreeMap<EdgeId, u32> {
     let mut counts: BTreeMap<EdgeId, u32> = BTreeMap::new();
     for l in logs {

@@ -47,6 +47,7 @@ impl SeasonalModel {
     ///
     /// # Panics
     /// Panics on an empty sample set.
+    #[must_use]
     pub fn fit(src: u32, dst: u32, samples: &[(Ts, f64)]) -> SeasonalModel {
         assert!(!samples.is_empty(), "cannot fit a model to no samples");
         let mean = samples.iter().map(|(_, g)| g).sum::<f64>() / samples.len() as f64;
@@ -110,6 +111,7 @@ impl SeasonalModel {
     }
 
     /// Predicted demand at `ts` in Gbps (never negative).
+    #[must_use]
     pub fn predict(&self, ts: Ts) -> f64 {
         let level = self.base + self.trend_per_day * (ts.day() as f64 - self.anchor_day);
         let h = ts.hour_of_day() as usize % 24;
@@ -152,6 +154,7 @@ impl Coarsening for ModelCoarsener {
 
 /// Mean relative error of model predictions against a (usually held-out)
 /// log. Returns `None` when no record matches a model.
+#[must_use]
 pub fn reconstruction_error(models: &[SeasonalModel], log: &[BandwidthRecord]) -> Option<f64> {
     let index: HashMap<(u32, u32), &SeasonalModel> =
         models.iter().map(|m| ((m.src, m.dst), m)).collect();

@@ -95,6 +95,7 @@ pub struct SimulationReport {
 
 impl SimulationReport {
     /// Routing accuracy over the run.
+    #[must_use]
     pub fn routing_accuracy(&self) -> f64 {
         if self.routing_total == 0 {
             1.0
@@ -117,6 +118,7 @@ pub struct SmnSimulation<'a> {
 impl<'a> SmnSimulation<'a> {
     /// Build a simulation over a network and traffic model. The CDG comes
     /// from the Reddit deployment (application incidents run against it).
+    #[must_use]
     pub fn new(
         planetary: &'a Planetary,
         traffic: &'a TrafficModel,

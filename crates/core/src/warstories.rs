@@ -42,6 +42,7 @@ pub struct WarStoryReport {
 /// planner (any-overload rule, no fiber visibility) upgrades the transient
 /// link and proposes the impossible one; the SMN planner (sustained rule +
 /// L1 awareness) does neither.
+#[must_use]
 pub fn capacity_planning_in_the_dark() -> WarStoryReport {
     let mut optical = OpticalLayer::new();
     let ok_span = optical.add_span("land-seg", 800.0, false, 4);
@@ -110,6 +111,7 @@ pub fn capacity_planning_in_the_dark() -> WarStoryReport {
 /// with no cause ("it took weeks"); the SMN's wavelength↔link dependency
 /// traces the flaps to the optical configuration and retunes, after which
 /// the simulated flap rate collapses.
+#[must_use]
 pub fn wavelength_modulation_and_resilience() -> WarStoryReport {
     let mut optical = OpticalLayer::new();
     let span = optical.add_span("metro", 760.0, false, 2);
@@ -161,6 +163,7 @@ pub fn wavelength_modulation_and_resilience() -> WarStoryReport {
 /// (observer-first) triage routes the incident to the cluster's application
 /// team; the SMN computes that the failing probes depend on the WAN and
 /// routes to the network team while informing the cluster team.
+#[must_use]
 pub fn wan_flaps_impacting_cluster() -> WarStoryReport {
     let d = RedditDeployment::build();
     let fault = FaultSpec {
@@ -209,6 +212,7 @@ pub fn wan_flaps_impacting_cluster() -> WarStoryReport {
 /// "unique" incidents, redundant investigation). The SMN aggregates the
 /// alerts by coarse label into one high-priority incident routed to the
 /// database team.
+#[must_use]
 pub fn database_failure_fanout() -> WarStoryReport {
     let d = RedditDeployment::build();
     let fault = FaultSpec {
@@ -273,6 +277,7 @@ pub fn database_failure_fanout() -> WarStoryReport {
 }
 
 /// Run all four war stories.
+#[must_use]
 pub fn run_all() -> Vec<WarStoryReport> {
     vec![
         capacity_planning_in_the_dark(),

@@ -180,7 +180,8 @@ pub fn replay_campaign(
         ControllerConfig::default(),
     );
     controller.set_obs(obs.clone());
-    let mut injector = cfg.chaos.clone().map(|c| ChaosInjector::new(c).with_obs(obs.clone()));
+    let mut injector: Option<ChaosInjector> =
+        cfg.chaos.clone().map(|c| ChaosInjector::new(c).with_obs(obs.clone()));
 
     let mut crashes = 0usize;
     for (i, fault) in faults.iter().enumerate() {

@@ -47,12 +47,14 @@ pub struct AccessPolicy {
 
 impl AccessPolicy {
     /// Policy with no grants (owners only).
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// A sensible default for an SMN: every team can read every dataset
     /// (global visibility is the whole point), writes stay owner-only.
+    #[must_use]
     pub fn global_read() -> Self {
         let mut p = Self::new();
         p.grant(Grant { dataset: "*".into(), grantee: "*".into(), action: Action::Read });
@@ -73,6 +75,7 @@ impl AccessPolicy {
 
     /// Whether `team` may perform `action` on `dataset`. Owners are always
     /// allowed; unknown datasets are always denied.
+    #[must_use]
     pub fn allowed(&self, catalog: &Catalog, team: &str, dataset: &str, action: Action) -> bool {
         let Some(d) = catalog.get(dataset) else {
             return false;
@@ -114,6 +117,7 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Backoff interval before retry number `retry` (0-based).
+    #[must_use]
     pub fn backoff_secs(&self, retry: u32) -> f64 {
         (self.base_backoff_secs * self.multiplier.powi(retry as i32)).min(self.max_backoff_secs)
     }
@@ -161,6 +165,7 @@ impl Default for CircuitBreaker {
 impl CircuitBreaker {
     /// Breaker tripping after `failure_threshold` consecutive failures,
     /// half-opening after `cooldown` fast-failed calls.
+    #[must_use]
     pub fn new(failure_threshold: u32, cooldown: u64) -> Self {
         assert!(failure_threshold > 0, "threshold must be positive");
         CircuitBreaker {
@@ -173,6 +178,7 @@ impl CircuitBreaker {
     }
 
     /// Whether the circuit is currently open (failing fast).
+    #[must_use]
     pub fn is_open(&self) -> bool {
         matches!(self.state, BreakerState::Open { .. })
     }
@@ -227,6 +233,7 @@ pub struct ResilientAccess {
 
 impl ResilientAccess {
     /// Build from a retry policy and breaker.
+    #[must_use]
     pub fn new(retry: RetryPolicy, breaker: CircuitBreaker) -> Self {
         ResilientAccess { retry, breaker, total_backoff_secs: 0.0, total_retries: 0 }
     }

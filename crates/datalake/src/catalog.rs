@@ -36,6 +36,7 @@ pub struct SchemaField {
 
 impl SchemaField {
     /// Convenience constructor.
+    #[must_use]
     pub fn new(name: &str, ty: &str, unit: &str) -> Self {
         Self { name: name.into(), ty: ty.into(), unit: unit.into() }
     }
@@ -64,6 +65,7 @@ pub struct Catalog {
 
 impl Catalog {
     /// Empty catalog.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -79,21 +81,25 @@ impl Catalog {
     }
 
     /// Look up by exact name.
+    #[must_use]
     pub fn get(&self, name: &str) -> Option<&DatasetDescriptor> {
         self.datasets.iter().find(|d| d.name == name)
     }
 
     /// All datasets owned by `team` — cross-team discovery.
+    #[must_use]
     pub fn by_team(&self, team: &str) -> Vec<&DatasetDescriptor> {
         self.datasets.iter().filter(|d| d.team == team).collect()
     }
 
     /// All datasets of a data type.
+    #[must_use]
     pub fn by_type(&self, ty: DataType) -> Vec<&DatasetDescriptor> {
         self.datasets.iter().filter(|d| d.data_type == ty).collect()
     }
 
     /// Free-text search over names and descriptions (case-insensitive).
+    #[must_use]
     pub fn search(&self, query: &str) -> Vec<&DatasetDescriptor> {
         let q = query.to_lowercase();
         self.datasets
@@ -105,11 +111,13 @@ impl Catalog {
     }
 
     /// Number of registered datasets.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.datasets.len()
     }
 
     /// Whether the catalog is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.datasets.is_empty()
     }
@@ -117,6 +125,7 @@ impl Catalog {
     /// Serialize the whole catalog as JSON (the queryable export surface).
     /// Serialization of plain data cannot fail; if it ever does, the error
     /// is returned in-band rather than panicking the control plane.
+    #[must_use]
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
     }
@@ -124,6 +133,7 @@ impl Catalog {
 
 /// The built-in descriptors for the record types of `smn-telemetry`, so
 /// every SMN instance starts with a uniform-schema catalog.
+#[must_use]
 pub fn builtin_descriptors() -> Vec<DatasetDescriptor> {
     vec![
         DatasetDescriptor {

@@ -59,6 +59,7 @@ pub enum LakeError {
 
 impl LakeError {
     /// Whether retrying the same operation could plausibly succeed.
+    #[must_use]
     pub fn is_transient(&self) -> bool {
         matches!(self, LakeError::QueryFailed { .. })
     }
@@ -98,6 +99,7 @@ pub struct Outage {
 
 impl Outage {
     /// Whether a query over `[start, end)` touches this outage.
+    #[must_use]
     pub fn overlaps(&self, start: Ts, end: Ts) -> bool {
         start < self.end && self.start < end
     }
@@ -149,11 +151,13 @@ impl Default for FaultProfile {
 
 impl FaultProfile {
     /// A profile that never fails.
+    #[must_use]
     pub fn reliable() -> Self {
         Self::default()
     }
 
     /// Set the transient per-query error rate.
+    #[must_use]
     pub fn with_error_rate(mut self, rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "error rate must be in [0, 1]");
         self.error_rate = rate;
@@ -161,6 +165,7 @@ impl FaultProfile {
     }
 
     /// Add an unavailability window.
+    #[must_use]
     pub fn with_outage(mut self, start: Ts, end: Ts) -> Self {
         assert!(start < end, "empty outage window");
         self.outages.push(Outage { start, end });
@@ -168,6 +173,7 @@ impl FaultProfile {
     }
 
     /// Add an unavailability window confined to one dataset.
+    #[must_use]
     pub fn with_dataset_outage(mut self, dataset: &str, start: Ts, end: Ts) -> Self {
         assert!(start < end, "empty outage window");
         self.dataset_outages
@@ -176,6 +182,7 @@ impl FaultProfile {
     }
 
     /// Set the fault seed.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self

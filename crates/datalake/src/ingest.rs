@@ -44,11 +44,13 @@ pub struct DedupDenoiser {
 
 impl DedupDenoiser {
     /// New denoiser with the given suppression window.
+    #[must_use]
     pub fn new(window_secs: u64) -> Self {
         Self { window_secs, seen: HashMap::new(), last_sweep: Ts(0) }
     }
 
     /// Number of `(component, kind)` pairs currently tracked.
+    #[must_use]
     pub fn tracked(&self) -> usize {
         self.seen.len()
     }

@@ -22,11 +22,13 @@ pub struct ProtectedWindow {
 
 impl ProtectedWindow {
     /// Window of `pad_secs` on each side of an incident instant.
+    #[must_use]
     pub fn around(incident: Ts, pad_secs: u64) -> Self {
         Self { start: Ts(incident.0.saturating_sub(pad_secs)), end: incident + pad_secs }
     }
 
     /// Whether `ts` falls inside the window.
+    #[must_use]
     pub fn contains(&self, ts: Ts) -> bool {
         self.start <= ts && ts < self.end
     }

@@ -71,6 +71,7 @@ impl<T> Default for TimeStore<T> {
 
 impl<T: Timestamped> TimeStore<T> {
     /// Empty store.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -94,11 +95,13 @@ impl<T: Timestamped> TimeStore<T> {
     }
 
     /// All records.
+    #[must_use]
     pub fn all(&self) -> &[T] {
         &self.records
     }
 
     /// Records with `start <= ts < end`.
+    #[must_use]
     pub fn range(&self, start: Ts, end: Ts) -> &[T] {
         let lo = self.records.partition_point(|r| r.ts() < start);
         let hi = self.records.partition_point(|r| r.ts() < end);
@@ -106,11 +109,13 @@ impl<T: Timestamped> TimeStore<T> {
     }
 
     /// Number of records.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
     /// Whether the store is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
@@ -124,6 +129,7 @@ impl<T: Timestamped> TimeStore<T> {
     }
 
     /// Timestamp of the newest record.
+    #[must_use]
     pub fn latest_ts(&self) -> Option<Ts> {
         self.records.last().map(|r| r.ts())
     }
@@ -152,6 +158,7 @@ pub struct Clds {
 
 impl Clds {
     /// A CLDS with the built-in catalog pre-registered.
+    #[must_use]
     pub fn new() -> Self {
         let clds = Clds::default();
         {

@@ -35,6 +35,7 @@ pub struct CoarseDepGraph {
 
 impl CoarseDepGraph {
     /// Empty CDG.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -61,26 +62,31 @@ impl CoarseDepGraph {
     }
 
     /// Team id by name.
+    #[must_use]
     pub fn by_name(&self, name: &str) -> Option<NodeId> {
         self.name_index.get(name).copied()
     }
 
     /// Team payload.
+    #[must_use]
     pub fn team(&self, id: NodeId) -> &Team {
         self.graph.node(id)
     }
 
     /// Number of teams.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.graph.node_count()
     }
 
     /// True when the CDG has no teams.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.graph.node_count() == 0
     }
 
     /// Team names in node order.
+    #[must_use]
     pub fn team_names(&self) -> Vec<&str> {
         self.graph.nodes().map(|(_, t)| t.name.as_str()).collect()
     }
@@ -88,6 +94,7 @@ impl CoarseDepGraph {
     /// Derive the CDG from a fine-grained graph: this is *coarsening* —
     /// mapping `Microservice → team dependency` (Table 2). Nodes merge by
     /// team; any cross-team fine edge induces the coarse edge.
+    #[must_use]
     pub fn from_fine(fine: &FineDepGraph) -> Self {
         let contraction = fine.graph.contract(
             |_, c| c.team.clone(),
@@ -127,6 +134,7 @@ impl CoarseDepGraph {
 
     /// Teams that transitively depend on `team` (including itself): the
     /// expected set of symptom-bearing teams if only `team` failed.
+    #[must_use]
     pub fn dependents_of(&self, team: NodeId) -> HashSet<NodeId> {
         self.graph.reaching(team)
     }
@@ -136,6 +144,7 @@ impl CoarseDepGraph {
     /// fraction with no fine-grained path `a ⇝ b`. Zero means the CDG is a
     /// lossless summary; higher values mean coarser routing (Table 2's
     /// "What's Lost" for CDGs).
+    #[must_use]
     pub fn false_dependency_rate(&self, fine: &FineDepGraph) -> f64 {
         let mut implied = 0usize;
         let mut false_deps = 0usize;

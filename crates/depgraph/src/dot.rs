@@ -6,6 +6,7 @@ use crate::coarse::CoarseDepGraph;
 use crate::fine::FineDepGraph;
 
 /// Render a CDG as a Graphviz digraph (Figure 3's team-level view).
+#[must_use]
 pub fn cdg_to_dot(cdg: &CoarseDepGraph, title: &str) -> String {
     // `fmt::Write` into a String is infallible; discard the Ok results
     // rather than panicking on an error that cannot happen.
@@ -30,6 +31,7 @@ pub fn cdg_to_dot(cdg: &CoarseDepGraph, title: &str) -> String {
 }
 
 /// Render a fine-grained dependency graph as DOT, clustered by team.
+#[must_use]
 pub fn fine_to_dot(fine: &FineDepGraph, title: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", escape(title));

@@ -48,6 +48,7 @@ impl Layer {
     /// application-side (L7). This is the alignment that lets the incident
     /// engine and the coarsening layer treat `FineDepGraph` components and
     /// stack elements uniformly.
+    #[must_use]
     pub fn stack_layer(self) -> smn_topology::LayerId {
         match self {
             Layer::Physical => smn_topology::LayerId::L1,
@@ -98,6 +99,7 @@ pub struct FineDepGraph {
 
 impl FineDepGraph {
     /// Empty graph.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -120,31 +122,37 @@ impl FineDepGraph {
     }
 
     /// Component id by name.
+    #[must_use]
     pub fn by_name(&self, name: &str) -> Option<NodeId> {
         self.name_index.get(name).copied()
     }
 
     /// Component payload.
+    #[must_use]
     pub fn component(&self, id: NodeId) -> &Component {
         self.graph.node(id)
     }
 
     /// Number of components.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.graph.node_count()
     }
 
     /// True when the graph has no components.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.graph.node_count() == 0
     }
 
     /// All components of a team.
+    #[must_use]
     pub fn team_components(&self, team: &str) -> Vec<NodeId> {
         self.graph.nodes().filter(|(_, c)| c.team == team).map(|(id, _)| id).collect()
     }
 
     /// Distinct team names in insertion order.
+    #[must_use]
     pub fn teams(&self) -> Vec<String> {
         let mut out: Vec<String> = Vec::new();
         for (_, c) in self.graph.nodes() {
@@ -157,6 +165,7 @@ impl FineDepGraph {
 
     /// Components that transitively depend on `failed` (the blast radius of
     /// a fault at `failed`, including itself).
+    #[must_use]
     pub fn blast_radius(&self, failed: NodeId) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self.graph.reaching(failed).into_iter().collect();
         v.sort();
@@ -165,6 +174,7 @@ impl FineDepGraph {
 
     /// The L7 face of this graph for the unified layer stack: component
     /// names in node order, so `ComponentId(i)` is node `i`.
+    #[must_use]
     pub fn service_layer(&self) -> smn_topology::ServiceLayer {
         smn_topology::ServiceLayer::from_names(
             self.graph.nodes().map(|(_, c)| c.name.clone()).collect(),
@@ -173,6 +183,7 @@ impl FineDepGraph {
 
     /// Components whose [`Layer`] maps onto the given stack layer, as
     /// typed stack [`smn_topology::ComponentId`]s in node order.
+    #[must_use]
     pub fn components_in_stack_layer(
         &self,
         layer: smn_topology::LayerId,

@@ -49,6 +49,7 @@ pub struct SuggestedEdge {
 /// support and returned when supported by at least `min_support` incidents.
 /// Teams unknown to the CDG are ignored (resolutions can involve teams the
 /// sketch has not modeled yet — that is a different refinement).
+#[must_use]
 pub fn suggest_edges(
     cdg: &CoarseDepGraph,
     history: &[ResolvedIncident],

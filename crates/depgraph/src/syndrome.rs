@@ -28,6 +28,7 @@ pub struct Syndrome(pub Vec<f64>);
 
 impl Syndrome {
     /// All-zero syndrome for a CDG of `n` teams.
+    #[must_use]
     pub fn zeros(n: usize) -> Syndrome {
         Syndrome(vec![0.0; n])
     }
@@ -42,21 +43,25 @@ impl Syndrome {
     }
 
     /// Number of teams.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.0.len()
     }
 
     /// True when the syndrome covers zero teams.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
 
     /// Whether no team shows symptoms.
+    #[must_use]
     pub fn is_quiet(&self) -> bool {
         self.0.iter().all(|&v| v == 0.0)
     }
 
     /// Euclidean norm.
+    #[must_use]
     pub fn norm(&self) -> f64 {
         self.0.iter().map(|v| v * v).sum::<f64>().sqrt()
     }
@@ -64,6 +69,7 @@ impl Syndrome {
 
 /// Cosine similarity of two syndromes in `[0, 1]` (entries are
 /// non-negative). Returns 0 when either vector is all-zero.
+#[must_use]
 pub fn cosine_similarity(a: &Syndrome, b: &Syndrome) -> f64 {
     assert_eq!(a.len(), b.len(), "syndrome dimension mismatch");
     let dot: f64 = a.0.iter().zip(&b.0).map(|(x, y)| x * y).sum();
@@ -76,6 +82,7 @@ pub fn cosine_similarity(a: &Syndrome, b: &Syndrome) -> f64 {
 }
 
 /// Jaccard overlap of the *supports* of two syndromes (ablation variant).
+#[must_use]
 pub fn jaccard_similarity(a: &Syndrome, b: &Syndrome) -> f64 {
     assert_eq!(a.len(), b.len(), "syndrome dimension mismatch");
     let mut inter = 0usize;
@@ -127,11 +134,13 @@ pub struct Explainability<'a> {
 impl<'a> Explainability<'a> {
     /// Precompute expected single-team-failure syndromes for `cdg` with the
     /// paper's settings (closure propagation, cosine similarity).
+    #[must_use]
     pub fn new(cdg: &'a CoarseDepGraph) -> Self {
         Self::with_options(cdg, Propagation::Closure, Similarity::Cosine)
     }
 
     /// Variant constructor for ablations.
+    #[must_use]
     pub fn with_options(
         cdg: &'a CoarseDepGraph,
         propagation: Propagation,
@@ -154,17 +163,20 @@ impl<'a> Explainability<'a> {
     }
 
     /// The CDG this was built against.
+    #[must_use]
     pub fn cdg(&self) -> &CoarseDepGraph {
         self.cdg
     }
 
     /// Expected syndrome if only `team` failed.
+    #[must_use]
     pub fn expected_syndrome(&self, team: NodeId) -> &Syndrome {
         &self.expected[team.index()]
     }
 
     /// Symptom explainability of `team` for an observed syndrome: how well
     /// "only `team` failed" explains what is seen, in `[0, 1]`.
+    #[must_use]
     pub fn explainability(&self, observed: &Syndrome, team: NodeId) -> f64 {
         let exp = &self.expected[team.index()];
         match self.similarity {
@@ -175,6 +187,7 @@ impl<'a> Explainability<'a> {
 
     /// Explainability of every team for `observed`, in CDG node order —
     /// the extra feature vector the CLTO feeds its classifier (§5).
+    #[must_use]
     pub fn explainability_vector(&self, observed: &Syndrome) -> Vec<f64> {
         (0..self.cdg.len() as u32).map(|t| self.explainability(observed, NodeId(t))).collect()
     }
@@ -182,6 +195,7 @@ impl<'a> Explainability<'a> {
     /// The team whose single-failure syndrome best explains `observed`
     /// (highest explainability; ties broken by lowest node id). `None` when
     /// the observed syndrome is quiet.
+    #[must_use]
     pub fn best_team(&self, observed: &Syndrome) -> Option<NodeId> {
         if observed.is_quiet() {
             return None;
@@ -246,7 +260,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn cosine_rejects_mismatched_dims() {
-        cosine_similarity(&Syndrome::zeros(2), &Syndrome::zeros(3));
+        let _ = cosine_similarity(&Syndrome::zeros(2), &Syndrome::zeros(3));
     }
 
     #[test]

@@ -114,6 +114,7 @@ impl ScoutsRouter {
                     .gates
                     .iter()
                     .enumerate()
+                    // smn-lint: allow(deep/unresolved-call) -- gate is a RandomForest from self.gates; tuple closure params are outside the lexical typer
                     .map(|(ti, gate)| gate.predict_proba(&local[ti].features[row])[1])
                     .collect();
                 if let Some(first_claimer) = probs.iter().position(|&p| p >= CLAIM_THRESHOLD) {

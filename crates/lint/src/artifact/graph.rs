@@ -144,6 +144,7 @@ impl<'a> GraphView<'a> {
     }
 
     /// Payload field `name` of node `id`, when it is a string.
+    #[must_use]
     pub fn node_name(&self, id: usize) -> Option<&'a str> {
         match self.payloads.get(id)?.get("name")? {
             Value::Str(s) => Some(s.as_str()),

@@ -35,6 +35,7 @@ impl fmt::Display for Step {
 }
 
 /// Render a path as `root.graph.edges[3].dst` for messages.
+#[must_use]
 pub fn render_path(path: &[Step]) -> String {
     let mut out = String::from("$");
     for s in path {
@@ -45,6 +46,7 @@ pub fn render_path(path: &[Step]) -> String {
 
 /// `(line, col)` (1-based) where the value addressed by `path` starts in
 /// `src`, or `None` when the path does not resolve.
+#[must_use]
 pub fn locate(src: &str, path: &[Step]) -> Option<(u32, u32)> {
     let mut w = Walker { chars: src.chars().collect(), pos: 0, line: 1, col: 1 };
     w.walk(path)

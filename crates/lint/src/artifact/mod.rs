@@ -34,6 +34,13 @@
 //!   layer, locus bucket, and degradation rung, appear at most once,
 //!   and carry a hit count consistent with its status; the summary
 //!   tallies must agree with the rows they summarize.
+//! - `"callgraph"` — `{kind, schema, functions, edges, unresolved,
+//!   counts}`: the canonical call-graph artifact `smn-lint --deep`
+//!   emits. Functions must be strictly sorted by id (sortedness is the
+//!   byte-stability contract), edges by `(caller, callee, line)` and
+//!   unresolved sites by `(caller, line, name)`; every node index in an
+//!   edge or candidate list must fall inside the function population;
+//!   the `counts` block must agree with the arrays it summarizes.
 //!
 //! Every check first gates through the *real* workspace serde types
 //! ([`FineDepGraph`], [`Wan`], [`Srlg`], [`FaultSpec`], …) so the checker
@@ -72,6 +79,7 @@ pub struct Checker<'a> {
 
 impl<'a> Checker<'a> {
     /// Concatenate a base path with a tail.
+    #[must_use]
     pub fn path(&self, base: &[Step], tail: &[Step]) -> Vec<Step> {
         base.iter().chain(tail.iter()).cloned().collect()
     }
@@ -96,11 +104,30 @@ impl<'a> Checker<'a> {
 /// Check every `*.json` under `dir` (recursively, in sorted order),
 /// reporting paths relative to `root`. Returns the findings and the number
 /// of artifact files checked.
+#[must_use]
 pub fn check_dir(root: &Path, dir: &Path) -> (Vec<Diagnostic>, usize) {
     let mut files = Vec::new();
-    collect_json(dir, &mut files);
+    let mut dir_errors = Vec::new();
+    collect_json(dir, &mut files, &mut dir_errors);
     files.sort();
     let mut findings = Vec::new();
+    // Same discipline as the source engine: an unreadable directory is a
+    // finding, never a silently shorter scan.
+    for (bad_dir, err) in dir_errors {
+        let rel = bad_dir
+            .strip_prefix(root)
+            .unwrap_or(&bad_dir)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        findings.push(Diagnostic::new(
+            "artifact/unreadable",
+            Level::Deny,
+            &rel,
+            0,
+            0,
+            format!("cannot read artifact directory: {err}"),
+        ));
+    }
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -122,12 +149,22 @@ pub fn check_dir(root: &Path, dir: &Path) -> (Vec<Diagnostic>, usize) {
     (findings, files.len())
 }
 
-fn collect_json(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
+fn collect_json(
+    dir: &Path,
+    out: &mut Vec<std::path::PathBuf>,
+    errors: &mut Vec<(std::path::PathBuf, String)>,
+) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            errors.push((dir.to_path_buf(), e.to_string()));
+            return;
+        }
+    };
     for entry in entries.flatten() {
         let path = entry.path();
         if path.is_dir() {
-            collect_json(&path, out);
+            collect_json(&path, out, errors);
         } else if path.extension().is_some_and(|e| e == "json") {
             out.push(path);
         }
@@ -135,6 +172,7 @@ fn collect_json(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
 }
 
 /// Check one artifact given its workspace-relative name and source text.
+#[must_use]
 pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
     let mut ck = Checker { file, src, findings: Vec::new() };
     match serde_json::from_str::<Value>(src) {
@@ -150,12 +188,13 @@ pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
                 "stack" => check_stack(&mut ck, &v),
                 "remediation-plan" => check_remediation_plan(&mut ck, &v),
                 "coverage-report" => check_coverage_report(&mut ck, &v),
+                "callgraph" => check_callgraph(&mut ck, &v),
                 other => ck.emit(
                     "artifact/unknown-kind",
                     vec![Step::key("kind")],
                     format!("unknown artifact kind `{other}`"),
                     "expected one of: cdg, topology, fault-campaign, coarsening, \
-                     stack, remediation-plan, coverage-report",
+                     stack, remediation-plan, coverage-report, callgraph",
                 ),
             },
             _ => ck.emit(
@@ -163,7 +202,7 @@ pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
                 vec![],
                 "artifact envelope lacks a string `kind` field",
                 "expected one of: cdg, topology, fault-campaign, coarsening, \
-                 stack, remediation-plan, coverage-report",
+                 stack, remediation-plan, coverage-report, callgraph",
             ),
         },
     }
@@ -1279,6 +1318,225 @@ fn check_remediation_action(
     }
 }
 
+// ---------------------------------------------------------- callgraph ----
+
+/// Validate the canonical call-graph artifact `smn-lint --deep` writes
+/// (`CallGraph::to_canonical_json`). Three invariant families:
+///
+/// - **Order** (`artifact/callgraph-order`): functions strictly sorted by
+///   id, edges by `(caller, callee, line)`, unresolved sites by
+///   `(caller, line, name)`. Sorted output is the byte-stability contract
+///   — a shuffled artifact was not produced by the canonical writer.
+/// - **References** (`artifact/callgraph-ref`): every caller/callee index
+///   and every unresolved candidate must fall inside the function array.
+/// - **Counts** (`artifact/callgraph-count`): the `counts` block must
+///   agree with the arrays it summarizes.
+#[allow(clippy::too_many_lines)] // one block per invariant family
+fn check_callgraph(ck: &mut Checker<'_>, v: &Value) {
+    match u64_of(v.get("schema")) {
+        Some(1) => {}
+        other => {
+            ck.emit(
+                "artifact/unreadable",
+                vec![Step::key("schema")],
+                format!("callgraph schema {other:?} is not the supported version 1"),
+                "",
+            );
+            return;
+        }
+    }
+    let (Some(Value::Seq(functions)), Some(Value::Seq(edges)), Some(Value::Seq(unresolved))) =
+        (v.get("functions"), v.get("edges"), v.get("unresolved"))
+    else {
+        ck.emit(
+            "artifact/unreadable",
+            vec![],
+            "callgraph lacks functions/edges/unresolved arrays",
+            "",
+        );
+        return;
+    };
+    let n_fns = functions.len() as u64;
+
+    // Function ids: strictly increasing (sorted, no duplicates).
+    let mut prev_id: Option<&str> = None;
+    for (i, f) in functions.iter().enumerate() {
+        let Some(id) = str_of(f.get("id")) else {
+            ck.emit(
+                "artifact/unreadable",
+                vec![Step::key("functions"), Step::Idx(i), Step::key("id")],
+                format!("function {i} lacks a string `id`"),
+                "",
+            );
+            continue;
+        };
+        if let Some(prev) = prev_id {
+            if prev == id {
+                ck.emit(
+                    "artifact/duplicate-id",
+                    vec![Step::key("functions"), Step::Idx(i), Step::key("id")],
+                    format!("duplicate function id `{id}`"),
+                    "node ids key edges and candidates; the builder suffixes collisions",
+                );
+            } else if prev > id {
+                ck.emit(
+                    "artifact/callgraph-order",
+                    vec![Step::key("functions"), Step::Idx(i)],
+                    format!("function `{id}` sorts before its predecessor `{prev}`"),
+                    "the canonical writer sorts functions by id; order is the \
+                     byte-stability contract",
+                );
+            }
+        }
+        prev_id = Some(id);
+    }
+
+    // Edges: [caller, callee, line] triples, in-range, sorted.
+    let mut prev_edge: Option<(u64, u64, u64)> = None;
+    for (i, e) in edges.iter().enumerate() {
+        let key = match e {
+            Value::Seq(t) if t.len() == 3 => {
+                let triple = (u64_of(t.first()), u64_of(t.get(1)), u64_of(t.get(2)));
+                match triple {
+                    (Some(a), Some(b), Some(l)) => (a, b, l),
+                    _ => {
+                        ck.emit(
+                            "artifact/unreadable",
+                            vec![Step::key("edges"), Step::Idx(i)],
+                            format!("edge {i} is not an integer triple"),
+                            "expected [caller, callee, line]",
+                        );
+                        continue;
+                    }
+                }
+            }
+            _ => {
+                ck.emit(
+                    "artifact/unreadable",
+                    vec![Step::key("edges"), Step::Idx(i)],
+                    format!("edge {i} is not an integer triple"),
+                    "expected [caller, callee, line]",
+                );
+                continue;
+            }
+        };
+        for (role, idx) in [("caller", key.0), ("callee", key.1)] {
+            if idx >= n_fns {
+                ck.emit(
+                    "artifact/callgraph-ref",
+                    vec![Step::key("edges"), Step::Idx(i)],
+                    format!("edge {i} {role} {idx} is out of range ({n_fns} function(s))"),
+                    "",
+                );
+            }
+        }
+        if let Some(prev) = prev_edge {
+            if prev > key {
+                ck.emit(
+                    "artifact/callgraph-order",
+                    vec![Step::key("edges"), Step::Idx(i)],
+                    format!("edge {i} breaks (caller, callee, line) order"),
+                    "the canonical writer sorts edges; order is the byte-stability contract",
+                );
+            }
+        }
+        prev_edge = Some(key);
+    }
+
+    // Unresolved sites: in-range caller + candidates, sorted.
+    let mut prev_site: Option<(u64, u64, String)> = None;
+    for (i, u) in unresolved.iter().enumerate() {
+        let (Some(caller), Some(line), Some(name)) =
+            (u64_of(u.get("caller")), u64_of(u.get("line")), str_of(u.get("name")))
+        else {
+            ck.emit(
+                "artifact/unreadable",
+                vec![Step::key("unresolved"), Step::Idx(i)],
+                format!("unresolved site {i} lacks caller/line/name"),
+                "",
+            );
+            continue;
+        };
+        if caller >= n_fns {
+            ck.emit(
+                "artifact/callgraph-ref",
+                vec![Step::key("unresolved"), Step::Idx(i), Step::key("caller")],
+                format!(
+                    "unresolved site {i} caller {caller} is out of range \
+                     ({n_fns} function(s))"
+                ),
+                "",
+            );
+        }
+        for (j, cand) in u64_seq(u.get("candidates")).iter().enumerate() {
+            if *cand >= n_fns {
+                ck.emit(
+                    "artifact/callgraph-ref",
+                    vec![
+                        Step::key("unresolved"),
+                        Step::Idx(i),
+                        Step::key("candidates"),
+                        Step::Idx(j),
+                    ],
+                    format!(
+                        "unresolved site {i} candidate {cand} is out of range \
+                         ({n_fns} function(s))"
+                    ),
+                    "",
+                );
+            }
+        }
+        let key = (caller, line, name.to_string());
+        if let Some(prev) = &prev_site {
+            if *prev > key {
+                ck.emit(
+                    "artifact/callgraph-order",
+                    vec![Step::key("unresolved"), Step::Idx(i)],
+                    format!("unresolved site {i} breaks (caller, line, name) order"),
+                    "the canonical writer sorts unresolved sites; order is the \
+                     byte-stability contract",
+                );
+            }
+        }
+        prev_site = Some(key);
+    }
+
+    // Counts block: must summarize the arrays it sits next to.
+    let Some(counts) = optional(v, "counts") else {
+        ck.emit("artifact/unreadable", vec![], "callgraph lacks a `counts` block", "");
+        return;
+    };
+    for (key, actual) in [
+        ("functions", functions.len() as u64),
+        ("edges", edges.len() as u64),
+        ("unresolved", unresolved.len() as u64),
+    ] {
+        match u64_of(counts.get(key)) {
+            Some(declared) if declared != actual => ck.emit(
+                "artifact/callgraph-count",
+                vec![Step::key("counts"), Step::key(key)],
+                format!("counts.{key} declares {declared}, but the array holds {actual}"),
+                "the counts block summarizes the arrays and must agree with them",
+            ),
+            None => ck.emit(
+                "artifact/callgraph-count",
+                vec![Step::key("counts")],
+                format!("counts lacks an integer `{key}`"),
+                "",
+            ),
+            Some(_) => {}
+        }
+    }
+    if u64_of(counts.get("external")).is_none() {
+        ck.emit(
+            "artifact/callgraph-count",
+            vec![Step::key("counts")],
+            "counts lacks an integer `external`",
+            "the external tally has no backing array; it is still part of the contract",
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1452,6 +1710,98 @@ mod tests {
              "count":1,"status":"covered"}]"#;
         let out = check_str("r.json", &report(2, 1.0, dup));
         assert!(out.iter().any(|d| d.rule == "artifact/duplicate-id"), "{out:?}");
+    }
+
+    #[test]
+    fn callgraph_checks() {
+        let graph = |functions: &str, edges: &str, unresolved: &str, counts: &str| {
+            format!(
+                r#"{{"kind":"callgraph","schema":1,"functions":{functions},
+                "edges":{edges},"unresolved":{unresolved},"counts":{counts}}}"#
+            )
+        };
+        let fns = r#"[{"id":"core::a"},{"id":"core::b"}]"#;
+        let good = graph(
+            fns,
+            "[[0,1,3],[1,0,9]]",
+            r#"[{"caller":0,"name":"step","line":4,"candidates":[1]}]"#,
+            r#"{"functions":2,"edges":2,"unresolved":1,"external":7}"#,
+        );
+        assert!(check_str("g.json", &good).is_empty(), "{:?}", check_str("g.json", &good));
+
+        // Functions out of id order were not written by the canonical writer.
+        let shuffled = graph(
+            r#"[{"id":"core::b"},{"id":"core::a"}]"#,
+            "[]",
+            "[]",
+            r#"{"functions":2,"edges":0,"unresolved":0,"external":0}"#,
+        );
+        let out = check_str("g.json", &shuffled);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/callgraph-order");
+
+        // A repeated id is a duplicate, not just an order break.
+        let dup = graph(
+            r#"[{"id":"core::a"},{"id":"core::a"}]"#,
+            "[]",
+            "[]",
+            r#"{"functions":2,"edges":0,"unresolved":0,"external":0}"#,
+        );
+        let out = check_str("g.json", &dup);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/duplicate-id");
+
+        // Edge endpoints and unresolved candidates must index real nodes.
+        let dangling = graph(
+            fns,
+            "[[0,2,3]]",
+            r#"[{"caller":5,"name":"step","line":4,"candidates":[9]}]"#,
+            r#"{"functions":2,"edges":1,"unresolved":1,"external":0}"#,
+        );
+        let out = check_str("g.json", &dangling);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().all(|d| d.rule == "artifact/callgraph-ref"));
+
+        // Edge order is part of the canonical contract.
+        let disordered = graph(
+            fns,
+            "[[1,0,9],[0,1,3]]",
+            "[]",
+            r#"{"functions":2,"edges":2,"unresolved":0,"external":0}"#,
+        );
+        let out = check_str("g.json", &disordered);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/callgraph-order");
+
+        // The counts block must agree with the arrays.
+        let miscounted =
+            graph(fns, "[]", "[]", r#"{"functions":3,"edges":0,"unresolved":0,"external":0}"#);
+        let out = check_str("g.json", &miscounted);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/callgraph-count");
+
+        // A missing external tally is a counts failure, not a pass.
+        let no_external = graph(fns, "[]", "[]", r#"{"functions":2,"edges":0,"unresolved":0}"#);
+        let out = check_str("g.json", &no_external);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/callgraph-count");
+
+        // An unknown schema version is unreadable, not silently accepted.
+        let v2 = good.replace("\"schema\":1", "\"schema\":2");
+        let out = check_str("g.json", &v2);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "artifact/unreadable");
+
+        // The real canonical writer round-trips clean through the checker.
+        let g = crate::graph::build(
+            &[(
+                "crates/core/src/lib.rs".to_string(),
+                "pub fn a() { b(); }\npub fn b() {}\n".to_string(),
+            )],
+            &crate::config::Config::default(),
+        );
+        let out = check_str("artifacts/callgraph.json", &g.to_canonical_json());
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

@@ -63,6 +63,42 @@ pub const SOURCE_RULES: &[(&str, Level, &str)] = &[
     ),
 ];
 
+/// Every rule of the deep (whole-workspace call-graph) pass, with its
+/// charter default. These are known for annotation validation even when
+/// `--deep` is not running, so waivers never rot into unknown-rule denies.
+pub const DEEP_RULES: &[(&str, Level, &str)] = &[
+    (
+        "deep/determinism-taint",
+        Level::Deny,
+        "a declared-deterministic function transitively reaches a nondeterminism source",
+    ),
+    (
+        "deep/panic-reachability",
+        Level::Warn,
+        "a public library API function can transitively reach a panic site",
+    ),
+    (
+        "deep/panic-baseline",
+        Level::Deny,
+        "a crate's panic-reachable public API count exceeds the committed panic-baseline.txt",
+    ),
+    (
+        "deep/lock-order-cycle",
+        Level::Deny,
+        "two code paths acquire the same locks in opposite orders (potential deadlock)",
+    ),
+    (
+        "deep/scope-order",
+        Level::Deny,
+        "a lock-guarded collection is mutated from scoped spawns on a deterministic path",
+    ),
+    (
+        "deep/unresolved-call",
+        Level::Warn,
+        "a call site matched several workspace candidates; the graph cannot pick one",
+    ),
+];
+
 /// Rule identifiers of the artifact engine (levels are not configurable:
 /// a structurally invalid artifact is always a deny).
 pub const ARTIFACT_RULES: &[&str] = &[
@@ -93,6 +129,9 @@ pub const ARTIFACT_RULES: &[&str] = &[
     "artifact/unknown-fault-ref",
     "artifact/unknown-cell",
     "artifact/coverage-mismatch",
+    "artifact/callgraph-order",
+    "artifact/callgraph-count",
+    "artifact/callgraph-ref",
 ];
 
 /// The lint configuration.
@@ -138,7 +177,12 @@ impl Default for Config {
                 "crates/cli/".into(),
                 "crates/lint/src/main.rs".into(),
             ],
-            skip: vec!["vendor/".into(), "target/".into(), "crates/lint/tests/fixtures/".into()],
+            skip: vec![
+                "vendor/".into(),
+                "target/".into(),
+                "crates/lint/tests/fixtures/".into(),
+                "crates/lint/tests/deep_fixtures/".into(),
+            ],
         }
     }
 }
@@ -158,17 +202,24 @@ impl Config {
 
     /// The active level for a source rule, `None` when the rule id is
     /// unknown.
+    #[must_use]
     pub fn level(&self, rule: &str) -> Option<Level> {
         if let Some(&l) = self.levels.get(rule) {
             return Some(l);
         }
-        SOURCE_RULES.iter().find(|(id, _, _)| *id == rule).map(|&(_, l, _)| l)
+        SOURCE_RULES
+            .iter()
+            .chain(DEEP_RULES.iter())
+            .find(|(id, _, _)| *id == rule)
+            .map(|&(_, l, _)| l)
     }
 
-    /// True when `rule` names a known source or artifact rule (used to
-    /// validate allow annotations).
+    /// True when `rule` names a known source, deep, or artifact rule
+    /// (used to validate allow annotations).
+    #[must_use]
     pub fn known_rule(&self, rule: &str) -> bool {
         SOURCE_RULES.iter().any(|(id, _, _)| *id == rule)
+            || DEEP_RULES.iter().any(|(id, _, _)| *id == rule)
             || ARTIFACT_RULES.contains(&rule)
             || rule == "all"
     }
@@ -178,16 +229,19 @@ impl Config {
     }
 
     /// Is `path` (workspace-relative) scanned at all?
+    #[must_use]
     pub fn scanned(&self, path: &str) -> bool {
         !Self::matches_any(path, &self.skip)
     }
 
     /// Is `path` a deterministic simulation path?
+    #[must_use]
     pub fn is_deterministic_path(&self, path: &str) -> bool {
         Self::matches_any(path, &self.deterministic_paths)
     }
 
     /// Does `casts/narrowing` apply to `path`?
+    #[must_use]
     pub fn is_cast_path(&self, path: &str) -> bool {
         Self::matches_any(path, &self.cast_paths)
     }
@@ -195,6 +249,7 @@ impl Config {
     /// Do the panic rules apply to `path`? Library code only: binaries
     /// (`src/bin/`, `main.rs`), benches, tests, and exempted crates may
     /// crash loudly.
+    #[must_use]
     pub fn panic_rules_apply(&self, path: &str) -> bool {
         if Self::matches_any(path, &self.panic_exempt) {
             return false;

@@ -18,6 +18,7 @@ pub enum Level {
 
 impl Level {
     /// Lowercase display form.
+    #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             Level::Warn => "warn",
@@ -67,12 +68,14 @@ impl Diagnostic {
     }
 
     /// Attach a fix suggestion.
+    #[must_use]
     pub fn with_note(mut self, note: impl Into<String>) -> Self {
         self.note = note.into();
         self
     }
 
     /// The `file:line:col: level[rule]: message` terminal rendering.
+    #[must_use]
     pub fn render(&self) -> String {
         let mut out = if self.line == 0 {
             format!("{}: {}[{}]: {}", self.file, self.level.as_str(), self.rule, self.message)
@@ -112,6 +115,7 @@ pub struct Report {
 impl Report {
     /// Assemble a report from findings, computing counts and sorting by
     /// (file, line, col, rule) so output order is stable.
+    #[must_use]
     pub fn from_findings(mut findings: Vec<Diagnostic>) -> Self {
         findings.sort_by(|a, b| {
             (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
@@ -134,16 +138,19 @@ impl Report {
     }
 
     /// True when the run should exit non-zero.
+    #[must_use]
     pub fn failed(&self) -> bool {
         self.deny > 0
     }
 
     /// Machine-readable JSON rendering.
+    #[must_use]
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
     }
 
     /// Human rendering: one block per finding plus a summary line.
+    #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
         for d in &self.findings {

@@ -16,8 +16,14 @@
 
 pub mod artifact;
 pub mod config;
+pub mod deep;
 pub mod diag;
+pub mod graph;
+pub mod locks;
+pub mod reach;
+pub mod scan;
 pub mod source;
+pub mod taint;
 
 use std::path::{Path, PathBuf};
 
@@ -26,6 +32,7 @@ use diag::Report;
 
 /// Walk up from `start` to the first directory holding a `Cargo.toml`
 /// that declares `[workspace]`.
+#[must_use]
 pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     let mut dir = Some(start);
     while let Some(d) = dir {
@@ -41,6 +48,7 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Run the source engine over the workspace at `root`.
+#[must_use]
 pub fn run_source(root: &Path, cfg: &Config) -> Report {
     let (findings, files_scanned) = source::scan_workspace(root, cfg);
     let mut report = Report::from_findings(findings);
@@ -49,6 +57,7 @@ pub fn run_source(root: &Path, cfg: &Config) -> Report {
 }
 
 /// Run the artifact engine over every `*.json` under `dir`.
+#[must_use]
 pub fn run_artifacts(root: &Path, dir: &Path) -> Report {
     let (findings, artifacts_checked) = artifact::check_dir(root, dir);
     let mut report = Report::from_findings(findings);

@@ -1,32 +1,43 @@
 //! The `smn-lint` binary: CI gate and developer tool.
 //!
 //! ```text
-//! smn-lint [--workspace] [--artifacts DIR]... [--root PATH] [--json]
+//! smn-lint [--workspace] [--artifacts DIR]... [--deep] [--root PATH] [--json]
+//!          [--callgraph-out PATH] [--write-panic-baseline]
 //! ```
 //!
 //! With no engine flags, runs the source engine plus the artifact engine
-//! over `artifacts/` when that directory exists. Exit codes: 0 clean,
-//! 1 deny-level findings, 2 usage or configuration error.
+//! over `artifacts/` when that directory exists. `--deep` adds the
+//! whole-workspace call-graph pass (determinism taint, panic
+//! reachability vs. `panic-baseline.txt`, lock discipline) and can emit
+//! the canonical call-graph artifact via `--callgraph-out`. Exit codes:
+//! 0 clean, 1 deny-level findings, 2 usage or configuration error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use serde::{Serialize, Value};
 use smn_lint::config::Config;
+use smn_lint::deep::{self, DeepOptions};
 use smn_lint::diag::Report;
-use smn_lint::{find_workspace_root, run_artifacts, run_source};
+use smn_lint::{find_workspace_root, reach, run_artifacts, run_source};
 
-const USAGE: &str = "usage: smn-lint [--workspace] [--artifacts DIR]... [--root PATH] [--json]";
+const USAGE: &str = "usage: smn-lint [--workspace] [--artifacts DIR]... [--deep] [--root PATH] \
+                     [--json] [--callgraph-out PATH] [--write-panic-baseline]";
 
 fn main() -> ExitCode {
     let mut workspace = false;
+    let mut deep_pass = false;
     let mut artifact_dirs: Vec<PathBuf> = Vec::new();
     let mut root_arg: Option<PathBuf> = None;
     let mut json = false;
+    let mut callgraph_out: Option<PathBuf> = None;
+    let mut write_baseline = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
+            "--deep" => deep_pass = true,
             "--artifacts" => match args.next() {
                 Some(dir) => artifact_dirs.push(PathBuf::from(dir)),
                 None => return usage_error("--artifacts needs a directory"),
@@ -35,6 +46,17 @@ fn main() -> ExitCode {
                 Some(dir) => root_arg = Some(PathBuf::from(dir)),
                 None => return usage_error("--root needs a path"),
             },
+            "--callgraph-out" => match args.next() {
+                Some(path) => {
+                    deep_pass = true;
+                    callgraph_out = Some(PathBuf::from(path));
+                }
+                None => return usage_error("--callgraph-out needs a path"),
+            },
+            "--write-panic-baseline" => {
+                deep_pass = true;
+                write_baseline = true;
+            }
             "--json" => json = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -54,7 +76,7 @@ fn main() -> ExitCode {
     };
 
     // Default run: source engine plus the checked-in artifact corpus.
-    if !workspace && artifact_dirs.is_empty() {
+    if !workspace && artifact_dirs.is_empty() && !deep_pass {
         workspace = true;
         let default_dir = root.join("artifacts");
         if default_dir.is_dir() {
@@ -79,10 +101,83 @@ fn main() -> ExitCode {
         report.merge(run_artifacts(&root, &dir));
     }
 
+    let mut deep_result = None;
+    if deep_pass {
+        let baseline_path = root.join("panic-baseline.txt");
+        let baseline = if write_baseline {
+            // Regenerating: the old ratchet (and its findings) are moot.
+            None
+        } else {
+            match std::fs::read_to_string(&baseline_path) {
+                Ok(text) => match reach::parse_baseline(&text) {
+                    Ok(b) => Some(b),
+                    Err(e) => {
+                        eprintln!("smn-lint: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                Err(_) => None,
+            }
+        };
+        let opts = DeepOptions { baseline };
+        let mut result = deep::analyze_workspace(&root, &cfg, &opts);
+
+        if write_baseline {
+            let text = reach::render_baseline(&result.summary.panic_per_crate);
+            if let Err(e) = std::fs::write(&baseline_path, text) {
+                eprintln!("smn-lint: cannot write {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("smn-lint: wrote {}", baseline_path.display());
+            // The per-endpoint warns exist to show the surface when no
+            // ratchet is in force; having just committed the ratchet,
+            // they would only be noise.
+            let findings =
+                result.report.findings.into_iter().filter(|d| d.rule != reach::RULE).collect();
+            result.report = Report::from_findings(findings);
+        }
+        if let Some(out) = &callgraph_out {
+            let out = if out.is_absolute() { out.clone() } else { root.join(out) };
+            if let Err(e) = std::fs::write(&out, &result.callgraph_json) {
+                eprintln!("smn-lint: cannot write {}: {e}", out.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("smn-lint: wrote {}", out.display());
+        }
+        report.merge(result.report.clone());
+        deep_result = Some(result);
+    }
+
     if json {
-        println!("{}", report.to_json());
+        match &deep_result {
+            Some(d) => {
+                let root_value = Value::Map(vec![
+                    ("report".to_string(), report.to_value()),
+                    ("deep".to_string(), d.summary.to_value()),
+                ]);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&root_value)
+                        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+                );
+            }
+            None => println!("{}", report.to_json()),
+        }
     } else {
         print!("{}", report.render());
+        if let Some(d) = &deep_result {
+            let s = &d.summary;
+            println!(
+                "smn-lint --deep: {} function(s), {} edge(s), {} unresolved, {} external; \
+                 {} det endpoint(s); {} panic-reachable public API(s)",
+                s.functions,
+                s.edges,
+                s.unresolved,
+                s.external,
+                s.det_endpoints,
+                s.panic_per_crate.values().sum::<usize>()
+            );
+        }
     }
     if report.failed() {
         ExitCode::FAILURE

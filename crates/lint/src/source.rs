@@ -22,6 +22,7 @@ use syn::{Token, TokenKind};
 
 use crate::config::Config;
 use crate::diag::Diagnostic;
+use crate::scan::{self, Allow, AllowIssueKind};
 
 /// Idents that mean entropy-seeded randomness.
 const RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "OsRng", "from_entropy"];
@@ -38,12 +39,24 @@ const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"]
 
 /// Scan every Rust source file under `root/crates`, returning findings and
 /// the number of files scanned.
+#[must_use]
 pub fn scan_workspace(root: &Path, cfg: &Config) -> (Vec<Diagnostic>, usize) {
     let mut files = Vec::new();
-    collect_rs(&root.join("crates"), &mut files);
+    let mut dir_errors = Vec::new();
+    collect_rs(&root.join("crates"), &mut files, &mut dir_errors);
     files.sort();
 
     let mut findings = Vec::new();
+    // An unreadable directory means an unknown number of files went
+    // unchecked: report it, so a partial scan can't masquerade as clean.
+    for (dir, err) in dir_errors {
+        let rel = dir
+            .strip_prefix(root)
+            .unwrap_or(&dir)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        findings.push(unparsed(&rel, 0, 0, format!("cannot read directory: {err}")));
+    }
     let mut scanned = 0usize;
     for path in files {
         let rel: String = path
@@ -63,12 +76,20 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> (Vec<Diagnostic>, usize) {
     (findings, scanned)
 }
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
+/// Recursively collect `.rs` files under `dir`. A directory that cannot
+/// be read is pushed onto `errors` instead of being silently skipped.
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>, errors: &mut Vec<(PathBuf, String)>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            errors.push((dir.to_path_buf(), e.to_string()));
+            return;
+        }
+    };
     for entry in entries.flatten() {
         let p = entry.path();
         if p.is_dir() {
-            collect_rs(&p, out);
+            collect_rs(&p, out, errors);
         } else if p.extension().is_some_and(|x| x == "rs") {
             out.push(p);
         }
@@ -80,6 +101,7 @@ fn unparsed(file: &str, line: u32, col: u32, message: String) -> Diagnostic {
 }
 
 /// Run every source rule over one file.
+#[must_use]
 pub fn scan_file(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     let file = match syn::parse_file(src) {
         Ok(f) => f,
@@ -101,13 +123,6 @@ pub fn scan_file(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     scan.findings
 }
 
-/// One allow annotation's effect: `rule` waived on lines `start..=end`.
-struct Allow {
-    rule: String,
-    start: u32,
-    end: u32,
-}
-
 struct FileScan<'a> {
     path: &'a str,
     tokens: &'a [Token],
@@ -121,145 +136,45 @@ struct FileScan<'a> {
 impl<'a> FileScan<'a> {
     /// Index of the next non-comment token at or after `idx`.
     fn next_code(&self, idx: usize) -> Option<usize> {
-        (idx..self.tokens.len()).find(|&i| !self.tokens[i].is_comment())
-    }
-
-    /// Last token index (inclusive) of the item starting at `start`: the
-    /// matching close of its first top-level `{`, or its first top-level
-    /// `;`, whichever comes first.
-    fn item_extent(&self, start: usize) -> usize {
-        let mut k = start;
-        while k < self.tokens.len() {
-            let t = &self.tokens[k];
-            if t.is_punct('{') {
-                return syn::matching_close(self.tokens, k)
-                    .unwrap_or(self.tokens.len().saturating_sub(1));
-            }
-            if t.is_punct(';') {
-                return k;
-            }
-            k += 1;
-        }
-        self.tokens.len().saturating_sub(1)
+        scan::next_code(self.tokens, idx)
     }
 
     // ---- allow annotations -------------------------------------------
 
     fn collect_allows(&mut self) {
-        for (idx, tok) in self.tokens.iter().enumerate() {
-            if !tok.is_comment() {
-                continue;
-            }
-            let Some(body) = annotation_body(&tok.text) else { continue };
-            let line = tok.span.line;
-            let (rules, reason_ok) = match parse_allow(body) {
-                Ok(parsed) => parsed,
-                Err(msg) => {
-                    self.push_raw("annotation/unknown-rule", line, tok.span.col, msg, "");
-                    continue;
-                }
-            };
-            if !reason_ok {
-                self.push_raw(
+        let known = |rule: &str| self.cfg.known_rule(rule);
+        let (allows, issues) = scan::collect_allows(self.tokens, &known);
+        self.allows = allows;
+        for issue in issues {
+            match issue.kind {
+                AllowIssueKind::MissingReason => self.push_raw(
                     "annotation/missing-reason",
-                    line,
-                    tok.span.col,
-                    "allow annotation without a `-- reason`".to_string(),
+                    issue.line,
+                    issue.col,
+                    issue.message,
                     "append `-- <why this waiver is sound>` so the exemption stays auditable",
-                );
-            }
-            let (start, end) = self.allow_extent(idx, tok);
-            for rule in rules {
-                if !self.cfg.known_rule(&rule) {
+                ),
+                AllowIssueKind::UnknownRule => {
                     self.push_raw(
                         "annotation/unknown-rule",
-                        line,
-                        tok.span.col,
-                        format!("allow annotation names unknown rule `{rule}`"),
+                        issue.line,
+                        issue.col,
+                        issue.message,
                         "",
                     );
-                    continue;
-                }
-                // A reasonless allow still suppresses nothing: the waiver
-                // only takes effect once it carries its justification.
-                if reason_ok {
-                    self.allows.push(Allow { rule, start, end });
                 }
             }
-        }
-    }
-
-    /// Line range an annotation at token `idx` covers.
-    fn allow_extent(&self, idx: usize, tok: &Token) -> (u32, u32) {
-        if tok.is_inner_doc() {
-            return (1, u32::MAX);
-        }
-        let trailing = self.tokens[..idx]
-            .iter()
-            .rev()
-            .take_while(|t| t.span.line == tok.span.line)
-            .any(|t| !t.is_comment());
-        if trailing {
-            return (tok.span.line, tok.span.line);
-        }
-        match self.next_code(idx + 1) {
-            Some(next) => {
-                let end_idx = self.item_extent(next);
-                let end_line = self.tokens.get(end_idx).map_or(tok.span.line, |t| t.span.line);
-                (tok.span.line, end_line.max(tok.span.line))
-            }
-            None => (tok.span.line, tok.span.line),
         }
     }
 
     fn allowed(&self, rule: &str, line: u32) -> bool {
-        self.allows
-            .iter()
-            .any(|a| (a.rule == rule || a.rule == "all") && a.start <= line && line <= a.end)
+        scan::allowed(&self.allows, rule, line)
     }
 
     // ---- test regions ------------------------------------------------
 
     fn collect_test_ranges(&mut self) {
-        let mut idx = 0usize;
-        while idx < self.tokens.len() {
-            if !self.tokens[idx].is_punct('#') {
-                idx += 1;
-                continue;
-            }
-            let Some(open) = self.next_code(idx + 1) else { break };
-            if !self.tokens[open].is_punct('[') {
-                idx += 1;
-                continue;
-            }
-            let Some(close) = self.matching_bracket(open) else { break };
-            let attr = &self.tokens[open + 1..close];
-            let has = |name: &str| attr.iter().any(|t| t.is_ident(name));
-            if has("test") && !has("not") {
-                let start = self.next_code(close + 1).unwrap_or(close);
-                let end = self.item_extent(start);
-                self.test_ranges.push((idx, end));
-                idx = end + 1;
-            } else {
-                idx = close + 1;
-            }
-        }
-    }
-
-    /// Index of the `]` matching the `[` at `open`.
-    fn matching_bracket(&self, open: usize) -> Option<usize> {
-        let mut depth = 0i64;
-        for (i, t) in self.tokens.iter().enumerate().skip(open) {
-            if t.is_punct('[') {
-                depth += 1;
-            } else if t.is_punct(']') {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(i);
-                }
-            }
-        }
-        None
+        self.test_ranges = scan::collect_test_ranges(self.tokens);
     }
 
     fn in_test(&self, idx: usize) -> bool {
@@ -395,35 +310,6 @@ impl<'a> FileScan<'a> {
     }
 }
 
-/// If `comment` is an smn-lint annotation, the text after the marker.
-fn annotation_body(comment: &str) -> Option<&str> {
-    let body = ["/*!", "/**", "/*", "//!", "///", "//"]
-        .iter()
-        .find_map(|p| comment.strip_prefix(p))
-        .unwrap_or(comment);
-    body.trim_start().strip_prefix("smn-lint:").map(str::trim)
-}
-
-/// Parse `allow(rule, ...) -- reason`: the rule list and whether a
-/// non-empty reason is present.
-fn parse_allow(body: &str) -> Result<(Vec<String>, bool), String> {
-    let rest = body
-        .strip_prefix("allow")
-        .map(str::trim_start)
-        .and_then(|r| r.strip_prefix('('))
-        .ok_or_else(|| format!("unparseable smn-lint annotation: `{body}`"))?;
-    let close =
-        rest.find(')').ok_or_else(|| format!("unparseable smn-lint annotation: `{body}`"))?;
-    let rules: Vec<String> =
-        rest[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
-    if rules.is_empty() {
-        return Err("allow annotation lists no rules".to_string());
-    }
-    let tail = rest[close + 1..].trim_start().trim_end_matches("*/").trim();
-    let reason_ok = tail.strip_prefix("--").is_some_and(|r| !r.trim().is_empty());
-    Ok((rules, reason_ok))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,5 +416,23 @@ mod tests {
     fn allow_of_unknown_rule_is_a_finding() {
         let src = "// smn-lint: allow(panic/bogus) -- hm\nfn f() {}\n";
         assert_eq!(rules_of(LIB, src), vec!["annotation/unknown-rule"]);
+    }
+
+    #[test]
+    fn unreadable_crates_dir_is_reported_not_skipped() {
+        // A root whose `crates` entry is a plain file: read_dir fails, and
+        // the failure must surface as a finding instead of an empty clean
+        // scan.
+        let root = std::env::temp_dir().join("smn-lint-unreadable-dir-test");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create test root");
+        std::fs::write(root.join("crates"), b"not a directory").expect("write blocker file");
+        let (findings, scanned) = scan_workspace(&root, &Config::default());
+        let _ = std::fs::remove_dir_all(&root);
+        assert_eq!(scanned, 0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "source/unparsed");
+        assert!(findings[0].message.contains("cannot read directory"), "{}", findings[0].message);
+        assert_eq!(findings[0].file, "crates");
     }
 }

@@ -27,6 +27,7 @@ pub struct Dataset {
 
 impl Dataset {
     /// Empty dataset with named features.
+    #[must_use]
     pub fn new(n_classes: usize, feature_names: Vec<String>) -> Self {
         Self { features: Vec::new(), labels: Vec::new(), n_classes, feature_names }
     }
@@ -44,21 +45,25 @@ impl Dataset {
     }
 
     /// Number of rows.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.labels.len()
     }
 
     /// Whether the dataset has no rows.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
     }
 
     /// Number of features.
+    #[must_use]
     pub fn n_features(&self) -> usize {
         self.feature_names.len()
     }
 
     /// Sub-dataset at the given row indices.
+    #[must_use]
     pub fn subset(&self, indices: &[usize]) -> Dataset {
         Dataset {
             features: indices.iter().map(|&i| self.features[i].clone()).collect(),
@@ -70,6 +75,7 @@ impl Dataset {
 
     /// Stratified train/test split: each class is shuffled independently
     /// and `test_frac` of it held out, so class balance is preserved.
+    #[must_use]
     pub fn stratified_split(&self, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
         assert!((0.0..1.0).contains(&test_frac), "test_frac out of range");
         let mut rng = StdRng::seed_from_u64(seed);
@@ -94,6 +100,7 @@ impl Dataset {
     /// seen in training.
     ///
     /// Returns `(train, test)` datasets.
+    #[must_use]
     pub fn group_split(&self, groups: &[u64], test_frac: f64, seed: u64) -> (Dataset, Dataset) {
         assert_eq!(groups.len(), self.len(), "one group id per row");
         let mut unique: Vec<u64> = {
@@ -120,6 +127,7 @@ impl Dataset {
     }
 
     /// Class frequency histogram.
+    #[must_use]
     pub fn class_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.n_classes];
         for &l in &self.labels {

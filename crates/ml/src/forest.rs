@@ -44,6 +44,7 @@ impl RandomForest {
     ///
     /// # Panics
     /// Panics on an empty dataset or zero trees.
+    #[must_use]
     pub fn fit(data: &Dataset, config: &ForestConfig) -> RandomForest {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         assert!(config.n_trees > 0, "forest needs at least one tree");
@@ -85,11 +86,13 @@ impl RandomForest {
     }
 
     /// Number of trees.
+    #[must_use]
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
 
     /// Averaged per-class probability for `row`.
+    #[must_use]
     pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
         let mut acc = vec![0.0; self.n_classes];
         for tree in &self.trees {
@@ -105,11 +108,13 @@ impl RandomForest {
     }
 
     /// Predicted class for `row`.
+    #[must_use]
     pub fn predict(&self, row: &[f64]) -> usize {
         crate::tree::argmax(&self.predict_proba(row))
     }
 
     /// Predictions for every row of `data`.
+    #[must_use]
     pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
         data.features.iter().map(|r| self.predict(r)).collect()
     }
@@ -193,7 +198,7 @@ mod tests {
     #[should_panic(expected = "at least one tree")]
     fn zero_trees_rejected() {
         let d = noisy_clusters(5);
-        RandomForest::fit(&d, &ForestConfig { n_trees: 0, ..Default::default() });
+        let _ = RandomForest::fit(&d, &ForestConfig { n_trees: 0, ..Default::default() });
     }
 }
 

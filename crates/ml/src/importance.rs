@@ -19,6 +19,7 @@ use crate::metrics::accuracy;
 /// Returns one entry per feature: the mean accuracy drop over `repeats`
 /// shuffles of that column (higher = more important; ~0 = unused; negative
 /// values are shuffle noise on unimportant features).
+#[must_use]
 pub fn permutation_importance(
     forest: &RandomForest,
     data: &Dataset,
@@ -49,6 +50,7 @@ pub fn permutation_importance(
 
 /// The `k` most important features as `(index, name, importance)`, sorted
 /// descending.
+#[must_use]
 pub fn top_features<'a>(
     importances: &[f64],
     names: &'a [String],

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// # Panics
 /// Panics on length mismatch or empty input.
+#[must_use]
 pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
     assert_eq!(truth.len(), pred.len(), "prediction count mismatch");
     assert!(!truth.is_empty(), "accuracy of empty prediction set");
@@ -21,6 +22,7 @@ pub struct ConfusionMatrix {
 
 impl ConfusionMatrix {
     /// Build from parallel truth/prediction slices.
+    #[must_use]
     pub fn new(n_classes: usize, truth: &[usize], pred: &[usize]) -> Self {
         assert_eq!(truth.len(), pred.len(), "prediction count mismatch");
         let mut counts = vec![vec![0usize; n_classes]; n_classes];
@@ -31,17 +33,20 @@ impl ConfusionMatrix {
     }
 
     /// Number of classes.
+    #[must_use]
     pub fn n_classes(&self) -> usize {
         self.counts.len()
     }
 
     /// Precision of `class` (None when the class is never predicted).
+    #[must_use]
     pub fn precision(&self, class: usize) -> Option<f64> {
         let predicted: usize = self.counts.iter().map(|row| row[class]).sum();
         (predicted > 0).then(|| self.counts[class][class] as f64 / predicted as f64)
     }
 
     /// Recall of `class` (None when the class never occurs in truth).
+    #[must_use]
     pub fn recall(&self, class: usize) -> Option<f64> {
         let actual: usize = self.counts[class].iter().sum();
         (actual > 0).then(|| self.counts[class][class] as f64 / actual as f64)
@@ -49,6 +54,7 @@ impl ConfusionMatrix {
 
     /// F1 of `class`, when both precision and recall are defined and
     /// nonzero-summed.
+    #[must_use]
     pub fn f1(&self, class: usize) -> Option<f64> {
         let p = self.precision(class)?;
         let r = self.recall(class)?;
@@ -61,6 +67,7 @@ impl ConfusionMatrix {
 
     /// Macro-F1: mean F1 over classes that occur in truth (missing
     /// precision counts as 0).
+    #[must_use]
     pub fn macro_f1(&self) -> f64 {
         let mut sum = 0.0;
         let mut n = 0usize;
@@ -78,6 +85,7 @@ impl ConfusionMatrix {
     }
 
     /// Overall accuracy from the matrix.
+    #[must_use]
     pub fn accuracy(&self) -> f64 {
         let correct: usize = (0..self.n_classes()).map(|c| self.counts[c][c]).sum();
         let total: usize = self.counts.iter().flat_map(|r| r.iter()).sum();
@@ -89,6 +97,7 @@ impl ConfusionMatrix {
     }
 
     /// Render as an aligned text table with class names.
+    #[must_use]
     pub fn render(&self, class_names: &[&str]) -> String {
         assert_eq!(class_names.len(), self.n_classes(), "one name per class");
         let w = class_names.iter().map(|n| n.len()).max().unwrap_or(4).max(5);
@@ -121,7 +130,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "mismatch")]
     fn accuracy_length_mismatch() {
-        accuracy(&[0], &[0, 1]);
+        let _ = accuracy(&[0], &[0, 1]);
     }
 
     #[test]

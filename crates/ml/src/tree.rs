@@ -64,11 +64,13 @@ impl DecisionTree {
     }
 
     /// Number of nodes (leaves + splits).
+    #[must_use]
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
     /// Maximum depth of the fitted tree.
+    #[must_use]
     pub fn depth(&self) -> usize {
         fn depth_of(nodes: &[Node], i: usize) -> usize {
             match &nodes[i] {
@@ -120,6 +122,7 @@ impl DecisionTree {
     }
 
     /// Per-class probability estimate for `row` (leaf frequency).
+    #[must_use]
     pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
         let mut i = 0;
         loop {
@@ -140,6 +143,7 @@ impl DecisionTree {
 
     /// Predicted class for `row` (argmax of leaf counts; ties to the lower
     /// class id).
+    #[must_use]
     pub fn predict(&self, row: &[f64]) -> usize {
         argmax(&self.predict_proba(row))
     }

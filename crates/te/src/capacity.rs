@@ -46,6 +46,7 @@ impl UpgradePolicy {
     /// The naive siloed policy: upgrade on any single overloaded window,
     /// with no fiber awareness (fiber checks are the caller's choice of
     /// `upgradeable` oracle).
+    #[must_use]
     pub fn naive(threshold: f64) -> Self {
         Self { threshold, min_overloaded: 1, window: 1, ..Self::default() }
     }
@@ -80,6 +81,7 @@ pub struct CapacityPlan {
 
 impl CapacityPlan {
     /// Total plan cost.
+    #[must_use]
     pub fn total_cost(&self) -> f64 {
         self.upgrades.iter().map(|u| u.cost).sum()
     }
@@ -88,6 +90,7 @@ impl CapacityPlan {
     /// risk-aware capacity planning): upgrades that share fiber spans
     /// concentrate capacity on one failure domain instead of adding
     /// resilience.
+    #[must_use]
     pub fn risk_screen(&self, srlgs: &[crate::srlg::Srlg]) -> crate::srlg::RiskReport {
         let candidates: Vec<EdgeId> = self.upgrades.iter().map(|u| u.link).collect();
         crate::srlg::assess_upgrades(srlgs, &candidates)
@@ -102,6 +105,7 @@ pub struct CapacityPlanner {
 
 impl CapacityPlanner {
     /// Planner with `policy`.
+    #[must_use]
     pub fn new(policy: UpgradePolicy) -> Self {
         Self { policy }
     }

@@ -5,7 +5,7 @@
 //! form of §4) — and can be *contracted* onto a coarse (supernode) graph
 //! using a node map from topology coarsening.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use smn_telemetry::record::BandwidthRecord;
@@ -34,7 +34,7 @@ impl DemandMatrix {
     /// Build from explicit `(src, dst, gbps)` triples, dropping
     /// non-positive demands and merging duplicates.
     pub fn from_triples(triples: impl IntoIterator<Item = (NodeId, NodeId, f64)>) -> Self {
-        let mut merged: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+        let mut merged: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
         for (s, d, g) in triples {
             if g > 0.0 && s != d {
                 *merged.entry((s, d)).or_insert(0.0) += g;
@@ -51,8 +51,9 @@ impl DemandMatrix {
     /// Build from a window of bandwidth records, summarizing each pair's
     /// samples with `stat` (e.g. [`Statistic::Mean`] or p95 — the
     /// time-coarsening statistics of §4).
+    #[must_use]
     pub fn from_records(records: &[BandwidthRecord], stat: Statistic) -> Self {
-        let mut samples: HashMap<(u32, u32), Vec<f64>> = HashMap::new();
+        let mut samples: BTreeMap<(u32, u32), Vec<f64>> = BTreeMap::new();
         for r in records {
             samples.entry((r.src, r.dst)).or_default().push(r.gbps);
         }
@@ -65,16 +66,19 @@ impl DemandMatrix {
     }
 
     /// Total demand in Gbps.
+    #[must_use]
     pub fn total_gbps(&self) -> f64 {
         self.commodities.iter().map(|c| c.demand_gbps).sum()
     }
 
     /// Number of commodities.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.commodities.len()
     }
 
     /// Whether the matrix is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.commodities.is_empty()
     }
@@ -84,6 +88,7 @@ impl DemandMatrix {
     /// whose endpoints merge into the same supernode disappear (they become
     /// intra-supernode traffic the coarse problem cannot see — §4's
     /// information loss), and the rest merge per coarse pair.
+    #[must_use]
     pub fn contract(&self, node_map: &[NodeId]) -> DemandMatrix {
         Self::from_triples(self.commodities.iter().filter_map(|c| {
             let cs = node_map[c.src.index()];
@@ -94,6 +99,7 @@ impl DemandMatrix {
 
     /// The fraction of total demand that survives contraction (the rest is
     /// intra-supernode).
+    #[must_use]
     pub fn contracted_fraction(&self, node_map: &[NodeId]) -> f64 {
         let total = self.total_gbps();
         if total == 0.0 {

@@ -18,11 +18,13 @@ pub struct FlowNetwork {
 
 impl FlowNetwork {
     /// Network with `n` nodes and no arcs.
+    #[must_use]
     pub fn new(n: usize) -> Self {
         Self { to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); n] }
     }
 
     /// Number of nodes.
+    #[must_use]
     pub fn node_count(&self) -> usize {
         self.head.len()
     }

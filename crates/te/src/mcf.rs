@@ -16,7 +16,7 @@
 //! including coarse (supernode) graphs, which is how the coarsening
 //! experiments run the *same* optimization at both granularities.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 use smn_topology::graph::{DiGraph, Edge, EdgeId, Path};
@@ -71,6 +71,7 @@ pub struct TeSolution {
 
 impl TeSolution {
     /// Fraction of offered demand routed, in `[0, 1]`.
+    #[must_use]
     pub fn satisfaction(&self) -> f64 {
         if self.offered_gbps == 0.0 {
             1.0
@@ -262,9 +263,12 @@ pub fn greedy_min_max_utilization<N, E>(
     cfg: &TeConfig,
 ) -> TeSolution {
     let paths = path_sets(g, &capacity, demand, cfg.k_paths);
-    let mut load: HashMap<EdgeId, f64> = HashMap::new();
+    // Ordered maps: `flows` becomes `TeSolution::flows` in iteration
+    // order, so a hash map here would leak hash order into the output of
+    // every deterministic caller (core::simulation::run among them).
+    let mut load: BTreeMap<EdgeId, f64> = BTreeMap::new();
     // flow per (commodity, path idx)
-    let mut flows: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut flows: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     let mut routed = 0.0;
     let mut iterations = 0usize;
     for chunk in 0..cfg.greedy_chunks {

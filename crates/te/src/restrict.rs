@@ -27,6 +27,7 @@ use crate::srlg::{extract_srlgs_from_stack, Srlg};
 /// expansion are skipped. When `src` and `dst` share a supernode, the
 /// intra-supernode shortest path is returned (the coarse problem cannot see
 /// this traffic at all, but the realization must still carry it).
+#[must_use]
 pub fn coarse_restricted_paths(
     wan: &Wan,
     contraction: &Contraction<SuperNode, SuperLink>,
@@ -116,6 +117,7 @@ pub fn coarse_restricted_paths(
 /// draining a lossy link: "if I take this edge out of service, how many
 /// coarse-conformant detours remain?" Zero means the drain would blackhole
 /// the commodity and must not be executed.
+#[must_use]
 pub fn restricted_alternates(
     wan: &Wan,
     contraction: &Contraction<SuperNode, SuperLink>,
@@ -133,6 +135,7 @@ pub fn restricted_alternates(
 /// Number of shared-risk groups that contain at least two of the path's
 /// links: each one is a single fiber span whose cut drops the path in two
 /// or more places at once.
+#[must_use]
 pub fn path_srlg_exposure(path: &Path, srlgs: &[Srlg]) -> usize {
     srlgs.iter().filter(|s| path.edges.iter().filter(|e| s.links.contains(e)).count() >= 2).count()
 }
@@ -142,6 +145,7 @@ pub fn path_srlg_exposure(path: &Path, srlgs: &[Srlg]) -> usize {
 /// the stack's L1 → L3 map) before path cost, so TE prefers realizations
 /// that do not ride one fiber span twice. The path set is unchanged —
 /// only the order encodes the risk preference.
+#[must_use]
 pub fn srlg_aware_restricted_paths(
     stack: &LayerStack,
     contraction: &Contraction<SuperNode, SuperLink>,

@@ -13,7 +13,7 @@
 //! an [`OpticalLayer`] directly, [`extract_srlgs_from_stack`] off a
 //! registered [`LayerStack`].
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use serde::{Deserialize, Serialize};
 use smn_topology::layer1::{FiberSpanId, OpticalLayer};
@@ -32,8 +32,9 @@ pub struct Srlg {
 
 /// Extract every SRLG with at least two member links from the optical
 /// layer's L1 → L3 map — single-link spans carry no *shared* risk.
+#[must_use]
 pub fn extract_srlgs(optical: &OpticalLayer) -> Vec<Srlg> {
-    let mut span_links: HashMap<FiberSpanId, HashSet<EdgeId>> = HashMap::new();
+    let mut span_links: BTreeMap<FiberSpanId, BTreeSet<EdgeId>> = BTreeMap::new();
     for (w, links) in optical.link_map().entries() {
         for &span in &optical.wavelength(w).spans {
             span_links.entry(span).or_default().extend(links.iter().copied());
@@ -54,12 +55,14 @@ pub fn extract_srlgs(optical: &OpticalLayer) -> Vec<Srlg> {
 
 /// [`extract_srlgs`] over a registered [`LayerStack`]: the shared-risk
 /// structure is exactly the stack's L1 → L3 map grouped by fiber span.
+#[must_use]
 pub fn extract_srlgs_from_stack(stack: &LayerStack) -> Vec<Srlg> {
     extract_srlgs(stack.optical())
 }
 
 /// All L3 links that fail together with `link` (including itself) when any
 /// shared span is cut — the blast radius of a single span failure.
+#[must_use]
 pub fn correlated_failure_set(srlgs: &[Srlg], link: EdgeId) -> HashSet<EdgeId> {
     let mut out = HashSet::from([link]);
     for s in srlgs {
@@ -83,12 +86,14 @@ pub struct RiskReport {
 
 impl RiskReport {
     /// Whether the candidate set is risk-diverse (no correlated pairs).
+    #[must_use]
     pub fn is_diverse(&self) -> bool {
         self.correlated_pairs.is_empty()
     }
 }
 
 /// Assess a set of upgrade candidates against the SRLG structure.
+#[must_use]
 pub fn assess_upgrades(srlgs: &[Srlg], candidates: &[EdgeId]) -> RiskReport {
     let mut report = RiskReport::default();
     for (i, &a) in candidates.iter().enumerate() {

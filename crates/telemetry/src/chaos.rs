@@ -74,11 +74,13 @@ impl Default for ChaosConfig {
 
 impl ChaosConfig {
     /// A clean (identity) profile with the given seed.
+    #[must_use]
     pub fn clean(seed: u64) -> Self {
         ChaosConfig { seed, ..Default::default() }
     }
 
     /// Set the record loss rate.
+    #[must_use]
     pub fn with_loss(mut self, rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
         self.loss_rate = rate;
@@ -86,6 +88,7 @@ impl ChaosConfig {
     }
 
     /// Set the duplication rate.
+    #[must_use]
     pub fn with_duplication(mut self, rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "duplication rate must be in [0, 1]");
         self.duplication_rate = rate;
@@ -93,6 +96,7 @@ impl ChaosConfig {
     }
 
     /// Set the reorder rate and lateness bound.
+    #[must_use]
     pub fn with_reordering(mut self, rate: f64, max_lateness_secs: u64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "reorder rate must be in [0, 1]");
         self.reorder_rate = rate;
@@ -101,6 +105,7 @@ impl ChaosConfig {
     }
 
     /// Set constant clock skew and per-record jitter.
+    #[must_use]
     pub fn with_clock_skew(mut self, skew_secs: i64, jitter_secs: u64) -> Self {
         self.clock_skew_secs = skew_secs;
         self.skew_jitter_secs = jitter_secs;
@@ -155,6 +160,7 @@ pub struct ChaosReport {
 
 impl ChaosReport {
     /// Fraction of input records lost.
+    #[must_use]
     pub fn observed_loss_rate(&self) -> f64 {
         if self.input == 0 {
             0.0
@@ -182,6 +188,7 @@ pub struct ChaosInjector {
 
 impl ChaosInjector {
     /// Build an injector from a profile (observability disabled).
+    #[must_use]
     pub fn new(config: ChaosConfig) -> Self {
         ChaosInjector { config, obs: Obs::disabled() }
     }
@@ -195,6 +202,7 @@ impl ChaosInjector {
     }
 
     /// The profile this injector applies.
+    #[must_use]
     pub fn config(&self) -> &ChaosConfig {
         &self.config
     }

@@ -7,6 +7,7 @@
 //! avalanche behavior and is trivially reproducible.
 
 /// SplitMix64 finalizer: hashes a 64-bit value to a well-mixed 64-bit value.
+#[must_use]
 pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -15,6 +16,7 @@ pub fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Combine hash inputs (order-sensitive).
+#[must_use]
 pub fn mix(parts: &[u64]) -> u64 {
     let mut acc = 0xCBF2_9CE4_8422_2325u64;
     for &p in parts {
@@ -24,12 +26,14 @@ pub fn mix(parts: &[u64]) -> u64 {
 }
 
 /// Hash to a uniform variate in `[0, 1)`.
+#[must_use]
 pub fn uniform01(h: u64) -> f64 {
     // 53 high bits -> double in [0,1).
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Hash to a standard normal variate (Box–Muller on two derived uniforms).
+#[must_use]
 pub fn std_normal(h: u64) -> f64 {
     let u1 = uniform01(splitmix64(h)).max(1e-12);
     let u2 = uniform01(splitmix64(h ^ 0xDEAD_BEEF_CAFE_F00D));
@@ -37,6 +41,7 @@ pub fn std_normal(h: u64) -> f64 {
 }
 
 /// Hash to a log-normal multiplier with median 1 and log-std `sigma`.
+#[must_use]
 pub fn lognormal_multiplier(h: u64, sigma: f64) -> f64 {
     (std_normal(h) * sigma).exp()
 }

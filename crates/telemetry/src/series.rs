@@ -57,6 +57,7 @@ impl SummaryStats {
 
     /// Pick one statistic by name; used to parameterize which statistic a
     /// coarsening retains.
+    #[must_use]
     pub fn get(&self, stat: Statistic) -> f64 {
         match stat {
             Statistic::Mean => self.mean,
@@ -90,6 +91,7 @@ pub enum Statistic {
 ///
 /// # Panics
 /// Panics if `sorted` is empty or `p` outside `[0, 100]`.
+#[must_use]
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
@@ -114,6 +116,7 @@ pub struct TimeSeries {
 
 impl TimeSeries {
     /// Empty series.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -132,16 +135,19 @@ impl TimeSeries {
     }
 
     /// Number of samples.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
     /// Whether the series is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
 
     /// Values with `start <= ts < end`.
+    #[must_use]
     pub fn range(&self, start: Ts, end: Ts) -> &[f64] {
         let lo = self.ts.partition_point(|&t| t < start);
         let hi = self.ts.partition_point(|&t| t < end);
@@ -151,6 +157,7 @@ impl TimeSeries {
     /// Summaries over consecutive fixed windows of `window_secs`, starting
     /// at the first sample's window boundary. Returns `(window_start,
     /// stats)` pairs; empty windows are skipped.
+    #[must_use]
     pub fn window_summaries(&self, window_secs: u64) -> Vec<(Ts, SummaryStats)> {
         assert!(window_secs > 0, "zero window");
         let (Some(&first_ts), Some(&last)) = (self.ts.first(), self.ts.last()) else {
@@ -172,6 +179,7 @@ impl TimeSeries {
     /// Coefficient of variation (std/mean) over the whole series — the
     /// stability score used by churn-adaptive coarsening (higher = less
     /// stable). `None` if empty or zero-mean.
+    #[must_use]
     pub fn coefficient_of_variation(&self) -> Option<f64> {
         let s = SummaryStats::of(&self.values)?;
         (s.mean.abs() > f64::EPSILON).then(|| s.std / s.mean)
@@ -207,7 +215,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn percentile_rejects_bad_p() {
-        percentile_sorted(&[1.0], 150.0);
+        let _ = percentile_sorted(&[1.0], 150.0);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub fn encode_bw_record(buf: &mut BytesMut, r: &BandwidthRecord) {
 }
 
 /// Encode a whole log.
+#[must_use]
 pub fn encode_bw_log(records: &[BandwidthRecord]) -> Bytes {
     let mut buf = BytesMut::with_capacity(records.len() * BW_RECORD_BYTES);
     for r in records {
@@ -36,6 +37,7 @@ pub fn encode_bw_log(records: &[BandwidthRecord]) -> Bytes {
 ///
 /// # Panics
 /// Panics if `bytes` is not a whole number of records.
+#[must_use]
 pub fn decode_bw_log(mut bytes: Bytes) -> Vec<BandwidthRecord> {
     assert_eq!(bytes.len() % BW_RECORD_BYTES, 0, "truncated bandwidth log");
     let mut out = Vec::with_capacity(bytes.len() / BW_RECORD_BYTES);
@@ -61,17 +63,20 @@ pub struct LogVolume {
 
 impl LogVolume {
     /// Volume of a bandwidth log.
+    #[must_use]
     pub fn of_bw_log(records: &[BandwidthRecord]) -> LogVolume {
         LogVolume { rows: records.len(), bytes: records.len() * BW_RECORD_BYTES }
     }
 
     /// Volume from an explicit row count and per-row width.
+    #[must_use]
     pub fn from_rows(rows: usize, row_bytes: usize) -> LogVolume {
         LogVolume { rows, bytes: rows * row_bytes }
     }
 
     /// Reduction factor of `self` relative to `original` (by rows).
     /// A value of 10.0 means "10× fewer rows".
+    #[must_use]
     pub fn row_reduction_vs(&self, original: LogVolume) -> f64 {
         if self.rows == 0 {
             f64::INFINITY
@@ -81,6 +86,7 @@ impl LogVolume {
     }
 
     /// Reduction factor by bytes.
+    #[must_use]
     pub fn byte_reduction_vs(&self, original: LogVolume) -> f64 {
         if self.bytes == 0 {
             f64::INFINITY
@@ -119,7 +125,7 @@ mod tests {
     fn decode_rejects_truncated() {
         let mut bytes = encode_bw_log(&sample_log(2));
         let truncated = bytes.split_to(BW_RECORD_BYTES + 3);
-        decode_bw_log(truncated);
+        let _ = decode_bw_log(truncated);
     }
 
     #[test]

@@ -27,11 +27,13 @@ pub struct Template {
 
 impl Template {
     /// Human-readable form, wildcards as `<*>`.
+    #[must_use]
     pub fn render(&self) -> String {
         self.tokens.iter().map(|t| t.as_deref().unwrap_or("<*>")).collect::<Vec<_>>().join(" ")
     }
 
     /// Fraction of positions that are fixed (non-wildcard).
+    #[must_use]
     pub fn specificity(&self) -> f64 {
         if self.tokens.is_empty() {
             return 1.0;
@@ -62,12 +64,14 @@ pub struct TemplateMiner {
 
 impl TemplateMiner {
     /// Miner with the given merge threshold (0.5 is a good default).
+    #[must_use]
     pub fn new(similarity_threshold: f64) -> Self {
         assert!((0.0..=1.0).contains(&similarity_threshold));
         Self { similarity_threshold, templates: Vec::new(), by_len: BTreeMap::new() }
     }
 
     /// All mined templates.
+    #[must_use]
     pub fn templates(&self) -> &[Template] {
         &self.templates
     }

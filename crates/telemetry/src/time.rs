@@ -31,51 +31,61 @@ pub struct Ts(pub u64);
 
 impl Ts {
     /// Timestamp at `days` whole days.
+    #[must_use]
     pub fn from_days(days: u64) -> Ts {
         Ts(days * DAY)
     }
 
     /// Timestamp at `hours` whole hours.
+    #[must_use]
     pub fn from_hours(hours: u64) -> Ts {
         Ts(hours * HOUR)
     }
 
     /// The day number this timestamp falls on.
+    #[must_use]
     pub fn day(self) -> u64 {
         self.0 / DAY
     }
 
     /// Seconds into the current day.
+    #[must_use]
     pub fn second_of_day(self) -> u64 {
         self.0 % DAY
     }
 
     /// Hour-of-day as a fraction in `[0, 24)`.
+    #[must_use]
     pub fn hour_of_day(self) -> f64 {
         self.second_of_day() as f64 / HOUR as f64
     }
 
     /// Day-of-week in `0..7` (day 0 is a Monday by convention).
+    #[must_use]
     pub fn day_of_week(self) -> u64 {
         self.day() % 7
     }
 
     /// Whether this falls on a weekend (days 5 and 6 of the week).
+    #[must_use]
     pub fn is_weekend(self) -> bool {
         self.day_of_week() >= 5
     }
 
     /// Day-of-year in `0..365`.
+    #[must_use]
     pub fn day_of_year(self) -> u64 {
         self.day() % 365
     }
 
     /// The index of the five-minute epoch containing this timestamp.
+    #[must_use]
     pub fn epoch(self) -> u64 {
         self.0 / EPOCH_SECS
     }
 
     /// Start of the epoch containing this timestamp.
+    #[must_use]
     pub fn epoch_start(self) -> Ts {
         Ts(self.epoch() * EPOCH_SECS)
     }

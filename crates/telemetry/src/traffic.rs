@@ -120,6 +120,7 @@ pub struct TrafficModel {
 impl TrafficModel {
     /// Build the model for `wan` under `config`. Pair selection is
     /// deterministic from the seed.
+    #[must_use]
     pub fn new(wan: &Wan, config: TrafficConfig) -> Self {
         // Saturating cast policy: node ids are u32 (a WAN cannot hold more
         // datacenters than NodeId can address), so try_from never saturates
@@ -160,16 +161,19 @@ impl TrafficModel {
     }
 
     /// The communicating pairs.
+    #[must_use]
     pub fn pairs(&self) -> &[TrafficPair] {
         &self.pairs
     }
 
     /// The configuration the model was built with.
+    #[must_use]
     pub fn config(&self) -> &TrafficConfig {
         &self.config
     }
 
     /// Demand of pair `p` at time `ts`, in Gbps. Pure function.
+    #[must_use]
     pub fn pair_demand(&self, p: &TrafficPair, ts: Ts) -> f64 {
         let c = &self.config;
         // Diurnal: peak at local 14:00, phased by source longitude.
@@ -198,6 +202,7 @@ impl TrafficModel {
 
     /// Demand between `src` and `dst` at `ts`; zero if they don't
     /// communicate.
+    #[must_use]
     pub fn demand_gbps(&self, src: NodeId, dst: NodeId, ts: Ts) -> f64 {
         self.pairs
             .iter()
@@ -207,6 +212,7 @@ impl TrafficModel {
 
     /// All bandwidth records for the epoch containing `ts` (one per
     /// communicating pair — the uncoarsened log of the paper's Listing 1).
+    #[must_use]
     pub fn epoch_records(&self, ts: Ts) -> Vec<BandwidthRecord> {
         let es = ts.epoch_start();
         self.pairs
@@ -221,6 +227,7 @@ impl TrafficModel {
     }
 
     /// Generate the full uncoarsened log from `start` for `n_epochs`.
+    #[must_use]
     pub fn generate(&self, start: Ts, n_epochs: usize) -> Vec<BandwidthRecord> {
         let mut out = Vec::with_capacity(n_epochs * self.pairs.len());
         for e in epochs(start, n_epochs) {
@@ -230,12 +237,14 @@ impl TrafficModel {
     }
 
     /// Number of epochs in `days` days.
+    #[must_use]
     pub fn epochs_per_days(days: u64) -> usize {
         (days * DAY / EPOCH_SECS) as usize
     }
 
     /// Aggregate demand matrix at `ts`: `(src, dst) -> Gbps` for every
     /// communicating pair.
+    #[must_use]
     pub fn demand_matrix(&self, ts: Ts) -> Vec<(NodeId, NodeId, f64)> {
         self.pairs.iter().map(|p| (p.src, p.dst, self.pair_demand(p, ts))).collect()
     }
