@@ -1,7 +1,7 @@
 //! Criterion: throughput of the bandwidth-log coarseners (E1's runtime
 //! side) — how fast the CLDS can coarsen telemetry on ingestion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use smn_core::bwlogs::{AdaptiveCoarsener, NestedCoarsener, TimeCoarsener, TopologyCoarsener};
 use smn_core::coarsen::Coarsening;
 use smn_telemetry::series::Statistic;
@@ -48,4 +48,10 @@ fn bench_coarseners(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_coarseners);
-criterion_main!(benches);
+
+fn main() {
+    let c = benches();
+    let (revision, out) = smn_bench::bench_cli_args();
+    let report = smn_bench::criterion_report("bwlog_coarsen", 7, "small", &revision, &c);
+    smn_bench::write_report(out.as_deref().unwrap_or("BENCH_bwlog_coarsen.json"), &report);
+}

@@ -2,7 +2,7 @@
 //! (the coarsening primitive), k-shortest paths (the TE path oracle), and
 //! reachability closures (syndrome propagation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use smn_topology::NodeId;
 
 fn bench_graph(c: &mut Criterion) {
@@ -23,4 +23,10 @@ fn bench_graph(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_graph);
-criterion_main!(benches);
+
+fn main() {
+    let c = benches();
+    let (revision, out) = smn_bench::bench_cli_args();
+    let report = smn_bench::criterion_report("graph_algos", 7, "300", &revision, &c);
+    smn_bench::write_report(out.as_deref().unwrap_or("BENCH_graph_algos.json"), &report);
+}

@@ -3,7 +3,7 @@
 //! side; the CLTO's minutes-timescale loop must be far faster than
 //! minutes).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use smn_depgraph::syndrome::Explainability;
 use smn_incident::eval::{observe_campaign, split_observations, EvalConfig};
 use smn_incident::faults::CampaignConfig;
@@ -40,4 +40,10 @@ fn bench_routing(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_routing);
-criterion_main!(benches);
+
+fn main() {
+    let c = benches();
+    let (revision, out) = smn_bench::bench_cli_args();
+    let report = smn_bench::criterion_report("routing", 7, "small", &revision, &c);
+    smn_bench::write_report(out.as_deref().unwrap_or("BENCH_routing.json"), &report);
+}

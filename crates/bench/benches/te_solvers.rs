@@ -2,7 +2,7 @@
 //! measured basis for Table 2's "fast traffic engineering and planning"
 //! cell and E2's runtime axis.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use smn_te::demand::DemandMatrix;
 use smn_te::mcf::{greedy_min_max_utilization, max_multicommodity_flow, TeConfig};
 use smn_telemetry::time::Ts;
@@ -53,4 +53,10 @@ fn bench_te(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_te);
-criterion_main!(benches);
+
+fn main() {
+    let c = benches();
+    let (revision, out) = smn_bench::bench_cli_args();
+    let report = smn_bench::criterion_report("te_solvers", 7, "small", &revision, &c);
+    smn_bench::write_report(out.as_deref().unwrap_or("BENCH_te_solvers.json"), &report);
+}

@@ -224,24 +224,30 @@ fn pct(num: usize, den: usize) -> f64 {
     }
 }
 
-fn run_value(r: &CampaignRun) -> serde_json::Value {
-    smn_bench::json_obj(vec![
-        ("coverage_pct", serde_json::Value::F64(r.coverage_pct)),
-        ("covered_cells", serde_json::Value::U64(r.covered)),
-        ("reachable_cells", serde_json::Value::U64(r.reachable)),
-        ("n_faults", serde_json::Value::U64(r.total as u64)),
-        ("routed_correct", serde_json::Value::U64(r.routed_correct as u64)),
-        ("routing_accuracy_pct", serde_json::Value::F64(pct(r.routed_correct, r.total))),
-        ("degraded_windows", serde_json::Value::U64(r.degraded_windows as u64)),
-        ("crashes", serde_json::Value::U64(r.crashes as u64)),
-        ("mttr_heal_mean_minutes", serde_json::Value::F64(r.mttr_heal)),
-        ("mttr_route_mean_minutes", serde_json::Value::F64(r.mttr_route)),
-        ("outcome_hash", serde_json::Value::Str(format!("{:016x}", r.outcome_hash))),
-    ])
+/// Push one campaign run's deterministic outcomes into the report under
+/// `prefix` (`"{profile}/generated"` or `"{profile}/fixed"`).
+#[allow(clippy::cast_precision_loss)] // campaign counters stay far below 2^52
+fn push_run(report: &mut smn_perf::BenchReport, prefix: &str, r: &CampaignRun) {
+    report.push_metric(&format!("{prefix}/coverage_pct"), r.coverage_pct, "pct");
+    report.push_metric(&format!("{prefix}/covered_cells"), r.covered as f64, "count");
+    report.push_metric(&format!("{prefix}/reachable_cells"), r.reachable as f64, "count");
+    report.push_metric(&format!("{prefix}/n_faults"), r.total as f64, "count");
+    report.push_metric(&format!("{prefix}/routed_correct"), r.routed_correct as f64, "count");
+    report.push_metric(
+        &format!("{prefix}/routing_accuracy_pct"),
+        pct(r.routed_correct, r.total),
+        "pct",
+    );
+    report.push_metric(&format!("{prefix}/degraded_windows"), r.degraded_windows as f64, "count");
+    report.push_metric(&format!("{prefix}/crashes"), r.crashes as f64, "count");
+    report.push_metric(&format!("{prefix}/mttr_heal_mean"), r.mttr_heal, "minutes");
+    report.push_metric(&format!("{prefix}/mttr_route_mean"), r.mttr_route, "minutes");
+    report.push_attr(&format!("{prefix}/outcome_hash"), format!("{:016x}", r.outcome_hash));
 }
 
-fn parse_args() -> String {
+fn parse_args() -> (String, String) {
     let mut out = "BENCH_coverage.json".to_string();
+    let mut revision = smn_perf::report::UNVERSIONED.to_string();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -252,19 +258,26 @@ fn parse_args() -> String {
                 };
                 out = v;
             }
+            "--revision" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--revision requires a value");
+                    std::process::exit(2);
+                };
+                revision = v;
+            }
             other => {
                 eprintln!("unknown flag: {other}");
-                eprintln!("usage: coverage_sweep [--out FILE]");
+                eprintln!("usage: coverage_sweep [--out FILE] [--revision REV]");
                 std::process::exit(2);
             }
         }
     }
-    out
+    (out, revision)
 }
 
 #[allow(clippy::too_many_lines)] // linear experiment script: profiles, table, replay, snapshot
 fn main() {
-    let out = parse_args();
+    let (out, revision) = parse_args();
 
     let d = RedditDeployment::build();
     let sim = SimConfig::default();
@@ -309,8 +322,9 @@ fn main() {
         },
     ];
 
+    let mut report = smn_perf::BenchReport::new("coverage_sweep", gen_cfg.seed, "small")
+        .with_revision(&revision);
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut profile_values: Vec<serde_json::Value> = Vec::new();
     let mut results: Vec<(CampaignRun, CampaignRun)> = Vec::new();
     for p in &profiles {
         let ((g, f), wall_ms) = smn_bench::timer::time_ms(|| {
@@ -353,12 +367,14 @@ fn main() {
             format!("{:+.1}m / {:+.1}m", g.mttr_heal - g.mttr_route, f.mttr_heal - f.mttr_route),
             format!("{:.0}ms", wall_ms),
         ]);
-        profile_values.push(smn_bench::json_obj(vec![
-            ("name", serde_json::Value::Str(p.name.to_string())),
-            ("generated", run_value(&g)),
-            ("fixed", run_value(&f)),
-            ("wall_ms", serde_json::Value::F64(wall_ms)),
-        ]));
+        push_run(&mut report, &format!("{}/generated", p.name), &g);
+        push_run(&mut report, &format!("{}/fixed", p.name), &f);
+        report.push_phase(smn_perf::Phase::from_wall_stats(
+            &format!("profile/{}", p.name),
+            1,
+            wall_ms,
+            wall_ms,
+        ));
         results.push((g, f));
     }
 
@@ -424,20 +440,13 @@ fn main() {
         out_covered,
     );
 
-    let snapshot = smn_bench::json_obj(vec![
-        ("bench", serde_json::Value::Str("coverage_sweep".to_string())),
-        (
-            "campaigns",
-            smn_bench::json_obj(vec![
-                ("generated_faults", serde_json::Value::U64(generated.faults.len() as u64)),
-                ("generated_seed", serde_json::Value::U64(gen_cfg.seed)),
-                ("fixed_faults", serde_json::Value::U64(fixed.len() as u64)),
-                ("fixed_seed", serde_json::Value::U64(fixed_cfg.seed)),
-                ("reachable_cells", serde_json::Value::U64(lattice.reachable().len() as u64)),
-            ]),
-        ),
-        ("profiles", serde_json::Value::Seq(profile_values)),
-        ("out_covered_profiles", serde_json::Value::U64(out_covered as u64)),
-    ]);
-    smn_bench::write_snapshot(&out, &snapshot);
+    #[allow(clippy::cast_precision_loss)] // campaign counters stay far below 2^52
+    {
+        report.push_metric("campaigns/generated_faults", generated.faults.len() as f64, "count");
+        report.push_metric("campaigns/fixed_faults", fixed.len() as f64, "count");
+        report.push_metric("campaigns/fixed_seed", fixed_cfg.seed as f64, "seed");
+        report.push_metric("campaigns/reachable_cells", lattice.reachable().len() as f64, "count");
+        report.push_metric("out_covered_profiles", out_covered as f64, "count");
+    }
+    smn_bench::write_report(&out, &report);
 }

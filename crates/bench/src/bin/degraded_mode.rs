@@ -209,9 +209,11 @@ fn run_profile(
 }
 
 /// `--out FILE` (perf-trajectory snapshot, on by default) plus
-/// `--trace FILE --metrics FILE --audit FILE`, all optional.
+/// `--revision REV` and `--trace FILE --metrics FILE --audit FILE`, all
+/// optional.
 struct Args {
     out: String,
+    revision: String,
     trace: Option<String>,
     metrics: Option<String>,
     audit: Option<String>,
@@ -220,6 +222,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         out: "BENCH_degraded_mode.json".to_string(),
+        revision: smn_perf::report::UNVERSIONED.to_string(),
         trace: None,
         metrics: None,
         audit: None,
@@ -227,18 +230,19 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let Some(path) = it.next() else {
-            eprintln!("{flag} requires a file path");
+            eprintln!("{flag} requires a value");
             std::process::exit(2);
         };
         match flag.as_str() {
             "--out" => args.out = path,
+            "--revision" => args.revision = path,
             "--trace" => args.trace = Some(path),
             "--metrics" => args.metrics = Some(path),
             "--audit" => args.audit = Some(path),
             other => {
                 eprintln!("unknown flag: {other}");
                 eprintln!(
-                    "usage: degraded_mode [--out FILE] [--trace FILE] [--metrics FILE] [--audit FILE]"
+                    "usage: degraded_mode [--out FILE] [--revision REV] [--trace FILE] [--metrics FILE] [--audit FILE]"
                 );
                 std::process::exit(2);
             }
@@ -366,36 +370,46 @@ fn main() {
         replay.outcome_hash
     );
 
-    // Perf-trajectory snapshot: accuracy + resilience counters per profile
-    // plus the wall latencies from the bench-only registry.
-    let profile_values: Vec<serde_json::Value> = results
-        .iter()
-        .map(|r| {
-            smn_bench::json_obj(vec![
-                ("name", serde_json::Value::Str(r.name.to_string())),
-                ("accuracy", serde_json::Value::F64(r.accuracy())),
-                ("degraded_feedback", serde_json::Value::U64(r.degraded as u64)),
-                ("breaker_trips", serde_json::Value::U64(r.breaker_trips)),
-                ("retries", serde_json::Value::U64(r.retries)),
-                ("dropped_records", serde_json::Value::U64(r.dropped_records as u64)),
-                ("crashes", serde_json::Value::U64(r.crashes as u64)),
-                ("outcome_hash", serde_json::Value::Str(format!("{:016x}", r.outcome_hash))),
-                ("wall", smn_bench::wall_stats(&ctx.bench, &format!("window_ms/{}", r.name))),
-            ])
-        })
-        .collect();
-    let snapshot = smn_bench::json_obj(vec![
-        ("bench", serde_json::Value::Str("degraded_mode".to_string())),
-        (
-            "campaign",
-            smn_bench::json_obj(vec![
-                ("n_faults", serde_json::Value::U64(faults.len() as u64)),
-                ("campaign_seed", serde_json::Value::U64(campaign_cfg.seed)),
-            ]),
-        ),
-        ("profiles", serde_json::Value::Seq(profile_values)),
-    ]);
-    smn_bench::write_snapshot(&args.out, &snapshot);
+    // Perf-trajectory snapshot (unified BenchReport schema): deterministic
+    // per-profile counters as strictly-gated metrics, outcome hashes as
+    // attrs, and the bench-only wall latencies as leniently-gated phases.
+    #[allow(clippy::cast_precision_loss)] // campaign counters stay far below 2^52
+    let report = {
+        let mut report = smn_perf::BenchReport::new("degraded_mode", campaign_cfg.seed, "small")
+            .with_revision(&args.revision);
+        report.push_metric("campaign/n_faults", faults.len() as f64, "count");
+        for r in &results {
+            report.push_metric(&format!("{}/accuracy", r.name), r.accuracy(), "frac");
+            report.push_metric(
+                &format!("{}/degraded_feedback", r.name),
+                r.degraded as f64,
+                "count",
+            );
+            report.push_metric(
+                &format!("{}/breaker_trips", r.name),
+                r.breaker_trips as f64,
+                "count",
+            );
+            report.push_metric(&format!("{}/retries", r.name), r.retries as f64, "count");
+            report.push_metric(
+                &format!("{}/dropped_records", r.name),
+                r.dropped_records as f64,
+                "count",
+            );
+            report.push_metric(&format!("{}/crashes", r.name), r.crashes as f64, "count");
+            report
+                .push_attr(&format!("{}/outcome_hash", r.name), format!("{:016x}", r.outcome_hash));
+            if let Some(p) = smn_bench::wall_phase(
+                &ctx.bench,
+                &format!("window_ms/{}", r.name),
+                &format!("window/{}", r.name),
+            ) {
+                report.push_phase(p);
+            }
+        }
+        report
+    };
+    smn_bench::write_report(&args.out, &report);
 
     if let Some(path) = &args.trace {
         std::fs::write(path, ctx.obs.trace_jsonl()).expect("write trace");

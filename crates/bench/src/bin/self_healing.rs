@@ -274,9 +274,11 @@ fn run_profile(
     result
 }
 
-/// `--out FILE` plus the degraded-mode export flags, all optional.
+/// `--out FILE` and `--revision REV` plus the degraded-mode export flags,
+/// all optional.
 struct Args {
     out: String,
+    revision: String,
     trace: Option<String>,
     metrics: Option<String>,
     audit: Option<String>,
@@ -285,6 +287,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         out: "BENCH_self_healing.json".to_string(),
+        revision: smn_perf::report::UNVERSIONED.to_string(),
         trace: None,
         metrics: None,
         audit: None,
@@ -292,18 +295,19 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let Some(value) = it.next() else {
-            eprintln!("{flag} requires a file path");
+            eprintln!("{flag} requires a value");
             std::process::exit(2);
         };
         match flag.as_str() {
             "--out" => args.out = value,
+            "--revision" => args.revision = value,
             "--trace" => args.trace = Some(value),
             "--metrics" => args.metrics = Some(value),
             "--audit" => args.audit = Some(value),
             other => {
                 eprintln!("unknown flag: {other}");
                 eprintln!(
-                    "usage: self_healing [--out FILE] [--trace FILE] [--metrics FILE] [--audit FILE]"
+                    "usage: self_healing [--out FILE] [--revision REV] [--trace FILE] [--metrics FILE] [--audit FILE]"
                 );
                 std::process::exit(2);
             }
@@ -464,41 +468,50 @@ fn main() {
     println!("\nhealing strictly reduces MTTR on {improved}/5 profiles");
     assert!(improved >= 3, "healing must strictly reduce MTTR on at least 3 of 5 profiles");
 
-    // Perf-trajectory snapshot.
-    let profile_values: Vec<serde_json::Value> = results
-        .iter()
-        .map(|r| {
-            smn_bench::json_obj(vec![
-                ("name", serde_json::Value::Str(r.name.to_string())),
-                ("mttr_heal_mean_minutes", serde_json::Value::F64(r.mttr_heal())),
-                ("mttr_route_mean_minutes", serde_json::Value::F64(r.mttr_route())),
-                ("residual_heal_mean", serde_json::Value::F64(r.residual_heal())),
-                ("residual_route_mean", serde_json::Value::F64(r.residual_route())),
-                ("verified", serde_json::Value::U64(r.verified as u64)),
-                ("rolled_back", serde_json::Value::U64(r.rolled_back as u64)),
-                ("escalated", serde_json::Value::U64(r.escalated as u64)),
-                ("unrouted", serde_json::Value::U64(r.unrouted as u64)),
-                ("disabled_windows", serde_json::Value::U64(r.disabled_windows as u64)),
-                ("crashes", serde_json::Value::U64(r.crashes as u64)),
-                ("outcome_hash", serde_json::Value::Str(format!("{:016x}", r.outcome_hash))),
-                ("wall", smn_bench::wall_stats(&ctx.bench, &format!("heal_window_ms/{}", r.name))),
-            ])
-        })
-        .collect();
-    let snapshot = smn_bench::json_obj(vec![
-        ("bench", serde_json::Value::Str("self_healing".to_string())),
-        (
-            "campaign",
-            smn_bench::json_obj(vec![
-                ("n_faults", serde_json::Value::U64(faults.len() as u64)),
-                ("campaign_seed", serde_json::Value::U64(campaign_cfg.seed)),
-                ("heal_seed", serde_json::Value::U64(HealConfig::default().seed)),
-            ]),
-        ),
-        ("profiles", serde_json::Value::Seq(profile_values)),
-        ("mttr_improved_profiles", serde_json::Value::U64(improved as u64)),
-    ]);
-    smn_bench::write_snapshot(&args.out, &snapshot);
+    // Perf-trajectory snapshot (unified BenchReport schema).
+    #[allow(clippy::cast_precision_loss)] // campaign counters stay far below 2^52
+    let report = {
+        let mut report = smn_perf::BenchReport::new("self_healing", campaign_cfg.seed, "small")
+            .with_revision(&args.revision);
+        report.push_metric("campaign/n_faults", faults.len() as f64, "count");
+        report.push_metric("campaign/heal_seed", HealConfig::default().seed as f64, "seed");
+        report.push_metric("mttr_improved_profiles", improved as f64, "count");
+        for r in &results {
+            report.push_metric(&format!("{}/mttr_heal_mean", r.name), r.mttr_heal(), "minutes");
+            report.push_metric(&format!("{}/mttr_route_mean", r.name), r.mttr_route(), "minutes");
+            report.push_metric(
+                &format!("{}/residual_heal_mean", r.name),
+                r.residual_heal(),
+                "frac",
+            );
+            report.push_metric(
+                &format!("{}/residual_route_mean", r.name),
+                r.residual_route(),
+                "frac",
+            );
+            report.push_metric(&format!("{}/verified", r.name), r.verified as f64, "count");
+            report.push_metric(&format!("{}/rolled_back", r.name), r.rolled_back as f64, "count");
+            report.push_metric(&format!("{}/escalated", r.name), r.escalated as f64, "count");
+            report.push_metric(&format!("{}/unrouted", r.name), r.unrouted as f64, "count");
+            report.push_metric(
+                &format!("{}/disabled_windows", r.name),
+                r.disabled_windows as f64,
+                "count",
+            );
+            report.push_metric(&format!("{}/crashes", r.name), r.crashes as f64, "count");
+            report
+                .push_attr(&format!("{}/outcome_hash", r.name), format!("{:016x}", r.outcome_hash));
+            if let Some(p) = smn_bench::wall_phase(
+                &ctx.bench,
+                &format!("heal_window_ms/{}", r.name),
+                &format!("heal_window/{}", r.name),
+            ) {
+                report.push_phase(p);
+            }
+        }
+        report
+    };
+    smn_bench::write_report(&args.out, &report);
 
     if let Some(path) = &args.trace {
         std::fs::write(path, ctx.obs.trace_jsonl()).expect("write trace");

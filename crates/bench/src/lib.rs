@@ -9,6 +9,7 @@
 
 pub mod timer;
 
+use smn_perf::BenchReport;
 use smn_telemetry::record::BandwidthRecord;
 use smn_telemetry::time::Ts;
 use smn_telemetry::traffic::{TrafficConfig, TrafficModel};
@@ -40,33 +41,70 @@ pub fn bw_log(model: &TrafficModel, start_day: u64, days: u64) -> Vec<BandwidthR
     model.generate(Ts::from_days(start_day), TrafficModel::epochs_per_days(days))
 }
 
-/// Build an insertion-ordered JSON object from `(key, value)` pairs — the
-/// building block of the `BENCH_*.json` perf-trajectory snapshots.
+/// Parse the bench-binary CLI surface: `--revision <r>` and `--out <path>`,
+/// tolerating whatever extra flags `cargo bench` forwards (`--bench`, filter
+/// strings). Returns `(revision, out_override)`.
 #[must_use]
-pub fn json_obj(entries: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
-    serde_json::Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+pub fn bench_cli_args() -> (String, Option<String>) {
+    let mut revision = smn_perf::report::UNVERSIONED.to_string();
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--revision" => {
+                if let Some(r) = args.next() {
+                    revision = r;
+                }
+            }
+            "--out" => out = args.next(),
+            _ => {}
+        }
+    }
+    (revision, out)
 }
 
-/// Wall-clock latency stats of one bench-registry histogram as a JSON
-/// object (`count`, `mean_ms`, `p50_ms`, `p99_ms`); `Null` when the
-/// histogram never observed a sample. Wall latencies are machine-dependent
-/// by nature — snapshots record them for trend lines, never for asserts.
-pub fn wall_stats(bench: &smn_obs::Obs, name: &str) -> serde_json::Value {
-    bench.histogram(name).map_or(serde_json::Value::Null, |h| {
-        json_obj(vec![
-            ("count", serde_json::Value::U64(h.count)),
-            ("mean_ms", serde_json::Value::F64(h.mean())),
-            ("p50_ms", serde_json::Value::F64(h.quantile(0.5))),
-            ("p99_ms", serde_json::Value::F64(h.quantile(0.99))),
-        ])
-    })
+/// Convert completed Criterion measurements into a unified [`BenchReport`]:
+/// every measurement becomes one wall-phase row keyed by its bench label.
+#[must_use]
+pub fn criterion_report(
+    bench: &str,
+    seed: u64,
+    scale: &str,
+    revision: &str,
+    c: &criterion::Criterion,
+) -> BenchReport {
+    let mut report = BenchReport::new(bench, seed, scale).with_revision(revision);
+    for r in c.results() {
+        report.push_phase(smn_perf::Phase::from_wall_stats(
+            &r.label,
+            r.iters,
+            r.mean_ms(),
+            r.mean_ms(),
+        ));
+    }
+    report
 }
 
-/// Write a `BENCH_*.json` snapshot, pretty-printed, and log the path.
-pub fn write_snapshot(path: &str, value: &serde_json::Value) {
-    let text = serde_json::to_string_pretty(value).expect("snapshot serializes");
-    std::fs::write(path, text + "\n").expect("write snapshot");
-    println!("snapshot: -> {path}");
+/// Convert one bench-registry wall-latency histogram into a [`BenchReport`]
+/// phase row (`None` when the histogram never observed a sample).
+#[must_use]
+pub fn wall_phase(bench: &smn_obs::Obs, name: &str, path: &str) -> Option<smn_perf::Phase> {
+    bench
+        .histogram(name)
+        .filter(|h| h.count > 0)
+        .map(|h| smn_perf::Phase::from_wall_stats(path, h.count, h.mean(), h.quantile(0.99)))
+}
+
+/// Write a [`BenchReport`] snapshot (validated, pretty-printed, trailing
+/// newline) and log the path.
+///
+/// # Panics
+/// When the report fails its own schema validation or the file cannot be
+/// written — both fatal for a bench emitter.
+pub fn write_report(path: &str, report: &BenchReport) {
+    report.validate().expect("emitted report passes its own schema");
+    std::fs::write(path, report.to_json_pretty() + "\n").expect("write report");
+    println!("report: -> {path}");
 }
 
 /// Render an aligned plain-text table.

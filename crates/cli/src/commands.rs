@@ -778,6 +778,158 @@ pub fn obs(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `smn perf` — record, diff, and gate performance trajectories.
+///
+/// `record` runs the scale-sweep suite and writes a `BenchReport`
+/// (plus a folded-stack wall profile) under `target/perf/`; `diff`
+/// prints a deterministic per-phase comparison of two report sets;
+/// `gate` fails (exit 1) when the current reports regress against the
+/// committed baselines.
+pub fn perf(args: &[String]) -> Result<(), String> {
+    const PERF_USAGE: &str = "usage: smn perf <record|diff|gate> [options]\n  \
+         smn perf record [--scale small|300|1000|3000] [--seed N]\n                  \
+         [--out FILE] [--profile FILE] [--revision R]\n  \
+         smn perf diff <baseline> <current>         (report files or dirs)\n  \
+         smn perf gate [--baseline PATH] [--current PATH]\n                \
+         [--metric-tol F] [--wall-factor F]";
+    match args.first().map(String::as_str) {
+        Some("record") => perf_record(&args[1..]),
+        Some("diff") => perf_diff(&args[1..]),
+        Some("gate") => perf_gate(&args[1..]),
+        Some(other) => Err(format!("unknown perf action '{other}'\n{PERF_USAGE}")),
+        None => Err(PERF_USAGE.to_string()),
+    }
+}
+
+/// Load `BenchReport`s from a file or from every `*.json` in a
+/// directory (sorted by file name so downstream output is stable).
+fn load_reports(path: &str) -> Result<Vec<smn_perf::BenchReport>, String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut files: Vec<std::path::PathBuf> = if meta.is_dir() {
+        let entries = std::fs::read_dir(path).map_err(|e| format!("cannot list {path}: {e}"))?;
+        entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect()
+    } else {
+        vec![std::path::PathBuf::from(path)]
+    };
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no *.json reports under {path}"));
+    }
+    let mut reports = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let report = smn_perf::BenchReport::from_json(&text)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+fn perf_record(args: &[String]) -> Result<(), String> {
+    let mut cfg = smn_perf::RecordConfig::default();
+    let mut out: Option<String> = None;
+    let mut profile: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{a} needs {what}"))
+        };
+        match a.as_str() {
+            "--scale" => {
+                let s = take("a scale")?;
+                cfg.scale = smn_perf::Scale::parse(&s)?;
+            }
+            "--seed" => {
+                let s = take("a number")?;
+                cfg.seed = s.parse().map_err(|_| format!("--seed needs a number, got '{s}'"))?;
+            }
+            "--out" => out = Some(take("a file path")?),
+            "--profile" => profile = Some(take("a file path")?),
+            "--revision" => cfg.revision = take("a string")?,
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let out = out.unwrap_or_else(|| format!("target/perf/BENCH_perf_{}.json", cfg.scale));
+    let profile = profile.unwrap_or_else(|| format!("target/perf/perf_{}.folded", cfg.scale));
+
+    println!("perf record: scale={} seed={} revision={}", cfg.scale, cfg.seed, cfg.revision);
+    let outcome = smn_perf::record::run(&cfg);
+    outcome.report.validate().map_err(|e| format!("internal: recorded report invalid: {e}"))?;
+
+    for path in [&out, &profile] {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+        }
+    }
+    std::fs::write(&out, outcome.report.to_json_pretty() + "\n")
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    std::fs::write(&profile, &outcome.folded)
+        .map_err(|e| format!("cannot write {profile}: {e}"))?;
+    println!("report:  -> {out}");
+    println!("profile: -> {profile}");
+    for phase in &outcome.report.phases {
+        if phase.path.starts_with("perf/") && !phase.path.contains(';') {
+            println!("  {:<14} {:>10.2} ms", phase.path, phase.total_ms);
+        }
+    }
+    Ok(())
+}
+
+fn perf_diff(args: &[String]) -> Result<(), String> {
+    let [base, cur] = args else {
+        return Err("usage: smn perf diff <baseline> <current>".to_string());
+    };
+    let base = load_reports(base)?;
+    let cur = load_reports(cur)?;
+    let rows = smn_perf::diff_reports(&base, &cur);
+    print!("{}", smn_perf::render_diff(&rows));
+    Ok(())
+}
+
+fn perf_gate(args: &[String]) -> Result<(), String> {
+    let mut baseline = "artifacts/perf".to_string();
+    let mut current = "target/perf".to_string();
+    let mut cfg = smn_perf::GateConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{a} needs {what}"))
+        };
+        match a.as_str() {
+            "--baseline" => baseline = take("a path")?,
+            "--current" => current = take("a path")?,
+            "--metric-tol" => {
+                let s = take("a number")?;
+                cfg.metric_tol =
+                    s.parse().map_err(|_| format!("--metric-tol needs a number, got '{s}'"))?;
+            }
+            "--wall-factor" => {
+                let s = take("a number")?;
+                cfg.wall_factor =
+                    s.parse().map_err(|_| format!("--wall-factor needs a number, got '{s}'"))?;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let base = load_reports(&baseline)?;
+    let cur = load_reports(&current)?;
+    let violations = smn_perf::gate_reports(&base, &cur, &cfg);
+    print!("{}", smn_perf::render_gate(&violations));
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} perf regression(s) vs {baseline}", violations.len()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -801,6 +953,26 @@ mod tests {
         assert!(fault_kind("hypervisor").is_ok());
         assert!(fault_kind("flap").is_ok());
         assert!(fault_kind("nope").is_err());
+    }
+
+    #[test]
+    fn perf_record_diff_gate_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("smn-cli-perf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_perf_small.json");
+        let out = out.to_str().unwrap().to_string();
+        let profile = dir.join("perf_small.folded");
+        let profile = profile.to_str().unwrap().to_string();
+        perf(&s(&["record", "--scale", "small", "--out", &out, "--profile", &profile])).unwrap();
+        // A run diffed and gated against itself is clean.
+        perf(&s(&["diff", &out, &out])).unwrap();
+        perf(&s(&["gate", "--baseline", &out, "--current", &out])).unwrap();
+        // Directory loading sees the same single report.
+        let dir_str = dir.to_str().unwrap().to_string();
+        perf(&s(&["gate", "--baseline", &dir_str, "--current", &out])).unwrap();
+        assert!(perf(&s(&["bogus"])).is_err());
+        assert!(perf(&s(&["record", "--scale", "450"])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -69,6 +69,31 @@ pub trait Coarsening {
         report
     }
 
+    /// [`Coarsening::report_observed`] with the span opened as a profiled
+    /// phase ([`smn_obs::Obs::phase`]): identical trace/gauge output, plus
+    /// the wall time of the coarsening folds into the perf trajectory's
+    /// wall profile under the same `coarsen/<label>` name.
+    fn report_profiled(
+        &self,
+        fine: &Self::Fine,
+        obs: &smn_obs::Obs,
+        label: &str,
+    ) -> CoarseningReport<Self::Coarse> {
+        if !obs.is_enabled() {
+            return self.report(fine);
+        }
+        let mut phase = obs.phase(&format!("coarsen/{label}"));
+        let report = self.report(fine);
+        phase.field("fine_size", report.fine_size);
+        phase.field("coarse_size", report.coarse_size);
+        phase.field("shrinks", report.shrinks());
+        let reduction = report.reduction_factor();
+        if reduction.is_finite() {
+            obs.gauge(&format!("coarsen_{label}_reduction"), reduction);
+        }
+        report
+    }
+
     /// Per-layer entry point: [`Coarsening::report`] tagged with the stack
     /// layer the coarsening acts on, so callers iterating a
     /// [`smn_topology::LayerStack`] can collect the coarsenings relevant
@@ -105,7 +130,9 @@ impl<C> CoarseningReport<C> {
         if self.coarse_size == 0 {
             f64::INFINITY
         } else {
-            self.fine_size as f64 / self.coarse_size as f64
+            #[allow(clippy::cast_precision_loss)] // structure sizes stay far below 2^52
+            let ratio = self.fine_size as f64 / self.coarse_size as f64;
+            ratio
         }
     }
 
@@ -204,6 +231,26 @@ mod tests {
         let report = c.report_observed(&fine, &off, "bucket-sum");
         assert_eq!(report.coarse_size, 25);
         assert_eq!(off.trace_len(), 0);
+    }
+
+    #[test]
+    fn profiled_report_feeds_trace_and_wall_profile() {
+        let c = BucketSum { bucket: 4 };
+        let fine: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let obs = smn_obs::Obs::enabled(smn_obs::clock::SimClock::new());
+        let report = c.report_profiled(&fine, &obs, "bucket-sum");
+        assert_eq!(report.coarse_size, 25);
+        assert_eq!(obs.trace_len(), 2); // enter + exit, same as report_observed
+        assert_eq!(obs.gauge_value("coarsen_bucket-sum_reduction"), Some(4.0));
+        let profile = obs.wall_profile();
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].path, "coarsen/bucket-sum");
+        assert_eq!(profile[0].count, 1);
+        // Disabled handle: same result, no profile rows.
+        let off = smn_obs::Obs::disabled();
+        let report = c.report_profiled(&fine, &off, "bucket-sum");
+        assert_eq!(report.coarse_size, 25);
+        assert!(off.wall_profile().is_empty());
     }
 
     #[test]

@@ -138,6 +138,26 @@ pub fn ingest_alerts_observed(
     report
 }
 
+/// [`ingest_alerts_observed`] run inside a profiled `lake/ingest` phase:
+/// same counters and trace event, plus the batch's wall time folds into
+/// the perf trajectory's wall profile.
+pub fn ingest_alerts_profiled(
+    clds: &Clds,
+    denoiser: &mut dyn Denoiser,
+    alerts: impl IntoIterator<Item = Alert>,
+    obs: &Obs,
+) -> IngestReport {
+    let mut phase = obs.phase("lake/ingest");
+    let report = ingest_alerts(clds, denoiser, alerts);
+    if obs.is_enabled() {
+        obs.inc_by("lake_ingested_total", report.ingested as u64);
+        obs.inc_by("lake_suppressed_total", report.suppressed as u64);
+        phase.field("ingested", report.ingested);
+        phase.field("suppressed", report.suppressed);
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -132,6 +132,26 @@ impl CoarseDepGraph {
         cdg
     }
 
+    /// [`CoarseDepGraph::from_fine_observed`] with the span opened as a
+    /// profiled phase: same trace/gauge output, plus the build's wall time
+    /// lands in the perf trajectory's wall profile under `cdg/build`.
+    #[allow(clippy::cast_precision_loss)] // node counts stay far below 2^52
+    pub fn from_fine_profiled(fine: &FineDepGraph, obs: &smn_obs::Obs) -> Self {
+        if !obs.is_enabled() {
+            return Self::from_fine(fine);
+        }
+        let mut phase = obs.phase("cdg/build");
+        let cdg = Self::from_fine(fine);
+        phase.field("fine_nodes", fine.graph.node_count());
+        phase.field("fine_edges", fine.graph.edge_count());
+        phase.field("teams", cdg.len());
+        phase.field("team_edges", cdg.graph.edge_count());
+        if !cdg.is_empty() {
+            obs.gauge("cdg_node_reduction", fine.graph.node_count() as f64 / cdg.len() as f64);
+        }
+        cdg
+    }
+
     /// Teams that transitively depend on `team` (including itself): the
     /// expected set of symptom-bearing teams if only `team` failed.
     #[must_use]

@@ -113,6 +113,34 @@ pub fn suggest_edges_observed(
     suggestions
 }
 
+/// [`suggest_edges_observed`] with the span opened as a profiled phase:
+/// identical trace/metric/audit output, plus the refinement's wall time
+/// folds into the perf trajectory's wall profile under `cdg/refine`.
+pub fn suggest_edges_profiled(
+    cdg: &CoarseDepGraph,
+    history: &[ResolvedIncident],
+    min_support: usize,
+    obs: &smn_obs::Obs,
+) -> Vec<SuggestedEdge> {
+    if !obs.is_enabled() {
+        return suggest_edges(cdg, history, min_support);
+    }
+    let mut phase = obs.phase("cdg/refine");
+    let suggestions = suggest_edges(cdg, history, min_support);
+    phase.field("incidents", history.len());
+    phase.field("min_support", min_support);
+    phase.field("suggestions", suggestions.len());
+    obs.inc_by("cdg_edges_suggested_total", suggestions.len() as u64);
+    for s in &suggestions {
+        obs.audit(
+            "depgraph/refine",
+            "suggest-edge",
+            &[("from", s.from.clone()), ("to", s.to.clone()), ("support", s.support.to_string())],
+        );
+    }
+    suggestions
+}
+
 /// Apply a suggestion to the CDG (the "refine" step an engineer confirms).
 ///
 /// Returns `false` when either team is unknown (nothing applied).

@@ -34,6 +34,13 @@
 //!   layer, locus bucket, and degradation rung, appear at most once,
 //!   and carry a hit count consistent with its status; the summary
 //!   tallies must agree with the rows they summarize.
+//! - `"bench-report"` — `{kind, schema, bench, seed, scale, revision,
+//!   metrics, attrs, phases}`: a unified perf-trajectory snapshot
+//!   (`smn_perf::BenchReport`). The schema version must be the one the
+//!   workspace emits, the topology scale must be a known sweep point,
+//!   metric names / attr names / phase paths must be unique, metric
+//!   values finite, and every wall-time aggregate a non-negative finite
+//!   millisecond count (NaN arrives as the string `"nan"` on the wire).
 //! - `"callgraph"` — `{kind, schema, functions, edges, unresolved,
 //!   counts}`: the canonical call-graph artifact `smn-lint --deep`
 //!   emits. Functions must be strictly sorted by id (sortedness is the
@@ -189,12 +196,13 @@ pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
                 "remediation-plan" => check_remediation_plan(&mut ck, &v),
                 "coverage-report" => check_coverage_report(&mut ck, &v),
                 "callgraph" => check_callgraph(&mut ck, &v),
+                "bench-report" => check_bench_report(&mut ck, &v),
                 other => ck.emit(
                     "artifact/unknown-kind",
                     vec![Step::key("kind")],
                     format!("unknown artifact kind `{other}`"),
                     "expected one of: cdg, topology, fault-campaign, coarsening, \
-                     stack, remediation-plan, coverage-report, callgraph",
+                     stack, remediation-plan, coverage-report, callgraph, bench-report",
                 ),
             },
             _ => ck.emit(
@@ -202,7 +210,7 @@ pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
                 vec![],
                 "artifact envelope lacks a string `kind` field",
                 "expected one of: cdg, topology, fault-campaign, coarsening, \
-                 stack, remediation-plan, coverage-report, callgraph",
+                 stack, remediation-plan, coverage-report, callgraph, bench-report",
             ),
         },
     }
@@ -956,6 +964,99 @@ fn check_coverage_report(ck: &mut Checker<'_>, v: &Value) {
                 format!("ratio is {ratio}, but covered/reachable = {expected}"),
                 "",
             );
+        }
+    }
+}
+
+// ------------------------------------------------------- bench-report ----
+
+fn check_bench_report(ck: &mut Checker<'_>, v: &Value) {
+    // Gate through the real schema type, so the checker can never drift
+    // from what the emitters serialize.
+    let report = match smn_perf::BenchReport::from_value(v) {
+        Ok(r) => r,
+        Err(e) => {
+            ck.emit(
+                "artifact/unreadable",
+                vec![],
+                format!("does not deserialize as a bench report: {e}"),
+                "expected {kind, schema, bench, seed, scale, revision, metrics, attrs, phases}",
+            );
+            return;
+        }
+    };
+
+    if report.schema != smn_perf::report::BENCH_REPORT_SCHEMA {
+        ck.emit(
+            "artifact/bench-schema",
+            vec![Step::key("schema")],
+            format!(
+                "schema version {} is not the supported version {}",
+                report.schema,
+                smn_perf::report::BENCH_REPORT_SCHEMA
+            ),
+            "re-record the snapshot with the current emitters; the schema \
+             version only moves when emitters and checker move together",
+        );
+    }
+    if !smn_perf::report::KNOWN_SCALES.contains(&report.scale.as_str()) {
+        ck.emit(
+            "artifact/bench-scale",
+            vec![Step::key("scale")],
+            format!("unknown topology scale `{}`", report.scale),
+            "expected one of: small, 300, 1000, 3000",
+        );
+    }
+
+    let mut seen = std::collections::BTreeSet::new();
+    for (i, m) in report.metrics.iter().enumerate() {
+        if !seen.insert(format!("m/{}", m.name)) {
+            ck.emit(
+                "artifact/duplicate-id",
+                vec![Step::key("metrics"), Step::Idx(i)],
+                format!("duplicate metric `{}`", m.name),
+                "metric names are unique per report; the regression gate indexes by name",
+            );
+        }
+        if !m.value.is_finite() {
+            ck.emit(
+                "artifact/negative-timing",
+                vec![Step::key("metrics"), Step::Idx(i)],
+                format!("metric `{}` has non-finite value {}", m.name, m.value),
+                "deterministic metrics gate strictly and must be finite",
+            );
+        }
+    }
+    for (i, a) in report.attrs.iter().enumerate() {
+        if !seen.insert(format!("a/{}", a.name)) {
+            ck.emit(
+                "artifact/duplicate-id",
+                vec![Step::key("attrs"), Step::Idx(i)],
+                format!("duplicate attr `{}`", a.name),
+                "attr names are unique per report",
+            );
+        }
+    }
+    for (i, p) in report.phases.iter().enumerate() {
+        if !seen.insert(format!("p/{}", p.path)) {
+            ck.emit(
+                "artifact/duplicate-id",
+                vec![Step::key("phases"), Step::Idx(i)],
+                format!("duplicate phase path `{}`", p.path),
+                "each span-tree path aggregates into exactly one phase row",
+            );
+        }
+        for (field, val) in
+            [("total_ms", p.total_ms), ("mean_ms", p.mean_ms), ("worst_ms", p.worst_ms)]
+        {
+            if !val.is_finite() || val < 0.0 {
+                ck.emit(
+                    "artifact/negative-timing",
+                    vec![Step::key("phases"), Step::Idx(i), Step::key(field)],
+                    format!("phase `{}` has invalid {field}: {val}", p.path),
+                    "wall aggregates are non-negative finite milliseconds",
+                );
+            }
         }
     }
 }

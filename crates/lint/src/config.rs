@@ -132,6 +132,9 @@ pub const ARTIFACT_RULES: &[&str] = &[
     "artifact/callgraph-order",
     "artifact/callgraph-count",
     "artifact/callgraph-ref",
+    "artifact/bench-schema",
+    "artifact/bench-scale",
+    "artifact/negative-timing",
 ];
 
 /// The lint configuration.
@@ -164,6 +167,9 @@ impl Default for Config {
                 "crates/heal/src/".into(),
                 "crates/incident/src/sim.rs".into(),
                 "crates/obs/src/".into(),
+                "crates/perf/src/diff.rs".into(),
+                "crates/perf/src/gate.rs".into(),
+                "crates/perf/src/report.rs".into(),
                 "crates/telemetry/src/".into(),
                 "crates/topology/src/stack.rs".into(),
             ],

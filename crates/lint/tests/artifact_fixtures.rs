@@ -26,6 +26,7 @@ fn good_fixtures_are_clean() {
         "good_coarsening.json",
         "good_remediation_plan.json",
         "good_generated_campaign.json",
+        "good_bench_report.json",
     ] {
         let out = check_fixture(name);
         assert!(out.is_empty(), "{name} should be clean, got {out:?}");
@@ -96,12 +97,60 @@ fn dangling_locus_yields_exactly_one_diagnostic_with_span() {
 }
 
 #[test]
+fn wrong_bench_schema_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_bench_report_schema.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/bench-schema");
+    // The span points at the `schema` value on line 3.
+    assert_eq!((d.line, d.col), (3, 13), "span moved: {d:?}");
+    assert!(d.message.contains("$.schema"), "{}", d.message);
+    assert!(d.message.contains("version 2"), "{}", d.message);
+}
+
+#[test]
+fn unknown_bench_scale_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_bench_report_scale.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/bench-scale");
+    // The span points at the `scale` value on line 6.
+    assert_eq!((d.line, d.col), (6, 12), "span moved: {d:?}");
+    assert!(d.message.contains("$.scale"), "{}", d.message);
+    assert!(d.message.contains("`450`"), "{}", d.message);
+}
+
+#[test]
+fn duplicate_phase_path_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_bench_report_dup_phase.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/duplicate-id");
+    // The span points at the second phase row on line 12.
+    assert_eq!((d.line, d.col), (12, 5), "span moved: {d:?}");
+    assert!(d.message.contains("$.phases[1]"), "{}", d.message);
+    assert!(d.message.contains("perf/te"), "{}", d.message);
+}
+
+#[test]
+fn nan_timing_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_bench_report_nan_timing.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/negative-timing");
+    // The span points at the string-encoded NaN `total_ms` on line 11.
+    assert_eq!((d.line, d.col), (11, 50), "span moved: {d:?}");
+    assert!(d.message.contains("$.phases[0].total_ms"), "{}", d.message);
+    assert!(d.message.contains("NaN"), "{}", d.message);
+}
+
+#[test]
 fn check_dir_sees_every_fixture_and_fails_on_the_bad_ones() {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let root = dir.clone();
     let (findings, checked) = smn_lint::artifact::check_dir(&root, &dir);
-    assert_eq!(checked, 11, "fixture corpus size changed");
-    assert_eq!(findings.len(), 5, "one finding per bad fixture: {findings:?}");
+    assert_eq!(checked, 16, "fixture corpus size changed");
+    assert_eq!(findings.len(), 9, "one finding per bad fixture: {findings:?}");
     let report = smn_lint::diag::Report::from_findings(findings);
     assert!(report.failed());
     let json = report.to_json();
@@ -111,6 +160,10 @@ fn check_dir_sees_every_fixture_and_fails_on_the_bad_ones() {
         "artifact/orphan-srlg",
         "artifact/unknown-target",
         "artifact/dangling-link-ref",
+        "artifact/bench-schema",
+        "artifact/bench-scale",
+        "artifact/duplicate-id",
+        "artifact/negative-timing",
     ] {
         assert!(json.contains(rule), "JSON report must carry {rule}: {json}");
     }

@@ -31,6 +31,7 @@
 pub mod audit;
 pub mod clock;
 pub mod metrics;
+pub mod profile;
 pub mod summary;
 pub mod trace;
 
@@ -42,19 +43,24 @@ use parking_lot::Mutex;
 use audit::AuditState;
 use clock::{Clock, SimClock};
 use metrics::MetricsState;
+use profile::ProfileState;
 use trace::{FieldValue, TracerState};
 
 pub use metrics::{Histogram, DEFAULT_MS_BUCKETS};
+pub use profile::{PhaseGuard, PhaseStat};
 pub use trace::{EventKind, TraceEvent};
 
 /// The observability handle: tracer + metrics + audit trail behind one
-/// enabled flag, shared by `Arc` across the pipeline.
+/// enabled flag, shared by `Arc` across the pipeline. A separate
+/// wall-time profile registry ([`Obs::phase`]) rides along for the perf
+/// trajectory; it never feeds the deterministic exports.
 pub struct Obs {
     enabled: bool,
     clock: Arc<dyn Clock>,
     tracer: Mutex<TracerState>,
     metrics: Mutex<MetricsState>,
     audit: Mutex<AuditState>,
+    profile: Mutex<ProfileState>,
 }
 
 // The three state mutexes are deliberately elided: dumping thousands of
@@ -76,6 +82,7 @@ impl Obs {
             tracer: Mutex::new(TracerState::default()),
             metrics: Mutex::new(MetricsState::default()),
             audit: Mutex::new(AuditState::default()),
+            profile: Mutex::new(ProfileState::default()),
         })
     }
 
@@ -89,6 +96,7 @@ impl Obs {
             tracer: Mutex::new(TracerState::default()),
             metrics: Mutex::new(MetricsState::default()),
             audit: Mutex::new(AuditState::default()),
+            profile: Mutex::new(ProfileState::default()),
         })
     }
 
@@ -129,6 +137,35 @@ impl Obs {
         let owned: Vec<(String, FieldValue)> =
             fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect();
         self.tracer.lock().point(self.clock.now(), name, owned);
+    }
+
+    // ----------------------------------------------------------- profiling
+
+    /// Open a profiled phase: a trace span plus a wall-time measurement
+    /// accumulated under the `;`-joined path of open phases (see
+    /// [`profile`]). No-op (no clock read) on a disabled handle.
+    // smn-lint: allow(deep/determinism-taint) -- wall readings stay in the profile registry, never in deterministic exports
+    pub fn phase(&self, name: &str) -> PhaseGuard<'_> {
+        profile::begin(self, name)
+    }
+
+    /// Fold one synthetic observation into the wall profile — the pure,
+    /// deterministic front door used by tests and report replays.
+    pub fn record_phase_ns(&self, path: &str, ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.profile.lock().record(path, ns);
+    }
+
+    /// The accumulated wall profile, path-sorted.
+    pub fn wall_profile(&self) -> Vec<PhaseStat> {
+        self.profile.lock().stats()
+    }
+
+    /// The wall profile as folded-stack text for flamegraph tooling.
+    pub fn wall_profile_folded(&self) -> String {
+        self.profile.lock().folded()
     }
 
     // ------------------------------------------------------------- metrics

@@ -1,0 +1,235 @@
+//! The perf regression gate (`smn perf gate`).
+//!
+//! The gate compares a current report set against committed baselines and
+//! reports violations. It is deliberately two-faced, matching the schema's
+//! split (see [`crate::report`]):
+//!
+//! * **Metrics** are deterministic, so they gate *strictly*: any relative
+//!   deviation beyond `metric_tol` (default 0 — exact equality) is a
+//!   violation. A legitimate algorithm change shows up here and is
+//!   answered by re-recording the baseline in the same PR.
+//! * **Phases** are wall time on whatever machine ran the suite, so they
+//!   gate *leniently*: only a blowup beyond `wall_factor`× the baseline
+//!   total (default 25×) trips, catching complexity regressions without
+//!   flaking on hardware variance.
+//!
+//! All comparisons use strict `>`: a value exactly at its threshold
+//! passes, the next representable value above it fails.
+
+use std::collections::BTreeMap;
+
+use crate::report::BenchReport;
+
+/// Gate thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateConfig {
+    /// Maximum allowed relative deviation of a deterministic metric
+    /// (`|cur - base| / |base|`; absolute deviation when the baseline is
+    /// zero).
+    pub metric_tol: f64,
+    /// Maximum allowed ratio `cur.total_ms / base.total_ms` per phase.
+    pub wall_factor: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { metric_tol: 0.0, wall_factor: 25.0 }
+    }
+}
+
+/// One gate violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Bench the violation is in.
+    pub bench: String,
+    /// Violation class: `"missing-bench"`, `"missing-metric"`,
+    /// `"metric-regression"`, `"non-finite-metric"`, or
+    /// `"wall-regression"`.
+    pub kind: String,
+    /// Metric name or phase path.
+    pub name: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+fn violation(bench: &str, kind: &str, name: &str, message: String) -> Violation {
+    Violation { bench: bench.to_string(), kind: kind.to_string(), name: name.to_string(), message }
+}
+
+/// Gate `current` against `baseline`. Empty result = pass. Benches present
+/// only in `current` are allowed (the trajectory grows); benches present
+/// only in `baseline` are violations (coverage must not silently shrink).
+#[must_use]
+pub fn gate_reports(
+    baseline: &[BenchReport],
+    current: &[BenchReport],
+    cfg: &GateConfig,
+) -> Vec<Violation> {
+    let mut c_ix: BTreeMap<&str, &BenchReport> = BTreeMap::new();
+    for r in current {
+        c_ix.entry(r.bench.as_str()).or_insert(r);
+    }
+    let mut out = Vec::new();
+    for base in baseline {
+        let bench = base.bench.as_str();
+        let Some(cur) = c_ix.get(bench) else {
+            out.push(violation(
+                bench,
+                "missing-bench",
+                bench,
+                "bench present in baseline but absent from current run".to_string(),
+            ));
+            continue;
+        };
+        for m in &base.metrics {
+            let Some(cv) = cur.metric(&m.name) else {
+                out.push(violation(
+                    bench,
+                    "missing-metric",
+                    &m.name,
+                    format!("metric absent from current run (baseline {})", m.value),
+                ));
+                continue;
+            };
+            if !cv.is_finite() {
+                out.push(violation(
+                    bench,
+                    "non-finite-metric",
+                    &m.name,
+                    format!("current value {cv} is not finite"),
+                ));
+                continue;
+            }
+            let deviation =
+                if m.value == 0.0 { cv.abs() } else { (cv - m.value).abs() / m.value.abs() };
+            if deviation > cfg.metric_tol {
+                out.push(violation(
+                    bench,
+                    "metric-regression",
+                    &m.name,
+                    format!(
+                        "{} -> {cv} deviates {deviation:.6} > tolerance {:.6}",
+                        m.value, cfg.metric_tol
+                    ),
+                ));
+            }
+        }
+        for p in &base.phases {
+            let Some(cp) = BenchReport::phase(cur, &p.path) else { continue };
+            if p.total_ms > 0.0 && cp.total_ms > cfg.wall_factor * p.total_ms {
+                out.push(violation(
+                    bench,
+                    "wall-regression",
+                    &p.path,
+                    format!(
+                        "{:.3}ms -> {:.3}ms exceeds {}x the baseline",
+                        p.total_ms, cp.total_ms, cfg.wall_factor
+                    ),
+                ));
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.bench, &a.kind, &a.name).cmp(&(&b.bench, &b.kind, &b.name)));
+    out
+}
+
+/// Render violations for the CLI (`"gate: pass\n"` when empty).
+#[must_use]
+pub fn render_gate(violations: &[Violation]) -> String {
+    use std::fmt::Write;
+    if violations.is_empty() {
+        return "gate: pass\n".to_string();
+    }
+    let mut out = String::new();
+    for v in violations {
+        let _ = writeln!(out, "gate: FAIL [{}] {} {}: {}", v.kind, v.bench, v.name, v.message);
+    }
+    let _ = writeln!(out, "gate: {} violation(s)", violations.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Phase;
+
+    fn report(bench: &str) -> BenchReport {
+        let mut r = BenchReport::new(bench, 7, "300");
+        r.push_metric("iterations", 100.0, "count");
+        r.push_phase(Phase::from_wall_stats("perf/te", 1, 2.0, 2.0));
+        r
+    }
+
+    #[test]
+    fn identical_sets_pass() {
+        let a = [report("x")];
+        assert!(gate_reports(&a, &a, &GateConfig::default()).is_empty());
+        assert_eq!(render_gate(&[]), "gate: pass\n");
+    }
+
+    #[test]
+    fn metric_gate_trips_strictly_above_tolerance() {
+        let base = [report("x")];
+        let cfg = GateConfig { metric_tol: 0.10, ..Default::default() };
+        // Exactly at the boundary: |110 - 100| / 100 == 0.10 — passes.
+        let mut at = [report("x")];
+        at[0].metrics[0].value = 110.0;
+        assert!(gate_reports(&base, &at, &cfg).is_empty());
+        // The next step above trips.
+        let mut over = [report("x")];
+        over[0].metrics[0].value = 110.00001;
+        let v = gate_reports(&base, &over, &cfg);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "metric-regression");
+    }
+
+    #[test]
+    fn zero_tolerance_requires_exact_equality() {
+        let base = [report("x")];
+        let mut cur = [report("x")];
+        cur[0].metrics[0].value = 100.0 + f64::EPSILON * 128.0;
+        assert_eq!(gate_reports(&base, &cur, &GateConfig::default()).len(), 1);
+        cur[0].metrics[0].value = 100.0;
+        assert!(gate_reports(&base, &cur, &GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn wall_gate_trips_strictly_above_factor() {
+        let base = [report("x")];
+        let cfg = GateConfig { wall_factor: 4.0, ..Default::default() };
+        // Exactly 4x the 2.0ms baseline passes.
+        let mut at = [report("x")];
+        at[0].phases[0].total_ms = 8.0;
+        assert!(gate_reports(&base, &at, &cfg).is_empty());
+        let mut over = [report("x")];
+        over[0].phases[0].total_ms = 8.000_001;
+        let v = gate_reports(&base, &over, &cfg);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "wall-regression");
+        assert!(render_gate(&v).contains("wall-regression"));
+    }
+
+    #[test]
+    fn missing_coverage_is_a_violation_but_growth_is_not() {
+        let base = [report("x")];
+        let mut cur = vec![report("x"), report("brand-new")];
+        cur[0].metrics.clear();
+        let v = gate_reports(&base, &cur, &GateConfig::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "missing-metric");
+        // A missing bench trips too.
+        let v = gate_reports(&base, &[report("other")], &GateConfig::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "missing-bench");
+    }
+
+    #[test]
+    fn non_finite_current_metric_is_flagged() {
+        let base = [report("x")];
+        let mut cur = [report("x")];
+        cur[0].metrics[0].value = f64::NAN;
+        let v = gate_reports(&base, &cur, &GateConfig::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "non-finite-metric");
+    }
+}

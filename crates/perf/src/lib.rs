@@ -1,0 +1,31 @@
+//! # smn-perf — performance observability for Software Managed Networks
+//!
+//! This crate holds the perf-trajectory layer built on top of `smn-obs`:
+//!
+//! * [`report`] — the unified, versioned [`BenchReport`] schema that every
+//!   `BENCH_*.json` snapshot in the workspace serializes to.
+//! * [`record`] — the `smn perf record` suite: one deterministic pass over
+//!   the pipeline's hot paths (topology → telemetry → lake → coarsening →
+//!   CDG → TE) at a chosen scale point, driven through the workspace's
+//!   profiled entry points so wall time lands in span-tree phases and
+//!   outcomes land in strictly-gated metrics.
+//! * [`diff`] — order-independent, byte-stable comparison of report sets.
+//! * [`gate`] — the regression gate: strict on deterministic metrics,
+//!   lenient (blowup-factor) on machine-dependent wall phases.
+//!
+//! The split between metrics and phases is the crate's core idea: a CI
+//! gate must never flake on hardware variance, yet must catch real
+//! regressions the instant they land. Deterministic outcomes give the
+//! former teeth; wall-factor bounds give the latter a tripwire.
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod gate;
+pub mod record;
+pub mod report;
+
+pub use diff::{diff_reports, render_diff, DiffRow};
+pub use gate::{gate_reports, render_gate, GateConfig, Violation};
+pub use record::{RecordConfig, RecordOutcome, Scale};
+pub use report::{Attr, BenchReport, Metric, Phase};

@@ -133,10 +133,8 @@ pub fn max_multicommodity_flow_with_paths<N, E>(
     cfg: &TeConfig,
 ) -> TeSolution {
     assert_eq!(paths.len(), demand.commodities.len(), "one path set per commodity");
-    let n_comm = demand.commodities.len();
-    // Row layout: 0..n_edges = edges, n_edges..n_edges+n_comm = demands.
     let n_edges = g.edge_count();
-    let n_rows = n_edges + n_comm;
+    let n_rows = n_edges + demand.commodities.len();
     let row_cap = |row: usize| -> f64 {
         if row < n_edges {
             // Saturating cast policy: edge ids are u32, so a row below
@@ -147,26 +145,76 @@ pub fn max_multicommodity_flow_with_paths<N, E>(
             demand.commodities[row - n_edges].demand_gbps
         }
     };
-    let eps = cfg.epsilon;
-    let m = n_rows.max(2) as f64;
-    let delta = (1.0 + eps) * ((1.0 + eps) * m).powf(-1.0 / eps);
-    let mut length: Vec<f64> = (0..n_rows)
-        .map(|r| {
-            let c = row_cap(r);
-            if c > 0.0 {
-                delta / c
-            } else {
-                f64::INFINITY
-            }
-        })
-        .collect();
-    // Column definitions: (commodity, path index, rows touched).
-    struct Column {
-        commodity: usize,
-        path: usize,
-        rows: Vec<usize>,
-    }
-    let columns: Vec<Column> = paths
+    let columns = gk_columns(paths, n_edges);
+    let mut length = gk_lengths(n_rows, cfg.epsilon, &row_cap);
+    let (raw_flow, iterations) =
+        gk_pack(&columns, &mut length, &row_cap, cfg.epsilon, cfg.max_iterations);
+    let feas_scale = gk_feasibility_scale(&columns, &raw_flow, n_rows, &row_cap);
+    gk_assemble(g, &capacity, demand, paths, &columns, &raw_flow, feas_scale, iterations)
+}
+
+/// [`max_multicommodity_flow`] with every solver stage wrapped in a
+/// profiled phase under `te/gk` (`gk/paths`, `gk/pack`, `gk/rescale`,
+/// `gk/assemble` in the wall profile): identical solution, and the
+/// multiplicative-weights inner loop becomes individually visible in the
+/// perf trajectory.
+pub fn max_multicommodity_flow_profiled<N, E>(
+    g: &DiGraph<N, E>,
+    capacity: impl Fn(EdgeId, &Edge<E>) -> f64,
+    demand: &DemandMatrix,
+    cfg: &TeConfig,
+    obs: &smn_obs::Obs,
+) -> TeSolution {
+    let mut outer = obs.phase("te/gk");
+    let paths = {
+        let _p = obs.phase("gk/paths");
+        path_sets(g, &capacity, demand, cfg.k_paths)
+    };
+    assert_eq!(paths.len(), demand.commodities.len(), "one path set per commodity");
+    let n_edges = g.edge_count();
+    let n_rows = n_edges + demand.commodities.len();
+    let row_cap = |row: usize| -> f64 {
+        if row < n_edges {
+            let eid = EdgeId(u32::try_from(row).unwrap_or(u32::MAX));
+            capacity(eid, g.edge(eid))
+        } else {
+            demand.commodities[row - n_edges].demand_gbps
+        }
+    };
+    let columns = gk_columns(&paths, n_edges);
+    let mut length = gk_lengths(n_rows, cfg.epsilon, &row_cap);
+    let (raw_flow, iterations) = {
+        let mut p = obs.phase("gk/pack");
+        let packed = gk_pack(&columns, &mut length, &row_cap, cfg.epsilon, cfg.max_iterations);
+        p.field("iterations", packed.1);
+        p.field("columns", columns.len());
+        packed
+    };
+    let feas_scale = {
+        let _p = obs.phase("gk/rescale");
+        gk_feasibility_scale(&columns, &raw_flow, n_rows, &row_cap)
+    };
+    let solution = {
+        let _p = obs.phase("gk/assemble");
+        gk_assemble(g, &capacity, demand, &paths, &columns, &raw_flow, feas_scale, iterations)
+    };
+    outer.field("routed_gbps", solution.routed_gbps);
+    outer.field("iterations", solution.iterations);
+    solution
+}
+
+/// One packing column: a (commodity, candidate-path) pair and the rows it
+/// uses (the path's edges plus the commodity's demand row).
+struct Column {
+    commodity: usize,
+    path: usize,
+    rows: Vec<usize>,
+}
+
+/// GK stage 1: build the packing columns over the row layout
+/// `0..n_edges = edges, n_edges.. = demands`.
+fn gk_columns(paths: &[Vec<Path>], n_edges: usize) -> Vec<Column> {
+    paths
         .iter()
         .enumerate()
         .flat_map(|(ci, ps)| {
@@ -181,10 +229,41 @@ pub fn max_multicommodity_flow_with_paths<N, E>(
                     .collect(),
             })
         })
-        .collect();
+        .collect()
+}
+
+/// GK stage 1b: initial row lengths `delta / cap` (∞ for zero-capacity
+/// rows, which no column may then use).
+fn gk_lengths(n_rows: usize, eps: f64, row_cap: &impl Fn(usize) -> f64) -> Vec<f64> {
+    #[allow(clippy::cast_precision_loss)] // row counts stay far below 2^52
+    let m = n_rows.max(2) as f64;
+    let delta = (1.0 + eps) * ((1.0 + eps) * m).powf(-1.0 / eps);
+    (0..n_rows)
+        .map(|r| {
+            let c = row_cap(r);
+            if c > 0.0 {
+                delta / c
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect()
+}
+
+/// GK stage 2, the multiplicative-weights inner loop: repeatedly push the
+/// bottleneck capacity down the cheapest column and inflate the lengths of
+/// the rows it used. Returns the raw (infeasible) per-column flow and the
+/// iteration count.
+fn gk_pack(
+    columns: &[Column],
+    length: &mut [f64],
+    row_cap: &impl Fn(usize) -> f64,
+    eps: f64,
+    max_iterations: usize,
+) -> (Vec<f64>, usize) {
     let mut raw_flow = vec![0.0f64; columns.len()];
     let mut iterations = 0usize;
-    while iterations < cfg.max_iterations {
+    while iterations < max_iterations {
         // Cheapest column under current lengths.
         let mut best: Option<(usize, f64)> = None;
         for (i, col) in columns.iter().enumerate() {
@@ -208,9 +287,19 @@ pub fn max_multicommodity_flow_with_paths<N, E>(
         }
         iterations += 1;
     }
-    // Theoretical scale factor, then exact feasibility rescale.
-    let scale = ((1.0 + eps).ln() / delta.ln().abs()).recip().max(0.0);
-    let _ = scale; // the exact rescale below subsumes the theoretical one
+    (raw_flow, iterations)
+}
+
+/// GK stage 3: exact feasibility rescale factor. The theoretical
+/// `ln(1+eps)/|ln delta|` scale is subsumed by measuring the worst actual
+/// row overuse and scaling it back to 1, so the returned flow never
+/// overuses a link or a demand regardless of `epsilon`.
+fn gk_feasibility_scale(
+    columns: &[Column],
+    raw_flow: &[f64],
+    n_rows: usize,
+    row_cap: &impl Fn(usize) -> f64,
+) -> f64 {
     let mut row_use = vec![0.0f64; n_rows];
     for (i, col) in columns.iter().enumerate() {
         for &r in &col.rows {
@@ -227,8 +316,26 @@ pub fn max_multicommodity_flow_with_paths<N, E>(
             }
         })
         .fold(0.0f64, f64::max);
-    let feas_scale = if worst > 1.0 { 1.0 / worst } else { 1.0 };
+    if worst > 1.0 {
+        1.0 / worst
+    } else {
+        1.0
+    }
+}
 
+/// GK stage 4: turn the rescaled column flows into a [`TeSolution`]
+/// (dropping sub-1e-9 residues).
+#[allow(clippy::too_many_arguments)] // internal stage fn: plumbing the solver's full context
+fn gk_assemble<N, E>(
+    g: &DiGraph<N, E>,
+    capacity: &impl Fn(EdgeId, &Edge<E>) -> f64,
+    demand: &DemandMatrix,
+    paths: &[Vec<Path>],
+    columns: &[Column],
+    raw_flow: &[f64],
+    feas_scale: f64,
+    iterations: usize,
+) -> TeSolution {
     let mut solution =
         TeSolution { offered_gbps: demand.total_gbps(), iterations, ..Default::default() };
     for (i, col) in columns.iter().enumerate() {
@@ -439,6 +546,29 @@ mod tests {
         let sol = greedy_min_max_utilization(&g, cap, &demand, &TeConfig::default());
         assert!((sol.routed_gbps - 40.0).abs() < 1e-9);
         assert!(sol.max_utilization() > 1.9, "overload must show: {}", sol.max_utilization());
+    }
+
+    #[test]
+    fn profiled_gk_matches_plain_and_profiles_stages() {
+        let g = parallel_graph();
+        let demand = DemandMatrix::from_triples([(NodeId(0), NodeId(1), 100.0)]);
+        let cfg = TeConfig::default();
+        let plain = max_multicommodity_flow(&g, cap, &demand, &cfg);
+        let obs = smn_obs::Obs::enabled(smn_obs::clock::SimClock::new());
+        let profiled = max_multicommodity_flow_profiled(&g, cap, &demand, &cfg, &obs);
+        assert_eq!(profiled.routed_gbps, plain.routed_gbps);
+        assert_eq!(profiled.iterations, plain.iterations);
+        assert_eq!(profiled.flows.len(), plain.flows.len());
+        let paths: Vec<String> = obs.wall_profile().into_iter().map(|s| s.path).collect();
+        assert_eq!(
+            paths,
+            ["te/gk", "te/gk;gk/assemble", "te/gk;gk/pack", "te/gk;gk/paths", "te/gk;gk/rescale"]
+        );
+        // Disabled handle: same result, empty profile.
+        let off = smn_obs::Obs::disabled();
+        let quiet = max_multicommodity_flow_profiled(&g, cap, &demand, &cfg, &off);
+        assert_eq!(quiet.routed_gbps, plain.routed_gbps);
+        assert!(off.wall_profile().is_empty());
     }
 
     #[test]

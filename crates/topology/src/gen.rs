@@ -81,6 +81,46 @@ impl PlanetaryConfig {
         }
     }
 
+    /// The ~1000-DC scale-sweep point: 6 populated continents, 48 regions.
+    /// Region sizes grow with the network (17–25 DCs) the way hyperscaler
+    /// build-outs densify existing metros rather than only adding new ones.
+    #[must_use]
+    pub fn scale_1000(seed: u64) -> Self {
+        Self {
+            seed,
+            // na: 12 x 25 = 300, eu: 10 x 21 = 210, ap: 10 x 19 = 190,
+            // sa: 6 x 17 = 102, af: 6 x 17 = 102, oc: 4 x 24 = 96.
+            continents: vec![
+                (Continent::NorthAmerica, 12, 25),
+                (Continent::Europe, 10, 21),
+                (Continent::Asia, 10, 19),
+                (Continent::SouthAmerica, 6, 17),
+                (Continent::Africa, 6, 17),
+                (Continent::Oceania, 4, 24),
+            ],
+            ..Self::default()
+        }
+    }
+
+    /// The ~3000-DC scale-sweep point: 6 populated continents, 89 regions.
+    #[must_use]
+    pub fn scale_3000(seed: u64) -> Self {
+        Self {
+            seed,
+            // na: 24 x 40 = 960, eu: 20 x 35 = 700, ap: 20 x 35 = 700,
+            // sa: 10 x 30 = 300, af: 8 x 25 = 200, oc: 7 x 20 = 140.
+            continents: vec![
+                (Continent::NorthAmerica, 24, 40),
+                (Continent::Europe, 20, 35),
+                (Continent::Asia, 20, 35),
+                (Continent::SouthAmerica, 10, 30),
+                (Continent::Africa, 8, 25),
+                (Continent::Oceania, 7, 20),
+            ],
+            ..Self::default()
+        }
+    }
+
     /// Total datacenter count this config will generate.
     #[must_use]
     pub fn dc_count(&self) -> usize {
@@ -340,6 +380,26 @@ mod tests {
         let p = generate_planetary(&cfg);
         assert_eq!(p.wan.dc_count(), 300);
         assert!(p.wan.link_count() > 600, "links: {}", p.wan.link_count());
+    }
+
+    #[test]
+    fn scale_sweep_configs_hit_their_dc_targets() {
+        assert_eq!(PlanetaryConfig::scale_1000(7).dc_count(), 1000);
+        assert_eq!(PlanetaryConfig::scale_3000(7).dc_count(), 3000);
+        // The sweep keeps the paper's "few high-traffic regions" shape:
+        // region count grows sublinearly with DC count.
+        assert_eq!(
+            PlanetaryConfig::scale_1000(7).continents.iter().map(|c| c.1).sum::<usize>(),
+            48
+        );
+        assert_eq!(
+            PlanetaryConfig::scale_3000(7).continents.iter().map(|c| c.1).sum::<usize>(),
+            89
+        );
+        let p = generate_planetary(&PlanetaryConfig::scale_1000(7));
+        assert_eq!(p.wan.dc_count(), 1000);
+        let (_, n) = p.wan.graph.weakly_connected_components();
+        assert_eq!(n, 1, "scale-1000 WAN must be connected");
     }
 
     #[test]

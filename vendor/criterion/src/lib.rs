@@ -5,14 +5,46 @@
 //! `bench_with_input`) but only runs each closure a handful of times and
 //! prints rough wall-clock timings — no statistics, no reports. Enough to
 //! keep `cargo bench` compiling and producing an ordering signal offline.
+//!
+//! Departure from upstream: every completed benchmark is also recorded as
+//! a [`BenchResult`] on the [`Criterion`] driver, and `criterion_group!`
+//! returns the driver. Bench binaries with custom `main`s use this to
+//! serialize their timings into the workspace's `BENCH_*.json`
+//! perf-trajectory reports; `criterion_main!` keeps the classic
+//! run-and-discard behavior.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
-/// Top-level benchmark driver.
+/// One completed benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full label (`group/function/parameter`).
+    pub label: String,
+    /// Iterations timed.
+    pub iters: u64,
+    /// Total wall time over all iterations.
+    pub elapsed: Duration,
+}
+
+impl BenchResult {
+    /// Mean wall milliseconds per iteration.
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)] // iteration counts stay tiny
+            let iters = self.iters as f64;
+            self.elapsed.as_secs_f64() * 1e3 / iters
+        }
+    }
+}
+
+/// Top-level benchmark driver; accumulates every measurement it runs.
 #[derive(Default)]
 pub struct Criterion {
-    _priv: (),
+    results: Vec<BenchResult>,
 }
 
 /// Throughput annotation for a benchmark group.
@@ -44,6 +76,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Time `routine` over a small fixed number of iterations.
+    #[allow(clippy::iter_not_returning_iterator)] // upstream criterion API name
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let start = Instant::now();
         for _ in 0..self.iters {
@@ -53,18 +86,20 @@ impl Bencher {
     }
 }
 
-fn run_one(label: &str, iters: u64, f: impl FnOnce(&mut Bencher)) {
+fn run_one(label: &str, iters: u64, f: impl FnOnce(&mut Bencher)) -> BenchResult {
     let mut b = Bencher { iters, elapsed: Duration::ZERO };
     f(&mut b);
-    let per_iter = if b.elapsed.is_zero() { Duration::ZERO } else { b.elapsed / (iters as u32) };
+    let div = u32::try_from(iters).unwrap_or(u32::MAX).max(1);
+    let per_iter = if b.elapsed.is_zero() { Duration::ZERO } else { b.elapsed / div };
     println!("bench {label}: ~{per_iter:?}/iter over {iters} iters");
+    BenchResult { label: label.to_string(), iters, elapsed: b.elapsed }
 }
 
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'c> {
     name: String,
     iters: u64,
-    _criterion: &'c mut Criterion,
+    criterion: &'c mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -80,7 +115,8 @@ impl BenchmarkGroup<'_> {
 
     /// Benchmark a closure under this group.
     pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) {
-        run_one(&format!("{}/{id}", self.name), self.iters, f);
+        let r = run_one(&format!("{}/{id}", self.name), self.iters, f);
+        self.criterion.results.push(r);
     }
 
     /// Benchmark a closure with a borrowed input.
@@ -90,7 +126,10 @@ impl BenchmarkGroup<'_> {
         input: &I,
         f: impl FnOnce(&mut Bencher, &I),
     ) {
-        run_one(&format!("{}/{}", self.name, id.name), self.iters, |b| f(b, input));
+        let BenchmarkId { name } = id;
+        let label = format!("{}/{name}", self.name);
+        let r = run_one(&label, self.iters, |b| f(b, input));
+        self.criterion.results.push(r);
     }
 
     /// Finish the group (no-op).
@@ -100,22 +139,31 @@ impl BenchmarkGroup<'_> {
 impl Criterion {
     /// Start a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), iters: 3, _criterion: self }
+        BenchmarkGroup { name: name.to_string(), iters: 3, criterion: self }
     }
 
     /// Benchmark a standalone closure.
     pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) {
-        run_one(&id.to_string(), 3, f);
+        let r = run_one(&id.to_string(), 3, f);
+        self.results.push(r);
+    }
+
+    /// Every measurement recorded so far, in execution order.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
-/// Declare a benchmark group function.
+/// Declare a benchmark group function; it runs the targets and returns the
+/// [`Criterion`] driver carrying their measurements.
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
-        fn $group() {
+        fn $group() -> $crate::Criterion {
             let mut c = $crate::Criterion::default();
             $($target(&mut c);)+
+            c
         }
     };
 }
@@ -125,7 +173,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            $($group();)+
+            $(let _ = $group();)+
         }
     };
 }
