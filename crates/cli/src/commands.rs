@@ -7,18 +7,25 @@ use smn_core::bwlogs::{TimeCoarsener, TopologyCoarsener};
 use smn_core::coarsen::Coarsening;
 use smn_core::controller::{ControllerConfig, Feedback, SmnController};
 use smn_core::simulation::{SimulationConfig, SmnSimulation};
+use smn_core::stream::{DeltaJournal, StreamConfig, StreamError, StreamState, TickOutcome};
 use smn_coverage::{
     generate_covering_campaign, replay_campaign, CoverageReport, FaultLattice, GeneratedCampaign,
     GeneratorConfig, ReplayConfig,
 };
+use smn_depgraph::coarse::CoarseDepGraph;
+use smn_depgraph::delta::GraphDelta;
 use smn_depgraph::dot::cdg_to_dot;
+use smn_depgraph::fine::{Component, DependencyKind, Layer};
 use smn_depgraph::syndrome::Explainability;
 use smn_heal::{route_to_team_mttr, Diagnosis, HealConfig, HealWorld, Healer, RemediationPhase};
 use smn_incident::faults::{generate_campaign, CampaignConfig, FaultKind, FaultSpec};
 use smn_incident::sim::{observe, SimConfig};
 use smn_incident::{DeploymentStack, RedditDeployment};
+use smn_obs::clock::SimClock;
+use smn_obs::Obs;
 use smn_te::demand::DemandMatrix;
 use smn_te::mcf::{greedy_min_max_utilization, TeConfig};
+use smn_telemetry::delta::TelemetryDelta;
 use smn_telemetry::series::Statistic;
 use smn_telemetry::time::Ts;
 use smn_telemetry::traffic::{TrafficConfig, TrafficModel};
@@ -239,6 +246,255 @@ pub fn run(args: &[String]) -> Result<(), String> {
 pub fn cdg() {
     let d = RedditDeployment::build();
     print!("{}", cdg_to_dot(&d.cdg, "simulated Reddit CDG"));
+}
+
+/// Flags accepted by `smn stream`, with their defaults.
+struct StreamFlags {
+    scale: smn_perf::Scale,
+    ticks: usize,
+    seed: u64,
+    reconcile_every: u64,
+    journal: Option<String>,
+    json: bool,
+}
+
+fn parse_stream_flags(args: &[String]) -> Result<StreamFlags, String> {
+    const STREAM_USAGE: &str = "usage: smn stream [--scale small|300|1000|3000] [--ticks N] \
+                                [--seed N] [--reconcile-every N] [--journal FILE] [--json]";
+    let mut flags = StreamFlags {
+        scale: smn_perf::Scale::Small,
+        ticks: 12,
+        seed: 7,
+        reconcile_every: 4,
+        journal: None,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{a} needs {what}"))
+        };
+        match a.as_str() {
+            "--json" => flags.json = true,
+            "--scale" => flags.scale = smn_perf::Scale::parse(&take("a scale")?)?,
+            "--ticks" => {
+                let s = take("a number")?;
+                flags.ticks =
+                    s.parse().map_err(|_| format!("--ticks needs a number, got '{s}'"))?;
+            }
+            "--seed" => {
+                let s = take("a number")?;
+                flags.seed = s.parse().map_err(|_| format!("--seed needs a number, got '{s}'"))?;
+            }
+            "--reconcile-every" => {
+                let s = take("a number")?;
+                flags.reconcile_every = s
+                    .parse()
+                    .map_err(|_| format!("--reconcile-every needs a number, got '{s}'"))?;
+            }
+            "--journal" => flags.journal = Some(take("a file path")?),
+            other => return Err(format!("unexpected argument '{other}'\n{STREAM_USAGE}")),
+        }
+    }
+    if flags.ticks == 0 {
+        return Err("--ticks must be at least 1".to_string());
+    }
+    Ok(flags)
+}
+
+/// Deterministic fine-graph churn for tick `tick`: every third tick a new
+/// service comes up in a rotating team with a call edge from a rotating
+/// pre-existing component.
+fn stream_churn(tick: u64, teams: &[String], names: &[String]) -> Option<GraphDelta> {
+    if tick % 3 != 2 || teams.is_empty() || names.is_empty() {
+        return None;
+    }
+    let mut d = GraphDelta::new(tick);
+    let name = format!("svc-tick-{tick}");
+    #[allow(clippy::cast_possible_truncation)] // rotation index, bounded by len
+    let team = &teams[(tick as usize / 3) % teams.len()];
+    d.push_component(Component {
+        name: name.clone(),
+        service: name.clone(),
+        team: team.clone(),
+        layer: Layer::Application,
+    });
+    #[allow(clippy::cast_possible_truncation)]
+    let src = &names[tick as usize % names.len()];
+    d.push_dependency(src.clone(), name, DependencyKind::Call);
+    Some(d)
+}
+
+/// Per-tick measurements reported by `smn stream`.
+struct StreamTickRow {
+    outcome: TickOutcome,
+    apply_ms: f64,
+    batch_ms: f64,
+}
+
+impl StreamTickRow {
+    fn speedup(&self) -> f64 {
+        self.batch_ms / self.apply_ms.max(1e-6)
+    }
+}
+
+/// `smn stream` — run the incremental streaming loop and report
+/// delta-apply vs full-recompute wall time per tick.
+///
+/// Generates `--ticks` five-minute telemetry epochs at `--scale`, feeds
+/// them tick by tick through `SmnController::stream_tick` (with periodic
+/// fine-graph churn), and times both the incremental apply and the batch
+/// recompute it replaces. Reconciliation runs every `--reconcile-every`
+/// ticks and once more at the end; any divergence is reported and exits
+/// non-zero. `--journal` writes the `delta-journal` artifact that
+/// `smn lint` checks.
+#[allow(clippy::too_many_lines)] // linear report script: run, journal, render
+pub fn stream(args: &[String]) -> Result<(), String> {
+    let flags = parse_stream_flags(args)?;
+    let planetary = generate_planetary(&flags.scale.config(flags.seed));
+    let model = TrafficModel::new(&planetary.wan, TrafficConfig::default());
+    let log = model.generate(Ts::from_days(2), flags.ticks);
+    let deltas = TelemetryDelta::split_epochs(&log, 0);
+
+    let d = RedditDeployment::build();
+    let initial_names: Vec<String> = d.fine.graph.nodes().map(|(_, c)| c.name.clone()).collect();
+    let teams = d.fine.teams();
+    let mut ctl =
+        SmnController::new(CoarseDepGraph::from_fine(&d.fine), ControllerConfig::default());
+    ctl.set_obs(Obs::enabled(SimClock::new()));
+    let cfg = StreamConfig { reconcile_every: flags.reconcile_every, ..StreamConfig::default() };
+    let mut state = StreamState::new(cfg, d.fine.clone());
+
+    let mut journal = DeltaJournal::new(
+        flags.scale.as_str(),
+        flags.seed,
+        planetary.wan.dc_count() as u64,
+        initial_names.clone(),
+        flags.reconcile_every,
+    );
+    let mut rows: Vec<StreamTickRow> = Vec::with_capacity(deltas.len());
+    let mut full_log = Vec::with_capacity(log.len());
+    let mut verdict: Result<(), StreamError> = Ok(());
+    for td in &deltas {
+        let churn = stream_churn(td.tick, &teams, &initial_names);
+        let (applied, apply_ms) =
+            smn_bench::timer::time_ms(|| ctl.stream_tick(&mut state, td, churn.as_ref()));
+        let outcome = match applied {
+            Ok(o) => o,
+            Err(e) => {
+                verdict = Err(e);
+                break;
+            }
+        };
+        full_log.extend_from_slice(&td.records);
+        // The cost the incremental path avoids: rebuild every coarse
+        // artifact from the full raw history, as the batch pipeline would.
+        let (batch_rows, batch_ms) = smn_bench::timer::time_ms(|| {
+            let t = state.config.time_coarsener().coarsen(&full_log);
+            let a = state.config.adaptive.coarsen(&full_log);
+            let c = CoarseDepGraph::from_fine(&state.fine);
+            t.len() + a.len() + c.len()
+        });
+        debug_assert!(batch_rows > 0);
+        journal.push_outcome(&outcome);
+        rows.push(StreamTickRow { outcome, apply_ms, batch_ms });
+    }
+    // Always end on a verdict: if the last tick did not reconcile, run a
+    // final full-recompute reconciliation now.
+    if verdict.is_ok() && rows.last().is_some_and(|r| r.outcome.reconcile.is_none()) {
+        match ctl.stream_reconcile(&mut state) {
+            Ok(outcome) => {
+                if let (Some(row), Some(entry)) = (rows.last_mut(), journal.ticks.last_mut()) {
+                    entry.reconciled = true;
+                    entry.reconcile_hash = Some(outcome.hash.clone());
+                    row.outcome.reconcile = Some(outcome);
+                }
+            }
+            Err(e) => verdict = Err(e),
+        }
+    }
+
+    if let Some(path) = &flags.journal {
+        std::fs::write(path, journal.to_json_pretty() + "\n")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let mean = |f: fn(&StreamTickRow) -> f64| -> f64 {
+        #[allow(clippy::cast_precision_loss)] // tick counts stay far below 2^52
+        let n = rows.len().max(1) as f64;
+        rows.iter().map(f).sum::<f64>() / n
+    };
+    let verdict_str = match &verdict {
+        Ok(()) => "byte-identical".to_string(),
+        Err(e) => e.to_string(),
+    };
+    if flags.json {
+        let obj = |entries: Vec<(&str, serde_json::Value)>| {
+            serde_json::Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let ticks: Vec<serde_json::Value> = rows
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("tick", serde_json::Value::U64(r.outcome.tick)),
+                    ("records", serde_json::Value::U64(r.outcome.ingested as u64)),
+                    ("dirty_cells", serde_json::Value::U64(r.outcome.time.dirty_cells as u64)),
+                    ("total_rows", serde_json::Value::U64(r.outcome.time.total_rows as u64)),
+                    ("apply_ms", serde_json::Value::F64(r.apply_ms)),
+                    ("batch_ms", serde_json::Value::F64(r.batch_ms)),
+                    ("speedup", serde_json::Value::F64(r.speedup())),
+                    (
+                        "reconcile_hash",
+                        r.outcome.reconcile.as_ref().map_or(serde_json::Value::Null, |o| {
+                            serde_json::Value::Str(o.hash.clone())
+                        }),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = obj(vec![
+            ("command", serde_json::Value::Str("stream".to_string())),
+            ("scale", serde_json::Value::Str(flags.scale.as_str().to_string())),
+            ("seed", serde_json::Value::U64(flags.seed)),
+            ("reconcile_every", serde_json::Value::U64(flags.reconcile_every)),
+            ("verdict", serde_json::Value::Str(verdict_str.clone())),
+            ("mean_apply_ms", serde_json::Value::F64(mean(|r| r.apply_ms))),
+            ("mean_batch_ms", serde_json::Value::F64(mean(|r| r.batch_ms))),
+            ("mean_speedup", serde_json::Value::F64(mean(StreamTickRow::speedup))),
+            ("ticks", serde_json::Value::Seq(ticks)),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?);
+    } else {
+        println!(
+            "streaming {} ticks at scale {} (seed {}, reconcile every {}):",
+            rows.len(),
+            flags.scale,
+            flags.seed,
+            flags.reconcile_every
+        );
+        println!("  tick  records  dirty  rows    apply ms    batch ms  speedup  reconcile");
+        for r in &rows {
+            println!(
+                "  {:>4}  {:>7}  {:>5}  {:>4}  {:>10.3}  {:>10.3}  {:>6.1}x  {}",
+                r.outcome.tick,
+                r.outcome.ingested,
+                r.outcome.time.dirty_cells,
+                r.outcome.time.total_rows,
+                r.apply_ms,
+                r.batch_ms,
+                r.speedup(),
+                r.outcome.reconcile.as_ref().map_or("-", |o| o.hash.as_str()),
+            );
+        }
+        println!(
+            "  mean: apply {:.3} ms vs batch {:.3} ms ({:.1}x)",
+            mean(|r| r.apply_ms),
+            mean(|r| r.batch_ms),
+            mean(StreamTickRow::speedup)
+        );
+        println!("  reconciliation: {verdict_str}");
+    }
+    verdict.map_err(|e| format!("reconciliation divergence or stream error: {e}"))
 }
 
 /// Load a `fault-campaign` artifact and keep the faults whose targets

@@ -7,6 +7,8 @@
 //! smn plan     [--weeks N]             run the capacity-planning pipeline
 //! smn run      [--days N]              continuous operation (all loops)
 //! smn cdg                              print the Reddit CDG as DOT
+//! smn stream [--ticks N] [--json]      incremental streaming loop with
+//!                                      reconciliation-proven byte-identity
 //! smn heal [--faults N] [--json]       closed-loop remediation campaign
 //! smn coverage [--json] [--seed N]     fault-lattice coverage gate
 //! smn lint [--json] [--artifacts DIR]  static analysis (source + artifacts)
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
             commands::cdg();
             Ok(())
         }
+        "stream" => commands::stream(rest),
         "heal" => commands::heal(rest),
         "coverage" => commands::coverage(rest),
         "lint" => commands::lint(rest),
@@ -75,6 +78,12 @@ USAGE:
   smn plan     [--weeks N]            capacity planning from simulated logs
   smn run      [--days N]             continuous operation (all loops)
   smn cdg                             print the Reddit CDG as Graphviz DOT
+  smn stream [--scale S] [--ticks N]  run the incremental streaming loop:
+           [--seed N] [--json]         per-tick delta-apply vs full-recompute
+           [--reconcile-every N]       wall time plus the reconciliation
+           [--journal FILE]            verdict (exit 1 on divergence);
+                                       --journal writes the delta-journal
+                                       artifact smn-lint checks
   smn heal [--faults N] [--json]      run a closed-loop remediation campaign
            [--campaign FILE]          (plan/execute/verify/rollback per fault;
            [--storm-threshold PCT]     non-zero exit on a rollback storm)

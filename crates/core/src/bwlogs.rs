@@ -108,7 +108,7 @@ pub fn decode_coarse_log(mut bytes: bytes::Bytes) -> Result<Vec<CoarseBwRecord>,
 /// statistics ("replace per-epoch demand traces … with summary statistics
 /// (e.g., mean or 95th percentile bandwidth usage) over fixed smaller time
 /// windows", §4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimeCoarsener {
     /// Window length in seconds.
     pub window_secs: u64,
@@ -126,7 +126,10 @@ impl TimeCoarsener {
     }
 
     /// Group records into (pair, window) buckets and summarize each.
-    fn coarsen_records(&self, records: &[BandwidthRecord]) -> Vec<CoarseBwRecord> {
+    /// Crate-visible so the incremental path (`crate::stream`) recomputes
+    /// dirty cells through the *same* code the batch oracle runs —
+    /// byte-identity under reconciliation depends on that.
+    pub(crate) fn coarsen_records(&self, records: &[BandwidthRecord]) -> Vec<CoarseBwRecord> {
         let mut buckets: HashMap<(u64, u32, u32), Vec<f64>> = HashMap::new();
         for r in records {
             let w = r.ts.0 / self.window_secs;
@@ -153,17 +156,25 @@ impl TimeCoarsener {
 
     /// Estimated demand for a pair in the window containing `ts`, using the
     /// first statistic (the acting-on-`s` side of Figure 2).
+    ///
+    /// `records` must be a uniform-window coarse log sorted by
+    /// `(window_start, src, dst)` — exactly what [`TimeCoarsener::coarsen`]
+    /// produces. Under that contract the containing window can only start
+    /// at `ts` rounded down to the window, so the row is found by binary
+    /// search: per-tick estimates stay `O(log n)` as the log grows instead
+    /// of the old full scan.
     #[must_use]
     pub fn estimate(records: &[CoarseBwRecord], src: u32, dst: u32, ts: Ts) -> Option<f64> {
+        let window_secs = records.first()?.window_secs;
+        debug_assert!(
+            records.iter().all(|r| r.window_secs == window_secs),
+            "estimate requires a uniform-window log"
+        );
+        let target = Ts(ts.0 / window_secs * window_secs);
         records
-            .iter()
-            .find(|r| {
-                r.src == src
-                    && r.dst == dst
-                    && r.window_start.0 <= ts.0
-                    && ts.0 < r.window_start.0 + r.window_secs
-            })
-            .map(|r| r.values[0])
+            .binary_search_by(|r| (r.window_start, r.src, r.dst).cmp(&(target, src, dst)))
+            .ok()
+            .map(|i| records[i].values[0])
     }
 }
 
@@ -326,7 +337,7 @@ impl Coarsening for NestedCoarsener {
 /// by the coefficient of variation of its history, keep *volatile* pairs at
 /// fine windows and summarize *stable* pairs over long windows — "coarsen
 /// only the stable parts".
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AdaptiveCoarsener {
     /// CV above which a pair counts as volatile.
     pub cv_threshold: f64,
@@ -431,6 +442,46 @@ mod tests {
         let e = TimeCoarsener::estimate(&coarse, 0, 1, Ts(HOUR + 100)).unwrap();
         assert_eq!(e, 17.5); // mean of 12..24
         assert!(TimeCoarsener::estimate(&coarse, 5, 6, Ts(0)).is_none());
+    }
+
+    #[test]
+    fn estimate_binary_search_agrees_with_linear_scan() {
+        // Multi-pair log so rows interleave within each window.
+        let mut log = Vec::new();
+        for e in 0..96u32 {
+            for (src, dst) in [(0u32, 1u32), (0, 2), (3, 1)] {
+                log.push(BandwidthRecord {
+                    ts: Ts(u64::from(e) * EPOCH_SECS),
+                    src,
+                    dst,
+                    gbps: f64::from(e + src + dst),
+                });
+            }
+        }
+        let coarse = TimeCoarsener::new(HOUR, vec![Statistic::Mean]).coarsen(&log);
+        let linear = |src: u32, dst: u32, ts: Ts| {
+            coarse
+                .iter()
+                .find(|r| {
+                    r.src == src
+                        && r.dst == dst
+                        && r.window_start.0 <= ts.0
+                        && ts.0 < r.window_start.0 + r.window_secs
+                })
+                .map(|r| r.values[0])
+        };
+        for src in 0..4u32 {
+            for dst in 0..3u32 {
+                for ts in [Ts(0), Ts(HOUR - 1), Ts(HOUR), Ts(5 * HOUR + 17), Ts(9 * HOUR)] {
+                    assert_eq!(
+                        TimeCoarsener::estimate(&coarse, src, dst, ts),
+                        linear(src, dst, ts),
+                        "pair ({src},{dst}) at {ts:?}"
+                    );
+                }
+            }
+        }
+        assert!(TimeCoarsener::estimate(&[], 0, 1, Ts(0)).is_none());
     }
 
     #[test]

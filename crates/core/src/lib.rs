@@ -7,8 +7,9 @@
 //! Coarse Dependency Graphs framed as a coarsening ([`cdg`], §5), the SMN
 //! controller wiring the CLDS + CDG + CLTO with control loops at minutes
 //! and months timescales ([`controller`], Figure 1), AIOps primitives for
-//! the CLTO ([`aiops`], §6), and the four war stories as executable
-//! scenarios ([`warstories`], §1).
+//! the CLTO ([`aiops`], §6), the four war stories as executable
+//! scenarios ([`warstories`], §1), and the incremental streaming loop
+//! with reconciliation-proven byte-identity ([`stream`]).
 //!
 //! ```
 //! use smn_core::warstories;
@@ -28,6 +29,7 @@ pub mod controller;
 pub mod healing;
 pub mod modelhist;
 pub mod simulation;
+pub mod stream;
 pub mod warstories;
 
 pub use coarsen::{action_fidelity, Coarsening, CoarseningReport};

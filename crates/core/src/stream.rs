@@ -1,0 +1,1097 @@
+//! Incremental coarsening and the streaming controller loop.
+//!
+//! The batch pipeline recomputes every coarse artifact from scratch each
+//! control period; this module makes the pipeline *incremental* end to
+//! end. Typed deltas ([`TelemetryDelta`], [`GraphDelta`]) flow through
+//! `datalake::ingest` into in-place `apply_delta` updates that touch only
+//! the dirty (pair, window) cells of the coarse bandwidth logs
+//! ([`IncrementalCoarseLog`], [`IncrementalAdaptiveLog`]) and only the
+//! coarse cells of the CDG whose fine members changed
+//! (`CoarseDepGraph::apply_delta`).
+//!
+//! Incremental state is only trustworthy if it provably equals what the
+//! batch path would have produced, so the streaming loop periodically runs
+//! a full-recompute **reconciliation**: the batch coarseners and
+//! `CoarseDepGraph::from_fine` stay the oracles, and the incremental
+//! artifacts must match them *byte for byte* — the same discipline as the
+//! degraded-mode outcome hashes. Any divergence is a hard error
+//! ([`StreamError::Divergence`]) with an audited diff in the obs audit
+//! log; silent drift is not an available failure mode.
+//!
+//! Byte-identity is not luck; it is engineered:
+//! * deltas are append-only and applied in tick order, so per-cell sample
+//!   order equals full-log order and floating-point summaries are
+//!   bit-identical;
+//! * dirty cells are recomputed through the *same* bucketing code the
+//!   batch oracle runs;
+//! * cell maps are `BTreeMap`s keyed exactly like the batch sort key, so
+//!   materialized row order equals batch row order;
+//! * the fine graph and CDG are append-only, and contraction orders teams
+//!   and coarse edges by first appearance, so appended churn lands where
+//!   a rebuild would put it.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use smn_datalake::ingest::ingest_bandwidth_profiled;
+use smn_depgraph::coarse::{CdgDeltaStats, CoarseDepGraph};
+use smn_depgraph::delta::{DeltaError, GraphDelta};
+use smn_depgraph::fine::FineDepGraph;
+use smn_telemetry::delta::TelemetryDelta;
+use smn_telemetry::record::BandwidthRecord;
+use smn_telemetry::series::{Statistic, SummaryStats};
+use smn_telemetry::time::{Ts, DAY, HOUR};
+
+use crate::bwlogs::{encode_coarse_log, AdaptiveCoarsener, CoarseBwRecord, TimeCoarsener};
+use crate::coarsen::Coarsening;
+use crate::controller::SmnController;
+
+/// Artifact kind tag of a serialized [`DeltaJournal`].
+pub const DELTA_JOURNAL_KIND: &str = "delta-journal";
+
+/// Current delta-journal schema version.
+pub const DELTA_JOURNAL_SCHEMA: u64 = 1;
+
+// ---- fingerprints ------------------------------------------------------
+
+/// FNV-1a offset basis (the seed of every reconciliation fingerprint).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+}
+
+/// FNV-1a fingerprint over a sequence of byte streams.
+#[must_use]
+pub fn fingerprint(parts: &[&[u8]]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for p in parts {
+        fnv1a(&mut h, p);
+    }
+    h
+}
+
+/// [`fingerprint`] as the 16-hex-digit string recorded in audits and
+/// delta journals.
+#[must_use]
+pub fn fingerprint_hex(parts: &[&[u8]]) -> String {
+    format!("{:016x}", fingerprint(parts))
+}
+
+// ---- errors ------------------------------------------------------------
+
+/// Why a streaming operation failed. Every variant is a *hard* error: the
+/// streaming loop never limps past bad state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StreamError {
+    /// A delta arrived against incremental state built by a different
+    /// coarsener configuration.
+    StateMismatch {
+        /// What differed.
+        detail: String,
+    },
+    /// Ticks or record timestamps arrived out of order.
+    OutOfOrder {
+        /// What was expected vs what arrived.
+        detail: String,
+    },
+    /// Fine-graph churn could not be applied.
+    Graph(DeltaError),
+    /// Reconciliation found the incremental state differing from the
+    /// batch recompute. The audited diff is also in the obs audit log.
+    Divergence {
+        /// Which artifact diverged (`coarse-bwlog`, `adaptive-bwlog`,
+        /// `cdg`).
+        artifact: String,
+        /// Tick at which reconciliation ran.
+        tick: u64,
+        /// First differing row/byte, pretty-printed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::StateMismatch { detail } => {
+                write!(f, "incremental state mismatch: {detail}")
+            }
+            StreamError::OutOfOrder { detail } => write!(f, "out-of-order delta: {detail}"),
+            StreamError::Graph(e) => write!(f, "graph delta rejected: {e}"),
+            StreamError::Divergence { artifact, tick, detail } => {
+                write!(f, "reconciliation divergence in {artifact} at tick {tick}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<DeltaError> for StreamError {
+    fn from(e: DeltaError) -> Self {
+        StreamError::Graph(e)
+    }
+}
+
+// ---- incremental coarse logs -------------------------------------------
+
+/// What one `apply_delta` call actually did, versus what a batch pass
+/// would have redone. `total_rows / recomputed_rows` is the deterministic
+/// work-ratio the perf suite gates on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaApplyStats {
+    /// Records appended by the delta.
+    pub appended: usize,
+    /// Dirty cells (time) or dirty pairs (adaptive) the delta touched.
+    pub dirty_cells: usize,
+    /// Coarse rows recomputed incrementally.
+    pub recomputed_rows: usize,
+    /// Total coarse rows in the state — the rows a batch recompute would
+    /// have rebuilt from scratch.
+    pub total_rows: usize,
+}
+
+/// Incremental state of a [`TimeCoarsener`]: per-cell sample buckets plus
+/// the materialized coarse rows, both keyed `(window index, src, dst)` —
+/// exactly the batch sort key, so iterating [`Self::coarse_log`] yields
+/// batch row order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalCoarseLog {
+    window_secs: u64,
+    stats: Vec<Statistic>,
+    buckets: BTreeMap<(u64, u32, u32), Vec<f64>>,
+    cells: BTreeMap<(u64, u32, u32), CoarseBwRecord>,
+}
+
+impl IncrementalCoarseLog {
+    /// Number of coarse rows currently materialized.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The coarse log, in batch order (`window_start`, `src`, `dst`).
+    #[must_use]
+    pub fn coarse_log(&self) -> Vec<CoarseBwRecord> {
+        self.cells.values().cloned().collect()
+    }
+
+    /// Wire encoding of the coarse log — the bytes reconciliation
+    /// compares against the batch oracle's encoding.
+    #[must_use]
+    pub fn encode(&self) -> bytes::Bytes {
+        encode_coarse_log(&self.coarse_log())
+    }
+}
+
+impl TimeCoarsener {
+    /// Fresh incremental state bound to this coarsener's configuration.
+    #[must_use]
+    pub fn new_state(&self) -> IncrementalCoarseLog {
+        IncrementalCoarseLog {
+            window_secs: self.window_secs,
+            stats: self.stats.clone(),
+            buckets: BTreeMap::new(),
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Apply one telemetry delta in place, recomputing only the dirty
+    /// (pair, window) cells. Appending each delta of a log in tick order
+    /// leaves `state` byte-identical (under
+    /// [`IncrementalCoarseLog::encode`]) to a batch
+    /// [`TimeCoarsener::coarsen`] over the concatenated log.
+    ///
+    /// # Errors
+    /// [`StreamError::StateMismatch`] when `state` was built by a
+    /// different window/statistics configuration.
+    pub fn apply_delta(
+        &self,
+        state: &mut IncrementalCoarseLog,
+        delta: &TelemetryDelta,
+    ) -> Result<DeltaApplyStats, StreamError> {
+        if state.window_secs != self.window_secs || state.stats != self.stats {
+            return Err(StreamError::StateMismatch {
+                detail: format!(
+                    "state built for window {}s / {:?}, coarsener is {}s / {:?}",
+                    state.window_secs, state.stats, self.window_secs, self.stats
+                ),
+            });
+        }
+        let mut dirty: BTreeSet<(u64, u32, u32)> = BTreeSet::new();
+        for r in &delta.records {
+            let key = (r.ts.0 / self.window_secs, r.src, r.dst);
+            state.buckets.entry(key).or_default().push(r.gbps);
+            dirty.insert(key);
+        }
+        let mut recomputed = 0usize;
+        for key in &dirty {
+            let Some(vals) = state.buckets.get(key) else { continue };
+            let Some(s) = SummaryStats::of(vals) else { continue };
+            state.cells.insert(
+                *key,
+                CoarseBwRecord {
+                    window_start: Ts(key.0 * self.window_secs),
+                    window_secs: self.window_secs,
+                    src: key.1,
+                    dst: key.2,
+                    values: self.stats.iter().map(|&st| s.get(st)).collect(),
+                },
+            );
+            recomputed += 1;
+        }
+        Ok(DeltaApplyStats {
+            appended: delta.len(),
+            dirty_cells: dirty.len(),
+            recomputed_rows: recomputed,
+            total_rows: state.cells.len(),
+        })
+    }
+}
+
+/// Per-pair incremental state of an [`AdaptiveCoarsener`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct PairState {
+    /// This pair's records in arrival order (volatility classification
+    /// needs the full history, so the state keeps it per pair).
+    samples: Vec<BandwidthRecord>,
+    /// Current classification.
+    volatile: bool,
+    /// This pair's coarse rows under its current window.
+    rows: Vec<CoarseBwRecord>,
+}
+
+/// Incremental state of an [`AdaptiveCoarsener`]: per-pair histories,
+/// classifications, and rows. Only pairs a delta touches are
+/// re-classified and re-summarized — a pair's volatility is a function of
+/// its own history alone, so untouched pairs cannot flip class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalAdaptiveLog {
+    cv_threshold: f64,
+    stable_window: u64,
+    volatile_window: u64,
+    stats: Vec<Statistic>,
+    pairs: BTreeMap<(u32, u32), PairState>,
+}
+
+impl IncrementalAdaptiveLog {
+    /// Total coarse rows across all pairs.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.pairs.values().map(|p| p.rows.len()).sum()
+    }
+
+    /// Currently-volatile pairs, sorted (mirrors
+    /// [`AdaptiveCoarsener::volatile_pairs`]).
+    #[must_use]
+    pub fn volatile_pairs(&self) -> Vec<(u32, u32)> {
+        self.pairs.iter().filter(|(_, p)| p.volatile).map(|(&k, _)| k).collect()
+    }
+
+    /// The merged coarse log in batch order (`window_start`, `src`,
+    /// `dst`) — pairs are disjoint across rows, so the sort key is unique
+    /// and the order fully determined.
+    #[must_use]
+    pub fn coarse_log(&self) -> Vec<CoarseBwRecord> {
+        let mut out: Vec<CoarseBwRecord> =
+            self.pairs.values().flat_map(|p| p.rows.iter().cloned()).collect();
+        out.sort_by_key(|r| (r.window_start, r.src, r.dst));
+        out
+    }
+
+    /// Wire encoding of the merged coarse log.
+    #[must_use]
+    pub fn encode(&self) -> bytes::Bytes {
+        encode_coarse_log(&self.coarse_log())
+    }
+}
+
+impl AdaptiveCoarsener {
+    /// Fresh incremental state bound to this coarsener's configuration.
+    #[must_use]
+    pub fn new_state(&self) -> IncrementalAdaptiveLog {
+        IncrementalAdaptiveLog {
+            cv_threshold: self.cv_threshold,
+            stable_window: self.stable_window,
+            volatile_window: self.volatile_window,
+            stats: self.stats.clone(),
+            pairs: BTreeMap::new(),
+        }
+    }
+
+    /// Apply one telemetry delta in place: append each record to its
+    /// pair's history, then re-classify and re-summarize only the touched
+    /// pairs. Byte-identical (under [`IncrementalAdaptiveLog::encode`])
+    /// to a batch [`AdaptiveCoarsener::coarsen`] over the concatenated
+    /// log.
+    ///
+    /// # Errors
+    /// [`StreamError::StateMismatch`] when `state` was built by a
+    /// different configuration.
+    // smn-lint: allow(deep/determinism-taint) -- coarsen_records sorts its hash-map buckets before returning
+    pub fn apply_delta(
+        &self,
+        state: &mut IncrementalAdaptiveLog,
+        delta: &TelemetryDelta,
+    ) -> Result<DeltaApplyStats, StreamError> {
+        let same = state.cv_threshold.to_bits() == self.cv_threshold.to_bits()
+            && state.stable_window == self.stable_window
+            && state.volatile_window == self.volatile_window
+            && state.stats == self.stats;
+        if !same {
+            return Err(StreamError::StateMismatch {
+                detail: "state built for a different adaptive configuration".to_string(),
+            });
+        }
+        for r in &delta.records {
+            state.pairs.entry((r.src, r.dst)).or_default().samples.push(*r);
+        }
+        let dirty = delta.pairs();
+        let mut recomputed = 0usize;
+        for pair in &dirty {
+            let Some(ps) = state.pairs.get_mut(pair) else { continue };
+            let vals: Vec<f64> = ps.samples.iter().map(|r| r.gbps).collect();
+            ps.volatile = SummaryStats::of(&vals)
+                .is_some_and(|s| s.mean > 0.0 && s.std / s.mean > self.cv_threshold);
+            let window = if ps.volatile { self.volatile_window } else { self.stable_window };
+            ps.rows = TimeCoarsener::new(window, self.stats.clone()).coarsen_records(&ps.samples);
+            recomputed += ps.rows.len();
+        }
+        Ok(DeltaApplyStats {
+            appended: delta.len(),
+            dirty_cells: dirty.len(),
+            recomputed_rows: recomputed,
+            total_rows: state.rows(),
+        })
+    }
+}
+
+// ---- streaming loop ----------------------------------------------------
+
+/// Configuration of a streaming session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Window of the uniform time-coarsener.
+    pub window_secs: u64,
+    /// Statistics of the uniform time-coarsener.
+    pub stats: Vec<Statistic>,
+    /// The churn-adaptive coarsener run alongside it.
+    pub adaptive: AdaptiveCoarsener,
+    /// Reconcile after every N ticks (0 disables periodic reconciliation;
+    /// [`SmnController::stream_reconcile`] can still be called directly).
+    pub reconcile_every: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            window_secs: HOUR,
+            stats: vec![Statistic::Mean, Statistic::P95],
+            adaptive: AdaptiveCoarsener {
+                cv_threshold: 0.35,
+                stable_window: DAY,
+                volatile_window: HOUR,
+                stats: vec![Statistic::Mean],
+            },
+            reconcile_every: 4,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The uniform time-coarsener this config describes.
+    ///
+    /// # Panics
+    /// Panics on a zero window or empty statistics list (the
+    /// [`TimeCoarsener::new`] contract).
+    #[must_use]
+    pub fn time_coarsener(&self) -> TimeCoarsener {
+        TimeCoarsener::new(self.window_secs, self.stats.clone())
+    }
+}
+
+/// The full incremental state of a streaming session. Serializable as a
+/// checkpoint: restoring a serialized `StreamState` against the same lake
+/// and continuing the delta stream is byte-identical to never having
+/// stopped (the streaming proptest exercises exactly that).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamState {
+    /// Session configuration (validated against on every apply).
+    pub config: StreamConfig,
+    /// The next tick expected; deltas must arrive in strictly increasing
+    /// tick order starting at 0.
+    pub next_tick: u64,
+    /// The fine dependency graph, churned by [`GraphDelta`]s.
+    pub fine: FineDepGraph,
+    /// The incrementally-maintained CDG
+    /// (`CoarseDepGraph::from_fine(&fine)` is its reconciliation oracle).
+    pub cdg: CoarseDepGraph,
+    time: IncrementalCoarseLog,
+    adaptive: IncrementalAdaptiveLog,
+    /// Outcome of the most recent successful reconciliation.
+    pub last_reconcile: Option<ReconcileOutcome>,
+}
+
+impl StreamState {
+    /// A fresh session over `fine` (the CDG derives from it) with empty
+    /// coarse state. The lake's bandwidth store must be empty or the
+    /// first reconciliation will rightly report divergence — incremental
+    /// state only covers what streamed through it.
+    ///
+    /// # Panics
+    /// Panics when `config` violates the [`TimeCoarsener::new`] contract
+    /// (zero window, empty statistics).
+    #[must_use]
+    pub fn new(config: StreamConfig, fine: FineDepGraph) -> Self {
+        let cdg = CoarseDepGraph::from_fine(&fine);
+        let time = config.time_coarsener().new_state();
+        let adaptive = config.adaptive.new_state();
+        StreamState { config, next_tick: 0, fine, cdg, time, adaptive, last_reconcile: None }
+    }
+
+    /// The incrementally-maintained uniform coarse log.
+    #[must_use]
+    pub fn time_log(&self) -> &IncrementalCoarseLog {
+        &self.time
+    }
+
+    /// The incrementally-maintained adaptive coarse log.
+    #[must_use]
+    pub fn adaptive_log(&self) -> &IncrementalAdaptiveLog {
+        &self.adaptive
+    }
+
+    /// Combined FNV-1a fingerprint over all three incremental artifacts —
+    /// what reconciliation stamps into audits and delta journals.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        fingerprint_hex(&[
+            self.time.encode().as_slice(),
+            self.adaptive.encode().as_slice(),
+            &self.cdg.canonical_bytes(),
+        ])
+    }
+}
+
+/// Outcome of one successful reconciliation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconcileOutcome {
+    /// Tick after which reconciliation ran.
+    pub tick: u64,
+    /// Combined fingerprint of the verified incremental artifacts.
+    pub hash: String,
+    /// Rows in the verified uniform coarse log.
+    pub time_rows: usize,
+    /// Rows in the verified adaptive coarse log.
+    pub adaptive_rows: usize,
+    /// Teams in the verified CDG.
+    pub teams: usize,
+    /// Edges in the verified CDG.
+    pub team_edges: usize,
+    /// Bandwidth records the batch oracle recomputed from.
+    pub lake_records: usize,
+}
+
+/// Outcome of one streaming tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TickOutcome {
+    /// The tick that was applied.
+    pub tick: u64,
+    /// Bandwidth records ingested into the lake.
+    pub ingested: usize,
+    /// Distinct pairs the telemetry delta touched, sorted.
+    pub pairs: Vec<(u32, u32)>,
+    /// Uniform-coarsener apply stats.
+    pub time: DeltaApplyStats,
+    /// Adaptive-coarsener apply stats.
+    pub adaptive: DeltaApplyStats,
+    /// CDG apply stats (zero when the tick carried no graph churn).
+    pub cdg: CdgDeltaStats,
+    /// Component names added by the tick's graph delta.
+    pub added_components: Vec<String>,
+    /// Dependency endpoint names added by the tick's graph delta.
+    pub added_dependencies: Vec<(String, String)>,
+    /// Present when this tick triggered periodic reconciliation.
+    pub reconcile: Option<ReconcileOutcome>,
+}
+
+/// First differing row between an incremental and a batch coarse log,
+/// pretty-printed for the audited divergence diff.
+fn coarse_diff_detail(incremental: &[CoarseBwRecord], batch: &[CoarseBwRecord]) -> String {
+    if incremental.len() != batch.len() {
+        return format!("row count {} (incremental) vs {} (batch)", incremental.len(), batch.len());
+    }
+    for (i, (a, b)) in incremental.iter().zip(batch).enumerate() {
+        if a != b {
+            return format!("row {i}: incremental {a:?} vs batch {b:?}");
+        }
+    }
+    "encodings differ with pairwise-equal rows (sign/NaN-level drift)".to_string()
+}
+
+/// First differing byte offset between two canonical CDG encodings.
+fn cdg_diff_detail(incremental: &[u8], batch: &[u8]) -> String {
+    if incremental.len() != batch.len() {
+        return format!(
+            "canonical length {} (incremental) vs {} (batch)",
+            incremental.len(),
+            batch.len()
+        );
+    }
+    match incremental.iter().zip(batch).position(|(a, b)| a != b) {
+        Some(i) => format!("first differing canonical byte at offset {i}"),
+        None => "identical".to_string(),
+    }
+}
+
+impl SmnController {
+    /// Apply one streaming tick: ingest the telemetry delta into the
+    /// CLDS, update the incremental coarse logs (`coarsen/apply_delta`
+    /// phase), apply fine-graph churn to the CDG (`cdg/apply_delta`
+    /// phase), and — every `config.reconcile_every` ticks — run a
+    /// full-recompute reconciliation (`stream/reconcile` phase).
+    ///
+    /// # Errors
+    /// [`StreamError::OutOfOrder`] on tick or timestamp regressions,
+    /// [`StreamError::Graph`] on unappliable churn, and
+    /// [`StreamError::Divergence`] when reconciliation disproves
+    /// incremental/batch byte-identity.
+    // smn-lint: allow(deep/determinism-taint) -- phase-guard wall readings stay in the profile registry; coarsener hash-map buckets are sorted before use
+    pub fn stream_tick(
+        &mut self,
+        state: &mut StreamState,
+        telemetry: &TelemetryDelta,
+        graph: Option<&GraphDelta>,
+    ) -> Result<TickOutcome, StreamError> {
+        let obs = self.obs().clone();
+        if telemetry.tick != state.next_tick {
+            return Err(StreamError::OutOfOrder {
+                detail: format!("expected tick {}, got tick {}", state.next_tick, telemetry.tick),
+            });
+        }
+        if let Some(g) = graph {
+            if g.tick != telemetry.tick {
+                return Err(StreamError::OutOfOrder {
+                    detail: format!(
+                        "graph delta tick {} does not match telemetry tick {}",
+                        g.tick, telemetry.tick
+                    ),
+                });
+            }
+        }
+        // Telemetry is append-only: the concatenation of deltas must be a
+        // valid time-ordered log, or incremental state and the lake's
+        // batch view would silently disagree.
+        let mut prev = self.clds().bandwidth.read().latest_ts();
+        for r in &telemetry.records {
+            if prev.is_some_and(|p| r.ts < p) {
+                return Err(StreamError::OutOfOrder {
+                    detail: format!(
+                        "record at {:?} regresses behind {:?} within tick {}",
+                        r.ts, prev, telemetry.tick
+                    ),
+                });
+            }
+            prev = Some(r.ts);
+        }
+
+        let ingest = ingest_bandwidth_profiled(self.clds(), &telemetry.records, &obs);
+
+        let (time, adaptive) = {
+            let mut phase = obs.phase("coarsen/apply_delta");
+            let t = state.config.time_coarsener().apply_delta(&mut state.time, telemetry)?;
+            let a = state.config.adaptive.apply_delta(&mut state.adaptive, telemetry)?;
+            phase.field("appended", t.appended);
+            phase.field("dirty_cells", t.dirty_cells);
+            phase.field("adaptive_dirty_pairs", a.dirty_cells);
+            (t, a)
+        };
+
+        let mut cdg = CdgDeltaStats::default();
+        let mut added_components = Vec::new();
+        let mut added_dependencies = Vec::new();
+        if let Some(g) = graph.filter(|g| !g.is_empty()) {
+            let mut phase = obs.phase("cdg/apply_delta");
+            g.apply_to_fine(&mut state.fine)?;
+            cdg = state.cdg.apply_delta(&state.fine, g)?;
+            phase.field("new_teams", cdg.new_teams);
+            phase.field("grown_teams", cdg.grown_teams);
+            phase.field("new_edges", cdg.new_edges);
+            added_components = g.add_components.iter().map(|c| c.name.clone()).collect();
+            added_dependencies =
+                g.add_dependencies.iter().map(|d| (d.src.clone(), d.dst.clone())).collect();
+        }
+
+        state.next_tick += 1;
+        let every = state.config.reconcile_every;
+        let reconcile = if every > 0 && state.next_tick.is_multiple_of(every) {
+            Some(self.stream_reconcile(state)?)
+        } else {
+            None
+        };
+
+        Ok(TickOutcome {
+            tick: telemetry.tick,
+            ingested: ingest.ingested,
+            pairs: telemetry.pairs().into_iter().collect(),
+            time,
+            adaptive,
+            cdg,
+            added_components,
+            added_dependencies,
+            reconcile,
+        })
+    }
+
+    /// Feed a whole delta stream through [`SmnController::stream_tick`],
+    /// matching graph deltas to telemetry deltas by tick.
+    ///
+    /// # Errors
+    /// The first [`StreamError`] any tick produces; ticks before it are
+    /// applied.
+    // smn-lint: allow(deep/determinism-taint) -- inherits stream_tick's waiver: wall readings stay in the profile, sorted buckets
+    pub fn stream_run(
+        &mut self,
+        state: &mut StreamState,
+        telemetry: &[TelemetryDelta],
+        graph: &[GraphDelta],
+    ) -> Result<Vec<TickOutcome>, StreamError> {
+        let mut out = Vec::with_capacity(telemetry.len());
+        for td in telemetry {
+            let gd = graph.iter().find(|g| g.tick == td.tick);
+            out.push(self.stream_tick(state, td, gd)?);
+        }
+        Ok(out)
+    }
+
+    /// Full-recompute reconciliation: rebuild every coarse artifact from
+    /// the lake's raw history through the batch oracles and require the
+    /// incremental state to match *byte for byte*. On success the
+    /// controller adopts the verified CDG and the outcome is audited; on
+    /// divergence an audited diff is emitted and a hard
+    /// [`StreamError::Divergence`] returned — the same
+    /// no-silent-disagreement discipline as the degraded-mode outcome
+    /// hashes.
+    ///
+    /// # Errors
+    /// [`StreamError::Divergence`] naming the first diverging artifact.
+    // smn-lint: allow(deep/determinism-taint) -- phase-guard wall readings stay in the profile registry; batch-oracle hash-map buckets are sorted before comparison
+    pub fn stream_reconcile(
+        &mut self,
+        state: &mut StreamState,
+    ) -> Result<ReconcileOutcome, StreamError> {
+        let obs = self.obs().clone();
+        let mut phase = obs.phase("stream/reconcile");
+        let tick = state.next_tick.saturating_sub(1);
+        let full: Vec<BandwidthRecord> = self.clds().bandwidth.read().all().to_vec();
+
+        let diverged =
+            |artifact: &str, incremental_hash: String, batch_hash: String, detail: String| {
+                obs.audit(
+                    "stream",
+                    "reconcile-divergence",
+                    &[
+                        ("artifact", artifact.to_string()),
+                        ("tick", tick.to_string()),
+                        ("incremental_hash", incremental_hash),
+                        ("batch_hash", batch_hash),
+                        ("diff", detail.clone()),
+                    ],
+                );
+                obs.inc("stream_divergence_total");
+                StreamError::Divergence { artifact: artifact.to_string(), tick, detail }
+            };
+
+        let inc_time = state.time.encode();
+        let batch_time_rows = state.config.time_coarsener().coarsen(&full);
+        let batch_time = encode_coarse_log(&batch_time_rows);
+        if inc_time != batch_time {
+            return Err(diverged(
+                "coarse-bwlog",
+                fingerprint_hex(&[inc_time.as_slice()]),
+                fingerprint_hex(&[batch_time.as_slice()]),
+                coarse_diff_detail(&state.time.coarse_log(), &batch_time_rows),
+            ));
+        }
+
+        let inc_adaptive = state.adaptive.encode();
+        let batch_adaptive_rows = state.config.adaptive.coarsen(&full);
+        let batch_adaptive = encode_coarse_log(&batch_adaptive_rows);
+        if inc_adaptive != batch_adaptive {
+            return Err(diverged(
+                "adaptive-bwlog",
+                fingerprint_hex(&[inc_adaptive.as_slice()]),
+                fingerprint_hex(&[batch_adaptive.as_slice()]),
+                coarse_diff_detail(&state.adaptive.coarse_log(), &batch_adaptive_rows),
+            ));
+        }
+
+        let inc_cdg = state.cdg.canonical_bytes();
+        let batch_cdg = CoarseDepGraph::from_fine(&state.fine).canonical_bytes();
+        if inc_cdg != batch_cdg {
+            return Err(diverged(
+                "cdg",
+                fingerprint_hex(&[&inc_cdg]),
+                fingerprint_hex(&[&batch_cdg]),
+                cdg_diff_detail(&inc_cdg, &batch_cdg),
+            ));
+        }
+
+        let hash = fingerprint_hex(&[inc_time.as_slice(), inc_adaptive.as_slice(), &inc_cdg]);
+        // The incremental CDG is now proven equal to the batch rebuild:
+        // the controller adopts it as its working coarse artifact.
+        self.cdg = state.cdg.clone();
+        obs.audit(
+            "stream",
+            "reconcile",
+            &[
+                ("tick", tick.to_string()),
+                ("hash", hash.clone()),
+                ("lake_records", full.len().to_string()),
+                ("time_rows", state.time.rows().to_string()),
+                ("adaptive_rows", state.adaptive.rows().to_string()),
+                ("teams", state.cdg.len().to_string()),
+            ],
+        );
+        obs.inc("stream_reconcile_total");
+        phase.field("lake_records", full.len());
+        phase.field("time_rows", state.time.rows());
+        let outcome = ReconcileOutcome {
+            tick,
+            hash,
+            time_rows: state.time.rows(),
+            adaptive_rows: state.adaptive.rows(),
+            teams: state.cdg.len(),
+            team_edges: state.cdg.graph.edge_count(),
+            lake_records: full.len(),
+        };
+        state.last_reconcile = Some(outcome.clone());
+        Ok(outcome)
+    }
+}
+
+// ---- delta journal -----------------------------------------------------
+
+/// One tick's entry in a [`DeltaJournal`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalTick {
+    /// Tick index (strictly increasing across the journal).
+    pub tick: u64,
+    /// Records the tick ingested.
+    pub records: usize,
+    /// Pairs the tick touched; every node index must be below the
+    /// journal's `node_count`.
+    pub pairs: Vec<(u32, u32)>,
+    /// Component names the tick added to the fine graph.
+    pub added_components: Vec<String>,
+    /// Dependency endpoints the tick added; each must name a component
+    /// known by this tick (initial set plus prior/current additions).
+    pub added_dependencies: Vec<(String, String)>,
+    /// Dirty coarse cells the tick recomputed.
+    pub dirty_cells: usize,
+    /// Total coarse rows after the tick.
+    pub total_rows: usize,
+    /// Whether periodic reconciliation ran on this tick.
+    pub reconciled: bool,
+    /// The verified fingerprint — required whenever `reconciled` is true.
+    pub reconcile_hash: Option<String>,
+}
+
+/// The audited record of a streaming session: what each tick changed and
+/// which reconciliations proved byte-identity, serialized as the
+/// `delta-journal` artifact kind that `smn lint` checks (monotone tick
+/// order, no dangling pair/component references, reconciliation hashes
+/// present).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaJournal {
+    /// Artifact kind tag: always [`DELTA_JOURNAL_KIND`].
+    pub kind: String,
+    /// Schema version: always [`DELTA_JOURNAL_SCHEMA`].
+    pub schema: u64,
+    /// Topology scale the session ran at (informational).
+    pub scale: String,
+    /// Master seed of the session.
+    pub seed: u64,
+    /// WAN node count; pair references must stay below it.
+    pub node_count: u64,
+    /// Fine-graph component names present before the first tick.
+    pub components: Vec<String>,
+    /// The session's periodic reconciliation cadence (0 = none).
+    pub reconcile_every: u64,
+    /// Per-tick entries in application order.
+    pub ticks: Vec<JournalTick>,
+}
+
+impl DeltaJournal {
+    /// An empty journal for a session at `scale` with `seed`.
+    #[must_use]
+    pub fn new(
+        scale: &str,
+        seed: u64,
+        node_count: u64,
+        components: Vec<String>,
+        reconcile_every: u64,
+    ) -> Self {
+        DeltaJournal {
+            kind: DELTA_JOURNAL_KIND.to_string(),
+            schema: DELTA_JOURNAL_SCHEMA,
+            scale: scale.to_string(),
+            seed,
+            node_count,
+            components,
+            reconcile_every,
+            ticks: Vec::new(),
+        }
+    }
+
+    /// Append one tick's outcome.
+    pub fn push_outcome(&mut self, o: &TickOutcome) {
+        self.ticks.push(JournalTick {
+            tick: o.tick,
+            records: o.ingested,
+            pairs: o.pairs.clone(),
+            added_components: o.added_components.clone(),
+            added_dependencies: o.added_dependencies.clone(),
+            dirty_cells: o.time.dirty_cells,
+            total_rows: o.time.total_rows,
+            reconciled: o.reconcile.is_some(),
+            reconcile_hash: o.reconcile.as_ref().map(|r| r.hash.clone()),
+        });
+    }
+
+    /// Pretty-printed JSON (no trailing newline).
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        // The schema contains only serializable primitives; failing here
+        // would be a vendored-serde bug.
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ControllerConfig, SmnController};
+    use smn_depgraph::fine::{Component, DependencyKind, Layer};
+    use smn_telemetry::time::EPOCH_SECS;
+
+    /// A deterministic multi-pair log: `epochs` epochs over `pairs`, with
+    /// one wildly-alternating pair so the adaptive coarsener has both
+    /// classes to maintain.
+    fn mixed_log(epochs: u32) -> Vec<BandwidthRecord> {
+        let mut log = Vec::new();
+        for e in 0..epochs {
+            let ts = Ts(u64::from(e) * EPOCH_SECS);
+            log.push(BandwidthRecord { ts, src: 0, dst: 1, gbps: 100.0 });
+            log.push(BandwidthRecord {
+                ts,
+                src: 0,
+                dst: 2,
+                gbps: if e % 2 == 0 { 10.0 } else { 500.0 },
+            });
+            log.push(BandwidthRecord { ts, src: 3, dst: 1, gbps: 40.0 + f64::from(e % 7) });
+        }
+        log
+    }
+
+    fn comp(name: &str, team: &str) -> Component {
+        Component {
+            name: name.into(),
+            service: name.into(),
+            team: team.into(),
+            layer: Layer::Application,
+        }
+    }
+
+    fn small_fine() -> FineDepGraph {
+        let mut g = FineDepGraph::new();
+        let a = g.add_component(comp("web-1", "app"));
+        let b = g.add_component(comp("db-1", "storage"));
+        g.add_dependency(a, b, DependencyKind::Call);
+        g
+    }
+
+    #[test]
+    fn incremental_time_coarsening_is_byte_identical_to_batch() {
+        let log = mixed_log(48);
+        let c = TimeCoarsener::new(HOUR, vec![Statistic::Mean, Statistic::P95]);
+        let mut state = c.new_state();
+        for d in TelemetryDelta::split_epochs(&log, 0) {
+            let applied = c.apply_delta(&mut state, &d).unwrap();
+            assert!(applied.dirty_cells <= 3, "a tick touches at most the 3 live pairs");
+        }
+        assert_eq!(state.encode(), encode_coarse_log(&c.coarsen(&log)));
+        assert_eq!(state.coarse_log(), c.coarsen(&log));
+    }
+
+    #[test]
+    fn incremental_adaptive_coarsening_tracks_class_flips() {
+        let log = mixed_log(96);
+        let c = AdaptiveCoarsener {
+            cv_threshold: 0.3,
+            stable_window: DAY,
+            volatile_window: HOUR,
+            stats: vec![Statistic::Mean],
+        };
+        let mut state = c.new_state();
+        for d in TelemetryDelta::split_epochs(&log, 0) {
+            c.apply_delta(&mut state, &d).unwrap();
+            // Mid-stream the incremental state matches a batch pass over
+            // the records seen so far — the class flip of pair (0,2) from
+            // stable (one sample) to volatile happens on both sides.
+            let seen: Vec<BandwidthRecord> =
+                log.iter().filter(|r| r.ts <= d.records[0].ts).copied().collect();
+            assert_eq!(state.encode(), encode_coarse_log(&c.coarsen(&seen)));
+        }
+        assert_eq!(state.volatile_pairs(), c.volatile_pairs(&log));
+        assert_eq!(state.rows(), c.coarsen(&log).len());
+    }
+
+    #[test]
+    fn state_mismatch_is_rejected() {
+        let c = TimeCoarsener::new(HOUR, vec![Statistic::Mean]);
+        let other = TimeCoarsener::new(2 * HOUR, vec![Statistic::Mean]);
+        let mut state = c.new_state();
+        let d = TelemetryDelta::new(0, Vec::new());
+        let err = other.apply_delta(&mut state, &d).unwrap_err();
+        assert!(matches!(err, StreamError::StateMismatch { .. }), "got {err}");
+        let ac = StreamConfig::default().adaptive;
+        let mut astate = ac.new_state();
+        let worse = AdaptiveCoarsener { cv_threshold: 0.9, ..ac.clone() };
+        let err = worse.apply_delta(&mut astate, &d).unwrap_err();
+        assert!(matches!(err, StreamError::StateMismatch { .. }), "got {err}");
+    }
+
+    fn controller() -> SmnController {
+        let mut ctl = SmnController::new(CoarseDepGraph::new(), ControllerConfig::default());
+        ctl.set_obs(smn_obs::Obs::enabled(smn_obs::clock::SimClock::new()));
+        ctl
+    }
+
+    #[test]
+    fn streaming_loop_reconciles_with_churn() {
+        let mut ctl = controller();
+        let cfg = StreamConfig { reconcile_every: 2, ..StreamConfig::default() };
+        let mut state = StreamState::new(cfg, small_fine());
+        let deltas = TelemetryDelta::split_epochs(&mixed_log(8), 0);
+        let mut churn = GraphDelta::new(1);
+        churn.push_component(comp("cache-1", "platform"));
+        churn.push_dependency("web-1", "cache-1", DependencyKind::Call);
+        let outcomes = ctl.stream_run(&mut state, &deltas, &[churn]).unwrap();
+        assert_eq!(outcomes.len(), 8);
+        assert_eq!(outcomes[1].cdg.new_teams, 1);
+        // Every second tick reconciled; the rest did not.
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.reconcile.is_some(), i % 2 == 1, "tick {i}");
+        }
+        let last = outcomes[7].reconcile.as_ref().unwrap();
+        assert_eq!(last.lake_records, 24);
+        assert_eq!(last.hash, state.fingerprint());
+        // The controller adopted the verified CDG.
+        assert_eq!(ctl.cdg.canonical_bytes(), state.cdg.canonical_bytes());
+        assert_eq!(ctl.obs().counter("stream_reconcile_total"), 4);
+    }
+
+    #[test]
+    fn out_of_order_deltas_are_hard_errors() {
+        let mut ctl = controller();
+        let mut state = StreamState::new(StreamConfig::default(), small_fine());
+        let d = TelemetryDelta::new(3, Vec::new());
+        let err = ctl.stream_tick(&mut state, &d, None).unwrap_err();
+        assert!(matches!(err, StreamError::OutOfOrder { .. }), "got {err}");
+        // A time-regressing record inside an otherwise-ordered tick.
+        let d0 = TelemetryDelta::new(
+            0,
+            vec![
+                BandwidthRecord { ts: Ts(600), src: 0, dst: 1, gbps: 1.0 },
+                BandwidthRecord { ts: Ts(0), src: 0, dst: 1, gbps: 1.0 },
+            ],
+        );
+        let err = ctl.stream_tick(&mut state, &d0, None).unwrap_err();
+        assert!(matches!(err, StreamError::OutOfOrder { .. }), "got {err}");
+        // Mismatched graph tick.
+        let g = GraphDelta::new(9);
+        let d0 = TelemetryDelta::new(0, Vec::new());
+        let err = ctl.stream_tick(&mut state, &d0, Some(&g)).unwrap_err();
+        assert!(matches!(err, StreamError::OutOfOrder { .. }), "got {err}");
+    }
+
+    #[test]
+    fn divergence_is_a_hard_error_with_an_audited_diff() {
+        let mut ctl = controller();
+        let cfg = StreamConfig { reconcile_every: 0, ..StreamConfig::default() };
+        let mut state = StreamState::new(cfg, small_fine());
+        let deltas = TelemetryDelta::split_epochs(&mixed_log(4), 0);
+        ctl.stream_run(&mut state, &deltas, &[]).unwrap();
+        ctl.stream_reconcile(&mut state).unwrap();
+        // Corrupt one incremental cell behind the coarsener's back.
+        if let Some(cell) = state.time.cells.values_mut().next() {
+            cell.values[0] += 1.0;
+        }
+        let err = ctl.stream_reconcile(&mut state).unwrap_err();
+        match &err {
+            StreamError::Divergence { artifact, detail, .. } => {
+                assert_eq!(artifact, "coarse-bwlog");
+                assert!(detail.contains("row 0"), "diff names the row: {detail}");
+            }
+            other => panic!("expected divergence, got {other}"),
+        }
+        let audit = ctl.obs().audit_jsonl();
+        assert!(audit.contains("reconcile-divergence"), "divergence is audited");
+        assert_eq!(ctl.obs().counter("stream_divergence_total"), 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_mid_stream_is_byte_identical() {
+        let cfg = StreamConfig { reconcile_every: 0, ..StreamConfig::default() };
+        let deltas = TelemetryDelta::split_epochs(&mixed_log(12), 0);
+        // The uninterrupted run.
+        let mut ctl = controller();
+        let mut state = StreamState::new(cfg.clone(), small_fine());
+        ctl.stream_run(&mut state, &deltas, &[]).unwrap();
+        // A second session checkpoints after 6 ticks, restores from the
+        // serialized snapshot, and streams the remainder.
+        let mut ctl2 = controller();
+        let mut live = StreamState::new(cfg, small_fine());
+        ctl2.stream_run(&mut live, &deltas[..6], &[]).unwrap();
+        let snapshot = serde_json::to_string(&live).unwrap();
+        drop(live);
+        let mut restored: StreamState = serde_json::from_str(&snapshot).unwrap();
+        ctl2.stream_run(&mut restored, &deltas[6..], &[]).unwrap();
+        let outcome = ctl2.stream_reconcile(&mut restored).unwrap();
+        assert_eq!(outcome.tick, 11);
+        assert_eq!(restored.fingerprint(), outcome.hash);
+        assert_eq!(state.fingerprint(), restored.fingerprint());
+    }
+
+    #[test]
+    fn delta_journal_records_the_session() {
+        let mut ctl = controller();
+        let cfg = StreamConfig { reconcile_every: 2, ..StreamConfig::default() };
+        let mut state = StreamState::new(cfg, small_fine());
+        let deltas = TelemetryDelta::split_epochs(&mixed_log(4), 0);
+        let mut journal = DeltaJournal::new("small", 7, 4, vec!["web-1".into(), "db-1".into()], 2);
+        for o in ctl.stream_run(&mut state, &deltas, &[]).unwrap() {
+            journal.push_outcome(&o);
+        }
+        assert_eq!(journal.ticks.len(), 4);
+        assert!(journal.ticks[1].reconciled && journal.ticks[1].reconcile_hash.is_some());
+        assert!(!journal.ticks[0].reconciled && journal.ticks[0].reconcile_hash.is_none());
+        let json = journal.to_json_pretty();
+        assert!(json.contains("\"delta-journal\""));
+        let back: DeltaJournal = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, journal);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_stable() {
+        assert_eq!(fingerprint(&[]), FNV_OFFSET);
+        assert_eq!(fingerprint(&[b"ab"]), fingerprint(&[b"a", b"b"]));
+        assert_ne!(fingerprint(&[b"ab"]), fingerprint(&[b"ba"]));
+        assert_eq!(fingerprint_hex(&[b"x"]).len(), 16);
+    }
+}

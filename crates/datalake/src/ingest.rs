@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use smn_obs::Obs;
-use smn_telemetry::record::{Alert, Severity};
+use smn_telemetry::record::{Alert, BandwidthRecord, Severity};
 use smn_telemetry::time::Ts;
 
 use crate::store::Clds;
@@ -158,6 +158,46 @@ pub fn ingest_alerts_profiled(
     report
 }
 
+/// Append one tick's bandwidth records to the CLDS bandwidth store — the
+/// streaming controller's per-tick feed. The time index requires
+/// nondecreasing timestamps, so records older than the store's latest
+/// timestamp are suppressed and counted instead of corrupting the index
+/// (telemetry is append-only; a stale record is a transport replay, not
+/// new information).
+pub fn ingest_bandwidth(clds: &Clds, records: &[BandwidthRecord]) -> IngestReport {
+    let mut report = IngestReport::default();
+    let mut store = clds.bandwidth.write();
+    for r in records {
+        if store.latest_ts().is_some_and(|latest| r.ts < latest) {
+            report.suppressed += 1;
+            continue;
+        }
+        store.append(*r);
+        report.ingested += 1;
+    }
+    report
+}
+
+/// [`ingest_bandwidth`] run inside a profiled `lake/ingest-bw` phase:
+/// bumps the `lake_bw_ingested_total` / `lake_bw_suppressed_total`
+/// counters and records the batch's wall time in the perf trajectory's
+/// wall profile.
+pub fn ingest_bandwidth_profiled(
+    clds: &Clds,
+    records: &[BandwidthRecord],
+    obs: &Obs,
+) -> IngestReport {
+    let mut phase = obs.phase("lake/ingest-bw");
+    let report = ingest_bandwidth(clds, records);
+    if obs.is_enabled() {
+        obs.inc_by("lake_bw_ingested_total", report.ingested as u64);
+        obs.inc_by("lake_bw_suppressed_total", report.suppressed as u64);
+        phase.field("ingested", report.ingested);
+        phase.field("suppressed", report.suppressed);
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,5 +293,30 @@ mod tests {
         // the refreshed entry must survive sweeps and keep suppressing.
         assert!(d.filter(alert(900, "web-1", Severity::Warning)).is_some());
         assert!(d.filter(alert(1000, "web-1", Severity::Warning)).is_none());
+    }
+
+    #[test]
+    fn bandwidth_ingest_appends_and_suppresses_stale() {
+        let bw = |ts: u64| BandwidthRecord { ts: Ts(ts), src: 0, dst: 1, gbps: 10.0 };
+        let clds = Clds::new();
+        let r = ingest_bandwidth(&clds, &[bw(0), bw(300), bw(300), bw(600)]);
+        assert_eq!(r, IngestReport { ingested: 4, suppressed: 0 });
+        // A replayed stale record is counted, not appended (the time index
+        // would panic on an out-of-order append).
+        let r = ingest_bandwidth(&clds, &[bw(300), bw(900)]);
+        assert_eq!(r, IngestReport { ingested: 1, suppressed: 1 });
+        assert_eq!(clds.bandwidth.read().len(), 5);
+        assert_eq!(clds.bandwidth.read().latest_ts(), Some(Ts(900)));
+    }
+
+    #[test]
+    fn bandwidth_ingest_profiled_lands_in_wall_profile() {
+        let clds = Clds::new();
+        let obs = Obs::enabled(smn_obs::clock::SimClock::new());
+        let bw = BandwidthRecord { ts: Ts(0), src: 0, dst: 1, gbps: 1.0 };
+        let r = ingest_bandwidth_profiled(&clds, &[bw], &obs);
+        assert_eq!(r.ingested, 1);
+        assert!(obs.wall_profile().iter().any(|p| p.path == "lake/ingest-bw"));
+        assert_eq!(obs.counter("lake_bw_ingested_total"), 1);
     }
 }

@@ -13,6 +13,7 @@ use std::collections::{HashMap, HashSet};
 use serde::{Deserialize, Serialize};
 use smn_topology::graph::{DiGraph, NodeId};
 
+use crate::delta::{DeltaError, GraphDelta};
 use crate::fine::FineDepGraph;
 
 /// A team: the node granularity of a CDG.
@@ -23,6 +24,19 @@ pub struct Team {
     /// Number of fine-grained components the team owns (0 when the CDG was
     /// sketched by hand rather than derived).
     pub component_count: usize,
+}
+
+/// What one [`CoarseDepGraph::apply_delta`] call actually changed — the
+/// incremental work, as opposed to the full-rebuild work a batch
+/// [`CoarseDepGraph::from_fine`] would redo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CdgDeltaStats {
+    /// Teams that did not exist before this delta.
+    pub new_teams: usize,
+    /// Component additions absorbed by already-existing teams.
+    pub grown_teams: usize,
+    /// Coarse edges induced for the first time by this delta.
+    pub new_edges: usize,
 }
 
 /// A coarse (team-level) dependency graph.
@@ -152,6 +166,96 @@ impl CoarseDepGraph {
         cdg
     }
 
+    /// Apply one tick of fine-graph churn incrementally, re-deriving only
+    /// the coarse cells whose fine members changed: a component of a new
+    /// team appends that team node; a component of a known team bumps its
+    /// `component_count`; a cross-team dependency inserts the coarse edge
+    /// if absent. `fine` must be the fine graph *after*
+    /// [`GraphDelta::apply_to_fine`] — it resolves dependency endpoints to
+    /// teams.
+    ///
+    /// Because both the fine graph and the CDG are append-only and
+    /// [`FineDepGraph::graph`] contraction orders teams by first
+    /// appearance (over nodes) and coarse edges by first occurrence (over
+    /// edges), the patched CDG is *byte-identical* under
+    /// [`CoarseDepGraph::canonical_bytes`] to a batch
+    /// [`CoarseDepGraph::from_fine`] rebuild — `from_fine` stays the
+    /// reconciliation oracle, it is never consulted on the hot path.
+    ///
+    /// # Errors
+    /// [`DeltaError::UnknownComponent`] when a dependency endpoint or
+    /// added component is missing from `fine`, and
+    /// [`DeltaError::UnknownTeam`] when an endpoint's team is missing
+    /// here (the CDG was not derived from this fine graph's history).
+    /// The CDG may be partially updated on error; reconcile to recover.
+    pub fn apply_delta(
+        &mut self,
+        fine: &FineDepGraph,
+        delta: &GraphDelta,
+    ) -> Result<CdgDeltaStats, DeltaError> {
+        let mut stats = CdgDeltaStats::default();
+        for c in &delta.add_components {
+            if fine.by_name(&c.name).is_none() {
+                return Err(DeltaError::UnknownComponent(c.name.clone()));
+            }
+            if let Some(&id) = self.name_index.get(&c.team) {
+                self.graph.node_mut(id).component_count += 1;
+                stats.grown_teams += 1;
+            } else {
+                let id = self.graph.add_node(Team { name: c.team.clone(), component_count: 1 });
+                self.name_index.insert(c.team.clone(), id);
+                stats.new_teams += 1;
+            }
+        }
+        for d in &delta.add_dependencies {
+            let team_of = |name: &str| -> Result<&str, DeltaError> {
+                fine.by_name(name)
+                    .map(|id| fine.component(id).team.as_str())
+                    .ok_or_else(|| DeltaError::UnknownComponent(name.to_string()))
+            };
+            let (src_team, dst_team) = (team_of(&d.src)?, team_of(&d.dst)?);
+            let coarse_of = |team: &str| -> Result<NodeId, DeltaError> {
+                self.name_index
+                    .get(team)
+                    .copied()
+                    .ok_or_else(|| DeltaError::UnknownTeam(team.to_string()))
+            };
+            let (src, dst) = (coarse_of(src_team)?, coarse_of(dst_team)?);
+            let before = self.graph.edge_count();
+            self.add_dependency(src, dst);
+            if self.graph.edge_count() > before {
+                stats.new_edges += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// The canonical byte encoding of the CDG: team count, then each team
+    /// in node order (name length, name bytes, component count), then edge
+    /// count, then each edge in insertion order (src, dst). Two CDGs with
+    /// equal canonical bytes are structurally identical *including node
+    /// and edge order* — this is what streaming reconciliation compares,
+    /// so incremental maintenance cannot silently drift from the
+    /// [`CoarseDepGraph::from_fine`] oracle even in ways that a
+    /// set-semantics comparison would forgive.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)] // usize -> u64 cannot truncate on supported targets
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.graph.node_count() as u64).to_be_bytes());
+        for (_, t) in self.graph.nodes() {
+            out.extend_from_slice(&(t.name.len() as u64).to_be_bytes());
+            out.extend_from_slice(t.name.as_bytes());
+            out.extend_from_slice(&(t.component_count as u64).to_be_bytes());
+        }
+        out.extend_from_slice(&(self.graph.edge_count() as u64).to_be_bytes());
+        for (_, e) in self.graph.edges() {
+            out.extend_from_slice(&e.src.0.to_be_bytes());
+            out.extend_from_slice(&e.dst.0.to_be_bytes());
+        }
+        out
+    }
+
     /// Teams that transitively depend on `team` (including itself): the
     /// expected set of symptom-bearing teams if only `team` failed.
     #[must_use]
@@ -267,6 +371,55 @@ mod tests {
         g.add_dependency(a, s, DependencyKind::Call);
         let cdg = CoarseDepGraph::from_fine(&g);
         assert_eq!(cdg.false_dependency_rate(&g), 0.0);
+    }
+
+    #[test]
+    fn apply_delta_matches_from_fine_byte_for_byte() {
+        let mut fine = fine_with_partial_dep();
+        let mut cdg = CoarseDepGraph::from_fine(&fine);
+        let mut d = GraphDelta::new(0);
+        d.push_component(comp("cache-1", "platform")); // new team
+        d.push_component(comp("app-3", "app")); // grows an existing team
+        d.push_dependency("app-2", "cache-1", DependencyKind::Call);
+        d.push_dependency("cache-1", "db-1", DependencyKind::Call);
+        d.push_dependency("app-1", "db-1", DependencyKind::Call); // coarse edge already exists
+        d.apply_to_fine(&mut fine).unwrap();
+        let stats = cdg.apply_delta(&fine, &d).unwrap();
+        assert_eq!(stats, CdgDeltaStats { new_teams: 1, grown_teams: 1, new_edges: 2 });
+        let oracle = CoarseDepGraph::from_fine(&fine);
+        assert_eq!(cdg.canonical_bytes(), oracle.canonical_bytes());
+        assert_eq!(cdg.team(cdg.by_name("app").unwrap()).component_count, 3);
+    }
+
+    #[test]
+    fn canonical_bytes_are_order_sensitive() {
+        let mut a = CoarseDepGraph::new();
+        a.add_team("app");
+        a.add_team("network");
+        let mut b = CoarseDepGraph::new();
+        b.add_team("network");
+        b.add_team("app");
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+        let c = a.clone();
+        assert_eq!(a.canonical_bytes(), c.canonical_bytes());
+    }
+
+    #[test]
+    fn apply_delta_rejects_foreign_history() {
+        let mut fine = fine_with_partial_dep();
+        // A hand-sketched CDG that never saw the "storage" team.
+        let mut cdg = CoarseDepGraph::new();
+        cdg.add_team("app");
+        let mut d = GraphDelta::new(0);
+        d.push_dependency("app-2", "db-1", DependencyKind::Call);
+        d.apply_to_fine(&mut fine).unwrap();
+        let err = cdg.apply_delta(&fine, &d).unwrap_err();
+        assert_eq!(err, crate::delta::DeltaError::UnknownTeam("storage".into()));
+        // And a component the fine graph has never heard of.
+        let mut d2 = GraphDelta::new(1);
+        d2.push_dependency("ghost-1", "db-1", DependencyKind::Call);
+        let err2 = cdg.apply_delta(&fine, &d2).unwrap_err();
+        assert_eq!(err2, crate::delta::DeltaError::UnknownComponent("ghost-1".into()));
     }
 
     #[test]

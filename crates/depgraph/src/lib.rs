@@ -2,7 +2,8 @@
 //!
 //! Dependency-graph substrate for the SMN reproduction: fine-grained
 //! component graphs ([`fine`]), Coarse Dependency Graphs at team granularity
-//! ([`coarse`]), incident syndromes and the paper's *symptom explainability*
+//! ([`coarse`]), typed fine-graph churn deltas for the streaming path
+//! ([`delta`]), incident syndromes and the paper's *symptom explainability*
 //! metric ([`syndrome`]), and Graphviz export ([`dot`], Figure 3).
 //!
 //! ```
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod coarse;
+pub mod delta;
 pub mod dot;
 pub mod fine;
 pub mod refine;

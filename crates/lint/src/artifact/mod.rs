@@ -41,6 +41,14 @@
 //!   metric names / attr names / phase paths must be unique, metric
 //!   values finite, and every wall-time aggregate a non-negative finite
 //!   millisecond count (NaN arrives as the string `"nan"` on the wire).
+//! - `"delta-journal"` — `{kind, schema, scale, seed, node_count,
+//!   components, reconcile_every, ticks}`: the audited record of an
+//!   incremental streaming session (`smn_core::stream::DeltaJournal`).
+//!   Tick indices must be strictly increasing, every pair reference must
+//!   stay below the declared node count, every dependency endpoint must
+//!   name a component known by its tick (initial set plus prior or
+//!   same-tick additions), and every reconciled tick must carry its
+//!   16-hex-digit reconciliation hash.
 //! - `"callgraph"` — `{kind, schema, functions, edges, unresolved,
 //!   counts}`: the canonical call-graph artifact `smn-lint --deep`
 //!   emits. Functions must be strictly sorted by id (sortedness is the
@@ -197,12 +205,14 @@ pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
                 "coverage-report" => check_coverage_report(&mut ck, &v),
                 "callgraph" => check_callgraph(&mut ck, &v),
                 "bench-report" => check_bench_report(&mut ck, &v),
+                "delta-journal" => check_delta_journal(&mut ck, &v),
                 other => ck.emit(
                     "artifact/unknown-kind",
                     vec![Step::key("kind")],
                     format!("unknown artifact kind `{other}`"),
                     "expected one of: cdg, topology, fault-campaign, coarsening, \
-                     stack, remediation-plan, coverage-report, callgraph, bench-report",
+                     stack, remediation-plan, coverage-report, callgraph, bench-report, \
+                     delta-journal",
                 ),
             },
             _ => ck.emit(
@@ -210,7 +220,8 @@ pub fn check_str(file: &str, src: &str) -> Vec<Diagnostic> {
                 vec![],
                 "artifact envelope lacks a string `kind` field",
                 "expected one of: cdg, topology, fault-campaign, coarsening, \
-                 stack, remediation-plan, coverage-report, callgraph, bench-report",
+                 stack, remediation-plan, coverage-report, callgraph, bench-report, \
+                 delta-journal",
             ),
         },
     }
@@ -1064,6 +1075,120 @@ fn check_bench_report(ck: &mut Checker<'_>, v: &Value) {
 // --------------------------------------------------------- coarsening ----
 
 /// The serialized shape of a coarsening partition (mirrors
+#[allow(clippy::too_many_lines)] // one rule block per journal invariant
+fn check_delta_journal(ck: &mut Checker<'_>, v: &Value) {
+    // Gate through the real schema type, so the checker can never drift
+    // from what `smn stream --journal` serializes.
+    let journal = match smn_core::stream::DeltaJournal::from_value(v) {
+        Ok(j) => j,
+        Err(e) => {
+            ck.emit(
+                "artifact/unreadable",
+                vec![],
+                format!("does not deserialize as a delta journal: {e}"),
+                "expected {kind, schema, scale, seed, node_count, components, \
+                 reconcile_every, ticks}",
+            );
+            return;
+        }
+    };
+
+    if journal.schema != smn_core::stream::DELTA_JOURNAL_SCHEMA {
+        ck.emit(
+            "artifact/journal-schema",
+            vec![Step::key("schema")],
+            format!(
+                "schema version {} is not the supported version {}",
+                journal.schema,
+                smn_core::stream::DELTA_JOURNAL_SCHEMA
+            ),
+            "re-record the journal with the current streaming loop; the schema \
+             version only moves when emitter and checker move together",
+        );
+    }
+
+    // Components known so far: the initial fine-graph population plus
+    // everything added by already-checked ticks.
+    let mut known: std::collections::BTreeSet<&str> =
+        journal.components.iter().map(String::as_str).collect();
+    let mut prev_tick: Option<u64> = None;
+    for (i, t) in journal.ticks.iter().enumerate() {
+        let base = vec![Step::key("ticks"), Step::Idx(i)];
+        if prev_tick.is_some_and(|p| t.tick <= p) {
+            ck.emit(
+                "artifact/journal-tick-order",
+                ck.path(&base, &[Step::key("tick")]),
+                format!(
+                    "tick {} does not advance past the preceding tick {}",
+                    t.tick,
+                    prev_tick.unwrap_or_default()
+                ),
+                "deltas apply in strictly increasing tick order; a replayed or \
+                 reordered journal would diverge from the stream it records",
+            );
+        }
+        prev_tick = Some(t.tick);
+
+        for (j, &(src, dst)) in t.pairs.iter().enumerate() {
+            for node in [src, dst] {
+                if u64::from(node) >= journal.node_count {
+                    ck.emit(
+                        "artifact/journal-dangling-pair",
+                        ck.path(&base, &[Step::key("pairs"), Step::Idx(j)]),
+                        format!(
+                            "pair references node {node} beyond the declared \
+                             node_count {}",
+                            journal.node_count
+                        ),
+                        "telemetry pairs index WAN datacenters; an out-of-range \
+                         index means the journal and topology disagree",
+                    );
+                    break;
+                }
+            }
+        }
+
+        // Same-tick additions are visible to this tick's dependencies
+        // (components apply before dependencies in `GraphDelta`).
+        for name in &t.added_components {
+            known.insert(name.as_str());
+        }
+        for (j, (src, dst)) in t.added_dependencies.iter().enumerate() {
+            for end in [src, dst] {
+                if !known.contains(end.as_str()) {
+                    ck.emit(
+                        "artifact/journal-dangling-component",
+                        ck.path(&base, &[Step::key("added_dependencies"), Step::Idx(j)]),
+                        format!("dependency endpoint `{end}` names an unknown component"),
+                        "endpoints must be in the initial component set or added by \
+                         a prior or same-tick delta",
+                    );
+                    break;
+                }
+            }
+        }
+
+        let hash_ok = t
+            .reconcile_hash
+            .as_deref()
+            .is_some_and(|h| h.len() == 16 && h.bytes().all(|b| b.is_ascii_hexdigit()));
+        if t.reconciled && !hash_ok {
+            ck.emit(
+                "artifact/journal-missing-hash",
+                ck.path(&base, &[Step::key("reconcile_hash")]),
+                match t.reconcile_hash.as_deref() {
+                    None => format!("tick {} reconciled without a reconciliation hash", t.tick),
+                    Some(h) => {
+                        format!("tick {} carries a malformed reconciliation hash `{h}`", t.tick)
+                    }
+                },
+                "every reconciled tick records the 16-hex-digit fingerprint that \
+                 proved incremental/batch byte-identity",
+            );
+        }
+    }
+}
+
 /// `smn_topology::graph::Contraction` minus the coarse graph itself, which
 /// does not serialize its payload-generic form).
 #[derive(Deserialize)]

@@ -135,6 +135,11 @@ pub const ARTIFACT_RULES: &[&str] = &[
     "artifact/bench-schema",
     "artifact/bench-scale",
     "artifact/negative-timing",
+    "artifact/journal-schema",
+    "artifact/journal-tick-order",
+    "artifact/journal-dangling-pair",
+    "artifact/journal-dangling-component",
+    "artifact/journal-missing-hash",
 ];
 
 /// The lint configuration.
@@ -163,7 +168,9 @@ impl Default for Config {
             levels: BTreeMap::new(),
             deterministic_paths: vec![
                 "crates/core/src/simulation.rs".into(),
+                "crates/core/src/stream.rs".into(),
                 "crates/coverage/src/".into(),
+                "crates/depgraph/src/delta.rs".into(),
                 "crates/heal/src/".into(),
                 "crates/incident/src/sim.rs".into(),
                 "crates/obs/src/".into(),

@@ -27,6 +27,7 @@ fn good_fixtures_are_clean() {
         "good_remediation_plan.json",
         "good_generated_campaign.json",
         "good_bench_report.json",
+        "good_delta_journal.json",
     ] {
         let out = check_fixture(name);
         assert!(out.is_empty(), "{name} should be clean, got {out:?}");
@@ -145,12 +146,62 @@ fn nan_timing_yields_exactly_one_diagnostic_with_span() {
 }
 
 #[test]
+fn non_monotone_tick_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_delta_journal_tick_order.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/journal-tick-order");
+    // The span points at the repeated `tick` value of the second entry on
+    // line 22.
+    assert_eq!((d.line, d.col), (22, 15), "span moved: {d:?}");
+    assert!(d.message.contains("$.ticks[1].tick"), "{}", d.message);
+    assert!(d.message.contains("does not advance"), "{}", d.message);
+}
+
+#[test]
+fn dangling_pair_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_delta_journal_dangling_pair.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/journal-dangling-pair");
+    // The span points at the out-of-range pair `[9, 3]` on line 13.
+    assert_eq!((d.line, d.col), (13, 25), "span moved: {d:?}");
+    assert!(d.message.contains("$.ticks[0].pairs[1]"), "{}", d.message);
+    assert!(d.message.contains("node 9"), "{}", d.message);
+}
+
+#[test]
+fn dangling_journal_component_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_delta_journal_dangling_component.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/journal-dangling-component");
+    // The span points at the dependency with the unknown endpoint on
+    // line 15.
+    assert_eq!((d.line, d.col), (15, 30), "span moved: {d:?}");
+    assert!(d.message.contains("$.ticks[0].added_dependencies[0]"), "{}", d.message);
+    assert!(d.message.contains("ghost-7"), "{}", d.message);
+}
+
+#[test]
+fn missing_reconcile_hash_yields_exactly_one_diagnostic_with_span() {
+    let out = check_fixture("bad_delta_journal_missing_hash.json");
+    assert_eq!(out.len(), 1, "want exactly one diagnostic, got {out:?}");
+    let d = &out[0];
+    assert_eq!(d.rule, "artifact/journal-missing-hash");
+    // The span points at the null `reconcile_hash` on line 19.
+    assert_eq!((d.line, d.col), (19, 25), "span moved: {d:?}");
+    assert!(d.message.contains("$.ticks[0].reconcile_hash"), "{}", d.message);
+    assert!(d.message.contains("without a reconciliation hash"), "{}", d.message);
+}
+
+#[test]
 fn check_dir_sees_every_fixture_and_fails_on_the_bad_ones() {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let root = dir.clone();
     let (findings, checked) = smn_lint::artifact::check_dir(&root, &dir);
-    assert_eq!(checked, 16, "fixture corpus size changed");
-    assert_eq!(findings.len(), 9, "one finding per bad fixture: {findings:?}");
+    assert_eq!(checked, 21, "fixture corpus size changed");
+    assert_eq!(findings.len(), 13, "one finding per bad fixture: {findings:?}");
     let report = smn_lint::diag::Report::from_findings(findings);
     assert!(report.failed());
     let json = report.to_json();
@@ -164,6 +215,10 @@ fn check_dir_sees_every_fixture_and_fails_on_the_bad_ones() {
         "artifact/bench-scale",
         "artifact/duplicate-id",
         "artifact/negative-timing",
+        "artifact/journal-tick-order",
+        "artifact/journal-dangling-pair",
+        "artifact/journal-dangling-component",
+        "artifact/journal-missing-hash",
     ] {
         assert!(json.contains(rule), "JSON report must carry {rule}: {json}");
     }

@@ -14,6 +14,8 @@ use std::fmt;
 
 use smn_core::bwlogs::{AdaptiveCoarsener, NestedCoarsener, TimeCoarsener, TopologyCoarsener};
 use smn_core::coarsen::Coarsening;
+use smn_core::controller::{ControllerConfig, SmnController};
+use smn_core::stream::{StreamConfig, StreamState};
 use smn_datalake::ingest::{ingest_alerts_profiled, DedupDenoiser};
 use smn_datalake::Clds;
 use smn_depgraph::coarse::CoarseDepGraph;
@@ -24,6 +26,7 @@ use smn_obs::clock::SimClock;
 use smn_obs::Obs;
 use smn_te::demand::DemandMatrix;
 use smn_te::mcf::{max_multicommodity_flow_profiled, TeConfig};
+use smn_telemetry::delta::TelemetryDelta;
 use smn_telemetry::record::{Alert, Severity};
 use smn_telemetry::series::Statistic;
 use smn_telemetry::time::{Ts, DAY, HOUR};
@@ -124,6 +127,11 @@ pub struct RecordOutcome {
 /// Half an hour of 5-minute telemetry epochs — enough work to profile,
 /// small enough that the 3000-DC sweep point stays tractable.
 const RECORD_EPOCHS: usize = 6;
+
+/// Half a day of 5-minute epochs streamed as one bulk delta before the
+/// steady-state ticks of the `incremental_coarsen` stage — enough history
+/// that a per-tick batch recompute visibly dwarfs the delta apply.
+const HISTORY_EPOCHS: usize = 144;
 
 /// Run the suite.
 #[must_use]
@@ -261,6 +269,61 @@ pub fn run(cfg: &RecordConfig) -> RecordOutcome {
         report.push_metric("te/offered_gbps", sol.offered_gbps, "gbps");
     }
 
+    // Stage 7: incremental coarsening — the streaming delta path against
+    // the batch oracle it must stay byte-identical to. Half a day of
+    // history arrives as one bulk delta, then the suite's six epochs
+    // stream tick by tick in steady state; the closing reconciliation is
+    // the full batch recompute (`stream/reconcile` wall phase), so the
+    // profile carries both sides of the comparison while the work-ratio
+    // speedup below stays deterministic.
+    {
+        let _phase = obs.phase("perf/incremental");
+        let deployment = RedditDeployment::build();
+        let mut ctl = SmnController::new(
+            CoarseDepGraph::from_fine(&deployment.fine),
+            ControllerConfig::default(),
+        );
+        ctl.set_obs(obs.clone());
+        let mut state = StreamState::new(
+            StreamConfig { reconcile_every: 0, ..StreamConfig::default() },
+            deployment.fine.clone(),
+        );
+        let stream_log = model.generate_profiled(start + DAY, HISTORY_EPOCHS + RECORD_EPOCHS, &obs);
+        let n_hist = HISTORY_EPOCHS * model.pairs().len();
+        let bulk = TelemetryDelta::new(0, stream_log[..n_hist].to_vec());
+        let ticks = TelemetryDelta::split_epochs(&stream_log[n_hist..], 1);
+        let mut last = smn_core::stream::DeltaApplyStats::default();
+        let mut failures = 0usize;
+        match ctl.stream_tick(&mut state, &bulk, None) {
+            Ok(o) => last = o.time,
+            Err(_) => failures += 1,
+        }
+        for td in &ticks {
+            match ctl.stream_tick(&mut state, td, None) {
+                Ok(o) => last = o.time,
+                Err(_) => failures += 1,
+            }
+        }
+        let reconciled = match ctl.stream_reconcile(&mut state) {
+            Ok(_) => 1.0,
+            Err(_) => 0.0,
+        };
+        report.push_metric("incremental/ticks", (1 + ticks.len()) as f64, "count");
+        report.push_metric("incremental/lake_records", stream_log.len() as f64, "count");
+        report.push_metric("incremental/total_rows", last.total_rows as f64, "count");
+        report.push_metric("incremental/dirty_cells", last.dirty_cells as f64, "count");
+        // Work ratio of a steady-state tick: rows a batch recompute would
+        // rebuild over rows the delta apply actually recomputed. Pure
+        // counts, so strict-gated like every other metric.
+        report.push_metric(
+            "incremental/speedup",
+            last.total_rows as f64 / last.recomputed_rows.max(1) as f64,
+            "ratio",
+        );
+        report.push_metric("incremental/failures", failures as f64, "count");
+        report.push_metric("incremental/reconciled", reconciled, "count");
+    }
+
     report.push_profile(&obs.wall_profile());
     RecordOutcome { report, folded: obs.wall_profile_folded() }
 }
@@ -289,11 +352,24 @@ mod tests {
         assert_eq!(a.report.bench, "perf_record_small");
         assert_eq!(a.report.scale, "small");
         // Every pipeline stage contributed a parent phase.
-        for parent in
-            ["perf/topology", "perf/telemetry", "perf/lake", "perf/coarsen", "perf/cdg", "perf/te"]
-        {
+        for parent in [
+            "perf/topology",
+            "perf/telemetry",
+            "perf/lake",
+            "perf/coarsen",
+            "perf/cdg",
+            "perf/te",
+            "perf/incremental",
+        ] {
             assert!(a.report.phase(parent).is_some(), "missing phase {parent}");
         }
+        // The incremental stage streams cleanly: a healthy work-ratio
+        // speedup, zero failed ticks, and a passing reconciliation.
+        assert!(a.report.metric("incremental/speedup").unwrap() >= 5.0);
+        assert!(a.report.metric("incremental/failures").unwrap().abs() < f64::EPSILON);
+        assert!((a.report.metric("incremental/reconciled").unwrap() - 1.0).abs() < f64::EPSILON);
+        assert!(a.report.phase("perf/incremental;coarsen/apply_delta").is_some());
+        assert!(a.report.phase("perf/incremental;stream/reconcile").is_some());
         // Profiled inner phases nest under their stage.
         assert!(a.report.phase("perf/telemetry;telemetry/gen").is_some());
         assert!(a.report.phase("perf/te;te/gk;gk/pack").is_some());

@@ -5,7 +5,8 @@
 //! epochs ([`time`]), a deterministic synthetic WAN traffic model with
 //! hot-pair skew, seasonality, spikes, and stability classes ([`traffic`]),
 //! time-series summaries for time-based coarsening ([`series`]), honest
-//! byte-level log-volume accounting ([`sizing`]), and deterministic chaos
+//! byte-level log-volume accounting ([`sizing`]), typed per-tick deltas
+//! for the streaming ingest path ([`delta`]), and deterministic chaos
 //! injection for degraded-mode testing ([`chaos`]).
 //!
 //! ```
@@ -22,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod delta;
 pub mod det;
 pub mod record;
 pub mod series;

@@ -1,0 +1,190 @@
+//! Property tests of the incremental streaming loop: for ANY seeded delta
+//! sequence — telemetry deltas interleaved with fine-graph churn, with or
+//! without a checkpoint/restore in the middle — the incrementally
+//! maintained coarse artifacts are byte-for-byte identical to a full
+//! batch recompute over the concatenated log. This is the tentpole
+//! guarantee that lets the controller trust delta-applied state without
+//! re-coarsening history every tick.
+
+use proptest::prelude::*;
+use smn_core::bwlogs::encode_coarse_log;
+use smn_core::coarsen::Coarsening;
+use smn_core::controller::{ControllerConfig, SmnController};
+use smn_core::stream::{StreamConfig, StreamState};
+use smn_depgraph::coarse::CoarseDepGraph;
+use smn_depgraph::delta::GraphDelta;
+use smn_depgraph::fine::{Component, DependencyKind, FineDepGraph, Layer};
+use smn_telemetry::delta::TelemetryDelta;
+use smn_telemetry::record::BandwidthRecord;
+use smn_telemetry::time::{Ts, EPOCH_SECS};
+
+fn comp(name: &str, team: &str) -> Component {
+    Component {
+        name: name.into(),
+        service: name.into(),
+        team: team.into(),
+        layer: Layer::Application,
+    }
+}
+
+fn base_fine() -> FineDepGraph {
+    let mut g = FineDepGraph::new();
+    let a = g.add_component(comp("web-1", "app"));
+    let b = g.add_component(comp("db-1", "storage"));
+    g.add_dependency(a, b, DependencyKind::Call);
+    g
+}
+
+fn controller() -> SmnController {
+    let mut ctl = SmnController::new(CoarseDepGraph::new(), ControllerConfig::default());
+    ctl.set_obs(smn_obs::Obs::enabled(smn_obs::clock::SimClock::new()));
+    ctl
+}
+
+/// Strategy: per-tick telemetry deltas. Each tick is one epoch (all its
+/// records share the epoch timestamp, so concatenation in tick order is a
+/// valid time-ordered log) carrying 0..5 records over a 4-node WAN.
+fn delta_stream_strategy(ticks: usize) -> impl Strategy<Value = Vec<TelemetryDelta>> {
+    let tick_records = proptest::collection::vec((0u32..4, 0u32..4, 0.5f64..2000.0), 0..5);
+    proptest::collection::vec(tick_records, ticks..(ticks + 1)).prop_map(|per_tick| {
+        per_tick
+            .into_iter()
+            .enumerate()
+            .map(|(t, rows)| {
+                let ts = Ts(t as u64 * EPOCH_SECS);
+                let records: Vec<BandwidthRecord> = rows
+                    .into_iter()
+                    .map(|(src, dst, gbps)| BandwidthRecord { ts, src, dst, gbps })
+                    .collect();
+                TelemetryDelta::new(t as u64, records)
+            })
+            .collect()
+    })
+}
+
+/// Strategy: fine-graph churn interleaved with the telemetry stream. Each
+/// entry `(tick_choice, team, wire_to_base)` adds one uniquely named
+/// component on a pseudo-random tick, wired into the existing graph
+/// either from `web-1` (a same-tick dependency onto the new component) or
+/// onto `db-1`.
+fn churn_strategy(ticks: usize) -> impl Strategy<Value = Vec<GraphDelta>> {
+    let event = (0..ticks, 0usize..3, 0u8..2);
+    proptest::collection::vec(event, 0..6).prop_map(|events| {
+        let teams = ["app", "storage", "platform"];
+        let mut deltas: Vec<GraphDelta> = Vec::new();
+        for (k, (tick, team, to_base)) in events.into_iter().enumerate() {
+            let to_base = to_base == 1;
+            let tick = tick as u64;
+            let name = format!("svc-{tick}-{k}");
+            if !deltas.iter().any(|d| d.tick == tick) {
+                deltas.push(GraphDelta::new(tick));
+            }
+            let d = deltas.iter_mut().find(|d| d.tick == tick).expect("just ensured");
+            d.push_component(comp(&name, teams[team]));
+            if to_base {
+                d.push_dependency(name, "db-1", DependencyKind::Call);
+            } else {
+                d.push_dependency("web-1", name, DependencyKind::Call);
+            }
+        }
+        deltas.sort_by_key(|d| d.tick);
+        deltas
+    })
+}
+
+proptest! {
+    /// For any delta sequence and churn interleaving, every periodic
+    /// reconciliation passes and the final incremental artifacts equal a
+    /// batch recompute over the concatenated log, byte for byte.
+    #[test]
+    fn incremental_equals_batch_for_any_delta_sequence(
+        telemetry in delta_stream_strategy(10),
+        churn in churn_strategy(10),
+        reconcile_every in 0u64..5,
+    ) {
+        let mut ctl = controller();
+        let cfg = StreamConfig { reconcile_every, ..StreamConfig::default() };
+        let mut state = StreamState::new(cfg, base_fine());
+        let outcomes = ctl
+            .stream_run(&mut state, &telemetry, &churn)
+            .expect("no tick may fail");
+        prop_assert_eq!(outcomes.len(), telemetry.len());
+        let verdict = ctl.stream_reconcile(&mut state).expect("final reconcile");
+        prop_assert_eq!(&verdict.hash, &state.fingerprint());
+
+        // Independently recompute the batch artifacts from the
+        // concatenated deltas and compare bytes.
+        let full: Vec<BandwidthRecord> =
+            telemetry.iter().flat_map(|d| d.records.iter().copied()).collect();
+        prop_assert_eq!(verdict.lake_records, full.len());
+        let batch_time = encode_coarse_log(&state.config.time_coarsener().coarsen(&full));
+        prop_assert_eq!(state.time_log().encode(), batch_time);
+        let batch_adaptive = encode_coarse_log(&state.config.adaptive.coarsen(&full));
+        prop_assert_eq!(state.adaptive_log().encode(), batch_adaptive);
+        let batch_cdg = CoarseDepGraph::from_fine(&state.fine).canonical_bytes();
+        prop_assert_eq!(state.cdg.canonical_bytes(), batch_cdg);
+        // The controller adopted the proven CDG on reconcile.
+        prop_assert_eq!(ctl.cdg.canonical_bytes(), state.cdg.canonical_bytes());
+    }
+
+    /// Checkpoint/restore mid-stream is invisible: serializing the
+    /// `StreamState` at any split point, restoring it into a fresh
+    /// controller, and continuing the stream yields the same fingerprint
+    /// as a session that never stopped.
+    #[test]
+    fn checkpoint_restore_is_byte_identical_at_any_split(
+        telemetry in delta_stream_strategy(8),
+        churn in churn_strategy(8),
+        split in 1usize..8,
+    ) {
+        let cfg = StreamConfig { reconcile_every: 3, ..StreamConfig::default() };
+
+        // Session A: uninterrupted.
+        let mut ctl_a = controller();
+        let mut state_a = StreamState::new(cfg.clone(), base_fine());
+        ctl_a.stream_run(&mut state_a, &telemetry, &churn).expect("uninterrupted run");
+        ctl_a.stream_reconcile(&mut state_a).expect("uninterrupted reconcile");
+
+        // Session B: checkpoint after `split` ticks, restore from the
+        // serialized checkpoint, continue with the remaining deltas.
+        let mut ctl_b = controller();
+        let mut live = StreamState::new(cfg, base_fine());
+        ctl_b.stream_run(&mut live, &telemetry[..split], &churn).expect("pre-checkpoint run");
+        let checkpoint = serde_json::to_string(&live).expect("checkpoint serializes");
+        drop(live);
+        let mut restored: StreamState =
+            serde_json::from_str(&checkpoint).expect("checkpoint restores");
+        ctl_b.stream_run(&mut restored, &telemetry[split..], &churn).expect("post-restore run");
+        let verdict = ctl_b.stream_reconcile(&mut restored).expect("post-restore reconcile");
+
+        prop_assert_eq!(state_a.fingerprint(), restored.fingerprint());
+        prop_assert_eq!(&verdict.hash, &restored.fingerprint());
+        prop_assert_eq!(state_a.time_log().encode(), restored.time_log().encode());
+        prop_assert_eq!(state_a.adaptive_log().encode(), restored.adaptive_log().encode());
+        prop_assert_eq!(state_a.cdg.canonical_bytes(), restored.cdg.canonical_bytes());
+    }
+
+    /// Delta-apply bookkeeping is conservative: appended record counts sum
+    /// to the lake total, and the final row count matches the batch row
+    /// count (no cell is ever lost or double-created by dirty tracking).
+    #[test]
+    fn apply_stats_account_for_every_record_and_row(
+        telemetry in delta_stream_strategy(12),
+    ) {
+        let mut ctl = controller();
+        let cfg = StreamConfig { reconcile_every: 0, ..StreamConfig::default() };
+        let mut state = StreamState::new(cfg, base_fine());
+        let outcomes = ctl.stream_run(&mut state, &telemetry, &[]).expect("run");
+        let appended: usize = outcomes.iter().map(|o| o.time.appended).sum();
+        let total: usize = telemetry.iter().map(TelemetryDelta::len).sum();
+        prop_assert_eq!(appended, total);
+        let full: Vec<BandwidthRecord> =
+            telemetry.iter().flat_map(|d| d.records.iter().copied()).collect();
+        let batch_rows = state.config.time_coarsener().coarsen(&full).len();
+        prop_assert_eq!(state.time_log().rows(), batch_rows);
+        for o in &outcomes {
+            prop_assert!(o.time.recomputed_rows <= o.time.total_rows);
+            prop_assert!(o.time.dirty_cells <= o.time.appended.max(1));
+        }
+    }
+}
